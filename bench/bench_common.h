@@ -1,0 +1,93 @@
+// Shared helpers for the figure-reproduction benchmark harness: one-call
+// system construction, and fixed-width table output so every bench prints
+// the same rows/series the paper reports.
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/runtime.h"
+
+namespace tzllm {
+
+// A fully wired system instance (platform + runtime) with optional memory
+// pressure already applied.
+struct BenchSystem {
+  std::unique_ptr<SocPlatform> platform;
+  std::unique_ptr<SystemRuntime> runtime;
+
+  static BenchSystem Create(SystemKind kind, const LlmConfig& model,
+                            uint64_t stress_bytes = 0,
+                            SchedulePolicy policy =
+                                SchedulePolicy::kPriorityPreemptive,
+                            bool pipelined = true) {
+    BenchSystem out;
+    out.platform = std::make_unique<SocPlatform>();
+    RuntimeConfig config;
+    config.model = model;
+    config.system = kind;
+    config.policy = policy;
+    config.pipelined = pipelined;
+    out.runtime = std::make_unique<SystemRuntime>(out.platform.get(), config);
+    Status st = out.runtime->Setup();
+    if (!st.ok()) {
+      fprintf(stderr, "bench setup failed: %s\n", st.ToString().c_str());
+      abort();
+    }
+    if (stress_bytes > 0) {
+      st = out.runtime->stress().MapPressure(stress_bytes,
+                                             /*dirty_pages=*/false);
+      if (!st.ok()) {
+        fprintf(stderr, "stress failed: %s\n", st.ToString().c_str());
+        abort();
+      }
+    }
+    return out;
+  }
+};
+
+// The paper's §7 worst-case memory pressure per model (GiB): 13 / 11 / 10 /
+// 6 for TinyLlama / Qwen / Phi-3 / Llama-3.
+inline uint64_t PaperStressBytes(const LlmConfig& model) {
+  if (model.name == "TinyLlama-1.1B") {
+    return 13ull * kGiB;
+  }
+  if (model.name == "Qwen2.5-3B") {
+    return 11ull * kGiB;
+  }
+  if (model.name == "Phi-3-3.8B") {
+    return 10ull * kGiB;
+  }
+  return 6ull * kGiB;
+}
+
+inline void PrintHeader(const std::string& figure, const std::string& title) {
+  printf("\n================================================================\n");
+  printf("%s — %s\n", figure.c_str(), title.c_str());
+  printf("================================================================\n");
+}
+
+inline void PrintRow(const std::vector<std::string>& cells, int width = 16) {
+  for (const std::string& cell : cells) {
+    printf("%-*s", width, cell.c_str());
+  }
+  printf("\n");
+}
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+inline std::string Seconds(SimDuration d) {
+  return Fmt("%.3f", ToSeconds(d));
+}
+
+}  // namespace tzllm
+
+#endif  // BENCH_BENCH_COMMON_H_

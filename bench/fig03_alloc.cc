@@ -1,0 +1,83 @@
+// Figure 3: time to allocate the Llama-3-8B parameter memory (~8 GiB) with
+// the buddy system (4 KB pages, no contiguity) vs CMA (contiguous), under
+// 0..6 GiB of REE memory pressure.
+
+#include "bench/bench_common.h"
+#include "src/ree/stress.h"
+
+namespace tzllm {
+namespace {
+
+SimDuration BuddyAllocTime(uint64_t pressure_bytes, uint64_t alloc_bytes) {
+  SocPlatform plat;
+  ReeMemoryLayout layout;
+  layout.dram_bytes = plat.config().dram_bytes;
+  layout.kernel_bytes = kReeBaseUsage;
+  layout.cma_bytes = 8ull * kGiB + 256 * kMiB;
+  layout.cma2_bytes = 512 * kMiB;
+  ReeMemoryManager mm(layout, &plat.dram());
+  StressWorkload stress(&mm, &plat.dram());
+  if (pressure_bytes > 0 &&
+      !stress.MapPressure(pressure_bytes, false).ok()) {
+    return 0;
+  }
+  std::vector<uint64_t> pages;
+  SimDuration cpu_time = 0;
+  if (!mm.AllocMovablePages(BytesToPages(alloc_bytes), &pages, &cpu_time)
+           .ok()) {
+    return 0;
+  }
+  return cpu_time;
+}
+
+SimDuration CmaAllocTime(uint64_t pressure_bytes, uint64_t alloc_bytes) {
+  SocPlatform plat;
+  ReeMemoryLayout layout;
+  layout.dram_bytes = plat.config().dram_bytes;
+  layout.kernel_bytes = kReeBaseUsage;
+  layout.cma_bytes = 8ull * kGiB + 256 * kMiB;
+  layout.cma2_bytes = 512 * kMiB;
+  ReeMemoryManager mm(layout, &plat.dram());
+  StressWorkload stress(&mm, &plat.dram());
+  if (pressure_bytes > 0 &&
+      !stress.MapPressure(pressure_bytes, false).ok()) {
+    return 0;
+  }
+  auto outcome = mm.param_cma().AllocContiguousAt(
+      mm.param_cma().base_pfn(), BytesToPages(alloc_bytes));
+  if (!outcome.ok()) {
+    return 0;
+  }
+  return outcome->cpu_time;
+}
+
+void Run() {
+  PrintHeader("Figure 3",
+              "8 GiB allocation time vs REE memory pressure (buddy vs CMA, "
+              "single-threaded)");
+  const uint64_t alloc = 8ull * kGiB;
+  PrintRow({"pressure (GiB)", "buddy (s)", "CMA (s)", "migrated (approx)"},
+           18);
+  PrintRow({"--------------", "---------", "-------", "-----------------"},
+           18);
+  for (uint64_t pressure = 0; pressure <= 6; ++pressure) {
+    const SimDuration buddy = BuddyAllocTime(pressure * kGiB, alloc);
+    const SimDuration cma = CmaAllocTime(pressure * kGiB, alloc);
+    const double migrated_gib =
+        (ToSeconds(cma) - ToSeconds(buddy)) /
+        ToSeconds(CmaRegion::MigrationCpuTime(BytesToPages(kGiB), 0));
+    PrintRow({Fmt("%.0f", static_cast<double>(pressure)), Seconds(buddy),
+              Seconds(cma), Fmt("%.1f GiB", std::max(0.0, migrated_gib))},
+             18);
+  }
+  printf("\npaper: buddy stays flat (~0.4 s); CMA rises with pressure to "
+         "~4.2 s at 6 GB (1.9 GB/s single-threaded migration).\n");
+}
+
+}  // namespace
+}  // namespace tzllm
+
+int main() {
+  tzllm::Run();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 12: the three potential pipeline critical paths (I/O, CPU,
+// Computation) vs TZ-LLM's achieved TTFT across prompt lengths, with 20% of
+// parameters cached — with and without memory stress. The max of the three
+// paths is the theoretical lower bound for any scheduling policy (§7.2.1).
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+
+namespace tzllm {
+namespace {
+
+void RunModel(const LlmConfig& model, bool stressed) {
+  printf("\n--- %s (%s) ---\n", model.name.c_str(),
+         stressed ? "w/ stress" : "w/o stress");
+  PrintRow({"prompt", "I/O path", "CPU path", "Compute path", "TZ-LLM TTFT",
+            "over bound"},
+           14);
+  for (int prompt : {64, 128, 256, 384, 512}) {
+    BenchSystem sys = BenchSystem::Create(SystemKind::kTzLlm, model, 0);
+    // Warm up the cache to 20% (the paper's configuration).
+    InferenceRequest warm;
+    warm.prompt_tokens = 16;
+    warm.cache_proportion_after = 0.2;
+    if (!sys.runtime->RunInference(warm).status.ok()) {
+      continue;
+    }
+    // Apply pressure after the warm-up: during the idle period the REE
+    // repopulates the (released) CMA region, so the measured inference pays
+    // the migration cost again — the scenario Figure 12 stresses.
+    if (stressed &&
+        !sys.runtime->stress().MapPressure(PaperStressBytes(model), false)
+             .ok()) {
+      continue;
+    }
+    InferenceRequest req;
+    req.prompt_tokens = prompt;
+    req.cache_proportion_after = 0.2;
+    const InferenceReport report = sys.runtime->RunInference(req);
+    if (!report.status.ok()) {
+      continue;
+    }
+    const PipelineResult& pipe = report.prefill_pipeline;
+    const double io = ToSeconds(pipe.IoPath());
+    const double cpu = ToSeconds(pipe.CpuPath(4, 2));
+    const double comp = ToSeconds(pipe.ComputePath());
+    const double bound = std::max({io, cpu, comp});
+    const double actual = ToSeconds(report.prefill_time);
+    PrintRow({Fmt("%.0f", prompt), Fmt("%.3f", io), Fmt("%.3f", cpu),
+              Fmt("%.3f", comp), Fmt("%.3f", actual),
+              Fmt("+%.1f%%", (actual / bound - 1.0) * 100)},
+             14);
+  }
+}
+
+void Run() {
+  PrintHeader("Figure 12",
+              "Critical-path latencies vs TZ-LLM TTFT (20% parameters "
+              "cached)");
+  for (bool stressed : {true, false}) {
+    RunModel(Qwen2_5_3B(), stressed);
+    RunModel(Llama3_8B(), stressed);
+  }
+  printf("\npaper (§7.2.1): 0.01%%~9.9%% over the bound with stress, up to "
+         "10.4%% without (I/O-dominated worst case).\n");
+}
+
+}  // namespace
+}  // namespace tzllm
+
+int main() {
+  tzllm::Run();
+  return 0;
+}

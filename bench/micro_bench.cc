@@ -1,0 +1,167 @@
+// Microbenchmarks (google-benchmark): wall-clock cost of the real
+// primitives the reproduction executes functionally — crypto, quantized
+// kernels, CMA state machine, buddy allocator, pipeline executor, tokenizer.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/pipeline.h"
+#include "src/crypto/aes.h"
+#include "src/crypto/sha256.h"
+#include "src/hw/phys_mem.h"
+#include "src/llm/tensor.h"
+#include "src/llm/tokenizer.h"
+#include "src/ree/buddy.h"
+#include "src/ree/cma.h"
+
+namespace tzllm {
+namespace {
+
+void BM_AesCtr(benchmark::State& state) {
+  AesKey128 key{};
+  key[0] = 1;
+  AesCtr ctr(key, AesBlock{});
+  std::vector<uint8_t> buf(state.range(0));
+  Rng(1).FillBytes(buf.data(), buf.size());
+  for (auto _ : state) {
+    ctr.CryptAll(buf.data(), buf.size());
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesCtr)->Arg(4096)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_Sha256(benchmark::State& state) {
+  std::vector<uint8_t> buf(state.range(0));
+  Rng(2).FillBytes(buf.data(), buf.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(buf.data(), buf.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(4096)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_QuantizeQ8(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  std::vector<float> src(n, 0.5f);
+  std::vector<uint8_t> dst(DTypeByteSize(DType::kQ8_0, n));
+  for (auto _ : state) {
+    QuantizeQ8(src.data(), n, dst.data());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * 4);
+}
+BENCHMARK(BM_QuantizeQ8)->Arg(4096)->Arg(65536);
+
+void BM_MatVecQ8(benchmark::State& state) {
+  const uint64_t dim = state.range(0);
+  Tensor w = MakeRandomTensor("w", DType::kQ8_0, dim, dim, 3);
+  std::vector<float> x(dim, 0.1f), y(dim, 0.0f);
+  for (auto _ : state) {
+    MatVecQ8(w.data.data(), dim, dim, x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * dim * dim);
+}
+BENCHMARK(BM_MatVecQ8)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_BuddyAllocFree(benchmark::State& state) {
+  BuddyAllocator buddy(0, 1 << 18);
+  for (auto _ : state) {
+    auto block = buddy.AllocBlock(0);
+    benchmark::DoNotOptimize(block.ok());
+    if (block.ok()) {
+      (void)buddy.FreeBlock(*block, 0);
+    }
+  }
+}
+BENCHMARK(BM_BuddyAllocFree);
+
+void BM_CmaAllocContiguous(benchmark::State& state) {
+  const uint64_t pages = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    PhysMemory dram(1 * kGiB);
+    BuddyAllocator buddy(0, 1 << 16);
+    CmaRegion cma(1 << 16, pages, &buddy, &dram);
+    for (uint64_t i = 0; i < pages / 2; ++i) {
+      (void)cma.BorrowMovablePage();
+    }
+    state.ResumeTiming();
+    auto outcome = cma.AllocContiguousAt(1 << 16, pages);
+    benchmark::DoNotOptimize(outcome.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * pages);
+}
+BENCHMARK(BM_CmaAllocContiguous)->Arg(1024)->Arg(8192);
+
+void BM_PipelineExecutor(benchmark::State& state) {
+  const int extents = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<PipelineOp> ops;
+    int prev_alloc = -1, prev_comp = -1;
+    for (int i = 0; i < extents; ++i) {
+      PipelineOp a;
+      a.kind = PipelineOpKind::kAlloc;
+      a.comp_index = i;
+      a.duration = 1000;
+      a.chunks = 4;
+      if (prev_alloc >= 0) {
+        a.deps.push_back(prev_alloc);
+      }
+      ops.push_back(a);
+      prev_alloc = static_cast<int>(ops.size()) - 1;
+      PipelineOp l;
+      l.kind = PipelineOpKind::kLoad;
+      l.comp_index = i;
+      l.duration = 2000;
+      l.deps = {prev_alloc};
+      ops.push_back(l);
+      PipelineOp d;
+      d.kind = PipelineOpKind::kDecrypt;
+      d.comp_index = i;
+      d.duration = 1500;
+      d.chunks = 2;
+      d.deps = {static_cast<int>(ops.size()) - 1};
+      ops.push_back(d);
+      PipelineOp c;
+      c.kind = PipelineOpKind::kComputeNpu;
+      c.comp_index = i;
+      c.duration = 2500;
+      c.deps = {static_cast<int>(ops.size()) - 1};
+      if (prev_comp >= 0) {
+        c.deps.push_back(prev_comp);
+      }
+      ops.push_back(c);
+      prev_comp = static_cast<int>(ops.size()) - 1;
+    }
+    Simulator sim;
+    PipelineConfig config;
+    PipelineExecutor exec(&sim, config);
+    state.ResumeTiming();
+    auto result = exec.RunToCompletion(std::move(ops));
+    benchmark::DoNotOptimize(result.makespan);
+  }
+}
+BENCHMARK(BM_PipelineExecutor)->Arg(32)->Arg(130);
+
+void BM_TokenizerEncode(benchmark::State& state) {
+  Tokenizer tokenizer(32000);
+  std::string text;
+  for (int i = 0; i < 64; ++i) {
+    text += "the user opened the app and asked the assistant a question ";
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer.Encode(text));
+  }
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_TokenizerEncode);
+
+}  // namespace
+}  // namespace tzllm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+#include "src/common/log.h"
+
+#include <cstdarg>
+
+namespace tzllm {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kNone:
+      return "?";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+void LogMessage(LogLevel level, const char* component, const char* fmt, ...) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) {
+    return;
+  }
+  char body[1024];
+  va_list args;
+  va_start(args, fmt);
+  vsnprintf(body, sizeof(body), fmt, args);
+  va_end(args);
+  fprintf(stderr, "[%s %s] %s\n", LevelTag(level), component, body);
+}
+
+}  // namespace tzllm

@@ -1,0 +1,39 @@
+// Minimal leveled logger. Default level is kWarn so tests and benchmarks stay
+// quiet; examples turn on kInfo to narrate what the system does.
+
+#ifndef SRC_COMMON_LOG_H_
+#define SRC_COMMON_LOG_H_
+
+#include <cstdio>
+#include <string>
+
+namespace tzllm {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+// Global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style logging with a component tag, e.g. LogInfo("tee", "...").
+void LogMessage(LogLevel level, const char* component, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+#define TZLLM_LOG_DEBUG(component, ...) \
+  ::tzllm::LogMessage(::tzllm::LogLevel::kDebug, component, __VA_ARGS__)
+#define TZLLM_LOG_INFO(component, ...) \
+  ::tzllm::LogMessage(::tzllm::LogLevel::kInfo, component, __VA_ARGS__)
+#define TZLLM_LOG_WARN(component, ...) \
+  ::tzllm::LogMessage(::tzllm::LogLevel::kWarn, component, __VA_ARGS__)
+#define TZLLM_LOG_ERROR(component, ...) \
+  ::tzllm::LogMessage(::tzllm::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace tzllm
+
+#endif  // SRC_COMMON_LOG_H_

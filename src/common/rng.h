@@ -1,0 +1,105 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in the reproduction must be reproducible bit-for-bit, so all
+// randomness flows through explicitly seeded generators (never std::rand or
+// hardware entropy). SplitMix64 is used for seeding and for keyed synthetic
+// byte streams (virtual model files); Xoshiro256** is the general generator.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace tzllm {
+
+// SplitMix64: stateless mix usable as a hash of (seed, index).
+constexpr uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t s = seed;
+    for (auto& word : state_) {
+      s = SplitMix64(s + 0x1234ABCDull);
+      word = s;
+    }
+  }
+
+  // Xoshiro256**.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  uint32_t NextU32() { return static_cast<uint32_t>(NextU64() >> 32); }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return NextU64() % bound; }
+
+  // Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi].
+  double NextDoubleIn(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Approximately normal via sum of uniforms (Irwin-Hall, 12 terms).
+  double NextGaussian(double mean, double stddev) {
+    double sum = 0.0;
+    for (int i = 0; i < 12; ++i) {
+      sum += NextDouble();
+    }
+    return mean + (sum - 6.0) * stddev;
+  }
+
+  void FillBytes(uint8_t* out, size_t len) {
+    size_t i = 0;
+    while (i + 8 <= len) {
+      uint64_t v = NextU64();
+      for (int b = 0; b < 8; ++b) {
+        out[i++] = static_cast<uint8_t>(v >> (8 * b));
+      }
+    }
+    if (i < len) {
+      uint64_t v = NextU64();
+      while (i < len) {
+        out[i++] = static_cast<uint8_t>(v);
+        v >>= 8;
+      }
+    }
+  }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+// Deterministic byte at (stream_seed, offset); used by synthetic flash files
+// so that any byte range can be regenerated without materializing the file.
+constexpr uint8_t SyntheticByteAt(uint64_t stream_seed, uint64_t offset) {
+  const uint64_t word = SplitMix64(stream_seed ^ (offset / 8));
+  return static_cast<uint8_t>(word >> (8 * (offset % 8)));
+}
+
+}  // namespace tzllm
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,134 @@
+// Lightweight status / result types used across the TZ-LLM code base.
+//
+// The TEE-facing code paths deliberately avoid exceptions: every fallible
+// operation returns a Status (or Result<T>), mirroring how a TEE OS kernel
+// would propagate error codes across the SMC boundary.
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace tzllm {
+
+enum class ErrorCode : uint32_t {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfMemory,
+  kNotFound,
+  kPermissionDenied,    // TZASC/TZPC/GIC or TEE OS rejected an access.
+  kSecurityViolation,   // An Iago-style attack was detected and blocked.
+  kFailedPrecondition,  // Operation issued in the wrong state.
+  kAlreadyExists,
+  kResourceExhausted,
+  kIoError,
+  kDataCorruption,  // Checksum / decryption verification failed.
+  kUnimplemented,
+  kInternal,
+};
+
+// Human-readable name for an error code ("kOk" -> "OK").
+const char* ErrorCodeName(ErrorCode code);
+
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<code-name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(ErrorCode::kInvalidArgument, std::move(msg));
+}
+inline Status OutOfMemory(std::string msg) {
+  return Status(ErrorCode::kOutOfMemory, std::move(msg));
+}
+inline Status NotFound(std::string msg) {
+  return Status(ErrorCode::kNotFound, std::move(msg));
+}
+inline Status PermissionDenied(std::string msg) {
+  return Status(ErrorCode::kPermissionDenied, std::move(msg));
+}
+inline Status SecurityViolation(std::string msg) {
+  return Status(ErrorCode::kSecurityViolation, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(msg));
+}
+inline Status AlreadyExists(std::string msg) {
+  return Status(ErrorCode::kAlreadyExists, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(ErrorCode::kResourceExhausted, std::move(msg));
+}
+inline Status IoError(std::string msg) {
+  return Status(ErrorCode::kIoError, std::move(msg));
+}
+inline Status DataCorruption(std::string msg) {
+  return Status(ErrorCode::kDataCorruption, std::move(msg));
+}
+inline Status Internal(std::string msg) {
+  return Status(ErrorCode::kInternal, std::move(msg));
+}
+
+// Result<T>: either a value or an error status. Minimal StatusOr analogue.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() { return *value_; }
+  const T& value() const { return *value_; }
+  T& operator*() { return *value_; }
+  const T& operator*() const { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+// Propagates errors up the call stack, kernel-style.
+#define TZLLM_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    ::tzllm::Status _st = (expr);            \
+    if (!_st.ok()) {                         \
+      return _st;                            \
+    }                                        \
+  } while (0)
+
+#define TZLLM_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto lhs##_result = (expr);                \
+  if (!lhs##_result.ok()) {                  \
+    return lhs##_result.status();            \
+  }                                          \
+  auto& lhs = *lhs##_result
+
+}  // namespace tzllm
+
+#endif  // SRC_COMMON_STATUS_H_

@@ -1,0 +1,42 @@
+#include "src/common/units.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace tzllm {
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= kGiB) {
+    snprintf(buf, sizeof(buf), "%.2f GiB",
+             static_cast<double>(bytes) / static_cast<double>(kGiB));
+  } else if (bytes >= kMiB) {
+    snprintf(buf, sizeof(buf), "%.1f MiB",
+             static_cast<double>(bytes) / static_cast<double>(kMiB));
+  } else if (bytes >= kKiB) {
+    snprintf(buf, sizeof(buf), "%.1f KiB",
+             static_cast<double>(bytes) / static_cast<double>(kKiB));
+  } else {
+    snprintf(buf, sizeof(buf), "%" PRIu64 " B", bytes);
+  }
+  return buf;
+}
+
+std::string FormatDuration(SimDuration d) {
+  char buf[64];
+  if (d >= kSecond) {
+    snprintf(buf, sizeof(buf), "%.3f s",
+             static_cast<double>(d) / static_cast<double>(kSecond));
+  } else if (d >= kMillisecond) {
+    snprintf(buf, sizeof(buf), "%.2f ms",
+             static_cast<double>(d) / static_cast<double>(kMillisecond));
+  } else if (d >= kMicrosecond) {
+    snprintf(buf, sizeof(buf), "%.1f us",
+             static_cast<double>(d) / static_cast<double>(kMicrosecond));
+  } else {
+    snprintf(buf, sizeof(buf), "%" PRIu64 " ns", d);
+  }
+  return buf;
+}
+
+}  // namespace tzllm

@@ -1,0 +1,81 @@
+// Byte-size and time units plus human-readable formatting helpers.
+
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tzllm {
+
+// ---------------------------------------------------------------------------
+// Byte sizes.
+// ---------------------------------------------------------------------------
+
+inline constexpr uint64_t kKiB = 1024ull;
+inline constexpr uint64_t kMiB = 1024ull * kKiB;
+inline constexpr uint64_t kGiB = 1024ull * kMiB;
+
+// The paper quotes decimal GB throughputs (e.g. "2GB/s"); keep both.
+inline constexpr uint64_t kKB = 1000ull;
+inline constexpr uint64_t kMB = 1000ull * kKB;
+inline constexpr uint64_t kGB = 1000ull * kMB;
+
+inline constexpr uint64_t kPageSize = 4 * kKiB;
+inline constexpr uint64_t kPageShift = 12;
+
+constexpr uint64_t BytesToPages(uint64_t bytes) {
+  return (bytes + kPageSize - 1) / kPageSize;
+}
+constexpr uint64_t PagesToBytes(uint64_t pages) { return pages * kPageSize; }
+constexpr uint64_t AlignUp(uint64_t v, uint64_t align) {
+  return (v + align - 1) / align * align;
+}
+constexpr uint64_t AlignDown(uint64_t v, uint64_t align) {
+  return v / align * align;
+}
+constexpr bool IsAligned(uint64_t v, uint64_t align) { return v % align == 0; }
+
+// "8.12 GiB", "512.0 MiB", "17 B".
+std::string FormatBytes(uint64_t bytes);
+
+// ---------------------------------------------------------------------------
+// Virtual time. All simulation time is kept in nanoseconds as uint64_t.
+// ---------------------------------------------------------------------------
+
+using SimTime = uint64_t;      // Absolute time point, ns since simulation start.
+using SimDuration = uint64_t;  // Non-negative span, ns.
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1000ull;
+inline constexpr SimDuration kMillisecond = 1000ull * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000ull * kMillisecond;
+
+constexpr double ToSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double ToMillis(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr SimDuration FromSeconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+constexpr SimDuration FromMillis(double ms) {
+  return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond));
+}
+
+// Duration of transferring `bytes` at `bytes_per_second`.
+constexpr SimDuration TransferTime(uint64_t bytes, double bytes_per_second) {
+  return bytes_per_second <= 0.0
+             ? 0
+             : static_cast<SimDuration>(static_cast<double>(bytes) /
+                                        bytes_per_second *
+                                        static_cast<double>(kSecond));
+}
+
+// "1.234 s", "56.7 ms", "890 us", "12 ns".
+std::string FormatDuration(SimDuration d);
+
+}  // namespace tzllm
+
+#endif  // SRC_COMMON_UNITS_H_

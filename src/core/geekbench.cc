@@ -1,0 +1,53 @@
+#include "src/core/geekbench.h"
+
+namespace tzllm {
+
+const std::vector<GeekbenchWorkload>& GeekbenchSuite() {
+  // tlb_walk_share is calibrated so S2ptOverheadPercent reproduces the
+  // Figure 2 annotations (4.3, 9.8, 0.6, 3.7, 1.3, 1.4, 1.8, 0.2, 0.6, 0.9,
+  // 5.2, 0.8, 1.7, 0.2, 0.3, -0.1 %). overhead ~= share * (inflation - 1) /
+  // (1 + share * (inflation - 1)) with inflation 5 => share ~= pct / (4 *
+  // (1 - pct)).
+  static const std::vector<GeekbenchWorkload> kSuite = {
+      {"File Comp.", 0.01124, 0.55, 1530},
+      {"Navigation", 0.02717, 0.35, 1065},
+      {"HTML5", 0.00151, 0.40, 1280},
+      {"PDF Rend.", 0.00961, 0.45, 1410},
+      {"Photo Lib.", 0.00329, 0.60, 1710},
+      {"Clang", 0.00355, 0.50, 1340},
+      {"Text Proc.", 0.00458, 0.45, 1195},
+      {"Asset Comp.", 0.00050, 0.70, 1620},
+      {"Obj. Detect.", 0.00151, 0.65, 1450},
+      {"Back. Blur", 0.00227, 0.75, 1880},
+      {"Obj. Remover", 0.01372, 0.80, 1255},
+      {"HDR", 0.00202, 0.85, 2040},
+      {"Photo Filter", 0.00432, 0.70, 1760},
+      {"Ray Tracer", 0.00050, 0.25, 1995},
+      {"Motion", 0.00075, 0.30, 1540},
+      {"Horizon", -0.00025, 0.35, 1385},
+  };
+  return kSuite;
+}
+
+double ScoreWithS2pt(const GeekbenchWorkload& w) {
+  // Runtime inflates by the extra page-walk cost: walk share multiplied by
+  // the two-dimensional walk factor.
+  const double extra = w.tlb_walk_share * (kS2ptWalkInflation - 1.0);
+  return w.base_score / (1.0 + extra);
+}
+
+double S2ptOverheadPercent(const GeekbenchWorkload& w) {
+  return (1.0 - ScoreWithS2pt(w) / w.base_score) * 100.0;
+}
+
+double ScoreUnderMigration(const GeekbenchWorkload& w, double migration_duty,
+                           double bandwidth_share) {
+  // While migration runs (duty fraction of the benchmark window), memory-
+  // bound phases lose `bandwidth_share` of their bandwidth.
+  const double slow_factor =
+      1.0 + w.memory_intensity * bandwidth_share / (1.0 - bandwidth_share);
+  const double t = (1.0 - migration_duty) + migration_duty * slow_factor;
+  return w.base_score / t;
+}
+
+}  // namespace tzllm

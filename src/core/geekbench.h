@@ -1,0 +1,45 @@
+// Geekbench workload model: the 16 subtests of Figures 2 and 16 with
+// per-workload TLB sensitivity (drives the S2PT stage-2 translation
+// overhead) and memory intensity (drives interference from CMA migration
+// bandwidth). Scores are synthetic but the *relative degradations* — the
+// quantities the paper argues about — emerge from the cost models.
+
+#ifndef SRC_CORE_GEEKBENCH_H_
+#define SRC_CORE_GEEKBENCH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/calibration.h"
+#include "src/common/units.h"
+
+namespace tzllm {
+
+struct GeekbenchWorkload {
+  std::string name;
+  // Fraction of runtime attributable to TLB-miss page walks (4 KB stage-2
+  // mappings multiply this by kS2ptWalkInflation). Calibrated so the S2PT
+  // overhead percentages match Figure 2.
+  double tlb_walk_share;
+  // Fraction of runtime bound on DRAM bandwidth (CMA migration steals it).
+  double memory_intensity;
+  double base_score;  // Score with no interference, no S2PT.
+};
+
+// The 16 workloads of Figure 2 / Figure 16, in the paper's order.
+const std::vector<GeekbenchWorkload>& GeekbenchSuite();
+
+// Score with stage-2 translation enabled at 4 KB granularity (§2.4.2).
+double ScoreWithS2pt(const GeekbenchWorkload& w);
+
+// Score while a fraction `migration_duty` of the run overlaps CMA page
+// migration that consumes `bandwidth_share` of DRAM bandwidth (Figure 16).
+double ScoreUnderMigration(const GeekbenchWorkload& w, double migration_duty,
+                           double bandwidth_share);
+
+// S2PT overhead percentage (positive = slower with S2PT).
+double S2ptOverheadPercent(const GeekbenchWorkload& w);
+
+}  // namespace tzllm
+
+#endif  // SRC_CORE_GEEKBENCH_H_

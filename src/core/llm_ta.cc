@@ -1,0 +1,234 @@
+#include "src/core/llm_ta.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+#include "src/llm/cost_model.h"
+#include "src/llm/graph.h"
+
+namespace tzllm {
+
+LlmTa::LlmTa(SocPlatform* platform, TeeOs* tee_os, TzDriver* tz_driver)
+    : platform_(platform), tee_os_(tee_os), tz_driver_(tz_driver) {}
+
+Status LlmTa::Attach() {
+  auto ta = tee_os_->CreateTa("llm-ta");
+  if (!ta.ok()) {
+    return ta.status();
+  }
+  ta_ = *ta;
+  return OkStatus();
+}
+
+Status LlmTa::LoadModel(const std::string& model_id, SchedulePolicy policy) {
+  if (loaded_) {
+    return FailedPrecondition("a model is already loaded");
+  }
+  model_id_ = model_id;
+
+  // 1. Key: only the TEE can unwrap; only this TA is authorized.
+  auto key = tee_os_->GetModelKey(ta_, model_id);
+  if (!key.ok()) {
+    return key.status();
+  }
+  model_key_ = *key;
+
+  // 2. Metadata (decrypt + integrity check against flash tampering).
+  auto meta = Tzguf::ReadMeta(&platform_->flash(), model_id, model_key_);
+  if (!meta.ok()) {
+    return meta.status();
+  }
+  meta_ = std::make_unique<TzgufMeta>(*meta);
+  if (!meta_->materialized) {
+    return FailedPrecondition(
+        "LlmTa requires a materialized (functional) model");
+  }
+  spec_ = std::make_unique<ModelSpec>(ModelSpec::Create(meta_->config));
+
+  // 3. Scratch region for KV cache / activations (also hosts NPU job
+  //    execution contexts).
+  scratch_bytes_ =
+      AlignUp(spec_->KvCacheBytes(spec_->config().max_ctx) +
+                  spec_->ActivationBytes() + 64 * kKiB,
+              kPageSize);
+  auto scratch =
+      tee_os_->ExtendAllocated(ta_, SecureRegionId::kScratch, scratch_bytes_);
+  if (!scratch.ok()) {
+    return scratch.status();
+  }
+  TZLLM_RETURN_IF_ERROR(
+      tee_os_->ExtendProtected(ta_, SecureRegionId::kScratch, scratch_bytes_));
+
+  // 4. Pipelined restoration with real side effects.
+  TZLLM_RETURN_IF_ERROR(RestoreParameters(policy));
+
+  // 5. Framework state: tokenizer (checkpointable) + executor.
+  tokenizer_ = std::make_unique<Tokenizer>(spec_->config().vocab_size);
+  weights_ = std::make_unique<SecureWeightSource>(this);
+  kv_ = std::make_unique<KvCache>(*spec_);
+  executor_ = std::make_unique<TransformerExecutor>(spec_.get(),
+                                                    weights_.get());
+  loaded_ = true;
+  return OkStatus();
+}
+
+Status LlmTa::LoadExtent(uint64_t offset, uint64_t bytes) {
+  // The CA loads the encrypted extent from flash into the *unprotected*
+  // freshly allocated CMA memory: the flash controller's DMA is checked
+  // against the TZASC, so this only works because extend_protected has not
+  // yet covered the extent (paper §4.2 bounce-buffer elimination).
+  const PhysAddr dst = tee_os_->RegionBase(SecureRegionId::kParams) + offset;
+  TZLLM_RETURN_IF_ERROR(platform_->tzasc().CheckDmaAccess(
+      DeviceId::kFlashController, dst, bytes));
+  std::vector<uint8_t> buf(bytes);
+  TZLLM_RETURN_IF_ERROR(platform_->flash().PeekBytes(meta_->DataFile(), offset,
+                                                     bytes, buf.data()));
+  TZLLM_RETURN_IF_ERROR(platform_->dram().Write(dst, buf.data(), bytes));
+  // Now cover it with the TZASC before plaintext ever exists.
+  return tee_os_->ExtendProtected(ta_, SecureRegionId::kParams, bytes);
+}
+
+Status LlmTa::DecryptExtent(uint64_t offset, uint64_t bytes) {
+  const PhysAddr base = tee_os_->RegionBase(SecureRegionId::kParams);
+  std::vector<uint8_t> buf(bytes);
+  TZLLM_RETURN_IF_ERROR(platform_->dram().Read(base + offset, buf.data(),
+                                               bytes));
+  Tzguf::DecryptExtent(model_key_, model_id_, offset, buf.data(), bytes);
+  // Verify every tensor fully contained in this extent (Iago defense for
+  // model loading, §6).
+  for (const TensorSpec& t : spec_->tensors()) {
+    if (t.file_offset >= offset && t.file_offset + t.bytes <= offset + bytes) {
+      TZLLM_RETURN_IF_ERROR(
+          Tzguf::VerifyTensor(*meta_, t.index,
+                              buf.data() + (t.file_offset - offset),
+                              t.data_bytes));
+    }
+  }
+  return platform_->dram().Write(base + offset, buf.data(), bytes);
+}
+
+Status LlmTa::RestoreParameters(SchedulePolicy policy) {
+  const ComputeGraph graph = ComputeGraph::BuildPrefill(*spec_);
+  const CostModel cost(spec_.get());
+
+  RestorePlanOptions options;
+  options.npu_available = false;  // Functional compute runs on the CPU path.
+  options.decrypt = true;
+  options.preemptible = policy == SchedulePolicy::kPriorityPreemptive;
+  options.chunk_bytes = 256 * kKiB;  // Functional models are small.
+
+  RestoreHooks hooks;
+  hooks.plan_alloc = [this](uint64_t bytes) -> Result<SimDuration> {
+    auto extent =
+        tee_os_->ExtendAllocated(ta_, SecureRegionId::kParams, bytes);
+    if (!extent.ok()) {
+      return extent.status();
+    }
+    return extent->cpu_time;
+  };
+  hooks.load = [this](uint64_t offset, uint64_t bytes) {
+    return LoadExtent(offset, bytes);
+  };
+  hooks.decrypt = [this](uint64_t offset, uint64_t bytes) {
+    return DecryptExtent(offset, bytes);
+  };
+
+  auto plan = BuildRestorePlan(*spec_, graph, /*n_tokens=*/16, cost, options,
+                               hooks);
+  if (!plan.ok()) {
+    return plan.status();
+  }
+  PipelineConfig config;
+  config.policy = policy;
+  PipelineExecutor executor(&platform_->sim(), config);
+  restore_result_ = executor.RunToCompletion(std::move(plan->ops));
+  return restore_result_.status;
+}
+
+Result<const uint8_t*> LlmTa::SecureWeightSource::TensorData(
+    int tensor_index) {
+  auto it = cache_.find(tensor_index);
+  if (it != cache_.end()) {
+    return static_cast<const uint8_t*>(it->second.data());
+  }
+  LlmTa* ta = ta_;
+  const TensorSpec& spec = ta->spec_->tensor(tensor_index);
+  const PhysAddr addr =
+      ta->tee_os_->RegionBase(SecureRegionId::kParams) + spec.file_offset;
+  // A real TA reads through its secure VA mapping; the TEE OS enforces that
+  // the mapping exists. We model the same check explicitly.
+  if (!ta->tee_os_->TaCanAccess(ta->ta_, addr, spec.data_bytes)) {
+    return Status(ErrorCode::kPermissionDenied,
+                  "tensor not mapped into TA address space");
+  }
+  std::vector<uint8_t> buf(spec.data_bytes);
+  Status st = ta->platform_->dram().Read(addr, buf.data(), spec.data_bytes);
+  if (!st.ok()) {
+    return st;
+  }
+  auto [slot, inserted] = cache_.emplace(tensor_index, std::move(buf));
+  return static_cast<const uint8_t*>(slot->second.data());
+}
+
+Result<GenerationResult> LlmTa::Generate(const std::string& prompt,
+                                         int max_new_tokens,
+                                         const Sampler::Options& sampling) {
+  if (!loaded_) {
+    return Status(ErrorCode::kFailedPrecondition, "no model loaded");
+  }
+  GenerationResult result;
+  result.prompt_tokens = tokenizer_->Encode(prompt);
+  if (result.prompt_tokens.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "empty prompt");
+  }
+  kv_->Reset();
+  auto logits = executor_->Prefill(result.prompt_tokens, kv_.get());
+  if (!logits.ok()) {
+    return logits.status();
+  }
+  Sampler sampler(sampling);
+  TokenId token = sampler.Sample(*logits);
+  for (int i = 0; i < max_new_tokens; ++i) {
+    if (token == Tokenizer::kEos || kv_->seq_len() >= spec_->config().max_ctx) {
+      break;
+    }
+    result.output_tokens.push_back(token);
+    auto next = executor_->DecodeStep(token, kv_.get());
+    if (!next.ok()) {
+      return next.status();
+    }
+    token = sampler.Sample(*next);
+  }
+  result.text = tokenizer_->Decode(result.output_tokens);
+  return result;
+}
+
+Status LlmTa::Unload() {
+  if (!loaded_ && spec_ == nullptr) {
+    return OkStatus();
+  }
+  const SecureRegionStats params =
+      tee_os_->RegionStats(SecureRegionId::kParams);
+  if (params.protected_bytes > 0) {
+    auto scrub =
+        tee_os_->Shrink(ta_, SecureRegionId::kParams, params.protected_bytes);
+    if (!scrub.ok()) {
+      return scrub.status();
+    }
+  }
+  const SecureRegionStats scratch =
+      tee_os_->RegionStats(SecureRegionId::kScratch);
+  if (scratch.protected_bytes > 0) {
+    auto scrub = tee_os_->Shrink(ta_, SecureRegionId::kScratch,
+                                 scratch.protected_bytes);
+    if (!scrub.ok()) {
+      return scrub.status();
+    }
+  }
+  loaded_ = false;
+  executor_.reset();
+  weights_.reset();
+  return OkStatus();
+}
+
+}  // namespace tzllm

@@ -1,0 +1,95 @@
+// The LLM Trusted Application — the functional (real-bytes) end-to-end path:
+//
+//   unwrap model key (TEE key service) -> read + verify TZGUF metadata ->
+//   pipelined restoration with REAL side effects (CMA extents, DMA-checked
+//   flash loads into unprotected memory, extend_protected, in-place AES-CTR
+//   decryption, per-tensor SHA-256 verification) -> token generation with
+//   the transformer executor reading TZASC-protected secure memory.
+//
+// Everything an attacker-facing test wants to probe happens on real bytes
+// here; the paper-scale benchmarks use SystemRuntime instead (same control
+// flow, cost models only).
+
+#ifndef SRC_CORE_LLM_TA_H_
+#define SRC_CORE_LLM_TA_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/pipeline.h"
+#include "src/core/restore_plan.h"
+#include "src/hw/platform.h"
+#include "src/llm/engine.h"
+#include "src/llm/tzguf.h"
+#include "src/tee/npu_driver.h"
+#include "src/tee/tee_os.h"
+
+namespace tzllm {
+
+class LlmTa {
+ public:
+  LlmTa(SocPlatform* platform, TeeOs* tee_os, TzDriver* tz_driver);
+
+  TaId ta_id() const { return ta_; }
+
+  // Registers the TA with the TEE OS. Call once.
+  Status Attach();
+
+  // Cold start for `model_id` (must be provisioned on flash, key installed
+  // and authorized): restores all parameters through the pipeline.
+  Status LoadModel(const std::string& model_id,
+                   SchedulePolicy policy = SchedulePolicy::kPriorityPreemptive);
+
+  // Generates text with the protected weights.
+  Result<GenerationResult> Generate(const std::string& prompt,
+                                    int max_new_tokens,
+                                    const Sampler::Options& sampling = {});
+
+  // Releases all secure memory (scrubbed by the TEE OS).
+  Status Unload();
+
+  const PipelineResult& restore_result() const { return restore_result_; }
+  const ModelSpec& spec() const { return *spec_; }
+  TeeOs& tee_os() { return *tee_os_; }
+
+  // Weight source reading decrypted tensors out of the protected region
+  // through TA mappings. Exposed for tests.
+  class SecureWeightSource : public WeightSource {
+   public:
+    SecureWeightSource(LlmTa* ta) : ta_(ta) {}
+    Result<const uint8_t*> TensorData(int tensor_index) override;
+
+   private:
+    LlmTa* ta_;
+    std::unordered_map<int, std::vector<uint8_t>> cache_;
+  };
+
+ private:
+  Status RestoreParameters(SchedulePolicy policy);
+  Status LoadExtent(uint64_t offset, uint64_t bytes);
+  Status DecryptExtent(uint64_t offset, uint64_t bytes);
+
+  SocPlatform* platform_;
+  TeeOs* tee_os_;
+  TzDriver* tz_driver_;
+  TaId ta_ = -1;
+
+  std::string model_id_;
+  AesKey128 model_key_{};
+  std::unique_ptr<TzgufMeta> meta_;
+  std::unique_ptr<ModelSpec> spec_;
+  std::unique_ptr<Tokenizer> tokenizer_;
+  std::unique_ptr<SecureWeightSource> weights_;
+  std::unique_ptr<KvCache> kv_;
+  std::unique_ptr<TransformerExecutor> executor_;
+  PipelineResult restore_result_;
+  uint64_t scratch_bytes_ = 0;
+  bool loaded_ = false;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_CORE_LLM_TA_H_

@@ -1,0 +1,54 @@
+#include "src/core/nn_apps.h"
+
+namespace tzllm {
+
+NnAppProfile Yolov5Profile() {
+  return NnAppProfile{"YOLOv5", FromMillis(9.5)};
+}
+
+NnAppProfile MobileNetProfile() {
+  return NnAppProfile{"MobileNet", FromMillis(4.5)};
+}
+
+NnApp::NnApp(Simulator* sim, ReeNpuDriver* driver,
+             const NnAppProfile& profile)
+    : sim_(sim), driver_(driver), profile_(profile) {}
+
+void NnApp::Start() {
+  running_ = true;
+  completed_ = 0;
+  start_time_ = sim_->Now();
+  SubmitNext();
+}
+
+void NnApp::Stop() { running_ = false; }
+
+void NnApp::SubmitNext() {
+  if (!running_) {
+    return;
+  }
+  NpuJobDesc desc;
+  // Non-secure execution context in REE memory.
+  desc.cmd_addr = 768 * kMiB;
+  desc.cmd_size = 4 * kKiB;
+  desc.iopt_addr = 768 * kMiB + 4 * kKiB;
+  desc.iopt_size = 4 * kKiB;
+  desc.buffers = {{768 * kMiB + 8 * kKiB, 2 * kMiB}};
+  desc.duration = profile_.job_duration;
+  driver_->SubmitJob(desc, [this](Status st) {
+    if (st.ok()) {
+      ++completed_;
+    }
+    SubmitNext();
+  });
+}
+
+double NnApp::Throughput() const {
+  const SimDuration elapsed = sim_->Now() - start_time_;
+  if (elapsed == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(completed_) / ToSeconds(elapsed);
+}
+
+}  // namespace tzllm

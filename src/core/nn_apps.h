@@ -1,0 +1,55 @@
+// Mainstream NN applications used in the NPU time-sharing evaluation
+// (Figure 15): YOLOv5 object detection and MobileNet image classification.
+// Each app is a closed-loop client: one inference job outstanding at a
+// time, resubmitted on completion — the standard camera-pipeline pattern.
+
+#ifndef SRC_CORE_NN_APPS_H_
+#define SRC_CORE_NN_APPS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/common/units.h"
+#include "src/ree/npu_driver.h"
+#include "src/sim/simulator.h"
+
+namespace tzllm {
+
+struct NnAppProfile {
+  std::string name;
+  SimDuration job_duration;  // NPU execution time per inference.
+};
+
+// Per-inference NPU times (RK3588-class NPU): exclusive throughput lands
+// near the paper's ~100 ops/s (YOLOv5) and ~200 ops/s (MobileNet).
+NnAppProfile Yolov5Profile();
+NnAppProfile MobileNetProfile();
+
+class NnApp {
+ public:
+  NnApp(Simulator* sim, ReeNpuDriver* driver, const NnAppProfile& profile);
+
+  // Starts the closed loop; jobs keep resubmitting until Stop().
+  void Start();
+  void Stop();
+
+  uint64_t completed() const { return completed_; }
+  // Completions per second over the window since Start().
+  double Throughput() const;
+  const NnAppProfile& profile() const { return profile_; }
+
+ private:
+  void SubmitNext();
+
+  Simulator* sim_;
+  ReeNpuDriver* driver_;
+  NnAppProfile profile_;
+  bool running_ = false;
+  uint64_t completed_ = 0;
+  SimTime start_time_ = 0;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_CORE_NN_APPS_H_

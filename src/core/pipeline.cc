@@ -1,0 +1,329 @@
+#include "src/core/pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tzllm {
+
+const char* PipelineOpKindName(PipelineOpKind kind) {
+  switch (kind) {
+    case PipelineOpKind::kAlloc:
+      return "alloc";
+    case PipelineOpKind::kLoad:
+      return "load";
+    case PipelineOpKind::kDecrypt:
+      return "decrypt";
+    case PipelineOpKind::kComputeCpu:
+      return "compute-cpu";
+    case PipelineOpKind::kComputeNpu:
+      return "compute-npu";
+  }
+  return "?";
+}
+
+SimDuration PipelineResult::LowerBound(int cpu_lanes, int alloc_lanes) const {
+  return std::max({IoPath(), CpuPath(cpu_lanes, alloc_lanes), ComputePath()});
+}
+
+PipelineExecutor::PipelineExecutor(Simulator* sim,
+                                   const PipelineConfig& config)
+    : sim_(sim), config_(config) {}
+
+PipelineResult PipelineExecutor::RunToCompletion(std::vector<PipelineOp> ops) {
+  PipelineResult out;
+  bool finished = false;
+  Start(std::move(ops), [&](const PipelineResult& r) {
+    out = r;
+    finished = true;
+  });
+  sim_->RunUntilIdleOr([&] { return finished; });
+  if (!finished) {
+    out.status = Internal("pipeline deadlocked: simulator drained");
+  }
+  return out;
+}
+
+void PipelineExecutor::Start(std::vector<PipelineOp> ops,
+                             std::function<void(const PipelineResult&)> done) {
+  assert(!running_ && "executor already running");
+  ops_ = std::move(ops);
+  done_ = std::move(done);
+  state_.assign(ops_.size(), OpState{});
+  ready_cpu_.clear();
+  ready_io_.clear();
+  ready_npu_.clear();
+  cpu_busy_ = 0;
+  alloc_running_ = 0;
+  io_busy_ = false;
+  npu_busy_ = false;
+  aborted_ = false;
+  running_ = true;
+  start_time_ = sim_->Now();
+  result_ = PipelineResult{};
+  remaining_ops_ = static_cast<int>(ops_.size());
+
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    PipelineOp& op = ops_[i];
+    op.id = static_cast<int>(i);
+    OpState& st = state_[i];
+    st.chunks_left = std::max<uint32_t>(op.chunks, 1);
+    st.deps_left = static_cast<int>(op.deps.size());
+    switch (op.kind) {
+      case PipelineOpKind::kAlloc:
+        result_.sum_alloc += op.duration;
+        break;
+      case PipelineOpKind::kLoad:
+        result_.sum_load += op.duration;
+        break;
+      case PipelineOpKind::kDecrypt:
+        result_.sum_decrypt += op.duration;
+        break;
+      case PipelineOpKind::kComputeCpu:
+        result_.sum_cpu_compute += op.duration;
+        break;
+      case PipelineOpKind::kComputeNpu:
+        result_.sum_npu_compute += op.duration;
+        break;
+    }
+  }
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (state_[i].deps_left == 0) {
+      switch (ops_[i].kind) {
+        case PipelineOpKind::kLoad:
+          ready_io_.insert(static_cast<int>(i));
+          break;
+        case PipelineOpKind::kComputeNpu:
+          ready_npu_.insert(static_cast<int>(i));
+          break;
+        default:
+          ready_cpu_.insert(static_cast<int>(i));
+          break;
+      }
+    }
+  }
+  if (ops_.empty()) {
+    Finish();
+    return;
+  }
+  TryDispatch();
+}
+
+bool PipelineExecutor::IsReady(int op_id) const {
+  const OpState& st = state_[op_id];
+  return st.deps_left == 0 && !st.done && !st.dispatched;
+}
+
+int PipelineExecutor::PickCpuOp() const {
+  int best = -1;
+  auto better = [&](int a, int b) {
+    // True if a should run before b under the active policy.
+    const PipelineOp& oa = ops_[a];
+    const PipelineOp& ob = ops_[b];
+    if (config_.policy == SchedulePolicy::kFifo) {
+      return a < b;
+    }
+    // Priority policies: CPU computation first, then the restoration op of
+    // the earliest computation operator.
+    const bool ca = oa.kind == PipelineOpKind::kComputeCpu;
+    const bool cb = ob.kind == PipelineOpKind::kComputeCpu;
+    if (ca != cb) {
+      return ca;
+    }
+    if (oa.comp_index != ob.comp_index) {
+      return oa.comp_index < ob.comp_index;
+    }
+    return a < b;
+  };
+  for (int id : ready_cpu_) {
+    if (ops_[id].kind == PipelineOpKind::kAlloc &&
+        alloc_running_ >= config_.max_alloc_concurrency) {
+      continue;  // Allocation concurrency cap (migration scaling limit).
+    }
+    if (best == -1 || better(id, best)) {
+      best = id;
+    }
+  }
+  return best;
+}
+
+void PipelineExecutor::TryDispatch() {
+  if (aborted_) {
+    return;
+  }
+  DispatchIo();
+  DispatchNpu();
+  DispatchCpu();
+}
+
+void PipelineExecutor::DispatchCpu() {
+  while (cpu_busy_ < config_.cpu_lanes) {
+    const int id = PickCpuOp();
+    if (id < 0) {
+      return;
+    }
+    ready_cpu_.erase(id);
+    state_[id].dispatched = true;
+    ++cpu_busy_;
+    if (ops_[id].kind == PipelineOpKind::kAlloc) {
+      ++alloc_running_;
+    }
+    RunChunk(id, "CPU", cpu_busy_ - 1);
+  }
+}
+
+void PipelineExecutor::DispatchIo() {
+  if (io_busy_ || ready_io_.empty()) {
+    return;
+  }
+  // Loads are created in topological order, so the lowest id is the
+  // earliest computation operator's load (I/O scheduled in topo order §4.1).
+  const int id = *ready_io_.begin();
+  ready_io_.erase(ready_io_.begin());
+  state_[id].dispatched = true;
+  io_busy_ = true;
+  RunChunk(id, "IO", 0);
+}
+
+void PipelineExecutor::DispatchNpu() {
+  if (npu_busy_ || ready_npu_.empty()) {
+    return;
+  }
+  const int id = *ready_npu_.begin();
+  ready_npu_.erase(ready_npu_.begin());
+  state_[id].dispatched = true;
+  npu_busy_ = true;
+  const SimTime begin = sim_->Now();
+  const SimDuration duration = ops_[id].duration;
+  auto complete = [this, id, begin, duration](Status st) {
+    npu_busy_ = false;
+    if (aborted_) {
+      return;
+    }
+    if (config_.record_trace) {
+      result_.trace.Add("NPU", ops_[id].label.empty()
+                                   ? PipelineOpKindName(ops_[id].kind)
+                                   : ops_[id].label,
+                        begin - start_time_, sim_->Now() - start_time_);
+    }
+    if (!st.ok()) {
+      Abort(std::move(st));
+      return;
+    }
+    state_[id].chunks_left = 0;
+    OnOpComplete(id);
+  };
+  if (npu_submit_) {
+    npu_submit_(duration, complete);
+  } else {
+    sim_->Schedule(duration, [complete] { complete(OkStatus()); });
+  }
+}
+
+void PipelineExecutor::RunChunk(int op_id, const std::string& lane_name,
+                                int lane_slot) {
+  PipelineOp& op = ops_[op_id];
+  OpState& st = state_[op_id];
+  const uint32_t total = std::max<uint32_t>(op.chunks, 1);
+  // Last chunk absorbs the rounding remainder.
+  const SimDuration base = op.duration / total;
+  const SimDuration dur = st.chunks_left == 1
+                              ? op.duration - base * (total - 1)
+                              : base;
+  const SimTime begin = sim_->Now();
+  sim_->Schedule(dur, [this, op_id, lane_name, lane_slot, begin] {
+    if (aborted_) {
+      return;
+    }
+    PipelineOp& op = ops_[op_id];
+    OpState& st = state_[op_id];
+    if (config_.record_trace) {
+      result_.trace.Add(
+          lane_name + (lane_name == "CPU" ? std::to_string(lane_slot) : ""),
+          op.label.empty() ? PipelineOpKindName(op.kind) : op.label,
+          begin - start_time_, sim_->Now() - start_time_);
+    }
+    // Release the resource.
+    if (op.kind == PipelineOpKind::kLoad) {
+      io_busy_ = false;
+    } else {
+      --cpu_busy_;
+      if (op.kind == PipelineOpKind::kAlloc) {
+        --alloc_running_;
+      }
+    }
+    --st.chunks_left;
+    st.dispatched = false;
+    if (st.chunks_left == 0) {
+      OnOpComplete(op_id);
+    } else {
+      // Preemption point: the op re-enters the ready set and competes with
+      // whatever became ready meanwhile (Figure 5d).
+      ready_cpu_.insert(op_id);
+      TryDispatch();
+    }
+  });
+}
+
+void PipelineExecutor::OnOpComplete(int op_id) {
+  PipelineOp& op = ops_[op_id];
+  OpState& st = state_[op_id];
+  st.done = true;
+  if (op.on_complete) {
+    Status hook = op.on_complete();
+    if (!hook.ok()) {
+      Abort(std::move(hook));
+      return;
+    }
+  }
+  --remaining_ops_;
+  // Wake dependents. Op counts are small (<~2k); a linear scan is fine and
+  // keeps the structure simple.
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (state_[i].done || state_[i].deps_left == 0) {
+      continue;
+    }
+    for (int dep : ops_[i].deps) {
+      if (dep == op_id) {
+        if (--state_[i].deps_left == 0) {
+          switch (ops_[i].kind) {
+            case PipelineOpKind::kLoad:
+              ready_io_.insert(static_cast<int>(i));
+              break;
+            case PipelineOpKind::kComputeNpu:
+              ready_npu_.insert(static_cast<int>(i));
+              break;
+            default:
+              ready_cpu_.insert(static_cast<int>(i));
+              break;
+          }
+        }
+      }
+    }
+  }
+  if (remaining_ops_ == 0) {
+    Finish();
+    return;
+  }
+  TryDispatch();
+}
+
+void PipelineExecutor::Abort(Status status) {
+  if (aborted_) {
+    return;
+  }
+  aborted_ = true;
+  result_.status = std::move(status);
+  Finish();
+}
+
+void PipelineExecutor::Finish() {
+  running_ = false;
+  result_.makespan = sim_->Now() - start_time_;
+  if (done_) {
+    auto done = std::move(done_);
+    done_ = nullptr;
+    done(result_);
+  }
+}
+
+}  // namespace tzllm

@@ -1,0 +1,173 @@
+// Pipelined parameter restoration executor (paper §4.1, Figures 5 and 6).
+//
+// The restoration-extended computation graph is a set of operators over
+// three hardware resources:
+//   CPU lanes (4xA76): allocation, decryption, CPU computation;
+//   NPU:               matmul computation (submitted through a pluggable
+//                      hook so the real co-driver path provides the device);
+//   IO engine:         parameter loading from flash.
+//
+// Scheduling policies (ablated in Figure 13):
+//   kNoPipeline          — restoration fully precedes computation (strawman
+//                          ordering; builder inserts a barrier);
+//   kFifo                — ready operators run in creation order;
+//   kPriority            — the paper's greedy rule: a ready CPU computation
+//                          operator wins; otherwise the restoration operator
+//                          belonging to the earliest computation operator;
+//   kPriorityPreemptive  — kPriority + allocation/decryption split into
+//                          micro-operators with preemption points (§4.1).
+
+#ifndef SRC_CORE_PIPELINE_H_
+#define SRC_CORE_PIPELINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+
+namespace tzllm {
+
+enum class PipelineOpKind : uint8_t {
+  kAlloc,
+  kLoad,
+  kDecrypt,
+  kComputeCpu,
+  kComputeNpu,
+};
+
+const char* PipelineOpKindName(PipelineOpKind kind);
+
+enum class SchedulePolicy : uint8_t {
+  kNoPipeline,
+  kFifo,
+  kPriority,
+  kPriorityPreemptive,
+};
+
+struct PipelineOp {
+  int id = 0;
+  PipelineOpKind kind = PipelineOpKind::kComputeCpu;
+  // Index of the computation operator this (restoration) operator belongs
+  // to; computation operators carry their own index. Drives priority.
+  int comp_index = 0;
+  std::string label;
+  SimDuration duration = 0;
+  // Micro-operator count (>1 only for preemptible alloc/decrypt ops).
+  uint32_t chunks = 1;
+  std::vector<int> deps;
+  uint64_t bytes = 0;
+  // Side effect executed at completion (load/decrypt hooks in functional
+  // mode). A failure aborts the pipeline.
+  std::function<Status()> on_complete;
+};
+
+struct PipelineConfig {
+  int cpu_lanes = 4;
+  SchedulePolicy policy = SchedulePolicy::kPriorityPreemptive;
+  // Concurrent allocation micro-operators are capped: CMA migration scales
+  // to ~2x with multithreading (§2.4.2: 1.9 -> 3.8 GB/s), so at most two
+  // lanes migrate at once.
+  int max_alloc_concurrency = 2;
+  bool record_trace = false;
+};
+
+struct PipelineResult {
+  Status status;
+  SimDuration makespan = 0;
+
+  // Aggregate operator demand, for critical-path analysis (Figure 12).
+  SimDuration sum_alloc = 0;
+  SimDuration sum_load = 0;
+  SimDuration sum_decrypt = 0;
+  SimDuration sum_cpu_compute = 0;
+  SimDuration sum_npu_compute = 0;
+
+  // The three potential critical paths of §4.1 and their max (the
+  // theoretical TTFT lower bound for any scheduling policy).
+  SimDuration IoPath() const { return sum_load; }
+  SimDuration CpuPath(int cpu_lanes, int alloc_lanes) const {
+    return sum_cpu_compute + sum_decrypt / cpu_lanes +
+           sum_alloc / alloc_lanes;
+  }
+  SimDuration ComputePath() const {
+    return sum_cpu_compute + sum_npu_compute;
+  }
+  SimDuration LowerBound(int cpu_lanes, int alloc_lanes) const;
+
+  TraceRecorder trace;
+};
+
+// NPU submission hook: (duration, completion callback). The TZ-LLM runtime
+// plugs the TEE data-plane driver here; REE baselines plug the REE driver;
+// the default runs a private single-server NPU.
+using NpuSubmitFn =
+    std::function<void(SimDuration, std::function<void(Status)>)>;
+
+class PipelineExecutor {
+ public:
+  PipelineExecutor(Simulator* sim, const PipelineConfig& config);
+
+  void set_npu_submit(NpuSubmitFn fn) { npu_submit_ = std::move(fn); }
+
+  // Starts executing `ops` on the simulator; `done` fires when every op has
+  // completed or the pipeline aborted. Non-blocking: co-simulates with any
+  // other event sources on the same Simulator.
+  void Start(std::vector<PipelineOp> ops,
+             std::function<void(const PipelineResult&)> done);
+
+  // Convenience: Start + run the simulator until the pipeline finishes.
+  PipelineResult RunToCompletion(std::vector<PipelineOp> ops);
+
+  bool running() const { return running_; }
+
+ private:
+  struct OpState {
+    uint32_t chunks_left = 0;
+    int deps_left = 0;
+    bool dispatched = false;  // A chunk is currently on a resource.
+    bool done = false;
+  };
+
+  void TryDispatch();
+  void DispatchCpu();
+  void DispatchIo();
+  void DispatchNpu();
+  void RunChunk(int op_id, const std::string& lane_name, int lane_slot);
+  void OnOpComplete(int op_id);
+  void Abort(Status status);
+  void Finish();
+
+  bool IsReady(int op_id) const;
+  // Picks the best ready CPU op under the policy; -1 if none eligible.
+  int PickCpuOp() const;
+
+  Simulator* sim_;
+  PipelineConfig config_;
+  NpuSubmitFn npu_submit_;
+
+  std::vector<PipelineOp> ops_;
+  std::vector<OpState> state_;
+  std::set<int> ready_cpu_;
+  std::set<int> ready_io_;
+  std::set<int> ready_npu_;
+  int cpu_busy_ = 0;
+  int alloc_running_ = 0;
+  bool io_busy_ = false;
+  bool npu_busy_ = false;  // Only used by the default internal NPU.
+  int remaining_ops_ = 0;
+  bool running_ = false;
+  bool aborted_ = false;
+  SimTime start_time_ = 0;
+  PipelineResult result_;
+  std::function<void(const PipelineResult&)> done_;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_CORE_PIPELINE_H_

@@ -1,0 +1,166 @@
+#include "src/core/restore_plan.h"
+
+#include <algorithm>
+
+namespace tzllm {
+
+Result<RestorePlan> BuildRestorePlan(const ModelSpec& spec,
+                                     const ComputeGraph& graph, int n_tokens,
+                                     const CostModel& cost,
+                                     const RestorePlanOptions& options,
+                                     const RestoreHooks& hooks) {
+  RestorePlan plan;
+  auto& ops = plan.ops;
+  ops.reserve(graph.size() * 4);
+
+  auto chunks_for = [&](uint64_t bytes) -> uint32_t {
+    if (!options.preemptible || options.chunk_bytes == 0) {
+      return 1;
+    }
+    return static_cast<uint32_t>(
+        std::max<uint64_t>(1, (bytes + options.chunk_bytes - 1) /
+                                  options.chunk_bytes));
+  };
+
+  int prev_alloc = -1;
+  int prev_compute = -1;
+  int last_restore = -1;
+  uint64_t weight_cursor = 0;  // Cumulative weight bytes in topo order.
+  std::vector<int> alloc_ids, load_ids, decrypt_ids;
+
+  for (const OpNode& node : graph.nodes()) {
+    int gate = -1;  // Restoration op the compute op must wait for.
+    const uint64_t extent_bytes = node.weight_bytes;
+    const bool has_weights = extent_bytes > 0;
+    const bool cached =
+        has_weights && weight_cursor + extent_bytes <= options.cached_bytes;
+    if (has_weights && cached) {
+      plan.cached_hit_bytes += extent_bytes;
+    }
+    const uint64_t extent_offset =
+        has_weights ? spec.tensor(node.tensor_indices.front()).file_offset : 0;
+
+    if (has_weights && !cached && options.restore) {
+      plan.restored_bytes += extent_bytes;
+      ++plan.restored_extents;
+
+      // --- Alloc ---
+      if (!hooks.plan_alloc) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "restore requires an allocation planner");
+      }
+      auto alloc_time = hooks.plan_alloc(extent_bytes);
+      if (!alloc_time.ok()) {
+        return alloc_time.status();
+      }
+      PipelineOp alloc;
+      alloc.kind = PipelineOpKind::kAlloc;
+      alloc.comp_index = node.id;
+      alloc.label = "A" + std::to_string(node.id);
+      alloc.duration = *alloc_time;
+      alloc.chunks = chunks_for(extent_bytes);
+      alloc.bytes = extent_bytes;
+      if (prev_alloc >= 0) {
+        alloc.deps.push_back(prev_alloc);
+      }
+      ops.push_back(std::move(alloc));
+      const int alloc_id = static_cast<int>(ops.size()) - 1;
+      prev_alloc = alloc_id;
+      alloc_ids.push_back(alloc_id);
+
+      // --- Load ---
+      PipelineOp load;
+      load.kind = PipelineOpKind::kLoad;
+      load.comp_index = node.id;
+      load.label = "L" + std::to_string(node.id);
+      load.duration = CostModel::LoadTime(extent_bytes);
+      load.bytes = extent_bytes;
+      load.deps.push_back(alloc_id);
+      if (hooks.load) {
+        load.on_complete = [fn = hooks.load, extent_offset, extent_bytes] {
+          return fn(extent_offset, extent_bytes);
+        };
+      }
+      ops.push_back(std::move(load));
+      const int load_id = static_cast<int>(ops.size()) - 1;
+      gate = load_id;
+      load_ids.push_back(load_id);
+
+      // --- Decrypt ---
+      if (options.decrypt) {
+        PipelineOp dec;
+        dec.kind = PipelineOpKind::kDecrypt;
+        dec.comp_index = node.id;
+        dec.label = "D" + std::to_string(node.id);
+        dec.duration = CostModel::DecryptTime(extent_bytes);
+        dec.chunks = chunks_for(extent_bytes);
+        dec.bytes = extent_bytes;
+        dec.deps.push_back(load_id);
+        if (hooks.decrypt) {
+          dec.on_complete = [fn = hooks.decrypt, extent_offset,
+                             extent_bytes] {
+            return fn(extent_offset, extent_bytes);
+          };
+        }
+        ops.push_back(std::move(dec));
+        gate = static_cast<int>(ops.size()) - 1;
+        decrypt_ids.push_back(gate);
+      }
+      last_restore = gate;
+    }
+    if (has_weights) {
+      weight_cursor += extent_bytes;
+    }
+
+    // --- Computation operator ---
+    PipelineOp comp;
+    const Backend backend = options.npu_available && node.backend == Backend::kNpu
+                                ? Backend::kNpu
+                                : Backend::kCpu;
+    comp.kind = backend == Backend::kNpu ? PipelineOpKind::kComputeNpu
+                                         : PipelineOpKind::kComputeCpu;
+    comp.comp_index = node.id;
+    comp.label = node.DebugName();
+    comp.duration = cost.PrefillOpTime(node, n_tokens, backend);
+    if (prev_compute >= 0) {
+      comp.deps.push_back(prev_compute);
+    }
+    if (gate >= 0) {
+      comp.deps.push_back(gate);
+    }
+    ops.push_back(std::move(comp));
+    prev_compute = static_cast<int>(ops.size()) - 1;
+  }
+
+  // Strawman ordering (Figure 1): restoration happens in strictly
+  // sequential phases — allocate everything, then load everything, then
+  // decrypt everything — and computation starts only afterwards.
+  if (!options.pipelined && last_restore >= 0) {
+    auto add_dep = [&](int id, int dep) {
+      auto& deps = ops[id].deps;
+      if (std::find(deps.begin(), deps.end(), dep) == deps.end()) {
+        deps.push_back(dep);
+      }
+    };
+    if (!alloc_ids.empty()) {
+      for (int id : load_ids) {
+        add_dep(id, alloc_ids.back());
+      }
+    }
+    if (!load_ids.empty()) {
+      for (int id : decrypt_ids) {
+        add_dep(id, load_ids.back());
+      }
+    }
+    for (PipelineOp& op : ops) {
+      if (op.kind == PipelineOpKind::kComputeCpu ||
+          op.kind == PipelineOpKind::kComputeNpu) {
+        op.deps.push_back(last_restore);
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace tzllm

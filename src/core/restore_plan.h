@@ -1,0 +1,65 @@
+// Builds the restoration-extended operator list (paper Figure 6) that the
+// PipelineExecutor runs: for every weight-consuming computation operator of
+// the prefill graph, an Alloc -> Load -> Decrypt chain is prepended, with
+//   * alloc operators serialized (contiguity: each extent starts where the
+//     previous one ended),
+//   * load operators ordered by the single IO engine in topological order,
+//   * computation operators chained and gated on their decrypt.
+//
+// Partial parameter caching (§4.1) removes the chains of the first
+// `cached_bytes` of parameters; REE baselines disable decryption (and, for
+// REE-Memory, restoration entirely).
+
+#ifndef SRC_CORE_RESTORE_PLAN_H_
+#define SRC_CORE_RESTORE_PLAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/pipeline.h"
+#include "src/llm/cost_model.h"
+#include "src/llm/graph.h"
+#include "src/llm/model_spec.h"
+
+namespace tzllm {
+
+struct RestoreHooks {
+  // Performs the actual (bookkeeping) allocation of the next `bytes` of the
+  // parameter region and returns the single-threaded CPU time it costs.
+  // Called at plan-build time, in extent order.
+  std::function<Result<SimDuration>(uint64_t bytes)> plan_alloc;
+  // Functional-mode side effects, run at operator completion.
+  std::function<Status(uint64_t offset, uint64_t bytes)> load;
+  std::function<Status(uint64_t offset, uint64_t bytes)> decrypt;
+};
+
+struct RestorePlanOptions {
+  bool npu_available = true;
+  bool decrypt = true;         // false for REE baselines (plaintext flash).
+  bool restore = true;         // false for REE-Memory (already resident).
+  bool pipelined = true;       // false inserts the strawman barrier.
+  bool preemptible = true;     // Chunk alloc/decrypt into micro-operators.
+  uint64_t cached_bytes = 0;   // Prefix of parameters already in memory.
+  uint64_t chunk_bytes = 32 * kMiB;
+};
+
+struct RestorePlan {
+  std::vector<PipelineOp> ops;
+  uint64_t restored_bytes = 0;  // Parameters that go through restoration.
+  uint64_t cached_hit_bytes = 0;
+  int restored_extents = 0;
+};
+
+// Builds the plan for a prefill of `n_tokens`. `hooks.plan_alloc` is invoked
+// here (mutating the allocator) for every restored extent.
+Result<RestorePlan> BuildRestorePlan(const ModelSpec& spec,
+                                     const ComputeGraph& graph, int n_tokens,
+                                     const CostModel& cost,
+                                     const RestorePlanOptions& options,
+                                     const RestoreHooks& hooks);
+
+}  // namespace tzllm
+
+#endif  // SRC_CORE_RESTORE_PLAN_H_

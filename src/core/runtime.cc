@@ -1,0 +1,381 @@
+#include "src/core/runtime.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+#include "src/llm/tzguf.h"
+#include "src/tee/checkpoint.h"
+
+namespace tzllm {
+
+const char* SystemKindName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kTzLlm:
+      return "TZ-LLM";
+    case SystemKind::kStrawman:
+      return "Strawman";
+    case SystemKind::kReeFlash:
+      return "REE-LLM-Flash";
+    case SystemKind::kReeMemory:
+      return "REE-LLM-Memory";
+  }
+  return "?";
+}
+
+SystemRuntime::SystemRuntime(SocPlatform* platform,
+                             const RuntimeConfig& config)
+    : platform_(platform),
+      config_(config),
+      spec_(ModelSpec::Create(config.model)),
+      prefill_graph_(ComputeGraph::BuildPrefill(spec_)),
+      decode_graph_(ComputeGraph::BuildDecode(spec_)),
+      cost_model_(&spec_) {
+  if (config_.system == SystemKind::kStrawman) {
+    config_.use_npu = false;
+    config_.checkpoint = false;
+    config_.pipelined = false;
+    config_.policy = SchedulePolicy::kFifo;
+  }
+}
+
+Status SystemRuntime::Setup() {
+  if (setup_done_) {
+    return FailedPrecondition("Setup already ran");
+  }
+  // --- Memory layout: CMA regions sized for this model. ---
+  ReeMemoryLayout layout;
+  layout.dram_bytes = platform_->config().dram_bytes;
+  layout.kernel_bytes = kReeBaseUsage;
+  layout.cma_bytes = AlignUp(spec_.total_param_bytes() + 128 * kMiB,
+                             2 * kMiB);
+  const uint64_t scratch_need =
+      spec_.KvCacheBytes(spec_.config().max_ctx) + spec_.ActivationBytes();
+  layout.cma2_bytes = AlignUp(scratch_need + 64 * kMiB, 2 * kMiB);
+  memory_ = std::make_unique<ReeMemoryManager>(layout, &platform_->dram());
+  stress_ = std::make_unique<StressWorkload>(memory_.get(),
+                                             &platform_->dram());
+
+  // --- Drivers and TEE stack. ---
+  tz_driver_ = std::make_unique<TzDriver>(platform_, memory_.get());
+  ree_npu_ = std::make_unique<ReeNpuDriver>(platform_);
+  ree_npu_->Init();
+  tee_os_ = std::make_unique<TeeOs>(platform_, tz_driver_.get(),
+                                    config_.root_key_seed);
+  TZLLM_RETURN_IF_ERROR(tee_os_->Boot());
+  tee_npu_ = std::make_unique<TeeNpuDriver>(platform_, tee_os_.get());
+  tee_npu_->Init();
+  auto ta = tee_os_->CreateTa("llm-ta");
+  if (!ta.ok()) {
+    return ta.status();
+  }
+  ta_ = *ta;
+
+  // --- Provision the (synthetic) encrypted model on flash. ---
+  auto meta = Tzguf::Provision(&platform_->flash(), tee_os_->keys(),
+                               spec_.config().name, spec_,
+                               /*weight_seed=*/0xC0FFEE,
+                               /*materialize=*/false);
+  if (!meta.ok()) {
+    return meta.status();
+  }
+  auto wrapped = Tzguf::ReadWrappedKey(&platform_->flash(),
+                                       spec_.config().name);
+  if (!wrapped.ok()) {
+    return wrapped.status();
+  }
+  tee_os_->InstallWrappedKey(*wrapped);
+  TZLLM_RETURN_IF_ERROR(tee_os_->AuthorizeKeyAccess(ta_, spec_.config().name));
+
+  if (config_.system == SystemKind::kReeMemory) {
+    // Preload: parameters resident in REE memory before timing starts.
+    SimDuration ignored = 0;
+    TZLLM_RETURN_IF_ERROR(memory_->AllocMovablePages(
+        BytesToPages(spec_.total_param_bytes()), &ree_param_pages_,
+        &ignored));
+  }
+  setup_done_ = true;
+  return OkStatus();
+}
+
+void SystemRuntime::AdvanceSim(SimDuration d) {
+  platform_->sim().RunUntil(platform_->sim().Now() + d);
+}
+
+Result<SimDuration> SystemRuntime::PlanAllocTee(uint64_t bytes) {
+  auto extent = tee_os_->ExtendAllocated(ta_, SecureRegionId::kParams, bytes);
+  if (!extent.ok()) {
+    return extent.status();
+  }
+  return extent->cpu_time;
+}
+
+Result<SimDuration> SystemRuntime::PlanAllocBuddy(uint64_t bytes) {
+  SimDuration cpu_time = 0;
+  TZLLM_RETURN_IF_ERROR(memory_->AllocMovablePages(
+      BytesToPages(bytes), &ree_param_pages_, &cpu_time));
+  return cpu_time;
+}
+
+NpuSubmitFn SystemRuntime::MakeNpuSubmit() {
+  if (IsTee()) {
+    return [this](SimDuration duration, std::function<void(Status)> done) {
+      // Execution context lives in the protected scratch region.
+      const PhysAddr scratch = tee_os_->RegionBase(SecureRegionId::kScratch);
+      NpuJobDesc desc;
+      desc.cmd_addr = scratch;
+      desc.cmd_size = 4 * kKiB;
+      desc.iopt_addr = scratch + 4 * kKiB;
+      desc.iopt_size = 4 * kKiB;
+      desc.buffers = {{scratch + 8 * kKiB, 64 * kKiB}};
+      desc.duration = duration;
+      auto submitted = tee_npu_->SubmitJob(ta_, desc, std::move(done));
+      if (!submitted.ok()) {
+        TZLLM_LOG_ERROR("runtime", "secure NPU submit failed: %s",
+                        submitted.status().ToString().c_str());
+      }
+    };
+  }
+  return [this](SimDuration duration, std::function<void(Status)> done) {
+    NpuJobDesc desc;
+    // Non-secure execution context in REE memory (outside CMA regions).
+    desc.cmd_addr = 512 * kMiB;
+    desc.cmd_size = 4 * kKiB;
+    desc.iopt_addr = 512 * kMiB + 4 * kKiB;
+    desc.iopt_size = 4 * kKiB;
+    desc.buffers = {{512 * kMiB + 8 * kKiB, 64 * kKiB}};
+    desc.duration = duration;
+    ree_npu_->SubmitJob(desc, std::move(done));
+  };
+}
+
+InferenceReport SystemRuntime::RunInference(const InferenceRequest& request) {
+  InferenceReport report;
+  if (!setup_done_) {
+    report.status = FailedPrecondition("call Setup first");
+    return report;
+  }
+  Simulator& sim = platform_->sim();
+  SecureMonitor& monitor = platform_->monitor();
+  const uint64_t smc_before = monitor.round_trips();
+  const uint64_t jobs_before = tee_npu_->secure_jobs_completed();
+  const SimDuration switch_before =
+      tee_npu_->total_config_time() + tee_npu_->total_smc_time();
+  const SimTime t0 = sim.Now();
+
+  // --- Phase 1: framework initialization. ---
+  if (IsTee()) {
+    report.init_time = config_.checkpoint ? CheckpointService::RestoreTime()
+                                          : CheckpointService::FullInitTime();
+  } else {
+    // Warm llama.cpp process in the REE: boot only.
+    report.init_time = kLlamaBootTime;
+  }
+  AdvanceSim(report.init_time);
+
+  // --- Phase 2: KV cache + activation allocation (scratch region). ---
+  const int total_tokens =
+      std::min(request.prompt_tokens + request.decode_tokens + 8,
+               spec_.config().max_ctx);
+  const uint64_t scratch_bytes = AlignUp(
+      spec_.KvCacheBytes(total_tokens) + spec_.ActivationBytes(), kPageSize);
+  if (!scratch_mapped_) {
+    SimDuration scratch_time = 0;
+    if (IsTee()) {
+      auto extent =
+          tee_os_->ExtendAllocated(ta_, SecureRegionId::kScratch,
+                                   scratch_bytes);
+      if (!extent.ok()) {
+        report.status = extent.status();
+        return report;
+      }
+      Status prot = tee_os_->ExtendProtected(ta_, SecureRegionId::kScratch,
+                                             scratch_bytes);
+      if (!prot.ok()) {
+        report.status = prot;
+        return report;
+      }
+      scratch_time = extent->cpu_time + 2 * kTzascConfigTime;
+    } else {
+      auto buddy_time = PlanAllocBuddy(scratch_bytes);
+      if (!buddy_time.ok()) {
+        report.status = buddy_time.status();
+        return report;
+      }
+      scratch_time = *buddy_time;
+    }
+    report.scratch_alloc_time = scratch_time;
+    AdvanceSim(scratch_time);
+    scratch_mapped_ = true;
+    scratch_bytes_ = scratch_bytes;
+  }
+
+  // --- Phase 3: prefill with pipelined restoration. ---
+  RestorePlanOptions plan_options;
+  plan_options.npu_available = UsesNpu();
+  plan_options.decrypt = IsTee();
+  plan_options.restore = config_.system != SystemKind::kReeMemory;
+  plan_options.pipelined = config_.pipelined;
+  plan_options.preemptible =
+      config_.policy == SchedulePolicy::kPriorityPreemptive;
+  plan_options.cached_bytes = cached_bytes_;
+
+  RestoreHooks hooks;
+  if (plan_options.restore) {
+    if (IsTee()) {
+      hooks.plan_alloc = [this](uint64_t bytes) { return PlanAllocTee(bytes); };
+      hooks.load = [this](uint64_t offset, uint64_t bytes) {
+        // §4.2: protect right after the (unprotected) load completes, before
+        // decryption writes plaintext.
+        return tee_os_->ExtendProtected(ta_, SecureRegionId::kParams, bytes);
+      };
+    } else {
+      hooks.plan_alloc = [this](uint64_t bytes) {
+        return PlanAllocBuddy(bytes);
+      };
+    }
+  }
+
+  auto plan = BuildRestorePlan(spec_, prefill_graph_, request.prompt_tokens,
+                               cost_model_, plan_options, hooks);
+  if (!plan.ok()) {
+    report.status = plan.status();
+    return report;
+  }
+  report.restored_bytes = plan->restored_bytes;
+  report.cached_hit_bytes = plan->cached_hit_bytes;
+
+  PipelineConfig pipe_config;
+  pipe_config.cpu_lanes = platform_->config().cpu_big_cores;
+  pipe_config.policy = config_.policy;
+  pipe_config.max_alloc_concurrency =
+      config_.system == SystemKind::kStrawman ? 1 : 2;
+  pipe_config.record_trace = request.record_trace;
+  PipelineExecutor executor(&sim, pipe_config);
+  if (UsesNpu()) {
+    executor.set_npu_submit(MakeNpuSubmit());
+  }
+  report.prefill_pipeline = executor.RunToCompletion(std::move(plan->ops));
+  if (!report.prefill_pipeline.status.ok()) {
+    report.status = report.prefill_pipeline.status;
+    return report;
+  }
+  report.prefill_time = report.prefill_pipeline.makespan;
+  report.ttft = sim.Now() - t0;
+
+  // --- Phase 4: decoding. ---
+  if (request.decode_tokens > 0) {
+    report.decode_time =
+        RunDecode(request.prompt_tokens, request.decode_tokens);
+    report.decode_tokens_per_s =
+        request.decode_tokens / ToSeconds(report.decode_time);
+  }
+
+  // --- Phase 5: release / partial parameter caching. ---
+  const SimTime release_start = sim.Now();
+  if (IsTee()) {
+    const uint64_t total = spec_.total_param_bytes();
+    const uint64_t target = config_.system == SystemKind::kTzLlm
+                                ? AlignUp(static_cast<uint64_t>(
+                                              request.cache_proportion_after *
+                                              total),
+                                          kPageSize)
+                                : 0;
+    const SecureRegionStats stats =
+        tee_os_->RegionStats(SecureRegionId::kParams);
+    if (stats.protected_bytes > target) {
+      auto scrub = tee_os_->Shrink(ta_, SecureRegionId::kParams,
+                                   stats.protected_bytes - target);
+      if (!scrub.ok()) {
+        report.status = scrub.status();
+        return report;
+      }
+      AdvanceSim(*scrub);
+    }
+    cached_bytes_ = tee_os_->RegionStats(SecureRegionId::kParams)
+                        .protected_bytes;
+    // Scratch (KV/activation) memory is fully released every inference.
+    if (scratch_mapped_) {
+      auto scrub = tee_os_->Shrink(ta_, SecureRegionId::kScratch,
+                                   scratch_bytes_);
+      if (scrub.ok()) {
+        AdvanceSim(*scrub);
+      }
+      scratch_mapped_ = false;
+    }
+  } else if (config_.system == SystemKind::kReeFlash) {
+    for (uint64_t pfn : ree_param_pages_) {
+      (void)memory_->FreeMovablePage(pfn);
+    }
+    ree_param_pages_.clear();
+    scratch_mapped_ = false;
+  }
+  report.release_time = sim.Now() - release_start;
+
+  report.smc_round_trips = monitor.round_trips() - smc_before;
+  report.secure_npu_jobs = tee_npu_->secure_jobs_completed() - jobs_before;
+  report.npu_switch_time = tee_npu_->total_config_time() +
+                           tee_npu_->total_smc_time() - switch_before;
+  report.status = OkStatus();
+  return report;
+}
+
+SimDuration SystemRuntime::RunDecode(int prompt_tokens, int n_tokens) {
+  Simulator& sim = platform_->sim();
+  const SimTime start = sim.Now();
+  NpuSubmitFn submit = UsesNpu() ? MakeNpuSubmit() : nullptr;
+  for (int t = 0; t < n_tokens; ++t) {
+    const int pos = prompt_tokens + t;
+    for (const OpNode& node : decode_graph_.nodes()) {
+      const bool on_npu = UsesNpu() && node.backend == Backend::kNpu;
+      const SimDuration d = cost_model_.DecodeOpTime(
+          node, pos, on_npu ? Backend::kNpu : Backend::kCpu);
+      if (on_npu) {
+        bool done = false;
+        submit(d, [&done](Status) { done = true; });
+        sim.RunUntilIdleOr([&done] { return done; });
+      } else {
+        AdvanceSim(d);
+      }
+    }
+  }
+  return sim.Now() - start;
+}
+
+SimDuration SystemRuntime::DecodeTokenTime(int pos) const {
+  SimDuration total = 0;
+  for (const OpNode& node : decode_graph_.nodes()) {
+    const bool on_npu = UsesNpu() && node.backend == Backend::kNpu;
+    total += cost_model_.DecodeOpTime(node, pos,
+                                      on_npu ? Backend::kNpu : Backend::kCpu);
+    if (on_npu) {
+      total += kNpuJobLaunchOverhead;
+      if (IsTee()) {
+        total += TeeNpuDriver::PerJobSwitchCost();
+      }
+    }
+  }
+  return total;
+}
+
+Status SystemRuntime::ReleaseAll() {
+  if (IsTee()) {
+    const SecureRegionStats stats =
+        tee_os_->RegionStats(SecureRegionId::kParams);
+    if (stats.protected_bytes > 0) {
+      auto scrub = tee_os_->Shrink(ta_, SecureRegionId::kParams,
+                                   stats.protected_bytes);
+      if (!scrub.ok()) {
+        return scrub.status();
+      }
+    }
+    cached_bytes_ = 0;
+  } else {
+    for (uint64_t pfn : ree_param_pages_) {
+      (void)memory_->FreeMovablePage(pfn);
+    }
+    ree_param_pages_.clear();
+  }
+  return OkStatus();
+}
+
+}  // namespace tzllm

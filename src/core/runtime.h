@@ -1,0 +1,159 @@
+// End-to-end inference runtimes over the simulated SoC (paper §7 baselines):
+//
+//   kTzLlm     — the full system: TEE-protected parameters, elastic secure
+//                memory with pipelined restoration, checkpointed framework
+//                state, NPU via the co-driver path, partial caching.
+//   kStrawman  — TEE protection without the optimizations: cold start, CMA
+//                allocation, sequential restore, CPU-only compute (§2.3).
+//   kReeFlash  — unmodified llama.cpp in the REE, parameters loaded at
+//                inference start with pipelined restoration (buddy pages,
+//                no decryption), NPU via the REE driver.
+//   kReeMemory — llama.cpp in the REE with all parameters preloaded:
+//                the impractical performance upper bound.
+//
+// One class drives all four so every difference between systems is an
+// explicit branch on SystemKind, mirroring the ablation structure of §7.1.
+
+#ifndef SRC_CORE_RUNTIME_H_
+#define SRC_CORE_RUNTIME_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/pipeline.h"
+#include "src/core/restore_plan.h"
+#include "src/hw/platform.h"
+#include "src/llm/cost_model.h"
+#include "src/llm/graph.h"
+#include "src/llm/model_spec.h"
+#include "src/ree/memory_manager.h"
+#include "src/ree/npu_driver.h"
+#include "src/ree/stress.h"
+#include "src/ree/tz_driver.h"
+#include "src/tee/npu_driver.h"
+#include "src/tee/tee_os.h"
+
+namespace tzllm {
+
+enum class SystemKind : uint8_t {
+  kTzLlm,
+  kStrawman,
+  kReeFlash,
+  kReeMemory,
+};
+
+const char* SystemKindName(SystemKind kind);
+
+struct RuntimeConfig {
+  LlmConfig model;
+  SystemKind system = SystemKind::kTzLlm;
+  SchedulePolicy policy = SchedulePolicy::kPriorityPreemptive;
+  bool pipelined = true;   // Figure 13 ablation: false = no pipeline.
+  bool use_npu = true;     // Forced false for kStrawman.
+  bool checkpoint = true;  // Forced false for kStrawman.
+  uint64_t root_key_seed = 0x7EE5EED;
+};
+
+struct InferenceRequest {
+  int prompt_tokens = 128;
+  int decode_tokens = 0;
+  // Fraction of parameters to leave cached in secure memory afterwards
+  // (kTzLlm only; §4.1 partial parameter caching).
+  double cache_proportion_after = 0.0;
+  bool record_trace = false;
+};
+
+struct InferenceReport {
+  Status status;
+  SimDuration init_time = 0;
+  SimDuration scratch_alloc_time = 0;  // KV cache + activation allocation.
+  SimDuration prefill_time = 0;        // Restoration pipeline makespan.
+  SimDuration ttft = 0;                // init + scratch + prefill.
+  SimDuration decode_time = 0;
+  double decode_tokens_per_s = 0.0;
+  SimDuration release_time = 0;
+  uint64_t restored_bytes = 0;
+  uint64_t cached_hit_bytes = 0;
+  // §7.3 accounting (deltas over this inference).
+  uint64_t smc_round_trips = 0;
+  uint64_t secure_npu_jobs = 0;
+  SimDuration npu_switch_time = 0;  // smc + TZPC/TZASC/GIC time.
+  PipelineResult prefill_pipeline;
+};
+
+// Owns the whole software stack above a SocPlatform. Create one platform +
+// one runtime per evaluated system configuration.
+class SystemRuntime {
+ public:
+  SystemRuntime(SocPlatform* platform, const RuntimeConfig& config);
+
+  // Boots the stack and provisions the (synthetic) model on flash.
+  Status Setup();
+
+  // Runs one inference request to completion on the simulator.
+  InferenceReport RunInference(const InferenceRequest& request);
+
+  // Releases everything still cached (back to cold state).
+  Status ReleaseAll();
+
+  uint64_t cached_bytes() const { return cached_bytes_; }
+  const ModelSpec& spec() const { return spec_; }
+  const ComputeGraph& prefill_graph() const { return prefill_graph_; }
+  const ComputeGraph& decode_graph() const { return decode_graph_; }
+  const CostModel& cost_model() const { return cost_model_; }
+  ReeMemoryManager& memory() { return *memory_; }
+  StressWorkload& stress() { return *stress_; }
+  TeeOs& tee_os() { return *tee_os_; }
+  TeeNpuDriver& tee_npu() { return *tee_npu_; }
+  ReeNpuDriver& ree_npu() { return *ree_npu_; }
+  SocPlatform& platform() { return *platform_; }
+  const RuntimeConfig& config() const { return config_; }
+
+  // Decode-phase compute time for one token at position `pos`, including
+  // driver-path overheads. Exposed for analytic cross-checks in tests.
+  SimDuration DecodeTokenTime(int pos) const;
+
+ private:
+  bool IsTee() const {
+    return config_.system == SystemKind::kTzLlm ||
+           config_.system == SystemKind::kStrawman;
+  }
+  bool UsesNpu() const {
+    return config_.use_npu && config_.system != SystemKind::kStrawman;
+  }
+
+  Result<SimDuration> PlanAllocTee(uint64_t bytes);
+  Result<SimDuration> PlanAllocBuddy(uint64_t bytes);
+  NpuSubmitFn MakeNpuSubmit();
+  SimDuration RunDecode(int prompt_tokens, int n_tokens);
+  void AdvanceSim(SimDuration d);
+
+  SocPlatform* platform_;
+  RuntimeConfig config_;
+  ModelSpec spec_;
+  ComputeGraph prefill_graph_;
+  ComputeGraph decode_graph_;
+  CostModel cost_model_;
+
+  std::unique_ptr<ReeMemoryManager> memory_;
+  std::unique_ptr<StressWorkload> stress_;
+  std::unique_ptr<TzDriver> tz_driver_;
+  std::unique_ptr<ReeNpuDriver> ree_npu_;
+  std::unique_ptr<TeeOs> tee_os_;
+  std::unique_ptr<TeeNpuDriver> tee_npu_;
+  TaId ta_ = -1;
+
+  // REE baseline page bookkeeping.
+  std::vector<uint64_t> ree_param_pages_;
+
+  uint64_t cached_bytes_ = 0;
+  bool scratch_mapped_ = false;
+  uint64_t scratch_bytes_ = 0;
+  bool setup_done_ = false;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_CORE_RUNTIME_H_

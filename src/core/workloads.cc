@@ -1,0 +1,96 @@
+#include "src/core/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace tzllm {
+
+const char* BenchmarkName(BenchmarkId id) {
+  switch (id) {
+    case BenchmarkId::kUltraChat:
+      return "UltraChat";
+    case BenchmarkId::kPersonaChat:
+      return "PersonaChat";
+    case BenchmarkId::kDroidTask:
+      return "DroidTask";
+  }
+  return "?";
+}
+
+const char* BenchmarkShortName(BenchmarkId id) {
+  switch (id) {
+    case BenchmarkId::kUltraChat:
+      return "UC";
+    case BenchmarkId::kPersonaChat:
+      return "PC";
+    case BenchmarkId::kDroidTask:
+      return "DT";
+  }
+  return "?";
+}
+
+std::vector<BenchmarkId> AllBenchmarks() {
+  return {BenchmarkId::kUltraChat, BenchmarkId::kPersonaChat,
+          BenchmarkId::kDroidTask};
+}
+
+namespace {
+
+struct LengthProfile {
+  double log_mean;
+  double log_stddev;
+  int min_tokens;
+  int max_tokens;
+  const char* flavor;
+};
+
+LengthProfile ProfileOf(BenchmarkId id) {
+  switch (id) {
+    case BenchmarkId::kUltraChat:
+      // Conversational turns: mostly 30-120 tokens.
+      return {std::log(64.0), 0.45, 16, 256, "user asks the assistant: "};
+    case BenchmarkId::kPersonaChat:
+      // Summarize a chat transcript: 250-600 tokens.
+      return {std::log(384.0), 0.30, 128, 768,
+              "summarize the following conversation: "};
+    case BenchmarkId::kDroidTask:
+      // Serialized UI tree + task: 300-700 tokens.
+      return {std::log(448.0), 0.25, 192, 768,
+              "given the user interface tree perform the task: "};
+  }
+  return {std::log(128.0), 0.3, 32, 512, ""};
+}
+
+}  // namespace
+
+std::vector<BenchmarkPrompt> BenchmarkPrompts(BenchmarkId id, int count,
+                                              uint64_t seed) {
+  const LengthProfile profile = ProfileOf(id);
+  Rng rng(SplitMix64(seed) ^ (static_cast<uint64_t>(id) << 32));
+  std::vector<BenchmarkPrompt> prompts;
+  prompts.reserve(count);
+  static const char* kFiller[] = {
+      "the user ",  "opened ",   "the app ",   "and then ", "tapped ",
+      "the button ", "to send ",  "a message ", "about ",    "the photo ",
+      "while ",     "checking ", "settings ",  "for ",      "the device ",
+  };
+  for (int i = 0; i < count; ++i) {
+    BenchmarkPrompt p;
+    const double len =
+        std::exp(rng.NextGaussian(profile.log_mean, profile.log_stddev));
+    p.n_tokens = std::clamp(static_cast<int>(len), profile.min_tokens,
+                            profile.max_tokens);
+    p.text = profile.flavor;
+    // ~4.5 chars/token of filler text keeps functional prompts realistic.
+    const size_t target_chars = static_cast<size_t>(p.n_tokens) * 4;
+    while (p.text.size() < target_chars) {
+      p.text += kFiller[rng.NextBounded(std::size(kFiller))];
+    }
+    prompts.push_back(std::move(p));
+  }
+  return prompts;
+}
+
+}  // namespace tzllm

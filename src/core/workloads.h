@@ -1,0 +1,41 @@
+// Real-world benchmark workloads (paper §7 "Benchmarks"): prompt-length
+// distributions and synthetic prompt text for
+//   * UltraChat   — multi-turn dialogues (short prompts; this is why the
+//                   paper sees the largest relative TTFT overhead there),
+//   * PersonaChat — chat summarization (medium-long prompts),
+//   * DroidTask   — UI automation (long serialized UI trees).
+// Lengths are drawn from seeded log-normal-ish distributions so every run
+// of the harness evaluates the identical prompt set.
+
+#ifndef SRC_CORE_WORKLOADS_H_
+#define SRC_CORE_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+namespace tzllm {
+
+enum class BenchmarkId : int {
+  kUltraChat = 0,
+  kPersonaChat = 1,
+  kDroidTask = 2,
+};
+
+const char* BenchmarkName(BenchmarkId id);
+const char* BenchmarkShortName(BenchmarkId id);  // UC / PC / DT.
+
+struct BenchmarkPrompt {
+  int n_tokens = 0;
+  std::string text;  // Synthetic content for functional runs.
+};
+
+// Deterministic prompt set for a benchmark (default 12 prompts, enough for
+// a stable geometric mean as in §7.1.1).
+std::vector<BenchmarkPrompt> BenchmarkPrompts(BenchmarkId id, int count = 12,
+                                              uint64_t seed = 2026);
+
+std::vector<BenchmarkId> AllBenchmarks();
+
+}  // namespace tzllm
+
+#endif  // SRC_CORE_WORKLOADS_H_

@@ -1,0 +1,58 @@
+// AES-128 block cipher (FIPS-197) and CTR-mode streaming, implemented from
+// scratch for the reproduction. The paper links llama.cpp against OpenSSL for
+// parameter decryption; here the TEE uses this self-contained implementation
+// so the repo has no external crypto dependency. Verified against FIPS-197 /
+// NIST SP 800-38A test vectors in tests/crypto_aes_test.cc.
+//
+// CTR mode lets the restoration pipeline decrypt arbitrary tensor extents
+// independently (seekable by block offset), which is exactly what the
+// chunked, preemptible decryption micro-operators need.
+
+#ifndef SRC_CRYPTO_AES_H_
+#define SRC_CRYPTO_AES_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace tzllm {
+
+using AesKey128 = std::array<uint8_t, 16>;
+using AesBlock = std::array<uint8_t, 16>;
+
+class Aes128 {
+ public:
+  explicit Aes128(const AesKey128& key);
+
+  // Encrypts one 16-byte block in place (ECB primitive).
+  void EncryptBlock(uint8_t block[16]) const;
+
+ private:
+  // 11 round keys of 16 bytes each.
+  std::array<uint8_t, 176> round_keys_;
+};
+
+// AES-128-CTR stream cipher. Encryption == decryption.
+class AesCtr {
+ public:
+  AesCtr(const AesKey128& key, const AesBlock& iv);
+
+  // XORs the keystream for absolute stream offset `offset` into
+  // data[0..len). Offsets may be arbitrary (not block aligned) and calls may
+  // be issued out of order — essential for parallel / preempted decryption
+  // operators that each own a byte range of a tensor.
+  void Crypt(uint64_t offset, uint8_t* data, size_t len) const;
+
+  // Convenience for contiguous whole-buffer operation starting at offset 0.
+  void CryptAll(uint8_t* data, size_t len) const { Crypt(0, data, len); }
+
+ private:
+  void KeystreamBlock(uint64_t block_index, uint8_t out[16]) const;
+
+  Aes128 cipher_;
+  AesBlock iv_;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_CRYPTO_AES_H_

@@ -1,0 +1,76 @@
+#include "src/crypto/key_hierarchy.h"
+
+#include <cstring>
+
+namespace tzllm {
+
+KeyHierarchy::KeyHierarchy(uint64_t root_seed) : root_seed_(root_seed) {}
+
+AesKey128 KeyHierarchy::Kdf(const std::string& label) const {
+  Sha256 h;
+  uint8_t seed_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    seed_bytes[i] = static_cast<uint8_t>(root_seed_ >> (8 * i));
+  }
+  h.Update(seed_bytes, sizeof(seed_bytes));
+  h.Update(label);
+  const Sha256Digest digest = h.Finalize();
+  AesKey128 key;
+  std::memcpy(key.data(), digest.data(), key.size());
+  return key;
+}
+
+AesKey128 KeyHierarchy::DeriveTeeKey() const { return Kdf("tzllm/tee-key/v1"); }
+
+AesKey128 KeyHierarchy::DeriveModelKey(const std::string& model_id) const {
+  return Kdf("tzllm/model-key/v1/" + model_id);
+}
+
+AesBlock KeyHierarchy::ModelIv(const std::string& model_id) {
+  const Sha256Digest digest = Sha256::Hash("tzllm/model-iv/v1/" + model_id);
+  AesBlock iv;
+  std::memcpy(iv.data(), digest.data(), 8);
+  // Zero the 64-bit counter half so CTR block indices start at 0.
+  std::memset(iv.data() + 8, 0, 8);
+  return iv;
+}
+
+WrappedModelKey KeyHierarchy::WrapModelKey(const std::string& model_id,
+                                           const AesKey128& model_key) const {
+  WrappedModelKey wrapped;
+  wrapped.model_id = model_id;
+  wrapped.iv = ModelIv("wrap/" + model_id);
+
+  Sha256 tag;
+  tag.Update(model_id);
+  tag.Update(model_key.data(), model_key.size());
+  wrapped.integrity_tag = tag.Finalize();
+
+  wrapped.ciphertext.assign(model_key.begin(), model_key.end());
+  AesCtr ctr(DeriveTeeKey(), wrapped.iv);
+  ctr.CryptAll(wrapped.ciphertext.data(), wrapped.ciphertext.size());
+  return wrapped;
+}
+
+Result<AesKey128> KeyHierarchy::UnwrapModelKey(
+    const WrappedModelKey& wrapped) const {
+  if (wrapped.ciphertext.size() != 16) {
+    return Status(ErrorCode::kDataCorruption, "wrapped key has wrong size");
+  }
+  std::vector<uint8_t> plain = wrapped.ciphertext;
+  AesCtr ctr(DeriveTeeKey(), wrapped.iv);
+  ctr.CryptAll(plain.data(), plain.size());
+
+  Sha256 tag;
+  tag.Update(wrapped.model_id);
+  tag.Update(plain.data(), plain.size());
+  if (tag.Finalize() != wrapped.integrity_tag) {
+    return Status(ErrorCode::kDataCorruption,
+                  "model key integrity check failed (tampered flash?)");
+  }
+  AesKey128 key;
+  std::memcpy(key.data(), plain.data(), key.size());
+  return key;
+}
+
+}  // namespace tzllm

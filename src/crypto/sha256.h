@@ -1,0 +1,53 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used by the TEE to verify model-file contents returned by the untrusted
+// REE filesystem (the paper's Iago-attack defense for model loading, §6) and
+// to derive checkpoint integrity tags. Verified against NIST vectors in
+// tests/crypto_sha256_test.cc.
+
+#ifndef SRC_CRYPTO_SHA256_H_
+#define SRC_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tzllm {
+
+using Sha256Digest = std::array<uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(const uint8_t* data, size_t len);
+  void Update(const std::string& s) {
+    Update(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+
+  // Finalizes and returns the digest. The object must not be reused after.
+  Sha256Digest Finalize();
+
+  // One-shot helpers.
+  static Sha256Digest Hash(const uint8_t* data, size_t len);
+  static Sha256Digest Hash(const std::string& s);
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  std::array<uint32_t, 8> state_;
+  uint64_t total_len_ = 0;
+  std::array<uint8_t, 64> buffer_;
+  size_t buffer_len_ = 0;
+};
+
+// Lowercase hex string of a digest.
+std::string DigestToHex(const Sha256Digest& digest);
+
+// Truncated 64-bit tag, convenient for per-tensor checksum tables.
+uint64_t DigestToTag64(const Sha256Digest& digest);
+
+}  // namespace tzllm
+
+#endif  // SRC_CRYPTO_SHA256_H_

@@ -1,0 +1,41 @@
+#include "src/hw/gic.h"
+
+#include <utility>
+
+namespace tzllm {
+
+void Gic::RegisterHandler(World world, int irq, Handler handler) {
+  lines_[irq].handlers[static_cast<size_t>(world)] = std::move(handler);
+}
+
+Status Gic::Route(World caller, int irq, World target) {
+  if (caller != World::kSecure) {
+    return PermissionDenied("GIC interrupt grouping is secure-world only");
+  }
+  lines_[irq].route = target;
+  ++regroup_count_;
+  return OkStatus();
+}
+
+World Gic::RouteOf(int irq) const {
+  auto it = lines_.find(irq);
+  return it == lines_.end() ? World::kNonSecure : it->second.route;
+}
+
+void Gic::Raise(int irq) {
+  auto it = lines_.find(irq);
+  if (it == lines_.end()) {
+    ++spurious_;
+    return;
+  }
+  Line& line = it->second;
+  const Handler& handler = line.handlers[static_cast<size_t>(line.route)];
+  if (!handler) {
+    ++spurious_;
+    return;
+  }
+  ++delivered_[static_cast<size_t>(line.route)];
+  handler();
+}
+
+}  // namespace tzllm

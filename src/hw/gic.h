@@ -1,0 +1,57 @@
+// Generic Interrupt Controller model with the TrustZone security extension:
+// each interrupt line belongs to a world (Group 0 = secure, Group 1 =
+// non-secure), and raising a line dispatches to the handler registered by
+// that world only. The TEE NPU driver re-groups the NPU interrupt on every
+// mode switch so secure-job completions are delivered to the TEE (§4.3).
+
+#ifndef SRC_HW_GIC_H_
+#define SRC_HW_GIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "src/common/status.h"
+#include "src/hw/types.h"
+
+namespace tzllm {
+
+class Gic {
+ public:
+  using Handler = std::function<void()>;
+
+  // Registers the handler a given world uses for `irq`. Both worlds may have
+  // a handler registered simultaneously; routing decides which one fires.
+  void RegisterHandler(World world, int irq, Handler handler);
+
+  // Routes `irq` to a world (grouping). Only the secure world may change
+  // grouping — this is the GIC security extension.
+  Status Route(World caller, int irq, World target);
+
+  World RouteOf(int irq) const;
+
+  // Raises the line: dispatches to the handler of the owning world. If that
+  // world has no handler the interrupt is counted as spurious.
+  void Raise(int irq);
+
+  uint64_t spurious_interrupts() const { return spurious_; }
+  uint64_t delivered(World world) const {
+    return delivered_[static_cast<size_t>(world)];
+  }
+  uint64_t regroup_count() const { return regroup_count_; }
+
+ private:
+  struct Line {
+    World route = World::kNonSecure;
+    Handler handlers[2];
+  };
+
+  std::unordered_map<int, Line> lines_;
+  uint64_t spurious_ = 0;
+  uint64_t delivered_[2] = {0, 0};
+  uint64_t regroup_count_ = 0;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_HW_GIC_H_

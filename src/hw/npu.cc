@@ -1,0 +1,72 @@
+#include "src/hw/npu.h"
+
+#include "src/common/log.h"
+#include "src/hw/types.h"
+
+namespace tzllm {
+
+NpuDevice::NpuDevice(Simulator* sim, Tzasc* tzasc, Tzpc* tzpc, Gic* gic)
+    : sim_(sim), tzasc_(tzasc), tzpc_(tzpc), gic_(gic) {}
+
+Status NpuDevice::MmioLaunch(World caller, const NpuJobDesc& job) {
+  // 1. MMIO gate: while the NPU is TZPC-secure, REE doorbell writes fault.
+  Status st = tzpc_->CheckMmio(caller, DeviceId::kNpu);
+  if (!st.ok()) {
+    ++launch_rejections_;
+    return st;
+  }
+  if (busy_) {
+    ++launch_rejections_;
+    return FailedPrecondition("NPU busy");
+  }
+
+  // 2. DMA gate: every part of the execution context must be reachable by
+  // the NPU under the *current* TZASC programming. This is where a job
+  // launched before the TEE driver granted region access — or a non-secure
+  // job racing a secure window — actually fails.
+  auto check = [&](PhysAddr addr, uint64_t len) -> Status {
+    if (len == 0) {
+      return OkStatus();
+    }
+    return tzasc_->CheckDmaAccess(DeviceId::kNpu, addr, len);
+  };
+  st = check(job.cmd_addr, job.cmd_size);
+  if (st.ok()) {
+    st = check(job.iopt_addr, job.iopt_size);
+  }
+  for (const auto& [addr, len] : job.buffers) {
+    if (!st.ok()) {
+      break;
+    }
+    st = check(addr, len);
+  }
+  if (!st.ok()) {
+    ++launch_rejections_;
+    TZLLM_LOG_DEBUG("npu", "DMA check failed: %s", st.ToString().c_str());
+    return st;
+  }
+
+  busy_ = true;
+  busy_time_ += job.duration;
+  std::function<Status()> compute = job.compute;
+  sim_->Schedule(job.duration, [this, compute = std::move(compute)] {
+    if (compute) {
+      const Status cst = compute();
+      if (!cst.ok()) {
+        TZLLM_LOG_WARN("npu", "functional job payload failed: %s",
+                       cst.ToString().c_str());
+      }
+    }
+    busy_ = false;
+    ++jobs_completed_;
+    gic_->Raise(kIrqNpu);
+  });
+  return OkStatus();
+}
+
+Result<bool> NpuDevice::MmioIsBusy(World caller) const {
+  TZLLM_RETURN_IF_ERROR(tzpc_->CheckMmio(caller, DeviceId::kNpu));
+  return busy_;
+}
+
+}  // namespace tzllm

@@ -1,0 +1,74 @@
+// NPU device model (Rockchip RK3588-like: 3 cores, up to 6 TOPS).
+//
+// The device exposes exactly the data-plane surface the paper's co-driver
+// design depends on (§4.3): an MMIO launch doorbell (gated by the TZPC), DMA
+// transactions for the job's execution context (gated by the TZASC, with the
+// NPU's own DeviceId), and a completion interrupt (routed by the GIC). All
+// three checks are live: a mis-sequenced world switch produces a real fault
+// or a real leak opportunity that the security tests probe for.
+
+#ifndef SRC_HW_NPU_H_
+#define SRC_HW_NPU_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/hw/gic.h"
+#include "src/hw/tzasc.h"
+#include "src/hw/tzpc.h"
+#include "src/sim/simulator.h"
+
+namespace tzllm {
+
+// Execution context of one NPU job, all in physical memory (paper Figure 8:
+// register commands, I/O page table, input/output buffers).
+struct NpuJobDesc {
+  PhysAddr cmd_addr = 0;   // Register command stream ("NPU job code").
+  uint64_t cmd_size = 0;
+  PhysAddr iopt_addr = 0;  // I/O page table root.
+  uint64_t iopt_size = 0;
+  // Input and output buffers the job will DMA.
+  std::vector<std::pair<PhysAddr, uint64_t>> buffers;
+  // Modeled execution time on the NPU.
+  SimDuration duration = 0;
+  // Optional functional payload executed at completion (reads inputs /
+  // writes outputs through DRAM); null in simulated mode.
+  std::function<Status()> compute;
+};
+
+class NpuDevice {
+ public:
+  NpuDevice(Simulator* sim, Tzasc* tzasc, Tzpc* tzpc, Gic* gic);
+
+  // MMIO doorbell: validates TZPC (caller world vs device security state),
+  // device idle, then all DMA targets against the TZASC. On success the job
+  // occupies the device for job.duration and raises kIrqNpu on completion.
+  Status MmioLaunch(World caller, const NpuJobDesc& job);
+
+  // MMIO status poll (also TZPC-gated).
+  Result<bool> MmioIsBusy(World caller) const;
+
+  bool busy() const { return busy_; }
+
+  uint64_t jobs_completed() const { return jobs_completed_; }
+  uint64_t launch_rejections() const { return launch_rejections_; }
+  SimDuration busy_time() const { return busy_time_; }
+
+ private:
+  Simulator* sim_;
+  Tzasc* tzasc_;
+  Tzpc* tzpc_;
+  Gic* gic_;
+  bool busy_ = false;
+  uint64_t jobs_completed_ = 0;
+  uint64_t launch_rejections_ = 0;
+  SimDuration busy_time_ = 0;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_HW_NPU_H_

@@ -1,0 +1,11 @@
+#include "src/hw/platform.h"
+
+namespace tzllm {
+
+SocPlatform::SocPlatform(const PlatformConfig& config) : config_(config) {
+  dram_ = std::make_unique<PhysMemory>(config.dram_bytes);
+  npu_ = std::make_unique<NpuDevice>(&sim_, &tzasc_, &tzpc_, &gic_);
+  flash_ = std::make_unique<FlashDevice>(&sim_, dram_.get(), &tzasc_);
+}
+
+}  // namespace tzllm

@@ -1,0 +1,57 @@
+// SoC platform: wires the hardware models into one RK3588-like board with
+// the Orange Pi 5 Plus memory map used in the paper's evaluation (§7).
+
+#ifndef SRC_HW_PLATFORM_H_
+#define SRC_HW_PLATFORM_H_
+
+#include <memory>
+
+#include "src/common/calibration.h"
+#include "src/hw/flash.h"
+#include "src/hw/gic.h"
+#include "src/hw/npu.h"
+#include "src/hw/phys_mem.h"
+#include "src/hw/smc.h"
+#include "src/hw/tzasc.h"
+#include "src/hw/tzpc.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+
+namespace tzllm {
+
+struct PlatformConfig {
+  uint64_t dram_bytes = kDramBytes;
+  int cpu_big_cores = 4;  // Cortex-A76 cluster; the LLM TA runs here.
+};
+
+class SocPlatform {
+ public:
+  explicit SocPlatform(const PlatformConfig& config = PlatformConfig());
+
+  Simulator& sim() { return sim_; }
+  PhysMemory& dram() { return *dram_; }
+  Tzasc& tzasc() { return tzasc_; }
+  Tzpc& tzpc() { return tzpc_; }
+  Gic& gic() { return gic_; }
+  SecureMonitor& monitor() { return monitor_; }
+  NpuDevice& npu() { return *npu_; }
+  FlashDevice& flash() { return *flash_; }
+  TraceRecorder& trace() { return trace_; }
+  const PlatformConfig& config() const { return config_; }
+
+ private:
+  PlatformConfig config_;
+  Simulator sim_;
+  std::unique_ptr<PhysMemory> dram_;
+  Tzasc tzasc_;
+  Tzpc tzpc_;
+  Gic gic_;
+  SecureMonitor monitor_;
+  std::unique_ptr<NpuDevice> npu_;
+  std::unique_ptr<FlashDevice> flash_;
+  TraceRecorder trace_;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_HW_PLATFORM_H_

@@ -1,0 +1,33 @@
+#include "src/hw/smc.h"
+
+#include <utility>
+
+namespace tzllm {
+
+void SecureMonitor::InstallSecureHandler(SmcFunc func, Handler handler) {
+  secure_handlers_[static_cast<uint32_t>(func)] = std::move(handler);
+}
+
+void SecureMonitor::InstallNonSecureHandler(SmcFunc func, Handler handler) {
+  nonsecure_handlers_[static_cast<uint32_t>(func)] = std::move(handler);
+}
+
+SmcResult SecureMonitor::SmcFromRee(SmcFunc func, const SmcArgs& args) {
+  ++round_trips_;
+  auto it = secure_handlers_.find(static_cast<uint32_t>(func));
+  if (it == secure_handlers_.end()) {
+    return SmcResult{NotFound("no secure handler for smc function"), {}};
+  }
+  return it->second(args);
+}
+
+SmcResult SecureMonitor::RpcToRee(SmcFunc func, const SmcArgs& args) {
+  ++round_trips_;
+  auto it = nonsecure_handlers_.find(static_cast<uint32_t>(func));
+  if (it == nonsecure_handlers_.end()) {
+    return SmcResult{NotFound("no non-secure handler for RPC function"), {}};
+  }
+  return it->second(args);
+}
+
+}  // namespace tzllm

@@ -1,0 +1,78 @@
+// EL3 security monitor model: the single gate between worlds.
+//
+// REE code reaches the TEE only through SmcFromRee (the `smc` instruction);
+// the TEE delegates work to the REE (file I/O, CMA allocation, NPU job
+// scheduling) through RpcToRee, which models the OP-TEE-style return-to-REE
+// RPC. Every crossing is counted and costed so the §7.3 overhead breakdown
+// (smc share of TTFT / decode time) falls out of the accounting.
+
+#ifndef SRC_HW_SMC_H_
+#define SRC_HW_SMC_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/calibration.h"
+#include "src/common/status.h"
+#include "src/hw/types.h"
+
+namespace tzllm {
+
+struct SmcArgs {
+  std::array<uint64_t, 6> a{};
+};
+
+struct SmcResult {
+  Status status;
+  std::array<uint64_t, 4> r{};
+};
+
+// Well-known SMC / RPC function ids.
+enum class SmcFunc : uint32_t {
+  // REE -> TEE.
+  kInvokeTa = 0x1000,           // CA invokes the LLM TA.
+  kResumeTaThread = 0x1001,     // Shadow thread resumes its TA thread.
+  kNpuTakeover = 0x1002,        // REE NPU driver hands the NPU to the TEE.
+  // TEE -> REE (RPC).
+  kRpcCmaAlloc = 0x2000,
+  kRpcCmaFree = 0x2001,
+  kRpcFileRead = 0x2002,
+  kRpcNpuEnqueueShadow = 0x2003,
+  kRpcNpuShadowComplete = 0x2004,
+};
+
+class SecureMonitor {
+ public:
+  using Handler = std::function<SmcResult(const SmcArgs&)>;
+
+  // TEE OS installs handlers callable from the REE.
+  void InstallSecureHandler(SmcFunc func, Handler handler);
+  // REE TZ driver installs handlers callable from the TEE (RPC targets).
+  void InstallNonSecureHandler(SmcFunc func, Handler handler);
+
+  // Issue an smc from the REE into the TEE.
+  SmcResult SmcFromRee(SmcFunc func, const SmcArgs& args);
+  // Issue an RPC from the TEE into the REE.
+  SmcResult RpcToRee(SmcFunc func, const SmcArgs& args);
+
+  // Accounting: each call above is one world-switch round trip.
+  uint64_t round_trips() const { return round_trips_; }
+  SimDuration total_switch_time() const {
+    return round_trips_ * kSmcRoundTrip;
+  }
+  static constexpr SimDuration switch_cost() { return kSmcRoundTrip; }
+
+  void ResetCounters() { round_trips_ = 0; }
+
+ private:
+  std::unordered_map<uint32_t, Handler> secure_handlers_;
+  std::unordered_map<uint32_t, Handler> nonsecure_handlers_;
+  uint64_t round_trips_ = 0;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_HW_SMC_H_

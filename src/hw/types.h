@@ -1,0 +1,58 @@
+// Shared hardware-model vocabulary types.
+
+#ifndef SRC_HW_TYPES_H_
+#define SRC_HW_TYPES_H_
+
+#include <cstdint>
+
+namespace tzllm {
+
+// TrustZone world a CPU (or CPU-originated transaction) executes in.
+enum class World : uint8_t {
+  kNonSecure = 0,  // REE
+  kSecure = 1,     // TEE
+};
+
+inline const char* WorldName(World w) {
+  return w == World::kSecure ? "secure" : "non-secure";
+}
+
+// Bus master / peripheral identifiers on the modeled SoC (RK3588-like).
+enum class DeviceId : uint8_t {
+  kCpu = 0,
+  kNpu = 1,
+  kFlashController = 2,
+  kGpu = 3,
+  kUsbController = 4,
+  kDisplayController = 5,
+};
+
+inline const char* DeviceName(DeviceId id) {
+  switch (id) {
+    case DeviceId::kCpu:
+      return "cpu";
+    case DeviceId::kNpu:
+      return "npu";
+    case DeviceId::kFlashController:
+      return "flash";
+    case DeviceId::kGpu:
+      return "gpu";
+    case DeviceId::kUsbController:
+      return "usb";
+    case DeviceId::kDisplayController:
+      return "display";
+  }
+  return "unknown";
+}
+
+inline constexpr int kNumDeviceIds = 6;
+
+// Interrupt lines (GIC SPI numbers, arbitrary but stable).
+inline constexpr int kIrqNpu = 110;
+inline constexpr int kIrqFlash = 48;
+
+using PhysAddr = uint64_t;
+
+}  // namespace tzllm
+
+#endif  // SRC_HW_TYPES_H_

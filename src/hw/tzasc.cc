@@ -1,0 +1,112 @@
+#include "src/hw/tzasc.h"
+
+#include "src/common/units.h"
+
+namespace tzllm {
+
+Status Tzasc::CheckCallerSecure(World caller) const {
+  if (caller != World::kSecure) {
+    return PermissionDenied("TZASC registers are secure-world only");
+  }
+  return OkStatus();
+}
+
+Status Tzasc::ConfigureRegion(World caller, int index, PhysAddr base,
+                              uint64_t size) {
+  TZLLM_RETURN_IF_ERROR(CheckCallerSecure(caller));
+  if (index < 0 || index >= kNumRegions) {
+    return InvalidArgument("TZASC region index out of range");
+  }
+  if (!IsAligned(base, kPageSize) || !IsAligned(size, kPageSize)) {
+    return InvalidArgument("TZASC regions must be page aligned");
+  }
+  TzascRegion& r = regions_[index];
+  r.enabled = size > 0;
+  r.base = base;
+  r.size = size;
+  r.dma_allowed.fill(false);
+  ++reconfigurations_;
+  return OkStatus();
+}
+
+Status Tzasc::DisableRegion(World caller, int index) {
+  TZLLM_RETURN_IF_ERROR(CheckCallerSecure(caller));
+  if (index < 0 || index >= kNumRegions) {
+    return InvalidArgument("TZASC region index out of range");
+  }
+  regions_[index] = TzascRegion{};
+  ++reconfigurations_;
+  return OkStatus();
+}
+
+Status Tzasc::ResizeRegion(World caller, int index, uint64_t new_size) {
+  TZLLM_RETURN_IF_ERROR(CheckCallerSecure(caller));
+  if (index < 0 || index >= kNumRegions) {
+    return InvalidArgument("TZASC region index out of range");
+  }
+  if (!IsAligned(new_size, kPageSize)) {
+    return InvalidArgument("TZASC regions must be page aligned");
+  }
+  TzascRegion& r = regions_[index];
+  if (!r.enabled && new_size == 0) {
+    return OkStatus();
+  }
+  r.size = new_size;
+  r.enabled = new_size > 0;
+  ++reconfigurations_;
+  return OkStatus();
+}
+
+Status Tzasc::SetDmaPermission(World caller, int index, DeviceId device,
+                               bool allowed) {
+  TZLLM_RETURN_IF_ERROR(CheckCallerSecure(caller));
+  if (index < 0 || index >= kNumRegions) {
+    return InvalidArgument("TZASC region index out of range");
+  }
+  regions_[index].dma_allowed[static_cast<size_t>(device)] = allowed;
+  ++reconfigurations_;
+  return OkStatus();
+}
+
+bool Tzasc::IsSecure(PhysAddr addr, uint64_t len) const {
+  for (const TzascRegion& r : regions_) {
+    if (r.Overlaps(addr, len)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status Tzasc::CheckCpuAccess(World world, PhysAddr addr, uint64_t len) const {
+  if (world == World::kSecure) {
+    return OkStatus();
+  }
+  if (IsSecure(addr, len)) {
+    ++cpu_faults_;
+    return PermissionDenied("non-secure CPU access to secure memory");
+  }
+  return OkStatus();
+}
+
+Status Tzasc::CheckDmaAccess(DeviceId device, PhysAddr addr,
+                             uint64_t len) const {
+  for (int i = 0; i < kNumRegions; ++i) {
+    const TzascRegion& r = regions_[i];
+    if (!r.Overlaps(addr, len)) {
+      continue;
+    }
+    if (!r.Contains(addr, len)) {
+      ++dma_faults_;
+      return PermissionDenied("DMA transaction straddles a secure region");
+    }
+    if (!r.dma_allowed[static_cast<size_t>(device)]) {
+      ++dma_faults_;
+      return PermissionDenied(std::string("DMA into secure region denied for ") +
+                              DeviceName(device));
+    }
+    return OkStatus();
+  }
+  return OkStatus();
+}
+
+}  // namespace tzllm

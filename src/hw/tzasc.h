@@ -1,0 +1,90 @@
+// TrustZone Address Space Controller (TZC-400-like) model.
+//
+// Mirrors the constraints the paper builds on (§2.2):
+//  * at most eight regions,
+//  * each region covers one *contiguous* physical range,
+//  * regions gate both CPU accesses by world and DMA accesses by device,
+//  * only the secure world may reprogram the controller.
+//
+// All memory traffic in the reproduction funnels through CheckCpuAccess /
+// CheckDmaAccess, so a missing or mis-ordered TZASC update is an actual,
+// test-observable fault — not just a comment.
+
+#ifndef SRC_HW_TZASC_H_
+#define SRC_HW_TZASC_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/hw/types.h"
+
+namespace tzllm {
+
+struct TzascRegion {
+  bool enabled = false;
+  PhysAddr base = 0;
+  uint64_t size = 0;
+  // Per-device DMA permission into this (secure) region. CPU-secure access
+  // is always allowed; non-secure CPU access never is.
+  std::array<bool, kNumDeviceIds> dma_allowed{};
+
+  bool Contains(PhysAddr addr, uint64_t len) const {
+    return enabled && addr >= base && len <= size && addr - base <= size - len;
+  }
+  bool Overlaps(PhysAddr addr, uint64_t len) const {
+    if (!enabled || len == 0 || size == 0) {
+      return false;
+    }
+    const PhysAddr end = addr + len;
+    const PhysAddr region_end = base + size;
+    return addr < region_end && base < end;
+  }
+};
+
+class Tzasc {
+ public:
+  static constexpr int kNumRegions = 8;
+
+  // All mutators take the calling world; the hardware rejects non-secure
+  // reprogramming attempts.
+  Status ConfigureRegion(World caller, int index, PhysAddr base, uint64_t size);
+  Status DisableRegion(World caller, int index);
+
+  // Adjusts the *end* of an existing region (the paper's extend/shrink secure
+  // memory scaling maps to exactly this operation). base stays fixed.
+  Status ResizeRegion(World caller, int index, uint64_t new_size);
+
+  Status SetDmaPermission(World caller, int index, DeviceId device,
+                          bool allowed);
+
+  const TzascRegion& region(int index) const { return regions_.at(index); }
+
+  // True if the byte range overlaps any enabled secure region.
+  bool IsSecure(PhysAddr addr, uint64_t len) const;
+
+  // CPU-originated access: secure world sees everything; non-secure world
+  // faults on any overlap with a secure region.
+  Status CheckCpuAccess(World world, PhysAddr addr, uint64_t len) const;
+
+  // DMA access by `device`: allowed into non-secure memory always; into a
+  // secure region only if that region's permission bit for the device is set
+  // AND the transaction is contained in a single region (no straddling).
+  Status CheckDmaAccess(DeviceId device, PhysAddr addr, uint64_t len) const;
+
+  uint64_t cpu_faults() const { return cpu_faults_; }
+  uint64_t dma_faults() const { return dma_faults_; }
+  uint64_t reconfigurations() const { return reconfigurations_; }
+
+ private:
+  Status CheckCallerSecure(World caller) const;
+
+  std::array<TzascRegion, kNumRegions> regions_;
+  mutable uint64_t cpu_faults_ = 0;
+  mutable uint64_t dma_faults_ = 0;
+  uint64_t reconfigurations_ = 0;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_HW_TZASC_H_

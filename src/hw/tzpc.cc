@@ -1,0 +1,23 @@
+#include "src/hw/tzpc.h"
+
+namespace tzllm {
+
+Status Tzpc::SetSecure(World caller, DeviceId device, bool secure) {
+  if (caller != World::kSecure) {
+    return PermissionDenied("TZPC registers are secure-world only");
+  }
+  secure_[static_cast<size_t>(device)] = secure;
+  ++reconfigurations_;
+  return OkStatus();
+}
+
+Status Tzpc::CheckMmio(World world, DeviceId device) const {
+  if (world == World::kNonSecure && IsSecure(device)) {
+    ++mmio_faults_;
+    return PermissionDenied(std::string("non-secure MMIO to secure device ") +
+                            DeviceName(device));
+  }
+  return OkStatus();
+}
+
+}  // namespace tzllm

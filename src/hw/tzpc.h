@@ -1,0 +1,41 @@
+// TrustZone Protection Controller model: classifies each peripheral as
+// secure or non-secure and gates MMIO accordingly (paper §2.2). The TEE NPU
+// driver flips the NPU's bit on every world switch (§4.3) — while the bit is
+// set, REE MMIO to the NPU faults, which is what prevents the REE from
+// launching jobs during the secure-job window.
+
+#ifndef SRC_HW_TZPC_H_
+#define SRC_HW_TZPC_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/hw/types.h"
+
+namespace tzllm {
+
+class Tzpc {
+ public:
+  // Only the secure world may reclassify peripherals.
+  Status SetSecure(World caller, DeviceId device, bool secure);
+
+  bool IsSecure(DeviceId device) const {
+    return secure_[static_cast<size_t>(device)];
+  }
+
+  // MMIO access check: non-secure CPUs cannot touch secure peripherals.
+  Status CheckMmio(World world, DeviceId device) const;
+
+  uint64_t mmio_faults() const { return mmio_faults_; }
+  uint64_t reconfigurations() const { return reconfigurations_; }
+
+ private:
+  std::array<bool, kNumDeviceIds> secure_{};
+  mutable uint64_t mmio_faults_ = 0;
+  uint64_t reconfigurations_ = 0;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_HW_TZPC_H_

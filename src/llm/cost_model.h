@@ -1,0 +1,57 @@
+// Calibrated per-operator timing model (see src/common/calibration.h for the
+// provenance of every constant). Prefill operators are compute-bound
+// (FLOPs / backend throughput); decode operators are weight-streaming
+// bandwidth-bound. NPU job-launch overhead is *not* added here — the NPU
+// driver layer adds it per launched job, so batching/fusion effects are
+// modeled where they occur.
+
+#ifndef SRC_LLM_COST_MODEL_H_
+#define SRC_LLM_COST_MODEL_H_
+
+#include "src/common/calibration.h"
+#include "src/common/units.h"
+#include "src/llm/graph.h"
+#include "src/llm/model_spec.h"
+
+namespace tzllm {
+
+class CostModel {
+ public:
+  explicit CostModel(const ModelSpec* spec) : spec_(spec) {}
+
+  // Execution time of `node` on `backend` when processing `n_tokens` in the
+  // prefill phase.
+  SimDuration PrefillOpTime(const OpNode& node, int n_tokens,
+                            Backend backend) const;
+
+  // Execution time of `node` for one decode step at context position `pos`.
+  SimDuration DecodeOpTime(const OpNode& node, int pos, Backend backend) const;
+
+  // Aggregates over a graph (all ops on their preferred backend, or all on
+  // CPU when `npu_available` is false). Pure compute, no pipeline effects.
+  SimDuration PrefillComputeTime(const ComputeGraph& graph, int n_tokens,
+                                 bool npu_available) const;
+  SimDuration DecodeComputeTime(const ComputeGraph& graph, int pos,
+                                bool npu_available) const;
+
+  // Restoration-operator costs (per byte range of encrypted parameters).
+  static SimDuration LoadTime(uint64_t bytes) {
+    return kFlashRequestLatency + TransferTime(bytes, kFlashSequentialReadBw);
+  }
+  static SimDuration DecryptTime(uint64_t bytes) {
+    // Single-thread cost; parallelism across CPU lanes is the scheduler's.
+    return TransferTime(bytes, kDecryptPerThreadBw);
+  }
+
+ private:
+  // Natural (unscaled) weight elements drive FLOPs; scaled bytes drive
+  // bandwidth and I/O.
+  double MatmulFlops(const OpNode& node, int n_tokens) const;
+  SimDuration LightOpTime(const OpNode& node, int n_tokens) const;
+
+  const ModelSpec* spec_;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_LLM_COST_MODEL_H_

@@ -1,0 +1,61 @@
+// llama.cpp-shaped inference facade for functional models: owns the
+// tokenizer, KV cache, executor and sampler. This is the engine the REE
+// baselines run directly; the LLM TA embeds the same pieces behind the
+// secure-memory weight source (src/core/llm_ta.*).
+
+#ifndef SRC_LLM_ENGINE_H_
+#define SRC_LLM_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/llm/executor.h"
+#include "src/llm/kv_cache.h"
+#include "src/llm/model_spec.h"
+#include "src/llm/sampler.h"
+#include "src/llm/tokenizer.h"
+
+namespace tzllm {
+
+struct GenerationResult {
+  std::vector<TokenId> prompt_tokens;
+  std::vector<TokenId> output_tokens;
+  std::string text;
+};
+
+class LlmEngine {
+ public:
+  // Builds an engine over caller-provided weights (host memory).
+  LlmEngine(const ModelSpec& spec, std::unique_ptr<WeightSource> weights);
+
+  // Convenience: materializes reference weights for a functional spec.
+  static std::unique_ptr<LlmEngine> CreateUnprotected(const ModelSpec& spec,
+                                                      uint64_t weight_seed);
+
+  const ModelSpec& spec() const { return spec_; }
+  const Tokenizer& tokenizer() const { return *tokenizer_; }
+
+  // Full generation: tokenize, prefill, decode `max_new_tokens` (stops at
+  // EOS or context limit).
+  Result<GenerationResult> Generate(const std::string& prompt,
+                                    int max_new_tokens,
+                                    const Sampler::Options& sampling = {});
+
+  // Lower-level API used by integration tests.
+  Result<std::vector<float>> Prefill(const std::vector<TokenId>& tokens);
+  Result<std::vector<float>> DecodeStep(TokenId token);
+  void ResetContext() { kv_->Reset(); }
+
+ private:
+  ModelSpec spec_;
+  std::unique_ptr<WeightSource> weights_;
+  std::unique_ptr<Tokenizer> tokenizer_;
+  std::unique_ptr<KvCache> kv_;
+  std::unique_ptr<TransformerExecutor> executor_;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_LLM_ENGINE_H_

@@ -1,0 +1,216 @@
+#include "src/llm/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace tzllm {
+
+void RmsNorm(const float* x, const float* gain, float* out, int n) {
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(x[i]) * x[i];
+  }
+  const float inv = 1.0f / std::sqrt(static_cast<float>(sum / n) + 1e-5f);
+  for (int i = 0; i < n; ++i) {
+    out[i] = x[i] * inv * gain[i];
+  }
+}
+
+void Softmax(float* x, int n) {
+  float max = x[0];
+  for (int i = 1; i < n; ++i) {
+    max = std::max(max, x[i]);
+  }
+  float sum = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    x[i] = std::exp(x[i] - max);
+    sum += x[i];
+  }
+  const float inv = 1.0f / sum;
+  for (int i = 0; i < n; ++i) {
+    x[i] *= inv;
+  }
+}
+
+void ApplyRope(float* vec, int n_heads, int head_dim, int pos) {
+  for (int h = 0; h < n_heads; ++h) {
+    float* head = vec + h * head_dim;
+    for (int i = 0; i < head_dim; i += 2) {
+      const float freq =
+          std::pow(10000.0f, -static_cast<float>(i) / head_dim);
+      const float angle = pos * freq;
+      const float c = std::cos(angle);
+      const float s = std::sin(angle);
+      const float x0 = head[i];
+      const float x1 = head[i + 1];
+      head[i] = x0 * c - x1 * s;
+      head[i + 1] = x0 * s + x1 * c;
+    }
+  }
+}
+
+TransformerExecutor::TransformerExecutor(const ModelSpec* spec,
+                                         WeightSource* weights)
+    : spec_(spec), weights_(weights) {}
+
+Result<const uint8_t*> TransformerExecutor::Weights(TensorRole role,
+                                                    int layer) {
+  const TensorSpec* t = spec_->Find(role, layer);
+  if (t == nullptr) {
+    return Status(ErrorCode::kNotFound, "tensor spec missing");
+  }
+  return weights_->TensorData(t->index);
+}
+
+Status TransformerExecutor::EmbedToken(TokenId token,
+                                       std::vector<float>* hidden) {
+  const LlmConfig& c = spec_->config();
+  if (token < 0 || token >= c.vocab_size) {
+    return InvalidArgument("token out of vocabulary");
+  }
+  auto embd = Weights(TensorRole::kTokEmbedding, -1);
+  if (!embd.ok()) {
+    return embd.status();
+  }
+  hidden->assign(c.d_model, 0.0f);
+  // Row `token` of the Q8_0 embedding matrix.
+  const uint64_t row_blocks = c.d_model / kQ8BlockElems;
+  const uint8_t* row = *embd + static_cast<uint64_t>(token) * row_blocks *
+                                   kQ8BlockBytes;
+  DequantizeQ8(row, c.d_model, hidden->data());
+  return OkStatus();
+}
+
+Status TransformerExecutor::ForwardPosition(std::vector<float>* hidden,
+                                            int pos, KvCache* kv) {
+  const LlmConfig& c = spec_->config();
+  const int d = c.d_model;
+  const int head_dim = c.head_dim();
+  const int kv_dim = c.kv_dim();
+  const int group = c.n_heads / c.n_kv_heads;
+
+  std::vector<float> norm(d), q(d), k(kv_dim), v(kv_dim), attn_out(d);
+  std::vector<float> ff_norm(d), gate(c.d_ff), up(c.d_ff), down(d);
+
+  for (int l = 0; l < c.n_layers; ++l) {
+    // --- Attention block. ---
+    TZLLM_ASSIGN_OR_RETURN(w_norm, Weights(TensorRole::kAttnNorm, l));
+    RmsNorm(hidden->data(), reinterpret_cast<const float*>(w_norm),
+            norm.data(), d);
+
+    TZLLM_ASSIGN_OR_RETURN(wq, Weights(TensorRole::kWq, l));
+    TZLLM_ASSIGN_OR_RETURN(wk, Weights(TensorRole::kWk, l));
+    TZLLM_ASSIGN_OR_RETURN(wv, Weights(TensorRole::kWv, l));
+    std::fill(q.begin(), q.end(), 0.0f);
+    std::fill(k.begin(), k.end(), 0.0f);
+    std::fill(v.begin(), v.end(), 0.0f);
+    MatVecQ8(wq, d, d, norm.data(), q.data());
+    MatVecQ8(wk, kv_dim, d, norm.data(), k.data());
+    MatVecQ8(wv, kv_dim, d, norm.data(), v.data());
+
+    ApplyRope(q.data(), c.n_heads, head_dim, pos);
+    ApplyRope(k.data(), c.n_kv_heads, head_dim, pos);
+    TZLLM_RETURN_IF_ERROR(kv->Append(l, k.data(), v.data()));
+
+    // Causal attention over positions [0, pos].
+    std::fill(attn_out.begin(), attn_out.end(), 0.0f);
+    std::vector<float> scores(pos + 1);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+    for (int h = 0; h < c.n_heads; ++h) {
+      const int kv_head = h / group;
+      const float* qh = q.data() + h * head_dim;
+      for (int p = 0; p <= pos; ++p) {
+        const float* kp = kv->KeyAt(l, p) + kv_head * head_dim;
+        float dot = 0.0f;
+        for (int i = 0; i < head_dim; ++i) {
+          dot += qh[i] * kp[i];
+        }
+        scores[p] = dot * scale;
+      }
+      Softmax(scores.data(), pos + 1);
+      float* oh = attn_out.data() + h * head_dim;
+      for (int p = 0; p <= pos; ++p) {
+        const float* vp = kv->ValueAt(l, p) + kv_head * head_dim;
+        const float w = scores[p];
+        for (int i = 0; i < head_dim; ++i) {
+          oh[i] += w * vp[i];
+        }
+      }
+    }
+
+    TZLLM_ASSIGN_OR_RETURN(wo, Weights(TensorRole::kWo, l));
+    std::vector<float> proj(d, 0.0f);
+    MatVecQ8(wo, d, d, attn_out.data(), proj.data());
+    for (int i = 0; i < d; ++i) {
+      (*hidden)[i] += proj[i];
+    }
+
+    // --- FFN block (SwiGLU). ---
+    TZLLM_ASSIGN_OR_RETURN(w_ffn_norm, Weights(TensorRole::kFfnNorm, l));
+    RmsNorm(hidden->data(), reinterpret_cast<const float*>(w_ffn_norm),
+            ff_norm.data(), d);
+
+    TZLLM_ASSIGN_OR_RETURN(w_gate, Weights(TensorRole::kWGate, l));
+    TZLLM_ASSIGN_OR_RETURN(w_up, Weights(TensorRole::kWUp, l));
+    TZLLM_ASSIGN_OR_RETURN(w_down, Weights(TensorRole::kWDown, l));
+    std::fill(gate.begin(), gate.end(), 0.0f);
+    std::fill(up.begin(), up.end(), 0.0f);
+    std::fill(down.begin(), down.end(), 0.0f);
+    MatVecQ8(w_gate, c.d_ff, d, ff_norm.data(), gate.data());
+    MatVecQ8(w_up, c.d_ff, d, ff_norm.data(), up.data());
+    for (int i = 0; i < c.d_ff; ++i) {
+      const float g = gate[i];
+      const float silu = g / (1.0f + std::exp(-g));
+      gate[i] = silu * up[i];
+    }
+    MatVecQ8(w_down, d, c.d_ff, gate.data(), down.data());
+    for (int i = 0; i < d; ++i) {
+      (*hidden)[i] += down[i];
+    }
+  }
+  kv->FinishPosition();
+  return OkStatus();
+}
+
+Result<std::vector<float>> TransformerExecutor::Logits(
+    const std::vector<float>& hidden) {
+  const LlmConfig& c = spec_->config();
+  std::vector<float> norm(c.d_model);
+  auto w_norm = Weights(TensorRole::kOutputNorm, -1);
+  if (!w_norm.ok()) {
+    return w_norm.status();
+  }
+  RmsNorm(hidden.data(), reinterpret_cast<const float*>(*w_norm), norm.data(),
+          c.d_model);
+  auto head = Weights(TensorRole::kLmHead, -1);
+  if (!head.ok()) {
+    return head.status();
+  }
+  std::vector<float> logits(c.vocab_size, 0.0f);
+  MatVecQ8(*head, c.vocab_size, c.d_model, norm.data(), logits.data());
+  return logits;
+}
+
+Result<std::vector<float>> TransformerExecutor::Prefill(
+    const std::vector<TokenId>& tokens, KvCache* kv) {
+  if (tokens.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "empty prompt");
+  }
+  std::vector<float> hidden;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    TZLLM_RETURN_IF_ERROR(EmbedToken(tokens[i], &hidden));
+    TZLLM_RETURN_IF_ERROR(ForwardPosition(&hidden, kv->seq_len(), kv));
+  }
+  return Logits(hidden);
+}
+
+Result<std::vector<float>> TransformerExecutor::DecodeStep(TokenId token,
+                                                           KvCache* kv) {
+  std::vector<float> hidden;
+  TZLLM_RETURN_IF_ERROR(EmbedToken(token, &hidden));
+  TZLLM_RETURN_IF_ERROR(ForwardPosition(&hidden, kv->seq_len(), kv));
+  return Logits(hidden);
+}
+
+}  // namespace tzllm

@@ -1,0 +1,87 @@
+// Functional transformer forward pass (real math) over Q8_0 weights: RMSNorm
+// -> GQA attention with RoPE -> SwiGLU FFN, pre-norm residual architecture —
+// the computation llama.cpp performs for the Llama family.
+//
+// Weights are pulled through the WeightSource interface so the same executor
+// runs against host memory (REE baselines) or TZASC-protected secure memory
+// (the LLM TA): the integration tests assert bit-identical logits between
+// the two, proving the protected path computes the same function.
+
+#ifndef SRC_LLM_EXECUTOR_H_
+#define SRC_LLM_EXECUTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/llm/kv_cache.h"
+#include "src/llm/model_spec.h"
+#include "src/llm/tokenizer.h"
+
+namespace tzllm {
+
+// Access to tensor bytes by spec index. Implementations: HostWeightSource
+// (plain buffers) and the TA's secure-memory source.
+class WeightSource {
+ public:
+  virtual ~WeightSource() = default;
+  // Returns a pointer to the tensor's bytes (layout per TensorSpec dtype),
+  // or an error if the tensor is unavailable.
+  virtual Result<const uint8_t*> TensorData(int tensor_index) = 0;
+};
+
+class HostWeightSource : public WeightSource {
+ public:
+  explicit HostWeightSource(std::vector<Tensor> tensors)
+      : tensors_(std::move(tensors)) {}
+
+  Result<const uint8_t*> TensorData(int tensor_index) override {
+    if (tensor_index < 0 ||
+        tensor_index >= static_cast<int>(tensors_.size())) {
+      return Status(ErrorCode::kInvalidArgument, "bad tensor index");
+    }
+    if (!tensors_[tensor_index].materialized()) {
+      return Status(ErrorCode::kFailedPrecondition, "tensor not materialized");
+    }
+    return tensors_[tensor_index].data.data();
+  }
+
+  const std::vector<Tensor>& tensors() const { return tensors_; }
+
+ private:
+  std::vector<Tensor> tensors_;
+};
+
+class TransformerExecutor {
+ public:
+  TransformerExecutor(const ModelSpec* spec, WeightSource* weights);
+
+  // Runs the prompt through the model, filling the KV cache. Returns the
+  // logits of the last position (vocab_size floats).
+  Result<std::vector<float>> Prefill(const std::vector<TokenId>& tokens,
+                                     KvCache* kv);
+
+  // One incremental decode step for `token` at the cache's current position.
+  Result<std::vector<float>> DecodeStep(TokenId token, KvCache* kv);
+
+ private:
+  // Forward pass of one position given its embedding in `hidden`.
+  Status ForwardPosition(std::vector<float>* hidden, int pos, KvCache* kv);
+  Result<std::vector<float>> Logits(const std::vector<float>& hidden);
+  Status EmbedToken(TokenId token, std::vector<float>* hidden);
+
+  Result<const uint8_t*> Weights(TensorRole role, int layer);
+
+  const ModelSpec* spec_;
+  WeightSource* weights_;
+};
+
+// Numerics helpers shared with tests.
+void RmsNorm(const float* x, const float* gain, float* out, int n);
+void Softmax(float* x, int n);
+void ApplyRope(float* vec, int n_heads, int head_dim, int pos);
+
+}  // namespace tzllm
+
+#endif  // SRC_LLM_EXECUTOR_H_

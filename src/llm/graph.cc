@@ -1,0 +1,170 @@
+#include "src/llm/graph.h"
+
+namespace tzllm {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kEmbed:
+      return "embed";
+    case OpKind::kAttnNorm:
+      return "attn_norm";
+    case OpKind::kQkvMatmul:
+      return "qkv";
+    case OpKind::kAttention:
+      return "attention";
+    case OpKind::kAttnOut:
+      return "attn_out";
+    case OpKind::kFfnNorm:
+      return "ffn_norm";
+    case OpKind::kFfnGateUp:
+      return "ffn_gate_up";
+    case OpKind::kFfnAct:
+      return "ffn_act";
+    case OpKind::kFfnDown:
+      return "ffn_down";
+    case OpKind::kAttnFused:
+      return "attn_fused";
+    case OpKind::kFfnFused:
+      return "ffn_fused";
+    case OpKind::kOutputNorm:
+      return "output_norm";
+    case OpKind::kLmHead:
+      return "lm_head";
+  }
+  return "?";
+}
+
+std::string OpNode::DebugName() const {
+  std::string out = OpKindName(kind);
+  if (layer >= 0) {
+    out += "[" + std::to_string(layer) + "]";
+  }
+  return out;
+}
+
+int ComputeGraph::AddNode(OpKind kind, int layer, Backend backend,
+                          std::vector<int> tensor_indices,
+                          const ModelSpec& spec) {
+  OpNode node;
+  node.id = static_cast<int>(nodes_.size());
+  node.kind = kind;
+  node.layer = layer;
+  node.backend = backend;
+  node.tensor_indices = std::move(tensor_indices);
+  for (int ti : node.tensor_indices) {
+    const TensorSpec& t = spec.tensor(ti);
+    node.weight_elems += t.rows * t.cols;
+    node.weight_bytes += t.bytes;
+  }
+  if (node.id > 0) {
+    node.deps.push_back(node.id - 1);  // Transformer ops form a chain.
+  }
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+namespace {
+int IndexOf(const ModelSpec& spec, TensorRole role, int layer) {
+  const TensorSpec* t = spec.Find(role, layer);
+  return t == nullptr ? -1 : t->index;
+}
+}  // namespace
+
+ComputeGraph ComputeGraph::BuildPrefill(const ModelSpec& spec) {
+  ComputeGraph g;
+  g.phase_ = GraphPhase::kPrefill;
+  g.AddNode(OpKind::kEmbed, -1, Backend::kCpu,
+            {IndexOf(spec, TensorRole::kTokEmbedding, -1)}, spec);
+  for (int l = 0; l < spec.config().n_layers; ++l) {
+    g.AddNode(OpKind::kAttnNorm, l, Backend::kCpu,
+              {IndexOf(spec, TensorRole::kAttnNorm, l)}, spec);
+    g.AddNode(OpKind::kQkvMatmul, l, Backend::kNpu,
+              {IndexOf(spec, TensorRole::kWq, l),
+               IndexOf(spec, TensorRole::kWk, l),
+               IndexOf(spec, TensorRole::kWv, l)},
+              spec);
+    g.AddNode(OpKind::kAttention, l, Backend::kCpu, {}, spec);
+    g.AddNode(OpKind::kAttnOut, l, Backend::kNpu,
+              {IndexOf(spec, TensorRole::kWo, l)}, spec);
+    g.AddNode(OpKind::kFfnNorm, l, Backend::kCpu,
+              {IndexOf(spec, TensorRole::kFfnNorm, l)}, spec);
+    g.AddNode(OpKind::kFfnGateUp, l, Backend::kNpu,
+              {IndexOf(spec, TensorRole::kWGate, l),
+               IndexOf(spec, TensorRole::kWUp, l)},
+              spec);
+    g.AddNode(OpKind::kFfnAct, l, Backend::kCpu, {}, spec);
+    g.AddNode(OpKind::kFfnDown, l, Backend::kNpu,
+              {IndexOf(spec, TensorRole::kWDown, l)}, spec);
+  }
+  g.AddNode(OpKind::kOutputNorm, -1, Backend::kCpu,
+            {IndexOf(spec, TensorRole::kOutputNorm, -1)}, spec);
+  g.AddNode(OpKind::kLmHead, -1, Backend::kNpu,
+            {IndexOf(spec, TensorRole::kLmHead, -1)}, spec);
+  return g;
+}
+
+ComputeGraph ComputeGraph::BuildDecode(const ModelSpec& spec) {
+  ComputeGraph g;
+  g.phase_ = GraphPhase::kDecode;
+  g.AddNode(OpKind::kEmbed, -1, Backend::kCpu,
+            {IndexOf(spec, TensorRole::kTokEmbedding, -1)}, spec);
+  for (int l = 0; l < spec.config().n_layers; ++l) {
+    g.AddNode(OpKind::kAttnNorm, l, Backend::kCpu,
+              {IndexOf(spec, TensorRole::kAttnNorm, l)}, spec);
+    g.AddNode(OpKind::kAttnFused, l, Backend::kNpu,
+              {IndexOf(spec, TensorRole::kWq, l),
+               IndexOf(spec, TensorRole::kWk, l),
+               IndexOf(spec, TensorRole::kWv, l),
+               IndexOf(spec, TensorRole::kWo, l)},
+              spec);
+    g.AddNode(OpKind::kFfnNorm, l, Backend::kCpu,
+              {IndexOf(spec, TensorRole::kFfnNorm, l)}, spec);
+    g.AddNode(OpKind::kFfnFused, l, Backend::kNpu,
+              {IndexOf(spec, TensorRole::kWGate, l),
+               IndexOf(spec, TensorRole::kWUp, l),
+               IndexOf(spec, TensorRole::kWDown, l)},
+              spec);
+  }
+  g.AddNode(OpKind::kOutputNorm, -1, Backend::kCpu,
+            {IndexOf(spec, TensorRole::kOutputNorm, -1)}, spec);
+  g.AddNode(OpKind::kLmHead, -1, Backend::kNpu,
+            {IndexOf(spec, TensorRole::kLmHead, -1)}, spec);
+  return g;
+}
+
+std::vector<int> ComputeGraph::WeightConsumers() const {
+  std::vector<int> out;
+  for (const OpNode& n : nodes_) {
+    if (!n.tensor_indices.empty()) {
+      out.push_back(n.id);
+    }
+  }
+  return out;
+}
+
+uint64_t ComputeGraph::WeightBytesUpTo(int up_to_id) const {
+  uint64_t total = 0;
+  for (const OpNode& n : nodes_) {
+    if (n.id > up_to_id) {
+      break;
+    }
+    total += n.weight_bytes;
+  }
+  return total;
+}
+
+uint64_t ComputeGraph::TotalWeightBytes() const {
+  return WeightBytesUpTo(size() - 1);
+}
+
+int ComputeGraph::NpuOpCount() const {
+  int count = 0;
+  for (const OpNode& n : nodes_) {
+    if (n.backend == Backend::kNpu) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace tzllm

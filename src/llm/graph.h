@@ -1,0 +1,89 @@
+// DAG computation graphs (paper §3.2/§4.1): the inference framework
+// schedules operators in topological order, each consuming a known subset of
+// parameters — the determinism TZ-LLM's pipelined restoration exploits.
+//
+// Two graph shapes mirror llama.cpp's behaviour on the Rockchip backend:
+//   * prefill: per layer, four NPU matmul operators (QKV, attn-out,
+//     gate+up, down) interleaved with CPU operators (norms, attention,
+//     activation);
+//   * decode: per layer, two *fused* NPU operators (attention block, FFN
+//     block) — decode is launch-overhead sensitive, so the backend fuses.
+
+#ifndef SRC_LLM_GRAPH_H_
+#define SRC_LLM_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/llm/model_spec.h"
+
+namespace tzllm {
+
+enum class OpKind : uint8_t {
+  kEmbed,
+  kAttnNorm,
+  kQkvMatmul,
+  kAttention,   // scores/softmax/weighted sum (+rope), CPU-resident.
+  kAttnOut,
+  kFfnNorm,
+  kFfnGateUp,
+  kFfnAct,
+  kFfnDown,
+  kAttnFused,   // Decode: QKV + attention + out in one NPU job.
+  kFfnFused,    // Decode: gate/up + act + down in one NPU job.
+  kOutputNorm,
+  kLmHead,
+};
+
+const char* OpKindName(OpKind kind);
+
+enum class Backend : uint8_t { kCpu = 0, kNpu = 1 };
+
+struct OpNode {
+  int id = 0;
+  OpKind kind = OpKind::kEmbed;
+  int layer = -1;
+  // Preferred placement when an NPU is available; CPU-only systems (the
+  // strawman baseline) run everything on kCpu.
+  Backend backend = Backend::kCpu;
+  std::vector<int> tensor_indices;  // Weights this operator consumes.
+  std::vector<int> deps;            // Predecessor op ids.
+  uint64_t weight_elems = 0;        // Matmul weight elements (natural).
+  uint64_t weight_bytes = 0;        // Accounting bytes (scaled).
+  std::string DebugName() const;
+};
+
+enum class GraphPhase : uint8_t { kPrefill, kDecode };
+
+class ComputeGraph {
+ public:
+  static ComputeGraph BuildPrefill(const ModelSpec& spec);
+  static ComputeGraph BuildDecode(const ModelSpec& spec);
+
+  GraphPhase phase() const { return phase_; }
+  const std::vector<OpNode>& nodes() const { return nodes_; }
+  const OpNode& node(int id) const { return nodes_.at(id); }
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  // Ids of nodes that consume at least one weight tensor, in topological
+  // order — the restoration schedule (load order) of the model.
+  std::vector<int> WeightConsumers() const;
+
+  // Total accounting bytes of weights consumed by nodes [0, up_to_id].
+  uint64_t WeightBytesUpTo(int up_to_id) const;
+  uint64_t TotalWeightBytes() const;
+
+  int NpuOpCount() const;
+
+ private:
+  int AddNode(OpKind kind, int layer, Backend backend,
+              std::vector<int> tensor_indices, const ModelSpec& spec);
+
+  GraphPhase phase_ = GraphPhase::kPrefill;
+  std::vector<OpNode> nodes_;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_LLM_GRAPH_H_

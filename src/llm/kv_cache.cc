@@ -1,0 +1,53 @@
+#include "src/llm/kv_cache.h"
+
+#include <cstring>
+
+namespace tzllm {
+
+KvCache::KvCache(const ModelSpec& spec)
+    : n_layers_(spec.config().n_layers),
+      kv_dim_(spec.config().kv_dim()),
+      max_ctx_(spec.config().max_ctx),
+      filled_(n_layers_, 0),
+      k_(n_layers_),
+      v_(n_layers_) {
+  for (int l = 0; l < n_layers_; ++l) {
+    k_[l].resize(static_cast<size_t>(max_ctx_) * kv_dim_);
+    v_[l].resize(static_cast<size_t>(max_ctx_) * kv_dim_);
+  }
+}
+
+Status KvCache::Append(int layer, const float* k, const float* v) {
+  if (layer < 0 || layer >= n_layers_) {
+    return InvalidArgument("bad layer");
+  }
+  if (filled_[layer] >= max_ctx_) {
+    return ResourceExhausted("KV cache full (context length exceeded)");
+  }
+  const size_t off = static_cast<size_t>(filled_[layer]) * kv_dim_;
+  std::memcpy(&k_[layer][off], k, kv_dim_ * sizeof(float));
+  std::memcpy(&v_[layer][off], v, kv_dim_ * sizeof(float));
+  ++filled_[layer];
+  return OkStatus();
+}
+
+void KvCache::Reset() {
+  seq_len_ = 0;
+  for (int l = 0; l < n_layers_; ++l) {
+    filled_[l] = 0;
+  }
+}
+
+const float* KvCache::KeyAt(int layer, int pos) const {
+  return &k_[layer][static_cast<size_t>(pos) * kv_dim_];
+}
+
+const float* KvCache::ValueAt(int layer, int pos) const {
+  return &v_[layer][static_cast<size_t>(pos) * kv_dim_];
+}
+
+uint64_t KvCache::CurrentBytes() const {
+  return 2ull * n_layers_ * kv_dim_ * seq_len_ * 2;  // f16 accounting.
+}
+
+}  // namespace tzllm

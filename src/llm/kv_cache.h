@@ -1,0 +1,47 @@
+// Key/value cache: real storage for functional inference plus the size
+// accounting the secure scratch region needs (paper §4.2: the KV cache is
+// initialized to the prompt size in prefill, grows during decode, and is
+// fully released after inference).
+
+#ifndef SRC_LLM_KV_CACHE_H_
+#define SRC_LLM_KV_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/llm/model_spec.h"
+
+namespace tzllm {
+
+class KvCache {
+ public:
+  explicit KvCache(const ModelSpec& spec);
+
+  // Appends one position's K and V vectors (kv_dim floats each) for `layer`.
+  Status Append(int layer, const float* k, const float* v);
+
+  // Current sequence length (positions stored). Uniform across layers once a
+  // full forward pass completes.
+  int seq_len() const { return seq_len_; }
+  void FinishPosition() { ++seq_len_; }
+  void Reset();
+
+  const float* KeyAt(int layer, int pos) const;
+  const float* ValueAt(int layer, int pos) const;
+
+  uint64_t CurrentBytes() const;
+
+ private:
+  int n_layers_;
+  int kv_dim_;
+  int max_ctx_;
+  int seq_len_ = 0;
+  std::vector<int> filled_;            // Per-layer appended positions.
+  std::vector<std::vector<float>> k_;  // [layer][pos * kv_dim].
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_LLM_KV_CACHE_H_

@@ -1,0 +1,192 @@
+#include "src/llm/model_spec.h"
+
+#include <cmath>
+
+namespace tzllm {
+
+namespace {
+
+void AddTensor(std::vector<TensorSpec>* tensors, const std::string& name,
+               TensorRole role, int layer, uint64_t rows, uint64_t cols,
+               DType dtype) {
+  TensorSpec spec;
+  spec.index = static_cast<int>(tensors->size());
+  spec.name = name;
+  spec.role = role;
+  spec.layer = layer;
+  spec.rows = rows;
+  spec.cols = cols;
+  spec.dtype = dtype;
+  spec.data_bytes = DTypeByteSize(dtype, rows * cols);
+  spec.bytes = AlignUp(spec.data_bytes, kPageSize);
+  tensors->push_back(std::move(spec));
+}
+
+}  // namespace
+
+ModelSpec ModelSpec::Create(const LlmConfig& config) {
+  ModelSpec spec;
+  spec.config_ = config;
+  auto& tensors = spec.tensors_;
+  const uint64_t d = config.d_model;
+  const uint64_t kv = config.kv_dim();
+  const uint64_t ff = config.d_ff;
+  const uint64_t vocab = config.vocab_size;
+
+  AddTensor(&tensors, "token_embd.weight", TensorRole::kTokEmbedding, -1,
+            vocab, d, DType::kQ8_0);
+  for (int l = 0; l < config.n_layers; ++l) {
+    const std::string p = "blk." + std::to_string(l) + ".";
+    AddTensor(&tensors, p + "attn_norm.weight", TensorRole::kAttnNorm, l, 1, d,
+              DType::kF32);
+    AddTensor(&tensors, p + "attn_q.weight", TensorRole::kWq, l, d, d,
+              DType::kQ8_0);
+    AddTensor(&tensors, p + "attn_k.weight", TensorRole::kWk, l, kv, d,
+              DType::kQ8_0);
+    AddTensor(&tensors, p + "attn_v.weight", TensorRole::kWv, l, kv, d,
+              DType::kQ8_0);
+    AddTensor(&tensors, p + "attn_output.weight", TensorRole::kWo, l, d, d,
+              DType::kQ8_0);
+    AddTensor(&tensors, p + "ffn_norm.weight", TensorRole::kFfnNorm, l, 1, d,
+              DType::kF32);
+    AddTensor(&tensors, p + "ffn_gate.weight", TensorRole::kWGate, l, ff, d,
+              DType::kQ8_0);
+    AddTensor(&tensors, p + "ffn_up.weight", TensorRole::kWUp, l, ff, d,
+              DType::kQ8_0);
+    AddTensor(&tensors, p + "ffn_down.weight", TensorRole::kWDown, l, d, ff,
+              DType::kQ8_0);
+  }
+  AddTensor(&tensors, "output_norm.weight", TensorRole::kOutputNorm, -1, 1, d,
+            DType::kF32);
+  AddTensor(&tensors, "output.weight", TensorRole::kLmHead, -1, vocab, d,
+            DType::kQ8_0);
+
+  uint64_t natural = 0;
+  for (const TensorSpec& t : tensors) {
+    natural += t.data_bytes;
+  }
+  if (config.target_param_bytes != 0) {
+    spec.size_scale_ =
+        static_cast<double>(config.target_param_bytes) / natural;
+    for (TensorSpec& t : tensors) {
+      t.data_bytes = AlignUp(
+          static_cast<uint64_t>(std::llround(t.data_bytes * spec.size_scale_)),
+          64);
+      t.bytes = AlignUp(t.data_bytes, kPageSize);
+    }
+  }
+  uint64_t offset = 0;
+  uint64_t total = 0;
+  for (TensorSpec& t : tensors) {
+    t.file_offset = offset;
+    offset += t.bytes;
+    total += t.bytes;
+  }
+  spec.total_param_bytes_ = total;
+  return spec;
+}
+
+const TensorSpec* ModelSpec::Find(TensorRole role, int layer) const {
+  for (const TensorSpec& t : tensors_) {
+    if (t.role == role && t.layer == layer) {
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+uint64_t ModelSpec::KvCacheBytes(int n_tokens) const {
+  // K and V, f16, per layer.
+  return 2ull * config_.n_layers * config_.kv_dim() * n_tokens * 2;
+}
+
+uint64_t ModelSpec::ActivationBytes() const {
+  // Hidden state, attention scratch, logits and graph workspace. Matches the
+  // order of magnitude in Figure 1 (266.5 MB for Llama-3-8B).
+  return static_cast<uint64_t>(config_.d_model) * config_.max_ctx * 4 * 8 +
+         static_cast<uint64_t>(config_.vocab_size) * 4;
+}
+
+LlmConfig TinyLlama1_1B() {
+  LlmConfig c;
+  c.name = "TinyLlama-1.1B";
+  c.n_layers = 22;
+  c.d_model = 2048;
+  c.n_heads = 32;
+  c.n_kv_heads = 4;
+  c.d_ff = 5632;
+  c.vocab_size = 32000;
+  c.target_param_bytes = static_cast<uint64_t>(1.0 * kGiB);
+  return c;
+}
+
+LlmConfig Qwen2_5_3B() {
+  LlmConfig c;
+  c.name = "Qwen2.5-3B";
+  c.n_layers = 36;
+  c.d_model = 2048;
+  c.n_heads = 16;
+  c.n_kv_heads = 2;
+  c.d_ff = 11008;
+  c.vocab_size = 151936;
+  c.target_param_bytes = static_cast<uint64_t>(3.3 * kGiB);
+  return c;
+}
+
+LlmConfig Phi3_3_8B() {
+  LlmConfig c;
+  c.name = "Phi-3-3.8B";
+  c.n_layers = 32;
+  c.d_model = 3072;
+  c.n_heads = 32;
+  c.n_kv_heads = 32;
+  c.d_ff = 8192;
+  c.vocab_size = 32064;
+  c.target_param_bytes = static_cast<uint64_t>(3.7 * kGiB);
+  return c;
+}
+
+LlmConfig Llama3_8B() {
+  LlmConfig c;
+  c.name = "Llama-3-8B";
+  c.n_layers = 32;
+  c.d_model = 4096;
+  c.n_heads = 32;
+  c.n_kv_heads = 8;
+  c.d_ff = 14336;
+  c.vocab_size = 128256;
+  c.target_param_bytes = static_cast<uint64_t>(7.9 * kGiB);
+  return c;
+}
+
+std::vector<LlmConfig> PaperModels() {
+  return {TinyLlama1_1B(), Qwen2_5_3B(), Phi3_3_8B(), Llama3_8B()};
+}
+
+LlmConfig TestTinyModel() {
+  LlmConfig c;
+  c.name = "test-tiny";
+  c.n_layers = 2;
+  c.d_model = 64;
+  c.n_heads = 4;
+  c.n_kv_heads = 2;
+  c.d_ff = 160;
+  c.vocab_size = 256;
+  c.max_ctx = 128;
+  return c;
+}
+
+LlmConfig TestSmallModel() {
+  LlmConfig c;
+  c.name = "test-small";
+  c.n_layers = 4;
+  c.d_model = 128;
+  c.n_heads = 8;
+  c.n_kv_heads = 4;
+  c.d_ff = 352;
+  c.vocab_size = 512;
+  c.max_ctx = 256;
+  return c;
+}
+
+}  // namespace tzllm

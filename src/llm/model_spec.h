@@ -1,0 +1,111 @@
+// Model architecture descriptions: the four on-device LLMs the paper
+// evaluates (§7, "Models and deployment") plus tiny functional-test models.
+//
+// For the paper models the per-tensor byte sizes are scaled so the Q8_0
+// total matches the quoted parameter sizes (1.0 / 3.3 / 3.7 / 7.9 GiB —
+// Figure 1's "8137 MB" for Llama-3-8B is 7.95 GiB). Scaled models cannot be
+// materialized; the tiny models (scale 1.0) carry real weights.
+
+#ifndef SRC_LLM_MODEL_SPEC_H_
+#define SRC_LLM_MODEL_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/llm/tensor.h"
+
+namespace tzllm {
+
+struct LlmConfig {
+  std::string name;
+  int n_layers = 0;
+  int d_model = 0;
+  int n_heads = 0;
+  int n_kv_heads = 0;
+  int d_ff = 0;
+  int vocab_size = 0;
+  int max_ctx = 2048;
+  // If non-zero, tensor byte sizes are scaled so the total matches.
+  uint64_t target_param_bytes = 0;
+
+  int head_dim() const { return d_model / n_heads; }
+  int kv_dim() const { return n_kv_heads * head_dim(); }
+};
+
+enum class TensorRole : uint8_t {
+  kTokEmbedding,
+  kAttnNorm,
+  kWq,
+  kWk,
+  kWv,
+  kWo,
+  kFfnNorm,
+  kWGate,
+  kWUp,
+  kWDown,
+  kOutputNorm,
+  kLmHead,
+};
+
+struct TensorSpec {
+  int index = 0;
+  std::string name;
+  TensorRole role = TensorRole::kTokEmbedding;
+  int layer = -1;  // -1 for global tensors.
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  DType dtype = DType::kQ8_0;
+  // Payload size (natural storage size x model scale).
+  uint64_t data_bytes = 0;
+  // Storage extent in the data file / parameter region: data_bytes rounded
+  // up to a page. Page alignment is load-bearing: TZASC protection is page-
+  // granular, and extend_protected must never cover bytes a later flash DMA
+  // still has to write (§4.2).
+  uint64_t bytes = 0;
+  uint64_t file_offset = 0;
+};
+
+class ModelSpec {
+ public:
+  static ModelSpec Create(const LlmConfig& config);
+
+  const LlmConfig& config() const { return config_; }
+  const std::vector<TensorSpec>& tensors() const { return tensors_; }
+  const TensorSpec& tensor(int index) const { return tensors_.at(index); }
+
+  uint64_t total_param_bytes() const { return total_param_bytes_; }
+  double size_scale() const { return size_scale_; }
+  bool materializable() const { return size_scale_ == 1.0; }
+
+  // Finds the tensor for (role, layer); layer = -1 for globals.
+  const TensorSpec* Find(TensorRole role, int layer) const;
+
+  // KV-cache bytes for a context of `n_tokens` (f16 K and V per layer).
+  uint64_t KvCacheBytes(int n_tokens) const;
+  // Activation workspace bytes (fixed-size buffers, §4.2).
+  uint64_t ActivationBytes() const;
+
+ private:
+  LlmConfig config_;
+  std::vector<TensorSpec> tensors_;
+  uint64_t total_param_bytes_ = 0;
+  double size_scale_ = 1.0;
+};
+
+// --- Paper model presets. ---
+LlmConfig TinyLlama1_1B();  // 1.0 GiB at Q8_0.
+LlmConfig Qwen2_5_3B();     // 3.3 GiB.
+LlmConfig Phi3_3_8B();      // 3.7 GiB.
+LlmConfig Llama3_8B();      // 7.9 GiB.
+// All four, in the paper's order.
+std::vector<LlmConfig> PaperModels();
+
+// --- Functional-test presets (materializable). ---
+LlmConfig TestTinyModel();   // 2 layers, d=64: fast real inference.
+LlmConfig TestSmallModel();  // 4 layers, d=128: heavier integration tests.
+
+}  // namespace tzllm
+
+#endif  // SRC_LLM_MODEL_SPEC_H_

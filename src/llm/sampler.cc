@@ -1,0 +1,41 @@
+#include "src/llm/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tzllm {
+
+TokenId Sampler::Sample(const std::vector<float>& logits) {
+  if (logits.empty()) {
+    return -1;
+  }
+  if (options_.greedy) {
+    return static_cast<TokenId>(
+        std::max_element(logits.begin(), logits.end()) - logits.begin());
+  }
+  // Top-k with temperature.
+  const int k = std::min<int>(options_.top_k, static_cast<int>(logits.size()));
+  std::vector<int> ids(logits.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<int>(i);
+  }
+  std::partial_sort(ids.begin(), ids.begin() + k, ids.end(),
+                    [&](int a, int b) { return logits[a] > logits[b]; });
+  std::vector<double> probs(k);
+  double sum = 0.0;
+  const double inv_t = 1.0 / std::max(options_.temperature, 1e-3);
+  for (int i = 0; i < k; ++i) {
+    probs[i] = std::exp((logits[ids[i]] - logits[ids[0]]) * inv_t);
+    sum += probs[i];
+  }
+  double r = rng_.NextDouble() * sum;
+  for (int i = 0; i < k; ++i) {
+    r -= probs[i];
+    if (r <= 0.0) {
+      return ids[i];
+    }
+  }
+  return ids[k - 1];
+}
+
+}  // namespace tzllm

@@ -1,0 +1,37 @@
+// Token sampling: greedy argmax and seeded top-k — enough for deterministic
+// tests (greedy) and varied example output (top-k).
+
+#ifndef SRC_LLM_SAMPLER_H_
+#define SRC_LLM_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/llm/tokenizer.h"
+
+namespace tzllm {
+
+class Sampler {
+ public:
+  struct Options {
+    bool greedy = true;
+    int top_k = 40;
+    double temperature = 0.8;
+    uint64_t seed = 42;
+  };
+
+  Sampler() : Sampler(Options{}) {}
+  explicit Sampler(const Options& options)
+      : options_(options), rng_(options.seed) {}
+
+  TokenId Sample(const std::vector<float>& logits);
+
+ private:
+  Options options_;
+  Rng rng_;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_LLM_SAMPLER_H_

@@ -1,0 +1,73 @@
+// Tensor representation and Q8_0 block quantization (llama.cpp-compatible
+// layout: 32-element blocks, one fp16 scale + 32 int8 values = 34 bytes).
+//
+// Functional-mode models carry real data; paper-scale models carry only
+// shape/size metadata (data stays empty) and flow through the cost models.
+
+#ifndef SRC_LLM_TENSOR_H_
+#define SRC_LLM_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace tzllm {
+
+enum class DType : uint8_t {
+  kF32 = 0,
+  kF16 = 1,
+  kQ8_0 = 2,
+};
+
+const char* DTypeName(DType dtype);
+
+// Q8_0 geometry.
+inline constexpr uint64_t kQ8BlockElems = 32;
+inline constexpr uint64_t kQ8BlockBytes = 34;  // 2 (f16 scale) + 32 (int8).
+
+// Storage bytes for `elems` elements of `dtype`.
+uint64_t DTypeByteSize(DType dtype, uint64_t elems);
+
+// IEEE-754 half-precision conversions (round-to-nearest-even on the way in).
+uint16_t F32ToF16(float value);
+float F16ToF32(uint16_t half);
+
+// Quantizes `n` floats (n must be a multiple of 32 — pad beforehand) into
+// Q8_0 blocks at dst (DTypeByteSize(kQ8_0, n) bytes).
+void QuantizeQ8(const float* src, uint64_t n, uint8_t* dst);
+// Dequantizes n elements.
+void DequantizeQ8(const uint8_t* src, uint64_t n, float* dst);
+
+// y[r] += sum_c W[r,c] * x[c] for a Q8_0 row-major weight matrix W
+// (rows x cols, cols a multiple of 32). The workhorse of the functional
+// CPU/NPU backends.
+void MatVecQ8(const uint8_t* w, uint64_t rows, uint64_t cols, const float* x,
+              float* y);
+
+struct Tensor {
+  std::string name;
+  DType dtype = DType::kF32;
+  uint64_t rows = 0;  // For 1-D tensors rows==1.
+  uint64_t cols = 0;
+  std::vector<uint8_t> data;  // Empty for virtual (paper-scale) tensors.
+
+  uint64_t NumElements() const { return rows * cols; }
+  uint64_t ByteSize() const { return DTypeByteSize(dtype, NumElements()); }
+  bool materialized() const { return !data.empty(); }
+
+  const float* f32() const {
+    return reinterpret_cast<const float*>(data.data());
+  }
+  float* mutable_f32() { return reinterpret_cast<float*>(data.data()); }
+};
+
+// Builds a materialized tensor with small Gaussian weights (deterministic by
+// seed), quantized to `dtype`.
+Tensor MakeRandomTensor(const std::string& name, DType dtype, uint64_t rows,
+                        uint64_t cols, uint64_t seed, double stddev = 0.08);
+
+}  // namespace tzllm
+
+#endif  // SRC_LLM_TENSOR_H_

@@ -1,0 +1,159 @@
+#include "src/llm/tokenizer.h"
+
+#include <algorithm>
+#include <map>
+
+namespace tzllm {
+
+namespace {
+
+// Seed corpus for deterministic merge construction. Any text works; this one
+// keeps the merged vocabulary English-flavoured for readable examples.
+const char kSeedCorpus[] =
+    "the quick brown fox jumps over the lazy dog and then the model "
+    "generates tokens on the device while the trusted execution environment "
+    "protects the parameters from the rich execution environment because "
+    "confidential inference requires secure memory scaling and neural "
+    "processing unit time sharing between worlds with pipelined restoration "
+    "of encrypted weights that are loaded decrypted and computed in order "
+    "hello world this is a summary of the conversation please refine the "
+    "text and answer the question about the user interface automation task ";
+
+}  // namespace
+
+Tokenizer::Tokenizer(int vocab_size) {
+  vocab_size = std::max(vocab_size, static_cast<int>(kFirstMerged));
+  pieces_.reserve(vocab_size);
+  for (int b = 0; b < 256; ++b) {
+    pieces_.push_back(std::string(1, static_cast<char>(b)));
+  }
+  pieces_.push_back("<s>");   // kBos.
+  pieces_.push_back("</s>");  // kEos.
+
+  // Count n-grams (length 2..6) of the seed corpus; add the most frequent
+  // (weighted by length) until the vocabulary is full.
+  const std::string corpus(kSeedCorpus);
+  std::map<std::string, int> counts;
+  for (size_t len = 2; len <= 6; ++len) {
+    for (size_t i = 0; i + len <= corpus.size(); ++i) {
+      counts[corpus.substr(i, len)] += 1;
+    }
+  }
+  std::vector<std::pair<std::string, int>> ranked(counts.begin(),
+                                                  counts.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    const long sa = static_cast<long>(a.second) * a.first.size();
+    const long sb = static_cast<long>(b.second) * b.first.size();
+    if (sa != sb) {
+      return sa > sb;
+    }
+    return a.first < b.first;  // Deterministic tie-break.
+  });
+  for (const auto& [piece, count] : ranked) {
+    if (static_cast<int>(pieces_.size()) >= vocab_size) {
+      break;
+    }
+    if (count < 2) {
+      continue;
+    }
+    pieces_.push_back(piece);
+  }
+  BuildIndex();
+}
+
+void Tokenizer::BuildIndex() {
+  index_.clear();
+  max_piece_len_ = 1;
+  for (size_t id = 0; id < pieces_.size(); ++id) {
+    if (id == static_cast<size_t>(kBos) || id == static_cast<size_t>(kEos)) {
+      continue;  // Specials are never produced by text matching.
+    }
+    index_[pieces_[id]] = static_cast<TokenId>(id);
+    max_piece_len_ = std::max(max_piece_len_, pieces_[id].size());
+  }
+}
+
+std::vector<TokenId> Tokenizer::Encode(const std::string& text) const {
+  std::vector<TokenId> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    size_t len = std::min(max_piece_len_, text.size() - i);
+    TokenId match = -1;
+    for (; len >= 1; --len) {
+      auto it = index_.find(text.substr(i, len));
+      if (it != index_.end()) {
+        match = it->second;
+        break;
+      }
+    }
+    // len >= 1 always matches: single bytes are all in the index.
+    out.push_back(match);
+    i += len;
+  }
+  return out;
+}
+
+std::string Tokenizer::DecodeToken(TokenId token) const {
+  if (token < 0 || token >= static_cast<TokenId>(pieces_.size())) {
+    return "";
+  }
+  if (token == kBos || token == kEos) {
+    return "";
+  }
+  return pieces_[token];
+}
+
+std::string Tokenizer::Decode(const std::vector<TokenId>& tokens) const {
+  std::string out;
+  for (TokenId t : tokens) {
+    out += DecodeToken(t);
+  }
+  return out;
+}
+
+std::vector<uint8_t> Tokenizer::Serialize() const {
+  std::vector<uint8_t> blob;
+  auto put_u32 = [&](uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      blob.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  };
+  put_u32(static_cast<uint32_t>(pieces_.size()));
+  for (const std::string& piece : pieces_) {
+    put_u32(static_cast<uint32_t>(piece.size()));
+    blob.insert(blob.end(), piece.begin(), piece.end());
+  }
+  return blob;
+}
+
+Result<Tokenizer> Tokenizer::Deserialize(const std::vector<uint8_t>& blob) {
+  Tokenizer t;
+  size_t pos = 0;
+  auto get_u32 = [&](uint32_t* v) -> bool {
+    if (pos + 4 > blob.size()) {
+      return false;
+    }
+    *v = 0;
+    for (int i = 3; i >= 0; --i) {
+      *v = (*v << 8) | blob[pos + i];
+    }
+    pos += 4;
+    return true;
+  };
+  uint32_t count = 0;
+  if (!get_u32(&count) || count < kFirstMerged) {
+    return Status(ErrorCode::kDataCorruption, "bad tokenizer blob");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t len = 0;
+    if (!get_u32(&len) || pos + len > blob.size()) {
+      return Status(ErrorCode::kDataCorruption, "bad tokenizer blob");
+    }
+    t.pieces_.emplace_back(blob.begin() + pos, blob.begin() + pos + len);
+    pos += len;
+  }
+  t.BuildIndex();
+  return t;
+}
+
+}  // namespace tzllm

@@ -1,0 +1,57 @@
+// Byte-fallback greedy tokenizer: 256 byte tokens + BOS/EOS + a merge
+// vocabulary built deterministically from a seed corpus (the same way a BPE
+// vocab ships inside a GGUF file). Exact encode/decode round-trip for any
+// byte string — which is what the integration tests assert when comparing
+// protected vs. unprotected inference.
+//
+// The tokenizer state is part of the framework checkpoint (§3.2): building
+// the vocab is deliberately non-trivial work that Save/Restore elides.
+
+#ifndef SRC_LLM_TOKENIZER_H_
+#define SRC_LLM_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace tzllm {
+
+using TokenId = int32_t;
+
+class Tokenizer {
+ public:
+  static constexpr TokenId kBos = 256;
+  static constexpr TokenId kEos = 257;
+  static constexpr TokenId kFirstMerged = 258;
+
+  // Builds a vocabulary of `vocab_size` tokens (>= 258). Merged tokens are
+  // derived from frequent n-grams of an embedded seed corpus.
+  explicit Tokenizer(int vocab_size);
+
+  // Greedy longest-match encoding (no BOS prepended; callers decide).
+  std::vector<TokenId> Encode(const std::string& text) const;
+  std::string Decode(const std::vector<TokenId>& tokens) const;
+  std::string DecodeToken(TokenId token) const;
+
+  int vocab_size() const { return static_cast<int>(pieces_.size()); }
+
+  // Serialization for the checkpoint service.
+  std::vector<uint8_t> Serialize() const;
+  static Result<Tokenizer> Deserialize(const std::vector<uint8_t>& blob);
+
+ private:
+  Tokenizer() = default;
+  void BuildIndex();
+
+  std::vector<std::string> pieces_;  // pieces_[id] = token string.
+  // Longest-match index: piece -> id (byte pieces included).
+  std::unordered_map<std::string, TokenId> index_;
+  size_t max_piece_len_ = 1;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_LLM_TOKENIZER_H_

@@ -1,0 +1,310 @@
+#include "src/llm/tzguf.h"
+
+#include <cstring>
+
+#include "src/common/rng.h"
+
+namespace tzllm {
+
+namespace {
+
+constexpr char kMetaMagic[8] = {'T', 'Z', 'G', 'U', 'F', '0', '1', 0};
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(v); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  void Bytes(const uint8_t* data, size_t len) {
+    out_.insert(out_.end(), data, data + len);
+  }
+  std::vector<uint8_t> Take() { return std::move(out_); }
+
+ private:
+  std::vector<uint8_t> out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<uint8_t>& data) : data_(data) {}
+
+  bool U8(uint8_t* v) {
+    if (pos_ + 1 > data_.size()) {
+      return false;
+    }
+    *v = data_[pos_++];
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    if (pos_ + 4 > data_.size()) {
+      return false;
+    }
+    *v = 0;
+    for (int i = 3; i >= 0; --i) {
+      *v = (*v << 8) | data_[pos_ + i];
+    }
+    pos_ += 4;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (pos_ + 8 > data_.size()) {
+      return false;
+    }
+    *v = 0;
+    for (int i = 7; i >= 0; --i) {
+      *v = (*v << 8) | data_[pos_ + i];
+    }
+    pos_ += 8;
+    return true;
+  }
+  bool Str(std::string* s) {
+    uint32_t len = 0;
+    if (!U32(&len) || pos_ + len > data_.size()) {
+      return false;
+    }
+    s->assign(data_.begin() + pos_, data_.begin() + pos_ + len);
+    pos_ += len;
+    return true;
+  }
+  bool Bytes(uint8_t* out, size_t len) {
+    if (pos_ + len > data_.size()) {
+      return false;
+    }
+    std::memcpy(out, data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+ private:
+  const std::vector<uint8_t>& data_;
+  size_t pos_ = 0;
+};
+
+std::vector<uint8_t> SerializeMetaBody(const TzgufMeta& meta) {
+  ByteWriter w;
+  w.Str(meta.model_id);
+  const LlmConfig& c = meta.config;
+  w.Str(c.name);
+  w.U32(c.n_layers);
+  w.U32(c.d_model);
+  w.U32(c.n_heads);
+  w.U32(c.n_kv_heads);
+  w.U32(c.d_ff);
+  w.U32(c.vocab_size);
+  w.U32(c.max_ctx);
+  w.U64(c.target_param_bytes);
+  w.U8(meta.materialized ? 1 : 0);
+  w.U64(meta.data_file_bytes);
+  w.U32(static_cast<uint32_t>(meta.tensor_tags.size()));
+  for (const Sha256Digest& tag : meta.tensor_tags) {
+    w.Bytes(tag.data(), tag.size());
+  }
+  return w.Take();
+}
+
+Result<TzgufMeta> DeserializeMetaBody(const std::vector<uint8_t>& body) {
+  TzgufMeta meta;
+  ByteReader r(body);
+  LlmConfig& c = meta.config;
+  uint32_t layers = 0, d = 0, heads = 0, kv = 0, ff = 0, vocab = 0, ctx = 0;
+  uint8_t materialized = 0;
+  uint32_t n_tags = 0;
+  if (!r.Str(&meta.model_id) || !r.Str(&c.name) || !r.U32(&layers) ||
+      !r.U32(&d) || !r.U32(&heads) || !r.U32(&kv) || !r.U32(&ff) ||
+      !r.U32(&vocab) || !r.U32(&ctx) || !r.U64(&c.target_param_bytes) ||
+      !r.U8(&materialized) || !r.U64(&meta.data_file_bytes) ||
+      !r.U32(&n_tags)) {
+    return Status(ErrorCode::kDataCorruption, "truncated TZGUF meta");
+  }
+  c.n_layers = layers;
+  c.d_model = d;
+  c.n_heads = heads;
+  c.n_kv_heads = kv;
+  c.d_ff = ff;
+  c.vocab_size = vocab;
+  c.max_ctx = ctx;
+  meta.materialized = materialized != 0;
+  meta.tensor_tags.resize(n_tags);
+  for (auto& tag : meta.tensor_tags) {
+    if (!r.Bytes(tag.data(), tag.size())) {
+      return Status(ErrorCode::kDataCorruption, "truncated TZGUF tags");
+    }
+  }
+  return meta;
+}
+
+}  // namespace
+
+std::vector<Tensor> Tzguf::ReferenceWeights(const ModelSpec& spec,
+                                            uint64_t weight_seed) {
+  std::vector<Tensor> tensors;
+  tensors.reserve(spec.tensors().size());
+  for (const TensorSpec& t : spec.tensors()) {
+    // Norm gains around 1.0 keep activations stable; weights around 0.
+    if (t.dtype == DType::kF32) {
+      Tensor norm = MakeRandomTensor(t.name, DType::kF32, t.rows, t.cols,
+                                     weight_seed, 0.02);
+      for (uint64_t i = 0; i < norm.NumElements(); ++i) {
+        norm.mutable_f32()[i] += 1.0f;
+      }
+      tensors.push_back(std::move(norm));
+    } else {
+      tensors.push_back(
+          MakeRandomTensor(t.name, t.dtype, t.rows, t.cols, weight_seed));
+    }
+  }
+  return tensors;
+}
+
+Result<TzgufMeta> Tzguf::Provision(FlashDevice* flash,
+                                   const KeyHierarchy& keys,
+                                   const std::string& model_id,
+                                   const ModelSpec& spec, uint64_t weight_seed,
+                                   bool materialize) {
+  if (materialize && !spec.materializable()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "scaled (paper-size) models cannot be materialized");
+  }
+  const AesKey128 model_key = keys.DeriveModelKey(model_id);
+
+  TzgufMeta meta;
+  meta.model_id = model_id;
+  meta.config = spec.config();
+  meta.materialized = materialize;
+  meta.data_file_bytes = spec.total_param_bytes();
+  meta.tensor_tags.assign(spec.tensors().size(), Sha256Digest{});
+
+  // --- Data file. ---
+  if (materialize) {
+    std::vector<Tensor> weights = ReferenceWeights(spec, weight_seed);
+    std::vector<uint8_t> data(spec.total_param_bytes(), 0);
+    AesCtr ctr(model_key, DataIv(model_id));
+    for (size_t i = 0; i < weights.size(); ++i) {
+      const TensorSpec& ts = spec.tensor(static_cast<int>(i));
+      const Tensor& t = weights[i];
+      if (t.data.size() != ts.data_bytes) {
+        return Status(ErrorCode::kInternal, "tensor size mismatch");
+      }
+      meta.tensor_tags[i] = Sha256::Hash(t.data.data(), t.data.size());
+      std::memcpy(data.data() + ts.file_offset, t.data.data(), t.data.size());
+      // Encrypt the whole page-aligned extent (padding included) so the
+      // flash image carries no plaintext-zero structure.
+      ctr.Crypt(ts.file_offset, data.data() + ts.file_offset, ts.bytes);
+    }
+    TZLLM_RETURN_IF_ERROR(flash->CreateFile(meta.DataFile(), std::move(data)));
+  } else {
+    TZLLM_RETURN_IF_ERROR(flash->CreateSyntheticFile(
+        meta.DataFile(), spec.total_param_bytes(), SplitMix64(weight_seed)));
+  }
+
+  // --- Meta file: magic | sha256(body) | encrypted body. ---
+  std::vector<uint8_t> body = SerializeMetaBody(meta);
+  const Sha256Digest body_digest = Sha256::Hash(body.data(), body.size());
+  AesCtr meta_ctr(model_key, KeyHierarchy::ModelIv("meta/" + model_id));
+  meta_ctr.CryptAll(body.data(), body.size());
+
+  ByteWriter w;
+  w.Bytes(reinterpret_cast<const uint8_t*>(kMetaMagic), sizeof(kMetaMagic));
+  w.Bytes(body_digest.data(), body_digest.size());
+  w.Bytes(body.data(), body.size());
+  TZLLM_RETURN_IF_ERROR(flash->CreateFile(meta.MetaFile(), w.Take()));
+
+  // --- Wrapped key file. ---
+  const WrappedModelKey wrapped = keys.WrapModelKey(model_id, model_key);
+  ByteWriter kw;
+  kw.Str(wrapped.model_id);
+  kw.U32(static_cast<uint32_t>(wrapped.ciphertext.size()));
+  kw.Bytes(wrapped.ciphertext.data(), wrapped.ciphertext.size());
+  kw.Bytes(wrapped.iv.data(), wrapped.iv.size());
+  kw.Bytes(wrapped.integrity_tag.data(), wrapped.integrity_tag.size());
+  TZLLM_RETURN_IF_ERROR(flash->CreateFile(KeyFile(model_id), kw.Take()));
+
+  return meta;
+}
+
+Result<WrappedModelKey> Tzguf::ReadWrappedKey(FlashDevice* flash,
+                                              const std::string& model_id) {
+  auto size = flash->FileSize(KeyFile(model_id));
+  if (!size.ok()) {
+    return size.status();
+  }
+  std::vector<uint8_t> blob(*size);
+  TZLLM_RETURN_IF_ERROR(
+      flash->PeekBytes(KeyFile(model_id), 0, *size, blob.data()));
+  ByteReader r(blob);
+  WrappedModelKey wrapped;
+  uint32_t ct_len = 0;
+  if (!r.Str(&wrapped.model_id) || !r.U32(&ct_len) || ct_len > 64) {
+    return Status(ErrorCode::kDataCorruption, "bad wrapped key blob");
+  }
+  wrapped.ciphertext.resize(ct_len);
+  if (!r.Bytes(wrapped.ciphertext.data(), ct_len) ||
+      !r.Bytes(wrapped.iv.data(), wrapped.iv.size()) ||
+      !r.Bytes(wrapped.integrity_tag.data(), wrapped.integrity_tag.size())) {
+    return Status(ErrorCode::kDataCorruption, "bad wrapped key blob");
+  }
+  return wrapped;
+}
+
+Result<TzgufMeta> Tzguf::ReadMeta(FlashDevice* flash,
+                                  const std::string& model_id,
+                                  const AesKey128& key) {
+  const std::string file = model_id + ".meta";
+  auto size = flash->FileSize(file);
+  if (!size.ok()) {
+    return size.status();
+  }
+  if (*size < sizeof(kMetaMagic) + 32) {
+    return Status(ErrorCode::kDataCorruption, "TZGUF meta truncated");
+  }
+  std::vector<uint8_t> blob(*size);
+  TZLLM_RETURN_IF_ERROR(flash->PeekBytes(file, 0, *size, blob.data()));
+  if (std::memcmp(blob.data(), kMetaMagic, sizeof(kMetaMagic)) != 0) {
+    return Status(ErrorCode::kDataCorruption, "TZGUF magic mismatch");
+  }
+  Sha256Digest stored;
+  std::memcpy(stored.data(), blob.data() + sizeof(kMetaMagic), 32);
+  std::vector<uint8_t> body(blob.begin() + sizeof(kMetaMagic) + 32,
+                            blob.end());
+  AesCtr ctr(key, KeyHierarchy::ModelIv("meta/" + model_id));
+  ctr.CryptAll(body.data(), body.size());
+  if (Sha256::Hash(body.data(), body.size()) != stored) {
+    return Status(ErrorCode::kDataCorruption,
+                  "TZGUF meta integrity check failed (wrong key or tamper)");
+  }
+  return DeserializeMetaBody(body);
+}
+
+void Tzguf::DecryptExtent(const AesKey128& key, const std::string& model_id,
+                          uint64_t file_offset, uint8_t* data, uint64_t len) {
+  AesCtr ctr(key, DataIv(model_id));
+  ctr.Crypt(file_offset, data, len);
+}
+
+Status Tzguf::VerifyTensor(const TzgufMeta& meta, int index,
+                           const uint8_t* data, uint64_t len) {
+  if (index < 0 || index >= static_cast<int>(meta.tensor_tags.size())) {
+    return InvalidArgument("tensor index out of range");
+  }
+  if (!meta.materialized) {
+    return OkStatus();  // Paper-scale models are tagless.
+  }
+  if (Sha256::Hash(data, len) != meta.tensor_tags[index]) {
+    return DataCorruption("tensor checksum mismatch (forged model content?)");
+  }
+  return OkStatus();
+}
+
+}  // namespace tzllm

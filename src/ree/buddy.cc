@@ -1,0 +1,87 @@
+#include "src/ree/buddy.h"
+
+#include <algorithm>
+
+namespace tzllm {
+
+BuddyAllocator::BuddyAllocator(uint64_t base_pfn, uint64_t num_pages)
+    : base_pfn_(base_pfn), num_pages_(num_pages) {
+  // Seed free lists greedily with the largest aligned blocks.
+  uint64_t pfn = 0;
+  while (pfn < num_pages) {
+    int order = kMaxOrder;
+    while (order > 0 &&
+           ((pfn & ((1ull << order) - 1)) != 0 ||
+            pfn + (1ull << order) > num_pages)) {
+      --order;
+    }
+    free_lists_[order].insert(pfn);
+    free_pages_ += 1ull << order;
+    pfn += 1ull << order;
+  }
+}
+
+Result<uint64_t> BuddyAllocator::AllocBlock(int order) {
+  if (order < 0 || order > kMaxOrder) {
+    return InvalidArgument("bad buddy order");
+  }
+  int o = order;
+  while (o <= kMaxOrder && free_lists_[o].empty()) {
+    ++o;
+  }
+  if (o > kMaxOrder) {
+    return OutOfMemory("buddy exhausted at requested order");
+  }
+  uint64_t rel = *free_lists_[o].begin();
+  free_lists_[o].erase(free_lists_[o].begin());
+  // Split down to the requested order, returning the low half each time.
+  while (o > order) {
+    --o;
+    free_lists_[o].insert(rel + (1ull << o));
+  }
+  free_pages_ -= 1ull << order;
+  return base_pfn_ + rel;
+}
+
+Status BuddyAllocator::FreeBlock(uint64_t pfn, int order) {
+  if (order < 0 || order > kMaxOrder) {
+    return InvalidArgument("bad buddy order");
+  }
+  if (pfn < base_pfn_ || pfn + (1ull << order) > base_pfn_ + num_pages_) {
+    return InvalidArgument("free outside buddy range");
+  }
+  uint64_t rel = pfn - base_pfn_;
+  free_pages_ += 1ull << order;
+  // Coalesce with the buddy while possible.
+  while (order < kMaxOrder) {
+    const uint64_t buddy = BuddyOf(rel, order);
+    auto it = free_lists_[order].find(buddy);
+    if (it == free_lists_[order].end()) {
+      break;
+    }
+    free_lists_[order].erase(it);
+    rel = std::min(rel, buddy);
+    ++order;
+  }
+  free_lists_[order].insert(rel);
+  return OkStatus();
+}
+
+Status BuddyAllocator::AllocPages(uint64_t n, std::vector<uint64_t>* out) {
+  for (uint64_t i = 0; i < n; ++i) {
+    TZLLM_ASSIGN_OR_RETURN(pfn, AllocBlock(0));
+    out->push_back(pfn);
+  }
+  return OkStatus();
+}
+
+int BuddyAllocator::LargestFreeOrder() const {
+  for (int o = kMaxOrder; o >= 0; --o) {
+    if (!free_lists_[o].empty()) {
+      return o;
+    }
+  }
+  return -1;
+}
+
+}  // namespace tzllm

@@ -1,0 +1,62 @@
+// Binary buddy page allocator (Linux-like, orders 0..kMaxOrder) managing the
+// non-CMA portion of DRAM. Used three ways:
+//  * the REE-LLM-Flash baseline allocates its (non-contiguous) parameter
+//    pages here (Figure 3 "Buddy system" series),
+//  * stress / REE application pressure allocates movable pages here first,
+//  * CMA migration allocates destination pages here when evacuating the
+//    contiguous region.
+
+#ifndef SRC_REE_BUDDY_H_
+#define SRC_REE_BUDDY_H_
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace tzllm {
+
+class BuddyAllocator {
+ public:
+  static constexpr int kMaxOrder = 10;  // Largest block: 2^10 pages = 4 MiB.
+
+  // Manages page frame numbers [base_pfn, base_pfn + num_pages).
+  BuddyAllocator(uint64_t base_pfn, uint64_t num_pages);
+
+  // Allocates one block of 2^order pages. Returns the first PFN.
+  Result<uint64_t> AllocBlock(int order);
+
+  // Frees a block previously returned by AllocBlock at the same order.
+  Status FreeBlock(uint64_t pfn, int order);
+
+  // Allocates `n` single pages (order-0), not necessarily contiguous.
+  // Appends PFNs to `out`. Fails (without rollback) when exhausted.
+  Status AllocPages(uint64_t n, std::vector<uint64_t>* out);
+  Status FreePage(uint64_t pfn) { return FreeBlock(pfn, 0); }
+
+  uint64_t free_pages() const { return free_pages_; }
+  uint64_t total_pages() const { return num_pages_; }
+  uint64_t base_pfn() const { return base_pfn_; }
+
+  // Largest currently allocatable order (fragmentation probe).
+  int LargestFreeOrder() const;
+
+ private:
+  uint64_t BuddyOf(uint64_t rel_pfn, int order) const {
+    return rel_pfn ^ (1ull << order);
+  }
+
+  uint64_t base_pfn_;
+  uint64_t num_pages_;
+  uint64_t free_pages_ = 0;
+  // Free lists per order hold *relative* PFNs; sets give deterministic
+  // ordering and O(log n) buddy lookup.
+  std::array<std::set<uint64_t>, kMaxOrder + 1> free_lists_;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_REE_BUDDY_H_

@@ -1,0 +1,135 @@
+#include "src/ree/cma.h"
+
+#include <algorithm>
+
+namespace tzllm {
+
+CmaRegion::CmaRegion(uint64_t base_pfn, uint64_t num_pages,
+                     BuddyAllocator* outside, PhysMemory* dram)
+    : base_pfn_(base_pfn),
+      num_pages_(num_pages),
+      outside_(outside),
+      dram_(dram),
+      state_(num_pages, PageState::kFree),
+      free_pages_(num_pages) {}
+
+Result<uint64_t> CmaRegion::BorrowMovablePage() {
+  if (free_pages_ == 0) {
+    return OutOfMemory("CMA region has no free pages to borrow");
+  }
+  // Scan from the cursor so borrowed pages spread across the region the way
+  // long-running page-cache / anonymous allocations do, rather than packing
+  // at the start (this is what makes migration cost scale with pressure).
+  for (uint64_t i = 0; i < num_pages_; ++i) {
+    const uint64_t idx = (borrow_cursor_ + i) % num_pages_;
+    if (state_[idx] == PageState::kFree) {
+      state_[idx] = PageState::kMovable;
+      --free_pages_;
+      ++movable_pages_;
+      borrow_cursor_ = (idx + 1) % num_pages_;
+      return base_pfn_ + idx;
+    }
+  }
+  return OutOfMemory("CMA region has no free pages to borrow");
+}
+
+Status CmaRegion::ReturnMovablePage(uint64_t pfn) {
+  if (pfn < base_pfn_ || pfn >= base_pfn_ + num_pages_) {
+    return InvalidArgument("PFN outside CMA region");
+  }
+  const uint64_t idx = pfn - base_pfn_;
+  if (state_[idx] != PageState::kMovable) {
+    return FailedPrecondition("page is not a borrowed movable page");
+  }
+  state_[idx] = PageState::kFree;
+  ++free_pages_;
+  --movable_pages_;
+  return OkStatus();
+}
+
+SimDuration CmaRegion::MigrationCpuTime(uint64_t migrated, uint64_t claimed) {
+  return migrated * (kCmaMigrateCopyPerPage + kCmaMigrateFixedPerPage) +
+         claimed * kBuddyAllocPerPage;
+}
+
+Result<CmaRegion::AllocOutcome> CmaRegion::AllocContiguousAt(uint64_t at_pfn,
+                                                             uint64_t pages) {
+  if (at_pfn < base_pfn_ || at_pfn + pages > base_pfn_ + num_pages_) {
+    return InvalidArgument("contiguous range outside CMA region");
+  }
+  const uint64_t start = at_pfn - base_pfn_;
+  // Pass 1: validate and count.
+  AllocOutcome outcome;
+  for (uint64_t i = start; i < start + pages; ++i) {
+    switch (state_[i]) {
+      case PageState::kFree:
+        ++outcome.claimed_free;
+        break;
+      case PageState::kMovable:
+        ++outcome.migrated_pages;
+        break;
+      case PageState::kPinned:
+        return FailedPrecondition("contiguous range overlaps pinned pages");
+    }
+  }
+  // Pass 2: migrate movable squatters out, then pin the range.
+  for (uint64_t i = start; i < start + pages; ++i) {
+    if (state_[i] == PageState::kMovable) {
+      TZLLM_ASSIGN_OR_RETURN(dst_pfn, outside_->AllocBlock(0));
+      // Copy the page contents if the squatter ever wrote them. (Contents of
+      // movable pages are opaque to the kernel: always preserved.)
+      const PhysAddr src = PagesToBytes(base_pfn_ + i);
+      const PhysAddr dst = PagesToBytes(dst_pfn);
+      if (dram_->IsTouched(src, kPageSize)) {
+        TZLLM_RETURN_IF_ERROR(dram_->Copy(dst, src, kPageSize));
+      }
+      --movable_pages_;
+      ++total_migrated_;
+    } else {
+      --free_pages_;
+    }
+    state_[i] = PageState::kPinned;
+    ++pinned_pages_;
+  }
+  outcome.base_pfn = at_pfn;
+  outcome.pages = pages;
+  outcome.cpu_time =
+      MigrationCpuTime(outcome.migrated_pages, outcome.claimed_free);
+  return outcome;
+}
+
+Result<CmaRegion::AllocOutcome> CmaRegion::AllocContiguous(uint64_t pages) {
+  // First-fit over non-pinned runs.
+  uint64_t run = 0;
+  for (uint64_t i = 0; i < num_pages_; ++i) {
+    if (state_[i] == PageState::kPinned) {
+      run = 0;
+      continue;
+    }
+    ++run;
+    if (run == pages) {
+      return AllocContiguousAt(base_pfn_ + i + 1 - pages, pages);
+    }
+  }
+  return OutOfMemory("no contiguous run available in CMA region");
+}
+
+Status CmaRegion::FreeContiguous(uint64_t base_pfn, uint64_t pages) {
+  if (base_pfn < base_pfn_ || base_pfn + pages > base_pfn_ + num_pages_) {
+    return InvalidArgument("free range outside CMA region");
+  }
+  const uint64_t start = base_pfn - base_pfn_;
+  for (uint64_t i = start; i < start + pages; ++i) {
+    if (state_[i] != PageState::kPinned) {
+      return FailedPrecondition("freeing a page that was not allocated");
+    }
+  }
+  for (uint64_t i = start; i < start + pages; ++i) {
+    state_[i] = PageState::kFree;
+    --pinned_pages_;
+    ++free_pages_;
+  }
+  return OkStatus();
+}
+
+}  // namespace tzllm

@@ -1,0 +1,89 @@
+// Linux-style Contiguous Memory Allocator model with movable-page migration
+// (paper §2.2/§2.3): a reserved physical range whose free pages may be
+// borrowed for *movable* allocations; contiguous allocation migrates the
+// squatters out (allocate destination outside CMA, copy, remap, free).
+//
+// The time model is page-granular and calibrated to the paper's measured
+// 1.9 GB/s single-threaded migration throughput; the byte movement is real
+// (through PhysMemory) whenever the source page was ever written.
+//
+// TZ-LLM-specific behaviour reproduced here: AllocContiguous can be asked to
+// place the new extent *adjacent to the previous allocation* so the TEE can
+// keep one TZASC region covering all parameter memory (§4.2).
+
+#ifndef SRC_REE_CMA_H_
+#define SRC_REE_CMA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/calibration.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/hw/phys_mem.h"
+#include "src/ree/buddy.h"
+
+namespace tzllm {
+
+class CmaRegion {
+ public:
+  // The region covers PFNs [base_pfn, base_pfn + num_pages). `outside` is
+  // the buddy allocator used for migration destination pages.
+  CmaRegion(uint64_t base_pfn, uint64_t num_pages, BuddyAllocator* outside,
+            PhysMemory* dram);
+
+  // --- Movable borrowing (what stress / page cache does under pressure). ---
+  // Borrows one free CMA page for a movable allocation. Fails if none free.
+  Result<uint64_t> BorrowMovablePage();
+  Status ReturnMovablePage(uint64_t pfn);
+
+  struct AllocOutcome {
+    uint64_t base_pfn = 0;
+    uint64_t pages = 0;
+    uint64_t migrated_pages = 0;   // Movable pages evacuated.
+    uint64_t claimed_free = 0;     // Pages that were simply free.
+    SimDuration cpu_time = 0;      // Single-threaded CPU cost of the whole op.
+  };
+
+  // Allocates `pages` contiguous pages starting exactly at `at_pfn`
+  // (callers pass prev_end for the adjacency requirement, or base_pfn for a
+  // fresh region). Migrates movable squatters to `outside`; fails if any
+  // page in range is pinned (owned by a previous contiguous allocation) or
+  // if the outside allocator cannot absorb the evacuees.
+  Result<AllocOutcome> AllocContiguousAt(uint64_t at_pfn, uint64_t pages);
+
+  // Finds the lowest position where `pages` can be allocated, then allocates
+  // (first-fit). Used by non-TZ-LLM CMA clients.
+  Result<AllocOutcome> AllocContiguous(uint64_t pages);
+
+  // Releases a contiguous range back to the CMA free pool.
+  Status FreeContiguous(uint64_t base_pfn, uint64_t pages);
+
+  uint64_t base_pfn() const { return base_pfn_; }
+  uint64_t num_pages() const { return num_pages_; }
+  uint64_t free_pages() const { return free_pages_; }
+  uint64_t movable_pages() const { return movable_pages_; }
+  uint64_t pinned_pages() const { return pinned_pages_; }
+  uint64_t total_migrated() const { return total_migrated_; }
+
+  // Single-threaded CPU time to migrate/claim the given page counts.
+  static SimDuration MigrationCpuTime(uint64_t migrated, uint64_t claimed);
+
+ private:
+  enum class PageState : uint8_t { kFree, kMovable, kPinned };
+
+  uint64_t base_pfn_;
+  uint64_t num_pages_;
+  BuddyAllocator* outside_;
+  PhysMemory* dram_;
+  std::vector<PageState> state_;
+  uint64_t free_pages_;
+  uint64_t movable_pages_ = 0;
+  uint64_t pinned_pages_ = 0;
+  uint64_t total_migrated_ = 0;
+  uint64_t borrow_cursor_ = 0;  // Round-robin hint for BorrowMovablePage.
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_REE_CMA_H_

@@ -1,0 +1,105 @@
+#include "src/ree/memory_manager.h"
+
+#include <algorithm>
+
+#include "src/common/calibration.h"
+
+namespace tzllm {
+
+ReeMemoryManager::ReeMemoryManager(const ReeMemoryLayout& layout,
+                                   PhysMemory* dram)
+    : layout_(layout) {
+  const uint64_t total_pages = BytesToPages(layout.dram_bytes);
+  const uint64_t kernel_pages = BytesToPages(layout.kernel_bytes);
+  const uint64_t cma_pages = BytesToPages(layout.cma_bytes);
+  const uint64_t cma2_pages = BytesToPages(layout.cma2_bytes);
+
+  // Layout: [kernel][buddy ...][cma2][cma] — CMA regions at the top of DRAM
+  // (as vendor device trees typically place them).
+  const uint64_t cma_base = total_pages - cma_pages;
+  const uint64_t cma2_base = cma_base - cma2_pages;
+  buddy_ = std::make_unique<BuddyAllocator>(kernel_pages,
+                                            cma2_base - kernel_pages);
+  param_cma_ = std::make_unique<CmaRegion>(cma_base, cma_pages, buddy_.get(),
+                                           dram);
+  scratch_cma_ = std::make_unique<CmaRegion>(cma2_base, cma2_pages,
+                                             buddy_.get(), dram);
+}
+
+CmaRegion* ReeMemoryManager::RegionFor(uint64_t pfn) {
+  auto in = [&](CmaRegion& r) {
+    return pfn >= r.base_pfn() && pfn < r.base_pfn() + r.num_pages();
+  };
+  if (in(*param_cma_)) {
+    return param_cma_.get();
+  }
+  if (in(*scratch_cma_)) {
+    return scratch_cma_.get();
+  }
+  return nullptr;
+}
+
+Status ReeMemoryManager::AllocMovablePages(uint64_t n,
+                                           std::vector<uint64_t>* out,
+                                           SimDuration* cpu_time) {
+  // Movable allocations spread across the buddy zone and the CMA regions in
+  // proportion to their free space (MIGRATE_CMA fallback behaviour): long-
+  // running movable memory (page cache, anonymous pages) ends up inside CMA
+  // regions roughly uniformly, which is why CMA allocation cost grows
+  // linearly with REE memory pressure (Figure 3).
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t buddy_free =
+        buddy_->free_pages() > kSpillWatermarkPages
+            ? buddy_->free_pages() - kSpillWatermarkPages
+            : 0;
+    const uint64_t cma_free =
+        param_cma_->free_pages() + scratch_cma_->free_pages();
+    const uint64_t total = buddy_free + cma_free;
+    if (total == 0) {
+      // Last resort: dip below the watermark.
+      TZLLM_ASSIGN_OR_RETURN(pfn, buddy_->AllocBlock(0));
+      out->push_back(pfn);
+    } else {
+      const double frac =
+          static_cast<double>(cma_free) / static_cast<double>(total);
+      spill_accumulator_ += std::min(1.0, kCmaSpillBias * frac);
+      bool placed = false;
+      if (spill_accumulator_ >= 1.0 || buddy_free == 0) {
+        auto borrowed = param_cma_->free_pages() >= scratch_cma_->free_pages()
+                            ? param_cma_->BorrowMovablePage()
+                            : scratch_cma_->BorrowMovablePage();
+        if (!borrowed.ok()) {
+          borrowed = param_cma_->BorrowMovablePage();
+        }
+        if (!borrowed.ok()) {
+          borrowed = scratch_cma_->BorrowMovablePage();
+        }
+        if (borrowed.ok()) {
+          if (spill_accumulator_ >= 1.0) {
+            spill_accumulator_ -= 1.0;
+          }
+          out->push_back(*borrowed);
+          placed = true;
+        }
+      }
+      if (!placed) {
+        TZLLM_ASSIGN_OR_RETURN(pfn, buddy_->AllocBlock(0));
+        out->push_back(pfn);
+      }
+    }
+    if (cpu_time != nullptr) {
+      *cpu_time += kBuddyAllocPerPage;
+    }
+  }
+  return OkStatus();
+}
+
+Status ReeMemoryManager::FreeMovablePage(uint64_t pfn) {
+  CmaRegion* region = RegionFor(pfn);
+  if (region != nullptr) {
+    return region->ReturnMovablePage(pfn);
+  }
+  return buddy_->FreePage(pfn);
+}
+
+}  // namespace tzllm

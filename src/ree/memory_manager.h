@@ -1,0 +1,76 @@
+// REE memory-management facade: one buddy allocator for the non-CMA range
+// plus the CMA region(s), with the Linux placement policy that matters for
+// the paper's Figure 3: movable allocations prefer free non-CMA memory and
+// spill into CMA free pages only when the rest of DRAM runs low. That spill
+// is what turns REE memory pressure into CMA migration work at LLM start.
+
+#ifndef SRC_REE_MEMORY_MANAGER_H_
+#define SRC_REE_MEMORY_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/hw/phys_mem.h"
+#include "src/ree/buddy.h"
+#include "src/ree/cma.h"
+
+namespace tzllm {
+
+struct ReeMemoryLayout {
+  // DRAM is [0, dram_bytes). The layout reserves:
+  //   [0, kernel_bytes)                       : non-movable kernel/firmware.
+  //   [cma_base, cma_base + cma_bytes)        : CMA region (parameters).
+  //   [cma2_base, cma2_base + cma2_bytes)     : CMA region (KV/activations).
+  // Everything else is buddy-managed.
+  uint64_t dram_bytes = 0;
+  uint64_t kernel_bytes = 0;
+  uint64_t cma_bytes = 0;
+  uint64_t cma2_bytes = 0;
+};
+
+class ReeMemoryManager {
+ public:
+  ReeMemoryManager(const ReeMemoryLayout& layout, PhysMemory* dram);
+
+  BuddyAllocator& buddy() { return *buddy_; }
+  CmaRegion& param_cma() { return *param_cma_; }
+  CmaRegion& scratch_cma() { return *scratch_cma_; }
+
+  // Allocates `n` movable pages with the spill policy described above.
+  // Appends PFNs to `out`; `cpu_time` (optional) accumulates allocation cost.
+  Status AllocMovablePages(uint64_t n, std::vector<uint64_t>* out,
+                           SimDuration* cpu_time = nullptr);
+  Status FreeMovablePage(uint64_t pfn);
+
+  // Free pages outside the CMA regions.
+  uint64_t FreeOutsideCma() const { return buddy_->free_pages(); }
+  uint64_t TotalFree() const {
+    return buddy_->free_pages() + param_cma_->free_pages() +
+           scratch_cma_->free_pages();
+  }
+
+  // Keep this many pages free outside CMA before spilling into CMA
+  // (low-watermark analogue).
+  static constexpr uint64_t kSpillWatermarkPages = 64 * kMiB / kPageSize;
+
+  const ReeMemoryLayout& layout() const { return layout_; }
+  PhysAddr param_cma_base() const { return PagesToBytes(param_cma_->base_pfn()); }
+  PhysAddr scratch_cma_base() const {
+    return PagesToBytes(scratch_cma_->base_pfn());
+  }
+
+ private:
+  CmaRegion* RegionFor(uint64_t pfn);
+
+  ReeMemoryLayout layout_;
+  std::unique_ptr<BuddyAllocator> buddy_;
+  std::unique_ptr<CmaRegion> param_cma_;
+  std::unique_ptr<CmaRegion> scratch_cma_;
+  double spill_accumulator_ = 0.0;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_REE_MEMORY_MANAGER_H_

@@ -1,0 +1,107 @@
+#include "src/ree/npu_driver.h"
+
+#include <utility>
+
+#include "src/common/log.h"
+
+namespace tzllm {
+
+ReeNpuDriver::ReeNpuDriver(SocPlatform* platform) : platform_(platform) {}
+
+void ReeNpuDriver::Init() {
+  // Non-secure completion interrupt: fires while the NPU interrupt line is
+  // routed to the non-secure world.
+  platform_->gic().RegisterHandler(World::kNonSecure, kIrqNpu, [this] {
+    ns_job_running_ = false;
+    ++ns_jobs_completed_;
+    auto cb = std::move(running_cb_);
+    running_cb_ = nullptr;
+    if (cb) {
+      cb(OkStatus());
+    }
+    ScheduleNext();
+  });
+
+  // TEE -> REE scheduling RPCs.
+  platform_->monitor().InstallNonSecureHandler(
+      SmcFunc::kRpcNpuEnqueueShadow, [this](const SmcArgs& args) {
+        EnqueueShadowJob(args.a[0]);
+        return SmcResult{OkStatus(), {}};
+      });
+  platform_->monitor().InstallNonSecureHandler(
+      SmcFunc::kRpcNpuShadowComplete, [this](const SmcArgs& args) {
+        OnShadowComplete(args.a[0]);
+        return SmcResult{OkStatus(), {}};
+      });
+}
+
+void ReeNpuDriver::SubmitJob(NpuJobDesc desc,
+                             std::function<void(Status)> on_complete) {
+  Entry entry;
+  entry.shadow = false;
+  entry.desc = std::move(desc);
+  entry.on_complete = std::move(on_complete);
+  queue_.push_back(std::move(entry));
+  ScheduleNext();
+}
+
+void ReeNpuDriver::EnqueueShadowJob(uint64_t token) {
+  Entry entry;
+  entry.shadow = true;
+  entry.token = token;
+  queue_.push_back(std::move(entry));
+  ScheduleNext();
+}
+
+void ReeNpuDriver::ScheduleNext() {
+  if (npu_owned_by_tee_ || ns_job_running_ || queue_.empty()) {
+    return;
+  }
+  Entry entry = std::move(queue_.front());
+  queue_.pop_front();
+
+  if (entry.shadow) {
+    // Proactively transfer NPU control to the TEE driver. The TEE performs
+    // the secure-mode switch, validates and launches the job; ownership
+    // returns via OnShadowComplete.
+    npu_owned_by_tee_ = true;
+    SmcArgs args;
+    args.a[0] = entry.token;
+    const SmcResult result =
+        platform_->monitor().SmcFromRee(SmcFunc::kNpuTakeover, args);
+    if (!result.status.ok()) {
+      // The TEE rejected the takeover (e.g. replayed token). Drop the shadow
+      // job and move on; the TEE side surfaces the real error to the TA.
+      TZLLM_LOG_WARN("ree-npu", "takeover rejected: %s",
+                     result.status.ToString().c_str());
+      npu_owned_by_tee_ = false;
+      ScheduleNext();
+    }
+    return;
+  }
+
+  // Non-secure job: driver-side launch overhead then the doorbell write.
+  ns_job_running_ = true;
+  running_cb_ = std::move(entry.on_complete);
+  NpuJobDesc desc = std::move(entry.desc);
+  desc.duration += kNpuJobLaunchOverhead;
+  const Status st = platform_->npu().MmioLaunch(World::kNonSecure, desc);
+  if (!st.ok()) {
+    ns_job_running_ = false;
+    auto cb = std::move(running_cb_);
+    running_cb_ = nullptr;
+    if (cb) {
+      cb(st);
+    }
+    ScheduleNext();
+  }
+}
+
+void ReeNpuDriver::OnShadowComplete(uint64_t token) {
+  (void)token;
+  ++shadow_jobs_completed_;
+  npu_owned_by_tee_ = false;
+  ScheduleNext();
+}
+
+}  // namespace tzllm

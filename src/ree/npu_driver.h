@@ -1,0 +1,75 @@
+// REE NPU driver — the full-fledged control plane (paper §4.3).
+//
+// Owns the *unified* scheduling queue for secure and non-secure NPU jobs.
+// Non-secure jobs carry their execution context and are launched directly on
+// the device; secure jobs appear only as "shadow jobs" (an opaque token with
+// an empty execution context). When a shadow job reaches the head of the
+// queue, the driver proactively hands the NPU to the TEE with the
+// kNpuTakeover smc and waits for the TEE's shadow-complete RPC before
+// scheduling anything else.
+//
+// Also models the naive detach/attach alternative (32 ms full control-plane
+// reinitialization) that the co-driver design eliminates, for the ablation
+// benchmark.
+
+#ifndef SRC_REE_NPU_DRIVER_H_
+#define SRC_REE_NPU_DRIVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "src/common/calibration.h"
+#include "src/common/status.h"
+#include "src/hw/platform.h"
+
+namespace tzllm {
+
+class ReeNpuDriver {
+ public:
+  explicit ReeNpuDriver(SocPlatform* platform);
+
+  // Registers interrupt handling and the TEE-facing RPC endpoints. Call once.
+  void Init();
+
+  // --- Non-secure client API (REE NN applications). ---
+  void SubmitJob(NpuJobDesc desc, std::function<void(Status)> on_complete);
+
+  // --- TEE-facing scheduling interface. ---
+  // Enqueues a shadow job for TEE job `token` (RPC kRpcNpuEnqueueShadow).
+  void EnqueueShadowJob(uint64_t token);
+  // TEE reports the secure job finished (RPC kRpcNpuShadowComplete).
+  void OnShadowComplete(uint64_t token);
+
+  size_t queue_depth() const { return queue_.size(); }
+  bool npu_owned_by_tee() const { return npu_owned_by_tee_; }
+  uint64_t ns_jobs_completed() const { return ns_jobs_completed_; }
+  uint64_t shadow_jobs_completed() const { return shadow_jobs_completed_; }
+
+  // Naive-baseline hook: full detach/attach control-plane reinit cost.
+  static constexpr SimDuration DetachAttachCost() {
+    return kNpuDetachAttachTime;
+  }
+
+ private:
+  struct Entry {
+    bool shadow = false;
+    uint64_t token = 0;
+    NpuJobDesc desc;
+    std::function<void(Status)> on_complete;
+  };
+
+  void ScheduleNext();
+
+  SocPlatform* platform_;
+  std::deque<Entry> queue_;
+  bool npu_owned_by_tee_ = false;
+  bool ns_job_running_ = false;
+  std::function<void(Status)> running_cb_;
+  uint64_t ns_jobs_completed_ = 0;
+  uint64_t shadow_jobs_completed_ = 0;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_REE_NPU_DRIVER_H_

@@ -1,0 +1,33 @@
+#include "src/ree/stress.h"
+
+namespace tzllm {
+
+StressWorkload::StressWorkload(ReeMemoryManager* mm, PhysMemory* dram)
+    : mm_(mm), dram_(dram) {}
+
+StressWorkload::~StressWorkload() { Release(); }
+
+Status StressWorkload::MapPressure(uint64_t bytes, bool dirty_pages) {
+  const uint64_t n = BytesToPages(bytes);
+  std::vector<uint64_t> pfns;
+  pfns.reserve(n);
+  TZLLM_RETURN_IF_ERROR(mm_->AllocMovablePages(n, &pfns));
+  for (uint64_t pfn : pfns) {
+    if (dirty_pages) {
+      // Dirty one byte per page: enough to force a real copy at migration.
+      const uint8_t marker = static_cast<uint8_t>(pfn);
+      TZLLM_RETURN_IF_ERROR(dram_->Write(PagesToBytes(pfn), &marker, 1));
+    }
+    pages_.push_back(pfn);
+  }
+  return OkStatus();
+}
+
+void StressWorkload::Release() {
+  for (uint64_t pfn : pages_) {
+    (void)mm_->FreeMovablePage(pfn);
+  }
+  pages_.clear();
+}
+
+}  // namespace tzllm

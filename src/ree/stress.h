@@ -1,0 +1,46 @@
+// stress-ng model (paper §7 "Models and deployment"): maps a configurable
+// amount of movable memory and keeps it hot, creating the REE memory
+// pressure that forces CMA migration during secure-memory scaling. Also
+// exposes a dirty-bandwidth figure used by the interference models
+// (Figures 2 and 16).
+
+#ifndef SRC_REE_STRESS_H_
+#define SRC_REE_STRESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/hw/phys_mem.h"
+#include "src/ree/memory_manager.h"
+
+namespace tzllm {
+
+class StressWorkload {
+ public:
+  StressWorkload(ReeMemoryManager* mm, PhysMemory* dram);
+  ~StressWorkload();
+
+  // Maps `bytes` of movable memory. When `dirty_pages` is true the first
+  // byte of each page is written so that migration really copies data
+  // (functional tests); paper-scale benchmarks pass false to keep the sparse
+  // DRAM model small — the migration *time* model is unaffected.
+  Status MapPressure(uint64_t bytes, bool dirty_pages = true);
+  Status AddPressure(uint64_t bytes, bool dirty_pages = true) {
+    return MapPressure(bytes, dirty_pages);
+  }
+
+  // Releases all pressure pages.
+  void Release();
+
+  uint64_t mapped_bytes() const { return PagesToBytes(pages_.size()); }
+
+ private:
+  ReeMemoryManager* mm_;
+  PhysMemory* dram_;
+  std::vector<uint64_t> pages_;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_REE_STRESS_H_

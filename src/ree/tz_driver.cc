@@ -1,0 +1,76 @@
+#include "src/ree/tz_driver.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/log.h"
+
+namespace tzllm {
+
+TzDriver::TzDriver(SocPlatform* platform, ReeMemoryManager* mm)
+    : platform_(platform), mm_(mm) {
+  // Install trivial RPC endpoints so every delegated operation crosses the
+  // monitor (for world-switch accounting) even though the heavy lifting
+  // happens in the methods below.
+  auto ack = [](const SmcArgs&) { return SmcResult{OkStatus(), {}}; };
+  platform_->monitor().InstallNonSecureHandler(SmcFunc::kRpcCmaAlloc, ack);
+  platform_->monitor().InstallNonSecureHandler(SmcFunc::kRpcCmaFree, ack);
+  platform_->monitor().InstallNonSecureHandler(SmcFunc::kRpcFileRead, ack);
+}
+
+CmaRegion& TzDriver::RegionOf(SecureRegionId region) {
+  return region == SecureRegionId::kParams ? mm_->param_cma()
+                                           : mm_->scratch_cma();
+}
+
+Result<CmaExtent> TzDriver::CmaAlloc(SecureRegionId region, PhysAddr at_addr,
+                                     uint64_t bytes) {
+  platform_->monitor().RpcToRee(SmcFunc::kRpcCmaAlloc, SmcArgs{});
+  CmaRegion& cma = RegionOf(region);
+  const uint64_t pages = BytesToPages(bytes);
+  const uint64_t at_pfn =
+      at_addr == 0 ? cma.base_pfn() : at_addr / kPageSize;
+  auto outcome = cma.AllocContiguousAt(at_pfn, pages);
+  if (!outcome.ok()) {
+    return outcome.status();
+  }
+  CmaExtent extent;
+  extent.addr = PagesToBytes(outcome->base_pfn);
+  extent.bytes = PagesToBytes(outcome->pages);
+  extent.cpu_time = outcome->cpu_time;
+  extent.migrated_pages = outcome->migrated_pages;
+  return extent;
+}
+
+Status TzDriver::CmaFree(SecureRegionId region, PhysAddr addr,
+                         uint64_t bytes) {
+  platform_->monitor().RpcToRee(SmcFunc::kRpcCmaFree, SmcArgs{});
+  return RegionOf(region).FreeContiguous(addr / kPageSize,
+                                         BytesToPages(bytes));
+}
+
+void TzDriver::FileReadAsync(const std::string& name, uint64_t offset,
+                             uint64_t len, PhysAddr dst, bool materialize,
+                             std::function<void(Status)> done) {
+  platform_->monitor().RpcToRee(SmcFunc::kRpcFileRead, SmcArgs{});
+  platform_->flash().ReadAsync(name, offset, len, dst, materialize,
+                               std::move(done));
+}
+
+void TzDriver::RegisterShadowThread(int ta_thread_id) {
+  shadow_threads_.push_back(ta_thread_id);
+}
+
+Status TzDriver::ResumeTaThread(int ta_thread_id) {
+  if (std::find(shadow_threads_.begin(), shadow_threads_.end(),
+                ta_thread_id) == shadow_threads_.end()) {
+    return NotFound("no shadow thread registered for TA thread");
+  }
+  SmcArgs args;
+  args.a[0] = static_cast<uint64_t>(ta_thread_id);
+  const SmcResult result =
+      platform_->monitor().SmcFromRee(SmcFunc::kResumeTaThread, args);
+  return result.status;
+}
+
+}  // namespace tzllm

@@ -1,0 +1,83 @@
+// REE-side TrustZone driver (the paper's 197-LoC Linux addition): services
+// the TEE's delegated operations — CMA allocation/release for secure-memory
+// scaling and file reads for model loading — and hosts the shadow threads
+// that lend REE-scheduled CPU time to TA threads (§3.2).
+//
+// Everything here is UNTRUSTED. The TEE validates every result (contiguity
+// of CMA extents, checksums of file contents); the test suite subclasses
+// this driver with malicious variants to exercise those defenses.
+
+#ifndef SRC_REE_TZ_DRIVER_H_
+#define SRC_REE_TZ_DRIVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/hw/platform.h"
+#include "src/ree/memory_manager.h"
+
+namespace tzllm {
+
+// Which CMA-backed TZASC region a request targets (paper §4.2: one region
+// for parameters, one for KV cache / activations / other data).
+enum class SecureRegionId : int {
+  kParams = 0,
+  kScratch = 1,
+};
+
+struct CmaExtent {
+  PhysAddr addr = 0;
+  uint64_t bytes = 0;
+  // Single-threaded CPU time the allocation (migration) consumed; the caller
+  // schedules this on its CPU lane(s).
+  SimDuration cpu_time = 0;
+  uint64_t migrated_pages = 0;
+};
+
+class TzDriver {
+ public:
+  TzDriver(SocPlatform* platform, ReeMemoryManager* mm);
+  virtual ~TzDriver() = default;
+
+  // --- CMA delegation (RPC kRpcCmaAlloc / kRpcCmaFree). ---
+  // Allocates `bytes` of contiguous CMA memory starting at `at_addr`
+  // (callers pass the end of the previous extent; the kernel allocates
+  // "adjacent to the previously allocated blocks", §4.2). at_addr == 0 means
+  // "region base". Virtual so tests can model a malicious kernel.
+  virtual Result<CmaExtent> CmaAlloc(SecureRegionId region, PhysAddr at_addr,
+                                     uint64_t bytes);
+  virtual Status CmaFree(SecureRegionId region, PhysAddr addr, uint64_t bytes);
+
+  // --- File I/O delegation (RPC kRpcFileRead, issued as aio by the CA). ---
+  // Reads into physical memory via the flash controller's DMA. Virtual so
+  // tests can forge contents.
+  virtual void FileReadAsync(const std::string& name, uint64_t offset,
+                             uint64_t len, PhysAddr dst, bool materialize,
+                             std::function<void(Status)> done);
+
+  // --- Shadow threads (§3.2). ---
+  // Registers a shadow thread for TA thread `ta_thread_id`; resuming it
+  // costs one smc round trip, counted on the monitor.
+  void RegisterShadowThread(int ta_thread_id);
+  Status ResumeTaThread(int ta_thread_id);
+  int shadow_thread_count() const {
+    return static_cast<int>(shadow_threads_.size());
+  }
+
+  ReeMemoryManager& memory() { return *mm_; }
+  SocPlatform& platform() { return *platform_; }
+
+ protected:
+  CmaRegion& RegionOf(SecureRegionId region);
+
+  SocPlatform* platform_;
+  ReeMemoryManager* mm_;
+  std::vector<int> shadow_threads_;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_REE_TZ_DRIVER_H_

@@ -1,0 +1,71 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace tzllm {
+
+EventId Simulator::Schedule(SimDuration delay, Callback cb) {
+  return ScheduleAt(now_ + delay, std::move(cb));
+}
+
+EventId Simulator::ScheduleAt(SimTime when, Callback cb) {
+  assert(when >= now_ && "cannot schedule in the past");
+  const uint64_t seq = next_seq_++;
+  const EventId id = seq;  // Sequence numbers double as event ids.
+  heap_.push(Event{when, seq, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+bool Simulator::Step() {
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) {
+      continue;  // Cancelled.
+    }
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = ev.when;
+    ++events_executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run(uint64_t max_events) {
+  uint64_t executed = 0;
+  while (executed < max_events && Step()) {
+    ++executed;
+  }
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  while (!heap_.empty()) {
+    // Skip over cancelled heap entries to find the real next event time.
+    Event ev = heap_.top();
+    if (callbacks_.find(ev.id) == callbacks_.end()) {
+      heap_.pop();
+      continue;
+    }
+    if (ev.when > deadline) {
+      break;
+    }
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+void Simulator::RunUntilIdleOr(const std::function<bool()>& done) {
+  while (!done() && Step()) {
+  }
+}
+
+}  // namespace tzllm

@@ -1,0 +1,83 @@
+// Discrete-event simulator with a virtual nanosecond clock.
+//
+// Every latency-bearing component of the reproduction (flash, CMA migration,
+// NPU jobs, pipeline operators, SMC world switches) advances this clock
+// instead of wall time, which makes the full paper evaluation deterministic
+// and fast. The simulator is intentionally single-threaded: concurrency in
+// the modeled system is represented by interleaved events, exactly like a
+// cycle-approximate system simulator.
+
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace tzllm {
+
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `cb` to run at Now() + delay. Events scheduled for the same
+  // instant run in schedule order (FIFO tie-break via sequence number).
+  EventId Schedule(SimDuration delay, Callback cb);
+  EventId ScheduleAt(SimTime when, Callback cb);
+
+  // Cancels a pending event. Returns false if it already ran / was cancelled.
+  bool Cancel(EventId id);
+
+  // Runs the earliest pending event. Returns false if the queue is empty.
+  bool Step();
+
+  // Runs until no events remain (or `max_events` safety limit is hit).
+  void Run(uint64_t max_events = std::numeric_limits<uint64_t>::max());
+
+  // Runs events with time <= deadline, then sets Now() to deadline.
+  void RunUntil(SimTime deadline);
+
+  // Runs until `done` returns true or the queue drains.
+  void RunUntilIdleOr(const std::function<bool()>& done);
+
+  uint64_t events_executed() const { return events_executed_; }
+  size_t pending_events() const { return callbacks_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    EventId id;
+    // Ordering for std::priority_queue (min-heap on {when, seq}).
+    bool operator>(const Event& other) const {
+      return when != other.when ? when > other.when : seq > other.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_;
+  // Callbacks are stored out-of-line so Event stays trivially copyable;
+  // cancellation simply erases the callback.
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_SIM_SIMULATOR_H_

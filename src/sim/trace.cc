@@ -1,0 +1,87 @@
+#include "src/sim/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace tzllm {
+
+void TraceRecorder::Add(std::string lane, std::string label, SimTime start,
+                        SimTime end) {
+  spans_.push_back(TraceSpan{std::move(lane), std::move(label), start, end});
+}
+
+void TraceRecorder::Clear() { spans_.clear(); }
+
+SimDuration TraceRecorder::LaneBusyTime(const std::string& lane) const {
+  SimDuration total = 0;
+  for (const TraceSpan& s : spans_) {
+    if (s.lane == lane) {
+      total += s.end - s.start;
+    }
+  }
+  return total;
+}
+
+std::string TraceRecorder::RenderAscii(int width) const {
+  if (spans_.empty() || width <= 0) {
+    return "(empty trace)\n";
+  }
+  SimTime max_end = 0;
+  for (const TraceSpan& s : spans_) {
+    max_end = std::max(max_end, s.end);
+  }
+  if (max_end == 0) {
+    max_end = 1;
+  }
+
+  std::map<std::string, std::string> rows;
+  for (const TraceSpan& s : spans_) {
+    auto [it, inserted] = rows.try_emplace(s.lane, std::string(width, '.'));
+    std::string& row = it->second;
+    auto col = [&](SimTime t) {
+      return static_cast<int>(static_cast<unsigned __int128>(t) * width /
+                              max_end);
+    };
+    int c0 = std::min(col(s.start), width - 1);
+    int c1 = std::min(std::max(col(s.end), c0 + 1), width);
+    const char mark = s.label.empty() ? '#' : s.label[0];
+    for (int c = c0; c < c1; ++c) {
+      row[c] = mark;
+    }
+  }
+
+  size_t lane_width = 0;
+  for (const auto& [lane, row] : rows) {
+    lane_width = std::max(lane_width, lane.size());
+  }
+
+  std::ostringstream out;
+  for (const auto& [lane, row] : rows) {
+    out << lane << std::string(lane_width - lane.size() + 1, ' ') << "|" << row
+        << "|\n";
+  }
+  out << std::string(lane_width + 1, ' ') << "0" << std::string(width - 1, ' ')
+      << FormatDuration(max_end) << "\n";
+  return out.str();
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceSpan& s : spans_) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "{\"name\":\"" << s.label << "\",\"cat\":\"sim\",\"ph\":\"X\","
+        << "\"ts\":" << s.start / 1000 << ",\"dur\":"
+        << (s.end - s.start) / 1000 << ",\"pid\":1,\"tid\":\"" << s.lane
+        << "\"}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace tzllm

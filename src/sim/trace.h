@@ -1,0 +1,48 @@
+// Execution trace recorder: captures (lane, label, start, end) spans during a
+// simulated run and renders them as an ASCII Gantt chart (for benchmark
+// output, mirroring the paper's Figure 5 timelines) or as Chrome
+// chrome://tracing JSON for offline inspection.
+
+#ifndef SRC_SIM_TRACE_H_
+#define SRC_SIM_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace tzllm {
+
+struct TraceSpan {
+  std::string lane;   // e.g. "CPU0", "NPU", "IO".
+  std::string label;  // e.g. "decrypt[3]".
+  SimTime start = 0;
+  SimTime end = 0;
+};
+
+class TraceRecorder {
+ public:
+  void Add(std::string lane, std::string label, SimTime start, SimTime end);
+  void Clear();
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  bool empty() const { return spans_.empty(); }
+
+  // Span-weighted busy time per lane.
+  SimDuration LaneBusyTime(const std::string& lane) const;
+
+  // Renders a fixed-width Gantt chart, one row per lane, `width` columns
+  // spanning [0, max end time]. Each span paints the first letter of its
+  // label; idle time is '.'.
+  std::string RenderAscii(int width = 100) const;
+
+  // Chrome trace event format ("traceEvents" array of X events).
+  std::string ToChromeTraceJson() const;
+
+ private:
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_SIM_TRACE_H_

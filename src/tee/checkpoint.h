@@ -1,0 +1,57 @@
+// Framework-state checkpointing (paper §3.2 "Other techniques"): the 2.3 s
+// of llama.cpp metadata / tokenizer initialization is paid once, serialized,
+// encrypted under the model key, and stored in flash; every later inference
+// restores the state instead of re-initializing.
+//
+// The blob is integrity-tagged: a tampered checkpoint (untrusted flash) is
+// detected on restore and falls back to full initialization.
+
+#ifndef SRC_TEE_CHECKPOINT_H_
+#define SRC_TEE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/calibration.h"
+#include "src/common/status.h"
+#include "src/crypto/aes.h"
+#include "src/crypto/sha256.h"
+#include "src/hw/flash.h"
+
+namespace tzllm {
+
+class CheckpointService {
+ public:
+  explicit CheckpointService(FlashDevice* flash);
+
+  // Serializes + encrypts `state` under `key` and stores it as
+  // "<model_id>.ckpt". Returns the stored size.
+  Result<uint64_t> Save(const std::string& model_id, const AesKey128& key,
+                        const std::vector<uint8_t>& state);
+
+  // Loads, decrypts and verifies the checkpoint. kDataCorruption on tamper.
+  Result<std::vector<uint8_t>> Restore(const std::string& model_id,
+                                       const AesKey128& key);
+
+  bool Exists(const std::string& model_id) const;
+
+  // Modeled wall time of a restore at inference start (I/O + decrypt of the
+  // serialized state + fixups); used by the runtime cost accounting.
+  static constexpr SimDuration RestoreTime() { return kCheckpointRestoreTime; }
+  // Full (non-checkpointed) framework initialization time.
+  static constexpr SimDuration FullInitTime() {
+    return kLlamaMetaInitTime + kLlamaBootTime + kTokenizerInitTime;
+  }
+
+ private:
+  static std::string FileName(const std::string& model_id) {
+    return model_id + ".ckpt";
+  }
+
+  FlashDevice* flash_;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_TEE_CHECKPOINT_H_

@@ -1,0 +1,243 @@
+#include "src/tee/npu_driver.h"
+
+#include <utility>
+
+#include "src/common/log.h"
+
+namespace tzllm {
+
+TeeNpuDriver::TeeNpuDriver(SocPlatform* platform, TeeOs* tee_os)
+    : platform_(platform), tee_os_(tee_os) {}
+
+void TeeNpuDriver::Init() {
+  platform_->monitor().InstallSecureHandler(
+      SmcFunc::kNpuTakeover,
+      [this](const SmcArgs& args) { return OnTakeover(args); });
+  // Secure completion interrupt: fires while the NPU line is routed to the
+  // secure world.
+  platform_->gic().RegisterHandler(World::kSecure, kIrqNpu,
+                                   [this] { OnSecureCompletion(); });
+}
+
+Result<uint64_t> TeeNpuDriver::CreateJob(TaId ta, const NpuJobDesc& desc) {
+  // The execution context must be confined to the TA's protected regions:
+  // otherwise a compromised TA (or a confused deputy) could point the NPU at
+  // other TAs' memory. This is the "TEE OS only allows the NPU to access the
+  // execution contexts of secure NPU jobs" property (§4.3 Minimal TCB).
+  auto in_regions = [&](PhysAddr addr, uint64_t len) {
+    if (len == 0) {
+      return true;
+    }
+    return tee_os_->InProtectedRegion(SecureRegionId::kParams, addr, len) ||
+           tee_os_->InProtectedRegion(SecureRegionId::kScratch, addr, len);
+  };
+  if (!in_regions(desc.cmd_addr, desc.cmd_size) ||
+      !in_regions(desc.iopt_addr, desc.iopt_size)) {
+    ++validation_failures_;
+    return SecurityViolation("NPU job context outside TA secure regions");
+  }
+  for (const auto& [addr, len] : desc.buffers) {
+    if (!in_regions(addr, len)) {
+      ++validation_failures_;
+      return SecurityViolation("NPU job buffer outside TA secure regions");
+    }
+  }
+  const uint64_t id = next_job_id_++;
+  SecureJob job;
+  job.desc = desc;
+  jobs_.emplace(id, std::move(job));
+  return id;
+}
+
+Status TeeNpuDriver::IssueJob(uint64_t job_id,
+                              std::function<void(Status)> on_complete) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return NotFound("unknown secure NPU job");
+  }
+  SecureJob& job = it->second;
+  if (job.state != JobState::kInitialized) {
+    return FailedPrecondition("job already issued");
+  }
+  job.state = JobState::kIssued;
+  job.seq = next_issue_seq_++;
+  job.on_complete = std::move(on_complete);
+
+  // Pair with a shadow job in the REE scheduling queue.
+  SmcArgs args;
+  args.a[0] = job_id;
+  const SmcResult r =
+      platform_->monitor().RpcToRee(SmcFunc::kRpcNpuEnqueueShadow, args);
+  total_smc_time_ += kSmcRoundTrip;
+  return r.status;
+}
+
+Result<uint64_t> TeeNpuDriver::SubmitJob(
+    TaId ta, const NpuJobDesc& desc, std::function<void(Status)> on_complete) {
+  auto id = CreateJob(ta, desc);
+  if (!id.ok()) {
+    return id.status();
+  }
+  TZLLM_RETURN_IF_ERROR(IssueJob(*id, std::move(on_complete)));
+  return *id;
+}
+
+Status TeeNpuDriver::ValidateTakeover(uint64_t job_id) const {
+  auto it = jobs_.find(job_id);
+  // Arbitrary-launch defense: the job must exist and have been initialized
+  // by the TA through CreateJob.
+  if (it == jobs_.end()) {
+    return SecurityViolation("takeover for unknown job (arbitrary launch?)");
+  }
+  const SecureJob& job = it->second;
+  // Replay defense: issued exactly once, not yet launched.
+  if (job.state != JobState::kIssued) {
+    return SecurityViolation("takeover replay / double launch rejected");
+  }
+  // Reorder defense: monotonic sequence check.
+  if (job.seq != next_exec_seq_) {
+    return SecurityViolation("takeover out of issue order rejected");
+  }
+  if (running_job_ != 0) {
+    return FailedPrecondition("secure job already running");
+  }
+  return OkStatus();
+}
+
+SmcResult TeeNpuDriver::OnTakeover(const SmcArgs& args) {
+  const uint64_t job_id = args.a[0];
+  total_smc_time_ += kSmcRoundTrip;
+  Status st = ValidateTakeover(job_id);
+  if (!st.ok()) {
+    ++validation_failures_;
+    TZLLM_LOG_WARN("tee-npu", "takeover validation failed: %s",
+                   st.ToString().c_str());
+    return SmcResult{std::move(st), {}};
+  }
+  // The job stays kIssued until the doorbell actually rings: a drained
+  // non-secure job's completion interrupt (now routed to the secure world)
+  // must not be mistaken for the secure job's completion.
+  ++next_exec_seq_;
+  running_job_ = job_id;
+
+  // Secure-mode entry, in the paper's mandated order:
+  //  (1) TZPC: isolate the NPU MMIO from the REE; GIC: route its interrupt
+  //      to the secure world. From here no *new* non-secure job can launch.
+  Tzpc& tzpc = platform_->tzpc();
+  Gic& gic = platform_->gic();
+  Status hw = tzpc.SetSecure(World::kSecure, DeviceId::kNpu, true);
+  if (hw.ok()) {
+    hw = gic.Route(World::kSecure, kIrqNpu, World::kSecure);
+  }
+  if (!hw.ok()) {
+    running_job_ = 0;
+    return SmcResult{std::move(hw), {}};
+  }
+  total_config_time_ += kTzpcConfigTime + kGicRouteTime;
+
+  //  (2) Drain: wait for any previously launched non-secure job to finish
+  //      before granting secure-memory access. Modeled as a poll loop.
+  //  (3) TZASC grant + launch happen in EnterSecureModeAndLaunch.
+  // The smc world switch and register writes take real (virtual) time.
+  const SimDuration entry_delay =
+      kSmcRoundTrip + kTzpcConfigTime + kGicRouteTime + 2 * kTzascConfigTime;
+  platform_->sim().Schedule(entry_delay, [this, job_id] {
+    EnterSecureModeAndLaunch(job_id);
+  });
+  return SmcResult{OkStatus(), {}};
+}
+
+void TeeNpuDriver::EnterSecureModeAndLaunch(uint64_t job_id) {
+  if (platform_->npu().busy()) {
+    // A non-secure job launched before the TZPC flip is still running; poll
+    // until it drains. Its completion interrupt is now routed to the secure
+    // world, so we also re-raise it to the REE handler semantics by simply
+    // waiting: the REE driver sees completion via the shadow-complete path.
+    platform_->sim().Schedule(10 * kMicrosecond,
+                              [this, job_id] {
+                                EnterSecureModeAndLaunch(job_id);
+                              });
+    return;
+  }
+  Tzasc& tzasc = platform_->tzasc();
+  // Grant the NPU DMA access to the TA's two data regions.
+  Status st = tzasc.SetDmaPermission(World::kSecure, kTzascIndexParams,
+                                     DeviceId::kNpu, true);
+  if (st.ok()) {
+    st = tzasc.SetDmaPermission(World::kSecure, kTzascIndexScratch,
+                                DeviceId::kNpu, true);
+  }
+  total_config_time_ += 2 * kTzascConfigTime;
+
+  SecureJob& job = jobs_[job_id];
+  if (st.ok()) {
+    NpuJobDesc desc = job.desc;
+    desc.duration += kNpuJobLaunchOverhead;
+    st = platform_->npu().MmioLaunch(World::kSecure, desc);
+    if (st.ok()) {
+      job.state = JobState::kLaunched;
+    }
+  }
+  if (!st.ok()) {
+    TZLLM_LOG_WARN("tee-npu", "secure launch failed: %s",
+                   st.ToString().c_str());
+    job.state = JobState::kCompleted;
+    running_job_ = 0;
+    auto cb = std::move(job.on_complete);
+    // Revert to non-secure mode and release the shadow job.
+    (void)tzasc.SetDmaPermission(World::kSecure, kTzascIndexParams,
+                                 DeviceId::kNpu, false);
+    (void)tzasc.SetDmaPermission(World::kSecure, kTzascIndexScratch,
+                                 DeviceId::kNpu, false);
+    (void)platform_->gic().Route(World::kSecure, kIrqNpu, World::kNonSecure);
+    (void)platform_->tzpc().SetSecure(World::kSecure, DeviceId::kNpu, false);
+    SmcArgs args;
+    args.a[0] = job_id;
+    platform_->monitor().RpcToRee(SmcFunc::kRpcNpuShadowComplete, args);
+    if (cb) {
+      cb(std::move(st));
+    }
+  }
+}
+
+void TeeNpuDriver::OnSecureCompletion() {
+  if (running_job_ == 0 ||
+      jobs_[running_job_].state != JobState::kLaunched) {
+    return;  // Spurious: e.g. a drained non-secure job's completion.
+  }
+  const uint64_t job_id = running_job_;
+  running_job_ = 0;
+  SecureJob& job = jobs_[job_id];
+  job.state = JobState::kCompleted;
+  ++secure_jobs_completed_;
+
+  // Secure-mode exit: revoke TZASC grants, re-route the interrupt, return
+  // the MMIO window to the REE, then tell the control plane.
+  Tzasc& tzasc = platform_->tzasc();
+  (void)tzasc.SetDmaPermission(World::kSecure, kTzascIndexParams,
+                               DeviceId::kNpu, false);
+  (void)tzasc.SetDmaPermission(World::kSecure, kTzascIndexScratch,
+                               DeviceId::kNpu, false);
+  (void)platform_->gic().Route(World::kSecure, kIrqNpu, World::kNonSecure);
+  (void)platform_->tzpc().SetSecure(World::kSecure, DeviceId::kNpu, false);
+  total_config_time_ += 2 * kTzascConfigTime + kGicRouteTime + kTzpcConfigTime;
+
+  // The reverse reprogramming plus the shadow-complete and next-enqueue smc
+  // round trips cost real time before the control plane (and the TA's
+  // completion path) proceed.
+  const SimDuration exit_delay =
+      2 * kTzascConfigTime + kGicRouteTime + kTzpcConfigTime +
+      2 * kSmcRoundTrip;
+  platform_->sim().Schedule(exit_delay, [this, job_id] {
+    SmcArgs args;
+    args.a[0] = job_id;
+    platform_->monitor().RpcToRee(SmcFunc::kRpcNpuShadowComplete, args);
+    total_smc_time_ += kSmcRoundTrip;
+    auto cb = std::move(jobs_[job_id].on_complete);
+    if (cb) {
+      cb(OkStatus());
+    }
+  });
+}
+
+}  // namespace tzllm

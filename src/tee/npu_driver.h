@@ -1,0 +1,106 @@
+// TEE NPU driver — the minimal data plane of the co-driver design (§4.3).
+//
+// Responsibilities (and nothing else — the control plane stays in the REE):
+//   * initialize secure-job execution contexts (validated to live inside the
+//     TA's TZASC regions),
+//   * pair each secure job with a shadow job in the REE scheduling queue,
+//   * on takeover: validate the job (initialized-but-not-launched, monotonic
+//     sequence number), switch the NPU to secure mode in the paper's exact
+//     order (TZPC+GIC first, drain non-secure work, then TZASC grant),
+//     launch, and on the secure completion interrupt revert and notify.
+//
+// The driver runs as a *user-mode* TEE component (paper "Minimal TCB"): it
+// only ever touches the NPU MMIO window and the job execution contexts; the
+// TEE OS brokers all TZASC changes through region indices the driver cannot
+// widen.
+
+#ifndef SRC_TEE_NPU_DRIVER_H_
+#define SRC_TEE_NPU_DRIVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "src/common/calibration.h"
+#include "src/common/status.h"
+#include "src/hw/platform.h"
+#include "src/tee/tee_os.h"
+
+namespace tzllm {
+
+class TeeNpuDriver {
+ public:
+  TeeNpuDriver(SocPlatform* platform, TeeOs* tee_os);
+
+  // Installs the kNpuTakeover smc handler and the secure interrupt handler.
+  void Init();
+
+  // --- TA-facing API. ---
+  // Validates and registers a secure job. The execution context (command
+  // stream, I/O page table, buffers) must lie inside the TA's protected
+  // TZASC regions; `ta` must own them. Returns the job id.
+  Result<uint64_t> CreateJob(TaId ta, const NpuJobDesc& desc);
+
+  // Assigns the next monotonic sequence number and enqueues the paired
+  // shadow job in the REE driver. `on_complete` fires when the secure job
+  // finishes (or fails validation at takeover time).
+  Status IssueJob(uint64_t job_id, std::function<void(Status)> on_complete);
+
+  // Convenience: create + issue.
+  Result<uint64_t> SubmitJob(TaId ta, const NpuJobDesc& desc,
+                             std::function<void(Status)> on_complete);
+
+  // --- Statistics (§7.3 overhead breakdown). ---
+  uint64_t secure_jobs_completed() const { return secure_jobs_completed_; }
+  uint64_t validation_failures() const { return validation_failures_; }
+  SimDuration total_config_time() const { return total_config_time_; }
+  SimDuration total_smc_time() const { return total_smc_time_; }
+
+  // Per-secure-job fixed cost on the NPU timeline: world-switch smcs plus
+  // TZPC/GIC/TZASC reprogramming in both directions.
+  static constexpr SimDuration PerJobSwitchCost() {
+    // takeover smc + enqueue RPC + complete RPC.
+    return 3 * kSmcRoundTrip +
+           // secure entry: TZPC + GIC + param/scratch TZASC grants.
+           (kTzpcConfigTime + kGicRouteTime + 2 * kTzascConfigTime) +
+           // secure exit: revoke in reverse.
+           (kTzpcConfigTime + kGicRouteTime + 2 * kTzascConfigTime);
+  }
+
+ private:
+  enum class JobState : uint8_t {
+    kInitialized,
+    kIssued,
+    kLaunched,
+    kCompleted,
+  };
+
+  struct SecureJob {
+    NpuJobDesc desc;
+    JobState state = JobState::kInitialized;
+    uint64_t seq = 0;  // Monotonic issue sequence number.
+    std::function<void(Status)> on_complete;
+  };
+
+  // smc kNpuTakeover entry: REE control plane hands over the NPU.
+  SmcResult OnTakeover(const SmcArgs& args);
+  Status ValidateTakeover(uint64_t job_id) const;
+  void EnterSecureModeAndLaunch(uint64_t job_id);
+  void OnSecureCompletion();
+
+  SocPlatform* platform_;
+  TeeOs* tee_os_;
+  std::unordered_map<uint64_t, SecureJob> jobs_;
+  uint64_t next_job_id_ = 1;
+  uint64_t next_issue_seq_ = 1;
+  uint64_t next_exec_seq_ = 1;  // Expected execution order (anti-reorder).
+  uint64_t running_job_ = 0;    // 0 = none.
+  uint64_t secure_jobs_completed_ = 0;
+  uint64_t validation_failures_ = 0;
+  SimDuration total_config_time_ = 0;
+  SimDuration total_smc_time_ = 0;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_TEE_NPU_DRIVER_H_

@@ -1,0 +1,248 @@
+#include "src/tee/tee_os.h"
+
+#include "src/common/log.h"
+
+namespace tzllm {
+
+TeeOs::TeeOs(SocPlatform* platform, TzDriver* tz_driver,
+             uint64_t root_key_seed)
+    : platform_(platform), tz_driver_(tz_driver), keys_(root_key_seed) {}
+
+Status TeeOs::Boot() {
+  if (booted_) {
+    return FailedPrecondition("TEE OS already booted");
+  }
+  // Learn the CMA geometry (device-tree knowledge: base addresses of the two
+  // scalable regions). The TEE trusts its own configuration, not the REE.
+  ReeMemoryManager& mm = tz_driver_->memory();
+  params_region_.tzasc_index = kTzascIndexParams;
+  params_region_.expected_base = mm.param_cma_base();
+  scratch_region_.tzasc_index = kTzascIndexScratch;
+  scratch_region_.expected_base = mm.scratch_cma_base();
+
+  // Static TEE OS carveout: the first 64 MiB of DRAM after the kernel is a
+  // simplification; any fixed region works. It is TZASC region 0.
+  TZLLM_RETURN_IF_ERROR(platform_->tzasc().ConfigureRegion(
+      World::kSecure, kTzascIndexTeeOs, /*base=*/128 * kMiB,
+      /*size=*/64 * kMiB));
+
+  // Install the shadow-thread resume entry point.
+  platform_->monitor().InstallSecureHandler(
+      SmcFunc::kResumeTaThread, [this](const SmcArgs& args) {
+        auto ran = TryResumeFromRee(static_cast<int>(args.a[0]));
+        if (!ran.ok()) {
+          return SmcResult{ran.status(), {}};
+        }
+        SmcResult result{OkStatus(), {}};
+        result.r[0] = *ran ? 1 : 0;
+        return result;
+      });
+
+  booted_ = true;
+  return OkStatus();
+}
+
+Result<TaId> TeeOs::CreateTa(const std::string& name) {
+  const TaId id = next_ta_id_++;
+  tas_[id] = TaState{name, {}};
+  return id;
+}
+
+bool TeeOs::TaCanAccess(TaId ta, PhysAddr addr, uint64_t len) const {
+  auto it = tas_.find(ta);
+  if (it == tas_.end()) {
+    return false;
+  }
+  // Find the last mapping starting at or before addr.
+  const auto& mappings = it->second.mappings;
+  auto m = mappings.upper_bound(addr);
+  if (m == mappings.begin()) {
+    return false;
+  }
+  --m;
+  return addr >= m->first && addr + len <= m->first + m->second;
+}
+
+TeeOs::RegionState& TeeOs::StateOf(SecureRegionId region) {
+  return region == SecureRegionId::kParams ? params_region_ : scratch_region_;
+}
+const TeeOs::RegionState& TeeOs::StateOf(SecureRegionId region) const {
+  return region == SecureRegionId::kParams ? params_region_ : scratch_region_;
+}
+
+Status TeeOs::CheckOwner(TaId ta, const RegionState& state) const {
+  if (state.owner != -1 && state.owner != ta) {
+    return PermissionDenied("secure region owned by another TA");
+  }
+  return OkStatus();
+}
+
+Result<CmaExtent> TeeOs::ExtendAllocated(TaId ta, SecureRegionId region,
+                                         uint64_t bytes) {
+  if (tas_.count(ta) == 0) {
+    return InvalidArgument("unknown TA");
+  }
+  RegionState& state = StateOf(region);
+  TZLLM_RETURN_IF_ERROR(CheckOwner(ta, state));
+  bytes = AlignUp(bytes, kPageSize);
+
+  const PhysAddr expected =
+      state.allocated == 0 ? state.expected_base : state.base + state.allocated;
+  auto extent = tz_driver_->CmaAlloc(region, expected, bytes);
+  if (!extent.ok()) {
+    return extent.status();
+  }
+  // Iago defense (§6): the REE kernel may return an arbitrary address; the
+  // TEE accepts only the extent adjacent to previously allocated memory.
+  if (extent->addr != expected || extent->bytes != bytes) {
+    ++contiguity_rejections_;
+    // Return the bogus extent so the (untrusted) allocation is not leaked.
+    (void)tz_driver_->CmaFree(region, extent->addr, extent->bytes);
+    return SecurityViolation(
+        "REE returned a non-contiguous CMA extent; rejected");
+  }
+  if (state.allocated == 0) {
+    state.base = extent->addr;
+    state.owner = ta;
+  }
+  state.allocated += bytes;
+  return *extent;
+}
+
+Status TeeOs::ExtendProtected(TaId ta, SecureRegionId region, uint64_t bytes) {
+  RegionState& state = StateOf(region);
+  TZLLM_RETURN_IF_ERROR(CheckOwner(ta, state));
+  bytes = AlignUp(bytes, kPageSize);
+  if (state.protected_bytes + bytes > state.allocated) {
+    return FailedPrecondition("extend_protected beyond allocated memory");
+  }
+  if (state.protected_bytes == 0) {
+    TZLLM_RETURN_IF_ERROR(platform_->tzasc().ConfigureRegion(
+        World::kSecure, state.tzasc_index, state.base, bytes));
+  } else {
+    TZLLM_RETURN_IF_ERROR(platform_->tzasc().ResizeRegion(
+        World::kSecure, state.tzasc_index, state.protected_bytes + bytes));
+  }
+  // Map the newly protected extent into the TA's address space.
+  tas_[ta].mappings[state.base + state.protected_bytes] = bytes;
+  state.protected_bytes += bytes;
+  return OkStatus();
+}
+
+Result<SimDuration> TeeOs::Shrink(TaId ta, SecureRegionId region,
+                                  uint64_t bytes) {
+  RegionState& state = StateOf(region);
+  TZLLM_RETURN_IF_ERROR(CheckOwner(ta, state));
+  bytes = AlignUp(bytes, kPageSize);
+  if (bytes > state.protected_bytes) {
+    return FailedPrecondition("shrink beyond protected memory");
+  }
+  const PhysAddr tail = state.base + state.protected_bytes - bytes;
+
+  // 1. Unmap from the TA address space (must match mapped extents; the
+  //    first-in-last-out pattern guarantees extent-aligned shrink for the
+  //    LLM TA, but arbitrary callers get best-effort removal).
+  auto& mappings = tas_[ta].mappings;
+  for (auto it = mappings.lower_bound(tail); it != mappings.end();) {
+    it = mappings.erase(it);
+  }
+
+  // 2. Scrub before the memory leaves the secure world (§4.2: "clears all
+  //    sensitive data before releasing").
+  TZLLM_RETURN_IF_ERROR(platform_->dram().Fill(tail, 0, bytes));
+  scrubbed_bytes_ += bytes;
+  const SimDuration scrub_time = TransferTime(bytes, kMemsetBw);
+
+  // 3. Shrink the TZASC window, then return the pages to the REE.
+  state.protected_bytes -= bytes;
+  state.allocated -= bytes;
+  TZLLM_RETURN_IF_ERROR(platform_->tzasc().ResizeRegion(
+      World::kSecure, state.tzasc_index, state.protected_bytes));
+  TZLLM_RETURN_IF_ERROR(tz_driver_->CmaFree(region, tail, bytes));
+  if (state.allocated == 0) {
+    state.owner = -1;
+    state.base = 0;
+  }
+  return scrub_time;
+}
+
+SecureRegionStats TeeOs::RegionStats(SecureRegionId region) const {
+  const RegionState& state = StateOf(region);
+  return SecureRegionStats{state.base, state.allocated,
+                           state.protected_bytes};
+}
+
+PhysAddr TeeOs::RegionBase(SecureRegionId region) const {
+  const RegionState& state = StateOf(region);
+  return state.base != 0 ? state.base : state.expected_base;
+}
+
+bool TeeOs::InProtectedRegion(SecureRegionId region, PhysAddr addr,
+                              uint64_t len) const {
+  const RegionState& state = StateOf(region);
+  return state.protected_bytes >= len && addr >= state.base &&
+         addr + len <= state.base + state.protected_bytes;
+}
+
+void TeeOs::InstallWrappedKey(const WrappedModelKey& wrapped) {
+  wrapped_keys_[wrapped.model_id] = wrapped;
+}
+
+Status TeeOs::AuthorizeKeyAccess(TaId ta, const std::string& model_id) {
+  if (tas_.count(ta) == 0) {
+    return InvalidArgument("unknown TA");
+  }
+  key_authorizations_[model_id] = ta;
+  return OkStatus();
+}
+
+Result<AesKey128> TeeOs::GetModelKey(TaId ta, const std::string& model_id) {
+  auto auth = key_authorizations_.find(model_id);
+  if (auth == key_authorizations_.end() || auth->second != ta) {
+    return PermissionDenied("TA not authorized for this model key");
+  }
+  auto it = wrapped_keys_.find(model_id);
+  if (it == wrapped_keys_.end()) {
+    return NotFound("no wrapped key installed for model");
+  }
+  return keys_.UnwrapModelKey(it->second);
+}
+
+Status TeeOs::RegisterTaThread(TaId ta, int thread_id) {
+  if (tas_.count(ta) == 0) {
+    return InvalidArgument("unknown TA");
+  }
+  ta_threads_[thread_id] = ThreadState::kRunnable;
+  thread_owner_[thread_id] = ta;
+  return OkStatus();
+}
+
+Status TeeOs::BlockTaThread(int thread_id) {
+  auto it = ta_threads_.find(thread_id);
+  if (it == ta_threads_.end()) {
+    return NotFound("unknown TA thread");
+  }
+  it->second = ThreadState::kBlocked;
+  return OkStatus();
+}
+
+Status TeeOs::UnblockTaThread(int thread_id) {
+  auto it = ta_threads_.find(thread_id);
+  if (it == ta_threads_.end()) {
+    return NotFound("unknown TA thread");
+  }
+  it->second = ThreadState::kRunnable;
+  return OkStatus();
+}
+
+Result<bool> TeeOs::TryResumeFromRee(int thread_id) {
+  auto it = ta_threads_.find(thread_id);
+  if (it == ta_threads_.end()) {
+    return Status(ErrorCode::kNotFound, "unknown TA thread");
+  }
+  // The REE scheduler proposes; TEE-managed synchronization disposes. A
+  // thread blocked on a TEE-side primitive simply does not run (§3.2).
+  return it->second == ThreadState::kRunnable;
+}
+
+}  // namespace tzllm

@@ -1,0 +1,80 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tzllm {
+namespace {
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.NextU64();
+    EXPECT_EQ(va, b.NextU64());
+    (void)c.NextU64();
+  }
+  Rng a2(123), c2(124);
+  EXPECT_NE(a2.NextU64(), c2.NextU64());
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(42);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, FillBytesDeterministic) {
+  uint8_t a[33], b[33];
+  Rng r1(55), r2(55);
+  r1.FillBytes(a, sizeof(a));
+  r2.FillBytes(b, sizeof(b));
+  EXPECT_EQ(0, memcmp(a, b, sizeof(a)));
+}
+
+TEST(SyntheticByteTest, StableAndSeedDependent) {
+  EXPECT_EQ(SyntheticByteAt(1, 100), SyntheticByteAt(1, 100));
+  int diff = 0;
+  for (uint64_t off = 0; off < 256; ++off) {
+    if (SyntheticByteAt(1, off) != SyntheticByteAt(2, off)) {
+      ++diff;
+    }
+  }
+  EXPECT_GT(diff, 200);  // Nearly all bytes differ across seeds.
+}
+
+TEST(SyntheticByteTest, ReasonablyUniform) {
+  std::set<uint8_t> seen;
+  for (uint64_t off = 0; off < 4096; ++off) {
+    seen.insert(SyntheticByteAt(99, off));
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+}  // namespace
+}  // namespace tzllm

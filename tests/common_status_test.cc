@@ -1,0 +1,77 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace tzllm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), ErrorCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = SecurityViolation("dma blocked");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), ErrorCode::kSecurityViolation);
+  EXPECT_EQ(st.ToString(), "SECURITY_VIOLATION: dma blocked");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (uint32_t c = 0; c <= static_cast<uint32_t>(ErrorCode::kInternal); ++c) {
+    EXPECT_STRNE(ErrorCodeName(static_cast<ErrorCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+}
+
+Status Inner(bool fail) {
+  if (fail) {
+    return IoError("inner failed");
+  }
+  return OkStatus();
+}
+
+Status Outer(bool fail) {
+  TZLLM_RETURN_IF_ERROR(Inner(fail));
+  return OkStatus();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Outer(false).ok());
+  EXPECT_EQ(Outer(true).code(), ErrorCode::kIoError);
+}
+
+Result<int> MakeValue(bool fail) {
+  if (fail) {
+    return Status(ErrorCode::kInternal, "nope");
+  }
+  return 7;
+}
+
+Result<int> UseValue(bool fail) {
+  TZLLM_ASSIGN_OR_RETURN(v, MakeValue(fail));
+  return v + 1;
+}
+
+TEST(StatusMacroTest, AssignOrReturnPropagates) {
+  auto ok = UseValue(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 8);
+  EXPECT_EQ(UseValue(true).status().code(), ErrorCode::kInternal);
+}
+
+}  // namespace
+}  // namespace tzllm

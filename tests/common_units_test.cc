@@ -1,0 +1,54 @@
+#include "src/common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace tzllm {
+namespace {
+
+TEST(UnitsTest, PageMath) {
+  EXPECT_EQ(BytesToPages(0), 0u);
+  EXPECT_EQ(BytesToPages(1), 1u);
+  EXPECT_EQ(BytesToPages(kPageSize), 1u);
+  EXPECT_EQ(BytesToPages(kPageSize + 1), 2u);
+  EXPECT_EQ(PagesToBytes(3), 3 * kPageSize);
+}
+
+TEST(UnitsTest, Alignment) {
+  EXPECT_EQ(AlignUp(0, 4096), 0u);
+  EXPECT_EQ(AlignUp(1, 4096), 4096u);
+  EXPECT_EQ(AlignUp(4096, 4096), 4096u);
+  EXPECT_EQ(AlignDown(4097, 4096), 4096u);
+  EXPECT_TRUE(IsAligned(8192, 4096));
+  EXPECT_FALSE(IsAligned(8191, 4096));
+}
+
+TEST(UnitsTest, TransferTime) {
+  // 2 GB at 2 GB/s = 1 s.
+  EXPECT_EQ(TransferTime(2'000'000'000ull, 2.0e9), kSecond);
+  EXPECT_EQ(TransferTime(0, 2.0e9), 0u);
+  EXPECT_EQ(TransferTime(123, 0.0), 0u);
+}
+
+TEST(UnitsTest, TimeConversions) {
+  EXPECT_DOUBLE_EQ(ToSeconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(ToMillis(kMillisecond), 1.0);
+  EXPECT_EQ(FromSeconds(1.5), 1'500'000'000ull);
+  EXPECT_EQ(FromMillis(2.5), 2'500'000ull);
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(17), "17 B");
+  EXPECT_EQ(FormatBytes(2 * kKiB), "2.0 KiB");
+  EXPECT_EQ(FormatBytes(3 * kMiB), "3.0 MiB");
+  EXPECT_EQ(FormatBytes(8 * kGiB), "8.00 GiB");
+}
+
+TEST(UnitsTest, FormatDuration) {
+  EXPECT_EQ(FormatDuration(12), "12 ns");
+  EXPECT_EQ(FormatDuration(3 * kMicrosecond), "3.0 us");
+  EXPECT_EQ(FormatDuration(15 * kMillisecond), "15.00 ms");
+  EXPECT_EQ(FormatDuration(2 * kSecond), "2.000 s");
+}
+
+}  // namespace
+}  // namespace tzllm

@@ -1,0 +1,156 @@
+#include "src/core/llm_ta.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/llm/engine.h"
+
+namespace tzllm {
+namespace {
+
+constexpr uint64_t kWeightSeed = 31337;
+constexpr uint64_t kRootSeed = 77;
+
+// Functional full-stack fixture: provisioned encrypted model on flash,
+// booted TEE, attached LLM TA.
+class LlmTaTest : public ::testing::Test {
+ protected:
+  LlmTaTest() : spec_(ModelSpec::Create(TestTinyModel())) {
+    ReeMemoryLayout layout;
+    layout.dram_bytes = plat_.config().dram_bytes;
+    layout.kernel_bytes = 256 * kMiB;
+    layout.cma_bytes = 256 * kMiB;
+    layout.cma2_bytes = 64 * kMiB;
+    mm_ = std::make_unique<ReeMemoryManager>(layout, &plat_.dram());
+    tz_ = std::make_unique<TzDriver>(&plat_, mm_.get());
+    tee_ = std::make_unique<TeeOs>(&plat_, tz_.get(), kRootSeed);
+    EXPECT_TRUE(tee_->Boot().ok());
+
+    auto meta = Tzguf::Provision(&plat_.flash(), tee_->keys(), "tiny", spec_,
+                                 kWeightSeed, /*materialize=*/true);
+    EXPECT_TRUE(meta.ok());
+    auto wrapped = Tzguf::ReadWrappedKey(&plat_.flash(), "tiny");
+    EXPECT_TRUE(wrapped.ok());
+    tee_->InstallWrappedKey(*wrapped);
+
+    ta_ = std::make_unique<LlmTa>(&plat_, tee_.get(), tz_.get());
+    EXPECT_TRUE(ta_->Attach().ok());
+    EXPECT_TRUE(tee_->AuthorizeKeyAccess(ta_->ta_id(), "tiny").ok());
+  }
+
+  SocPlatform plat_;
+  ModelSpec spec_;
+  std::unique_ptr<ReeMemoryManager> mm_;
+  std::unique_ptr<TzDriver> tz_;
+  std::unique_ptr<TeeOs> tee_;
+  std::unique_ptr<LlmTa> ta_;
+};
+
+TEST_F(LlmTaTest, LoadsModelThroughPipeline) {
+  ASSERT_TRUE(ta_->LoadModel("tiny").ok());
+  EXPECT_TRUE(ta_->restore_result().status.ok());
+  EXPECT_GT(ta_->restore_result().makespan, 0u);
+  // All parameters protected.
+  EXPECT_GE(tee_->RegionStats(SecureRegionId::kParams).protected_bytes,
+            spec_.total_param_bytes());
+}
+
+TEST_F(LlmTaTest, ProtectedInferenceMatchesUnprotectedReference) {
+  // The headline functional property: TZ-LLM computes exactly the same
+  // function as unmodified llama.cpp over the same weights.
+  ASSERT_TRUE(ta_->LoadModel("tiny").ok());
+  auto protected_out = ta_->Generate("the quick brown fox", 10);
+  ASSERT_TRUE(protected_out.ok()) << protected_out.status().ToString();
+
+  auto reference = LlmEngine::CreateUnprotected(spec_, kWeightSeed)
+                       ->Generate("the quick brown fox", 10);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(protected_out->output_tokens, reference->output_tokens);
+  EXPECT_EQ(protected_out->text, reference->text);
+}
+
+TEST_F(LlmTaTest, PlaintextNeverVisibleToRee) {
+  ASSERT_TRUE(ta_->LoadModel("tiny").ok());
+  const PhysAddr base = tee_->RegionBase(SecureRegionId::kParams);
+  // Non-secure CPU access to the parameter region faults.
+  EXPECT_FALSE(
+      plat_.tzasc().CheckCpuAccess(World::kNonSecure, base, 64).ok());
+  // Flash holds only ciphertext.
+  const std::vector<Tensor> plain =
+      Tzguf::ReferenceWeights(spec_, kWeightSeed);
+  const TensorSpec& t0 = spec_.tensor(0);
+  std::vector<uint8_t> on_flash(t0.data_bytes);
+  ASSERT_TRUE(plat_.flash()
+                  .PeekBytes("tiny.data", t0.file_offset, t0.data_bytes,
+                             on_flash.data())
+                  .ok());
+  EXPECT_NE(on_flash, plain[0].data);
+  // But the DRAM inside the protected region holds the plaintext (decrypted
+  // in place) — reachable only by the secure world.
+  std::vector<uint8_t> in_dram(t0.data_bytes);
+  ASSERT_TRUE(plat_.dram()
+                  .Read(base + t0.file_offset, in_dram.data(), t0.data_bytes)
+                  .ok());
+  EXPECT_EQ(in_dram, plain[0].data);
+}
+
+TEST_F(LlmTaTest, TamperedModelDataRejected) {
+  ASSERT_TRUE(plat_.flash().CorruptBytes("tiny.data", 1000, 16).ok());
+  const Status st = ta_->LoadModel("tiny");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), ErrorCode::kDataCorruption);
+}
+
+TEST_F(LlmTaTest, UnauthorizedTaCannotLoad) {
+  LlmTa thief(&plat_, tee_.get(), tz_.get());
+  ASSERT_TRUE(thief.Attach().ok());
+  // No AuthorizeKeyAccess for this TA.
+  const Status st = thief.LoadModel("tiny");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), ErrorCode::kPermissionDenied);
+}
+
+TEST_F(LlmTaTest, UnloadScrubsParameters) {
+  ASSERT_TRUE(ta_->LoadModel("tiny").ok());
+  const PhysAddr base = tee_->RegionBase(SecureRegionId::kParams);
+  const TensorSpec& t0 = spec_.tensor(0);
+  ASSERT_TRUE(ta_->Unload().ok());
+  // The region is non-secure again and contains only zeros.
+  EXPECT_TRUE(
+      plat_.tzasc().CheckCpuAccess(World::kNonSecure, base, 64).ok());
+  std::vector<uint8_t> out(t0.bytes);
+  ASSERT_TRUE(
+      plat_.dram().Read(base + t0.file_offset, out.data(), t0.bytes).ok());
+  for (uint8_t b : out) {
+    ASSERT_EQ(b, 0);
+  }
+}
+
+TEST_F(LlmTaTest, ReloadAfterUnloadWorks) {
+  ASSERT_TRUE(ta_->LoadModel("tiny").ok());
+  ASSERT_TRUE(ta_->Unload().ok());
+  ASSERT_TRUE(ta_->LoadModel("tiny").ok());
+  auto out = ta_->Generate("hello", 4);
+  EXPECT_TRUE(out.ok());
+}
+
+TEST_F(LlmTaTest, AllSchedulingPoliciesProduceIdenticalWeights) {
+  // Timing policy must never change functional results.
+  ASSERT_TRUE(ta_->LoadModel("tiny", SchedulePolicy::kFifo).ok());
+  auto fifo_out = ta_->Generate("abc def", 6);
+  ASSERT_TRUE(fifo_out.ok());
+  ASSERT_TRUE(ta_->Unload().ok());
+
+  LlmTa ta2(&plat_, tee_.get(), tz_.get());
+  ASSERT_TRUE(ta2.Attach().ok());
+  ASSERT_TRUE(tee_->AuthorizeKeyAccess(ta2.ta_id(), "tiny").ok());
+  ASSERT_TRUE(
+      ta2.LoadModel("tiny", SchedulePolicy::kPriorityPreemptive).ok());
+  auto pre_out = ta2.Generate("abc def", 6);
+  ASSERT_TRUE(pre_out.ok());
+  EXPECT_EQ(fifo_out->output_tokens, pre_out->output_tokens);
+}
+
+}  // namespace
+}  // namespace tzllm

@@ -1,0 +1,156 @@
+// Property-based tests: random restoration DAGs executed under every
+// scheduling policy must satisfy the executor's invariants — completion,
+// dependency order, resource capacity, and the critical-path lower bound.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/pipeline.h"
+
+namespace tzllm {
+namespace {
+
+struct RandomPlan {
+  std::vector<PipelineOp> ops;
+  int extents = 0;
+};
+
+RandomPlan MakeRandomPlan(uint64_t seed) {
+  Rng rng(seed);
+  RandomPlan plan;
+  plan.extents = 4 + static_cast<int>(rng.NextBounded(12));
+  int prev_alloc = -1;
+  int prev_comp = -1;
+  for (int i = 0; i < plan.extents; ++i) {
+    const bool restored = rng.NextDouble() > 0.2;  // Some extents "cached".
+    int gate = -1;
+    if (restored) {
+      PipelineOp alloc;
+      alloc.kind = PipelineOpKind::kAlloc;
+      alloc.comp_index = i;
+      alloc.duration = 10 + rng.NextBounded(500);
+      alloc.chunks = 1 + static_cast<uint32_t>(rng.NextBounded(5));
+      if (prev_alloc >= 0) {
+        alloc.deps.push_back(prev_alloc);
+      }
+      plan.ops.push_back(alloc);
+      prev_alloc = static_cast<int>(plan.ops.size()) - 1;
+
+      PipelineOp load;
+      load.kind = PipelineOpKind::kLoad;
+      load.comp_index = i;
+      load.duration = 10 + rng.NextBounded(800);
+      load.deps = {prev_alloc};
+      plan.ops.push_back(load);
+
+      PipelineOp dec;
+      dec.kind = PipelineOpKind::kDecrypt;
+      dec.comp_index = i;
+      dec.duration = 10 + rng.NextBounded(400);
+      dec.chunks = 1 + static_cast<uint32_t>(rng.NextBounded(3));
+      dec.deps = {static_cast<int>(plan.ops.size()) - 1};
+      plan.ops.push_back(dec);
+      gate = static_cast<int>(plan.ops.size()) - 1;
+    }
+    PipelineOp comp;
+    comp.kind = rng.NextDouble() < 0.5 ? PipelineOpKind::kComputeCpu
+                                       : PipelineOpKind::kComputeNpu;
+    comp.comp_index = i;
+    comp.duration = 10 + rng.NextBounded(600);
+    if (prev_comp >= 0) {
+      comp.deps.push_back(prev_comp);
+    }
+    if (gate >= 0) {
+      comp.deps.push_back(gate);
+    }
+    plan.ops.push_back(comp);
+    prev_comp = static_cast<int>(plan.ops.size()) - 1;
+  }
+  return plan;
+}
+
+class PipelinePropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, SchedulePolicy>> {
+};
+
+TEST_P(PipelinePropertyTest, InvariantsHold) {
+  const auto [seed, policy] = GetParam();
+  RandomPlan plan = MakeRandomPlan(seed);
+
+  // Instrument completion order via hooks.
+  std::vector<SimTime> completion(plan.ops.size(), 0);
+  Simulator sim;
+  for (size_t i = 0; i < plan.ops.size(); ++i) {
+    plan.ops[i].id = static_cast<int>(i);
+    auto inner = plan.ops[i].on_complete;
+    plan.ops[i].on_complete = [&completion, &sim, i, inner] {
+      completion[i] = sim.Now();
+      return inner ? inner() : OkStatus();
+    };
+  }
+  PipelineConfig config;
+  config.cpu_lanes = 4;
+  config.policy = policy;
+  PipelineExecutor exec(&sim, config);
+  const PipelineResult result = exec.RunToCompletion(plan.ops);
+
+  // 1. Everything completes.
+  ASSERT_TRUE(result.status.ok());
+  for (size_t i = 0; i < plan.ops.size(); ++i) {
+    EXPECT_GT(completion[i], 0u) << "op " << i << " never completed";
+  }
+  // 2. Dependencies complete before dependents.
+  for (const PipelineOp& op : plan.ops) {
+    for (int dep : op.deps) {
+      EXPECT_LE(completion[dep], completion[op.id]);
+    }
+  }
+  // 3. Makespan >= the critical-path lower bound and >= the longest chain.
+  EXPECT_GE(result.makespan,
+            result.LowerBound(config.cpu_lanes,
+                              config.max_alloc_concurrency));
+  // 4. Makespan <= serial execution of everything on one unit.
+  SimDuration serial = 0;
+  for (const PipelineOp& op : plan.ops) {
+    serial += op.duration;
+  }
+  EXPECT_LE(result.makespan, serial);
+  // 5. Aggregates consistent with inputs.
+  EXPECT_EQ(result.sum_alloc + result.sum_load + result.sum_decrypt +
+                result.sum_cpu_compute + result.sum_npu_compute,
+            serial);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDags, PipelinePropertyTest,
+    ::testing::Combine(::testing::Range<uint64_t>(1, 11),
+                       ::testing::Values(SchedulePolicy::kFifo,
+                                         SchedulePolicy::kPriority,
+                                         SchedulePolicy::kPriorityPreemptive)));
+
+// Priority scheduling should never lose (modulo chunk-rounding noise) to
+// FIFO on restoration-shaped DAGs.
+class PolicyComparisonTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PolicyComparisonTest, PriorityNotWorseThanFifo) {
+  auto run = [&](SchedulePolicy policy) {
+    Simulator sim;
+    PipelineConfig config;
+    config.cpu_lanes = 2;  // Scarce CPU: scheduling decisions matter.
+    config.policy = policy;
+    PipelineExecutor exec(&sim, config);
+    return exec.RunToCompletion(MakeRandomPlan(GetParam()).ops).makespan;
+  };
+  const SimDuration fifo = run(SchedulePolicy::kFifo);
+  const SimDuration priority = run(SchedulePolicy::kPriority);
+  // Allow 2% slack: priority is a greedy heuristic, not provably optimal.
+  EXPECT_LE(priority, fifo + fifo / 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyComparisonTest,
+                         ::testing::Range<uint64_t>(100, 115));
+
+}  // namespace
+}  // namespace tzllm

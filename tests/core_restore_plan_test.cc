@@ -1,0 +1,167 @@
+#include "src/core/restore_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace tzllm {
+namespace {
+
+class RestorePlanTest : public ::testing::Test {
+ protected:
+  RestorePlanTest()
+      : spec_(ModelSpec::Create(TestSmallModel())),
+        graph_(ComputeGraph::BuildPrefill(spec_)),
+        cost_(&spec_) {
+    hooks_.plan_alloc = [this](uint64_t bytes) -> Result<SimDuration> {
+      alloc_calls_.push_back(bytes);
+      return SimDuration{bytes / 1000};
+    };
+  }
+
+  RestorePlan Build(const RestorePlanOptions& options) {
+    auto plan = BuildRestorePlan(spec_, graph_, 64, cost_, options, hooks_);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return *plan;
+  }
+
+  int CountKind(const RestorePlan& plan, PipelineOpKind kind) {
+    int n = 0;
+    for (const PipelineOp& op : plan.ops) {
+      if (op.kind == kind) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  ModelSpec spec_;
+  ComputeGraph graph_;
+  CostModel cost_;
+  RestoreHooks hooks_;
+  std::vector<uint64_t> alloc_calls_;
+};
+
+TEST_F(RestorePlanTest, FullRestoreCoversAllWeights) {
+  RestorePlanOptions options;
+  const RestorePlan plan = Build(options);
+  EXPECT_EQ(plan.restored_bytes, spec_.total_param_bytes());
+  EXPECT_EQ(plan.cached_hit_bytes, 0u);
+  const int consumers =
+      static_cast<int>(graph_.WeightConsumers().size());
+  EXPECT_EQ(CountKind(plan, PipelineOpKind::kAlloc), consumers);
+  EXPECT_EQ(CountKind(plan, PipelineOpKind::kLoad), consumers);
+  EXPECT_EQ(CountKind(plan, PipelineOpKind::kDecrypt), consumers);
+  EXPECT_EQ(CountKind(plan, PipelineOpKind::kComputeCpu) +
+                CountKind(plan, PipelineOpKind::kComputeNpu),
+            graph_.size());
+  // Allocation planner saw each extent, in order, totalling the model.
+  uint64_t total = 0;
+  for (uint64_t b : alloc_calls_) {
+    total += b;
+  }
+  EXPECT_EQ(total, spec_.total_param_bytes());
+}
+
+TEST_F(RestorePlanTest, CachedPrefixSkipsRestoration) {
+  RestorePlanOptions options;
+  options.cached_bytes = spec_.total_param_bytes() / 2;
+  const RestorePlan plan = Build(options);
+  EXPECT_GT(plan.cached_hit_bytes, 0u);
+  EXPECT_LE(plan.cached_hit_bytes, options.cached_bytes);
+  EXPECT_EQ(plan.cached_hit_bytes + plan.restored_bytes,
+            spec_.total_param_bytes());
+}
+
+TEST_F(RestorePlanTest, FullCacheHasNoRestoreOps) {
+  RestorePlanOptions options;
+  options.cached_bytes = spec_.total_param_bytes();
+  const RestorePlan plan = Build(options);
+  EXPECT_EQ(plan.restored_bytes, 0u);
+  EXPECT_EQ(CountKind(plan, PipelineOpKind::kAlloc), 0);
+  EXPECT_EQ(static_cast<int>(plan.ops.size()), graph_.size());
+}
+
+TEST_F(RestorePlanTest, NoDecryptForReeBaseline) {
+  RestorePlanOptions options;
+  options.decrypt = false;
+  const RestorePlan plan = Build(options);
+  EXPECT_EQ(CountKind(plan, PipelineOpKind::kDecrypt), 0);
+  EXPECT_GT(CountKind(plan, PipelineOpKind::kLoad), 0);
+}
+
+TEST_F(RestorePlanTest, NoRestoreForMemoryBaseline) {
+  RestorePlanOptions options;
+  options.restore = false;
+  const RestorePlan plan = Build(options);
+  EXPECT_EQ(CountKind(plan, PipelineOpKind::kAlloc), 0);
+  EXPECT_EQ(CountKind(plan, PipelineOpKind::kLoad), 0);
+  EXPECT_EQ(CountKind(plan, PipelineOpKind::kDecrypt), 0);
+}
+
+TEST_F(RestorePlanTest, CpuOnlyWhenNpuUnavailable) {
+  RestorePlanOptions options;
+  options.npu_available = false;
+  const RestorePlan plan = Build(options);
+  EXPECT_EQ(CountKind(plan, PipelineOpKind::kComputeNpu), 0);
+}
+
+TEST_F(RestorePlanTest, PreemptibleChunksOnlyWhenEnabled) {
+  RestorePlanOptions options;
+  options.preemptible = true;
+  options.chunk_bytes = 16 * kKiB;
+  const RestorePlan chunked = Build(options);
+  bool any_chunked = false;
+  for (const PipelineOp& op : chunked.ops) {
+    if (op.kind == PipelineOpKind::kAlloc ||
+        op.kind == PipelineOpKind::kDecrypt) {
+      any_chunked |= op.chunks > 1;
+    } else {
+      EXPECT_EQ(op.chunks, 1u);  // Loads/computes never chunk.
+    }
+  }
+  EXPECT_TRUE(any_chunked);
+
+  options.preemptible = false;
+  const RestorePlan solid = Build(options);
+  for (const PipelineOp& op : solid.ops) {
+    EXPECT_EQ(op.chunks, 1u);
+  }
+}
+
+TEST_F(RestorePlanTest, StrawmanBarrierSequencesPhases) {
+  RestorePlanOptions options;
+  options.pipelined = false;
+  options.preemptible = false;
+  const RestorePlan plan = Build(options);
+  // Run it: the makespan must be at least the sum of the serial phases.
+  Simulator sim;
+  PipelineConfig config;
+  config.cpu_lanes = 4;
+  config.policy = SchedulePolicy::kFifo;
+  config.max_alloc_concurrency = 1;
+  PipelineExecutor exec(&sim, config);
+  auto seq = exec.RunToCompletion(plan.ops);
+  ASSERT_TRUE(seq.status.ok());
+
+  RestorePlanOptions pipe_options;
+  auto pipe_plan = Build(pipe_options);
+  Simulator sim2;
+  PipelineConfig pipe_config;
+  pipe_config.cpu_lanes = 4;
+  pipe_config.policy = SchedulePolicy::kPriorityPreemptive;
+  PipelineExecutor exec2(&sim2, pipe_config);
+  auto pipelined = exec2.RunToCompletion(pipe_plan.ops);
+  ASSERT_TRUE(pipelined.status.ok());
+  EXPECT_LT(pipelined.makespan, seq.makespan);
+  // Sequential phases: alloc then load then decrypt then compute.
+  EXPECT_GE(seq.makespan, seq.sum_alloc + seq.sum_load);
+}
+
+TEST_F(RestorePlanTest, MissingAllocatorRejected) {
+  RestoreHooks no_hooks;
+  RestorePlanOptions options;
+  auto plan = BuildRestorePlan(spec_, graph_, 64, cost_, options, no_hooks);
+  EXPECT_FALSE(plan.ok());
+}
+
+}  // namespace
+}  // namespace tzllm

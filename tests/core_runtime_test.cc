@@ -1,0 +1,184 @@
+#include "src/core/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace tzllm {
+namespace {
+
+struct Rig {
+  explicit Rig(SystemKind kind, LlmConfig model = Qwen2_5_3B(),
+               SchedulePolicy policy = SchedulePolicy::kPriorityPreemptive,
+               bool pipelined = true) {
+    plat = std::make_unique<SocPlatform>();
+    RuntimeConfig config;
+    config.model = std::move(model);
+    config.system = kind;
+    config.policy = policy;
+    config.pipelined = pipelined;
+    rt = std::make_unique<SystemRuntime>(plat.get(), config);
+    EXPECT_TRUE(rt->Setup().ok());
+  }
+
+  std::unique_ptr<SocPlatform> plat;
+  std::unique_ptr<SystemRuntime> rt;
+};
+
+TEST(RuntimeTest, TzLlmInferenceCompletes) {
+  Rig rig(SystemKind::kTzLlm);
+  InferenceRequest req;
+  req.prompt_tokens = 128;
+  req.decode_tokens = 8;
+  const InferenceReport report = rig.rt->RunInference(req);
+  ASSERT_TRUE(report.status.ok()) << report.status.ToString();
+  EXPECT_GT(report.ttft, 0u);
+  EXPECT_GT(report.decode_tokens_per_s, 0.0);
+  EXPECT_EQ(report.restored_bytes, rig.rt->spec().total_param_bytes());
+  EXPECT_GT(report.secure_npu_jobs, 0u);
+  EXPECT_GT(report.smc_round_trips, 0u);
+}
+
+TEST(RuntimeTest, SystemOrderingOnTtft) {
+  // REE-Memory <= REE-Flash <= TZ-LLM << Strawman, at any prompt length.
+  InferenceRequest req;
+  req.prompt_tokens = 128;
+  SimDuration ttft[4];
+  const SystemKind kinds[] = {SystemKind::kReeMemory, SystemKind::kReeFlash,
+                              SystemKind::kTzLlm, SystemKind::kStrawman};
+  for (int i = 0; i < 4; ++i) {
+    Rig rig(kinds[i]);
+    const InferenceReport report = rig.rt->RunInference(req);
+    ASSERT_TRUE(report.status.ok());
+    ttft[i] = report.ttft;
+  }
+  EXPECT_LE(ttft[0], ttft[1]);
+  EXPECT_LE(ttft[1], ttft[2]);
+  EXPECT_LT(ttft[2] * 3, ttft[3]);  // Strawman is dramatically slower.
+}
+
+TEST(RuntimeTest, DecodeOrderingAcrossSystems) {
+  InferenceRequest req;
+  req.prompt_tokens = 64;
+  req.decode_tokens = 8;
+  Rig tz(SystemKind::kTzLlm);
+  Rig ree(SystemKind::kReeMemory);
+  Rig strawman(SystemKind::kStrawman);
+  const auto r_tz = tz.rt->RunInference(req);
+  const auto r_ree = ree.rt->RunInference(req);
+  const auto r_sm = strawman.rt->RunInference(req);
+  ASSERT_TRUE(r_tz.status.ok());
+  ASSERT_TRUE(r_ree.status.ok());
+  ASSERT_TRUE(r_sm.status.ok());
+  // NPU beats CPU; TEE multiplexing costs a little vs. pure REE.
+  EXPECT_GT(r_tz.decode_tokens_per_s, r_sm.decode_tokens_per_s);
+  EXPECT_GT(r_ree.decode_tokens_per_s, r_tz.decode_tokens_per_s);
+  // Relative TEE decode overhead is single-digit percent (Figure 11).
+  EXPECT_LT((r_ree.decode_tokens_per_s - r_tz.decode_tokens_per_s) /
+                r_ree.decode_tokens_per_s,
+            0.10);
+}
+
+TEST(RuntimeTest, PartialCachingReducesNextTtft) {
+  Rig rig(SystemKind::kTzLlm);
+  InferenceRequest req;
+  req.prompt_tokens = 64;
+  req.cache_proportion_after = 0.5;
+  const InferenceReport cold = rig.rt->RunInference(req);
+  ASSERT_TRUE(cold.status.ok());
+  EXPECT_GT(rig.rt->cached_bytes(), 0u);
+
+  const InferenceReport warm = rig.rt->RunInference(req);
+  ASSERT_TRUE(warm.status.ok());
+  EXPECT_GT(warm.cached_hit_bytes, 0u);
+  EXPECT_LT(warm.restored_bytes, cold.restored_bytes);
+  EXPECT_LT(warm.ttft, cold.ttft);
+}
+
+TEST(RuntimeTest, FullCachingGivesWarmStart) {
+  Rig rig(SystemKind::kTzLlm);
+  InferenceRequest req;
+  req.prompt_tokens = 64;
+  req.cache_proportion_after = 1.0;
+  ASSERT_TRUE(rig.rt->RunInference(req).status.ok());
+  EXPECT_EQ(rig.rt->cached_bytes() >= rig.rt->spec().total_param_bytes(),
+            true);
+  const InferenceReport warm = rig.rt->RunInference(req);
+  ASSERT_TRUE(warm.status.ok());
+  EXPECT_EQ(warm.restored_bytes, 0u);
+  // Warm TTFT is pure compute + init.
+  EXPECT_LT(warm.ttft, rig.rt->RunInference(req).ttft * 2);
+}
+
+TEST(RuntimeTest, ReleaseAllDropsCache) {
+  Rig rig(SystemKind::kTzLlm);
+  InferenceRequest req;
+  req.prompt_tokens = 32;
+  req.cache_proportion_after = 1.0;
+  ASSERT_TRUE(rig.rt->RunInference(req).status.ok());
+  EXPECT_GT(rig.rt->cached_bytes(), 0u);
+  ASSERT_TRUE(rig.rt->ReleaseAll().ok());
+  EXPECT_EQ(rig.rt->cached_bytes(), 0u);
+  // Secure memory actually returned to the REE.
+  EXPECT_EQ(rig.rt->tee_os().RegionStats(SecureRegionId::kParams)
+                .allocated_bytes,
+            0u);
+}
+
+TEST(RuntimeTest, PipelineAblationOrdering) {
+  // Figure 13: TZ-LLM <= TZ-LLM(-preempt) <= TZ-LLM(-pipeline).
+  InferenceRequest req;
+  req.prompt_tokens = 128;
+  Rig full(SystemKind::kTzLlm, Qwen2_5_3B(),
+           SchedulePolicy::kPriorityPreemptive, true);
+  Rig nopre(SystemKind::kTzLlm, Qwen2_5_3B(), SchedulePolicy::kPriority,
+            true);
+  Rig nopipe(SystemKind::kTzLlm, Qwen2_5_3B(),
+             SchedulePolicy::kPriority, false);
+  // Apply the same memory pressure to each.
+  ASSERT_TRUE(full.rt->stress().MapPressure(8 * kGiB, false).ok());
+  ASSERT_TRUE(nopre.rt->stress().MapPressure(8 * kGiB, false).ok());
+  ASSERT_TRUE(nopipe.rt->stress().MapPressure(8 * kGiB, false).ok());
+  const auto a = full.rt->RunInference(req);
+  const auto b = nopre.rt->RunInference(req);
+  const auto c = nopipe.rt->RunInference(req);
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(b.status.ok());
+  ASSERT_TRUE(c.status.ok());
+  EXPECT_LE(a.ttft, b.ttft + kMillisecond);
+  EXPECT_LT(b.ttft, c.ttft);
+}
+
+TEST(RuntimeTest, TtftNeverBelowPipelineLowerBound) {
+  // §7.2.1: any schedule is bounded below by the max critical path.
+  Rig rig(SystemKind::kTzLlm);
+  InferenceRequest req;
+  req.prompt_tokens = 256;
+  const InferenceReport report = rig.rt->RunInference(req);
+  ASSERT_TRUE(report.status.ok());
+  EXPECT_GE(report.prefill_time + kMicrosecond,
+            report.prefill_pipeline.LowerBound(4, 2));
+}
+
+TEST(RuntimeTest, StressIncreasesTzTtft) {
+  InferenceRequest req;
+  req.prompt_tokens = 64;
+  Rig calm(SystemKind::kTzLlm);
+  Rig stressed(SystemKind::kTzLlm);
+  ASSERT_TRUE(stressed.rt->stress().MapPressure(10 * kGiB, false).ok());
+  const auto a = calm.rt->RunInference(req);
+  const auto b = stressed.rt->RunInference(req);
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(b.status.ok());
+  EXPECT_GT(b.ttft, a.ttft);
+}
+
+TEST(RuntimeTest, StrawmanForcesColdConfig) {
+  Rig rig(SystemKind::kStrawman);
+  EXPECT_FALSE(rig.rt->config().use_npu);
+  EXPECT_FALSE(rig.rt->config().checkpoint);
+  EXPECT_FALSE(rig.rt->config().pipelined);
+}
+
+}  // namespace
+}  // namespace tzllm

@@ -1,0 +1,117 @@
+#include "src/core/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/geekbench.h"
+#include "src/core/nn_apps.h"
+#include "src/hw/platform.h"
+
+namespace tzllm {
+namespace {
+
+TEST(WorkloadsTest, DeterministicPromptSets) {
+  const auto a = BenchmarkPrompts(BenchmarkId::kUltraChat);
+  const auto b = BenchmarkPrompts(BenchmarkId::kUltraChat);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].n_tokens, b[i].n_tokens);
+    EXPECT_EQ(a[i].text, b[i].text);
+  }
+}
+
+TEST(WorkloadsTest, UltraChatIsShortest) {
+  // §7.1.1: "The higher overhead on UltraChat is due to its shorter
+  // prompts". Verify the distribution property the claim relies on.
+  auto mean_len = [](BenchmarkId id) {
+    double sum = 0;
+    const auto prompts = BenchmarkPrompts(id, 32);
+    for (const auto& p : prompts) {
+      sum += p.n_tokens;
+    }
+    return sum / prompts.size();
+  };
+  const double uc = mean_len(BenchmarkId::kUltraChat);
+  const double pc = mean_len(BenchmarkId::kPersonaChat);
+  const double dt = mean_len(BenchmarkId::kDroidTask);
+  EXPECT_LT(uc, pc / 2);
+  EXPECT_LT(uc, dt / 2);
+}
+
+TEST(WorkloadsTest, PromptTextScalesWithTokens) {
+  for (BenchmarkId id : AllBenchmarks()) {
+    for (const auto& p : BenchmarkPrompts(id, 8)) {
+      EXPECT_GT(p.n_tokens, 0);
+      EXPECT_GE(p.text.size(), static_cast<size_t>(p.n_tokens) * 3);
+    }
+  }
+}
+
+TEST(GeekbenchTest, SuiteHasSixteenWorkloads) {
+  EXPECT_EQ(GeekbenchSuite().size(), 16u);
+}
+
+TEST(GeekbenchTest, S2ptOverheadsMatchFigure2) {
+  // The Figure 2 annotations, in order.
+  const double expected[] = {4.3, 9.8, 0.6, 3.7, 1.3, 1.4, 1.8, 0.2,
+                             0.6, 0.9, 5.2, 0.8, 1.7, 0.2, 0.3, -0.1};
+  const auto& suite = GeekbenchSuite();
+  for (size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_NEAR(S2ptOverheadPercent(suite[i]), expected[i], 0.15)
+        << suite[i].name;
+  }
+}
+
+TEST(GeekbenchTest, S2ptAverageOverheadNearTwoPercent) {
+  // §2.4.2: "the average overhead is 2.0%".
+  double sum = 0;
+  for (const auto& w : GeekbenchSuite()) {
+    sum += S2ptOverheadPercent(w);
+  }
+  EXPECT_NEAR(sum / GeekbenchSuite().size(), 2.0, 0.3);
+}
+
+TEST(GeekbenchTest, MigrationInterferenceBounded) {
+  // Figure 16: degradation under CMA interference tops out well below the
+  // S2PT worst case and is zero when no migration runs.
+  for (const auto& w : GeekbenchSuite()) {
+    EXPECT_DOUBLE_EQ(ScoreUnderMigration(w, 0.0, 0.3), w.base_score);
+    const double degraded = ScoreUnderMigration(w, 0.25, 0.3);
+    EXPECT_LT(degraded, w.base_score);
+    EXPECT_GT(degraded, w.base_score * 0.90);
+  }
+}
+
+TEST(NnAppTest, ExclusiveThroughputNearPaperRates) {
+  // Figure 15 exclusive bars: YOLOv5 ~100 ops/s, MobileNet ~200 ops/s.
+  for (const auto& [profile, target] :
+       {std::pair{Yolov5Profile(), 100.0},
+        std::pair{MobileNetProfile(), 200.0}}) {
+    SocPlatform plat;
+    ReeNpuDriver driver(&plat);
+    driver.Init();
+    NnApp app(&plat.sim(), &driver, profile);
+    app.Start();
+    plat.sim().RunUntil(2 * kSecond);
+    app.Stop();
+    EXPECT_NEAR(app.Throughput(), target, target * 0.12) << profile.name;
+  }
+}
+
+TEST(NnAppTest, TwoAppsShareTheNpu) {
+  SocPlatform plat;
+  ReeNpuDriver driver(&plat);
+  driver.Init();
+  NnApp a(&plat.sim(), &driver, Yolov5Profile());
+  NnApp b(&plat.sim(), &driver, Yolov5Profile());
+  a.Start();
+  b.Start();
+  plat.sim().RunUntil(2 * kSecond);
+  a.Stop();
+  b.Stop();
+  // Each gets roughly half the exclusive rate.
+  EXPECT_NEAR(a.Throughput(), 50.0, 10.0);
+  EXPECT_NEAR(b.Throughput(), 50.0, 10.0);
+}
+
+}  // namespace
+}  // namespace tzllm

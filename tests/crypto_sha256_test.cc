@@ -1,0 +1,71 @@
+#include "src/crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace tzllm {
+namespace {
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(chunk);
+  }
+  EXPECT_EQ(DigestToHex(h.Finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalEqualsOneShot) {
+  std::vector<uint8_t> data(7777);
+  Rng(11).FillBytes(data.data(), data.size());
+  const Sha256Digest oneshot = Sha256::Hash(data.data(), data.size());
+  // Feed in awkward chunk sizes.
+  Sha256 h;
+  size_t pos = 0;
+  size_t chunk = 1;
+  while (pos < data.size()) {
+    const size_t n = std::min(chunk, data.size() - pos);
+    h.Update(data.data() + pos, n);
+    pos += n;
+    chunk = chunk * 2 + 1;
+  }
+  EXPECT_EQ(h.Finalize(), oneshot);
+}
+
+TEST(Sha256Test, SingleBitFlipChangesDigest) {
+  std::vector<uint8_t> data(256);
+  Rng(13).FillBytes(data.data(), data.size());
+  const Sha256Digest before = Sha256::Hash(data.data(), data.size());
+  data[100] ^= 0x01;
+  EXPECT_NE(Sha256::Hash(data.data(), data.size()), before);
+}
+
+TEST(Sha256Test, Tag64IsPrefix) {
+  const Sha256Digest d = Sha256::Hash("abc");
+  const uint64_t tag = DigestToTag64(d);
+  EXPECT_EQ(tag >> 56, d[0]);
+  EXPECT_EQ(tag & 0xFF, d[7]);
+}
+
+}  // namespace
+}  // namespace tzllm

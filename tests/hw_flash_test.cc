@@ -1,0 +1,118 @@
+#include "src/hw/flash.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/hw/platform.h"
+
+namespace tzllm {
+namespace {
+
+class FlashTest : public ::testing::Test {
+ protected:
+  SocPlatform plat_;
+};
+
+TEST_F(FlashTest, MaterializedFileRoundTrip) {
+  std::vector<uint8_t> content(10000);
+  Rng(1).FillBytes(content.data(), content.size());
+  ASSERT_TRUE(plat_.flash().CreateFile("model.bin", content).ok());
+  ASSERT_TRUE(plat_.flash().Exists("model.bin"));
+  EXPECT_EQ(*plat_.flash().FileSize("model.bin"), content.size());
+
+  bool done = false;
+  plat_.flash().ReadAsync("model.bin", 100, 5000, 1 * kMiB,
+                          /*materialize=*/true, [&](Status st) {
+                            EXPECT_TRUE(st.ok());
+                            done = true;
+                          });
+  plat_.sim().Run();
+  ASSERT_TRUE(done);
+  std::vector<uint8_t> out(5000);
+  ASSERT_TRUE(plat_.dram().Read(1 * kMiB, out.data(), out.size()).ok());
+  EXPECT_TRUE(std::equal(out.begin(), out.end(), content.begin() + 100));
+}
+
+TEST_F(FlashTest, SyntheticFileDeterministic) {
+  ASSERT_TRUE(
+      plat_.flash().CreateSyntheticFile("big.data", 1 * kGiB, 42).ok());
+  uint8_t a[64], b[64];
+  ASSERT_TRUE(plat_.flash().PeekBytes("big.data", 123456, 64, a).ok());
+  ASSERT_TRUE(plat_.flash().PeekBytes("big.data", 123456, 64, b).ok());
+  EXPECT_EQ(0, memcmp(a, b, 64));
+}
+
+TEST_F(FlashTest, ReadTimeMatchesBandwidthModel) {
+  // 2 GB at 2 GB/s = 1 s plus base request latency.
+  EXPECT_EQ(FlashDevice::EstimateReadTime(2'000'000'000ull),
+            kFlashRequestLatency + kSecond);
+  ASSERT_TRUE(plat_.flash().CreateSyntheticFile("t", 4 * kGiB, 1).ok());
+  const SimTime t0 = plat_.sim().Now();
+  SimTime completion = 0;
+  plat_.flash().ReadAsync("t", 0, 2'000'000'000ull, 0, false,
+                          [&](Status) { completion = plat_.sim().Now(); });
+  plat_.sim().Run();
+  EXPECT_EQ(completion - t0, kFlashRequestLatency + kSecond);
+}
+
+TEST_F(FlashTest, QueuedReadsSerialize) {
+  ASSERT_TRUE(plat_.flash().CreateSyntheticFile("q", 1 * kGiB, 1).ok());
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    plat_.flash().ReadAsync("q", 0, 200'000'000ull, 0, false, [&](Status) {
+      completions.push_back(plat_.sim().Now());
+    });
+  }
+  plat_.sim().Run();
+  ASSERT_EQ(completions.size(), 3u);
+  const SimDuration one = kFlashRequestLatency + kSecond / 10;
+  EXPECT_EQ(completions[0], one);
+  EXPECT_EQ(completions[1], 2 * one);
+  EXPECT_EQ(completions[2], 3 * one);
+}
+
+TEST_F(FlashTest, DmaIntoProtectedMemoryFails) {
+  // The paper's load-then-protect ordering: once a range is TZASC-covered,
+  // the (non-secure) flash controller cannot DMA into it.
+  ASSERT_TRUE(plat_.tzasc()
+                  .ConfigureRegion(World::kSecure, 1, 256 * kMiB, 16 * kMiB)
+                  .ok());
+  ASSERT_TRUE(plat_.flash().CreateSyntheticFile("m", 32 * kMiB, 9).ok());
+  Status result;
+  plat_.flash().ReadAsync("m", 0, 1 * kMiB, 256 * kMiB, false,
+                          [&](Status st) { result = std::move(st); });
+  plat_.sim().Run();
+  EXPECT_EQ(result.code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(plat_.flash().dma_rejections(), 1u);
+}
+
+TEST_F(FlashTest, ReadPastEndFails) {
+  ASSERT_TRUE(plat_.flash().CreateSyntheticFile("s", 1000, 5).ok());
+  Status result;
+  plat_.flash().ReadAsync("s", 900, 200, 0, false,
+                          [&](Status st) { result = std::move(st); });
+  plat_.sim().Run();
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(FlashTest, CorruptChangesBytes) {
+  std::vector<uint8_t> content(256, 0x55);
+  ASSERT_TRUE(plat_.flash().CreateFile("c", content).ok());
+  ASSERT_TRUE(plat_.flash().CorruptBytes("c", 10, 5).ok());
+  uint8_t out[256];
+  ASSERT_TRUE(plat_.flash().PeekBytes("c", 0, 256, out).ok());
+  EXPECT_NE(out[10], 0x55);
+  EXPECT_EQ(out[9], 0x55);
+}
+
+TEST_F(FlashTest, MissingFileErrors) {
+  Status result;
+  plat_.flash().ReadAsync("nope", 0, 10, 0, false,
+                          [&](Status st) { result = std::move(st); });
+  plat_.sim().Run();
+  EXPECT_EQ(result.code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(plat_.flash().FileSize("nope").ok());
+}
+
+}  // namespace
+}  // namespace tzllm

@@ -1,0 +1,133 @@
+#include "src/hw/npu.h"
+
+#include <gtest/gtest.h>
+
+#include "src/hw/platform.h"
+#include "src/llm/tensor.h"
+
+namespace tzllm {
+namespace {
+
+class NpuTest : public ::testing::Test {
+ protected:
+  NpuJobDesc SimpleJob(PhysAddr base, SimDuration duration = kMillisecond) {
+    NpuJobDesc job;
+    job.cmd_addr = base;
+    job.cmd_size = kPageSize;
+    job.iopt_addr = base + kPageSize;
+    job.iopt_size = kPageSize;
+    job.buffers = {{base + 2 * kPageSize, kPageSize}};
+    job.duration = duration;
+    return job;
+  }
+
+  SocPlatform plat_;
+};
+
+TEST_F(NpuTest, RunsJobAndRaisesInterrupt) {
+  int irqs = 0;
+  plat_.gic().RegisterHandler(World::kNonSecure, kIrqNpu, [&] { ++irqs; });
+  ASSERT_TRUE(
+      plat_.npu().MmioLaunch(World::kNonSecure, SimpleJob(1 * kMiB)).ok());
+  EXPECT_TRUE(plat_.npu().busy());
+  plat_.sim().Run();
+  EXPECT_FALSE(plat_.npu().busy());
+  EXPECT_EQ(irqs, 1);
+  EXPECT_EQ(plat_.npu().jobs_completed(), 1u);
+}
+
+TEST_F(NpuTest, BusyDeviceRejectsSecondLaunch) {
+  ASSERT_TRUE(
+      plat_.npu().MmioLaunch(World::kNonSecure, SimpleJob(1 * kMiB)).ok());
+  EXPECT_EQ(plat_.npu().MmioLaunch(World::kNonSecure, SimpleJob(2 * kMiB))
+                .code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(NpuTest, TzpcBlocksReeDoorbellWhileSecure) {
+  ASSERT_TRUE(
+      plat_.tzpc().SetSecure(World::kSecure, DeviceId::kNpu, true).ok());
+  EXPECT_EQ(plat_.npu().MmioLaunch(World::kNonSecure, SimpleJob(1 * kMiB))
+                .code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_TRUE(
+      plat_.npu().MmioLaunch(World::kSecure, SimpleJob(1 * kMiB)).ok());
+  EXPECT_EQ(plat_.npu().launch_rejections(), 1u);
+}
+
+TEST_F(NpuTest, DmaAttackOnSecureMemoryBlocked) {
+  // Protect a region; an NPU job pointed at it (a malicious REE job trying
+  // to exfiltrate parameters) must be rejected at launch.
+  ASSERT_TRUE(plat_.tzasc()
+                  .ConfigureRegion(World::kSecure, 1, 64 * kMiB, 8 * kMiB)
+                  .ok());
+  NpuJobDesc attack = SimpleJob(1 * kMiB);
+  attack.buffers = {{64 * kMiB, kPageSize}};  // Secure parameter memory.
+  EXPECT_EQ(plat_.npu().MmioLaunch(World::kNonSecure, attack).code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_GE(plat_.tzasc().dma_faults(), 1u);
+  // After the TEE grants the region to the NPU, a secure launch passes.
+  ASSERT_TRUE(plat_.tzasc()
+                  .SetDmaPermission(World::kSecure, 1, DeviceId::kNpu, true)
+                  .ok());
+  EXPECT_TRUE(plat_.npu().MmioLaunch(World::kSecure, attack).ok());
+}
+
+TEST_F(NpuTest, StatusPollIsAlsoGated) {
+  ASSERT_TRUE(
+      plat_.tzpc().SetSecure(World::kSecure, DeviceId::kNpu, true).ok());
+  EXPECT_FALSE(plat_.npu().MmioIsBusy(World::kNonSecure).ok());
+  auto busy = plat_.npu().MmioIsBusy(World::kSecure);
+  ASSERT_TRUE(busy.ok());
+  EXPECT_FALSE(*busy);
+}
+
+TEST_F(NpuTest, FunctionalComputePayloadRuns) {
+  // A job that performs a real Q8 mat-vec through DRAM: the functional NPU
+  // path used by backend correctness tests.
+  const PhysAddr w_addr = 1 * kMiB;
+  const PhysAddr x_addr = 2 * kMiB;
+  const PhysAddr y_addr = 3 * kMiB;
+  const uint64_t rows = 4, cols = 32;
+
+  Tensor w = MakeRandomTensor("w", DType::kQ8_0, rows, cols, 7);
+  std::vector<float> x(cols, 1.0f);
+  ASSERT_TRUE(
+      plat_.dram().Write(w_addr, w.data.data(), w.data.size()).ok());
+  ASSERT_TRUE(plat_.dram()
+                  .Write(x_addr, reinterpret_cast<const uint8_t*>(x.data()),
+                         x.size() * 4)
+                  .ok());
+
+  NpuJobDesc job = SimpleJob(8 * kMiB);
+  job.buffers = {{w_addr, w.data.size()}, {x_addr, cols * 4},
+                 {y_addr, rows * 4}};
+  job.compute = [&]() -> Status {
+    std::vector<uint8_t> wb(w.data.size());
+    std::vector<float> xs(cols), ys(rows, 0.0f);
+    TZLLM_RETURN_IF_ERROR(plat_.dram().Read(w_addr, wb.data(), wb.size()));
+    TZLLM_RETURN_IF_ERROR(plat_.dram().Read(
+        x_addr, reinterpret_cast<uint8_t*>(xs.data()), cols * 4));
+    MatVecQ8(wb.data(), rows, cols, xs.data(), ys.data());
+    return plat_.dram().Write(y_addr,
+                              reinterpret_cast<const uint8_t*>(ys.data()),
+                              rows * 4);
+  };
+  ASSERT_TRUE(plat_.npu().MmioLaunch(World::kNonSecure, job).ok());
+  plat_.sim().Run();
+
+  // Compare against a host-side reference.
+  std::vector<float> expected(rows, 0.0f);
+  MatVecQ8(w.data.data(), rows, cols, x.data(), expected.data());
+  std::vector<float> got(rows);
+  ASSERT_TRUE(plat_.dram()
+                  .Read(y_addr, reinterpret_cast<uint8_t*>(got.data()),
+                        rows * 4)
+                  .ok());
+  for (uint64_t i = 0; i < rows; ++i) {
+    EXPECT_FLOAT_EQ(got[i], expected[i]);
+  }
+}
+
+}  // namespace
+}  // namespace tzllm

@@ -1,0 +1,106 @@
+#include "src/hw/phys_mem.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace tzllm {
+namespace {
+
+TEST(PhysMemoryTest, UntouchedReadsAsZero) {
+  PhysMemory mem(16 * kMiB);
+  uint8_t buf[64];
+  ASSERT_TRUE(mem.Read(1 * kMiB, buf, sizeof(buf)).ok());
+  for (uint8_t b : buf) {
+    EXPECT_EQ(b, 0);
+  }
+  EXPECT_EQ(mem.materialized_frames(), 0u);
+}
+
+TEST(PhysMemoryTest, WriteReadRoundTrip) {
+  PhysMemory mem(16 * kMiB);
+  std::vector<uint8_t> data(10000);
+  Rng(1).FillBytes(data.data(), data.size());
+  ASSERT_TRUE(mem.Write(123, data.data(), data.size()).ok());
+  std::vector<uint8_t> out(data.size());
+  ASSERT_TRUE(mem.Read(123, out.data(), out.size()).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(PhysMemoryTest, CrossFrameAccess) {
+  PhysMemory mem(16 * kMiB);
+  const PhysAddr addr = PhysMemory::kFrameSize - 10;
+  uint8_t data[20];
+  for (int i = 0; i < 20; ++i) {
+    data[i] = static_cast<uint8_t>(i + 1);
+  }
+  ASSERT_TRUE(mem.Write(addr, data, sizeof(data)).ok());
+  uint8_t out[20];
+  ASSERT_TRUE(mem.Read(addr, out, sizeof(out)).ok());
+  EXPECT_EQ(0, memcmp(out, data, sizeof(out)));
+  EXPECT_EQ(mem.materialized_frames(), 2u);
+}
+
+TEST(PhysMemoryTest, OutOfRangeRejected) {
+  PhysMemory mem(1 * kMiB);
+  uint8_t b = 0;
+  EXPECT_FALSE(mem.Read(1 * kMiB, &b, 1).ok());
+  EXPECT_FALSE(mem.Write(1 * kMiB - 1, &b, 2).ok());
+  // Overflow attempt.
+  EXPECT_FALSE(mem.Read(~0ull - 4, &b, 16).ok());
+}
+
+TEST(PhysMemoryTest, FillScrubs) {
+  PhysMemory mem(16 * kMiB);
+  uint8_t data[256];
+  Rng(2).FillBytes(data, sizeof(data));
+  ASSERT_TRUE(mem.Write(4096, data, sizeof(data)).ok());
+  ASSERT_TRUE(mem.Fill(4096, 0, sizeof(data)).ok());
+  uint8_t out[256];
+  ASSERT_TRUE(mem.Read(4096, out, sizeof(out)).ok());
+  for (uint8_t b : out) {
+    EXPECT_EQ(b, 0);
+  }
+}
+
+TEST(PhysMemoryTest, ZeroFillOfUntouchedDoesNotMaterialize) {
+  PhysMemory mem(1 * kGiB);
+  ASSERT_TRUE(mem.Fill(0, 0, 512 * kMiB).ok());
+  EXPECT_EQ(mem.materialized_frames(), 0u);
+}
+
+TEST(PhysMemoryTest, CopyMovesBytes) {
+  PhysMemory mem(16 * kMiB);
+  uint8_t data[128];
+  Rng(3).FillBytes(data, sizeof(data));
+  ASSERT_TRUE(mem.Write(0, data, sizeof(data)).ok());
+  ASSERT_TRUE(mem.Copy(1 * kMiB, 0, sizeof(data)).ok());
+  uint8_t out[128];
+  ASSERT_TRUE(mem.Read(1 * kMiB, out, sizeof(out)).ok());
+  EXPECT_EQ(0, memcmp(out, data, sizeof(out)));
+}
+
+TEST(PhysMemoryTest, IsTouchedTracksWrites) {
+  PhysMemory mem(16 * kMiB);
+  EXPECT_FALSE(mem.IsTouched(0, kPageSize));
+  uint8_t b = 1;
+  ASSERT_TRUE(mem.Write(100, &b, 1).ok());
+  EXPECT_TRUE(mem.IsTouched(0, kPageSize));
+}
+
+TEST(PhysMemoryTest, RawWindowWithinFrame) {
+  PhysMemory mem(16 * kMiB);
+  uint8_t* window = mem.RawWindow(64, 128);
+  ASSERT_NE(window, nullptr);
+  window[0] = 0xEE;
+  uint8_t out = 0;
+  ASSERT_TRUE(mem.Read(64, &out, 1).ok());
+  EXPECT_EQ(out, 0xEE);
+  // Crossing a frame boundary yields nullptr.
+  EXPECT_EQ(mem.RawWindow(PhysMemory::kFrameSize - 1, 2), nullptr);
+}
+
+}  // namespace
+}  // namespace tzllm

@@ -1,0 +1,63 @@
+#include "src/hw/smc.h"
+
+#include <gtest/gtest.h>
+
+namespace tzllm {
+namespace {
+
+TEST(SmcTest, DispatchesToSecureHandler) {
+  SecureMonitor monitor;
+  uint64_t seen = 0;
+  monitor.InstallSecureHandler(SmcFunc::kInvokeTa, [&](const SmcArgs& args) {
+    seen = args.a[0];
+    SmcResult r{OkStatus(), {}};
+    r.r[0] = args.a[0] + 1;
+    return r;
+  });
+  SmcArgs args;
+  args.a[0] = 41;
+  const SmcResult result = monitor.SmcFromRee(SmcFunc::kInvokeTa, args);
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_EQ(seen, 41u);
+  EXPECT_EQ(result.r[0], 42u);
+}
+
+TEST(SmcTest, MissingHandlerIsNotFound) {
+  SecureMonitor monitor;
+  EXPECT_EQ(monitor.SmcFromRee(SmcFunc::kInvokeTa, {}).status.code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(monitor.RpcToRee(SmcFunc::kRpcCmaAlloc, {}).status.code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(SmcTest, RpcGoesToNonSecureHandlers) {
+  SecureMonitor monitor;
+  bool rpc_hit = false;
+  monitor.InstallNonSecureHandler(SmcFunc::kRpcFileRead,
+                                  [&](const SmcArgs&) {
+                                    rpc_hit = true;
+                                    return SmcResult{OkStatus(), {}};
+                                  });
+  // The same function id as an smc must not hit the RPC handler.
+  EXPECT_FALSE(monitor.SmcFromRee(SmcFunc::kRpcFileRead, {}).status.ok());
+  EXPECT_FALSE(rpc_hit);
+  EXPECT_TRUE(monitor.RpcToRee(SmcFunc::kRpcFileRead, {}).status.ok());
+  EXPECT_TRUE(rpc_hit);
+}
+
+TEST(SmcTest, RoundTripAccounting) {
+  SecureMonitor monitor;
+  monitor.InstallSecureHandler(SmcFunc::kInvokeTa, [](const SmcArgs&) {
+    return SmcResult{OkStatus(), {}};
+  });
+  for (int i = 0; i < 5; ++i) {
+    monitor.SmcFromRee(SmcFunc::kInvokeTa, {});
+  }
+  EXPECT_EQ(monitor.round_trips(), 5u);
+  EXPECT_EQ(monitor.total_switch_time(), 5 * kSmcRoundTrip);
+  monitor.ResetCounters();
+  EXPECT_EQ(monitor.round_trips(), 0u);
+}
+
+}  // namespace
+}  // namespace tzllm

@@ -1,0 +1,122 @@
+#include "src/hw/tzasc.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+namespace tzllm {
+namespace {
+
+class TzascTest : public ::testing::Test {
+ protected:
+  Tzasc tzasc_;
+};
+
+TEST_F(TzascTest, NonSecureCannotProgramRegisters) {
+  EXPECT_EQ(tzasc_.ConfigureRegion(World::kNonSecure, 0, 0, kPageSize).code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(tzasc_.ResizeRegion(World::kNonSecure, 0, kPageSize).code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(tzasc_
+                .SetDmaPermission(World::kNonSecure, 0, DeviceId::kNpu, true)
+                .code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(TzascTest, RegionsMustBePageAligned) {
+  EXPECT_FALSE(
+      tzasc_.ConfigureRegion(World::kSecure, 0, 100, kPageSize).ok());
+  EXPECT_FALSE(
+      tzasc_.ConfigureRegion(World::kSecure, 0, 0, kPageSize + 1).ok());
+  EXPECT_TRUE(
+      tzasc_.ConfigureRegion(World::kSecure, 0, kPageSize, kPageSize).ok());
+}
+
+TEST_F(TzascTest, EightRegionsOnly) {
+  for (int i = 0; i < Tzasc::kNumRegions; ++i) {
+    EXPECT_TRUE(tzasc_
+                    .ConfigureRegion(World::kSecure, i, (i + 1) * kMiB,
+                                     kPageSize)
+                    .ok());
+  }
+  EXPECT_FALSE(tzasc_
+                   .ConfigureRegion(World::kSecure, Tzasc::kNumRegions,
+                                    64 * kMiB, kPageSize)
+                   .ok());
+}
+
+TEST_F(TzascTest, CpuAccessGating) {
+  ASSERT_TRUE(
+      tzasc_.ConfigureRegion(World::kSecure, 1, 1 * kMiB, 1 * kMiB).ok());
+  // Secure CPU sees everything.
+  EXPECT_TRUE(tzasc_.CheckCpuAccess(World::kSecure, 1 * kMiB, 64).ok());
+  // Non-secure CPU faults inside, passes outside.
+  EXPECT_FALSE(tzasc_.CheckCpuAccess(World::kNonSecure, 1 * kMiB, 64).ok());
+  EXPECT_FALSE(
+      tzasc_.CheckCpuAccess(World::kNonSecure, 2 * kMiB - 1, 2).ok());
+  EXPECT_TRUE(tzasc_.CheckCpuAccess(World::kNonSecure, 2 * kMiB, 64).ok());
+  EXPECT_TRUE(tzasc_.CheckCpuAccess(World::kNonSecure, 0, 1 * kMiB).ok());
+  EXPECT_EQ(tzasc_.cpu_faults(), 2u);
+}
+
+TEST_F(TzascTest, DmaPermissionPerDevice) {
+  ASSERT_TRUE(
+      tzasc_.ConfigureRegion(World::kSecure, 2, 4 * kMiB, 1 * kMiB).ok());
+  // No device is allowed by default.
+  EXPECT_FALSE(
+      tzasc_.CheckDmaAccess(DeviceId::kNpu, 4 * kMiB, kPageSize).ok());
+  ASSERT_TRUE(
+      tzasc_.SetDmaPermission(World::kSecure, 2, DeviceId::kNpu, true).ok());
+  EXPECT_TRUE(
+      tzasc_.CheckDmaAccess(DeviceId::kNpu, 4 * kMiB, kPageSize).ok());
+  // Other devices still rejected.
+  EXPECT_FALSE(tzasc_
+                   .CheckDmaAccess(DeviceId::kUsbController, 4 * kMiB,
+                                   kPageSize)
+                   .ok());
+  // Revocation works.
+  ASSERT_TRUE(
+      tzasc_.SetDmaPermission(World::kSecure, 2, DeviceId::kNpu, false).ok());
+  EXPECT_FALSE(
+      tzasc_.CheckDmaAccess(DeviceId::kNpu, 4 * kMiB, kPageSize).ok());
+}
+
+TEST_F(TzascTest, DmaIntoNonSecureMemoryAlwaysAllowed) {
+  ASSERT_TRUE(
+      tzasc_.ConfigureRegion(World::kSecure, 0, 8 * kMiB, 1 * kMiB).ok());
+  EXPECT_TRUE(
+      tzasc_.CheckDmaAccess(DeviceId::kFlashController, 0, 1 * kMiB).ok());
+}
+
+TEST_F(TzascTest, StraddlingDmaRejected) {
+  ASSERT_TRUE(
+      tzasc_.ConfigureRegion(World::kSecure, 0, 8 * kMiB, 1 * kMiB).ok());
+  ASSERT_TRUE(
+      tzasc_.SetDmaPermission(World::kSecure, 0, DeviceId::kNpu, true).ok());
+  // Transaction begins outside and ends inside the region.
+  EXPECT_FALSE(
+      tzasc_.CheckDmaAccess(DeviceId::kNpu, 8 * kMiB - kPageSize, 2 * kPageSize)
+          .ok());
+}
+
+TEST_F(TzascTest, ResizeGrowsAndShrinksFromEnd) {
+  ASSERT_TRUE(
+      tzasc_.ConfigureRegion(World::kSecure, 3, 16 * kMiB, 1 * kMiB).ok());
+  ASSERT_TRUE(tzasc_.ResizeRegion(World::kSecure, 3, 2 * kMiB).ok());
+  EXPECT_TRUE(tzasc_.IsSecure(16 * kMiB + 1 * kMiB, kPageSize));
+  ASSERT_TRUE(tzasc_.ResizeRegion(World::kSecure, 3, 1 * kMiB).ok());
+  EXPECT_FALSE(tzasc_.IsSecure(16 * kMiB + 1 * kMiB, kPageSize));
+  // Shrink to zero disables the region.
+  ASSERT_TRUE(tzasc_.ResizeRegion(World::kSecure, 3, 0).ok());
+  EXPECT_FALSE(tzasc_.region(3).enabled);
+}
+
+TEST_F(TzascTest, DisableRegionClearsProtection) {
+  ASSERT_TRUE(
+      tzasc_.ConfigureRegion(World::kSecure, 0, 1 * kMiB, 1 * kMiB).ok());
+  ASSERT_TRUE(tzasc_.DisableRegion(World::kSecure, 0).ok());
+  EXPECT_TRUE(tzasc_.CheckCpuAccess(World::kNonSecure, 1 * kMiB, 64).ok());
+}
+
+}  // namespace
+}  // namespace tzllm

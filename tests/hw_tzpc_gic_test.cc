@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "src/hw/gic.h"
+#include "src/hw/tzpc.h"
+
+namespace tzllm {
+namespace {
+
+TEST(TzpcTest, OnlySecureWorldReclassifies) {
+  Tzpc tzpc;
+  EXPECT_EQ(tzpc.SetSecure(World::kNonSecure, DeviceId::kNpu, true).code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_TRUE(tzpc.SetSecure(World::kSecure, DeviceId::kNpu, true).ok());
+  EXPECT_TRUE(tzpc.IsSecure(DeviceId::kNpu));
+}
+
+TEST(TzpcTest, MmioGating) {
+  Tzpc tzpc;
+  // Non-secure device: both worlds may touch MMIO.
+  EXPECT_TRUE(tzpc.CheckMmio(World::kNonSecure, DeviceId::kNpu).ok());
+  EXPECT_TRUE(tzpc.CheckMmio(World::kSecure, DeviceId::kNpu).ok());
+  ASSERT_TRUE(tzpc.SetSecure(World::kSecure, DeviceId::kNpu, true).ok());
+  // Secure device: REE MMIO faults.
+  EXPECT_FALSE(tzpc.CheckMmio(World::kNonSecure, DeviceId::kNpu).ok());
+  EXPECT_TRUE(tzpc.CheckMmio(World::kSecure, DeviceId::kNpu).ok());
+  EXPECT_EQ(tzpc.mmio_faults(), 1u);
+}
+
+TEST(GicTest, RoutesToOwningWorldOnly) {
+  Gic gic;
+  int secure_hits = 0, nonsecure_hits = 0;
+  gic.RegisterHandler(World::kSecure, kIrqNpu, [&] { ++secure_hits; });
+  gic.RegisterHandler(World::kNonSecure, kIrqNpu, [&] { ++nonsecure_hits; });
+
+  gic.Raise(kIrqNpu);  // Default route: non-secure.
+  EXPECT_EQ(nonsecure_hits, 1);
+  EXPECT_EQ(secure_hits, 0);
+
+  ASSERT_TRUE(gic.Route(World::kSecure, kIrqNpu, World::kSecure).ok());
+  gic.Raise(kIrqNpu);
+  EXPECT_EQ(secure_hits, 1);
+  EXPECT_EQ(nonsecure_hits, 1);
+}
+
+TEST(GicTest, NonSecureCannotRegroup) {
+  Gic gic;
+  EXPECT_EQ(gic.Route(World::kNonSecure, kIrqNpu, World::kNonSecure).code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST(GicTest, SpuriousInterruptsCounted) {
+  Gic gic;
+  gic.Raise(999);  // No handler registered.
+  EXPECT_EQ(gic.spurious_interrupts(), 1u);
+  // Handler on the other world only.
+  gic.RegisterHandler(World::kSecure, 55, [] {});
+  gic.Raise(55);  // Routed non-secure; no NS handler -> spurious.
+  EXPECT_EQ(gic.spurious_interrupts(), 2u);
+}
+
+TEST(GicTest, DeliveryCountersPerWorld) {
+  Gic gic;
+  gic.RegisterHandler(World::kNonSecure, 7, [] {});
+  gic.Raise(7);
+  gic.Raise(7);
+  EXPECT_EQ(gic.delivered(World::kNonSecure), 2u);
+  EXPECT_EQ(gic.delivered(World::kSecure), 0u);
+}
+
+}  // namespace
+}  // namespace tzllm

@@ -1,0 +1,150 @@
+#include "src/llm/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/llm/tzguf.h"
+
+namespace tzllm {
+namespace {
+
+TEST(NumericsTest, RmsNormUnitGain) {
+  const int n = 4;
+  const float x[n] = {1.0f, -2.0f, 3.0f, -4.0f};
+  const float gain[n] = {1.0f, 1.0f, 1.0f, 1.0f};
+  float out[n];
+  RmsNorm(x, gain, out, n);
+  // RMS of out should be ~1.
+  double sum = 0.0;
+  for (float v : out) {
+    sum += v * v;
+  }
+  EXPECT_NEAR(std::sqrt(sum / n), 1.0, 1e-4);
+  // Sign preserved, ratios preserved.
+  EXPECT_LT(out[1], 0.0f);
+  EXPECT_NEAR(out[2] / out[0], 3.0f, 1e-4);
+}
+
+TEST(NumericsTest, SoftmaxSumsToOneAndOrders) {
+  float x[3] = {1.0f, 3.0f, 2.0f};
+  Softmax(x, 3);
+  EXPECT_NEAR(x[0] + x[1] + x[2], 1.0f, 1e-5);
+  EXPECT_GT(x[1], x[2]);
+  EXPECT_GT(x[2], x[0]);
+}
+
+TEST(NumericsTest, SoftmaxNumericallyStable) {
+  float x[2] = {1000.0f, 1001.0f};
+  Softmax(x, 2);
+  EXPECT_FALSE(std::isnan(x[0]));
+  EXPECT_NEAR(x[0] + x[1], 1.0f, 1e-5);
+}
+
+TEST(NumericsTest, RopePreservesNormAndIsPositionDependent) {
+  const int head_dim = 8;
+  float a[head_dim], b[head_dim];
+  for (int i = 0; i < head_dim; ++i) {
+    a[i] = b[i] = static_cast<float>(i + 1);
+  }
+  ApplyRope(a, 1, head_dim, 3);
+  ApplyRope(b, 1, head_dim, 4);
+  double norm_a = 0.0, ref = 0.0;
+  bool differs = false;
+  for (int i = 0; i < head_dim; ++i) {
+    norm_a += a[i] * a[i];
+    ref += (i + 1.0) * (i + 1.0);
+    differs |= std::fabs(a[i] - b[i]) > 1e-5;
+  }
+  EXPECT_NEAR(norm_a, ref, 1e-2);  // Rotation preserves norm.
+  EXPECT_TRUE(differs);            // Position changes the rotation.
+  // Position 0 is the identity.
+  float c[head_dim];
+  for (int i = 0; i < head_dim; ++i) {
+    c[i] = static_cast<float>(i + 1);
+  }
+  ApplyRope(c, 1, head_dim, 0);
+  for (int i = 0; i < head_dim; ++i) {
+    EXPECT_NEAR(c[i], i + 1.0f, 1e-5);
+  }
+}
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest()
+      : spec_(ModelSpec::Create(TestTinyModel())),
+        weights_(Tzguf::ReferenceWeights(spec_, 77)),
+        source_(weights_),
+        executor_(&spec_, &source_),
+        kv_(spec_) {}
+
+  ModelSpec spec_;
+  std::vector<Tensor> weights_;
+  HostWeightSource source_;
+  TransformerExecutor executor_;
+  KvCache kv_;
+};
+
+TEST_F(ExecutorTest, PrefillProducesFiniteLogits) {
+  auto logits = executor_.Prefill({10, 20, 30}, &kv_);
+  ASSERT_TRUE(logits.ok());
+  ASSERT_EQ(logits->size(),
+            static_cast<size_t>(spec_.config().vocab_size));
+  for (float v : *logits) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  EXPECT_EQ(kv_.seq_len(), 3);
+}
+
+TEST_F(ExecutorTest, DeterministicAcrossRuns) {
+  auto a = executor_.Prefill({1, 2, 3, 4}, &kv_);
+  ASSERT_TRUE(a.ok());
+  KvCache kv2(spec_);
+  TransformerExecutor exec2(&spec_, &source_);
+  auto b = exec2.Prefill({1, 2, 3, 4}, &kv2);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST_F(ExecutorTest, IncrementalDecodeMatchesPrefill) {
+  // Logits for token sequence t0..t3 computed via prefill must equal
+  // prefill(t0..t2) + decode(t3): the KV-cache correctness property.
+  const std::vector<TokenId> tokens = {5, 6, 7, 8};
+  auto full = executor_.Prefill(tokens, &kv_);
+  ASSERT_TRUE(full.ok());
+
+  KvCache kv2(spec_);
+  TransformerExecutor exec2(&spec_, &source_);
+  auto partial = exec2.Prefill({5, 6, 7}, &kv2);
+  ASSERT_TRUE(partial.ok());
+  auto step = exec2.DecodeStep(8, &kv2);
+  ASSERT_TRUE(step.ok());
+  ASSERT_EQ(step->size(), full->size());
+  for (size_t i = 0; i < full->size(); ++i) {
+    EXPECT_NEAR((*step)[i], (*full)[i], 1e-4f) << i;
+  }
+}
+
+TEST_F(ExecutorTest, PromptChangesLogits) {
+  auto a = executor_.Prefill({1, 2, 3}, &kv_);
+  ASSERT_TRUE(a.ok());
+  KvCache kv2(spec_);
+  TransformerExecutor exec2(&spec_, &source_);
+  auto b = exec2.Prefill({3, 2, 1}, &kv2);
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);  // Order matters (positional encoding + causality).
+}
+
+TEST_F(ExecutorTest, RejectsBadTokens) {
+  EXPECT_FALSE(executor_.Prefill({-1}, &kv_).ok());
+  EXPECT_FALSE(executor_.Prefill({100000}, &kv_).ok());
+  EXPECT_FALSE(executor_.Prefill({}, &kv_).ok());
+}
+
+TEST_F(ExecutorTest, ContextLimitEnforced) {
+  std::vector<TokenId> long_prompt(spec_.config().max_ctx + 1, 1);
+  EXPECT_FALSE(executor_.Prefill(long_prompt, &kv_).ok());
+}
+
+}  // namespace
+}  // namespace tzllm

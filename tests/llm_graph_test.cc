@@ -1,0 +1,94 @@
+#include "src/llm/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace tzllm {
+namespace {
+
+TEST(GraphTest, PrefillShape) {
+  const ModelSpec spec = ModelSpec::Create(Llama3_8B());
+  const ComputeGraph g = ComputeGraph::BuildPrefill(spec);
+  // embed + 8 ops/layer * 32 + output_norm + lm_head.
+  EXPECT_EQ(g.size(), 1 + 8 * 32 + 2);
+  // 4 NPU matmul ops per layer + lm_head.
+  EXPECT_EQ(g.NpuOpCount(), 4 * 32 + 1);
+}
+
+TEST(GraphTest, DecodeShapeUsesFusedOps) {
+  const ModelSpec spec = ModelSpec::Create(Llama3_8B());
+  const ComputeGraph g = ComputeGraph::BuildDecode(spec);
+  // embed + 4 ops/layer * 32 + output_norm + lm_head.
+  EXPECT_EQ(g.size(), 1 + 4 * 32 + 2);
+  // 2 fused NPU ops per layer + lm_head (launch-overhead sensitivity).
+  EXPECT_EQ(g.NpuOpCount(), 2 * 32 + 1);
+}
+
+TEST(GraphTest, ChainDependencies) {
+  const ModelSpec spec = ModelSpec::Create(TestTinyModel());
+  const ComputeGraph g = ComputeGraph::BuildPrefill(spec);
+  for (const OpNode& n : g.nodes()) {
+    if (n.id == 0) {
+      EXPECT_TRUE(n.deps.empty());
+    } else {
+      ASSERT_EQ(n.deps.size(), 1u);
+      EXPECT_EQ(n.deps[0], n.id - 1);
+    }
+  }
+}
+
+TEST(GraphTest, WeightConsumersCoverAllParameters) {
+  const ModelSpec spec = ModelSpec::Create(Qwen2_5_3B());
+  for (const ComputeGraph& g : {ComputeGraph::BuildPrefill(spec),
+                                ComputeGraph::BuildDecode(spec)}) {
+    EXPECT_EQ(g.TotalWeightBytes(), spec.total_param_bytes());
+    // Every consumer's tensors are distinct and ordered by file offset.
+    uint64_t cursor = 0;
+    for (int id : g.WeightConsumers()) {
+      const OpNode& n = g.node(id);
+      const uint64_t first =
+          spec.tensor(n.tensor_indices.front()).file_offset;
+      EXPECT_EQ(first, cursor) << n.DebugName();
+      cursor += n.weight_bytes;
+    }
+  }
+}
+
+TEST(GraphTest, OpExtentsAreContiguousTensorRuns) {
+  // Restoration treats each consumer op's tensors as one contiguous file
+  // extent; verify tensors inside an op are adjacent.
+  const ModelSpec spec = ModelSpec::Create(TestSmallModel());
+  const ComputeGraph g = ComputeGraph::BuildPrefill(spec);
+  for (const OpNode& n : g.nodes()) {
+    uint64_t expected = 0;
+    bool first = true;
+    for (int ti : n.tensor_indices) {
+      const TensorSpec& t = spec.tensor(ti);
+      if (!first) {
+        EXPECT_EQ(t.file_offset, expected) << n.DebugName();
+      }
+      expected = t.file_offset + t.bytes;
+      first = false;
+    }
+  }
+}
+
+TEST(GraphTest, BackendAssignment) {
+  const ModelSpec spec = ModelSpec::Create(TestTinyModel());
+  const ComputeGraph g = ComputeGraph::BuildPrefill(spec);
+  for (const OpNode& n : g.nodes()) {
+    switch (n.kind) {
+      case OpKind::kQkvMatmul:
+      case OpKind::kAttnOut:
+      case OpKind::kFfnGateUp:
+      case OpKind::kFfnDown:
+      case OpKind::kLmHead:
+        EXPECT_EQ(n.backend, Backend::kNpu) << n.DebugName();
+        break;
+      default:
+        EXPECT_EQ(n.backend, Backend::kCpu) << n.DebugName();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tzllm

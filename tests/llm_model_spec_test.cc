@@ -1,0 +1,78 @@
+#include "src/llm/model_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace tzllm {
+namespace {
+
+TEST(ModelSpecTest, PaperModelSizesMatchQuotedBytes) {
+  // §7 "Models and deployment": 1.0 / 3.3 / 3.7 / 7.9 GB at 8-bit.
+  const double targets_gib[] = {1.0, 3.3, 3.7, 7.9};
+  const auto models = PaperModels();
+  ASSERT_EQ(models.size(), 4u);
+  for (size_t i = 0; i < models.size(); ++i) {
+    const ModelSpec spec = ModelSpec::Create(models[i]);
+    const double gib =
+        static_cast<double>(spec.total_param_bytes()) / kGiB;
+    EXPECT_NEAR(gib, targets_gib[i], 0.02) << models[i].name;
+    EXPECT_FALSE(spec.materializable());
+  }
+}
+
+TEST(ModelSpecTest, TensorTableCoversAllRoles) {
+  const ModelSpec spec = ModelSpec::Create(TestTinyModel());
+  EXPECT_NE(spec.Find(TensorRole::kTokEmbedding, -1), nullptr);
+  EXPECT_NE(spec.Find(TensorRole::kOutputNorm, -1), nullptr);
+  EXPECT_NE(spec.Find(TensorRole::kLmHead, -1), nullptr);
+  for (int l = 0; l < spec.config().n_layers; ++l) {
+    for (TensorRole role :
+         {TensorRole::kAttnNorm, TensorRole::kWq, TensorRole::kWk,
+          TensorRole::kWv, TensorRole::kWo, TensorRole::kFfnNorm,
+          TensorRole::kWGate, TensorRole::kWUp, TensorRole::kWDown}) {
+      EXPECT_NE(spec.Find(role, l), nullptr);
+    }
+  }
+  EXPECT_EQ(spec.Find(TensorRole::kWq, 99), nullptr);
+}
+
+TEST(ModelSpecTest, FileOffsetsArePackedAndOrdered) {
+  const ModelSpec spec = ModelSpec::Create(Qwen2_5_3B());
+  uint64_t expected = 0;
+  for (const TensorSpec& t : spec.tensors()) {
+    EXPECT_EQ(t.file_offset, expected);
+    expected += t.bytes;
+  }
+  EXPECT_EQ(expected, spec.total_param_bytes());
+}
+
+TEST(ModelSpecTest, TestModelsAreMaterializable) {
+  const ModelSpec tiny = ModelSpec::Create(TestTinyModel());
+  EXPECT_TRUE(tiny.materializable());
+  for (const TensorSpec& t : tiny.tensors()) {
+    EXPECT_EQ(t.data_bytes, DTypeByteSize(t.dtype, t.rows * t.cols))
+        << t.name;
+    EXPECT_EQ(t.bytes, AlignUp(t.data_bytes, kPageSize)) << t.name;
+  }
+  // Dimensions divisible by the Q8 block for clean quantization.
+  EXPECT_EQ(tiny.config().d_model % 32, 0);
+  EXPECT_EQ(tiny.config().d_ff % 32, 0);
+}
+
+TEST(ModelSpecTest, KvCacheAndActivationAccounting) {
+  const ModelSpec spec = ModelSpec::Create(Llama3_8B());
+  // Llama-3-8B: kv_dim = 8 * 128 = 1024; 512 tokens, f16 K+V per layer.
+  EXPECT_EQ(spec.KvCacheBytes(512), 2ull * 32 * 1024 * 512 * 2);
+  EXPECT_GT(spec.ActivationBytes(), 64 * kMiB);
+  EXPECT_LT(spec.ActivationBytes(), 1 * kGiB);
+}
+
+TEST(ModelSpecTest, GqaGeometry) {
+  const LlmConfig llama = Llama3_8B();
+  EXPECT_EQ(llama.head_dim(), 128);
+  EXPECT_EQ(llama.kv_dim(), 1024);
+  const LlmConfig phi = Phi3_3_8B();
+  EXPECT_EQ(phi.kv_dim(), phi.d_model);  // MHA: kv heads == heads.
+}
+
+}  // namespace
+}  // namespace tzllm

@@ -1,0 +1,120 @@
+#include "src/llm/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace tzllm {
+namespace {
+
+TEST(F16Test, KnownValues) {
+  EXPECT_EQ(F32ToF16(0.0f), 0u);
+  EXPECT_EQ(F32ToF16(1.0f), 0x3C00u);
+  EXPECT_EQ(F32ToF16(-2.0f), 0xC000u);
+  EXPECT_FLOAT_EQ(F16ToF32(0x3C00), 1.0f);
+  EXPECT_FLOAT_EQ(F16ToF32(0x4000), 2.0f);
+  EXPECT_FLOAT_EQ(F16ToF32(0xC000), -2.0f);
+}
+
+TEST(F16Test, RoundTripSmallValues) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = static_cast<float>(rng.NextDoubleIn(-8.0, 8.0));
+    const float rt = F16ToF32(F32ToF16(v));
+    EXPECT_NEAR(rt, v, std::fabs(v) * 0.001 + 1e-3);
+  }
+}
+
+TEST(F16Test, OverflowToInfinity) {
+  EXPECT_EQ(F32ToF16(1.0e6f), 0x7C00u);
+  EXPECT_TRUE(std::isinf(F16ToF32(0x7C00)));
+}
+
+TEST(DTypeTest, ByteSizes) {
+  EXPECT_EQ(DTypeByteSize(DType::kF32, 10), 40u);
+  EXPECT_EQ(DTypeByteSize(DType::kF16, 10), 20u);
+  EXPECT_EQ(DTypeByteSize(DType::kQ8_0, 32), 34u);
+  EXPECT_EQ(DTypeByteSize(DType::kQ8_0, 64), 68u);
+  EXPECT_EQ(DTypeByteSize(DType::kQ8_0, 33), 68u);  // Rounds to blocks.
+}
+
+class Q8RoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Q8RoundTripTest, QuantizeDequantizeWithinScale) {
+  const uint64_t n = GetParam();
+  Rng rng(n);
+  std::vector<float> src(n);
+  for (auto& v : src) {
+    v = static_cast<float>(rng.NextGaussian(0.0, 0.5));
+  }
+  std::vector<uint8_t> q(DTypeByteSize(DType::kQ8_0, n));
+  std::vector<float> back(n);
+  QuantizeQ8(src.data(), n, q.data());
+  DequantizeQ8(q.data(), n, back.data());
+  // Per-block max error is scale/2 = amax/254.
+  for (uint64_t b = 0; b * kQ8BlockElems < n; ++b) {
+    float amax = 0.0f;
+    const uint64_t lo = b * kQ8BlockElems;
+    const uint64_t hi = std::min(n, lo + kQ8BlockElems);
+    for (uint64_t i = lo; i < hi; ++i) {
+      amax = std::max(amax, std::fabs(src[i]));
+    }
+    for (uint64_t i = lo; i < hi; ++i) {
+      EXPECT_NEAR(back[i], src[i], amax / 100.0f + 1e-5f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Q8RoundTripTest,
+                         ::testing::Values(32, 64, 320, 1024, 4096));
+
+TEST(Q8Test, ZeroBlockStaysZero) {
+  std::vector<float> zeros(32, 0.0f);
+  std::vector<uint8_t> q(kQ8BlockBytes);
+  std::vector<float> back(32, 1.0f);
+  QuantizeQ8(zeros.data(), 32, q.data());
+  DequantizeQ8(q.data(), 32, back.data());
+  for (float v : back) {
+    EXPECT_EQ(v, 0.0f);
+  }
+}
+
+TEST(MatVecQ8Test, MatchesDequantizedReference) {
+  const uint64_t rows = 8, cols = 64;
+  Tensor w = MakeRandomTensor("w", DType::kQ8_0, rows, cols, 5);
+  std::vector<float> deq(rows * cols);
+  DequantizeQ8(w.data.data(), rows * cols, deq.data());
+
+  Rng rng(6);
+  std::vector<float> x(cols);
+  for (auto& v : x) {
+    v = static_cast<float>(rng.NextDoubleIn(-1.0, 1.0));
+  }
+  std::vector<float> y(rows, 0.0f), expected(rows, 0.0f);
+  MatVecQ8(w.data.data(), rows, cols, x.data(), y.data());
+  for (uint64_t r = 0; r < rows; ++r) {
+    for (uint64_t c = 0; c < cols; ++c) {
+      expected[r] += deq[r * cols + c] * x[c];
+    }
+  }
+  for (uint64_t r = 0; r < rows; ++r) {
+    EXPECT_NEAR(y[r], expected[r], 1e-3f);
+  }
+}
+
+TEST(TensorTest, RandomTensorDeterministicBySeedAndName) {
+  Tensor a = MakeRandomTensor("w", DType::kQ8_0, 4, 32, 7);
+  Tensor b = MakeRandomTensor("w", DType::kQ8_0, 4, 32, 7);
+  Tensor c = MakeRandomTensor("w", DType::kQ8_0, 4, 32, 8);
+  Tensor d = MakeRandomTensor("v", DType::kQ8_0, 4, 32, 7);
+  EXPECT_EQ(a.data, b.data);
+  EXPECT_NE(a.data, c.data);
+  EXPECT_NE(a.data, d.data);
+  EXPECT_EQ(a.ByteSize(), a.data.size());
+}
+
+}  // namespace
+}  // namespace tzllm

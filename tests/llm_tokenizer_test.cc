@@ -1,0 +1,75 @@
+#include "src/llm/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace tzllm {
+namespace {
+
+TEST(TokenizerTest, VocabSizeRespected) {
+  Tokenizer t(512);
+  EXPECT_EQ(t.vocab_size(), 512);
+  Tokenizer tiny(100);  // Clamped to the minimum (bytes + specials).
+  EXPECT_GE(tiny.vocab_size(), 258);
+}
+
+TEST(TokenizerTest, MergedTokensCompress) {
+  Tokenizer t(2048);
+  const std::string text = "the model generates tokens on the device";
+  const auto tokens = t.Encode(text);
+  EXPECT_LT(tokens.size(), text.size());  // Better than byte-level.
+  EXPECT_EQ(t.Decode(tokens), text);
+}
+
+class TokenizerRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TokenizerRoundTripTest, ArbitraryBytesRoundTrip) {
+  Tokenizer t(1024);
+  Rng rng(GetParam());
+  std::string text;
+  const int len = 50 + GetParam() * 37;
+  for (int i = 0; i < len; ++i) {
+    text.push_back(static_cast<char>(rng.NextBounded(256)));
+  }
+  EXPECT_EQ(t.Decode(t.Encode(text)), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerRoundTripTest,
+                         ::testing::Range(0, 8));
+
+TEST(TokenizerTest, SpecialsDecodeEmpty) {
+  Tokenizer t(512);
+  EXPECT_EQ(t.DecodeToken(Tokenizer::kBos), "");
+  EXPECT_EQ(t.DecodeToken(Tokenizer::kEos), "");
+  EXPECT_EQ(t.DecodeToken(-1), "");
+  EXPECT_EQ(t.DecodeToken(100000), "");
+}
+
+TEST(TokenizerTest, DeterministicAcrossInstances) {
+  Tokenizer a(1024), b(1024);
+  const std::string text = "secure memory scaling with pipelined restoration";
+  EXPECT_EQ(a.Encode(text), b.Encode(text));
+}
+
+TEST(TokenizerTest, SerializeDeserializeRoundTrip) {
+  Tokenizer t(777);
+  const auto blob = t.Serialize();
+  auto restored = Tokenizer::Deserialize(blob);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->vocab_size(), t.vocab_size());
+  const std::string text = "hello world this is a summary";
+  EXPECT_EQ(restored->Encode(text), t.Encode(text));
+}
+
+TEST(TokenizerTest, CorruptBlobRejected) {
+  Tokenizer t(512);
+  auto blob = t.Serialize();
+  blob.resize(blob.size() / 2);
+  EXPECT_FALSE(Tokenizer::Deserialize(blob).ok());
+  std::vector<uint8_t> garbage = {1, 2, 3};
+  EXPECT_FALSE(Tokenizer::Deserialize(garbage).ok());
+}
+
+}  // namespace
+}  // namespace tzllm

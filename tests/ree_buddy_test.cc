@@ -1,0 +1,91 @@
+#include "src/ree/buddy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace tzllm {
+namespace {
+
+TEST(BuddyTest, AllocatesAllPages) {
+  BuddyAllocator buddy(0, 1024);
+  EXPECT_EQ(buddy.free_pages(), 1024u);
+  std::vector<uint64_t> pages;
+  ASSERT_TRUE(buddy.AllocPages(1024, &pages).ok());
+  EXPECT_EQ(buddy.free_pages(), 0u);
+  // All distinct, all in range.
+  std::set<uint64_t> unique(pages.begin(), pages.end());
+  EXPECT_EQ(unique.size(), 1024u);
+  EXPECT_LT(*unique.rbegin(), 1024u);
+  EXPECT_FALSE(buddy.AllocBlock(0).ok());
+}
+
+TEST(BuddyTest, BaseOffsetRespected) {
+  BuddyAllocator buddy(5000, 64);
+  auto pfn = buddy.AllocBlock(0);
+  ASSERT_TRUE(pfn.ok());
+  EXPECT_GE(*pfn, 5000u);
+  EXPECT_LT(*pfn, 5064u);
+}
+
+TEST(BuddyTest, BlockAllocationAligned) {
+  BuddyAllocator buddy(0, 1024);
+  auto block = buddy.AllocBlock(4);  // 16 pages.
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(*block % 16, 0u);
+  EXPECT_EQ(buddy.free_pages(), 1024u - 16);
+}
+
+TEST(BuddyTest, FreeCoalescesToLargeBlocks) {
+  BuddyAllocator buddy(0, 1024);
+  std::vector<uint64_t> pages;
+  ASSERT_TRUE(buddy.AllocPages(1024, &pages).ok());
+  EXPECT_EQ(buddy.LargestFreeOrder(), -1);
+  for (uint64_t pfn : pages) {
+    ASSERT_TRUE(buddy.FreePage(pfn).ok());
+  }
+  EXPECT_EQ(buddy.free_pages(), 1024u);
+  EXPECT_EQ(buddy.LargestFreeOrder(), BuddyAllocator::kMaxOrder);
+}
+
+TEST(BuddyTest, FragmentationLowersLargestOrder) {
+  BuddyAllocator buddy(0, 1024);
+  std::vector<uint64_t> pages;
+  ASSERT_TRUE(buddy.AllocPages(1024, &pages).ok());
+  // Free every other page: no coalescing possible.
+  for (size_t i = 0; i < pages.size(); i += 2) {
+    ASSERT_TRUE(buddy.FreePage(pages[i]).ok());
+  }
+  EXPECT_EQ(buddy.free_pages(), 512u);
+  EXPECT_EQ(buddy.LargestFreeOrder(), 0);
+}
+
+TEST(BuddyTest, SplitAndRecombine) {
+  BuddyAllocator buddy(0, 64);
+  auto big = buddy.AllocBlock(5);  // 32 pages.
+  ASSERT_TRUE(big.ok());
+  auto small = buddy.AllocBlock(0);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(buddy.FreeBlock(*big, 5).ok());
+  ASSERT_TRUE(buddy.FreeBlock(*small, 0).ok());
+  EXPECT_EQ(buddy.free_pages(), 64u);
+  EXPECT_GE(buddy.LargestFreeOrder(), 5);
+}
+
+TEST(BuddyTest, InvalidFreesRejected) {
+  BuddyAllocator buddy(100, 64);
+  EXPECT_FALSE(buddy.FreeBlock(0, 0).ok());        // Below range.
+  EXPECT_FALSE(buddy.FreeBlock(164, 0).ok());      // Above range.
+  EXPECT_FALSE(buddy.FreeBlock(100, 99).ok());     // Bad order.
+}
+
+TEST(BuddyTest, NonPowerOfTwoRangeFullyUsable) {
+  BuddyAllocator buddy(0, 1000);  // Not a power of two.
+  std::vector<uint64_t> pages;
+  ASSERT_TRUE(buddy.AllocPages(1000, &pages).ok());
+  EXPECT_EQ(buddy.free_pages(), 0u);
+}
+
+}  // namespace
+}  // namespace tzllm

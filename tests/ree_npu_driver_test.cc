@@ -1,0 +1,88 @@
+#include "src/ree/npu_driver.h"
+
+#include <gtest/gtest.h>
+
+#include "src/hw/platform.h"
+
+namespace tzllm {
+namespace {
+
+NpuJobDesc NsJob(SimDuration duration) {
+  NpuJobDesc job;
+  job.cmd_addr = 1 * kMiB;
+  job.cmd_size = kPageSize;
+  job.buffers = {{2 * kMiB, kPageSize}};
+  job.duration = duration;
+  return job;
+}
+
+class ReeNpuDriverTest : public ::testing::Test {
+ protected:
+  ReeNpuDriverTest() : driver_(&plat_) { driver_.Init(); }
+
+  SocPlatform plat_;
+  ReeNpuDriver driver_;
+};
+
+TEST_F(ReeNpuDriverTest, RunsJobsInFifoOrder) {
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    driver_.SubmitJob(NsJob(kMillisecond), [&order, i](Status st) {
+      ASSERT_TRUE(st.ok());
+      order.push_back(i);
+    });
+  }
+  EXPECT_EQ(driver_.queue_depth(), 2u);  // One launched, two queued.
+  plat_.sim().Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(driver_.ns_jobs_completed(), 3u);
+}
+
+TEST_F(ReeNpuDriverTest, JobDurationIncludesLaunchOverhead) {
+  SimTime completion = 0;
+  driver_.SubmitJob(NsJob(kMillisecond),
+                    [&](Status) { completion = plat_.sim().Now(); });
+  plat_.sim().Run();
+  EXPECT_EQ(completion, kMillisecond + kNpuJobLaunchOverhead);
+}
+
+TEST_F(ReeNpuDriverTest, ShadowJobWithoutTeeHandlerIsDropped) {
+  // No TEE driver installed: takeover smc fails, the shadow job is dropped
+  // and the queue keeps moving.
+  bool ns_done = false;
+  driver_.EnqueueShadowJob(77);
+  driver_.SubmitJob(NsJob(kMillisecond), [&](Status) { ns_done = true; });
+  plat_.sim().Run();
+  EXPECT_TRUE(ns_done);
+  EXPECT_FALSE(driver_.npu_owned_by_tee());
+}
+
+TEST_F(ReeNpuDriverTest, TeeOwnershipBlocksNsJobsUntilComplete) {
+  // Fake TEE: takeover succeeds and completes the shadow job 5 ms later.
+  plat_.monitor().InstallSecureHandler(
+      SmcFunc::kNpuTakeover, [&](const SmcArgs& args) {
+        const uint64_t token = args.a[0];
+        plat_.sim().Schedule(5 * kMillisecond, [this, token] {
+          SmcArgs done;
+          done.a[0] = token;
+          plat_.monitor().RpcToRee(SmcFunc::kRpcNpuShadowComplete, done);
+        });
+        return SmcResult{OkStatus(), {}};
+      });
+  SimTime ns_completion = 0;
+  driver_.EnqueueShadowJob(1);
+  driver_.SubmitJob(NsJob(kMillisecond),
+                    [&](Status) { ns_completion = plat_.sim().Now(); });
+  EXPECT_TRUE(driver_.npu_owned_by_tee());
+  plat_.sim().Run();
+  // The NS job could only start after the TEE released the NPU.
+  EXPECT_GE(ns_completion, 5 * kMillisecond + kMillisecond);
+  EXPECT_EQ(driver_.shadow_jobs_completed(), 1u);
+}
+
+TEST_F(ReeNpuDriverTest, DetachAttachBaselineCostIsThePaperValue) {
+  EXPECT_EQ(ReeNpuDriver::DetachAttachCost(), 32 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace tzllm

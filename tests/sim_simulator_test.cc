@@ -1,0 +1,92 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tzllm {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30u);
+}
+
+TEST(SimulatorTest, FifoTieBreakAtSameInstant) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(5, [&] { order.push_back(1); });
+  sim.Schedule(5, [&] { order.push_back(2); });
+  sim.Schedule(5, [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  SimTime inner_time = 0;
+  sim.Schedule(10, [&] {
+    sim.Schedule(5, [&] { inner_time = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(inner_time, 15u);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.Schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // Second cancel fails.
+  sim.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.RunUntil(1000);
+  EXPECT_EQ(sim.Now(), 1000u);
+}
+
+TEST(SimulatorTest, RunUntilExecutesOnlyDueEvents) {
+  Simulator sim;
+  bool early = false, late = false;
+  sim.Schedule(50, [&] { early = true; });
+  sim.Schedule(200, [&] { late = true; });
+  sim.RunUntil(100);
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(sim.Now(), 100u);
+  sim.Run();
+  EXPECT_TRUE(late);
+}
+
+TEST(SimulatorTest, RunUntilIdleOrStopsOnPredicate) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    sim.Schedule(10, tick);
+  };
+  sim.Schedule(10, tick);
+  sim.RunUntilIdleOr([&] { return count >= 5; });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(SimulatorTest, EventCountTracked) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(i, [] {});
+  }
+  sim.Run();
+  EXPECT_EQ(sim.events_executed(), 10u);
+}
+
+}  // namespace
+}  // namespace tzllm

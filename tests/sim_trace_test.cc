@@ -1,0 +1,51 @@
+#include "src/sim/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace tzllm {
+namespace {
+
+TEST(TraceTest, LaneBusyTime) {
+  TraceRecorder trace;
+  trace.Add("CPU0", "alloc", 0, 100);
+  trace.Add("CPU0", "decrypt", 150, 250);
+  trace.Add("IO", "load", 0, 400);
+  EXPECT_EQ(trace.LaneBusyTime("CPU0"), 200u);
+  EXPECT_EQ(trace.LaneBusyTime("IO"), 400u);
+  EXPECT_EQ(trace.LaneBusyTime("NPU"), 0u);
+}
+
+TEST(TraceTest, AsciiRenderContainsLanesAndMarks) {
+  TraceRecorder trace;
+  trace.Add("CPU0", "alloc", 0, 50);
+  trace.Add("IO", "load", 50, 100);
+  const std::string out = trace.RenderAscii(20);
+  EXPECT_NE(out.find("CPU0"), std::string::npos);
+  EXPECT_NE(out.find("IO"), std::string::npos);
+  EXPECT_NE(out.find('a'), std::string::npos);  // alloc mark.
+  EXPECT_NE(out.find('l'), std::string::npos);  // load mark.
+}
+
+TEST(TraceTest, EmptyTraceRenders) {
+  TraceRecorder trace;
+  EXPECT_EQ(trace.RenderAscii(10), "(empty trace)\n");
+}
+
+TEST(TraceTest, ChromeJsonWellFormedish) {
+  TraceRecorder trace;
+  trace.Add("NPU", "job", 1000, 3000);
+  const std::string json = trace.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":\"NPU\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2"), std::string::npos);  // us granularity.
+}
+
+TEST(TraceTest, ClearResets) {
+  TraceRecorder trace;
+  trace.Add("A", "x", 0, 10);
+  trace.Clear();
+  EXPECT_TRUE(trace.empty());
+}
+
+}  // namespace
+}  // namespace tzllm

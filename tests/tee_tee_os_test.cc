@@ -1,0 +1,177 @@
+#include "src/tee/tee_os.h"
+
+#include <gtest/gtest.h>
+
+#include "src/hw/platform.h"
+#include "src/ree/memory_manager.h"
+#include "src/ree/tz_driver.h"
+
+namespace tzllm {
+namespace {
+
+class TeeOsTest : public ::testing::Test {
+ protected:
+  TeeOsTest() {
+    ReeMemoryLayout layout;
+    layout.dram_bytes = plat_.config().dram_bytes;
+    layout.kernel_bytes = 256 * kMiB;
+    layout.cma_bytes = 1 * kGiB;
+    layout.cma2_bytes = 256 * kMiB;
+    mm_ = std::make_unique<ReeMemoryManager>(layout, &plat_.dram());
+    tz_ = std::make_unique<TzDriver>(&plat_, mm_.get());
+    tee_ = std::make_unique<TeeOs>(&plat_, tz_.get(), 42);
+    EXPECT_TRUE(tee_->Boot().ok());
+    ta_ = *tee_->CreateTa("llm");
+  }
+
+  SocPlatform plat_;
+  std::unique_ptr<ReeMemoryManager> mm_;
+  std::unique_ptr<TzDriver> tz_;
+  std::unique_ptr<TeeOs> tee_;
+  TaId ta_ = -1;
+};
+
+TEST_F(TeeOsTest, ExtendAllocatedGrowsContiguously) {
+  auto e1 = tee_->ExtendAllocated(ta_, SecureRegionId::kParams, 8 * kMiB);
+  ASSERT_TRUE(e1.ok());
+  EXPECT_EQ(e1->addr, mm_->param_cma_base());
+  auto e2 = tee_->ExtendAllocated(ta_, SecureRegionId::kParams, 4 * kMiB);
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(e2->addr, e1->addr + 8 * kMiB);
+  const SecureRegionStats stats = tee_->RegionStats(SecureRegionId::kParams);
+  EXPECT_EQ(stats.allocated_bytes, 12 * kMiB);
+  EXPECT_EQ(stats.protected_bytes, 0u);
+}
+
+TEST_F(TeeOsTest, ExtendProtectedCoversPrefixAndMapsIntoTa) {
+  ASSERT_TRUE(
+      tee_->ExtendAllocated(ta_, SecureRegionId::kParams, 8 * kMiB).ok());
+  ASSERT_TRUE(
+      tee_->ExtendProtected(ta_, SecureRegionId::kParams, 4 * kMiB).ok());
+  const PhysAddr base = tee_->RegionBase(SecureRegionId::kParams);
+  // Non-secure CPU faults on the protected prefix; unprotected tail passes.
+  EXPECT_FALSE(
+      plat_.tzasc().CheckCpuAccess(World::kNonSecure, base, 64).ok());
+  EXPECT_TRUE(plat_.tzasc()
+                  .CheckCpuAccess(World::kNonSecure, base + 5 * kMiB, 64)
+                  .ok());
+  EXPECT_TRUE(tee_->TaCanAccess(ta_, base, 4 * kMiB));
+  EXPECT_FALSE(tee_->TaCanAccess(ta_, base + 4 * kMiB, 64));
+}
+
+TEST_F(TeeOsTest, ProtectBeyondAllocatedRejected) {
+  ASSERT_TRUE(
+      tee_->ExtendAllocated(ta_, SecureRegionId::kParams, 4 * kMiB).ok());
+  EXPECT_EQ(tee_->ExtendProtected(ta_, SecureRegionId::kParams, 8 * kMiB)
+                .code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(TeeOsTest, ShrinkScrubsAndReleases) {
+  ASSERT_TRUE(
+      tee_->ExtendAllocated(ta_, SecureRegionId::kParams, 4 * kMiB).ok());
+  ASSERT_TRUE(
+      tee_->ExtendProtected(ta_, SecureRegionId::kParams, 4 * kMiB).ok());
+  const PhysAddr base = tee_->RegionBase(SecureRegionId::kParams);
+  // Plant plaintext "parameters".
+  const uint8_t secret[4] = {0xDE, 0xAD, 0xBE, 0xEF};
+  ASSERT_TRUE(plat_.dram().Write(base + 2 * kMiB, secret, 4).ok());
+
+  auto scrub_time = tee_->Shrink(ta_, SecureRegionId::kParams, 4 * kMiB);
+  ASSERT_TRUE(scrub_time.ok());
+  EXPECT_GT(*scrub_time, 0u);
+  // Memory is back to the REE, readable... and scrubbed.
+  uint8_t out[4] = {1, 2, 3, 4};
+  EXPECT_TRUE(
+      plat_.tzasc().CheckCpuAccess(World::kNonSecure, base + 2 * kMiB, 4)
+          .ok());
+  ASSERT_TRUE(plat_.dram().Read(base + 2 * kMiB, out, 4).ok());
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[3], 0);
+  EXPECT_EQ(tee_->RegionStats(SecureRegionId::kParams).allocated_bytes, 0u);
+}
+
+TEST_F(TeeOsTest, ShrinkBeyondProtectedRejected) {
+  ASSERT_TRUE(
+      tee_->ExtendAllocated(ta_, SecureRegionId::kParams, 4 * kMiB).ok());
+  EXPECT_FALSE(tee_->Shrink(ta_, SecureRegionId::kParams, 4 * kMiB).ok());
+}
+
+TEST_F(TeeOsTest, RegionOwnershipEnforced) {
+  const TaId other = *tee_->CreateTa("evil-ta");
+  ASSERT_TRUE(
+      tee_->ExtendAllocated(ta_, SecureRegionId::kParams, 4 * kMiB).ok());
+  EXPECT_EQ(tee_->ExtendAllocated(other, SecureRegionId::kParams, 4 * kMiB)
+                .status()
+                .code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(
+      tee_->ExtendProtected(other, SecureRegionId::kParams, 4 * kMiB).code(),
+      ErrorCode::kPermissionDenied);
+}
+
+class MaliciousTzDriver : public TzDriver {
+ public:
+  using TzDriver::TzDriver;
+
+  Result<CmaExtent> CmaAlloc(SecureRegionId region, PhysAddr at_addr,
+                             uint64_t bytes) override {
+    // Iago attack: return a non-adjacent extent.
+    auto extent = TzDriver::CmaAlloc(region, at_addr + 16 * kMiB, bytes);
+    return extent;
+  }
+};
+
+TEST_F(TeeOsTest, IagoNonContiguousCmaExtentRejected) {
+  MaliciousTzDriver evil(&plat_, mm_.get());
+  TeeOs tee(&plat_, &evil, 43);
+  ASSERT_TRUE(tee.Boot().ok());
+  const TaId ta = *tee.CreateTa("llm");
+  auto extent = tee.ExtendAllocated(ta, SecureRegionId::kParams, 4 * kMiB);
+  ASSERT_FALSE(extent.ok());
+  EXPECT_EQ(extent.status().code(), ErrorCode::kSecurityViolation);
+  EXPECT_EQ(tee.contiguity_rejections(), 1u);
+}
+
+TEST_F(TeeOsTest, ModelKeyServiceAuthorization) {
+  const KeyHierarchy& keys = tee_->keys();
+  const AesKey128 model_key = keys.DeriveModelKey("m1");
+  tee_->InstallWrappedKey(keys.WrapModelKey("m1", model_key));
+
+  // Unauthorized TA cannot fetch the key.
+  EXPECT_EQ(tee_->GetModelKey(ta_, "m1").status().code(),
+            ErrorCode::kPermissionDenied);
+  ASSERT_TRUE(tee_->AuthorizeKeyAccess(ta_, "m1").ok());
+  auto key = tee_->GetModelKey(ta_, "m1");
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(*key, model_key);
+  // A different TA is still locked out.
+  const TaId other = *tee_->CreateTa("other");
+  EXPECT_FALSE(tee_->GetModelKey(other, "m1").ok());
+}
+
+TEST_F(TeeOsTest, ReeSchedulerCannotRunBlockedTaThread) {
+  ASSERT_TRUE(tee_->RegisterTaThread(ta_, 1).ok());
+  auto ran = tee_->TryResumeFromRee(1);
+  ASSERT_TRUE(ran.ok());
+  EXPECT_TRUE(*ran);
+  // TEE-side synchronization blocks the thread; the REE's resume attempt
+  // (an Iago attack on execution order) does not run it.
+  ASSERT_TRUE(tee_->BlockTaThread(1).ok());
+  ran = tee_->TryResumeFromRee(1);
+  ASSERT_TRUE(ran.ok());
+  EXPECT_FALSE(*ran);
+  ASSERT_TRUE(tee_->UnblockTaThread(1).ok());
+  EXPECT_TRUE(*tee_->TryResumeFromRee(1));
+}
+
+TEST_F(TeeOsTest, ShadowThreadResumeViaSmc) {
+  TzDriver& tz = *tz_;
+  ASSERT_TRUE(tee_->RegisterTaThread(ta_, 5).ok());
+  tz.RegisterShadowThread(5);
+  EXPECT_TRUE(tz.ResumeTaThread(5).ok());
+  EXPECT_FALSE(tz.ResumeTaThread(99).ok());  // No shadow registered.
+}
+
+}  // namespace
+}  // namespace tzllm
