@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/core/pipeline.h"
 #include "src/crypto/aes.h"
 #include "src/crypto/sha256.h"
@@ -66,6 +67,52 @@ void BM_MatVecQ8(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * dim * dim);
 }
 BENCHMARK(BM_MatVecQ8)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_MatVecQ8Reference(benchmark::State& state) {
+  // The seed's scalar float-activation kernel, kept as the baseline.
+  const uint64_t dim = state.range(0);
+  Tensor w = MakeRandomTensor("w", DType::kQ8_0, dim, dim, 3);
+  std::vector<float> x(dim, 0.1f), y(dim, 0.0f);
+  for (auto _ : state) {
+    MatVecQ8Reference(w.data.data(), dim, dim, x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * dim * dim);
+}
+BENCHMARK(BM_MatVecQ8Reference)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_MatVecQ8Threaded(benchmark::State& state) {
+  const uint64_t dim = state.range(0);
+  const int n_threads = static_cast<int>(state.range(1));
+  Tensor w = MakeRandomTensor("w", DType::kQ8_0, dim, dim, 3);
+  std::vector<float> x(dim, 0.1f), y(dim, 0.0f);
+  ThreadPool pool(n_threads);
+  for (auto _ : state) {
+    MatVecQ8(w.data.data(), dim, dim, x.data(), y.data(), &pool);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * dim * dim);
+}
+BENCHMARK(BM_MatVecQ8Threaded)
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4});
+
+void BM_MatMatQ8(benchmark::State& state) {
+  // Batched-prefill shape: dim x dim weights against m positions.
+  const uint64_t dim = state.range(0);
+  const uint64_t m = state.range(1);
+  Tensor w = MakeRandomTensor("w", DType::kQ8_0, dim, dim, 3);
+  std::vector<float> x(m * dim, 0.1f), y(m * dim, 0.0f);
+  Q8Acts acts;
+  acts.QuantizeRows(x.data(), m, dim);
+  for (auto _ : state) {
+    MatMatQ8(w.data.data(), dim, dim, acts, y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * dim * dim * m);
+}
+BENCHMARK(BM_MatMatQ8)->Args({256, 32})->Args({512, 32});
 
 void BM_BuddyAllocFree(benchmark::State& state) {
   BuddyAllocator buddy(0, 1 << 18);

@@ -7,6 +7,7 @@
 
 #include "src/common/log.h"
 #include "src/core/llm_ta.h"
+#include "src/core/runtime.h"
 #include "src/llm/engine.h"
 
 using namespace tzllm;  // NOLINT — example code.
@@ -53,7 +54,12 @@ int main() {
          FormatBytes(spec.total_param_bytes()).c_str());
 
   // 5. The LLM trusted application: cold start with pipelined restoration.
-  LlmTa ta(&platform, &tee_os, &tz_driver);
+  // Engine knobs (kernel threads, prefill batching) ride on RuntimeConfig
+  // and flow down to the executor.
+  RuntimeConfig runtime_config;
+  runtime_config.engine.n_threads = 2;
+  runtime_config.engine.prefill_batch = 16;
+  LlmTa ta(&platform, &tee_os, &tz_driver, runtime_config.engine);
   if (!ta.Attach().ok() ||
       !tee_os.AuthorizeKeyAccess(ta.ta_id(), "demo").ok()) {
     return 1;

@@ -1,0 +1,86 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+
+namespace tzllm {
+
+ThreadPool::ThreadPool(int n_threads) : n_threads_(std::max(1, n_threads)) {
+  workers_.reserve(n_threads_ - 1);
+  for (int i = 1; i < n_threads_; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void ThreadPool::WorkerLoop(int part_index) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(uint64_t, uint64_t)>* body;
+    uint64_t begin, end, chunk;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) {
+        return;
+      }
+      seen_epoch = epoch_;
+      body = body_;
+      begin = begin_;
+      end = end_;
+      chunk = chunk_;
+    }
+    const uint64_t part_begin =
+        std::min(end, begin + static_cast<uint64_t>(part_index) * chunk);
+    const uint64_t part_end = std::min(end, part_begin + chunk);
+    if (part_begin < part_end) {
+      (*body)(part_begin, part_end);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    uint64_t begin, uint64_t end,
+    const std::function<void(uint64_t, uint64_t)>& body) {
+  if (begin >= end) {
+    return;
+  }
+  const uint64_t span = end - begin;
+  if (workers_.empty() || span == 1) {
+    body(begin, end);
+    return;
+  }
+  const uint64_t parts = static_cast<uint64_t>(n_threads_);
+  const uint64_t chunk = (span + parts - 1) / parts;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    begin_ = begin;
+    end_ = end;
+    chunk_ = chunk;
+    pending_ = static_cast<int>(workers_.size());
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  // The caller is part 0.
+  body(begin, std::min(end, begin + chunk));
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+}  // namespace tzllm

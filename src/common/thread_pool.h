@@ -1,0 +1,62 @@
+// Static-partition fork/join pool for the functional inference kernels.
+//
+// Deliberately simpler than a work-stealing scheduler: ParallelFor splits the
+// index range into one contiguous chunk per thread (the caller runs chunk 0),
+// which keeps per-row summation order — and therefore logits — bit-identical
+// to the single-threaded schedule. Kernel parallelism here is regular enough
+// (equal-cost rows) that stealing would buy nothing and cost determinism.
+
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tzllm {
+
+class ThreadPool {
+ public:
+  // Spawns n_threads - 1 workers; the ParallelFor caller acts as thread 0.
+  // n_threads <= 1 creates no workers and runs everything inline.
+  explicit ThreadPool(int n_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int n_threads() const { return n_threads_; }
+
+  // Runs body(chunk_begin, chunk_end) over a static partition of
+  // [begin, end): part i covers [begin + i*chunk, ...), one part per thread.
+  // Blocks until every part finished. Not reentrant: body must not call
+  // ParallelFor on the same pool.
+  void ParallelFor(uint64_t begin, uint64_t end,
+                   const std::function<void(uint64_t, uint64_t)>& body);
+
+ private:
+  void WorkerLoop(int part_index);
+
+  const int n_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Signals a new epoch to workers.
+  std::condition_variable done_cv_;   // Signals epoch completion to caller.
+  uint64_t epoch_ = 0;                // Incremented per ParallelFor.
+  int pending_ = 0;                   // Workers still running this epoch.
+  bool stop_ = false;
+
+  // Current epoch's task (guarded by mu_ for publication).
+  const std::function<void(uint64_t, uint64_t)>* body_ = nullptr;
+  uint64_t begin_ = 0;
+  uint64_t end_ = 0;
+  uint64_t chunk_ = 0;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

@@ -8,8 +8,12 @@
 
 namespace tzllm {
 
-LlmTa::LlmTa(SocPlatform* platform, TeeOs* tee_os, TzDriver* tz_driver)
-    : platform_(platform), tee_os_(tee_os), tz_driver_(tz_driver) {}
+LlmTa::LlmTa(SocPlatform* platform, TeeOs* tee_os, TzDriver* tz_driver,
+             const EngineOptions& engine_options)
+    : platform_(platform),
+      tee_os_(tee_os),
+      tz_driver_(tz_driver),
+      engine_options_(engine_options) {}
 
 Status LlmTa::Attach() {
   auto ta = tee_os_->CreateTa("llm-ta");
@@ -67,7 +71,8 @@ Status LlmTa::LoadModel(const std::string& model_id, SchedulePolicy policy) {
   weights_ = std::make_unique<SecureWeightSource>(this);
   kv_ = std::make_unique<KvCache>(*spec_);
   executor_ = std::make_unique<TransformerExecutor>(spec_.get(),
-                                                    weights_.get());
+                                                    weights_.get(),
+                                                    engine_options_);
   loaded_ = true;
   return OkStatus();
 }

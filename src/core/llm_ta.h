@@ -31,7 +31,10 @@ namespace tzllm {
 
 class LlmTa {
  public:
-  LlmTa(SocPlatform* platform, TeeOs* tee_os, TzDriver* tz_driver);
+  // `engine_options` (thread count, prefill batching) comes from
+  // RuntimeConfig::engine in the benchmark stacks.
+  LlmTa(SocPlatform* platform, TeeOs* tee_os, TzDriver* tz_driver,
+        const EngineOptions& engine_options = {});
 
   TaId ta_id() const { return ta_; }
 
@@ -75,6 +78,7 @@ class LlmTa {
   SocPlatform* platform_;
   TeeOs* tee_os_;
   TzDriver* tz_driver_;
+  EngineOptions engine_options_;
   TaId ta_ = -1;
 
   std::string model_id_;

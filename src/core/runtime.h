@@ -26,6 +26,7 @@
 #include "src/core/restore_plan.h"
 #include "src/hw/platform.h"
 #include "src/llm/cost_model.h"
+#include "src/llm/engine_options.h"
 #include "src/llm/graph.h"
 #include "src/llm/model_spec.h"
 #include "src/ree/memory_manager.h"
@@ -53,6 +54,9 @@ struct RuntimeConfig {
   bool pipelined = true;   // Figure 13 ablation: false = no pipeline.
   bool use_npu = true;     // Forced false for kStrawman.
   bool checkpoint = true;  // Forced false for kStrawman.
+  // Functional-engine knobs, handed to LlmTa/LlmEngine by stacks that run
+  // real token generation (thread-count and prefill-batch sweeps).
+  EngineOptions engine;
   uint64_t root_key_seed = 0x7EE5EED;
 };
 

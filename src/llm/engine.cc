@@ -5,18 +5,21 @@
 namespace tzllm {
 
 LlmEngine::LlmEngine(const ModelSpec& spec,
-                     std::unique_ptr<WeightSource> weights)
+                     std::unique_ptr<WeightSource> weights,
+                     const EngineOptions& options)
     : spec_(spec), weights_(std::move(weights)) {
   tokenizer_ = std::make_unique<Tokenizer>(spec_.config().vocab_size);
   kv_ = std::make_unique<KvCache>(spec_);
-  executor_ = std::make_unique<TransformerExecutor>(&spec_, weights_.get());
+  executor_ = std::make_unique<TransformerExecutor>(&spec_, weights_.get(),
+                                                    options);
 }
 
-std::unique_ptr<LlmEngine> LlmEngine::CreateUnprotected(const ModelSpec& spec,
-                                                        uint64_t weight_seed) {
+std::unique_ptr<LlmEngine> LlmEngine::CreateUnprotected(
+    const ModelSpec& spec, uint64_t weight_seed,
+    const EngineOptions& options) {
   auto weights = std::make_unique<HostWeightSource>(
       Tzguf::ReferenceWeights(spec, weight_seed));
-  return std::make_unique<LlmEngine>(spec, std::move(weights));
+  return std::make_unique<LlmEngine>(spec, std::move(weights), options);
 }
 
 Result<std::vector<float>> LlmEngine::Prefill(

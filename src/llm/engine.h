@@ -28,11 +28,13 @@ struct GenerationResult {
 class LlmEngine {
  public:
   // Builds an engine over caller-provided weights (host memory).
-  LlmEngine(const ModelSpec& spec, std::unique_ptr<WeightSource> weights);
+  LlmEngine(const ModelSpec& spec, std::unique_ptr<WeightSource> weights,
+            const EngineOptions& options = {});
 
   // Convenience: materializes reference weights for a functional spec.
-  static std::unique_ptr<LlmEngine> CreateUnprotected(const ModelSpec& spec,
-                                                      uint64_t weight_seed);
+  static std::unique_ptr<LlmEngine> CreateUnprotected(
+      const ModelSpec& spec, uint64_t weight_seed,
+      const EngineOptions& options = {});
 
   const ModelSpec& spec() const { return spec_; }
   const Tokenizer& tokenizer() const { return *tokenizer_; }

@@ -1,0 +1,24 @@
+// Knobs for the functional inference engine, threaded from RuntimeConfig
+// down through LlmTa / LlmEngine to the TransformerExecutor so benchmarks
+// can sweep thread counts and prefill batching.
+
+#ifndef SRC_LLM_ENGINE_OPTIONS_H_
+#define SRC_LLM_ENGINE_OPTIONS_H_
+
+namespace tzllm {
+
+struct EngineOptions {
+  // CPU lanes for the kernel pool; 1 = no pool, fully single-threaded.
+  int n_threads = 1;
+  // Positions per batched-prefill chunk (MatMatQ8 weight reuse); <= 1 falls
+  // back to the per-position path.
+  int prefill_batch = 32;
+  // Runs the seed's scalar float-activation kernels and per-call RoPE — the
+  // performance/numerics baseline the benches and parity tests compare
+  // against. Implies per-position prefill.
+  bool use_reference_kernels = false;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_LLM_ENGINE_OPTIONS_H_

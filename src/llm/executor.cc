@@ -50,9 +50,30 @@ void ApplyRope(float* vec, int n_heads, int head_dim, int pos) {
   }
 }
 
+void ApplyRopeTable(float* vec, int n_heads, int head_dim, int pos,
+                    const RopeTable& table) {
+  const float* row = table.Row(pos);
+  for (int h = 0; h < n_heads; ++h) {
+    float* head = vec + h * head_dim;
+    for (int i = 0; i < head_dim; i += 2) {
+      const float c = row[i];
+      const float s = row[i + 1];
+      const float x0 = head[i];
+      const float x1 = head[i + 1];
+      head[i] = x0 * c - x1 * s;
+      head[i + 1] = x0 * s + x1 * c;
+    }
+  }
+}
+
 TransformerExecutor::TransformerExecutor(const ModelSpec* spec,
-                                         WeightSource* weights)
-    : spec_(spec), weights_(weights) {}
+                                         WeightSource* weights,
+                                         const EngineOptions& options)
+    : spec_(spec), weights_(weights), options_(options) {
+  if (options_.n_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.n_threads);
+  }
+}
 
 Result<const uint8_t*> TransformerExecutor::Weights(TensorRole role,
                                                     int layer) {
@@ -63,8 +84,48 @@ Result<const uint8_t*> TransformerExecutor::Weights(TensorRole role,
   return weights_->TensorData(t->index);
 }
 
-Status TransformerExecutor::EmbedToken(TokenId token,
-                                       std::vector<float>* hidden) {
+void TransformerExecutor::MatVec(const uint8_t* w, uint64_t rows,
+                                 uint64_t cols, const float* x, float* y) {
+  if (options_.use_reference_kernels) {
+    MatVecQ8Reference(w, rows, cols, x, y);
+    return;
+  }
+  acts_.Quantize(x, cols);
+  MatVecQ8Pre(w, rows, cols, acts_, y, pool_.get());
+}
+
+void TransformerExecutor::Rope(float* vec, int n_heads, int pos) const {
+  const int head_dim = spec_->config().head_dim();
+  const RopeTable& table = spec_->rope();
+  if (options_.use_reference_kernels || table.empty() ||
+      pos >= table.max_ctx()) {
+    ApplyRope(vec, n_heads, head_dim, pos);
+  } else {
+    ApplyRopeTable(vec, n_heads, head_dim, pos, table);
+  }
+}
+
+void TransformerExecutor::EnsureWorkspace(int m) {
+  if (m <= workspace_m_) {
+    return;
+  }
+  const LlmConfig& c = spec_->config();
+  const size_t d = c.d_model, kv = c.kv_dim(), ff = c.d_ff;
+  hiddens_.resize(m * d);
+  norm_.resize(m * d);
+  q_.resize(m * d);
+  k_.resize(m * kv);
+  v_.resize(m * kv);
+  attn_.resize(m * d);
+  proj_.resize(m * d);
+  gate_.resize(m * ff);
+  up_.resize(m * ff);
+  down_.resize(m * d);
+  scores_.resize(static_cast<size_t>(m) * c.max_ctx);
+  workspace_m_ = m;
+}
+
+Status TransformerExecutor::EmbedToken(TokenId token, float* hidden) {
   const LlmConfig& c = spec_->config();
   if (token < 0 || token >= c.vocab_size) {
     return InvalidArgument("token out of vocabulary");
@@ -73,122 +134,218 @@ Status TransformerExecutor::EmbedToken(TokenId token,
   if (!embd.ok()) {
     return embd.status();
   }
-  hidden->assign(c.d_model, 0.0f);
   // Row `token` of the Q8_0 embedding matrix.
   const uint64_t row_blocks = c.d_model / kQ8BlockElems;
   const uint8_t* row = *embd + static_cast<uint64_t>(token) * row_blocks *
                                    kQ8BlockBytes;
-  DequantizeQ8(row, c.d_model, hidden->data());
+  DequantizeQ8(row, c.d_model, hidden);
   return OkStatus();
 }
 
-Status TransformerExecutor::ForwardPosition(std::vector<float>* hidden,
-                                            int pos, KvCache* kv) {
+void TransformerExecutor::Attend(int layer, int pos, const float* q,
+                                 float* scores, float* out,
+                                 const KvCache& kv) const {
+  const LlmConfig& c = spec_->config();
+  const int head_dim = c.head_dim();
+  const int group = c.n_heads / c.n_kv_heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+  for (int h = 0; h < c.n_heads; ++h) {
+    const int kv_head = h / group;
+    const float* qh = q + h * head_dim;
+    for (int p = 0; p <= pos; ++p) {
+      const float* kp = kv.KeyAt(layer, p) + kv_head * head_dim;
+      float dot = 0.0f;
+      for (int i = 0; i < head_dim; ++i) {
+        dot += qh[i] * kp[i];
+      }
+      scores[p] = dot * scale;
+    }
+    Softmax(scores, pos + 1);
+    float* oh = out + h * head_dim;
+    std::fill(oh, oh + head_dim, 0.0f);
+    for (int p = 0; p <= pos; ++p) {
+      const float* vp = kv.ValueAt(layer, p) + kv_head * head_dim;
+      const float w = scores[p];
+      for (int i = 0; i < head_dim; ++i) {
+        oh[i] += w * vp[i];
+      }
+    }
+  }
+}
+
+Status TransformerExecutor::ForwardPosition(float* hidden, int pos,
+                                            KvCache* kv) {
   const LlmConfig& c = spec_->config();
   const int d = c.d_model;
-  const int head_dim = c.head_dim();
   const int kv_dim = c.kv_dim();
-  const int group = c.n_heads / c.n_kv_heads;
-
-  std::vector<float> norm(d), q(d), k(kv_dim), v(kv_dim), attn_out(d);
-  std::vector<float> ff_norm(d), gate(c.d_ff), up(c.d_ff), down(d);
+  EnsureWorkspace(1);
 
   for (int l = 0; l < c.n_layers; ++l) {
     // --- Attention block. ---
     TZLLM_ASSIGN_OR_RETURN(w_norm, Weights(TensorRole::kAttnNorm, l));
-    RmsNorm(hidden->data(), reinterpret_cast<const float*>(w_norm),
-            norm.data(), d);
+    RmsNorm(hidden, reinterpret_cast<const float*>(w_norm), norm_.data(), d);
 
     TZLLM_ASSIGN_OR_RETURN(wq, Weights(TensorRole::kWq, l));
     TZLLM_ASSIGN_OR_RETURN(wk, Weights(TensorRole::kWk, l));
     TZLLM_ASSIGN_OR_RETURN(wv, Weights(TensorRole::kWv, l));
-    std::fill(q.begin(), q.end(), 0.0f);
-    std::fill(k.begin(), k.end(), 0.0f);
-    std::fill(v.begin(), v.end(), 0.0f);
-    MatVecQ8(wq, d, d, norm.data(), q.data());
-    MatVecQ8(wk, kv_dim, d, norm.data(), k.data());
-    MatVecQ8(wv, kv_dim, d, norm.data(), v.data());
-
-    ApplyRope(q.data(), c.n_heads, head_dim, pos);
-    ApplyRope(k.data(), c.n_kv_heads, head_dim, pos);
-    TZLLM_RETURN_IF_ERROR(kv->Append(l, k.data(), v.data()));
-
-    // Causal attention over positions [0, pos].
-    std::fill(attn_out.begin(), attn_out.end(), 0.0f);
-    std::vector<float> scores(pos + 1);
-    const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
-    for (int h = 0; h < c.n_heads; ++h) {
-      const int kv_head = h / group;
-      const float* qh = q.data() + h * head_dim;
-      for (int p = 0; p <= pos; ++p) {
-        const float* kp = kv->KeyAt(l, p) + kv_head * head_dim;
-        float dot = 0.0f;
-        for (int i = 0; i < head_dim; ++i) {
-          dot += qh[i] * kp[i];
-        }
-        scores[p] = dot * scale;
-      }
-      Softmax(scores.data(), pos + 1);
-      float* oh = attn_out.data() + h * head_dim;
-      for (int p = 0; p <= pos; ++p) {
-        const float* vp = kv->ValueAt(l, p) + kv_head * head_dim;
-        const float w = scores[p];
-        for (int i = 0; i < head_dim; ++i) {
-          oh[i] += w * vp[i];
-        }
-      }
+    if (options_.use_reference_kernels) {
+      MatVecQ8Reference(wq, d, d, norm_.data(), q_.data());
+      MatVecQ8Reference(wk, kv_dim, d, norm_.data(), k_.data());
+      MatVecQ8Reference(wv, kv_dim, d, norm_.data(), v_.data());
+    } else {
+      // One activation quantization feeds all three projections.
+      acts_.Quantize(norm_.data(), d);
+      MatVecQ8Pre(wq, d, d, acts_, q_.data(), pool_.get());
+      MatVecQ8Pre(wk, kv_dim, d, acts_, k_.data(), pool_.get());
+      MatVecQ8Pre(wv, kv_dim, d, acts_, v_.data(), pool_.get());
     }
 
+    Rope(q_.data(), c.n_heads, pos);
+    Rope(k_.data(), c.n_kv_heads, pos);
+    TZLLM_RETURN_IF_ERROR(kv->Append(l, k_.data(), v_.data()));
+
+    Attend(l, pos, q_.data(), scores_.data(), attn_.data(), *kv);
+
     TZLLM_ASSIGN_OR_RETURN(wo, Weights(TensorRole::kWo, l));
-    std::vector<float> proj(d, 0.0f);
-    MatVecQ8(wo, d, d, attn_out.data(), proj.data());
+    MatVec(wo, d, d, attn_.data(), proj_.data());
     for (int i = 0; i < d; ++i) {
-      (*hidden)[i] += proj[i];
+      hidden[i] += proj_[i];
     }
 
     // --- FFN block (SwiGLU). ---
     TZLLM_ASSIGN_OR_RETURN(w_ffn_norm, Weights(TensorRole::kFfnNorm, l));
-    RmsNorm(hidden->data(), reinterpret_cast<const float*>(w_ffn_norm),
-            ff_norm.data(), d);
+    RmsNorm(hidden, reinterpret_cast<const float*>(w_ffn_norm), norm_.data(),
+            d);
 
     TZLLM_ASSIGN_OR_RETURN(w_gate, Weights(TensorRole::kWGate, l));
     TZLLM_ASSIGN_OR_RETURN(w_up, Weights(TensorRole::kWUp, l));
     TZLLM_ASSIGN_OR_RETURN(w_down, Weights(TensorRole::kWDown, l));
-    std::fill(gate.begin(), gate.end(), 0.0f);
-    std::fill(up.begin(), up.end(), 0.0f);
-    std::fill(down.begin(), down.end(), 0.0f);
-    MatVecQ8(w_gate, c.d_ff, d, ff_norm.data(), gate.data());
-    MatVecQ8(w_up, c.d_ff, d, ff_norm.data(), up.data());
-    for (int i = 0; i < c.d_ff; ++i) {
-      const float g = gate[i];
-      const float silu = g / (1.0f + std::exp(-g));
-      gate[i] = silu * up[i];
+    if (options_.use_reference_kernels) {
+      MatVecQ8Reference(w_gate, c.d_ff, d, norm_.data(), gate_.data());
+      MatVecQ8Reference(w_up, c.d_ff, d, norm_.data(), up_.data());
+    } else {
+      acts_.Quantize(norm_.data(), d);
+      MatVecQ8Pre(w_gate, c.d_ff, d, acts_, gate_.data(), pool_.get());
+      MatVecQ8Pre(w_up, c.d_ff, d, acts_, up_.data(), pool_.get());
     }
-    MatVecQ8(w_down, d, c.d_ff, gate.data(), down.data());
+    for (int i = 0; i < c.d_ff; ++i) {
+      const float g = gate_[i];
+      const float silu = g / (1.0f + std::exp(-g));
+      gate_[i] = silu * up_[i];
+    }
+    MatVec(w_down, d, c.d_ff, gate_.data(), down_.data());
     for (int i = 0; i < d; ++i) {
-      (*hidden)[i] += down[i];
+      hidden[i] += down_[i];
     }
   }
   kv->FinishPosition();
   return OkStatus();
 }
 
-Result<std::vector<float>> TransformerExecutor::Logits(
-    const std::vector<float>& hidden) {
+Status TransformerExecutor::ForwardChunk(const TokenId* tokens, int m,
+                                         KvCache* kv) {
   const LlmConfig& c = spec_->config();
-  std::vector<float> norm(c.d_model);
+  const int d = c.d_model;
+  const int kv_dim = c.kv_dim();
+  const int start = kv->seq_len();
+  if (start + m > c.max_ctx) {
+    return ResourceExhausted("KV cache full (context length exceeded)");
+  }
+  EnsureWorkspace(m);
+  ThreadPool* pool = pool_.get();
+
+  for (int i = 0; i < m; ++i) {
+    TZLLM_RETURN_IF_ERROR(EmbedToken(tokens[i], hiddens_.data() + i * d));
+  }
+
+  for (int l = 0; l < c.n_layers; ++l) {
+    // --- Attention block, all m positions per weight pass. ---
+    TZLLM_ASSIGN_OR_RETURN(w_norm, Weights(TensorRole::kAttnNorm, l));
+    for (int i = 0; i < m; ++i) {
+      RmsNorm(hiddens_.data() + i * d,
+              reinterpret_cast<const float*>(w_norm), norm_.data() + i * d,
+              d);
+    }
+    acts_.QuantizeRows(norm_.data(), m, d);
+
+    TZLLM_ASSIGN_OR_RETURN(wq, Weights(TensorRole::kWq, l));
+    TZLLM_ASSIGN_OR_RETURN(wk, Weights(TensorRole::kWk, l));
+    TZLLM_ASSIGN_OR_RETURN(wv, Weights(TensorRole::kWv, l));
+    MatMatQ8(wq, d, d, acts_, q_.data(), pool);
+    MatMatQ8(wk, kv_dim, d, acts_, k_.data(), pool);
+    MatMatQ8(wv, kv_dim, d, acts_, v_.data(), pool);
+
+    for (int i = 0; i < m; ++i) {
+      Rope(q_.data() + i * d, c.n_heads, start + i);
+      Rope(k_.data() + i * kv_dim, c.n_kv_heads, start + i);
+    }
+    TZLLM_RETURN_IF_ERROR(kv->AppendBatch(l, m, k_.data(), v_.data()));
+
+    // Each position's attention is independent once the chunk's K/V rows
+    // are in the cache; causality is the p <= pos bound inside Attend.
+    auto attend_range = [&](uint64_t i0, uint64_t i1) {
+      for (uint64_t i = i0; i < i1; ++i) {
+        Attend(l, start + static_cast<int>(i), q_.data() + i * d,
+               scores_.data() + i * c.max_ctx, attn_.data() + i * d, *kv);
+      }
+    };
+    if (pool != nullptr && m > 1) {
+      pool->ParallelFor(0, m, attend_range);
+    } else {
+      attend_range(0, m);
+    }
+
+    TZLLM_ASSIGN_OR_RETURN(wo, Weights(TensorRole::kWo, l));
+    acts_.QuantizeRows(attn_.data(), m, d);
+    MatMatQ8(wo, d, d, acts_, proj_.data(), pool);
+    for (int i = 0; i < m * d; ++i) {
+      hiddens_[i] += proj_[i];
+    }
+
+    // --- FFN block (SwiGLU). ---
+    TZLLM_ASSIGN_OR_RETURN(w_ffn_norm, Weights(TensorRole::kFfnNorm, l));
+    for (int i = 0; i < m; ++i) {
+      RmsNorm(hiddens_.data() + i * d,
+              reinterpret_cast<const float*>(w_ffn_norm),
+              norm_.data() + i * d, d);
+    }
+    acts_.QuantizeRows(norm_.data(), m, d);
+
+    TZLLM_ASSIGN_OR_RETURN(w_gate, Weights(TensorRole::kWGate, l));
+    TZLLM_ASSIGN_OR_RETURN(w_up, Weights(TensorRole::kWUp, l));
+    TZLLM_ASSIGN_OR_RETURN(w_down, Weights(TensorRole::kWDown, l));
+    MatMatQ8(w_gate, c.d_ff, d, acts_, gate_.data(), pool);
+    MatMatQ8(w_up, c.d_ff, d, acts_, up_.data(), pool);
+    for (int i = 0; i < m * c.d_ff; ++i) {
+      const float g = gate_[i];
+      const float silu = g / (1.0f + std::exp(-g));
+      gate_[i] = silu * up_[i];
+    }
+    acts_.QuantizeRows(gate_.data(), m, c.d_ff);
+    MatMatQ8(w_down, d, c.d_ff, acts_, down_.data(), pool);
+    for (int i = 0; i < m * d; ++i) {
+      hiddens_[i] += down_[i];
+    }
+  }
+  kv->FinishPositions(m);
+  return OkStatus();
+}
+
+Result<std::vector<float>> TransformerExecutor::Logits(const float* hidden) {
+  const LlmConfig& c = spec_->config();
   auto w_norm = Weights(TensorRole::kOutputNorm, -1);
   if (!w_norm.ok()) {
     return w_norm.status();
   }
-  RmsNorm(hidden.data(), reinterpret_cast<const float*>(*w_norm), norm.data(),
+  EnsureWorkspace(1);
+  RmsNorm(hidden, reinterpret_cast<const float*>(*w_norm), norm_.data(),
           c.d_model);
   auto head = Weights(TensorRole::kLmHead, -1);
   if (!head.ok()) {
     return head.status();
   }
-  std::vector<float> logits(c.vocab_size, 0.0f);
-  MatVecQ8(*head, c.vocab_size, c.d_model, norm.data(), logits.data());
+  std::vector<float> logits(c.vocab_size);
+  MatVec(*head, c.vocab_size, c.d_model, norm_.data(), logits.data());
   return logits;
 }
 
@@ -197,19 +354,55 @@ Result<std::vector<float>> TransformerExecutor::Prefill(
   if (tokens.empty()) {
     return Status(ErrorCode::kInvalidArgument, "empty prompt");
   }
-  std::vector<float> hidden;
+  if (!options_.use_reference_kernels && options_.prefill_batch > 1 &&
+      tokens.size() > 1) {
+    return ForwardPrompt(tokens, kv);
+  }
+  return PrefillPerPosition(tokens, kv);
+}
+
+Result<std::vector<float>> TransformerExecutor::PrefillPerPosition(
+    const std::vector<TokenId>& tokens, KvCache* kv) {
+  EnsureWorkspace(1);
+  // hiddens_ row 0 is free here: ForwardPosition only touches the other
+  // workspace buffers, so the residual stream can live in the workspace
+  // instead of a fresh allocation per call.
+  float* hidden = hiddens_.data();
   for (size_t i = 0; i < tokens.size(); ++i) {
-    TZLLM_RETURN_IF_ERROR(EmbedToken(tokens[i], &hidden));
-    TZLLM_RETURN_IF_ERROR(ForwardPosition(&hidden, kv->seq_len(), kv));
+    TZLLM_RETURN_IF_ERROR(EmbedToken(tokens[i], hidden));
+    TZLLM_RETURN_IF_ERROR(ForwardPosition(hidden, kv->seq_len(), kv));
   }
   return Logits(hidden);
 }
 
+Result<std::vector<float>> TransformerExecutor::ForwardPrompt(
+    const std::vector<TokenId>& tokens, KvCache* kv) {
+  if (tokens.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "empty prompt");
+  }
+  if (options_.use_reference_kernels) {
+    // The batched chunks are quantized-kernel only; a reference-configured
+    // executor must stay on the seed path rather than mix numerics.
+    return PrefillPerPosition(tokens, kv);
+  }
+  const size_t chunk =
+      static_cast<size_t>(std::max(1, options_.prefill_batch));
+  const int d = spec_->config().d_model;
+  size_t last_m = 0;
+  for (size_t off = 0; off < tokens.size(); off += last_m) {
+    last_m = std::min(chunk, tokens.size() - off);
+    TZLLM_RETURN_IF_ERROR(
+        ForwardChunk(tokens.data() + off, static_cast<int>(last_m), kv));
+  }
+  return Logits(hiddens_.data() + (last_m - 1) * d);
+}
+
 Result<std::vector<float>> TransformerExecutor::DecodeStep(TokenId token,
                                                            KvCache* kv) {
-  std::vector<float> hidden;
-  TZLLM_RETURN_IF_ERROR(EmbedToken(token, &hidden));
-  TZLLM_RETURN_IF_ERROR(ForwardPosition(&hidden, kv->seq_len(), kv));
+  EnsureWorkspace(1);
+  float* hidden = hiddens_.data();
+  TZLLM_RETURN_IF_ERROR(EmbedToken(token, hidden));
+  TZLLM_RETURN_IF_ERROR(ForwardPosition(hidden, kv->seq_len(), kv));
   return Logits(hidden);
 }
 

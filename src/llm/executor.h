@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/thread_pool.h"
+#include "src/llm/engine_options.h"
 #include "src/llm/kv_cache.h"
 #include "src/llm/model_spec.h"
 #include "src/llm/tokenizer.h"
@@ -55,32 +57,73 @@ class HostWeightSource : public WeightSource {
 
 class TransformerExecutor {
  public:
-  TransformerExecutor(const ModelSpec* spec, WeightSource* weights);
+  TransformerExecutor(const ModelSpec* spec, WeightSource* weights,
+                      const EngineOptions& options = {});
 
   // Runs the prompt through the model, filling the KV cache. Returns the
-  // logits of the last position (vocab_size floats).
+  // logits of the last position (vocab_size floats). Dispatches to
+  // ForwardPrompt (batched) or the per-position path per `options`.
   Result<std::vector<float>> Prefill(const std::vector<TokenId>& tokens,
                                      KvCache* kv);
+
+  // Batched prefill: runs the prompt through each layer `prefill_batch`
+  // positions at a time, so every weight row is streamed once per chunk
+  // (MatMatQ8) instead of once per position. With use_reference_kernels it
+  // degrades to the per-position seed path (no mixed numerics).
+  Result<std::vector<float>> ForwardPrompt(const std::vector<TokenId>& tokens,
+                                           KvCache* kv);
 
   // One incremental decode step for `token` at the cache's current position.
   Result<std::vector<float>> DecodeStep(TokenId token, KvCache* kv);
 
+  const EngineOptions& options() const { return options_; }
+
  private:
-  // Forward pass of one position given its embedding in `hidden`.
-  Status ForwardPosition(std::vector<float>* hidden, int pos, KvCache* kv);
-  Result<std::vector<float>> Logits(const std::vector<float>& hidden);
-  Status EmbedToken(TokenId token, std::vector<float>* hidden);
+  // Forward pass of one position given its embedding in `hidden` (d_model
+  // floats, updated in place).
+  Status ForwardPosition(float* hidden, int pos, KvCache* kv);
+  // The seed schedule: one position at a time through all layers.
+  Result<std::vector<float>> PrefillPerPosition(
+      const std::vector<TokenId>& tokens, KvCache* kv);
+  // Forward pass of `m` prompt positions at once; leaves the residual
+  // streams in hiddens_.
+  Status ForwardChunk(const TokenId* tokens, int m, KvCache* kv);
+  // Causal attention for one position: fills out[d_model] from q[d_model]
+  // and the KV cache rows [0, pos] of `layer`.
+  void Attend(int layer, int pos, const float* q, float* scores, float* out,
+              const KvCache& kv) const;
+  Result<std::vector<float>> Logits(const float* hidden);
+  Status EmbedToken(TokenId token, float* hidden);
 
   Result<const uint8_t*> Weights(TensorRole role, int layer);
 
+  // Kernel dispatch: reference scalar path or quantized path on the pool.
+  void MatVec(const uint8_t* w, uint64_t rows, uint64_t cols, const float* x,
+              float* y);
+  void Rope(float* vec, int n_heads, int pos) const;
+  // Sizes the reusable activation buffers for chunks of up to `m` positions.
+  void EnsureWorkspace(int m);
+
   const ModelSpec* spec_;
   WeightSource* weights_;
+  EngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  // Reusable workspace (grown once; no allocation in the token loop). All
+  // are position-major: row i belongs to chunk position i.
+  int workspace_m_ = 0;
+  std::vector<float> hiddens_, norm_, q_, k_, v_, attn_, proj_, gate_, up_,
+      down_, scores_;
+  Q8Acts acts_;
 };
 
 // Numerics helpers shared with tests.
 void RmsNorm(const float* x, const float* gain, float* out, int n);
 void Softmax(float* x, int n);
 void ApplyRope(float* vec, int n_heads, int head_dim, int pos);
+// Table-driven RoPE; bit-identical to ApplyRope for positions in the table.
+void ApplyRopeTable(float* vec, int n_heads, int head_dim, int pos,
+                    const RopeTable& table);
 
 }  // namespace tzllm
 

@@ -8,26 +8,30 @@ KvCache::KvCache(const ModelSpec& spec)
     : n_layers_(spec.config().n_layers),
       kv_dim_(spec.config().kv_dim()),
       max_ctx_(spec.config().max_ctx),
-      filled_(n_layers_, 0),
-      k_(n_layers_),
-      v_(n_layers_) {
-  for (int l = 0; l < n_layers_; ++l) {
-    k_[l].resize(static_cast<size_t>(max_ctx_) * kv_dim_);
-    v_[l].resize(static_cast<size_t>(max_ctx_) * kv_dim_);
-  }
+      filled_(n_layers_, 0) {
+  v_plane_ = static_cast<size_t>(n_layers_) * max_ctx_ * kv_dim_;
+  arena_.resize(v_plane_ * kKvVectorsPerPosition);
 }
 
 Status KvCache::Append(int layer, const float* k, const float* v) {
+  return AppendBatch(layer, 1, k, v);
+}
+
+Status KvCache::AppendBatch(int layer, int m, const float* k, const float* v) {
   if (layer < 0 || layer >= n_layers_) {
     return InvalidArgument("bad layer");
   }
-  if (filled_[layer] >= max_ctx_) {
+  if (m <= 0) {
+    return InvalidArgument("bad batch size");
+  }
+  if (filled_[layer] + m > max_ctx_) {
     return ResourceExhausted("KV cache full (context length exceeded)");
   }
-  const size_t off = static_cast<size_t>(filled_[layer]) * kv_dim_;
-  std::memcpy(&k_[layer][off], k, kv_dim_ * sizeof(float));
-  std::memcpy(&v_[layer][off], v, kv_dim_ * sizeof(float));
-  ++filled_[layer];
+  const size_t off = Offset(layer, filled_[layer]);
+  const size_t bytes = static_cast<size_t>(m) * kv_dim_ * sizeof(float);
+  std::memcpy(arena_.data() + off, k, bytes);
+  std::memcpy(arena_.data() + v_plane_ + off, v, bytes);
+  filled_[layer] += m;
   return OkStatus();
 }
 
@@ -38,16 +42,12 @@ void KvCache::Reset() {
   }
 }
 
-const float* KvCache::KeyAt(int layer, int pos) const {
-  return &k_[layer][static_cast<size_t>(pos) * kv_dim_];
-}
-
-const float* KvCache::ValueAt(int layer, int pos) const {
-  return &v_[layer][static_cast<size_t>(pos) * kv_dim_];
-}
-
 uint64_t KvCache::CurrentBytes() const {
-  return 2ull * n_layers_ * kv_dim_ * seq_len_ * 2;  // f16 accounting.
+  uint64_t positions = 0;
+  for (int l = 0; l < n_layers_; ++l) {
+    positions += filled_[l];
+  }
+  return positions * kv_dim_ * kKvVectorsPerPosition * kKvAccountedBytesPerElem;
 }
 
 }  // namespace tzllm

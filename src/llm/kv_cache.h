@@ -2,6 +2,11 @@
 // accounting the secure scratch region needs (paper §4.2: the KV cache is
 // initialized to the prompt size in prefill, grows during decode, and is
 // fully released after inference).
+//
+// Storage is one flat contiguous arena — a K plane then a V plane, each laid
+// out [layer][pos][kv_dim] — so per-layer appends are a single memcpy into a
+// contiguous run and attention walks sequential memory, instead of the seed's
+// vector-of-vectors.
 
 #ifndef SRC_LLM_KV_CACHE_H_
 #define SRC_LLM_KV_CACHE_H_
@@ -14,6 +19,12 @@
 
 namespace tzllm {
 
+// Cached vectors per position per layer: one K and one V.
+inline constexpr uint64_t kKvVectorsPerPosition = 2;
+// The secure scratch budget accounts KV entries at f16 width (paper §4.2),
+// independent of the f32 functional storage here.
+inline constexpr uint64_t kKvAccountedBytesPerElem = 2;
+
 class KvCache {
  public:
   explicit KvCache(const ModelSpec& spec);
@@ -21,25 +32,42 @@ class KvCache {
   // Appends one position's K and V vectors (kv_dim floats each) for `layer`.
   Status Append(int layer, const float* k, const float* v);
 
+  // Appends `m` consecutive positions for `layer` in one call; `k` and `v`
+  // are [m][kv_dim] row-major (the batched-prefill path).
+  Status AppendBatch(int layer, int m, const float* k, const float* v);
+
   // Current sequence length (positions stored). Uniform across layers once a
   // full forward pass completes.
   int seq_len() const { return seq_len_; }
   void FinishPosition() { ++seq_len_; }
+  void FinishPositions(int m) { seq_len_ += m; }
   void Reset();
 
-  const float* KeyAt(int layer, int pos) const;
-  const float* ValueAt(int layer, int pos) const;
+  int max_ctx() const { return max_ctx_; }
 
+  const float* KeyAt(int layer, int pos) const {
+    return arena_.data() + Offset(layer, pos);
+  }
+  const float* ValueAt(int layer, int pos) const {
+    return arena_.data() + v_plane_ + Offset(layer, pos);
+  }
+
+  // Accounted bytes of everything appended so far, from per-layer fill marks
+  // (mid-forward-pass, layers already appended this position count too).
   uint64_t CurrentBytes() const;
 
  private:
+  size_t Offset(int layer, int pos) const {
+    return (static_cast<size_t>(layer) * max_ctx_ + pos) * kv_dim_;
+  }
+
   int n_layers_;
   int kv_dim_;
   int max_ctx_;
   int seq_len_ = 0;
-  std::vector<int> filled_;            // Per-layer appended positions.
-  std::vector<std::vector<float>> k_;  // [layer][pos * kv_dim].
-  std::vector<std::vector<float>> v_;
+  std::vector<int> filled_;   // Per-layer appended positions.
+  std::vector<float> arena_;  // K plane then V plane, [layer][pos][kv_dim].
+  size_t v_plane_ = 0;        // Offset of the V plane within the arena.
 };
 
 }  // namespace tzllm

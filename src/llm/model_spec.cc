@@ -24,6 +24,26 @@ void AddTensor(std::vector<TensorSpec>* tensors, const std::string& name,
 
 }  // namespace
 
+RopeTable::RopeTable(int head_dim, int max_ctx)
+    : head_dim_(head_dim), max_ctx_(max_ctx) {
+  data_.resize(static_cast<size_t>(max_ctx) * head_dim);
+  // Same frequency formula as the legacy ApplyRope (float pow so the table
+  // matches the per-call path bit-for-bit): freq_j = 10000^(-2j/head_dim),
+  // position-independent, so computed once per pair.
+  std::vector<float> freqs(head_dim / 2);
+  for (int i = 0; i < head_dim; i += 2) {
+    freqs[i / 2] = std::pow(10000.0f, -static_cast<float>(i) / head_dim);
+  }
+  for (int pos = 0; pos < max_ctx; ++pos) {
+    float* row = data_.data() + static_cast<size_t>(pos) * head_dim;
+    for (int i = 0; i < head_dim; i += 2) {
+      const float angle = pos * freqs[i / 2];
+      row[i] = std::cos(angle);
+      row[i + 1] = std::sin(angle);
+    }
+  }
+}
+
 ModelSpec ModelSpec::Create(const LlmConfig& config) {
   ModelSpec spec;
   spec.config_ = config;
@@ -83,6 +103,12 @@ ModelSpec ModelSpec::Create(const LlmConfig& config) {
     total += t.bytes;
   }
   spec.total_param_bytes_ = total;
+  // Only materializable specs can run the functional engine; paper-scale
+  // (cost-model-only) specs skip the table fill and its memory.
+  if (spec.materializable() && config.n_heads > 0 && config.d_model > 0 &&
+      config.max_ctx > 0 && config.head_dim() % 2 == 0) {
+    spec.rope_ = RopeTable(config.head_dim(), config.max_ctx);
+  }
   return spec;
 }
 

@@ -49,6 +49,28 @@ enum class TensorRole : uint8_t {
   kLmHead,
 };
 
+// Precomputed RoPE rotation table: head_dim floats per position, laid out as
+// interleaved (cos, sin) pairs for each rotation pair index. Built once per
+// ModelSpec so the hot loop never calls std::pow/cos/sin per element.
+class RopeTable {
+ public:
+  RopeTable() = default;
+  RopeTable(int head_dim, int max_ctx);
+
+  bool empty() const { return data_.empty(); }
+  int head_dim() const { return head_dim_; }
+  int max_ctx() const { return max_ctx_; }
+  // head_dim floats: cos/sin of pos * freq_j for rotation pair j.
+  const float* Row(int pos) const {
+    return data_.data() + static_cast<size_t>(pos) * head_dim_;
+  }
+
+ private:
+  int head_dim_ = 0;
+  int max_ctx_ = 0;
+  std::vector<float> data_;
+};
+
 struct TensorSpec {
   int index = 0;
   std::string name;
@@ -82,6 +104,12 @@ class ModelSpec {
   // Finds the tensor for (role, layer); layer = -1 for globals.
   const TensorSpec* Find(TensorRole role, int layer) const;
 
+  // Rotation table covering positions [0, max_ctx). Empty for paper-scale
+  // (non-materializable) specs — they never run the functional engine — and
+  // for configs without a valid head geometry; the executor falls back to
+  // per-call ApplyRope when empty.
+  const RopeTable& rope() const { return rope_; }
+
   // KV-cache bytes for a context of `n_tokens` (f16 K and V per layer).
   uint64_t KvCacheBytes(int n_tokens) const;
   // Activation workspace bytes (fixed-size buffers, §4.2).
@@ -90,6 +118,7 @@ class ModelSpec {
  private:
   LlmConfig config_;
   std::vector<TensorSpec> tensors_;
+  RopeTable rope_;
   uint64_t total_param_bytes_ = 0;
   double size_scale_ = 1.0;
 };

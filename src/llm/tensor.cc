@@ -6,6 +6,7 @@
 #include <functional>
 
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 
 namespace tzllm {
 
@@ -120,8 +121,127 @@ void DequantizeQ8(const uint8_t* src, uint64_t n, float* dst) {
   }
 }
 
+void Q8Acts::QuantizeRows(const float* x, uint64_t m_rows, uint64_t n) {
+  const uint64_t blocks = n / kQ8BlockElems;
+  cols = n;
+  m = m_rows;
+  q.resize(m_rows * n);
+  scale.resize(m_rows * blocks);
+  for (uint64_t row = 0; row < m_rows; ++row) {
+    const float* src = x + row * n;
+    int8_t* out = q.data() + row * n;
+    float* sc = scale.data() + row * blocks;
+    for (uint64_t b = 0; b < blocks; ++b) {
+      const float* xb = src + b * kQ8BlockElems;
+      float amax = 0.0f;
+      for (uint64_t i = 0; i < kQ8BlockElems; ++i) {
+        amax = std::max(amax, std::fabs(xb[i]));
+      }
+      const float s = amax / 127.0f;
+      const float inv = s > 0.0f ? 1.0f / s : 0.0f;
+      sc[b] = s;
+      int8_t* qb = out + b * kQ8BlockElems;
+      for (uint64_t i = 0; i < kQ8BlockElems; ++i) {
+        // lrintf (round-to-nearest-even) compiles to one cvtss2si; round()
+        // is a libm call per element and dominated quantization time. The
+        // clamp guards the |x| == amax element against float rounding up.
+        const long r = std::lrintf(xb[i] * inv);
+        qb[i] = static_cast<int8_t>(std::max(-127l, std::min(127l, r)));
+      }
+    }
+  }
+}
+
+namespace {
+
+// Below this many multiply-accumulates the fork/join handoff costs more than
+// the kernel itself (small test models, decode-time K/V projections); such
+// calls run inline on the caller.
+constexpr uint64_t kParallelMinWork = 48 * 1024;
+
+// One Q8 weight block against one Q8 activation block: integer dot, then one
+// fused scale. `wq`/`xq` int8, 32 elements.
+inline float DotBlockQ8(const uint8_t* blk, const int8_t* xq, float xscale) {
+  const float wscale =
+      F16ToF32(static_cast<uint16_t>(blk[0] | (blk[1] << 8)));
+  const int8_t* wq = reinterpret_cast<const int8_t*>(blk + 2);
+  int32_t dot = 0;
+  for (uint64_t i = 0; i < kQ8BlockElems; ++i) {
+    dot += static_cast<int32_t>(wq[i]) * static_cast<int32_t>(xq[i]);
+  }
+  return (wscale * xscale) * static_cast<float>(dot);
+}
+
+}  // namespace
+
+void MatVecQ8Pre(const uint8_t* w, uint64_t rows, uint64_t cols,
+                 const Q8Acts& x, float* y, ThreadPool* pool) {
+  const uint64_t blocks_per_row = cols / kQ8BlockElems;
+  auto run = [&](uint64_t r0, uint64_t r1) {
+    for (uint64_t r = r0; r < r1; ++r) {
+      const uint8_t* row = w + r * blocks_per_row * kQ8BlockBytes;
+      float acc = 0.0f;
+      for (uint64_t b = 0; b < blocks_per_row; ++b) {
+        acc += DotBlockQ8(row + b * kQ8BlockBytes, x.q.data() + b * kQ8BlockElems,
+                          x.scale[b]);
+      }
+      y[r] = acc;
+    }
+  };
+  if (pool != nullptr && rows * cols >= kParallelMinWork) {
+    pool->ParallelFor(0, rows, run);
+  } else {
+    run(0, rows);
+  }
+}
+
 void MatVecQ8(const uint8_t* w, uint64_t rows, uint64_t cols, const float* x,
-              float* y) {
+              float* y, ThreadPool* pool) {
+  thread_local Q8Acts acts;
+  acts.Quantize(x, cols);
+  MatVecQ8Pre(w, rows, cols, acts, y, pool);
+}
+
+void MatMatQ8(const uint8_t* w, uint64_t rows, uint64_t cols, const Q8Acts& x,
+              float* y, ThreadPool* pool) {
+  const uint64_t blocks_per_row = cols / kQ8BlockElems;
+  const uint64_t m = x.m;
+  auto run = [&](uint64_t r0, uint64_t r1) {
+    // Weight scales convert from f16 once per row, reused across positions.
+    std::vector<float> wscales(blocks_per_row);
+    for (uint64_t r = r0; r < r1; ++r) {
+      const uint8_t* row = w + r * blocks_per_row * kQ8BlockBytes;
+      for (uint64_t b = 0; b < blocks_per_row; ++b) {
+        const uint8_t* blk = row + b * kQ8BlockBytes;
+        wscales[b] = F16ToF32(static_cast<uint16_t>(blk[0] | (blk[1] << 8)));
+      }
+      for (uint64_t p = 0; p < m; ++p) {
+        const int8_t* xq = x.q.data() + p * cols;
+        const float* xs = x.scale.data() + p * blocks_per_row;
+        float acc = 0.0f;
+        for (uint64_t b = 0; b < blocks_per_row; ++b) {
+          const int8_t* wq =
+              reinterpret_cast<const int8_t*>(row + b * kQ8BlockBytes + 2);
+          const int8_t* xb = xq + b * kQ8BlockElems;
+          int32_t dot = 0;
+          for (uint64_t i = 0; i < kQ8BlockElems; ++i) {
+            dot += static_cast<int32_t>(wq[i]) * static_cast<int32_t>(xb[i]);
+          }
+          acc += (wscales[b] * xs[b]) * static_cast<float>(dot);
+        }
+        y[p * rows + r] = acc;
+      }
+    }
+  };
+  if (pool != nullptr && rows * cols * m >= kParallelMinWork) {
+    pool->ParallelFor(0, rows, run);
+  } else {
+    run(0, rows);
+  }
+}
+
+void MatVecQ8Reference(const uint8_t* w, uint64_t rows, uint64_t cols,
+                       const float* x, float* y) {
   const uint64_t blocks_per_row = cols / kQ8BlockElems;
   for (uint64_t r = 0; r < rows; ++r) {
     const uint8_t* row = w + r * blocks_per_row * kQ8BlockBytes;
@@ -137,7 +257,7 @@ void MatVecQ8(const uint8_t* w, uint64_t rows, uint64_t cols, const float* x,
       }
       acc += scale * dot;
     }
-    y[r] += acc;
+    y[r] = acc;
   }
 }
 

@@ -40,11 +40,47 @@ void QuantizeQ8(const float* src, uint64_t n, uint8_t* dst);
 // Dequantizes n elements.
 void DequantizeQ8(const uint8_t* src, uint64_t n, float* dst);
 
-// y[r] += sum_c W[r,c] * x[c] for a Q8_0 row-major weight matrix W
-// (rows x cols, cols a multiple of 32). The workhorse of the functional
-// CPU/NPU backends.
+class ThreadPool;
+
+// Activations quantized to Q8_0 blocks (llama.cpp's quantize_row_q8_0):
+// int8 values plus one float scale per 32-element block, so the matvec inner
+// loop is an int8xint8 integer dot instead of int8->float converts. Holds
+// one or more rows; reusable scratch so hot loops don't allocate.
+struct Q8Acts {
+  std::vector<int8_t> q;     // [m * cols].
+  std::vector<float> scale;  // [m * cols/32].
+  uint64_t cols = 0;
+  uint64_t m = 0;
+
+  void Quantize(const float* x, uint64_t n) { QuantizeRows(x, 1, n); }
+  // Quantizes m rows of n floats each (n a multiple of 32).
+  void QuantizeRows(const float* x, uint64_t m_rows, uint64_t n);
+};
+
+// y[r] = sum_c W[r,c] * x[c] for a Q8_0 row-major weight matrix W
+// (rows x cols, cols a multiple of 32); overwrites y. Quantizes x to Q8
+// internally; `pool` (optional) splits the rows across threads when the
+// matrix is large enough to amortize the fork/join. The workhorse of the
+// functional CPU/NPU backends.
 void MatVecQ8(const uint8_t* w, uint64_t rows, uint64_t cols, const float* x,
-              float* y);
+              float* y, ThreadPool* pool = nullptr);
+
+// MatVecQ8 over pre-quantized activations (x.m == 1).
+void MatVecQ8Pre(const uint8_t* w, uint64_t rows, uint64_t cols,
+                 const Q8Acts& x, float* y, ThreadPool* pool = nullptr);
+
+// Batched-prefill matmul: y[p*rows + r] = sum_c W[r,c] * X[p,c] for all
+// x.m positions. Row-blocked with positions innermost so each weight row is
+// streamed once per batch instead of once per position. Per-(row, position)
+// summation order matches MatVecQ8Pre exactly, so batched prefill and
+// incremental decode produce bit-identical activations.
+void MatMatQ8(const uint8_t* w, uint64_t rows, uint64_t cols, const Q8Acts& x,
+              float* y, ThreadPool* pool = nullptr);
+
+// The seed's scalar float-activation kernel (now overwrite semantics), kept
+// as the numerics/performance baseline for parity tests and benches.
+void MatVecQ8Reference(const uint8_t* w, uint64_t rows, uint64_t cols,
+                       const float* x, float* y);
 
 struct Tensor {
   std::string name;

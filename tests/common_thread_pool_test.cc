@@ -1,0 +1,97 @@
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace tzllm {
+namespace {
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, hits.size(), [&](uint64_t b, uint64_t e) {
+    for (uint64_t i = b; i < e; ++i) {
+      hits[i].fetch_add(1);
+    }
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeRunsNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, [&](uint64_t, uint64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.n_threads(), 1);
+  int calls = 0;
+  uint64_t lo = 99, hi = 0;
+  pool.ParallelFor(3, 17, [&](uint64_t b, uint64_t e) {
+    ++calls;
+    lo = b;
+    hi = e;
+  });
+  EXPECT_EQ(calls, 1);  // One part, executed by the caller.
+  EXPECT_EQ(lo, 3u);
+  EXPECT_EQ(hi, 17u);
+}
+
+TEST(ThreadPoolTest, RangeSmallerThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.ParallelFor(0, 3, [&](uint64_t b, uint64_t e) {
+    for (uint64_t i = b; i < e; ++i) {
+      hits[i].fetch_add(1);
+    }
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, PartitionIsStaticAndContiguous) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<uint64_t, uint64_t>> parts;
+  pool.ParallelFor(0, 100, [&](uint64_t b, uint64_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    parts.emplace_back(b, e);
+  });
+  ASSERT_EQ(parts.size(), 4u);  // ceil(100/4)=25 per part, all non-empty.
+  std::sort(parts.begin(), parts.end());
+  uint64_t next = 0;
+  for (const auto& [b, e] : parts) {
+    EXPECT_EQ(b, next);
+    EXPECT_LT(b, e);
+    next = e;
+  }
+  EXPECT_EQ(next, 100u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyEpochs) {
+  ThreadPool pool(3);
+  std::atomic<uint64_t> sum{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(0, 64, [&](uint64_t b, uint64_t e) {
+      uint64_t local = 0;
+      for (uint64_t i = b; i < e; ++i) {
+        local += i;
+      }
+      sum.fetch_add(local);
+    });
+  }
+  EXPECT_EQ(sum.load(), 200ull * (64 * 63 / 2));
+}
+
+}  // namespace
+}  // namespace tzllm

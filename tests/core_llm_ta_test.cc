@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "src/core/runtime.h"
 #include "src/llm/engine.h"
 
 namespace tzllm {
@@ -54,6 +55,26 @@ TEST_F(LlmTaTest, LoadsModelThroughPipeline) {
   // All parameters protected.
   EXPECT_GE(tee_->RegionStats(SecureRegionId::kParams).protected_bytes,
             spec_.total_param_bytes());
+}
+
+TEST_F(LlmTaTest, RuntimeConfigEngineKnobsReachTheExecutor) {
+  // RuntimeConfig::engine -> LlmTa -> TransformerExecutor: a TA built with
+  // threaded kernels and batched prefill must compute the same function as
+  // the default single-threaded TA.
+  RuntimeConfig config;
+  config.engine.n_threads = 2;
+  config.engine.prefill_batch = 8;
+  LlmTa threaded(&plat_, tee_.get(), tz_.get(), config.engine);
+  ASSERT_TRUE(threaded.Attach().ok());
+  ASSERT_TRUE(tee_->AuthorizeKeyAccess(threaded.ta_id(), "tiny").ok());
+  ASSERT_TRUE(threaded.LoadModel("tiny").ok());
+  auto fast = threaded.Generate("the quick brown fox", 10);
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+
+  auto base = LlmEngine::CreateUnprotected(spec_, kWeightSeed)
+                  ->Generate("the quick brown fox", 10);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(fast->output_tokens, base->output_tokens);
 }
 
 TEST_F(LlmTaTest, ProtectedInferenceMatchesUnprotectedReference) {

@@ -1,0 +1,131 @@
+#include "src/llm/kv_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tzllm {
+namespace {
+
+class KvCacheTest : public ::testing::Test {
+ protected:
+  KvCacheTest() : spec_(ModelSpec::Create(TestTinyModel())), kv_(spec_) {}
+
+  int kv_dim() const { return spec_.config().kv_dim(); }
+  int n_layers() const { return spec_.config().n_layers; }
+  int max_ctx() const { return spec_.config().max_ctx; }
+
+  std::vector<float> Vec(float base) const {
+    std::vector<float> v(kv_dim());
+    for (int i = 0; i < kv_dim(); ++i) {
+      v[i] = base + i;
+    }
+    return v;
+  }
+
+  ModelSpec spec_;
+  KvCache kv_;
+};
+
+TEST_F(KvCacheTest, AppendRoundTrips) {
+  const auto k = Vec(1.0f), v = Vec(100.0f);
+  ASSERT_TRUE(kv_.Append(0, k.data(), v.data()).ok());
+  for (int i = 0; i < kv_dim(); ++i) {
+    EXPECT_EQ(kv_.KeyAt(0, 0)[i], k[i]);
+    EXPECT_EQ(kv_.ValueAt(0, 0)[i], v[i]);
+  }
+}
+
+TEST_F(KvCacheTest, AppendBatchMatchesSequentialAppends) {
+  const int m = 5;
+  std::vector<float> ks, vs;
+  for (int p = 0; p < m; ++p) {
+    const auto k = Vec(p * 10.0f), v = Vec(p * 10.0f + 500.0f);
+    ks.insert(ks.end(), k.begin(), k.end());
+    vs.insert(vs.end(), v.begin(), v.end());
+  }
+  ASSERT_TRUE(kv_.AppendBatch(0, m, ks.data(), vs.data()).ok());
+
+  KvCache seq(spec_);
+  for (int p = 0; p < m; ++p) {
+    ASSERT_TRUE(seq.Append(0, ks.data() + p * kv_dim(),
+                           vs.data() + p * kv_dim())
+                    .ok());
+  }
+  for (int p = 0; p < m; ++p) {
+    for (int i = 0; i < kv_dim(); ++i) {
+      EXPECT_EQ(kv_.KeyAt(0, p)[i], seq.KeyAt(0, p)[i]);
+      EXPECT_EQ(kv_.ValueAt(0, p)[i], seq.ValueAt(0, p)[i]);
+    }
+  }
+}
+
+TEST_F(KvCacheTest, FlatArenaIsContiguousPerLayer) {
+  // The whole point of the arena layout: consecutive positions of a layer
+  // are adjacent in memory (attention walks sequential cache lines).
+  std::vector<float> zeros(2 * kv_dim(), 0.0f);
+  ASSERT_TRUE(kv_.AppendBatch(1, 2, zeros.data(), zeros.data()).ok());
+  EXPECT_EQ(kv_.KeyAt(1, 1), kv_.KeyAt(1, 0) + kv_dim());
+  EXPECT_EQ(kv_.ValueAt(1, 1), kv_.ValueAt(1, 0) + kv_dim());
+}
+
+TEST_F(KvCacheTest, RejectsBadLayerAndBadBatch) {
+  const auto k = Vec(0.0f), v = Vec(0.0f);
+  EXPECT_FALSE(kv_.Append(-1, k.data(), v.data()).ok());
+  EXPECT_FALSE(kv_.Append(n_layers(), k.data(), v.data()).ok());
+  EXPECT_FALSE(kv_.AppendBatch(0, 0, k.data(), v.data()).ok());
+  EXPECT_FALSE(kv_.AppendBatch(0, -3, k.data(), v.data()).ok());
+}
+
+TEST_F(KvCacheTest, EnforcesContextLimit) {
+  const auto k = Vec(0.0f), v = Vec(0.0f);
+  for (int p = 0; p < max_ctx(); ++p) {
+    ASSERT_TRUE(kv_.Append(0, k.data(), v.data()).ok()) << p;
+  }
+  EXPECT_FALSE(kv_.Append(0, k.data(), v.data()).ok());
+  // A batch that would cross the limit is rejected atomically.
+  KvCache kv2(spec_);
+  std::vector<float> big((max_ctx() + 1) * kv_dim(), 0.0f);
+  EXPECT_FALSE(kv2.AppendBatch(0, max_ctx() + 1, big.data(), big.data()).ok());
+  EXPECT_EQ(kv2.CurrentBytes(), 0u);
+}
+
+TEST_F(KvCacheTest, CurrentBytesTracksPerLayerFills) {
+  EXPECT_EQ(kv_.CurrentBytes(), 0u);
+  const auto k = Vec(0.0f), v = Vec(0.0f);
+  const uint64_t per_position =
+      static_cast<uint64_t>(kv_dim()) * kKvVectorsPerPosition *
+      kKvAccountedBytesPerElem;
+
+  // Mid-forward-pass: only some layers have appended the current position.
+  ASSERT_TRUE(kv_.Append(0, k.data(), v.data()).ok());
+  EXPECT_EQ(kv_.CurrentBytes(), per_position);
+  ASSERT_TRUE(kv_.Append(1, k.data(), v.data()).ok());
+  EXPECT_EQ(kv_.CurrentBytes(), 2 * per_position);
+  kv_.FinishPosition();
+  EXPECT_EQ(kv_.seq_len(), 1);
+  EXPECT_EQ(kv_.CurrentBytes(), 2 * per_position);
+}
+
+TEST_F(KvCacheTest, ResetClearsEverything) {
+  const auto k = Vec(3.0f), v = Vec(4.0f);
+  for (int l = 0; l < n_layers(); ++l) {
+    ASSERT_TRUE(kv_.Append(l, k.data(), v.data()).ok());
+  }
+  kv_.FinishPosition();
+  EXPECT_EQ(kv_.seq_len(), 1);
+  EXPECT_GT(kv_.CurrentBytes(), 0u);
+
+  kv_.Reset();
+  EXPECT_EQ(kv_.seq_len(), 0);
+  EXPECT_EQ(kv_.CurrentBytes(), 0u);
+  // Reusable after reset.
+  ASSERT_TRUE(kv_.AppendBatch(0, 2, std::vector<float>(2 * kv_dim(), 1.f).data(),
+                              std::vector<float>(2 * kv_dim(), 2.f).data())
+                  .ok());
+  kv_.FinishPositions(2);
+  EXPECT_EQ(kv_.seq_len(), 2);
+}
+
+}  // namespace
+}  // namespace tzllm

@@ -1,0 +1,177 @@
+// Parity between the optimized engine schedules and the 1-thread scalar
+// path: multithreaded kernels and batched prefill must not change the
+// numerics (ISSUE 1 acceptance: within 1e-4 per logit — in practice they are
+// bit-identical because the static row partition preserves summation order).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "src/llm/engine.h"
+#include "src/llm/executor.h"
+#include "src/llm/model_spec.h"
+#include "src/llm/tzguf.h"
+
+namespace tzllm {
+namespace {
+
+constexpr uint64_t kWeightSeed = 2026;
+
+std::vector<TokenId> LongPrompt(const LlmConfig& c, int n) {
+  std::vector<TokenId> tokens(n);
+  for (int i = 0; i < n; ++i) {
+    tokens[i] = 1 + (i * 7) % (c.vocab_size - 2);
+  }
+  return tokens;
+}
+
+Result<std::vector<float>> PrefillLogits(const ModelSpec& spec,
+                                         const EngineOptions& options,
+                                         const std::vector<TokenId>& tokens) {
+  auto engine = LlmEngine::CreateUnprotected(spec, kWeightSeed, options);
+  return engine->Prefill(tokens);
+}
+
+void ExpectLogitParity(const std::vector<float>& got,
+                       const std::vector<float>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got[i], want[i], 1e-4f) << "logit " << i;
+  }
+}
+
+class ParityTest : public ::testing::Test {
+ protected:
+  ParityTest() : spec_(ModelSpec::Create(TestSmallModel())) {}
+
+  ModelSpec spec_;
+};
+
+TEST_F(ParityTest, BatchedPrefillMatchesScalarPath) {
+  // >= 64-token prompt so multiple batched chunks run.
+  const auto tokens = LongPrompt(spec_.config(), 70);
+  EngineOptions scalar;  // n_threads = 1, per-position prefill.
+  scalar.prefill_batch = 1;
+  EngineOptions batched;
+  batched.prefill_batch = 32;
+
+  auto a = PrefillLogits(spec_, scalar, tokens);
+  auto b = PrefillLogits(spec_, batched, tokens);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectLogitParity(*b, *a);
+}
+
+TEST_F(ParityTest, MultithreadedMatchesSingleThread) {
+  const auto tokens = LongPrompt(spec_.config(), 70);
+  EngineOptions scalar;
+  scalar.prefill_batch = 1;
+  for (int n_threads : {2, 4}) {
+    EngineOptions threaded;
+    threaded.n_threads = n_threads;
+    threaded.prefill_batch = 32;
+    auto a = PrefillLogits(spec_, scalar, tokens);
+    auto b = PrefillLogits(spec_, threaded, tokens);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectLogitParity(*b, *a);
+  }
+}
+
+TEST_F(ParityTest, DecodeAfterBatchedPrefillMatchesScalar) {
+  const auto tokens = LongPrompt(spec_.config(), 64);
+  EngineOptions scalar;
+  scalar.prefill_batch = 1;
+  EngineOptions fast;
+  fast.n_threads = 4;
+  fast.prefill_batch = 16;
+
+  auto scalar_engine = LlmEngine::CreateUnprotected(spec_, kWeightSeed, scalar);
+  auto fast_engine = LlmEngine::CreateUnprotected(spec_, kWeightSeed, fast);
+  ASSERT_TRUE(scalar_engine->Prefill(tokens).ok());
+  ASSERT_TRUE(fast_engine->Prefill(tokens).ok());
+  for (TokenId t : {3, 9, 27}) {
+    auto a = scalar_engine->DecodeStep(t);
+    auto b = fast_engine->DecodeStep(t);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectLogitParity(*b, *a);
+  }
+}
+
+TEST_F(ParityTest, GenerationIdenticalAcrossSchedules) {
+  // End-to-end: greedy generation picks the same tokens whatever the
+  // schedule, so threading/batching can be flipped freely in production.
+  EngineOptions scalar;
+  scalar.prefill_batch = 1;
+  EngineOptions fast;
+  fast.n_threads = 4;
+  fast.prefill_batch = 32;
+  auto a = LlmEngine::CreateUnprotected(spec_, kWeightSeed, scalar)
+               ->Generate("the quick brown fox jumps over the lazy dog", 12);
+  auto b = LlmEngine::CreateUnprotected(spec_, kWeightSeed, fast)
+               ->Generate("the quick brown fox jumps over the lazy dog", 12);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->output_tokens, b->output_tokens);
+}
+
+TEST_F(ParityTest, QuantizedEngineTracksReferenceKernels) {
+  // Anchors every optimized schedule to the seed float-activation path so
+  // the quantized engines cannot silently drift together. The quantized
+  // path is a different numeric function (activation Q8), so the bound is
+  // empirical, not 1e-4: measured max |fast - ref| on this model/prompt is
+  // ~0.08 per logit; 0.2 gives headroom without masking a broken scale
+  // (a 1% scale error shifts logits by O(1) here). The argmax check pins
+  // the functional contract: greedy decoding picks the same token.
+  const auto tokens = LongPrompt(spec_.config(), 70);
+  EngineOptions reference;
+  reference.use_reference_kernels = true;
+  auto ref = PrefillLogits(spec_, reference, tokens);
+  ASSERT_TRUE(ref.ok());
+  const size_t ref_argmax =
+      std::max_element(ref->begin(), ref->end()) - ref->begin();
+
+  for (const auto& [n_threads, batch] :
+       std::vector<std::pair<int, int>>{{1, 1}, {1, 32}, {4, 32}}) {
+    EngineOptions fast;
+    fast.n_threads = n_threads;
+    fast.prefill_batch = batch;
+    auto got = PrefillLogits(spec_, fast, tokens);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->size(), ref->size());
+    for (size_t i = 0; i < ref->size(); ++i) {
+      ASSERT_NEAR((*got)[i], (*ref)[i], 0.2)
+          << "threads=" << n_threads << " batch=" << batch << " logit=" << i;
+    }
+    const size_t got_argmax =
+        std::max_element(got->begin(), got->end()) - got->begin();
+    EXPECT_EQ(got_argmax, ref_argmax)
+        << "threads=" << n_threads << " batch=" << batch;
+  }
+}
+
+TEST_F(ParityTest, RopeTableMatchesLegacyApplyRope) {
+  const int head_dim = spec_.config().head_dim();
+  const int n_heads = spec_.config().n_heads;
+  const RopeTable& table = spec_.rope();
+  ASSERT_FALSE(table.empty());
+  std::vector<float> a(n_heads * head_dim), b(n_heads * head_dim);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = b[i] = 0.1f * static_cast<float>(i % 13) - 0.5f;
+  }
+  for (int pos : {0, 1, 17, spec_.config().max_ctx - 1}) {
+    auto x = a, y = b;
+    ApplyRope(x.data(), n_heads, head_dim, pos);
+    ApplyRopeTable(y.data(), n_heads, head_dim, pos, table);
+    for (size_t i = 0; i < x.size(); ++i) {
+      ASSERT_EQ(x[i], y[i]) << "pos=" << pos << " i=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tzllm
