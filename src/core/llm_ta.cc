@@ -50,9 +50,14 @@ Status LlmTa::LoadModel(const std::string& model_id, SchedulePolicy policy) {
   spec_ = std::make_unique<ModelSpec>(ModelSpec::Create(meta_->config));
 
   // 3. Scratch region for KV cache / activations (also hosts NPU job
-  //    execution contexts).
+  //    execution contexts). Budgeted at the width the cache will actually
+  //    store: ModelSpec::KvCacheBytes accounts the default f16 arena, and
+  //    the f32 reference mode doubles it — accounted == resident in every
+  //    mode, not just the production one.
+  const uint64_t kv_width_factor =
+      KvStorageFor(engine_options_) == KvStorage::kF32 ? 2 : 1;
   scratch_bytes_ =
-      AlignUp(spec_->KvCacheBytes(spec_->config().max_ctx) +
+      AlignUp(spec_->KvCacheBytes(spec_->config().max_ctx) * kv_width_factor +
                   spec_->ActivationBytes() + 64 * kKiB,
               kPageSize);
   auto scratch =
@@ -69,7 +74,7 @@ Status LlmTa::LoadModel(const std::string& model_id, SchedulePolicy policy) {
   // 5. Framework state: tokenizer (checkpointable) + executor.
   tokenizer_ = std::make_unique<Tokenizer>(spec_->config().vocab_size);
   weights_ = std::make_unique<SecureWeightSource>(this);
-  kv_ = std::make_unique<KvCache>(*spec_);
+  kv_ = std::make_unique<KvCache>(*spec_, KvStorageFor(engine_options_));
   executor_ = std::make_unique<TransformerExecutor>(spec_.get(),
                                                     weights_.get(),
                                                     engine_options_);
@@ -193,16 +198,18 @@ Result<GenerationResult> LlmTa::Generate(const std::string& prompt,
   }
   Sampler sampler(sampling);
   TokenId token = sampler.Sample(*logits);
+  // Reusable logits buffer: the decode loop allocates nothing per step.
+  std::vector<float> next(spec_->config().vocab_size);
   for (int i = 0; i < max_new_tokens; ++i) {
     if (token == Tokenizer::kEos || kv_->seq_len() >= spec_->config().max_ctx) {
       break;
     }
     result.output_tokens.push_back(token);
-    auto next = executor_->DecodeStep(token, kv_.get());
-    if (!next.ok()) {
-      return next.status();
+    Status st = executor_->DecodeStepInto(token, kv_.get(), next.data());
+    if (!st.ok()) {
+      return st;
     }
-    token = sampler.Sample(*next);
+    token = sampler.Sample(next);
   }
   result.text = tokenizer_->Decode(result.output_tokens);
   return result;

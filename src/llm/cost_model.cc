@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/llm/kv_cache.h"
+
 namespace tzllm {
 
 double CostModel::MatmulFlops(const OpNode& node, int n_tokens) const {
@@ -45,9 +47,13 @@ SimDuration CostModel::PrefillOpTime(const OpNode& node, int n_tokens,
 SimDuration CostModel::DecodeOpTime(const OpNode& node, int pos,
                                     Backend backend) const {
   if (node.weight_bytes == 0) {
-    // Attention over the KV cache: stream 2 * kv_dim * pos f16 values.
-    const uint64_t kv_bytes =
-        2ull * spec_->config().kv_dim() * static_cast<uint64_t>(pos) * 2;
+    // Attention over the KV cache: stream K and V rows [0, pos) at the f16
+    // width the arena actually stores (KvStorage::kF16) — the same constants
+    // KvCache::CurrentBytes accounts with.
+    const uint64_t kv_bytes = kKvVectorsPerPosition *
+                              spec_->config().kv_dim() *
+                              static_cast<uint64_t>(pos) *
+                              kKvAccountedBytesPerElem;
     return TransferTime(kv_bytes, kCpuDecodeBw) + 2 * kMicrosecond;
   }
   if (node.kind == OpKind::kAttnNorm || node.kind == OpKind::kFfnNorm ||

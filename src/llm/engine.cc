@@ -9,7 +9,7 @@ LlmEngine::LlmEngine(const ModelSpec& spec,
                      const EngineOptions& options)
     : spec_(spec), weights_(std::move(weights)) {
   tokenizer_ = std::make_unique<Tokenizer>(spec_.config().vocab_size);
-  kv_ = std::make_unique<KvCache>(spec_);
+  kv_ = std::make_unique<KvCache>(spec_, KvStorageFor(options));
   executor_ = std::make_unique<TransformerExecutor>(&spec_, weights_.get(),
                                                     options);
 }
@@ -31,6 +31,10 @@ Result<std::vector<float>> LlmEngine::DecodeStep(TokenId token) {
   return executor_->DecodeStep(token, kv_.get());
 }
 
+Status LlmEngine::DecodeStepInto(TokenId token, float* logits) {
+  return executor_->DecodeStepInto(token, kv_.get(), logits);
+}
+
 Result<GenerationResult> LlmEngine::Generate(const std::string& prompt,
                                              int max_new_tokens,
                                              const Sampler::Options& sampling) {
@@ -47,16 +51,19 @@ Result<GenerationResult> LlmEngine::Generate(const std::string& prompt,
   Sampler sampler(sampling);
   TokenId token = sampler.Sample(*logits);
   const int limit = spec_.config().max_ctx;
+  // One logits buffer reused across the whole decode loop (DecodeStepInto
+  // writes in place; the by-value DecodeStep would allocate per step).
+  std::vector<float> next(spec_.config().vocab_size);
   for (int i = 0; i < max_new_tokens; ++i) {
     if (token == Tokenizer::kEos || kv_->seq_len() >= limit) {
       break;
     }
     result.output_tokens.push_back(token);
-    auto next = executor_->DecodeStep(token, kv_.get());
-    if (!next.ok()) {
-      return next.status();
+    Status st = executor_->DecodeStepInto(token, kv_.get(), next.data());
+    if (!st.ok()) {
+      return st;
     }
-    token = sampler.Sample(*next);
+    token = sampler.Sample(next);
   }
   result.text = tokenizer_->Decode(result.output_tokens);
   return result;

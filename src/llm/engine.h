@@ -48,7 +48,15 @@ class LlmEngine {
   // Lower-level API used by integration tests.
   Result<std::vector<float>> Prefill(const std::vector<TokenId>& tokens);
   Result<std::vector<float>> DecodeStep(TokenId token);
+  // Allocation-free decode: writes vocab_size floats into `logits`.
+  // Generate's token loop runs on this with one reusable buffer.
+  Status DecodeStepInto(TokenId token, float* logits);
   void ResetContext() { kv_->Reset(); }
+
+  // Introspection for benches/tests: the cache (resident-byte accounting)
+  // and the executor's attention-phase timer (EngineOptions::collect_stats).
+  const KvCache& kv() const { return *kv_; }
+  double attend_seconds() const { return executor_->attend_seconds(); }
 
  private:
   ModelSpec spec_;

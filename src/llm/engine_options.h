@@ -5,6 +5,8 @@
 #ifndef SRC_LLM_ENGINE_OPTIONS_H_
 #define SRC_LLM_ENGINE_OPTIONS_H_
 
+#include "src/llm/kv_cache.h"
+
 namespace tzllm {
 
 struct EngineOptions {
@@ -15,9 +17,24 @@ struct EngineOptions {
   int prefill_batch = 32;
   // Runs the seed's scalar float-activation kernels and per-call RoPE — the
   // performance/numerics baseline the benches and parity tests compare
-  // against. Implies per-position prefill.
+  // against. Implies per-position prefill and f32 KV storage.
   bool use_reference_kernels = false;
+  // Stores the KV cache at f32 instead of the default f16 — the full-width
+  // numerics baseline the f16-KV parity suite diffs against. Costs 2x cache
+  // footprint, so CurrentBytes() reports 2x the f16 accounting.
+  bool kv_f32 = false;
+  // Accumulates attention-phase wall time in the executor (bench
+  // instrumentation; off by default so production decode takes no clock
+  // reads).
+  bool collect_stats = false;
 };
+
+// Arena element type for the options' KV mode (reference kernels keep the
+// seed's full-width cache so the baseline numerics stay frozen).
+inline KvStorage KvStorageFor(const EngineOptions& options) {
+  return options.kv_f32 || options.use_reference_kernels ? KvStorage::kF32
+                                                         : KvStorage::kF16;
+}
 
 }  // namespace tzllm
 

@@ -1,10 +1,56 @@
 #include "src/llm/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 
 namespace tzllm {
+
+namespace {
+
+// Below this many multiply-accumulates the attention fork/join costs more
+// than the heads themselves (first decode positions, tiny test models); such
+// calls run inline on the caller. Same rationale and magnitude as the matmul
+// kernels' threshold in tensor.cc.
+constexpr uint64_t kAttnParallelMinWork = 48 * 1024;
+
+// Q.K dots for the attention scores, 4 independent accumulator lanes: a
+// strict serial float reduction cannot be reordered by the compiler, so the
+// lanes buy ILP/vectorization. The lane split is part of the function's
+// definition (same result on every path and thread count), not a
+// thread-dependent schedule.
+inline float DotQKF16(const float* q, const uint16_t* k, int n) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  int j = 0;
+  for (; j + 4 <= n; j += 4) {
+    s0 += q[j] * F16ToF32Fast(k[j]);
+    s1 += q[j + 1] * F16ToF32Fast(k[j + 1]);
+    s2 += q[j + 2] * F16ToF32Fast(k[j + 2]);
+    s3 += q[j + 3] * F16ToF32Fast(k[j + 3]);
+  }
+  for (; j < n; ++j) {
+    s0 += q[j] * F16ToF32Fast(k[j]);
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+inline float DotQKF32(const float* q, const float* k, int n) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  int j = 0;
+  for (; j + 4 <= n; j += 4) {
+    s0 += q[j] * k[j];
+    s1 += q[j + 1] * k[j + 1];
+    s2 += q[j + 2] * k[j + 2];
+    s3 += q[j + 3] * k[j + 3];
+  }
+  for (; j < n; ++j) {
+    s0 += q[j] * k[j];
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+}  // namespace
 
 void RmsNorm(const float* x, const float* gain, float* out, int n) {
   double sum = 0.0;
@@ -69,7 +115,8 @@ void ApplyRopeTable(float* vec, int n_heads, int head_dim, int pos,
 TransformerExecutor::TransformerExecutor(const ModelSpec* spec,
                                          WeightSource* weights,
                                          const EngineOptions& options)
-    : spec_(spec), weights_(weights), options_(options) {
+    : spec_(spec), weights_(weights), options_(options),
+      init_status_(spec->ValidateGeometry()) {
   if (options_.n_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.n_threads);
   }
@@ -121,7 +168,10 @@ void TransformerExecutor::EnsureWorkspace(int m) {
   gate_.resize(m * ff);
   up_.resize(m * ff);
   down_.resize(m * d);
-  scores_.resize(static_cast<size_t>(m) * c.max_ctx);
+  // One attention-scores row per pool part (each (position, head) work item
+  // fully rewrites its part's row before reading it), independent of m.
+  scores_.resize(static_cast<size_t>(std::max(1, options_.n_threads)) *
+                 c.max_ctx);
   workspace_m_ = m;
 }
 
@@ -142,34 +192,96 @@ Status TransformerExecutor::EmbedToken(TokenId token, float* hidden) {
   return OkStatus();
 }
 
-void TransformerExecutor::Attend(int layer, int pos, const float* q,
-                                 float* scores, float* out,
-                                 const KvCache& kv) const {
+void TransformerExecutor::Attend(int layer, int start, int m, const float* q,
+                                 float* out, const KvCache& kv) {
   const LlmConfig& c = spec_->config();
+  const int d = c.d_model;
   const int head_dim = c.head_dim();
-  const int group = c.n_heads / c.n_kv_heads;
+  const int n_heads = c.n_heads;
+  const int kv_dim = c.kv_dim();
+  const int group = n_heads / c.n_kv_heads;
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
-  for (int h = 0; h < c.n_heads; ++h) {
-    const int kv_head = h / group;
-    const float* qh = q + h * head_dim;
-    for (int p = 0; p <= pos; ++p) {
-      const float* kp = kv.KeyAt(layer, p) + kv_head * head_dim;
-      float dot = 0.0f;
-      for (int i = 0; i < head_dim; ++i) {
-        dot += qh[i] * kp[i];
+  const bool f16 = kv.storage() == KvStorage::kF16;
+  // Cache rows of a layer are contiguous per plane: row p == base + p*kv_dim.
+  const uint16_t* kbase16 = f16 ? kv.KeyHalfAt(layer, 0) : nullptr;
+  const uint16_t* vbase16 = f16 ? kv.ValueHalfAt(layer, 0) : nullptr;
+  const float* kbase32 = f16 ? nullptr : kv.KeyAt(layer, 0);
+  const float* vbase32 = f16 ? nullptr : kv.ValueAt(layer, 0);
+
+  // One flat work list of m x n_heads independent (position, head) items,
+  // split into one contiguous range per pool part (the same static
+  // partition as the matmul kernels, so the schedule — and the floats — is
+  // identical at every thread count). Each item fully writes scores[0, pos]
+  // before reading it, so one private max_ctx scratch row per part is
+  // enough; the items themselves never share state.
+  const uint64_t items = static_cast<uint64_t>(m) * n_heads;
+  auto run_items = [&](uint64_t w0, uint64_t w1, float* scores) {
+    for (uint64_t w = w0; w < w1; ++w) {
+      const int i = static_cast<int>(w / n_heads);
+      const int h = static_cast<int>(w % n_heads);
+      const int pos = start + i;
+      const int kv_head = h / group;
+      const float* qh = q + static_cast<size_t>(i) * d + h * head_dim;
+      const size_t head_off = static_cast<size_t>(kv_head) * head_dim;
+      if (f16) {
+        const uint16_t* kp = kbase16 + head_off;
+        for (int p = 0; p <= pos; ++p, kp += kv_dim) {
+          scores[p] = DotQKF16(qh, kp, head_dim) * scale;
+        }
+      } else {
+        const float* kp = kbase32 + head_off;
+        for (int p = 0; p <= pos; ++p, kp += kv_dim) {
+          scores[p] = DotQKF32(qh, kp, head_dim) * scale;
+        }
       }
-      scores[p] = dot * scale;
-    }
-    Softmax(scores, pos + 1);
-    float* oh = out + h * head_dim;
-    std::fill(oh, oh + head_dim, 0.0f);
-    for (int p = 0; p <= pos; ++p) {
-      const float* vp = kv.ValueAt(layer, p) + kv_head * head_dim;
-      const float w = scores[p];
-      for (int i = 0; i < head_dim; ++i) {
-        oh[i] += w * vp[i];
+      Softmax(scores, pos + 1);
+      float* oh = out + static_cast<size_t>(i) * d + h * head_dim;
+      std::fill(oh, oh + head_dim, 0.0f);
+      if (f16) {
+        const uint16_t* vp = vbase16 + head_off;
+        for (int p = 0; p <= pos; ++p, vp += kv_dim) {
+          const float wt = scores[p];
+          for (int j = 0; j < head_dim; ++j) {
+            oh[j] += wt * F16ToF32Fast(vp[j]);
+          }
+        }
+      } else {
+        const float* vp = vbase32 + head_off;
+        for (int p = 0; p <= pos; ++p, vp += kv_dim) {
+          const float wt = scores[p];
+          for (int j = 0; j < head_dim; ++j) {
+            oh[j] += wt * vp[j];
+          }
+        }
       }
     }
+  };
+
+  std::chrono::steady_clock::time_point t0;
+  if (options_.collect_stats) {
+    t0 = std::chrono::steady_clock::now();
+  }
+  // ~2 MACs per cached element per head; below the threshold the heads run
+  // inline on the caller.
+  const uint64_t work = items * static_cast<uint64_t>(start + m) * head_dim * 2;
+  if (pool_ != nullptr && items > 1 && work >= kAttnParallelMinWork) {
+    // Partition over part indices (chunk == 1 per part), not raw items, so
+    // each part knows its own scratch row; the item split per part mirrors
+    // the pool's contiguous static partition.
+    const uint64_t n_parts = static_cast<uint64_t>(pool_->n_threads());
+    pool_->ParallelFor(0, n_parts, [&](uint64_t p0, uint64_t p1) {
+      for (uint64_t part = p0; part < p1; ++part) {
+        run_items(part * items / n_parts, (part + 1) * items / n_parts,
+                  scores_.data() + part * c.max_ctx);
+      }
+    });
+  } else {
+    run_items(0, items, scores_.data());
+  }
+  if (options_.collect_stats) {
+    attend_seconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
   }
 }
 
@@ -204,7 +316,7 @@ Status TransformerExecutor::ForwardPosition(float* hidden, int pos,
     Rope(k_.data(), c.n_kv_heads, pos);
     TZLLM_RETURN_IF_ERROR(kv->Append(l, k_.data(), v_.data()));
 
-    Attend(l, pos, q_.data(), scores_.data(), attn_.data(), *kv);
+    Attend(l, pos, /*m=*/1, q_.data(), attn_.data(), *kv);
 
     TZLLM_ASSIGN_OR_RETURN(wo, Weights(TensorRole::kWo, l));
     MatVec(wo, d, d, attn_.data(), proj_.data());
@@ -281,19 +393,10 @@ Status TransformerExecutor::ForwardChunk(const TokenId* tokens, int m,
     }
     TZLLM_RETURN_IF_ERROR(kv->AppendBatch(l, m, k_.data(), v_.data()));
 
-    // Each position's attention is independent once the chunk's K/V rows
-    // are in the cache; causality is the p <= pos bound inside Attend.
-    auto attend_range = [&](uint64_t i0, uint64_t i1) {
-      for (uint64_t i = i0; i < i1; ++i) {
-        Attend(l, start + static_cast<int>(i), q_.data() + i * d,
-               scores_.data() + i * c.max_ctx, attn_.data() + i * d, *kv);
-      }
-    };
-    if (pool != nullptr && m > 1) {
-      pool->ParallelFor(0, m, attend_range);
-    } else {
-      attend_range(0, m);
-    }
+    // The whole chunk's attention is one fused call: every (position, head)
+    // pair is independent once the chunk's K/V rows are in the cache;
+    // causality is the p <= pos bound inside Attend.
+    Attend(l, start, m, q_.data(), attn_.data(), *kv);
 
     TZLLM_ASSIGN_OR_RETURN(wo, Weights(TensorRole::kWo, l));
     acts_.QuantizeRows(attn_.data(), m, d);
@@ -331,7 +434,7 @@ Status TransformerExecutor::ForwardChunk(const TokenId* tokens, int m,
   return OkStatus();
 }
 
-Result<std::vector<float>> TransformerExecutor::Logits(const float* hidden) {
+Status TransformerExecutor::LogitsInto(const float* hidden, float* out) {
   const LlmConfig& c = spec_->config();
   auto w_norm = Weights(TensorRole::kOutputNorm, -1);
   if (!w_norm.ok()) {
@@ -344,13 +447,19 @@ Result<std::vector<float>> TransformerExecutor::Logits(const float* hidden) {
   if (!head.ok()) {
     return head.status();
   }
-  std::vector<float> logits(c.vocab_size);
-  MatVec(*head, c.vocab_size, c.d_model, norm_.data(), logits.data());
+  MatVec(*head, c.vocab_size, c.d_model, norm_.data(), out);
+  return OkStatus();
+}
+
+Result<std::vector<float>> TransformerExecutor::Logits(const float* hidden) {
+  std::vector<float> logits(spec_->config().vocab_size);
+  TZLLM_RETURN_IF_ERROR(LogitsInto(hidden, logits.data()));
   return logits;
 }
 
 Result<std::vector<float>> TransformerExecutor::Prefill(
     const std::vector<TokenId>& tokens, KvCache* kv) {
+  TZLLM_RETURN_IF_ERROR(init_status_);
   if (tokens.empty()) {
     return Status(ErrorCode::kInvalidArgument, "empty prompt");
   }
@@ -377,6 +486,7 @@ Result<std::vector<float>> TransformerExecutor::PrefillPerPosition(
 
 Result<std::vector<float>> TransformerExecutor::ForwardPrompt(
     const std::vector<TokenId>& tokens, KvCache* kv) {
+  TZLLM_RETURN_IF_ERROR(init_status_);
   if (tokens.empty()) {
     return Status(ErrorCode::kInvalidArgument, "empty prompt");
   }
@@ -397,13 +507,21 @@ Result<std::vector<float>> TransformerExecutor::ForwardPrompt(
   return Logits(hiddens_.data() + (last_m - 1) * d);
 }
 
-Result<std::vector<float>> TransformerExecutor::DecodeStep(TokenId token,
-                                                           KvCache* kv) {
+Status TransformerExecutor::DecodeStepInto(TokenId token, KvCache* kv,
+                                           float* logits) {
+  TZLLM_RETURN_IF_ERROR(init_status_);
   EnsureWorkspace(1);
   float* hidden = hiddens_.data();
   TZLLM_RETURN_IF_ERROR(EmbedToken(token, hidden));
   TZLLM_RETURN_IF_ERROR(ForwardPosition(hidden, kv->seq_len(), kv));
-  return Logits(hidden);
+  return LogitsInto(hidden, logits);
+}
+
+Result<std::vector<float>> TransformerExecutor::DecodeStep(TokenId token,
+                                                           KvCache* kv) {
+  std::vector<float> logits(spec_->config().vocab_size);
+  TZLLM_RETURN_IF_ERROR(DecodeStepInto(token, kv, logits.data()));
+  return logits;
 }
 
 }  // namespace tzllm

@@ -76,7 +76,17 @@ class TransformerExecutor {
   // One incremental decode step for `token` at the cache's current position.
   Result<std::vector<float>> DecodeStep(TokenId token, KvCache* kv);
 
+  // Same step into a caller-provided buffer of vocab_size floats — the
+  // allocation-free decode path DecodeStep routes through (ROADMAP: the
+  // by-value API allocated the logits vector every step).
+  Status DecodeStepInto(TokenId token, KvCache* kv, float* logits);
+
   const EngineOptions& options() const { return options_; }
+
+  // Wall-clock seconds spent in Attend since construction / ResetStats.
+  // Only accumulated when options.collect_stats is set.
+  double attend_seconds() const { return attend_seconds_; }
+  void ResetStats() { attend_seconds_ = 0.0; }
 
  private:
   // Forward pass of one position given its embedding in `hidden` (d_model
@@ -88,11 +98,18 @@ class TransformerExecutor {
   // Forward pass of `m` prompt positions at once; leaves the residual
   // streams in hiddens_.
   Status ForwardChunk(const TokenId* tokens, int m, KvCache* kv);
-  // Causal attention for one position: fills out[d_model] from q[d_model]
-  // and the KV cache rows [0, pos] of `layer`.
-  void Attend(int layer, int pos, const float* q, float* scores, float* out,
-              const KvCache& kv) const;
+  // Fused causal attention for `m` consecutive positions starting at
+  // `start`: fills out rows [m][d_model] from q rows [m][d_model] and the KV
+  // cache rows [0, start + i] of `layer`. The m x n_heads head loops are one
+  // flat work list, statically partitioned over the pool (same deterministic
+  // schedule as the matmul kernels): each (position, head) item is
+  // independent, so the result is bit-identical at any thread count. Reads
+  // the cache at its storage width (f16 expand via F16ToF32Fast, or the f32
+  // reference arena).
+  void Attend(int layer, int start, int m, const float* q, float* out,
+              const KvCache& kv);
   Result<std::vector<float>> Logits(const float* hidden);
+  Status LogitsInto(const float* hidden, float* out);
   Status EmbedToken(TokenId token, float* hidden);
 
   Result<const uint8_t*> Weights(TensorRole role, int layer);
@@ -108,9 +125,14 @@ class TransformerExecutor {
   WeightSource* weights_;
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
+  // Geometry validation result, computed once; entry points fail fast on it
+  // (e.g. odd head_dim would read past the head in the RoPE pair loops).
+  Status init_status_;
+  double attend_seconds_ = 0.0;
 
   // Reusable workspace (grown once; no allocation in the token loop). All
-  // are position-major: row i belongs to chunk position i.
+  // are position-major: row i belongs to chunk position i — except scores_,
+  // which holds one max_ctx attention-scratch row per pool part.
   int workspace_m_ = 0;
   std::vector<float> hiddens_, norm_, q_, k_, v_, attn_, proj_, gate_, up_,
       down_, scores_;

@@ -2,15 +2,22 @@
 
 #include <cstring>
 
+#include "src/llm/tensor.h"
+
 namespace tzllm {
 
-KvCache::KvCache(const ModelSpec& spec)
+KvCache::KvCache(const ModelSpec& spec, KvStorage storage)
     : n_layers_(spec.config().n_layers),
       kv_dim_(spec.config().kv_dim()),
       max_ctx_(spec.config().max_ctx),
+      storage_(storage),
       filled_(n_layers_, 0) {
   v_plane_ = static_cast<size_t>(n_layers_) * max_ctx_ * kv_dim_;
-  arena_.resize(v_plane_ * kKvVectorsPerPosition);
+  if (storage_ == KvStorage::kF16) {
+    arena16_.resize(v_plane_ * kKvVectorsPerPosition);
+  } else {
+    arena32_.resize(v_plane_ * kKvVectorsPerPosition);
+  }
 }
 
 Status KvCache::Append(int layer, const float* k, const float* v) {
@@ -28,9 +35,18 @@ Status KvCache::AppendBatch(int layer, int m, const float* k, const float* v) {
     return ResourceExhausted("KV cache full (context length exceeded)");
   }
   const size_t off = Offset(layer, filled_[layer]);
-  const size_t bytes = static_cast<size_t>(m) * kv_dim_ * sizeof(float);
-  std::memcpy(arena_.data() + off, k, bytes);
-  std::memcpy(arena_.data() + v_plane_ + off, v, bytes);
+  const size_t n = static_cast<size_t>(m) * kv_dim_;
+  if (storage_ == KvStorage::kF16) {
+    uint16_t* kd = arena16_.data() + off;
+    uint16_t* vd = arena16_.data() + v_plane_ + off;
+    for (size_t i = 0; i < n; ++i) {
+      kd[i] = F32ToF16(k[i]);
+      vd[i] = F32ToF16(v[i]);
+    }
+  } else {
+    std::memcpy(arena32_.data() + off, k, n * sizeof(float));
+    std::memcpy(arena32_.data() + v_plane_ + off, v, n * sizeof(float));
+  }
   filled_[layer] += m;
   return OkStatus();
 }
@@ -47,7 +63,13 @@ uint64_t KvCache::CurrentBytes() const {
   for (int l = 0; l < n_layers_; ++l) {
     positions += filled_[l];
   }
-  return positions * kv_dim_ * kKvVectorsPerPosition * kKvAccountedBytesPerElem;
+  return positions * kv_dim_ * kKvVectorsPerPosition * bytes_per_elem();
+}
+
+uint64_t KvCache::ArenaBytes() const {
+  return storage_ == KvStorage::kF16
+             ? arena16_.size() * sizeof(uint16_t)
+             : arena32_.size() * sizeof(float);
 }
 
 }  // namespace tzllm

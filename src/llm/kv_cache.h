@@ -4,9 +4,13 @@
 // fully released after inference).
 //
 // Storage is one flat contiguous arena — a K plane then a V plane, each laid
-// out [layer][pos][kv_dim] — so per-layer appends are a single memcpy into a
-// contiguous run and attention walks sequential memory, instead of the seed's
-// vector-of-vectors.
+// out [layer][pos][kv_dim] — so per-layer appends are a single contiguous
+// run and attention walks sequential memory, instead of the seed's
+// vector-of-vectors. Entries are stored at f16 by default (convert on
+// Append, expand in the attention dot), which halves the cache footprint and
+// makes CurrentBytes() equal the bytes actually resident — the same width
+// the secure scratch budget accounts (paper §4.2). KvStorage::kF32 keeps a
+// full-width mode as the numerics baseline for the f16 parity suite.
 
 #ifndef SRC_LLM_KV_CACHE_H_
 #define SRC_LLM_KV_CACHE_H_
@@ -21,15 +25,29 @@ namespace tzllm {
 
 // Cached vectors per position per layer: one K and one V.
 inline constexpr uint64_t kKvVectorsPerPosition = 2;
-// The secure scratch budget accounts KV entries at f16 width (paper §4.2),
-// independent of the f32 functional storage here.
+// Element width of the default f16 storage — the width the secure scratch
+// budget and the decode cost model assume. The arena really stores entries
+// at this width (KvStorage::kF16), so accounting equals residency.
 inline constexpr uint64_t kKvAccountedBytesPerElem = 2;
+
+// Element type of the cache arena. kF16 is the production mode; kF32 is the
+// reference baseline the parity tests diff the half-width path against.
+enum class KvStorage : uint8_t {
+  kF16 = 0,
+  kF32 = 1,
+};
 
 class KvCache {
  public:
-  explicit KvCache(const ModelSpec& spec);
+  explicit KvCache(const ModelSpec& spec, KvStorage storage = KvStorage::kF16);
 
-  // Appends one position's K and V vectors (kv_dim floats each) for `layer`.
+  KvStorage storage() const { return storage_; }
+  uint64_t bytes_per_elem() const {
+    return storage_ == KvStorage::kF16 ? 2 : 4;
+  }
+
+  // Appends one position's K and V vectors (kv_dim floats each) for `layer`;
+  // converted to the storage width on the way in.
   Status Append(int layer, const float* k, const float* v);
 
   // Appends `m` consecutive positions for `layer` in one call; `k` and `v`
@@ -44,17 +62,36 @@ class KvCache {
   void Reset();
 
   int max_ctx() const { return max_ctx_; }
+  int kv_dim() const { return kv_dim_; }
 
+  // f16-mode accessors (valid only when storage() == kF16). Consecutive
+  // positions of a layer stay adjacent: KeyHalfAt(l, p + 1) ==
+  // KeyHalfAt(l, p) + kv_dim().
+  const uint16_t* KeyHalfAt(int layer, int pos) const {
+    return arena16_.data() + Offset(layer, pos);
+  }
+  const uint16_t* ValueHalfAt(int layer, int pos) const {
+    return arena16_.data() + v_plane_ + Offset(layer, pos);
+  }
+
+  // f32-mode accessors (valid only when storage() == kF32).
   const float* KeyAt(int layer, int pos) const {
-    return arena_.data() + Offset(layer, pos);
+    return arena32_.data() + Offset(layer, pos);
   }
   const float* ValueAt(int layer, int pos) const {
-    return arena_.data() + v_plane_ + Offset(layer, pos);
+    return arena32_.data() + v_plane_ + Offset(layer, pos);
   }
 
-  // Accounted bytes of everything appended so far, from per-layer fill marks
-  // (mid-forward-pass, layers already appended this position count too).
+  // Bytes of everything appended so far at the storage width, from per-layer
+  // fill marks (mid-forward-pass, layers already appended this position
+  // count too). In kF16 mode this is exactly what the scratch budget
+  // accounts (kKvAccountedBytesPerElem) — no silent 2x divergence from the
+  // arena's real element width.
   uint64_t CurrentBytes() const;
+
+  // Total bytes of the preallocated arena (the full max_ctx footprint).
+  // CurrentBytes() == ArenaBytes() once every layer is filled to max_ctx.
+  uint64_t ArenaBytes() const;
 
  private:
   size_t Offset(int layer, int pos) const {
@@ -64,10 +101,14 @@ class KvCache {
   int n_layers_;
   int kv_dim_;
   int max_ctx_;
+  KvStorage storage_;
   int seq_len_ = 0;
-  std::vector<int> filled_;   // Per-layer appended positions.
-  std::vector<float> arena_;  // K plane then V plane, [layer][pos][kv_dim].
-  size_t v_plane_ = 0;        // Offset of the V plane within the arena.
+  std::vector<int> filled_;  // Per-layer appended positions.
+  // Exactly one of the arenas is sized, per storage_. Each is K plane then
+  // V plane, [layer][pos][kv_dim].
+  std::vector<uint16_t> arena16_;
+  std::vector<float> arena32_;
+  size_t v_plane_ = 0;  // Offset of the V plane within the arena.
 };
 
 }  // namespace tzllm

@@ -112,6 +112,33 @@ ModelSpec ModelSpec::Create(const LlmConfig& config) {
   return spec;
 }
 
+Status ModelSpec::ValidateGeometry() const {
+  const LlmConfig& c = config_;
+  if (c.n_layers <= 0 || c.d_model <= 0 || c.n_heads <= 0 ||
+      c.n_kv_heads <= 0 || c.d_ff <= 0 || c.vocab_size <= 0 ||
+      c.max_ctx <= 0) {
+    return InvalidArgument("model config has a non-positive dimension");
+  }
+  if (c.d_model % c.n_heads != 0) {
+    return InvalidArgument("d_model=" + std::to_string(c.d_model) +
+                           " not divisible by n_heads=" +
+                           std::to_string(c.n_heads));
+  }
+  if (c.head_dim() % 2 != 0) {
+    return InvalidArgument(
+        "head_dim=" + std::to_string(c.head_dim()) +
+        " is odd: RoPE rotates (i, i+1) element pairs and requires an even "
+        "head_dim");
+  }
+  if (c.n_heads % c.n_kv_heads != 0) {
+    return InvalidArgument("n_heads=" + std::to_string(c.n_heads) +
+                           " not divisible by n_kv_heads=" +
+                           std::to_string(c.n_kv_heads) +
+                           " (GQA groups must be uniform)");
+  }
+  return OkStatus();
+}
+
 const TensorSpec* ModelSpec::Find(TensorRole role, int layer) const {
   for (const TensorSpec& t : tensors_) {
     if (t.role == role && t.layer == layer) {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/common/units.h"
 #include "src/llm/tensor.h"
 
@@ -104,13 +105,22 @@ class ModelSpec {
   // Finds the tensor for (role, layer); layer = -1 for globals.
   const TensorSpec* Find(TensorRole role, int layer) const;
 
+  // Head-geometry checks the functional engine depends on: positive
+  // dimensions, d_model divisible into heads, GQA head grouping, and — the
+  // sharp edge — an even head_dim (RoPE rotates (i, i+1) element pairs; an
+  // odd head_dim would read one float past every head). The executor fails
+  // fast on this instead of corrupting activations.
+  Status ValidateGeometry() const;
+
   // Rotation table covering positions [0, max_ctx). Empty for paper-scale
   // (non-materializable) specs — they never run the functional engine — and
   // for configs without a valid head geometry; the executor falls back to
   // per-call ApplyRope when empty.
   const RopeTable& rope() const { return rope_; }
 
-  // KV-cache bytes for a context of `n_tokens` (f16 K and V per layer).
+  // KV-cache bytes for a context of `n_tokens` (f16 K and V per layer —
+  // the production KvStorage::kF16 arena width; the f32 reference mode
+  // stores, and must be budgeted at, twice this).
   uint64_t KvCacheBytes(int n_tokens) const;
   // Activation workspace bytes (fixed-size buffers, §4.2).
   uint64_t ActivationBytes() const;

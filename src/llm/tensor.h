@@ -34,6 +34,26 @@ uint64_t DTypeByteSize(DType dtype, uint64_t elems);
 uint16_t F32ToF16(float value);
 float F16ToF32(uint16_t half);
 
+// Branchless f16->f32 for hot loops that stream half floats (the f16 KV
+// cache attention): shift the sign-stripped half into the f32 mantissa slot
+// and rescale by 2^112 to rebias the exponent. Bit-exact with F16ToF32 for
+// every finite half including subnormals; f16 inf/NaN come out as large
+// finite floats instead (KV entries are finite by construction — F32ToF16
+// only emits inf past |x| > 65504, where the forward pass has already
+// diverged). Unlike a 65536-entry table this has no gather, so the
+// surrounding dot loop auto-vectorizes.
+inline float F16ToF32Fast(uint16_t half) {
+  const uint32_t sign = static_cast<uint32_t>(half & 0x8000u) << 16;
+  uint32_t bits = static_cast<uint32_t>(half & 0x7FFFu) << 13;
+  float f;
+  __builtin_memcpy(&f, &bits, 4);
+  f *= 0x1p112f;  // 2^112: exponent rebias 15 -> 127.
+  __builtin_memcpy(&bits, &f, 4);
+  bits |= sign;
+  __builtin_memcpy(&f, &bits, 4);
+  return f;
+}
+
 // Quantizes `n` floats (n must be a multiple of 32 — pad beforehand) into
 // Q8_0 blocks at dst (DTypeByteSize(kQ8_0, n) bytes).
 void QuantizeQ8(const float* src, uint64_t n, uint8_t* dst);

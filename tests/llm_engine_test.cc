@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace tzllm {
 namespace {
 
@@ -58,6 +60,35 @@ TEST(EngineTest, EmptyPromptRejected) {
   auto engine = LlmEngine::CreateUnprotected(
       ModelSpec::Create(TestTinyModel()), 9);
   EXPECT_FALSE(engine->Generate("", 4).ok());
+}
+
+TEST(EngineTest, DecodeStepIntoMatchesByValueDecodeStep) {
+  const ModelSpec spec = ModelSpec::Create(TestTinyModel());
+  auto a = LlmEngine::CreateUnprotected(spec, 31);
+  auto b = LlmEngine::CreateUnprotected(spec, 31);
+  const auto tokens = a->tokenizer().Encode("hello world");
+  ASSERT_TRUE(a->Prefill(tokens).ok());
+  ASSERT_TRUE(b->Prefill(tokens).ok());
+  std::vector<float> buf(spec.config().vocab_size);
+  for (TokenId t : {2, 5, 11}) {
+    auto by_value = a->DecodeStep(t);
+    ASSERT_TRUE(by_value.ok());
+    ASSERT_TRUE(b->DecodeStepInto(t, buf.data()).ok());
+    EXPECT_EQ(*by_value, buf);
+  }
+}
+
+TEST(EngineTest, KvResidentBytesVisibleAndF16Accounted) {
+  const ModelSpec spec = ModelSpec::Create(TestTinyModel());
+  auto engine = LlmEngine::CreateUnprotected(spec, 7);
+  const auto tokens = engine->tokenizer().Encode("count my cache bytes");
+  ASSERT_TRUE(engine->Prefill(tokens).ok());
+  const uint64_t expected =
+      static_cast<uint64_t>(tokens.size()) * spec.config().n_layers *
+      spec.config().kv_dim() * kKvVectorsPerPosition *
+      kKvAccountedBytesPerElem;
+  EXPECT_EQ(engine->kv().CurrentBytes(), expected);
+  EXPECT_EQ(engine->kv().storage(), KvStorage::kF16);
 }
 
 TEST(EngineTest, LowLevelApiMatchesGenerate) {

@@ -146,5 +146,40 @@ TEST_F(ExecutorTest, ContextLimitEnforced) {
   EXPECT_FALSE(executor_.Prefill(long_prompt, &kv_).ok());
 }
 
+TEST_F(ExecutorTest, DecodeStepIntoMatchesByValueApi) {
+  ASSERT_TRUE(executor_.Prefill({5, 6, 7}, &kv_).ok());
+  KvCache kv2(spec_);
+  TransformerExecutor exec2(&spec_, &source_);
+  ASSERT_TRUE(exec2.Prefill({5, 6, 7}, &kv2).ok());
+
+  auto by_value = executor_.DecodeStep(8, &kv_);
+  ASSERT_TRUE(by_value.ok());
+  std::vector<float> buf(spec_.config().vocab_size, -1e30f);
+  ASSERT_TRUE(exec2.DecodeStepInto(8, &kv2, buf.data()).ok());
+  EXPECT_EQ(*by_value, buf);  // Same path, same floats.
+}
+
+TEST_F(ExecutorTest, RejectsOddHeadDimGeometry) {
+  // head_dim = 60 / 4 = 15: the RoPE pair loops would read head[i + 1] one
+  // float past the head. The executor must fail fast with a clear status,
+  // on every entry point, instead of computing garbage.
+  LlmConfig bad = TestTinyModel();
+  bad.d_model = 60;
+  bad.n_heads = 4;
+  bad.n_kv_heads = 2;
+  const ModelSpec bad_spec = ModelSpec::Create(bad);
+  const auto weights = Tzguf::ReferenceWeights(bad_spec, 77);
+  HostWeightSource source(weights);
+  TransformerExecutor exec(&bad_spec, &source);
+  KvCache kv(bad_spec);
+  auto prefill = exec.Prefill({1, 2}, &kv);
+  ASSERT_FALSE(prefill.ok());
+  EXPECT_EQ(prefill.status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(prefill.status().message().find("head_dim"), std::string::npos);
+  std::vector<float> buf(bad.vocab_size);
+  EXPECT_FALSE(exec.DecodeStepInto(1, &kv, buf.data()).ok());
+  EXPECT_FALSE(exec.ForwardPrompt({1, 2}, &kv).ok());
+}
+
 }  // namespace
 }  // namespace tzllm

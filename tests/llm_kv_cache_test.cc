@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "src/llm/tensor.h"
+
 namespace tzllm {
 namespace {
 
@@ -15,6 +17,8 @@ class KvCacheTest : public ::testing::Test {
   int n_layers() const { return spec_.config().n_layers; }
   int max_ctx() const { return spec_.config().max_ctx; }
 
+  // Small integers: exactly representable at f16, so f16-mode round trips
+  // can assert equality rather than tolerance.
   std::vector<float> Vec(float base) const {
     std::vector<float> v(kv_dim());
     for (int i = 0; i < kv_dim(); ++i) {
@@ -24,15 +28,53 @@ class KvCacheTest : public ::testing::Test {
   }
 
   ModelSpec spec_;
-  KvCache kv_;
+  KvCache kv_;  // Default storage: f16.
 };
 
-TEST_F(KvCacheTest, AppendRoundTrips) {
+TEST_F(KvCacheTest, DefaultsToF16Storage) {
+  EXPECT_EQ(kv_.storage(), KvStorage::kF16);
+  EXPECT_EQ(kv_.bytes_per_elem(), kKvAccountedBytesPerElem);
+}
+
+TEST_F(KvCacheTest, AppendRoundTripsThroughF16) {
   const auto k = Vec(1.0f), v = Vec(100.0f);
   ASSERT_TRUE(kv_.Append(0, k.data(), v.data()).ok());
   for (int i = 0; i < kv_dim(); ++i) {
-    EXPECT_EQ(kv_.KeyAt(0, 0)[i], k[i]);
-    EXPECT_EQ(kv_.ValueAt(0, 0)[i], v[i]);
+    EXPECT_EQ(F16ToF32(kv_.KeyHalfAt(0, 0)[i]), k[i]);
+    EXPECT_EQ(F16ToF32(kv_.ValueHalfAt(0, 0)[i]), v[i]);
+  }
+}
+
+TEST_F(KvCacheTest, F16RoundTripIsRoundToNearest) {
+  // Non-representable values land on the nearest f16, not garbage: the
+  // storage really is half-precision, within its ~2^-11 relative step.
+  std::vector<float> k(kv_dim()), v(kv_dim());
+  for (int i = 0; i < kv_dim(); ++i) {
+    k[i] = 0.1f + 0.001f * i;
+    v[i] = -1.0f / (i + 3);
+  }
+  ASSERT_TRUE(kv_.Append(0, k.data(), v.data()).ok());
+  for (int i = 0; i < kv_dim(); ++i) {
+    EXPECT_NEAR(F16ToF32(kv_.KeyHalfAt(0, 0)[i]), k[i],
+                std::abs(k[i]) * 1e-3f + 1e-6f);
+    EXPECT_NEAR(F16ToF32(kv_.ValueHalfAt(0, 0)[i]), v[i],
+                std::abs(v[i]) * 1e-3f + 1e-6f);
+    EXPECT_EQ(kv_.KeyHalfAt(0, 0)[i], F32ToF16(k[i]));
+  }
+}
+
+TEST_F(KvCacheTest, F32ReferenceModeStoresExactFloats) {
+  KvCache ref(spec_, KvStorage::kF32);
+  EXPECT_EQ(ref.bytes_per_elem(), 4u);
+  std::vector<float> k(kv_dim()), v(kv_dim());
+  for (int i = 0; i < kv_dim(); ++i) {
+    k[i] = 0.1f + 0.001f * i;
+    v[i] = -2.0f / (i + 7);
+  }
+  ASSERT_TRUE(ref.Append(0, k.data(), v.data()).ok());
+  for (int i = 0; i < kv_dim(); ++i) {
+    EXPECT_EQ(ref.KeyAt(0, 0)[i], k[i]);
+    EXPECT_EQ(ref.ValueAt(0, 0)[i], v[i]);
   }
 }
 
@@ -54,8 +96,8 @@ TEST_F(KvCacheTest, AppendBatchMatchesSequentialAppends) {
   }
   for (int p = 0; p < m; ++p) {
     for (int i = 0; i < kv_dim(); ++i) {
-      EXPECT_EQ(kv_.KeyAt(0, p)[i], seq.KeyAt(0, p)[i]);
-      EXPECT_EQ(kv_.ValueAt(0, p)[i], seq.ValueAt(0, p)[i]);
+      EXPECT_EQ(kv_.KeyHalfAt(0, p)[i], seq.KeyHalfAt(0, p)[i]);
+      EXPECT_EQ(kv_.ValueHalfAt(0, p)[i], seq.ValueHalfAt(0, p)[i]);
     }
   }
 }
@@ -65,8 +107,8 @@ TEST_F(KvCacheTest, FlatArenaIsContiguousPerLayer) {
   // are adjacent in memory (attention walks sequential cache lines).
   std::vector<float> zeros(2 * kv_dim(), 0.0f);
   ASSERT_TRUE(kv_.AppendBatch(1, 2, zeros.data(), zeros.data()).ok());
-  EXPECT_EQ(kv_.KeyAt(1, 1), kv_.KeyAt(1, 0) + kv_dim());
-  EXPECT_EQ(kv_.ValueAt(1, 1), kv_.ValueAt(1, 0) + kv_dim());
+  EXPECT_EQ(kv_.KeyHalfAt(1, 1), kv_.KeyHalfAt(1, 0) + kv_dim());
+  EXPECT_EQ(kv_.ValueHalfAt(1, 1), kv_.ValueHalfAt(1, 0) + kv_dim());
 }
 
 TEST_F(KvCacheTest, RejectsBadLayerAndBadBatch) {
@@ -105,6 +147,40 @@ TEST_F(KvCacheTest, CurrentBytesTracksPerLayerFills) {
   kv_.FinishPosition();
   EXPECT_EQ(kv_.seq_len(), 1);
   EXPECT_EQ(kv_.CurrentBytes(), 2 * per_position);
+}
+
+// The ISSUE 2 regression: accounted bytes must equal the bytes actually
+// resident in the arena — the seed accounted f16 (2 B/elem) while storing
+// f32, silently under-reporting by 2x. Filling the whole cache makes the
+// comparison exact: every accounted entry is arena-resident and vice versa.
+TEST_F(KvCacheTest, CurrentBytesEqualsResidentArenaBytes) {
+  std::vector<float> row(static_cast<size_t>(max_ctx()) * kv_dim(), 0.25f);
+  for (int l = 0; l < n_layers(); ++l) {
+    ASSERT_TRUE(kv_.AppendBatch(l, max_ctx(), row.data(), row.data()).ok());
+  }
+  kv_.FinishPositions(max_ctx());
+  EXPECT_EQ(kv_.CurrentBytes(), kv_.ArenaBytes());
+  // And the accounting identity holds element-wise: positions * kv_dim * 2
+  // vectors * sizeof(stored element).
+  EXPECT_EQ(kv_.CurrentBytes(),
+            static_cast<uint64_t>(n_layers()) * max_ctx() * kv_dim() *
+                kKvVectorsPerPosition * sizeof(uint16_t));
+
+  // Same invariant in the f32 reference mode (accounted at its real width).
+  KvCache ref(spec_, KvStorage::kF32);
+  for (int l = 0; l < n_layers(); ++l) {
+    ASSERT_TRUE(ref.AppendBatch(l, max_ctx(), row.data(), row.data()).ok());
+  }
+  ref.FinishPositions(max_ctx());
+  EXPECT_EQ(ref.CurrentBytes(), ref.ArenaBytes());
+}
+
+TEST_F(KvCacheTest, F16HalvesFootprintVsF32Reference) {
+  KvCache ref(spec_, KvStorage::kF32);
+  EXPECT_EQ(2 * kv_.ArenaBytes(), ref.ArenaBytes());
+  // ModelSpec's scratch-budget accounting (f16) now matches the real arena.
+  EXPECT_EQ(kv_.ArenaBytes(),
+            spec_.KvCacheBytes(max_ctx()));
 }
 
 TEST_F(KvCacheTest, ResetClearsEverything) {

@@ -66,6 +66,38 @@ TEST(ModelSpecTest, KvCacheAndActivationAccounting) {
   EXPECT_LT(spec.ActivationBytes(), 1 * kGiB);
 }
 
+TEST(ModelSpecTest, ValidateGeometryAcceptsAllShippedConfigs) {
+  for (const LlmConfig& c : PaperModels()) {
+    EXPECT_TRUE(ModelSpec::Create(c).ValidateGeometry().ok()) << c.name;
+  }
+  EXPECT_TRUE(ModelSpec::Create(TestTinyModel()).ValidateGeometry().ok());
+  EXPECT_TRUE(ModelSpec::Create(TestSmallModel()).ValidateGeometry().ok());
+}
+
+TEST(ModelSpecTest, ValidateGeometryRejectsOddHeadDim) {
+  LlmConfig bad = TestTinyModel();
+  bad.d_model = 60;  // 60 / 4 heads = head_dim 15 (odd).
+  const Status st = ModelSpec::Create(bad).ValidateGeometry();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("head_dim"), std::string::npos);
+  EXPECT_NE(st.message().find("even"), std::string::npos);
+}
+
+TEST(ModelSpecTest, ValidateGeometryRejectsBrokenShapes) {
+  LlmConfig indivisible = TestTinyModel();
+  indivisible.n_heads = 3;  // 64 % 3 != 0.
+  EXPECT_FALSE(ModelSpec::Create(indivisible).ValidateGeometry().ok());
+
+  LlmConfig ragged_gqa = TestTinyModel();
+  ragged_gqa.n_kv_heads = 3;  // 4 heads % 3 kv heads != 0.
+  EXPECT_FALSE(ModelSpec::Create(ragged_gqa).ValidateGeometry().ok());
+
+  LlmConfig empty = TestTinyModel();
+  empty.n_layers = 0;
+  EXPECT_FALSE(ModelSpec::Create(empty).ValidateGeometry().ok());
+}
+
 TEST(ModelSpecTest, GqaGeometry) {
   const LlmConfig llama = Llama3_8B();
   EXPECT_EQ(llama.head_dim(), 128);

@@ -34,6 +34,27 @@ TEST(F16Test, OverflowToInfinity) {
   EXPECT_TRUE(std::isinf(F16ToF32(0x7C00)));
 }
 
+TEST(F16Test, FastExpandMatchesReferenceForAllFiniteHalves) {
+  // The attention hot path expands the f16 KV arena with the branchless
+  // magic-multiply converter; it must agree bit-for-bit with the reference
+  // converter on every finite half, including zeros and subnormals. (f16
+  // inf/NaN are excluded by contract: KV entries are finite.)
+  for (uint32_t h = 0; h < 65536; ++h) {
+    const uint16_t half = static_cast<uint16_t>(h);
+    if ((half & 0x7C00) == 0x7C00) {
+      continue;  // Exponent all-ones: inf/NaN, outside the fast domain.
+    }
+    const float ref = F16ToF32(half);
+    const float fast = F16ToF32Fast(half);
+    EXPECT_EQ(ref, fast) << "half=0x" << std::hex << h;
+    // Signed zero keeps its sign bit too.
+    if (ref == 0.0f) {
+      EXPECT_EQ(std::signbit(ref), std::signbit(fast)) << "half=0x" << std::hex
+                                                       << h;
+    }
+  }
+}
+
 TEST(DTypeTest, ByteSizes) {
   EXPECT_EQ(DTypeByteSize(DType::kF32, 10), 40u);
   EXPECT_EQ(DTypeByteSize(DType::kF16, 10), 20u);
