@@ -1,8 +1,31 @@
 #include "src/common/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 namespace tzllm {
+
+namespace {
+
+// Clears the reentrancy flag even if `body` throws.
+class ReentrancyGuard {
+ public:
+  explicit ReentrancyGuard(std::atomic<bool>* flag) : flag_(flag) {
+    if (flag_->exchange(true, std::memory_order_acquire)) {
+      std::fprintf(stderr,
+                   "ThreadPool::ParallelFor is not reentrant: nested or "
+                   "concurrent call on the same pool would deadlock\n");
+      std::abort();
+    }
+  }
+  ~ReentrancyGuard() { flag_->store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool>* flag_;
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(int n_threads) : n_threads_(std::max(1, n_threads)) {
   workers_.reserve(n_threads_ - 1);
@@ -60,6 +83,10 @@ void ThreadPool::ParallelFor(
   if (begin >= end) {
     return;
   }
+  // The guard covers the inline fast path too: nesting there happens to be
+  // harmless today, but enforcing the documented contract uniformly keeps a
+  // body that "worked" on a 1-thread pool from deadlocking on a larger one.
+  ReentrancyGuard guard(&in_parallel_for_);
   const uint64_t span = end - begin;
   if (workers_.empty() || span == 1) {
     body(begin, end);

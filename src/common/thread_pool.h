@@ -9,6 +9,7 @@
 #ifndef SRC_COMMON_THREAD_POOL_H_
 #define SRC_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -33,7 +34,11 @@ class ThreadPool {
   // Runs body(chunk_begin, chunk_end) over a static partition of
   // [begin, end): part i covers [begin + i*chunk, ...), one part per thread.
   // Blocks until every part finished. Not reentrant: body must not call
-  // ParallelFor on the same pool.
+  // ParallelFor on the same pool — with workers present a nested call would
+  // publish a new epoch while the outer one is still pending and deadlock
+  // the outer caller. Enforced: a nested (or concurrent) call aborts with a
+  // diagnostic instead of hanging. The check is two relaxed atomic ops,
+  // noise next to the fork/join handoff, so it stays on in release builds.
   void ParallelFor(uint64_t begin, uint64_t end,
                    const std::function<void(uint64_t, uint64_t)>& body);
 
@@ -49,6 +54,8 @@ class ThreadPool {
   uint64_t epoch_ = 0;                // Incremented per ParallelFor.
   int pending_ = 0;                   // Workers still running this epoch.
   bool stop_ = false;
+  // Reentrancy guard: set for the duration of a ParallelFor call.
+  std::atomic<bool> in_parallel_for_{false};
 
   // Current epoch's task (guarded by mu_ for publication).
   const std::function<void(uint64_t, uint64_t)>* body_ = nullptr;

@@ -74,7 +74,8 @@ Status LlmTa::LoadModel(const std::string& model_id, SchedulePolicy policy) {
   // 5. Framework state: tokenizer (checkpointable) + executor.
   tokenizer_ = std::make_unique<Tokenizer>(spec_->config().vocab_size);
   weights_ = std::make_unique<SecureWeightSource>(this);
-  kv_ = std::make_unique<KvCache>(*spec_, KvStorageFor(engine_options_));
+  kv_ = std::make_unique<KvCache>(*spec_, KvStorageFor(engine_options_),
+                                  KernelsFor(engine_options_));
   executor_ = std::make_unique<TransformerExecutor>(spec_.get(),
                                                     weights_.get(),
                                                     engine_options_);

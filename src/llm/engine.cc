@@ -9,7 +9,8 @@ LlmEngine::LlmEngine(const ModelSpec& spec,
                      const EngineOptions& options)
     : spec_(spec), weights_(std::move(weights)) {
   tokenizer_ = std::make_unique<Tokenizer>(spec_.config().vocab_size);
-  kv_ = std::make_unique<KvCache>(spec_, KvStorageFor(options));
+  kv_ = std::make_unique<KvCache>(spec_, KvStorageFor(options),
+                                  KernelsFor(options));
   executor_ = std::make_unique<TransformerExecutor>(&spec_, weights_.get(),
                                                     options);
 }

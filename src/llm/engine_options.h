@@ -23,6 +23,13 @@ struct EngineOptions {
   // numerics baseline the f16-KV parity suite diffs against. Costs 2x cache
   // footprint, so CurrentBytes() reports 2x the f16 accounting.
   bool kv_f32 = false;
+  // Binds this engine to the portable-scalar kernel table even when the CPU
+  // supports a SIMD backend — the software half of the SIMD-vs-scalar parity
+  // suite (the process-wide TZLLM_SIMD=off env override is the other half),
+  // so both dispatch paths are testable on one machine. Unlike
+  // use_reference_kernels this keeps the quantized kernels, batched prefill
+  // and f16 KV cache; only the inner-loop table changes.
+  bool force_scalar = false;
   // Accumulates attention-phase wall time in the executor (bench
   // instrumentation; off by default so production decode takes no clock
   // reads).

@@ -15,69 +15,13 @@ namespace {
 // kernels' threshold in tensor.cc.
 constexpr uint64_t kAttnParallelMinWork = 48 * 1024;
 
-// Q.K dots for the attention scores, 4 independent accumulator lanes: a
-// strict serial float reduction cannot be reordered by the compiler, so the
-// lanes buy ILP/vectorization. The lane split is part of the function's
-// definition (same result on every path and thread count), not a
-// thread-dependent schedule.
-inline float DotQKF16(const float* q, const uint16_t* k, int n) {
-  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-  int j = 0;
-  for (; j + 4 <= n; j += 4) {
-    s0 += q[j] * F16ToF32Fast(k[j]);
-    s1 += q[j + 1] * F16ToF32Fast(k[j + 1]);
-    s2 += q[j + 2] * F16ToF32Fast(k[j + 2]);
-    s3 += q[j + 3] * F16ToF32Fast(k[j + 3]);
-  }
-  for (; j < n; ++j) {
-    s0 += q[j] * F16ToF32Fast(k[j]);
-  }
-  return (s0 + s1) + (s2 + s3);
-}
-
-inline float DotQKF32(const float* q, const float* k, int n) {
-  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-  int j = 0;
-  for (; j + 4 <= n; j += 4) {
-    s0 += q[j] * k[j];
-    s1 += q[j + 1] * k[j + 1];
-    s2 += q[j + 2] * k[j + 2];
-    s3 += q[j + 3] * k[j + 3];
-  }
-  for (; j < n; ++j) {
-    s0 += q[j] * k[j];
-  }
-  return (s0 + s1) + (s2 + s3);
-}
-
 }  // namespace
 
 void RmsNorm(const float* x, const float* gain, float* out, int n) {
-  double sum = 0.0;
-  for (int i = 0; i < n; ++i) {
-    sum += static_cast<double>(x[i]) * x[i];
-  }
-  const float inv = 1.0f / std::sqrt(static_cast<float>(sum / n) + 1e-5f);
-  for (int i = 0; i < n; ++i) {
-    out[i] = x[i] * inv * gain[i];
-  }
+  ScalarKernels()->rms_norm(x, gain, out, n);
 }
 
-void Softmax(float* x, int n) {
-  float max = x[0];
-  for (int i = 1; i < n; ++i) {
-    max = std::max(max, x[i]);
-  }
-  float sum = 0.0f;
-  for (int i = 0; i < n; ++i) {
-    x[i] = std::exp(x[i] - max);
-    sum += x[i];
-  }
-  const float inv = 1.0f / sum;
-  for (int i = 0; i < n; ++i) {
-    x[i] *= inv;
-  }
-}
+void Softmax(float* x, int n) { ScalarKernels()->softmax(x, n); }
 
 void ApplyRope(float* vec, int n_heads, int head_dim, int pos) {
   for (int h = 0; h < n_heads; ++h) {
@@ -116,6 +60,7 @@ TransformerExecutor::TransformerExecutor(const ModelSpec* spec,
                                          WeightSource* weights,
                                          const EngineOptions& options)
     : spec_(spec), weights_(weights), options_(options),
+      kernels_(KernelsFor(options)),
       init_status_(spec->ValidateGeometry()) {
   if (options_.n_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.n_threads);
@@ -138,7 +83,7 @@ void TransformerExecutor::MatVec(const uint8_t* w, uint64_t rows,
     return;
   }
   acts_.Quantize(x, cols);
-  MatVecQ8Pre(w, rows, cols, acts_, y, pool_.get());
+  MatVecQ8Pre(w, rows, cols, acts_, y, pool_.get(), kernels_);
 }
 
 void TransformerExecutor::Rope(float* vec, int n_heads, int pos) const {
@@ -226,32 +171,26 @@ void TransformerExecutor::Attend(int layer, int start, int m, const float* q,
       if (f16) {
         const uint16_t* kp = kbase16 + head_off;
         for (int p = 0; p <= pos; ++p, kp += kv_dim) {
-          scores[p] = DotQKF16(qh, kp, head_dim) * scale;
+          scores[p] = kernels_->dot_qk_f16(qh, kp, head_dim) * scale;
         }
       } else {
         const float* kp = kbase32 + head_off;
         for (int p = 0; p <= pos; ++p, kp += kv_dim) {
-          scores[p] = DotQKF32(qh, kp, head_dim) * scale;
+          scores[p] = kernels_->dot_qk_f32(qh, kp, head_dim) * scale;
         }
       }
-      Softmax(scores, pos + 1);
+      kernels_->softmax(scores, pos + 1);
       float* oh = out + static_cast<size_t>(i) * d + h * head_dim;
       std::fill(oh, oh + head_dim, 0.0f);
       if (f16) {
         const uint16_t* vp = vbase16 + head_off;
         for (int p = 0; p <= pos; ++p, vp += kv_dim) {
-          const float wt = scores[p];
-          for (int j = 0; j < head_dim; ++j) {
-            oh[j] += wt * F16ToF32Fast(vp[j]);
-          }
+          kernels_->axpy_f16(scores[p], vp, oh, head_dim);
         }
       } else {
         const float* vp = vbase32 + head_off;
         for (int p = 0; p <= pos; ++p, vp += kv_dim) {
-          const float wt = scores[p];
-          for (int j = 0; j < head_dim; ++j) {
-            oh[j] += wt * vp[j];
-          }
+          kernels_->axpy_f32(scores[p], vp, oh, head_dim);
         }
       }
     }
@@ -295,7 +234,8 @@ Status TransformerExecutor::ForwardPosition(float* hidden, int pos,
   for (int l = 0; l < c.n_layers; ++l) {
     // --- Attention block. ---
     TZLLM_ASSIGN_OR_RETURN(w_norm, Weights(TensorRole::kAttnNorm, l));
-    RmsNorm(hidden, reinterpret_cast<const float*>(w_norm), norm_.data(), d);
+    kernels_->rms_norm(hidden, reinterpret_cast<const float*>(w_norm),
+                       norm_.data(), d);
 
     TZLLM_ASSIGN_OR_RETURN(wq, Weights(TensorRole::kWq, l));
     TZLLM_ASSIGN_OR_RETURN(wk, Weights(TensorRole::kWk, l));
@@ -307,9 +247,9 @@ Status TransformerExecutor::ForwardPosition(float* hidden, int pos,
     } else {
       // One activation quantization feeds all three projections.
       acts_.Quantize(norm_.data(), d);
-      MatVecQ8Pre(wq, d, d, acts_, q_.data(), pool_.get());
-      MatVecQ8Pre(wk, kv_dim, d, acts_, k_.data(), pool_.get());
-      MatVecQ8Pre(wv, kv_dim, d, acts_, v_.data(), pool_.get());
+      MatVecQ8Pre(wq, d, d, acts_, q_.data(), pool_.get(), kernels_);
+      MatVecQ8Pre(wk, kv_dim, d, acts_, k_.data(), pool_.get(), kernels_);
+      MatVecQ8Pre(wv, kv_dim, d, acts_, v_.data(), pool_.get(), kernels_);
     }
 
     Rope(q_.data(), c.n_heads, pos);
@@ -326,8 +266,8 @@ Status TransformerExecutor::ForwardPosition(float* hidden, int pos,
 
     // --- FFN block (SwiGLU). ---
     TZLLM_ASSIGN_OR_RETURN(w_ffn_norm, Weights(TensorRole::kFfnNorm, l));
-    RmsNorm(hidden, reinterpret_cast<const float*>(w_ffn_norm), norm_.data(),
-            d);
+    kernels_->rms_norm(hidden, reinterpret_cast<const float*>(w_ffn_norm),
+                       norm_.data(), d);
 
     TZLLM_ASSIGN_OR_RETURN(w_gate, Weights(TensorRole::kWGate, l));
     TZLLM_ASSIGN_OR_RETURN(w_up, Weights(TensorRole::kWUp, l));
@@ -337,8 +277,9 @@ Status TransformerExecutor::ForwardPosition(float* hidden, int pos,
       MatVecQ8Reference(w_up, c.d_ff, d, norm_.data(), up_.data());
     } else {
       acts_.Quantize(norm_.data(), d);
-      MatVecQ8Pre(w_gate, c.d_ff, d, acts_, gate_.data(), pool_.get());
-      MatVecQ8Pre(w_up, c.d_ff, d, acts_, up_.data(), pool_.get());
+      MatVecQ8Pre(w_gate, c.d_ff, d, acts_, gate_.data(), pool_.get(),
+                  kernels_);
+      MatVecQ8Pre(w_up, c.d_ff, d, acts_, up_.data(), pool_.get(), kernels_);
     }
     for (int i = 0; i < c.d_ff; ++i) {
       const float g = gate_[i];
@@ -374,18 +315,18 @@ Status TransformerExecutor::ForwardChunk(const TokenId* tokens, int m,
     // --- Attention block, all m positions per weight pass. ---
     TZLLM_ASSIGN_OR_RETURN(w_norm, Weights(TensorRole::kAttnNorm, l));
     for (int i = 0; i < m; ++i) {
-      RmsNorm(hiddens_.data() + i * d,
-              reinterpret_cast<const float*>(w_norm), norm_.data() + i * d,
-              d);
+      kernels_->rms_norm(hiddens_.data() + i * d,
+                         reinterpret_cast<const float*>(w_norm),
+                         norm_.data() + i * d, d);
     }
     acts_.QuantizeRows(norm_.data(), m, d);
 
     TZLLM_ASSIGN_OR_RETURN(wq, Weights(TensorRole::kWq, l));
     TZLLM_ASSIGN_OR_RETURN(wk, Weights(TensorRole::kWk, l));
     TZLLM_ASSIGN_OR_RETURN(wv, Weights(TensorRole::kWv, l));
-    MatMatQ8(wq, d, d, acts_, q_.data(), pool);
-    MatMatQ8(wk, kv_dim, d, acts_, k_.data(), pool);
-    MatMatQ8(wv, kv_dim, d, acts_, v_.data(), pool);
+    MatMatQ8(wq, d, d, acts_, q_.data(), pool, kernels_);
+    MatMatQ8(wk, kv_dim, d, acts_, k_.data(), pool, kernels_);
+    MatMatQ8(wv, kv_dim, d, acts_, v_.data(), pool, kernels_);
 
     for (int i = 0; i < m; ++i) {
       Rope(q_.data() + i * d, c.n_heads, start + i);
@@ -400,7 +341,7 @@ Status TransformerExecutor::ForwardChunk(const TokenId* tokens, int m,
 
     TZLLM_ASSIGN_OR_RETURN(wo, Weights(TensorRole::kWo, l));
     acts_.QuantizeRows(attn_.data(), m, d);
-    MatMatQ8(wo, d, d, acts_, proj_.data(), pool);
+    MatMatQ8(wo, d, d, acts_, proj_.data(), pool, kernels_);
     for (int i = 0; i < m * d; ++i) {
       hiddens_[i] += proj_[i];
     }
@@ -408,24 +349,24 @@ Status TransformerExecutor::ForwardChunk(const TokenId* tokens, int m,
     // --- FFN block (SwiGLU). ---
     TZLLM_ASSIGN_OR_RETURN(w_ffn_norm, Weights(TensorRole::kFfnNorm, l));
     for (int i = 0; i < m; ++i) {
-      RmsNorm(hiddens_.data() + i * d,
-              reinterpret_cast<const float*>(w_ffn_norm),
-              norm_.data() + i * d, d);
+      kernels_->rms_norm(hiddens_.data() + i * d,
+                         reinterpret_cast<const float*>(w_ffn_norm),
+                         norm_.data() + i * d, d);
     }
     acts_.QuantizeRows(norm_.data(), m, d);
 
     TZLLM_ASSIGN_OR_RETURN(w_gate, Weights(TensorRole::kWGate, l));
     TZLLM_ASSIGN_OR_RETURN(w_up, Weights(TensorRole::kWUp, l));
     TZLLM_ASSIGN_OR_RETURN(w_down, Weights(TensorRole::kWDown, l));
-    MatMatQ8(w_gate, c.d_ff, d, acts_, gate_.data(), pool);
-    MatMatQ8(w_up, c.d_ff, d, acts_, up_.data(), pool);
+    MatMatQ8(w_gate, c.d_ff, d, acts_, gate_.data(), pool, kernels_);
+    MatMatQ8(w_up, c.d_ff, d, acts_, up_.data(), pool, kernels_);
     for (int i = 0; i < m * c.d_ff; ++i) {
       const float g = gate_[i];
       const float silu = g / (1.0f + std::exp(-g));
       gate_[i] = silu * up_[i];
     }
     acts_.QuantizeRows(gate_.data(), m, c.d_ff);
-    MatMatQ8(w_down, d, c.d_ff, acts_, down_.data(), pool);
+    MatMatQ8(w_down, d, c.d_ff, acts_, down_.data(), pool, kernels_);
     for (int i = 0; i < m * d; ++i) {
       hiddens_[i] += down_[i];
     }
@@ -441,8 +382,8 @@ Status TransformerExecutor::LogitsInto(const float* hidden, float* out) {
     return w_norm.status();
   }
   EnsureWorkspace(1);
-  RmsNorm(hidden, reinterpret_cast<const float*>(*w_norm), norm_.data(),
-          c.d_model);
+  kernels_->rms_norm(hidden, reinterpret_cast<const float*>(*w_norm),
+                     norm_.data(), c.d_model);
   auto head = Weights(TensorRole::kLmHead, -1);
   if (!head.ok()) {
     return head.status();

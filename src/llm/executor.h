@@ -19,6 +19,7 @@
 #include "src/llm/engine_options.h"
 #include "src/llm/kv_cache.h"
 #include "src/llm/model_spec.h"
+#include "src/llm/simd/kernels.h"
 #include "src/llm/tokenizer.h"
 
 namespace tzllm {
@@ -114,7 +115,8 @@ class TransformerExecutor {
 
   Result<const uint8_t*> Weights(TensorRole role, int layer);
 
-  // Kernel dispatch: reference scalar path or quantized path on the pool.
+  // Kernel dispatch: reference scalar path or quantized path on the pool,
+  // inner loops through the SIMD table resolved at construction.
   void MatVec(const uint8_t* w, uint64_t rows, uint64_t cols, const float* x,
               float* y);
   void Rope(float* vec, int n_heads, int pos) const;
@@ -124,6 +126,11 @@ class TransformerExecutor {
   const ModelSpec* spec_;
   WeightSource* weights_;
   EngineOptions options_;
+  // The SIMD backend every inner loop routes through: the scalar table when
+  // options force it (use_reference_kernels / force_scalar), otherwise the
+  // CPUID-resolved process-wide table. One resolution at construction — hot
+  // loops pay an indirect call, never a feature branch.
+  const KernelDispatch* kernels_;
   std::unique_ptr<ThreadPool> pool_;
   // Geometry validation result, computed once; entry points fail fast on it
   // (e.g. odd head_dim would read past the head in the RoPE pair loops).
@@ -139,7 +146,8 @@ class TransformerExecutor {
   Q8Acts acts_;
 };
 
-// Numerics helpers shared with tests.
+// Numerics helpers shared with tests — always the portable-scalar table
+// (simd/kernels_scalar.cc), so test baselines don't move with the host CPU.
 void RmsNorm(const float* x, const float* gain, float* out, int n);
 void Softmax(float* x, int n);
 void ApplyRope(float* vec, int n_heads, int head_dim, int pos);

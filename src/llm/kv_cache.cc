@@ -2,15 +2,18 @@
 
 #include <cstring>
 
+#include "src/llm/simd/kernels.h"
 #include "src/llm/tensor.h"
 
 namespace tzllm {
 
-KvCache::KvCache(const ModelSpec& spec, KvStorage storage)
+KvCache::KvCache(const ModelSpec& spec, KvStorage storage,
+                 const KernelDispatch* kernels)
     : n_layers_(spec.config().n_layers),
       kv_dim_(spec.config().kv_dim()),
       max_ctx_(spec.config().max_ctx),
       storage_(storage),
+      kernels_(kernels != nullptr ? kernels : ActiveKernels()),
       filled_(n_layers_, 0) {
   v_plane_ = static_cast<size_t>(n_layers_) * max_ctx_ * kv_dim_;
   if (storage_ == KvStorage::kF16) {
@@ -37,12 +40,8 @@ Status KvCache::AppendBatch(int layer, int m, const float* k, const float* v) {
   const size_t off = Offset(layer, filled_[layer]);
   const size_t n = static_cast<size_t>(m) * kv_dim_;
   if (storage_ == KvStorage::kF16) {
-    uint16_t* kd = arena16_.data() + off;
-    uint16_t* vd = arena16_.data() + v_plane_ + off;
-    for (size_t i = 0; i < n; ++i) {
-      kd[i] = F32ToF16(k[i]);
-      vd[i] = F32ToF16(v[i]);
-    }
+    kernels_->f32_to_f16(k, arena16_.data() + off, n);
+    kernels_->f32_to_f16(v, arena16_.data() + v_plane_ + off, n);
   } else {
     std::memcpy(arena32_.data() + off, k, n * sizeof(float));
     std::memcpy(arena32_.data() + v_plane_ + off, v, n * sizeof(float));

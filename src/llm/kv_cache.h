@@ -23,6 +23,8 @@
 
 namespace tzllm {
 
+struct KernelDispatch;
+
 // Cached vectors per position per layer: one K and one V.
 inline constexpr uint64_t kKvVectorsPerPosition = 2;
 // Element width of the default f16 storage — the width the secure scratch
@@ -39,7 +41,14 @@ enum class KvStorage : uint8_t {
 
 class KvCache {
  public:
-  explicit KvCache(const ModelSpec& spec, KvStorage storage = KvStorage::kF16);
+  // `kernels` supplies the f32->f16 append converter (nullptr = the
+  // process-wide ActiveKernels() table); engines pass KernelsFor(options) so
+  // a force_scalar/reference engine fills the arena with the scalar
+  // converter. The converters are bit-identical across backends
+  // (simd/kernels.h), so this choice never changes the cached bytes — it
+  // only decides which code path produces them.
+  explicit KvCache(const ModelSpec& spec, KvStorage storage = KvStorage::kF16,
+                   const KernelDispatch* kernels = nullptr);
 
   KvStorage storage() const { return storage_; }
   uint64_t bytes_per_elem() const {
@@ -102,6 +111,7 @@ class KvCache {
   int kv_dim_;
   int max_ctx_;
   KvStorage storage_;
+  const KernelDispatch* kernels_;
   int seq_len_ = 0;
   std::vector<int> filled_;  // Per-layer appended positions.
   // Exactly one of the arenas is sized, per storage_. Each is K plane then

@@ -1,0 +1,105 @@
+// Runtime-dispatched SIMD kernel backends for the functional inference
+// engine (llama.cpp-style per-ISA translation units).
+//
+// Every hot inner loop of the engine — the Q8xQ8 integer-dot rows behind
+// MatVecQ8/MatMatQ8, the f16/f32 attention QK dots and AV accumulates, the
+// KV-cache width converts, and the RMSNorm/softmax reductions — is a slot in
+// a KernelDispatch table. The table is resolved exactly once per process
+// from CPUID (plus the TZLLM_SIMD env override), so call sites pay one
+// indirect call instead of per-call feature branches, and each backend lives
+// in its own translation unit compiled with exactly the -m flags it needs
+// (the rest of the codebase stays portable baseline code).
+//
+// Numerics contract per slot:
+//  - dot_row_q8 / dot_row_q8_ws are BIT-IDENTICAL across all backends: the
+//    32-wide int8 MACs reduce in exact integer arithmetic and the per-block
+//    float combine runs serially in block order, so vectorizing the integer
+//    dot cannot change a single bit of the output.
+//  - f32_to_f16 is bit-identical across backends for FINITE inputs (the
+//    AVX2 path reproduces the scalar converter's flush-subnormals-to-zero
+//    behavior; NaN diverges — scalar emits inf, AVX2 flushes to zero — but
+//    KV appends are finite by construction, the forward pass has already
+//    diverged long before a NaN reaches the cache).
+//  - dot_qk_*, axpy_*, rms_norm reorder float accumulation for lanes, so
+//    SIMD-vs-scalar parity is tolerance-based (the parity suite bounds it
+//    at the established 0.15/logit with greedy tokens identical).
+//  - softmax is bit-identical (the max reduction is order-independent and
+//    exp/sum stay serial; only max and the final scale are vectorized).
+
+#ifndef SRC_LLM_SIMD_KERNELS_H_
+#define SRC_LLM_SIMD_KERNELS_H_
+
+#include <cstdint>
+
+namespace tzllm {
+
+struct EngineOptions;
+
+enum class SimdIsa : uint8_t {
+  kScalar = 0,
+  kAvx2F16c = 1,
+  kNeon = 2,
+};
+
+const char* SimdIsaName(SimdIsa isa);
+
+// One function pointer per hot inner loop. `nblocks` counts 34-byte Q8_0
+// blocks (tensor.h geometry); `row` points at a row of such blocks.
+struct KernelDispatch {
+  SimdIsa isa;
+
+  // acc over blocks of (wscale_b * xscale_b) * <wq_b, xq_b>, wscale read
+  // from the f16 header of each block. The MatVecQ8Pre row kernel.
+  float (*dot_row_q8)(const uint8_t* row, const int8_t* xq,
+                      const float* xscale, uint64_t nblocks);
+  // Same dot with the row's weight scales pre-expanded by the caller
+  // (MatMatQ8 reuses one expansion across all positions of a chunk).
+  float (*dot_row_q8_ws)(const uint8_t* row, const float* wscales,
+                         const int8_t* xq, const float* xscale,
+                         uint64_t nblocks);
+
+  // Attention primitives over one head row of `n` floats.
+  float (*dot_qk_f16)(const float* q, const uint16_t* k, int n);
+  float (*dot_qk_f32)(const float* q, const float* k, int n);
+  void (*axpy_f16)(float w, const uint16_t* v, float* out, int n);
+  void (*axpy_f32)(float w, const float* v, float* out, int n);
+
+  // KV-cache width converts (Append compresses, tests/tools expand).
+  void (*f32_to_f16)(const float* src, uint16_t* dst, uint64_t n);
+  void (*f16_to_f32)(const uint16_t* src, float* dst, uint64_t n);
+
+  // Reductions.
+  void (*rms_norm)(const float* x, const float* gain, float* out, int n);
+  void (*softmax)(float* x, int n);
+};
+
+// Backend tables. Scalar always exists; the others return nullptr when their
+// translation unit was built without the ISA (wrong target arch).
+const KernelDispatch* ScalarKernels();
+const KernelDispatch* Avx2Kernels();
+const KernelDispatch* NeonKernels();
+
+// True when the running CPU can execute the AVX2+F16C+FMA backend.
+bool CpuSupportsAvx2F16c();
+
+// Pure resolution for a given TZLLM_SIMD value (nullptr/"" = auto): "off",
+// "scalar" or "0" force the scalar table; "avx2"/"neon" request a backend
+// (falling back to scalar when unavailable); anything else auto-selects the
+// best CPUID-supported table. Auto never picks NEON — that table has no CI
+// leg yet, so it stays opt-in ("neon") until one exists. Exposed separately
+// from ActiveKernels so tests can exercise every branch without mutating
+// process env.
+const KernelDispatch* ResolveKernels(const char* env_value);
+
+// The process-wide table: ResolveKernels(getenv("TZLLM_SIMD")), resolved
+// once on first use.
+const KernelDispatch* ActiveKernels();
+
+// The table an engine configured with `options` must use: the scalar table
+// under force_scalar (and under use_reference_kernels, so parity baselines
+// stay frozen), ActiveKernels() otherwise.
+const KernelDispatch* KernelsFor(const EngineOptions& options);
+
+}  // namespace tzllm
+
+#endif  // SRC_LLM_SIMD_KERNELS_H_

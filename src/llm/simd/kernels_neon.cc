@@ -1,0 +1,210 @@
+// NEON kernel backend (aarch64). Compiled whenever the target is ARM64 —
+// NEON is baseline there, no extra -m flags — but NOT yet exercised by a CI
+// leg, so dispatch treats it as best-effort: the parity suite must pass on
+// an ARM box before this table is trusted for production (the scalar table
+// is always available via TZLLM_SIMD=off / EngineOptions::force_scalar).
+//
+// Same structural contract as the AVX2 table: integer block dots reduce
+// exactly and combine serially in block order (bit-identical to scalar);
+// float dot/axpy lanes are tolerance-parity.
+
+#include "src/llm/simd/kernels.h"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+#include <cmath>
+
+#include "src/llm/tensor.h"
+
+namespace tzllm {
+namespace {
+
+// Exact int32 dot of one 32-element int8 block pair.
+inline int32_t DotBlock32(const int8_t* w, const int8_t* x) {
+  int32x4_t acc = vdupq_n_s32(0);
+  for (int off = 0; off < 32; off += 16) {
+    const int8x16_t wv = vld1q_s8(w + off);
+    const int8x16_t xv = vld1q_s8(x + off);
+    const int16x8_t lo = vmull_s8(vget_low_s8(wv), vget_low_s8(xv));
+    const int16x8_t hi = vmull_s8(vget_high_s8(wv), vget_high_s8(xv));
+    acc = vpadalq_s16(acc, lo);
+    acc = vpadalq_s16(acc, hi);
+  }
+  return vaddvq_s32(acc);
+}
+
+float DotRowQ8Neon(const uint8_t* row, const int8_t* xq, const float* xscale,
+                   uint64_t nblocks) {
+  float acc = 0.0f;
+  for (uint64_t b = 0; b < nblocks; ++b) {
+    const uint8_t* blk = row + b * kQ8BlockBytes;
+    const float wscale =
+        F16ToF32(static_cast<uint16_t>(blk[0] | (blk[1] << 8)));
+    const int32_t dot = DotBlock32(reinterpret_cast<const int8_t*>(blk + 2),
+                                   xq + b * kQ8BlockElems);
+    acc += (wscale * xscale[b]) * static_cast<float>(dot);
+  }
+  return acc;
+}
+
+float DotRowQ8WsNeon(const uint8_t* row, const float* wscales,
+                     const int8_t* xq, const float* xscale,
+                     uint64_t nblocks) {
+  float acc = 0.0f;
+  for (uint64_t b = 0; b < nblocks; ++b) {
+    const int32_t dot = DotBlock32(
+        reinterpret_cast<const int8_t*>(row + b * kQ8BlockBytes + 2),
+        xq + b * kQ8BlockElems);
+    acc += (wscales[b] * xscale[b]) * static_cast<float>(dot);
+  }
+  return acc;
+}
+
+float DotQkF16Neon(const float* q, const uint16_t* k, int n) {
+  float32x4_t acc = vdupq_n_f32(0.0f);
+  int j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const float16x4_t kh = vreinterpret_f16_u16(vld1_u16(k + j));
+    acc = vfmaq_f32(acc, vld1q_f32(q + j), vcvt_f32_f16(kh));
+  }
+  float sum = vaddvq_f32(acc);
+  for (; j < n; ++j) {
+    sum += q[j] * F16ToF32Fast(k[j]);
+  }
+  return sum;
+}
+
+float DotQkF32Neon(const float* q, const float* k, int n) {
+  float32x4_t acc = vdupq_n_f32(0.0f);
+  int j = 0;
+  for (; j + 4 <= n; j += 4) {
+    acc = vfmaq_f32(acc, vld1q_f32(q + j), vld1q_f32(k + j));
+  }
+  float sum = vaddvq_f32(acc);
+  for (; j < n; ++j) {
+    sum += q[j] * k[j];
+  }
+  return sum;
+}
+
+void AxpyF16Neon(float w, const uint16_t* v, float* out, int n) {
+  const float32x4_t ww = vdupq_n_f32(w);
+  int j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const float32x4_t vv =
+        vcvt_f32_f16(vreinterpret_f16_u16(vld1_u16(v + j)));
+    vst1q_f32(out + j, vfmaq_f32(vld1q_f32(out + j), ww, vv));
+  }
+  for (; j < n; ++j) {
+    out[j] += w * F16ToF32Fast(v[j]);
+  }
+}
+
+void AxpyF32Neon(float w, const float* v, float* out, int n) {
+  const float32x4_t ww = vdupq_n_f32(w);
+  int j = 0;
+  for (; j + 4 <= n; j += 4) {
+    vst1q_f32(out + j, vfmaq_f32(vld1q_f32(out + j), ww, vld1q_f32(v + j)));
+  }
+  for (; j < n; ++j) {
+    out[j] += w * v[j];
+  }
+}
+
+void F32ToF16Neon(const float* src, uint16_t* dst, uint64_t n) {
+  // Scalar converter per element: it flushes subnormals to zero, and
+  // matching that bit-for-bit matters more here than convert throughput
+  // (vcvt_f16_f32 honors FPCR flush bits, which we don't control).
+  for (uint64_t i = 0; i < n; ++i) {
+    dst[i] = F32ToF16(src[i]);
+  }
+}
+
+void F16ToF32Neon(const uint16_t* src, float* dst, uint64_t n) {
+  uint64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(dst + i, vcvt_f32_f16(vreinterpret_f16_u16(vld1_u16(src + i))));
+  }
+  for (; i < n; ++i) {
+    dst[i] = F16ToF32(src[i]);
+  }
+}
+
+void RmsNormNeon(const float* x, const float* gain, float* out, int n) {
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(x[i]) * x[i];
+  }
+  const float inv = 1.0f / std::sqrt(static_cast<float>(sum / n) + 1e-5f);
+  const float32x4_t vinv = vdupq_n_f32(inv);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(out + i,
+              vmulq_f32(vmulq_f32(vld1q_f32(x + i), vinv),
+                        vld1q_f32(gain + i)));
+  }
+  for (; i < n; ++i) {
+    out[i] = x[i] * inv * gain[i];
+  }
+}
+
+void SoftmaxNeon(float* x, int n) {
+  float max = x[0];
+  int i = 1;
+  if (n >= 4) {
+    float32x4_t vmax = vld1q_f32(x);
+    for (i = 4; i + 4 <= n; i += 4) {
+      vmax = vmaxq_f32(vmax, vld1q_f32(x + i));
+    }
+    max = vmaxvq_f32(vmax);
+  }
+  for (; i < n; ++i) {
+    max = max < x[i] ? x[i] : max;
+  }
+  float sum = 0.0f;
+  for (int j = 0; j < n; ++j) {
+    x[j] = std::exp(x[j] - max);
+    sum += x[j];
+  }
+  const float inv = 1.0f / sum;
+  const float32x4_t vinv = vdupq_n_f32(inv);
+  int j = 0;
+  for (; j + 4 <= n; j += 4) {
+    vst1q_f32(x + j, vmulq_f32(vld1q_f32(x + j), vinv));
+  }
+  for (; j < n; ++j) {
+    x[j] *= inv;
+  }
+}
+
+const KernelDispatch kNeonTable = {
+    SimdIsa::kNeon,
+    DotRowQ8Neon,
+    DotRowQ8WsNeon,
+    DotQkF16Neon,
+    DotQkF32Neon,
+    AxpyF16Neon,
+    AxpyF32Neon,
+    F32ToF16Neon,
+    F16ToF32Neon,
+    RmsNormNeon,
+    SoftmaxNeon,
+};
+
+}  // namespace
+
+const KernelDispatch* NeonKernels() { return &kNeonTable; }
+
+}  // namespace tzllm
+
+#else  // !(__aarch64__ && __ARM_NEON)
+
+namespace tzllm {
+
+const KernelDispatch* NeonKernels() { return nullptr; }
+
+}  // namespace tzllm
+
+#endif

@@ -1,0 +1,156 @@
+// Portable scalar kernel backend — the numerics baseline every other table
+// is measured against, byte-for-byte the loops the executor ran before the
+// dispatch layer existed. `use_reference_kernels` and `force_scalar` bind
+// here, so frozen parity baselines keep producing the exact same floats.
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/llm/simd/kernels.h"
+#include "src/llm/tensor.h"
+
+namespace tzllm {
+namespace {
+
+float DotRowQ8Scalar(const uint8_t* row, const int8_t* xq,
+                     const float* xscale, uint64_t nblocks) {
+  float acc = 0.0f;
+  for (uint64_t b = 0; b < nblocks; ++b) {
+    const uint8_t* blk = row + b * kQ8BlockBytes;
+    const float wscale =
+        F16ToF32(static_cast<uint16_t>(blk[0] | (blk[1] << 8)));
+    const int8_t* wq = reinterpret_cast<const int8_t*>(blk + 2);
+    const int8_t* xb = xq + b * kQ8BlockElems;
+    int32_t dot = 0;
+    for (uint64_t i = 0; i < kQ8BlockElems; ++i) {
+      dot += static_cast<int32_t>(wq[i]) * static_cast<int32_t>(xb[i]);
+    }
+    acc += (wscale * xscale[b]) * static_cast<float>(dot);
+  }
+  return acc;
+}
+
+float DotRowQ8WsScalar(const uint8_t* row, const float* wscales,
+                       const int8_t* xq, const float* xscale,
+                       uint64_t nblocks) {
+  float acc = 0.0f;
+  for (uint64_t b = 0; b < nblocks; ++b) {
+    const int8_t* wq =
+        reinterpret_cast<const int8_t*>(row + b * kQ8BlockBytes + 2);
+    const int8_t* xb = xq + b * kQ8BlockElems;
+    int32_t dot = 0;
+    for (uint64_t i = 0; i < kQ8BlockElems; ++i) {
+      dot += static_cast<int32_t>(wq[i]) * static_cast<int32_t>(xb[i]);
+    }
+    acc += (wscales[b] * xscale[b]) * static_cast<float>(dot);
+  }
+  return acc;
+}
+
+// Q.K dots, 4 independent accumulator lanes: a strict serial float reduction
+// cannot be reordered by the compiler, so the lanes buy ILP/vectorization.
+// The lane split is part of this table's definition (same result at every
+// thread count), not a thread-dependent schedule.
+float DotQkF16Scalar(const float* q, const uint16_t* k, int n) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  int j = 0;
+  for (; j + 4 <= n; j += 4) {
+    s0 += q[j] * F16ToF32Fast(k[j]);
+    s1 += q[j + 1] * F16ToF32Fast(k[j + 1]);
+    s2 += q[j + 2] * F16ToF32Fast(k[j + 2]);
+    s3 += q[j + 3] * F16ToF32Fast(k[j + 3]);
+  }
+  for (; j < n; ++j) {
+    s0 += q[j] * F16ToF32Fast(k[j]);
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+float DotQkF32Scalar(const float* q, const float* k, int n) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  int j = 0;
+  for (; j + 4 <= n; j += 4) {
+    s0 += q[j] * k[j];
+    s1 += q[j + 1] * k[j + 1];
+    s2 += q[j + 2] * k[j + 2];
+    s3 += q[j + 3] * k[j + 3];
+  }
+  for (; j < n; ++j) {
+    s0 += q[j] * k[j];
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+void AxpyF16Scalar(float w, const uint16_t* v, float* out, int n) {
+  for (int j = 0; j < n; ++j) {
+    out[j] += w * F16ToF32Fast(v[j]);
+  }
+}
+
+void AxpyF32Scalar(float w, const float* v, float* out, int n) {
+  for (int j = 0; j < n; ++j) {
+    out[j] += w * v[j];
+  }
+}
+
+void F32ToF16Scalar(const float* src, uint16_t* dst, uint64_t n) {
+  for (uint64_t i = 0; i < n; ++i) {
+    dst[i] = F32ToF16(src[i]);
+  }
+}
+
+// IEEE expand (not F16ToF32Fast) so the bulk converter round-trips every
+// half including inf — it is not a hot-loop fusion, and matching the AVX2
+// vcvtph2ps semantics bit-for-bit keeps the backends interchangeable.
+void F16ToF32Scalar(const uint16_t* src, float* dst, uint64_t n) {
+  for (uint64_t i = 0; i < n; ++i) {
+    dst[i] = F16ToF32(src[i]);
+  }
+}
+
+void RmsNormScalar(const float* x, const float* gain, float* out, int n) {
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(x[i]) * x[i];
+  }
+  const float inv = 1.0f / std::sqrt(static_cast<float>(sum / n) + 1e-5f);
+  for (int i = 0; i < n; ++i) {
+    out[i] = x[i] * inv * gain[i];
+  }
+}
+
+void SoftmaxScalar(float* x, int n) {
+  float max = x[0];
+  for (int i = 1; i < n; ++i) {
+    max = std::max(max, x[i]);
+  }
+  float sum = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    x[i] = std::exp(x[i] - max);
+    sum += x[i];
+  }
+  const float inv = 1.0f / sum;
+  for (int i = 0; i < n; ++i) {
+    x[i] *= inv;
+  }
+}
+
+const KernelDispatch kScalarTable = {
+    SimdIsa::kScalar,
+    DotRowQ8Scalar,
+    DotRowQ8WsScalar,
+    DotQkF16Scalar,
+    DotQkF32Scalar,
+    AxpyF16Scalar,
+    AxpyF32Scalar,
+    F32ToF16Scalar,
+    F16ToF32Scalar,
+    RmsNormScalar,
+    SoftmaxScalar,
+};
+
+}  // namespace
+
+const KernelDispatch* ScalarKernels() { return &kScalarTable; }
+
+}  // namespace tzllm

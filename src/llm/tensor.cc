@@ -7,6 +7,7 @@
 
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
+#include "src/llm/simd/kernels.h"
 
 namespace tzllm {
 
@@ -159,33 +160,17 @@ namespace {
 // calls run inline on the caller.
 constexpr uint64_t kParallelMinWork = 48 * 1024;
 
-// One Q8 weight block against one Q8 activation block: integer dot, then one
-// fused scale. `wq`/`xq` int8, 32 elements.
-inline float DotBlockQ8(const uint8_t* blk, const int8_t* xq, float xscale) {
-  const float wscale =
-      F16ToF32(static_cast<uint16_t>(blk[0] | (blk[1] << 8)));
-  const int8_t* wq = reinterpret_cast<const int8_t*>(blk + 2);
-  int32_t dot = 0;
-  for (uint64_t i = 0; i < kQ8BlockElems; ++i) {
-    dot += static_cast<int32_t>(wq[i]) * static_cast<int32_t>(xq[i]);
-  }
-  return (wscale * xscale) * static_cast<float>(dot);
-}
-
 }  // namespace
 
 void MatVecQ8Pre(const uint8_t* w, uint64_t rows, uint64_t cols,
-                 const Q8Acts& x, float* y, ThreadPool* pool) {
+                 const Q8Acts& x, float* y, ThreadPool* pool,
+                 const KernelDispatch* kernels) {
+  const KernelDispatch* k = kernels != nullptr ? kernels : ActiveKernels();
   const uint64_t blocks_per_row = cols / kQ8BlockElems;
   auto run = [&](uint64_t r0, uint64_t r1) {
     for (uint64_t r = r0; r < r1; ++r) {
-      const uint8_t* row = w + r * blocks_per_row * kQ8BlockBytes;
-      float acc = 0.0f;
-      for (uint64_t b = 0; b < blocks_per_row; ++b) {
-        acc += DotBlockQ8(row + b * kQ8BlockBytes, x.q.data() + b * kQ8BlockElems,
-                          x.scale[b]);
-      }
-      y[r] = acc;
+      y[r] = k->dot_row_q8(w + r * blocks_per_row * kQ8BlockBytes,
+                           x.q.data(), x.scale.data(), blocks_per_row);
     }
   };
   if (pool != nullptr && rows * cols >= kParallelMinWork) {
@@ -196,14 +181,15 @@ void MatVecQ8Pre(const uint8_t* w, uint64_t rows, uint64_t cols,
 }
 
 void MatVecQ8(const uint8_t* w, uint64_t rows, uint64_t cols, const float* x,
-              float* y, ThreadPool* pool) {
+              float* y, ThreadPool* pool, const KernelDispatch* kernels) {
   thread_local Q8Acts acts;
   acts.Quantize(x, cols);
-  MatVecQ8Pre(w, rows, cols, acts, y, pool);
+  MatVecQ8Pre(w, rows, cols, acts, y, pool, kernels);
 }
 
 void MatMatQ8(const uint8_t* w, uint64_t rows, uint64_t cols, const Q8Acts& x,
-              float* y, ThreadPool* pool) {
+              float* y, ThreadPool* pool, const KernelDispatch* kernels) {
+  const KernelDispatch* k = kernels != nullptr ? kernels : ActiveKernels();
   const uint64_t blocks_per_row = cols / kQ8BlockElems;
   const uint64_t m = x.m;
   auto run = [&](uint64_t r0, uint64_t r1) {
@@ -216,20 +202,9 @@ void MatMatQ8(const uint8_t* w, uint64_t rows, uint64_t cols, const Q8Acts& x,
         wscales[b] = F16ToF32(static_cast<uint16_t>(blk[0] | (blk[1] << 8)));
       }
       for (uint64_t p = 0; p < m; ++p) {
-        const int8_t* xq = x.q.data() + p * cols;
-        const float* xs = x.scale.data() + p * blocks_per_row;
-        float acc = 0.0f;
-        for (uint64_t b = 0; b < blocks_per_row; ++b) {
-          const int8_t* wq =
-              reinterpret_cast<const int8_t*>(row + b * kQ8BlockBytes + 2);
-          const int8_t* xb = xq + b * kQ8BlockElems;
-          int32_t dot = 0;
-          for (uint64_t i = 0; i < kQ8BlockElems; ++i) {
-            dot += static_cast<int32_t>(wq[i]) * static_cast<int32_t>(xb[i]);
-          }
-          acc += (wscales[b] * xs[b]) * static_cast<float>(dot);
-        }
-        y[p * rows + r] = acc;
+        y[p * rows + r] = k->dot_row_q8_ws(
+            row, wscales.data(), x.q.data() + p * cols,
+            x.scale.data() + p * blocks_per_row, blocks_per_row);
       }
     }
   };

@@ -61,6 +61,7 @@ void QuantizeQ8(const float* src, uint64_t n, uint8_t* dst);
 void DequantizeQ8(const uint8_t* src, uint64_t n, float* dst);
 
 class ThreadPool;
+struct KernelDispatch;
 
 // Activations quantized to Q8_0 blocks (llama.cpp's quantize_row_q8_0):
 // int8 values plus one float scale per 32-element block, so the matvec inner
@@ -82,12 +83,20 @@ struct Q8Acts {
 // internally; `pool` (optional) splits the rows across threads when the
 // matrix is large enough to amortize the fork/join. The workhorse of the
 // functional CPU/NPU backends.
+//
+// `kernels` selects the SIMD backend for the row dots (nullptr = the
+// process-wide ActiveKernels() table). Threading partitions rows while the
+// backend vectorizes within a row, and the integer-dot row kernels are
+// bit-identical across backends (simd/kernels.h), so the output never
+// depends on either choice.
 void MatVecQ8(const uint8_t* w, uint64_t rows, uint64_t cols, const float* x,
-              float* y, ThreadPool* pool = nullptr);
+              float* y, ThreadPool* pool = nullptr,
+              const KernelDispatch* kernels = nullptr);
 
 // MatVecQ8 over pre-quantized activations (x.m == 1).
 void MatVecQ8Pre(const uint8_t* w, uint64_t rows, uint64_t cols,
-                 const Q8Acts& x, float* y, ThreadPool* pool = nullptr);
+                 const Q8Acts& x, float* y, ThreadPool* pool = nullptr,
+                 const KernelDispatch* kernels = nullptr);
 
 // Batched-prefill matmul: y[p*rows + r] = sum_c W[r,c] * X[p,c] for all
 // x.m positions. Row-blocked with positions innermost so each weight row is
@@ -95,7 +104,8 @@ void MatVecQ8Pre(const uint8_t* w, uint64_t rows, uint64_t cols,
 // summation order matches MatVecQ8Pre exactly, so batched prefill and
 // incremental decode produce bit-identical activations.
 void MatMatQ8(const uint8_t* w, uint64_t rows, uint64_t cols, const Q8Acts& x,
-              float* y, ThreadPool* pool = nullptr);
+              float* y, ThreadPool* pool = nullptr,
+              const KernelDispatch* kernels = nullptr);
 
 // The seed's scalar float-activation kernel (now overwrite semantics), kept
 // as the numerics/performance baseline for parity tests and benches.

@@ -78,6 +78,48 @@ TEST(ThreadPoolTest, PartitionIsStaticAndContiguous) {
   EXPECT_EQ(next, 100u);
 }
 
+TEST(ThreadPoolDeathTest, NestedParallelForAbortsInsteadOfDeadlocking) {
+  // The documented contract ("body must not call ParallelFor on the same
+  // pool") used to be enforced by nothing: with workers present the nested
+  // call would publish a new epoch under the running one and deadlock the
+  // outer caller. Now it dies loudly. The nested call below runs on the
+  // calling thread (the caller always executes part 0), so the abort is
+  // deterministic regardless of worker scheduling.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ThreadPool pool(2);
+  EXPECT_DEATH(
+      pool.ParallelFor(0, 8,
+                       [&](uint64_t, uint64_t) {
+                         pool.ParallelFor(0, 8, [](uint64_t, uint64_t) {});
+                       }),
+      "not reentrant");
+}
+
+TEST(ThreadPoolDeathTest, InlinePoolNestedCallAlsoAborts) {
+  // n_threads=1 nesting happened to work (pure inline execution), but the
+  // guard enforces the contract uniformly so a body that "worked" on an
+  // inline pool can't start deadlocking when the pool grows.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ThreadPool pool(1);
+  EXPECT_DEATH(
+      pool.ParallelFor(0, 8,
+                       [&](uint64_t, uint64_t) {
+                         pool.ParallelFor(0, 8, [](uint64_t, uint64_t) {});
+                       }),
+      "not reentrant");
+}
+
+TEST(ThreadPoolTest, GuardClearsAfterNormalCompletion) {
+  // Back-to-back sequential calls must not trip the reentrancy guard.
+  ThreadPool pool(2);
+  int calls = 0;
+  for (int i = 0; i < 3; ++i) {
+    pool.ParallelFor(0, 2, [&](uint64_t, uint64_t) {});
+    ++calls;
+  }
+  EXPECT_EQ(calls, 3);
+}
+
 TEST(ThreadPoolTest, ReusableAcrossManyEpochs) {
   ThreadPool pool(3);
   std::atomic<uint64_t> sum{0};

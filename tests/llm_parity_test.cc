@@ -234,6 +234,81 @@ TEST_F(ParityTest, F16KvGreedyGenerationMatchesF32Kv) {
   EXPECT_EQ(a->output_tokens, b->output_tokens);
 }
 
+// --- ISSUE 3 SIMD-vs-scalar parity suite. On a host without a SIMD
+// backend both engines bind the scalar table and the comparisons hold
+// trivially; the CI matrix covers that leg explicitly via TZLLM_SIMD=off.
+
+TEST_F(ParityTest, SimdTracksForcedScalarWithinTolerance) {
+  // Same quantized kernels, same f16 KV cache — only the inner-loop table
+  // differs. The integer-dot matmuls and the f32->f16 appends are
+  // bit-identical across tables (simd/kernels.h contract); the QK/AV dots
+  // and RMSNorm re-lane float accumulation, so the bound reuses the
+  // established 0.15/logit tolerance of the f16-KV suite (measured drift
+  // here is far smaller since the KV contents are identical).
+  const auto tokens = LongPrompt(spec_.config(), 70);
+  EngineOptions scalar;
+  scalar.force_scalar = true;
+  EngineOptions simd;  // ActiveKernels(): best table the CPU supports.
+  for (int n_threads : {1, 4}) {
+    scalar.n_threads = n_threads;
+    simd.n_threads = n_threads;
+    auto ref = PrefillLogits(spec_, scalar, tokens);
+    auto got = PrefillLogits(spec_, simd, tokens);
+    ASSERT_TRUE(ref.ok());
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->size(), ref->size());
+    for (size_t i = 0; i < ref->size(); ++i) {
+      ASSERT_NEAR((*got)[i], (*ref)[i], 0.15)
+          << "threads=" << n_threads << " logit=" << i;
+    }
+    const size_t ref_argmax =
+        std::max_element(ref->begin(), ref->end()) - ref->begin();
+    const size_t got_argmax =
+        std::max_element(got->begin(), got->end()) - got->begin();
+    EXPECT_EQ(got_argmax, ref_argmax) << "threads=" << n_threads;
+  }
+}
+
+TEST_F(ParityTest, SimdGreedyGenerationMatchesForcedScalar) {
+  // Functional contract: greedy decoding picks the same tokens whichever
+  // kernel table runs, so TZLLM_SIMD / force_scalar can be flipped freely.
+  EngineOptions scalar;
+  scalar.force_scalar = true;
+  scalar.n_threads = 2;
+  EngineOptions simd;
+  simd.n_threads = 2;
+  auto a = LlmEngine::CreateUnprotected(spec_, kWeightSeed, scalar)
+               ->Generate("the quick brown fox jumps over the lazy dog", 12);
+  auto b = LlmEngine::CreateUnprotected(spec_, kWeightSeed, simd)
+               ->Generate("the quick brown fox jumps over the lazy dog", 12);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->output_tokens, b->output_tokens);
+}
+
+TEST_F(ParityTest, KvArenaBytesIdenticalWhicheverTableFillsThem) {
+  // The f32->f16 append converter is bit-identical across tables (the AVX2
+  // path reproduces the scalar flush-subnormals behavior), so a cache filled
+  // by a SIMD engine holds the exact bytes a scalar engine would store —
+  // checkpoints and parity baselines don't depend on the host CPU. Includes
+  // values below the f16 normal threshold to pin the flush boundary.
+  KvCache scalar_kv(spec_, KvStorage::kF16, ScalarKernels());
+  KvCache simd_kv(spec_, KvStorage::kF16, ActiveKernels());
+  const int kv_dim = scalar_kv.kv_dim();
+  std::vector<float> k(kv_dim), v(kv_dim);
+  for (int i = 0; i < kv_dim; ++i) {
+    k[i] = 0.37f * static_cast<float>(i - kv_dim / 2);
+    v[i] = i % 5 == 0 ? 3e-05f : -0.021f * static_cast<float>(i);
+  }
+  ASSERT_TRUE(scalar_kv.Append(0, k.data(), v.data()).ok());
+  ASSERT_TRUE(simd_kv.Append(0, k.data(), v.data()).ok());
+  for (int i = 0; i < kv_dim; ++i) {
+    EXPECT_EQ(scalar_kv.KeyHalfAt(0, 0)[i], simd_kv.KeyHalfAt(0, 0)[i]) << i;
+    EXPECT_EQ(scalar_kv.ValueHalfAt(0, 0)[i], simd_kv.ValueHalfAt(0, 0)[i])
+        << i;
+  }
+}
+
 TEST_F(ParityTest, RopeTableMatchesLegacyApplyRope) {
   const int head_dim = spec_.config().head_dim();
   const int n_heads = spec_.config().n_heads;
