@@ -10,14 +10,21 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/llm/backend/backend.h"
 #include "src/llm/engine.h"
 #include "src/llm/model_spec.h"
 #include "src/llm/simd/kernels.h"
 #include "src/llm/tzguf.h"
+#include "src/ree/npu_driver.h"
+#include "src/ree/tz_driver.h"
+#include "src/tee/npu_driver.h"
+#include "src/tee/tee_os.h"
 
 namespace tzllm {
 namespace {
@@ -132,6 +139,102 @@ double MeasurePrefillMs(const ModelSpec& spec,
   return best;
 }
 
+// NPU-offloaded batched prefill through the ComputeBackend seam: every
+// chunk matmul becomes a validated secure NPU job via the co-driver, with
+// the full shadow-queue / takeover / world-switch protocol running on the
+// simulator clock. Wall ms measures the real (CPU) cost of the offloaded
+// path's bookkeeping + functional payloads; the per-job figures are the
+// modeled co-driver overheads the paper's §7.3 breakdown tracks.
+struct NpuPrefillResult {
+  double wall_ms = 0.0;      // Best-of wall-clock of one prefill pass.
+  double sim_ms = 0.0;       // Virtual-time makespan of one prefill pass.
+  uint64_t jobs = 0;         // Secure jobs per prefill.
+  double config_us_per_job = 0.0;  // TZPC/GIC/TZASC reprogramming.
+  double smc_us_per_job = 0.0;     // World-switch round trips.
+  double npu_busy_ms = 0.0;        // Modeled NPU execution time per prefill.
+};
+
+NpuPrefillResult MeasureNpuPrefill(const ModelSpec& spec,
+                                   const std::vector<Tensor>& weights,
+                                   const EngineOptions& options, int n_prompt,
+                                   int reps = 2) {
+  SocPlatform plat;
+  ReeMemoryLayout layout;
+  layout.dram_bytes = plat.config().dram_bytes;
+  layout.kernel_bytes = 256 * kMiB;
+  layout.cma_bytes = 1 * kGiB;
+  layout.cma2_bytes = 256 * kMiB;
+  ReeMemoryManager mm(layout, &plat.dram());
+  TzDriver tz(&plat, &mm);
+  ReeNpuDriver ree_npu(&plat);
+  ree_npu.Init();
+  TeeOs tee(&plat, &tz, /*root_key_seed=*/42);
+  if (!tee.Boot().ok()) {
+    fprintf(stderr, "tee boot failed\n");
+    abort();
+  }
+  TeeNpuDriver tee_npu(&plat, &tee);
+  tee_npu.Init();
+  const TaId ta = *tee.CreateTa("bench-llm");
+  const uint64_t scratch = 16 * kMiB;
+  if (!tee.ExtendAllocated(ta, SecureRegionId::kScratch, scratch).ok() ||
+      !tee.ExtendProtected(ta, SecureRegionId::kScratch, scratch).ok()) {
+    fprintf(stderr, "scratch setup failed\n");
+    abort();
+  }
+
+  NpuBackendConfig config;
+  config.platform = &plat;
+  config.driver = &tee_npu;
+  config.ta = ta;
+  config.ctx_base = tee.RegionBase(SecureRegionId::kScratch);
+  config.ctx_bytes = NpuBackend::ContextBytes(spec, options);
+  NpuBackend backend(config);
+
+  HostWeightSource source(weights);
+  TransformerExecutor exec(&spec, &source, options, &backend);
+  KvCache kv(spec, KvStorageFor(options), KernelsFor(options));
+  const auto prompt = MakePrompt(spec.config(), n_prompt);
+
+  auto one_pass = [&]() {
+    kv.Reset();
+    auto logits = exec.Prefill(prompt, &kv);
+    if (!logits.ok()) {
+      fprintf(stderr, "npu prefill failed: %s\n",
+              logits.status().ToString().c_str());
+      abort();
+    }
+  };
+  one_pass();  // Warmup (weights into cache, workspace + contexts sized).
+
+  NpuPrefillResult out;
+  const uint64_t jobs0 = tee_npu.secure_jobs_completed();
+  const SimDuration config0 = tee_npu.total_config_time();
+  const SimDuration smc0 = tee_npu.total_smc_time();
+  const SimDuration npu0 = tee_npu.total_job_npu_time();
+  const SimTime sim0 = plat.sim().Now();
+  out.wall_ms = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    one_pass();
+    out.wall_ms = std::min(out.wall_ms, SecondsSince(start) * 1e3);
+  }
+  // The protocol is deterministic: every pass submits the same jobs and
+  // pays the same modeled overheads, so per-pass figures are delta / reps.
+  out.jobs = (tee_npu.secure_jobs_completed() - jobs0) / reps;
+  const double jobs_total =
+      static_cast<double>(tee_npu.secure_jobs_completed() - jobs0);
+  if (jobs_total > 0) {  // Guard: options forcing the CPU path submit none.
+    out.config_us_per_job =
+        ToMillis(tee_npu.total_config_time() - config0) * 1e3 / jobs_total;
+    out.smc_us_per_job =
+        ToMillis(tee_npu.total_smc_time() - smc0) * 1e3 / jobs_total;
+  }
+  out.npu_busy_ms = ToMillis(tee_npu.total_job_npu_time() - npu0) / reps;
+  out.sim_ms = ToMillis(plat.sim().Now() - sim0) / reps;
+  return out;
+}
+
 }  // namespace
 }  // namespace tzllm
 
@@ -230,6 +333,15 @@ int main() {
   const double batched4_ms =
       MeasurePrefillMs(prefill_spec, prefill_weights, batched4, kPromptTokens);
 
+  // NPU offload row: same batched schedule, every chunk matmul submitted as
+  // a secure NPU job through the co-driver. Wall ms is not comparable to the
+  // CPU rows head-to-head (the functional payload is the single-thread
+  // scalar table plus protocol bookkeeping); the interesting numbers are the
+  // modeled co-driver overheads per job and the virtual-time makespan, where
+  // the NPU's 16.4x matmul throughput shows up.
+  const NpuPrefillResult npu =
+      MeasureNpuPrefill(prefill_spec, prefill_weights, batched1, kPromptTokens);
+
   printf("\nPrefill latency (%d-token prompt):\n", kPromptTokens);
   PrintRow({"path", "threads", "ms", "vs per-pos"});
   PrintRow({"per-position", "1", Fmt("%.1f", per_pos_ms), "1.00x"});
@@ -237,6 +349,15 @@ int main() {
             Fmt("%.2fx", per_pos_ms / batched1_ms)});
   PrintRow({"batched x32", "4", Fmt("%.1f", batched4_ms),
             Fmt("%.2fx", per_pos_ms / batched4_ms)});
+  PrintRow({"npu-offload x32", "1", Fmt("%.1f", npu.wall_ms),
+            Fmt("%.2fx", per_pos_ms / npu.wall_ms)});
+  printf(
+      "npu co-driver: %llu jobs/prefill, config %.1f us/job, smc %.1f us/job, "
+      "switch %.1f us/job (model), npu busy %.2f ms, sim makespan %.2f ms\n",
+      static_cast<unsigned long long>(npu.jobs), npu.config_us_per_job,
+      npu.smc_us_per_job,
+      ToMillis(TeeNpuDriver::PerJobSwitchCost()) * 1e3, npu.npu_busy_ms,
+      npu.sim_ms);
 
   // The ratio target was 2.5x when the seed path still allocated logits per
   // step and ran strict-serial attention dots; PR 2 gave the reference
@@ -258,6 +379,10 @@ int main() {
     fprintf(json, "{\n");
     fprintf(json, "  \"model\": \"%s\",\n", spec.config().name.c_str());
     fprintf(json, "  \"simd_isa\": \"%s\",\n", simd_isa);
+    // Thread-scaling rows are only meaningful relative to this: on a 1-core
+    // box the blocked-simd threads_2/4 rows are flat by construction.
+    fprintf(json, "  \"hardware_concurrency\": %u,\n",
+            std::thread::hardware_concurrency());
     fprintf(json, "  \"decode_tokens\": %d,\n", kDecodeTokens);
     fprintf(json, "  \"prompt_tokens\": %d,\n", kPromptTokens);
     fprintf(json, "  \"decode_tok_s\": {\n");
@@ -296,7 +421,18 @@ int main() {
     fprintf(json, "  \"prefill_ms\": {\n");
     fprintf(json, "    \"per_position\": %.2f,\n", per_pos_ms);
     fprintf(json, "    \"batched_t1\": %.2f,\n", batched1_ms);
-    fprintf(json, "    \"batched_t4\": %.2f\n", batched4_ms);
+    fprintf(json, "    \"batched_t4\": %.2f,\n", batched4_ms);
+    fprintf(json, "    \"npu_offload\": %.2f\n", npu.wall_ms);
+    fprintf(json, "  },\n");
+    fprintf(json, "  \"npu_codriver\": {\n");
+    fprintf(json, "    \"jobs_per_prefill\": %llu,\n",
+            static_cast<unsigned long long>(npu.jobs));
+    fprintf(json, "    \"config_us_per_job\": %.2f,\n", npu.config_us_per_job);
+    fprintf(json, "    \"smc_us_per_job\": %.2f,\n", npu.smc_us_per_job);
+    fprintf(json, "    \"switch_us_per_job_model\": %.2f,\n",
+            ToMillis(TeeNpuDriver::PerJobSwitchCost()) * 1e3);
+    fprintf(json, "    \"npu_busy_ms_sim\": %.3f,\n", npu.npu_busy_ms);
+    fprintf(json, "    \"prefill_makespan_ms_sim\": %.3f\n", npu.sim_ms);
     fprintf(json, "  },\n");
     fprintf(json, "  \"prefill_speedup_batched_vs_per_position\": %.3f\n",
             per_pos_ms / batched1_ms);

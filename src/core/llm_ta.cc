@@ -9,11 +9,12 @@
 namespace tzllm {
 
 LlmTa::LlmTa(SocPlatform* platform, TeeOs* tee_os, TzDriver* tz_driver,
-             const EngineOptions& engine_options)
+             const EngineOptions& engine_options, TeeNpuDriver* npu_driver)
     : platform_(platform),
       tee_os_(tee_os),
       tz_driver_(tz_driver),
-      engine_options_(engine_options) {}
+      engine_options_(engine_options),
+      npu_driver_(npu_driver) {}
 
 Status LlmTa::Attach() {
   auto ta = tee_os_->CreateTa("llm-ta");
@@ -53,12 +54,31 @@ Status LlmTa::LoadModel(const std::string& model_id, SchedulePolicy policy) {
   //    execution contexts). Budgeted at the width the cache will actually
   //    store: ModelSpec::KvCacheBytes accounts the default f16 arena, and
   //    the f32 reference mode doubles it — accounted == resident in every
-  //    mode, not just the production one.
+  //    mode, not just the production one. NPU prefill adds the job
+  //    execution-context window (double-buffered cmd/iopt/in/out slots) at
+  //    the region tail, so CreateJob's TZASC validation passes exactly
+  //    because the budget covered it.
+  // Reference mode and prefill_batch <= 1 force the per-position CPU path
+  // (executor.cc), so NPU prefill is genuinely inert under them: no
+  // job-context budget, no backend, no NPU-rate pricing — accounted ==
+  // executed in those combinations too.
+  const bool npu_prefill_active = engine_options_.npu_prefill &&
+                                  !engine_options_.use_reference_kernels &&
+                                  engine_options_.prefill_batch > 1;
+  if (npu_prefill_active) {
+    if (npu_driver_ == nullptr) {
+      return FailedPrecondition(
+          "NPU prefill requested (EngineOptions::npu_prefill) but the "
+          "platform has no NPU co-driver (RuntimeConfig::use_npu is off or "
+          "TeeNpuDriver was not wired into this TA)");
+    }
+    npu_ctx_bytes_ = NpuBackend::ContextBytes(*spec_, engine_options_);
+  }
   const uint64_t kv_width_factor =
       KvStorageFor(engine_options_) == KvStorage::kF32 ? 2 : 1;
   scratch_bytes_ =
       AlignUp(spec_->KvCacheBytes(spec_->config().max_ctx) * kv_width_factor +
-                  spec_->ActivationBytes() + 64 * kKiB,
+                  spec_->ActivationBytes() + npu_ctx_bytes_ + 64 * kKiB,
               kPageSize);
   auto scratch =
       tee_os_->ExtendAllocated(ta_, SecureRegionId::kScratch, scratch_bytes_);
@@ -71,14 +91,28 @@ Status LlmTa::LoadModel(const std::string& model_id, SchedulePolicy policy) {
   // 4. Pipelined restoration with real side effects.
   TZLLM_RETURN_IF_ERROR(RestoreParameters(policy));
 
-  // 5. Framework state: tokenizer (checkpointable) + executor.
+  // 5. Framework state: tokenizer (checkpointable) + executor, with the
+  //    prefill backend seam wired to the NPU co-driver when requested.
   tokenizer_ = std::make_unique<Tokenizer>(spec_->config().vocab_size);
   weights_ = std::make_unique<SecureWeightSource>(this);
   kv_ = std::make_unique<KvCache>(*spec_, KvStorageFor(engine_options_),
                                   KernelsFor(engine_options_));
-  executor_ = std::make_unique<TransformerExecutor>(spec_.get(),
-                                                    weights_.get(),
-                                                    engine_options_);
+  if (npu_prefill_active) {
+    NpuBackendConfig backend_config;
+    backend_config.platform = platform_;
+    backend_config.driver = npu_driver_;
+    backend_config.ta = ta_;
+    backend_config.ctx_bytes = npu_ctx_bytes_;
+    // Job contexts live in the tail of this TA's scratch extent. The extent
+    // address comes from the allocation itself (not RegionBase) so the math
+    // stays right even if the single-owner region model ever loosens.
+    backend_config.ctx_base =
+        scratch->addr + scratch_bytes_ - npu_ctx_bytes_;
+    npu_backend_ =
+        std::make_unique<NpuBackend>(backend_config);
+  }
+  executor_ = std::make_unique<TransformerExecutor>(
+      spec_.get(), weights_.get(), engine_options_, npu_backend_.get());
   loaded_ = true;
   return OkStatus();
 }
@@ -123,7 +157,17 @@ Status LlmTa::RestoreParameters(SchedulePolicy policy) {
   const CostModel cost(spec_.get());
 
   RestorePlanOptions options;
-  options.npu_available = false;  // Functional compute runs on the CPU path.
+  // NPU availability comes from the runtime wiring (RuntimeConfig::use_npu
+  // hands this TA the co-driver) plus the engine knobs, not a hardcoded
+  // false: the plan prices prefill compute ops at NPU rates exactly when
+  // the configuration routes prefill there. npu_ctx_bytes_ is nonzero
+  // exactly when LoadModel decided NPU prefill is active (driver wired,
+  // npu_prefill set, not forced onto the per-position CPU path) — one
+  // predicate, no second spelling to drift. The plan is nominal per model
+  // (n_tokens=16 below), so per-request divergence — e.g. a single-token
+  // prompt taking the per-position CPU path — is outside its scope either
+  // way.
+  options.npu_available = npu_ctx_bytes_ > 0;
   options.decrypt = true;
   options.preemptible = policy == SchedulePolicy::kPriorityPreemptive;
   options.chunk_bytes = 256 * kKiB;  // Functional models are small.
@@ -239,8 +283,10 @@ Status LlmTa::Unload() {
     }
   }
   loaded_ = false;
-  executor_.reset();
+  executor_.reset();  // Before npu_backend_: the executor points into it.
+  npu_backend_.reset();
   weights_.reset();
+  npu_ctx_bytes_ = 0;
   return OkStatus();
 }
 

@@ -31,10 +31,15 @@ namespace tzllm {
 
 class LlmTa {
  public:
-  // `engine_options` (thread count, prefill batching) comes from
-  // RuntimeConfig::engine in the benchmark stacks.
+  // `engine_options` (thread count, prefill batching, NPU prefill) comes
+  // from RuntimeConfig::engine in the benchmark stacks. `npu_driver` is the
+  // secure co-driver data plane — the caller wires it iff the platform has
+  // an NPU (RuntimeConfig::use_npu); it is what RestoreParameters' plan and
+  // the prefill backend key "NPU available" off. EngineOptions::npu_prefill
+  // without a driver fails LoadModel with a clear Status.
   LlmTa(SocPlatform* platform, TeeOs* tee_os, TzDriver* tz_driver,
-        const EngineOptions& engine_options = {});
+        const EngineOptions& engine_options = {},
+        TeeNpuDriver* npu_driver = nullptr);
 
   TaId ta_id() const { return ta_; }
 
@@ -79,6 +84,7 @@ class LlmTa {
   TeeOs* tee_os_;
   TzDriver* tz_driver_;
   EngineOptions engine_options_;
+  TeeNpuDriver* npu_driver_;
   TaId ta_ = -1;
 
   std::string model_id_;
@@ -88,9 +94,14 @@ class LlmTa {
   std::unique_ptr<Tokenizer> tokenizer_;
   std::unique_ptr<SecureWeightSource> weights_;
   std::unique_ptr<KvCache> kv_;
+  // NPU prefill backend (engine_options_.npu_prefill): job execution
+  // contexts live in the tail of the scratch region, which the scratch
+  // budget covers. Must outlive executor_, which holds a raw pointer.
+  std::unique_ptr<NpuBackend> npu_backend_;
   std::unique_ptr<TransformerExecutor> executor_;
   PipelineResult restore_result_;
   uint64_t scratch_bytes_ = 0;
+  uint64_t npu_ctx_bytes_ = 0;
   bool loaded_ = false;
 };
 

@@ -53,6 +53,7 @@ Status NpuDevice::MmioLaunch(World caller, const NpuJobDesc& job) {
     if (compute) {
       const Status cst = compute();
       if (!cst.ok()) {
+        ++compute_failures_;
         TZLLM_LOG_WARN("npu", "functional job payload failed: %s",
                        cst.ToString().c_str());
       }

@@ -56,6 +56,10 @@ class NpuDevice {
 
   uint64_t jobs_completed() const { return jobs_completed_; }
   uint64_t launch_rejections() const { return launch_rejections_; }
+  // Functional payloads that returned an error (the device still completes
+  // the job — a real NPU raises its interrupt regardless — but tests assert
+  // this stays zero so a silently failing payload cannot hide).
+  uint64_t compute_failures() const { return compute_failures_; }
   SimDuration busy_time() const { return busy_time_; }
 
  private:
@@ -66,6 +70,7 @@ class NpuDevice {
   bool busy_ = false;
   uint64_t jobs_completed_ = 0;
   uint64_t launch_rejections_ = 0;
+  uint64_t compute_failures_ = 0;
   SimDuration busy_time_ = 0;
 };
 

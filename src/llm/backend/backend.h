@@ -1,0 +1,179 @@
+// ComputeBackend — the seam between the transformer executor and whatever
+// hardware runs its heavyweight matmuls.
+//
+// The executor no longer calls the kernel table directly for prefill: every
+// batched-prefill MatMatQ8 call site routes through a ComputeBackend, so the
+// same schedule can run the chunk's QKV/FFN matmuls on the CPU kernel pool
+// (CpuBackend) or hand them to the secure NPU behind the TEE's minimal
+// co-driver data plane (NpuBackend, paper §4.3). Decode stays on the CPU
+// KernelDispatch path by construction: the executor always owns a CpuBackend
+// and only the *prefill* seam is swappable.
+//
+// Numerics contract: a backend must produce outputs bit-identical to
+// MatMatQ8 over the scalar kernel table. For CpuBackend this holds because
+// the integer-dot row kernels are bit-identical across SIMD backends
+// (simd/kernels.h); NpuBackend's functional payload simply *is* the scalar
+// table. Swapping backends therefore never changes a single logit.
+
+#ifndef SRC_LLM_BACKEND_BACKEND_H_
+#define SRC_LLM_BACKEND_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/hw/types.h"
+#include "src/llm/tensor.h"
+
+namespace tzllm {
+
+struct EngineOptions;
+struct KernelDispatch;
+class ModelSpec;
+class SocPlatform;
+class TeeNpuDriver;
+class ThreadPool;
+
+// One projection sharing the caller's activation row: y = W x with W a
+// Q8_0 row-major (rows x cols) matrix.
+struct MatTarget {
+  const uint8_t* w = nullptr;
+  uint64_t rows = 0;
+  float* y = nullptr;
+};
+
+class ComputeBackend {
+ public:
+  virtual ~ComputeBackend() = default;
+
+  virtual const char* name() const = 0;
+
+  // Batched-prefill matmul over pre-quantized activations:
+  // y[p * rows + r] = W row r . X position p, for all x.m positions. May
+  // execute asynchronously — outputs are guaranteed visible only after
+  // Sync(). The caller must not reuse `x` or read `y` before then.
+  virtual Status MatMat(const uint8_t* w, uint64_t rows, uint64_t cols,
+                        const Q8Acts& x, float* y) = 0;
+
+  // Single-position projections sharing one activation row `x` of `cols`
+  // floats (decode and per-position prefill). Synchronous; reference mode
+  // (EngineOptions::use_reference_kernels) is handled inside the backend so
+  // call sites are one code path.
+  virtual Status MatVec(const float* x, uint64_t cols, const MatTarget* targets,
+                        int n_targets) = 0;
+
+  // Barrier: returns once every outstanding MatMat has completed, with the
+  // first failure if any job failed.
+  virtual Status Sync() = 0;
+};
+
+// Wraps the existing CPU path: reference scalar kernels or quantized
+// integer-dot kernels on the thread pool, inner loops through the SIMD table
+// the engine resolved at construction.
+class CpuBackend : public ComputeBackend {
+ public:
+  // `pool` (optional) and `kernels` (nullptr = process-wide table) are owned
+  // by the caller and must outlive the backend.
+  CpuBackend(const EngineOptions& options, ThreadPool* pool,
+             const KernelDispatch* kernels);
+
+  const char* name() const override { return "cpu"; }
+  Status MatMat(const uint8_t* w, uint64_t rows, uint64_t cols, const Q8Acts& x,
+                float* y) override;
+  Status MatVec(const float* x, uint64_t cols, const MatTarget* targets,
+                int n_targets) override;
+  Status Sync() override { return OkStatus(); }
+
+ private:
+  bool use_reference_;
+  ThreadPool* pool_;
+  const KernelDispatch* kernels_;
+  Q8Acts acts_;  // Reusable single-row quantization scratch.
+};
+
+// Wiring for the secure NPU prefill path. All pointers are non-owning and
+// must outlive the backend.
+struct NpuBackendConfig {
+  SocPlatform* platform = nullptr;
+  TeeNpuDriver* driver = nullptr;
+  int ta = -1;  // TaId owning the job execution contexts.
+  // Window inside the TA's TZASC-protected scratch region hosting the job
+  // execution contexts (command stream, I/O page table, in/out buffers).
+  // Must be at least ContextBytes(spec, options) long; the co-driver rejects
+  // jobs whose context falls outside the TA's protected regions.
+  PhysAddr ctx_base = 0;
+  uint64_t ctx_bytes = 0;
+};
+
+// Packages each prefill chunk's matmuls as secure NPU jobs: one NpuJobDesc
+// per MatMat, its buffers pinned inside the TA's TZASC regions, its duration
+// priced by the cost model (kNpuMatmulFlops), its functional payload the
+// scalar kernel table for bit-exact results. Jobs are submitted through
+// TeeNpuDriver::SubmitJob and double-buffered across kJobSlots execution
+// contexts, so job n+1's context preparation (activation snapshot + desc
+// build on the CPU) overlaps job n's execution on the NPU timeline; Sync()
+// drives the simulator until every outstanding job's completion callback has
+// fired.
+class NpuBackend : public ComputeBackend {
+ public:
+  // Execution contexts double-buffered: prepare chunk job n+1 while n runs.
+  static constexpr int kJobSlots = 2;
+
+  // Scratch bytes the TA must budget (and protect) for the job execution
+  // contexts of chunks up to options.prefill_batch positions of `spec` —
+  // what config.ctx_bytes must be computed with.
+  static uint64_t ContextBytes(const ModelSpec& spec,
+                               const EngineOptions& options);
+
+  explicit NpuBackend(const NpuBackendConfig& config);
+  ~NpuBackend() override;
+
+  const char* name() const override { return "npu"; }
+  Status MatMat(const uint8_t* w, uint64_t rows, uint64_t cols, const Q8Acts& x,
+                float* y) override;
+  // Decode never routes here — the executor keeps its own CpuBackend for
+  // every MatVec — so this surfaces misuse as kUnimplemented instead of
+  // silently computing on a shadow CPU path.
+  Status MatVec(const float* x, uint64_t cols, const MatTarget* targets,
+                int n_targets) override;
+  Status Sync() override;
+
+  uint64_t jobs_submitted() const { return jobs_submitted_; }
+
+ private:
+  // One self-contained execution context: the input buffer snapshot (the
+  // chunk's quantized activations, conceptually pinned at the slot's
+  // in-buffer address) plus the in-flight job handle. The snapshot is
+  // shared: one quantization feeding several matmuls (QKV, gate/up) is
+  // copied once and referenced by every job of the group.
+  struct Slot {
+    bool pending = false;
+    uint64_t job_id = 0;
+    std::shared_ptr<const Q8Acts> acts;
+  };
+
+  // MatMat's body; the public wrapper drains in-flight jobs on error so a
+  // failed group can never leave a payload pending against caller-owned
+  // output buffers.
+  Status MatMatImpl(const uint8_t* w, uint64_t rows, uint64_t cols,
+                    const Q8Acts& x, float* y);
+  // Waits (driving the simulator) for the slot's in-flight job, if any.
+  Status AwaitSlot(int slot);
+  // The pinned-input snapshot for `x`, reused while (source, generation)
+  // is unchanged since the last call.
+  std::shared_ptr<const Q8Acts> SnapshotActs(const Q8Acts& x);
+
+  NpuBackendConfig config_;
+  uint64_t slot_bytes_ = 0;
+  uint64_t next_slot_ = 0;
+  uint64_t jobs_submitted_ = 0;
+  Slot slots_[kJobSlots];
+  std::shared_ptr<const Q8Acts> snapshot_;
+  const Q8Acts* snapshot_src_ = nullptr;
+  uint64_t snapshot_gen_ = 0;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_LLM_BACKEND_BACKEND_H_

@@ -1,0 +1,188 @@
+// NpuBackend — batched-prefill matmuls as secure NPU jobs (paper §4.3).
+//
+// Each MatMat becomes one self-contained execution context: the chunk's
+// quantized activations are snapshotted into the slot (the job's pinned
+// input buffer), the command stream / I/O page table / buffers are laid out
+// in the TA's TZASC-protected scratch window, the duration is priced by the
+// cost model's NPU throughput, and the functional payload reuses the scalar
+// kernel table so the offloaded result is bit-identical to the CPU path.
+// Contexts are double-buffered: while job n executes on the (simulated) NPU
+// timeline, job n+1's context is prepared on the CPU and submitted, and the
+// co-driver's shadow-job queue sequences the launches.
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/units.h"
+#include "src/llm/backend/backend.h"
+#include "src/llm/cost_model.h"
+#include "src/llm/engine_options.h"
+#include "src/llm/model_spec.h"
+#include "src/llm/simd/kernels.h"
+#include "src/tee/npu_driver.h"
+
+namespace tzllm {
+
+namespace {
+
+// One execution context's layout for an m-position matmul over a rows x cols
+// weight: command stream + I/O page table (one page each), then the pinned
+// input (int8 activations + one float scale per 32-block) and output (m rows
+// of floats) buffers, page-aligned. The single source of truth for both the
+// budget (ContextBytes) and the runtime layout (MatMat) — they cannot drift.
+struct SlotLayout {
+  uint64_t in_bytes = 0;
+  uint64_t out_bytes = 0;
+  uint64_t slot_bytes = 0;
+};
+
+SlotLayout LayoutFor(uint64_t m, uint64_t rows, uint64_t cols) {
+  SlotLayout layout;
+  layout.in_bytes = AlignUp(
+      m * cols + m * (cols / kQ8BlockElems) * sizeof(float), kPageSize);
+  layout.out_bytes = AlignUp(m * rows * sizeof(float), kPageSize);
+  layout.slot_bytes = 2 * kPageSize + layout.in_bytes + layout.out_bytes;
+  return layout;
+}
+
+}  // namespace
+
+uint64_t NpuBackend::ContextBytes(const ModelSpec& spec,
+                                  const EngineOptions& options) {
+  const LlmConfig& c = spec.config();
+  const uint64_t m =
+      static_cast<uint64_t>(std::max(1, options.prefill_batch));
+  // Every prefill matmul has rows, cols in {d_model, kv_dim, d_ff}; size the
+  // slot for the worst case so any chunk's job fits.
+  const uint64_t dim = std::max<uint64_t>(
+      {static_cast<uint64_t>(c.d_model), static_cast<uint64_t>(c.d_ff),
+       static_cast<uint64_t>(c.kv_dim())});
+  return kJobSlots * LayoutFor(m, dim, dim).slot_bytes;
+}
+
+NpuBackend::NpuBackend(const NpuBackendConfig& config)
+    : config_(config), slot_bytes_(config.ctx_bytes / kJobSlots) {}
+
+NpuBackend::~NpuBackend() {
+  // Never leave a job's completion callback pointing at a destroyed slot.
+  (void)Sync();
+}
+
+Status NpuBackend::AwaitSlot(int slot) {
+  Slot& s = slots_[slot];
+  if (!s.pending) {
+    return OkStatus();
+  }
+  s.pending = false;
+  return config_.driver->WaitForJob(s.job_id);
+}
+
+std::shared_ptr<const Q8Acts> NpuBackend::SnapshotActs(const Q8Acts& x) {
+  // One quantization feeds several matmuls (QKV share one, gate/up share
+  // one); key the pinned copy on (source, generation) so the group copies
+  // the buffer once instead of once per job.
+  if (snapshot_src_ != &x || snapshot_gen_ != x.generation ||
+      snapshot_ == nullptr) {
+    auto snap = std::make_shared<Q8Acts>();
+    const uint64_t q_bytes = x.m * x.cols;
+    const uint64_t n_scales = x.m * (x.cols / kQ8BlockElems);
+    snap->q.assign(x.q.begin(), x.q.begin() + q_bytes);
+    snap->scale.assign(x.scale.begin(), x.scale.begin() + n_scales);
+    snap->cols = x.cols;
+    snap->m = x.m;
+    snapshot_ = std::move(snap);
+    snapshot_src_ = &x;
+    snapshot_gen_ = x.generation;
+  }
+  return snapshot_;
+}
+
+Status NpuBackend::MatMat(const uint8_t* w, uint64_t rows, uint64_t cols,
+                          const Q8Acts& x, float* y) {
+  const Status st = MatMatImpl(w, rows, cols, x, y);
+  if (!st.ok()) {
+    // Failing a group must not leave earlier jobs of it in flight: their
+    // payloads write through captured pointers into the caller's workspace,
+    // which the caller is free to destroy once we return the error (the
+    // executor tears down before this backend). Drain first, report the
+    // original error.
+    (void)Sync();
+  }
+  return st;
+}
+
+Status NpuBackend::MatMatImpl(const uint8_t* w, uint64_t rows, uint64_t cols,
+                              const Q8Acts& x, float* y) {
+  if (config_.driver == nullptr || config_.platform == nullptr) {
+    return FailedPrecondition("NpuBackend not wired to a co-driver");
+  }
+  const int slot = static_cast<int>(next_slot_++ % kJobSlots);
+  // Double buffering: reusing a slot means its previous job (two MatMats
+  // ago) must have retired; everything younger may still be in flight.
+  TZLLM_RETURN_IF_ERROR(AwaitSlot(slot));
+  Slot& s = slots_[slot];
+
+  // Context preparation — the part that overlaps the in-flight job's NPU
+  // execution. The snapshot makes the job self-contained (the executor
+  // reuses its Q8Acts scratch for the next group as soon as Sync returns).
+  s.acts = SnapshotActs(x);
+
+  NpuJobDesc desc;
+  const PhysAddr base = config_.ctx_base + slot * slot_bytes_;
+  const SlotLayout layout = LayoutFor(x.m, rows, cols);
+  desc.cmd_addr = base;
+  desc.cmd_size = kPageSize;
+  desc.iopt_addr = base + kPageSize;
+  desc.iopt_size = kPageSize;
+  // Input (pinned activation snapshot) and output buffers. Weight pages are
+  // streamed through the params-region TZASC grant the co-driver programs
+  // for the secure window; the job-private context lives in scratch.
+  desc.buffers = {{base + 2 * kPageSize, layout.in_bytes},
+                  {base + 2 * kPageSize + layout.in_bytes, layout.out_bytes}};
+  if (layout.slot_bytes > slot_bytes_) {
+    return ResourceExhausted("NPU job context exceeds its scratch slot");
+  }
+  desc.duration =
+      CostModel::NpuMatmulTime(rows, cols, static_cast<int>(x.m));
+  // Functional payload: bit-exact with the CPU path by construction — the
+  // scalar table is the frozen baseline every backend matches on the
+  // integer-dot rows. The shared_ptr keeps the pinned input alive for the
+  // job's whole lifetime, independent of slot reuse.
+  desc.compute = [acts = s.acts, w, rows, cols, y]() -> Status {
+    MatMatQ8(w, rows, cols, *acts, y, /*pool=*/nullptr, ScalarKernels());
+    return OkStatus();
+  };
+
+  auto id = config_.driver->SubmitJob(config_.ta, desc, nullptr);
+  if (!id.ok()) {
+    return id.status();
+  }
+  s.job_id = *id;
+  s.pending = true;
+  ++jobs_submitted_;
+  return OkStatus();
+}
+
+Status NpuBackend::MatVec(const float* x, uint64_t cols,
+                          const MatTarget* targets, int n_targets) {
+  (void)x;
+  (void)cols;
+  (void)targets;
+  (void)n_targets;
+  return Status(ErrorCode::kUnimplemented,
+                "NpuBackend handles batched-prefill MatMat only; "
+                "single-position MatVec belongs on the CPU backend");
+}
+
+Status NpuBackend::Sync() {
+  Status first;
+  for (int i = 0; i < kJobSlots; ++i) {
+    const Status st = AwaitSlot(i);
+    if (!st.ok() && first.ok()) {
+      first = st;
+    }
+  }
+  return first;
+}
+
+}  // namespace tzllm

@@ -43,6 +43,16 @@ class CostModel {
     return TransferTime(bytes, kDecryptPerThreadBw);
   }
 
+  // NPU execution time of one batched-prefill matmul job (`m` positions over
+  // a rows x cols Q8_0 weight) — the same compute-bound throughput constant
+  // the paper-scale prefill graphs use, so the functional NpuBackend's job
+  // durations and the Figure-9/10 models price NPU work identically. The
+  // per-job launch overhead stays in the driver (kNpuJobLaunchOverhead).
+  static SimDuration NpuMatmulTime(uint64_t rows, uint64_t cols, int m) {
+    return FromSeconds(2.0 * static_cast<double>(rows) *
+                       static_cast<double>(cols) * m / kNpuMatmulFlops);
+  }
+
  private:
   // Natural (unscaled) weight elements drive FLOPs; scaled bytes drive
   // bandwidth and I/O.

@@ -34,6 +34,18 @@ struct EngineOptions {
   // instrumentation; off by default so production decode takes no clock
   // reads).
   bool collect_stats = false;
+  // Routes the batched-prefill matmuls through the secure NPU co-driver
+  // (the ComputeBackend seam): each chunk's QKV/FFN matmuls become
+  // TZASC-validated NpuJobDesc execution contexts submitted via
+  // TeeNpuDriver::SubmitJob. Decode stays on the CPU KernelDispatch path.
+  // Requires the co-driver to be wired (LlmTa's npu_driver parameter, from
+  // RuntimeConfig::use_npu) — loading fails with a clear Status otherwise.
+  // Composes with TZLLM_SIMD: the NPU functional payload is pinned to the
+  // scalar table (bit-exact by the dispatch contract), while CPU-resident
+  // ops (norms, attention, decode) keep the dispatched table. Inert under
+  // use_reference_kernels or prefill_batch <= 1, which force the
+  // per-position CPU path.
+  bool npu_prefill = false;
 };
 
 // Arena element type for the options' KV mode (reference kernels keep the

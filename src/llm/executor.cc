@@ -58,13 +58,17 @@ void ApplyRopeTable(float* vec, int n_heads, int head_dim, int pos,
 
 TransformerExecutor::TransformerExecutor(const ModelSpec* spec,
                                          WeightSource* weights,
-                                         const EngineOptions& options)
+                                         const EngineOptions& options,
+                                         ComputeBackend* prefill_backend)
     : spec_(spec), weights_(weights), options_(options),
       kernels_(KernelsFor(options)),
       init_status_(spec->ValidateGeometry()) {
   if (options_.n_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.n_threads);
   }
+  cpu_backend_ = std::make_unique<CpuBackend>(options_, pool_.get(), kernels_);
+  prefill_backend_ =
+      prefill_backend != nullptr ? prefill_backend : cpu_backend_.get();
 }
 
 Result<const uint8_t*> TransformerExecutor::Weights(TensorRole role,
@@ -74,16 +78,6 @@ Result<const uint8_t*> TransformerExecutor::Weights(TensorRole role,
     return Status(ErrorCode::kNotFound, "tensor spec missing");
   }
   return weights_->TensorData(t->index);
-}
-
-void TransformerExecutor::MatVec(const uint8_t* w, uint64_t rows,
-                                 uint64_t cols, const float* x, float* y) {
-  if (options_.use_reference_kernels) {
-    MatVecQ8Reference(w, rows, cols, x, y);
-    return;
-  }
-  acts_.Quantize(x, cols);
-  MatVecQ8Pre(w, rows, cols, acts_, y, pool_.get(), kernels_);
 }
 
 void TransformerExecutor::Rope(float* vec, int n_heads, int pos) const {
@@ -240,17 +234,11 @@ Status TransformerExecutor::ForwardPosition(float* hidden, int pos,
     TZLLM_ASSIGN_OR_RETURN(wq, Weights(TensorRole::kWq, l));
     TZLLM_ASSIGN_OR_RETURN(wk, Weights(TensorRole::kWk, l));
     TZLLM_ASSIGN_OR_RETURN(wv, Weights(TensorRole::kWv, l));
-    if (options_.use_reference_kernels) {
-      MatVecQ8Reference(wq, d, d, norm_.data(), q_.data());
-      MatVecQ8Reference(wk, kv_dim, d, norm_.data(), k_.data());
-      MatVecQ8Reference(wv, kv_dim, d, norm_.data(), v_.data());
-    } else {
-      // One activation quantization feeds all three projections.
-      acts_.Quantize(norm_.data(), d);
-      MatVecQ8Pre(wq, d, d, acts_, q_.data(), pool_.get(), kernels_);
-      MatVecQ8Pre(wk, kv_dim, d, acts_, k_.data(), pool_.get(), kernels_);
-      MatVecQ8Pre(wv, kv_dim, d, acts_, v_.data(), pool_.get(), kernels_);
-    }
+    const MatTarget qkv[] = {
+        {wq, static_cast<uint64_t>(d), q_.data()},
+        {wk, static_cast<uint64_t>(kv_dim), k_.data()},
+        {wv, static_cast<uint64_t>(kv_dim), v_.data()}};
+    TZLLM_RETURN_IF_ERROR(cpu_backend_->MatVec(norm_.data(), d, qkv, 3));
 
     Rope(q_.data(), c.n_heads, pos);
     Rope(k_.data(), c.n_kv_heads, pos);
@@ -259,7 +247,8 @@ Status TransformerExecutor::ForwardPosition(float* hidden, int pos,
     Attend(l, pos, /*m=*/1, q_.data(), attn_.data(), *kv);
 
     TZLLM_ASSIGN_OR_RETURN(wo, Weights(TensorRole::kWo, l));
-    MatVec(wo, d, d, attn_.data(), proj_.data());
+    const MatTarget proj[] = {{wo, static_cast<uint64_t>(d), proj_.data()}};
+    TZLLM_RETURN_IF_ERROR(cpu_backend_->MatVec(attn_.data(), d, proj, 1));
     for (int i = 0; i < d; ++i) {
       hidden[i] += proj_[i];
     }
@@ -272,21 +261,17 @@ Status TransformerExecutor::ForwardPosition(float* hidden, int pos,
     TZLLM_ASSIGN_OR_RETURN(w_gate, Weights(TensorRole::kWGate, l));
     TZLLM_ASSIGN_OR_RETURN(w_up, Weights(TensorRole::kWUp, l));
     TZLLM_ASSIGN_OR_RETURN(w_down, Weights(TensorRole::kWDown, l));
-    if (options_.use_reference_kernels) {
-      MatVecQ8Reference(w_gate, c.d_ff, d, norm_.data(), gate_.data());
-      MatVecQ8Reference(w_up, c.d_ff, d, norm_.data(), up_.data());
-    } else {
-      acts_.Quantize(norm_.data(), d);
-      MatVecQ8Pre(w_gate, c.d_ff, d, acts_, gate_.data(), pool_.get(),
-                  kernels_);
-      MatVecQ8Pre(w_up, c.d_ff, d, acts_, up_.data(), pool_.get(), kernels_);
-    }
+    const MatTarget gate_up[] = {
+        {w_gate, static_cast<uint64_t>(c.d_ff), gate_.data()},
+        {w_up, static_cast<uint64_t>(c.d_ff), up_.data()}};
+    TZLLM_RETURN_IF_ERROR(cpu_backend_->MatVec(norm_.data(), d, gate_up, 2));
     for (int i = 0; i < c.d_ff; ++i) {
       const float g = gate_[i];
       const float silu = g / (1.0f + std::exp(-g));
       gate_[i] = silu * up_[i];
     }
-    MatVec(w_down, d, c.d_ff, gate_.data(), down_.data());
+    const MatTarget down[] = {{w_down, static_cast<uint64_t>(d), down_.data()}};
+    TZLLM_RETURN_IF_ERROR(cpu_backend_->MatVec(gate_.data(), c.d_ff, down, 1));
     for (int i = 0; i < d; ++i) {
       hidden[i] += down_[i];
     }
@@ -305,7 +290,10 @@ Status TransformerExecutor::ForwardChunk(const TokenId* tokens, int m,
     return ResourceExhausted("KV cache full (context length exceeded)");
   }
   EnsureWorkspace(m);
-  ThreadPool* pool = pool_.get();
+  // Every heavyweight matmul of the chunk goes through the backend seam; a
+  // backend may run them asynchronously (NPU jobs), so results are consumed
+  // only after the group's Sync barrier.
+  ComputeBackend* backend = prefill_backend_;
 
   for (int i = 0; i < m; ++i) {
     TZLLM_RETURN_IF_ERROR(EmbedToken(tokens[i], hiddens_.data() + i * d));
@@ -324,9 +312,10 @@ Status TransformerExecutor::ForwardChunk(const TokenId* tokens, int m,
     TZLLM_ASSIGN_OR_RETURN(wq, Weights(TensorRole::kWq, l));
     TZLLM_ASSIGN_OR_RETURN(wk, Weights(TensorRole::kWk, l));
     TZLLM_ASSIGN_OR_RETURN(wv, Weights(TensorRole::kWv, l));
-    MatMatQ8(wq, d, d, acts_, q_.data(), pool, kernels_);
-    MatMatQ8(wk, kv_dim, d, acts_, k_.data(), pool, kernels_);
-    MatMatQ8(wv, kv_dim, d, acts_, v_.data(), pool, kernels_);
+    TZLLM_RETURN_IF_ERROR(backend->MatMat(wq, d, d, acts_, q_.data()));
+    TZLLM_RETURN_IF_ERROR(backend->MatMat(wk, kv_dim, d, acts_, k_.data()));
+    TZLLM_RETURN_IF_ERROR(backend->MatMat(wv, kv_dim, d, acts_, v_.data()));
+    TZLLM_RETURN_IF_ERROR(backend->Sync());
 
     for (int i = 0; i < m; ++i) {
       Rope(q_.data() + i * d, c.n_heads, start + i);
@@ -341,7 +330,8 @@ Status TransformerExecutor::ForwardChunk(const TokenId* tokens, int m,
 
     TZLLM_ASSIGN_OR_RETURN(wo, Weights(TensorRole::kWo, l));
     acts_.QuantizeRows(attn_.data(), m, d);
-    MatMatQ8(wo, d, d, acts_, proj_.data(), pool, kernels_);
+    TZLLM_RETURN_IF_ERROR(backend->MatMat(wo, d, d, acts_, proj_.data()));
+    TZLLM_RETURN_IF_ERROR(backend->Sync());
     for (int i = 0; i < m * d; ++i) {
       hiddens_[i] += proj_[i];
     }
@@ -358,15 +348,19 @@ Status TransformerExecutor::ForwardChunk(const TokenId* tokens, int m,
     TZLLM_ASSIGN_OR_RETURN(w_gate, Weights(TensorRole::kWGate, l));
     TZLLM_ASSIGN_OR_RETURN(w_up, Weights(TensorRole::kWUp, l));
     TZLLM_ASSIGN_OR_RETURN(w_down, Weights(TensorRole::kWDown, l));
-    MatMatQ8(w_gate, c.d_ff, d, acts_, gate_.data(), pool, kernels_);
-    MatMatQ8(w_up, c.d_ff, d, acts_, up_.data(), pool, kernels_);
+    TZLLM_RETURN_IF_ERROR(
+        backend->MatMat(w_gate, c.d_ff, d, acts_, gate_.data()));
+    TZLLM_RETURN_IF_ERROR(backend->MatMat(w_up, c.d_ff, d, acts_, up_.data()));
+    TZLLM_RETURN_IF_ERROR(backend->Sync());
     for (int i = 0; i < m * c.d_ff; ++i) {
       const float g = gate_[i];
       const float silu = g / (1.0f + std::exp(-g));
       gate_[i] = silu * up_[i];
     }
     acts_.QuantizeRows(gate_.data(), m, c.d_ff);
-    MatMatQ8(w_down, d, c.d_ff, acts_, down_.data(), pool, kernels_);
+    TZLLM_RETURN_IF_ERROR(
+        backend->MatMat(w_down, d, c.d_ff, acts_, down_.data()));
+    TZLLM_RETURN_IF_ERROR(backend->Sync());
     for (int i = 0; i < m * d; ++i) {
       hiddens_[i] += down_[i];
     }
@@ -388,8 +382,9 @@ Status TransformerExecutor::LogitsInto(const float* hidden, float* out) {
   if (!head.ok()) {
     return head.status();
   }
-  MatVec(*head, c.vocab_size, c.d_model, norm_.data(), out);
-  return OkStatus();
+  const MatTarget logits[] = {
+      {*head, static_cast<uint64_t>(c.vocab_size), out}};
+  return cpu_backend_->MatVec(norm_.data(), c.d_model, logits, 1);
 }
 
 Result<std::vector<float>> TransformerExecutor::Logits(const float* hidden) {

@@ -16,6 +16,7 @@
 
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
+#include "src/llm/backend/backend.h"
 #include "src/llm/engine_options.h"
 #include "src/llm/kv_cache.h"
 #include "src/llm/model_spec.h"
@@ -58,8 +59,14 @@ class HostWeightSource : public WeightSource {
 
 class TransformerExecutor {
  public:
+  // `prefill_backend` (optional, non-owning, must outlive the executor)
+  // swaps where the batched-prefill matmuls run: nullptr keeps them on the
+  // executor's own CpuBackend; the LLM TA passes an NpuBackend to offload
+  // them through the secure co-driver. Decode and the per-position path
+  // always run on the CPU backend regardless.
   TransformerExecutor(const ModelSpec* spec, WeightSource* weights,
-                      const EngineOptions& options = {});
+                      const EngineOptions& options = {},
+                      ComputeBackend* prefill_backend = nullptr);
 
   // Runs the prompt through the model, filling the KV cache. Returns the
   // logits of the last position (vocab_size floats). Dispatches to
@@ -115,10 +122,6 @@ class TransformerExecutor {
 
   Result<const uint8_t*> Weights(TensorRole role, int layer);
 
-  // Kernel dispatch: reference scalar path or quantized path on the pool,
-  // inner loops through the SIMD table resolved at construction.
-  void MatVec(const uint8_t* w, uint64_t rows, uint64_t cols, const float* x,
-              float* y);
   void Rope(float* vec, int n_heads, int pos) const;
   // Sizes the reusable activation buffers for chunks of up to `m` positions.
   void EnsureWorkspace(int m);
@@ -132,6 +135,13 @@ class TransformerExecutor {
   // loops pay an indirect call, never a feature branch.
   const KernelDispatch* kernels_;
   std::unique_ptr<ThreadPool> pool_;
+  // The backend seam. cpu_backend_ always exists and serves decode, the
+  // per-position path and the logits head (one code path for reference and
+  // quantized kernels — CpuBackend internalizes the branch); every batched-
+  // prefill MatMat goes through prefill_backend_, which is either the same
+  // CpuBackend or a caller-provided backend (NPU offload).
+  std::unique_ptr<CpuBackend> cpu_backend_;
+  ComputeBackend* prefill_backend_ = nullptr;
   // Geometry validation result, computed once; entry points fail fast on it
   // (e.g. odd head_dim would read past the head in the RoPE pair loops).
   Status init_status_;

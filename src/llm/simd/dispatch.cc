@@ -38,13 +38,16 @@ namespace {
 
 // Best table auto mode may hand out. The AVX2 TU needs the CPUID gate
 // because x86 binaries routinely run on pre-AVX2 silicon. The NEON table is
-// deliberately NOT auto-selected even where it runs (aarch64, where NEON is
-// baseline): no CI leg has ever executed it (ROADMAP), so until an ARM job
-// exists it is opt-in via TZLLM_SIMD=neon rather than silently trusted for
-// every inference on a whole architecture.
+// baseline on aarch64 (no runtime feature gate needed) and auto mode now
+// selects it: the aarch64 qemu-user CI leg cross-compiles the suite and runs
+// the kernel + parity tests over the NEON table on every push, which was the
+// graduation condition for dropping the TZLLM_SIMD=neon opt-in (ROADMAP).
 const KernelDispatch* BestSupported() {
   if (Avx2Kernels() != nullptr && CpuSupportsAvx2F16c()) {
     return Avx2Kernels();
+  }
+  if (NeonKernels() != nullptr) {
+    return NeonKernels();
   }
   return ScalarKernels();
 }

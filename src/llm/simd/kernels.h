@@ -85,10 +85,10 @@ bool CpuSupportsAvx2F16c();
 // Pure resolution for a given TZLLM_SIMD value (nullptr/"" = auto): "off",
 // "scalar" or "0" force the scalar table; "avx2"/"neon" request a backend
 // (falling back to scalar when unavailable); anything else auto-selects the
-// best CPUID-supported table. Auto never picks NEON — that table has no CI
-// leg yet, so it stays opt-in ("neon") until one exists. Exposed separately
-// from ActiveKernels so tests can exercise every branch without mutating
-// process env.
+// best supported table — AVX2 behind its CPUID gate on x86, NEON on aarch64
+// (baseline there; covered by the aarch64 qemu-user CI leg that runs the
+// kernel + parity suites). Exposed separately from ActiveKernels so tests
+// can exercise every branch without mutating process env.
 const KernelDispatch* ResolveKernels(const char* env_value);
 
 // The process-wide table: ResolveKernels(getenv("TZLLM_SIMD")), resolved

@@ -1,8 +1,8 @@
 // NEON kernel backend (aarch64). Compiled whenever the target is ARM64 —
-// NEON is baseline there, no extra -m flags — but NOT yet exercised by a CI
-// leg, so dispatch treats it as best-effort: the parity suite must pass on
-// an ARM box before this table is trusted for production (the scalar table
-// is always available via TZLLM_SIMD=off / EngineOptions::force_scalar).
+// NEON is baseline there, no extra -m flags — and exercised by the aarch64
+// qemu-user CI leg (kernel + parity suites), which is why auto dispatch now
+// selects it on aarch64 (the scalar table stays one TZLLM_SIMD=off /
+// EngineOptions::force_scalar away).
 //
 // Same structural contract as the AVX2 table: integer block dots reduce
 // exactly and combine serially in block order (bit-identical to scalar);

@@ -82,6 +82,43 @@ Result<uint64_t> TeeNpuDriver::SubmitJob(
   return *id;
 }
 
+Status TeeNpuDriver::WaitForJob(uint64_t job_id) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return NotFound("unknown secure NPU job");
+  }
+  if (!it->second.finished) {
+    // Everything between issue and completion — shadow-queue scheduling,
+    // takeover smc, world switches, the NPU execution itself and the exit
+    // path — is simulator events; drive them until this job retires.
+    platform_->sim().RunUntilIdleOr([this, job_id] {
+      auto jt = jobs_.find(job_id);
+      return jt == jobs_.end() || jt->second.finished;
+    });
+    it = jobs_.find(job_id);
+    if (it == jobs_.end() || !it->second.finished) {
+      if (it != jobs_.end()) {
+        // The caller is abandoning the job: neutralize its payload and
+        // callback so a later revival of the stuck shadow cannot write
+        // through pointers whose owner is gone. The entry itself stays —
+        // the replay/reorder sequencing defenses still account for it.
+        it->second.desc.compute = nullptr;
+        it->second.on_complete = nullptr;
+      }
+      return Internal(
+          "simulator drained before secure NPU job completion (takeover "
+          "rejected, or the shadow job never reached the queue head?)");
+    }
+  }
+  // The status is consumed; drop the bookkeeping entry so a TA streaming
+  // thousands of jobs (NPU prefill) doesn't grow the map without bound. A
+  // replayed takeover for the erased id still dies in ValidateTakeover —
+  // as an unknown-job (arbitrary-launch) violation instead of a replay.
+  const Status status = it->second.completion_status;
+  jobs_.erase(it);
+  return status;
+}
+
 Status TeeNpuDriver::ValidateTakeover(uint64_t job_id) const {
   auto it = jobs_.find(job_id);
   // Arbitrary-launch defense: the job must exist and have been initialized
@@ -130,7 +167,12 @@ SmcResult TeeNpuDriver::OnTakeover(const SmcArgs& args) {
     hw = gic.Route(World::kSecure, kIrqNpu, World::kSecure);
   }
   if (!hw.ok()) {
-    running_job_ = 0;
+    // The job can never launch now (its takeover window is spent); retire it
+    // with the real error so a waiting TA sees the hardware failure instead
+    // of WaitForJob's drained-simulator fallback. No TZASC grant was applied
+    // yet. (Both hw calls always succeed from the secure world today; this
+    // is defensive completeness.)
+    RetireFailedJob(job_id, hw, /*revert_tzasc=*/false);
     return SmcResult{std::move(hw), {}};
   }
   total_config_time_ += kTzpcConfigTime + kGicRouteTime;
@@ -181,22 +223,35 @@ void TeeNpuDriver::EnterSecureModeAndLaunch(uint64_t job_id) {
   if (!st.ok()) {
     TZLLM_LOG_WARN("tee-npu", "secure launch failed: %s",
                    st.ToString().c_str());
-    job.state = JobState::kCompleted;
-    running_job_ = 0;
-    auto cb = std::move(job.on_complete);
-    // Revert to non-secure mode and release the shadow job.
+    RetireFailedJob(job_id, st, /*revert_tzasc=*/true);
+  }
+}
+
+void TeeNpuDriver::RetireFailedJob(uint64_t job_id, const Status& st,
+                                   bool revert_tzasc) {
+  SecureJob& job = jobs_[job_id];
+  job.state = JobState::kCompleted;
+  job.completion_status = st;
+  job.finished = true;
+  job.desc.compute = nullptr;  // Release the functional payload.
+  running_job_ = 0;
+  auto cb = std::move(job.on_complete);
+  // Revert to non-secure mode (in reverse order of application) and release
+  // the shadow job so the REE scheduling queue proceeds.
+  if (revert_tzasc) {
+    Tzasc& tzasc = platform_->tzasc();
     (void)tzasc.SetDmaPermission(World::kSecure, kTzascIndexParams,
                                  DeviceId::kNpu, false);
     (void)tzasc.SetDmaPermission(World::kSecure, kTzascIndexScratch,
                                  DeviceId::kNpu, false);
-    (void)platform_->gic().Route(World::kSecure, kIrqNpu, World::kNonSecure);
-    (void)platform_->tzpc().SetSecure(World::kSecure, DeviceId::kNpu, false);
-    SmcArgs args;
-    args.a[0] = job_id;
-    platform_->monitor().RpcToRee(SmcFunc::kRpcNpuShadowComplete, args);
-    if (cb) {
-      cb(std::move(st));
-    }
+  }
+  (void)platform_->gic().Route(World::kSecure, kIrqNpu, World::kNonSecure);
+  (void)platform_->tzpc().SetSecure(World::kSecure, DeviceId::kNpu, false);
+  SmcArgs args;
+  args.a[0] = job_id;
+  platform_->monitor().RpcToRee(SmcFunc::kRpcNpuShadowComplete, args);
+  if (cb) {
+    cb(st);
   }
 }
 
@@ -210,6 +265,7 @@ void TeeNpuDriver::OnSecureCompletion() {
   SecureJob& job = jobs_[job_id];
   job.state = JobState::kCompleted;
   ++secure_jobs_completed_;
+  total_job_npu_time_ += job.desc.duration + kNpuJobLaunchOverhead;
 
   // Secure-mode exit: revoke TZASC grants, re-route the interrupt, return
   // the MMIO window to the REE, then tell the control plane.
@@ -233,7 +289,14 @@ void TeeNpuDriver::OnSecureCompletion() {
     args.a[0] = job_id;
     platform_->monitor().RpcToRee(SmcFunc::kRpcNpuShadowComplete, args);
     total_smc_time_ += kSmcRoundTrip;
-    auto cb = std::move(jobs_[job_id].on_complete);
+    SecureJob& done = jobs_[job_id];
+    done.completion_status = OkStatus();
+    done.finished = true;
+    // The device is done with the execution context: release the functional
+    // payload (it pins the pinned-input snapshot) for callers that keep the
+    // entry around instead of consuming it via WaitForJob.
+    done.desc.compute = nullptr;
+    auto cb = std::move(done.on_complete);
     if (cb) {
       cb(OkStatus());
     }

@@ -50,11 +50,26 @@ class TeeNpuDriver {
   Result<uint64_t> SubmitJob(TaId ta, const NpuJobDesc& desc,
                              std::function<void(Status)> on_complete);
 
-  // --- Statistics (§7.3 overhead breakdown). ---
+  // Synchronous-wait helper for TA-side callers that need a job's result
+  // before proceeding (the NPU prefill backend): drives the simulator until
+  // the job's completion path has fired, then returns the job's completion
+  // status. CONSUME-ONCE: on success the bookkeeping entry is erased (so a
+  // streaming TA doesn't grow the job map without bound) — a second wait on
+  // the same id returns NotFound. Fails with kInternal if the simulator
+  // drains first (a job that can never complete — e.g. its shadow never
+  // reached the queue head); the abandoned job's payload is neutralized.
+  Status WaitForJob(uint64_t job_id);
+
+  // --- Statistics (§7.3 breakdown; per-job figures for the bench). ---
+  uint64_t jobs_created() const { return next_job_id_ - 1; }
   uint64_t secure_jobs_completed() const { return secure_jobs_completed_; }
   uint64_t validation_failures() const { return validation_failures_; }
   SimDuration total_config_time() const { return total_config_time_; }
   SimDuration total_smc_time() const { return total_smc_time_; }
+  // Sum of completed jobs' modeled NPU execution time (desc.duration plus
+  // the per-launch doorbell overhead) — what the bench divides by job count
+  // to report per-job co-driver overhead next to per-job useful work.
+  SimDuration total_job_npu_time() const { return total_job_npu_time_; }
 
   // Per-secure-job fixed cost on the NPU timeline: world-switch smcs plus
   // TZPC/GIC/TZASC reprogramming in both directions.
@@ -80,6 +95,10 @@ class TeeNpuDriver {
     JobState state = JobState::kInitialized;
     uint64_t seq = 0;  // Monotonic issue sequence number.
     std::function<void(Status)> on_complete;
+    // Set when the completion path has fully run (including the exit-side
+    // world switch) — the condition WaitForJob spins the simulator on.
+    bool finished = false;
+    Status completion_status;
   };
 
   // smc kNpuTakeover entry: REE control plane hands over the NPU.
@@ -87,6 +106,11 @@ class TeeNpuDriver {
   Status ValidateTakeover(uint64_t job_id) const;
   void EnterSecureModeAndLaunch(uint64_t job_id);
   void OnSecureCompletion();
+  // Failure retirement shared by the takeover and launch paths: record the
+  // error on the job, drop the payload, revert the world switch (TZASC
+  // grants only if they were applied), release the shadow, fire the
+  // callback.
+  void RetireFailedJob(uint64_t job_id, const Status& st, bool revert_tzasc);
 
   SocPlatform* platform_;
   TeeOs* tee_os_;
@@ -99,6 +123,7 @@ class TeeNpuDriver {
   uint64_t validation_failures_ = 0;
   SimDuration total_config_time_ = 0;
   SimDuration total_smc_time_ = 0;
+  SimDuration total_job_npu_time_ = 0;
 };
 
 }  // namespace tzllm

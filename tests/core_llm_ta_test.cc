@@ -25,8 +25,12 @@ class LlmTaTest : public ::testing::Test {
     layout.cma2_bytes = 64 * kMiB;
     mm_ = std::make_unique<ReeMemoryManager>(layout, &plat_.dram());
     tz_ = std::make_unique<TzDriver>(&plat_, mm_.get());
+    ree_npu_ = std::make_unique<ReeNpuDriver>(&plat_);
+    ree_npu_->Init();
     tee_ = std::make_unique<TeeOs>(&plat_, tz_.get(), kRootSeed);
     EXPECT_TRUE(tee_->Boot().ok());
+    tee_npu_ = std::make_unique<TeeNpuDriver>(&plat_, tee_.get());
+    tee_npu_->Init();
 
     auto meta = Tzguf::Provision(&plat_.flash(), tee_->keys(), "tiny", spec_,
                                  kWeightSeed, /*materialize=*/true);
@@ -44,7 +48,9 @@ class LlmTaTest : public ::testing::Test {
   ModelSpec spec_;
   std::unique_ptr<ReeMemoryManager> mm_;
   std::unique_ptr<TzDriver> tz_;
+  std::unique_ptr<ReeNpuDriver> ree_npu_;
   std::unique_ptr<TeeOs> tee_;
+  std::unique_ptr<TeeNpuDriver> tee_npu_;
   std::unique_ptr<LlmTa> ta_;
 };
 
@@ -154,6 +160,45 @@ TEST_F(LlmTaTest, ReloadAfterUnloadWorks) {
   ASSERT_TRUE(ta_->LoadModel("tiny").ok());
   auto out = ta_->Generate("hello", 4);
   EXPECT_TRUE(out.ok());
+}
+
+TEST_F(LlmTaTest, NpuOffloadedPrefillMatchesCpuEndToEnd) {
+  // RuntimeConfig wiring: use_npu hands the TA the co-driver, npu_prefill
+  // routes the batched-prefill matmuls through it. The offloaded TA must
+  // generate exactly the tokens the plain-CPU reference produces.
+  RuntimeConfig config;
+  config.engine.npu_prefill = true;
+  config.engine.prefill_batch = 8;
+  LlmTa npu_ta(&plat_, tee_.get(), tz_.get(), config.engine,
+               config.use_npu ? tee_npu_.get() : nullptr);
+  ASSERT_TRUE(npu_ta.Attach().ok());
+  ASSERT_TRUE(tee_->AuthorizeKeyAccess(npu_ta.ta_id(), "tiny").ok());
+  ASSERT_TRUE(npu_ta.LoadModel("tiny").ok());
+  auto offloaded = npu_ta.Generate("the quick brown fox", 10);
+  ASSERT_TRUE(offloaded.ok()) << offloaded.status().ToString();
+  EXPECT_GT(tee_npu_->secure_jobs_completed(), 0u);
+  EXPECT_EQ(plat_.npu().compute_failures(), 0u);
+
+  auto reference = LlmEngine::CreateUnprotected(spec_, kWeightSeed)
+                       ->Generate("the quick brown fox", 10);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(offloaded->output_tokens, reference->output_tokens);
+  EXPECT_EQ(offloaded->text, reference->text);
+}
+
+TEST_F(LlmTaTest, NpuPrefillWithoutCoDriverFailsClearly) {
+  // EngineOptions::npu_prefill on a platform whose runtime wired no NPU
+  // (RuntimeConfig::use_npu off -> no co-driver) must fail loudly at load,
+  // not fall back silently or crash at first chunk.
+  EngineOptions options;
+  options.npu_prefill = true;
+  LlmTa no_npu(&plat_, tee_.get(), tz_.get(), options, /*npu_driver=*/nullptr);
+  ASSERT_TRUE(no_npu.Attach().ok());
+  ASSERT_TRUE(tee_->AuthorizeKeyAccess(no_npu.ta_id(), "tiny").ok());
+  const Status st = no_npu.LoadModel("tiny");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_NE(st.message().find("no NPU"), std::string::npos);
 }
 
 TEST_F(LlmTaTest, AllSchedulingPoliciesProduceIdenticalWeights) {

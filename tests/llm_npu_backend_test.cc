@@ -1,0 +1,211 @@
+// ComputeBackend seam: NPU-offloaded batched prefill through the secure
+// co-driver must compute exactly the same function as the CPU path, and the
+// co-driver's TZASC validation must reject job contexts outside the TA's
+// protected regions — with the real shadow-queue / takeover / world-switch
+// machinery running under the simulator clock for every job.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/llm/backend/backend.h"
+#include "src/llm/executor.h"
+#include "src/llm/kv_cache.h"
+#include "src/llm/model_spec.h"
+#include "src/llm/tzguf.h"
+#include "src/ree/npu_driver.h"
+#include "src/ree/tz_driver.h"
+#include "src/tee/npu_driver.h"
+#include "src/tee/tee_os.h"
+
+namespace tzllm {
+namespace {
+
+constexpr uint64_t kWeightSeed = 4242;
+
+std::vector<TokenId> MakePrompt(const LlmConfig& c, int n) {
+  std::vector<TokenId> tokens(n);
+  for (int i = 0; i < n; ++i) {
+    tokens[i] = 1 + (i * 7) % (c.vocab_size - 2);
+  }
+  return tokens;
+}
+
+// Secure stack + a functional model: REE control plane, TEE data plane, a TA
+// with a protected scratch window hosting the NPU job execution contexts.
+class NpuBackendTest : public ::testing::Test {
+ protected:
+  NpuBackendTest() : spec_(ModelSpec::Create(TestSmallModel())) {
+    ReeMemoryLayout layout;
+    layout.dram_bytes = plat_.config().dram_bytes;
+    layout.kernel_bytes = 256 * kMiB;
+    layout.cma_bytes = 1 * kGiB;
+    layout.cma2_bytes = 256 * kMiB;
+    mm_ = std::make_unique<ReeMemoryManager>(layout, &plat_.dram());
+    tz_ = std::make_unique<TzDriver>(&plat_, mm_.get());
+    ree_npu_ = std::make_unique<ReeNpuDriver>(&plat_);
+    ree_npu_->Init();
+    tee_ = std::make_unique<TeeOs>(&plat_, tz_.get(), 42);
+    EXPECT_TRUE(tee_->Boot().ok());
+    tee_npu_ = std::make_unique<TeeNpuDriver>(&plat_, tee_.get());
+    tee_npu_->Init();
+    ta_ = *tee_->CreateTa("llm");
+    EXPECT_TRUE(
+        tee_->ExtendAllocated(ta_, SecureRegionId::kScratch, 16 * kMiB).ok());
+    EXPECT_TRUE(
+        tee_->ExtendProtected(ta_, SecureRegionId::kScratch, 16 * kMiB).ok());
+    scratch_ = tee_->RegionBase(SecureRegionId::kScratch);
+    weights_ = Tzguf::ReferenceWeights(spec_, kWeightSeed);
+  }
+
+  NpuBackendConfig BackendConfig(const EngineOptions& options,
+                                 PhysAddr ctx_base) {
+    NpuBackendConfig config;
+    config.platform = &plat_;
+    config.driver = tee_npu_.get();
+    config.ta = ta_;
+    config.ctx_base = ctx_base;
+    config.ctx_bytes = NpuBackend::ContextBytes(spec_, options);
+    return config;
+  }
+
+  // Prefill logits through a CPU executor with `options`.
+  std::vector<float> CpuPrefill(const EngineOptions& options,
+                                const std::vector<TokenId>& prompt) {
+    HostWeightSource source(weights_);
+    TransformerExecutor exec(&spec_, &source, options);
+    KvCache kv(spec_, KvStorageFor(options), KernelsFor(options));
+    auto logits = exec.Prefill(prompt, &kv);
+    EXPECT_TRUE(logits.ok()) << logits.status().ToString();
+    return logits.ok() ? *logits : std::vector<float>();
+  }
+
+  SocPlatform plat_;
+  ModelSpec spec_;
+  std::unique_ptr<ReeMemoryManager> mm_;
+  std::unique_ptr<TzDriver> tz_;
+  std::unique_ptr<ReeNpuDriver> ree_npu_;
+  std::unique_ptr<TeeOs> tee_;
+  std::unique_ptr<TeeNpuDriver> tee_npu_;
+  TaId ta_ = -1;
+  PhysAddr scratch_ = 0;
+  std::vector<Tensor> weights_;
+};
+
+TEST_F(NpuBackendTest, NpuPrefillLogitsBitIdenticalToCpu) {
+  EngineOptions options;
+  options.prefill_batch = 8;
+  const auto prompt = MakePrompt(spec_.config(), 20);  // 2.5 chunks.
+  const std::vector<float> cpu = CpuPrefill(options, prompt);
+
+  NpuBackend backend(BackendConfig(options, scratch_));
+  HostWeightSource source(weights_);
+  TransformerExecutor exec(&spec_, &source, options, &backend);
+  KvCache kv(spec_, KvStorageFor(options), KernelsFor(options));
+  auto npu = exec.Prefill(prompt, &kv);
+  ASSERT_TRUE(npu.ok()) << npu.status().ToString();
+
+  // Offloading moved only the MatMats, and the NPU payload is the scalar
+  // table whose integer-dot rows are bit-identical to every CPU table: not
+  // one logit may differ.
+  ASSERT_EQ(npu->size(), cpu.size());
+  for (size_t i = 0; i < cpu.size(); ++i) {
+    ASSERT_EQ((*npu)[i], cpu[i]) << "logit " << i;
+  }
+  // Greedy token identical follows from identical logits.
+  EXPECT_EQ(std::max_element(npu->begin(), npu->end()) - npu->begin(),
+            std::max_element(cpu.begin(), cpu.end()) - cpu.begin());
+
+  // The jobs really ran through the co-driver data plane: every chunk
+  // produced 7 matmul jobs (QKV, WO, gate, up, down per layer).
+  const uint64_t chunks = (prompt.size() + 7) / 8;
+  const uint64_t expected_jobs =
+      chunks * static_cast<uint64_t>(spec_.config().n_layers) * 7;
+  EXPECT_EQ(backend.jobs_submitted(), expected_jobs);
+  EXPECT_EQ(tee_npu_->secure_jobs_completed(), expected_jobs);
+  EXPECT_EQ(plat_.npu().compute_failures(), 0u);
+  // Co-driver overhead stats accumulated real (virtual) time.
+  EXPECT_GT(tee_npu_->total_config_time(), 0u);
+  EXPECT_GT(tee_npu_->total_job_npu_time(), 0u);
+  // The NPU is back in non-secure mode after the last job.
+  EXPECT_FALSE(plat_.tzpc().IsSecure(DeviceId::kNpu));
+}
+
+TEST_F(NpuBackendTest, NpuPrefillIdenticalToCpuScalarPath) {
+  // Pin both engines to the scalar table so every CPU-resident op (attend,
+  // norms, softmax) matches bit-for-bit too: the offloaded prefill is then
+  // provably identical to the frozen CPU scalar path end to end.
+  EngineOptions options;
+  options.force_scalar = true;
+  options.prefill_batch = 8;
+  const auto prompt = MakePrompt(spec_.config(), 16);
+  const std::vector<float> scalar_cpu = CpuPrefill(options, prompt);
+
+  NpuBackend backend(BackendConfig(options, scratch_));
+  HostWeightSource source(weights_);
+  TransformerExecutor exec(&spec_, &source, options, &backend);
+  KvCache kv(spec_, KvStorageFor(options), KernelsFor(options));
+  auto npu = exec.Prefill(prompt, &kv);
+  ASSERT_TRUE(npu.ok()) << npu.status().ToString();
+  ASSERT_EQ(npu->size(), scalar_cpu.size());
+  for (size_t i = 0; i < scalar_cpu.size(); ++i) {
+    ASSERT_EQ((*npu)[i], scalar_cpu[i]) << "logit " << i;
+  }
+}
+
+TEST_F(NpuBackendTest, DecodeStaysOnCpuAfterNpuPrefill) {
+  EngineOptions options;
+  options.prefill_batch = 8;
+  NpuBackend backend(BackendConfig(options, scratch_));
+  HostWeightSource source(weights_);
+  TransformerExecutor exec(&spec_, &source, options, &backend);
+  KvCache kv(spec_, KvStorageFor(options), KernelsFor(options));
+  ASSERT_TRUE(exec.Prefill(MakePrompt(spec_.config(), 16), &kv).ok());
+
+  const uint64_t jobs_after_prefill = backend.jobs_submitted();
+  EXPECT_GT(jobs_after_prefill, 0u);
+  std::vector<float> logits(spec_.config().vocab_size);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(exec.DecodeStepInto(1 + i, &kv, logits.data()).ok());
+  }
+  // Decode kept the CPU KernelDispatch path: no new NPU traffic.
+  EXPECT_EQ(backend.jobs_submitted(), jobs_after_prefill);
+  EXPECT_EQ(tee_npu_->jobs_created(), jobs_after_prefill);
+}
+
+TEST_F(NpuBackendTest, JobContextOutsideTzascRejectedAtCreateJob) {
+  EngineOptions options;
+  options.prefill_batch = 8;
+  // Point the execution-context window at arbitrary REE memory: CreateJob's
+  // validation against the TA's protected regions must reject every job, so
+  // the prefill fails closed instead of DMA-ing through unprotected pages.
+  NpuBackend backend(BackendConfig(options, /*ctx_base=*/512 * kMiB));
+  HostWeightSource source(weights_);
+  TransformerExecutor exec(&spec_, &source, options, &backend);
+  KvCache kv(spec_, KvStorageFor(options), KernelsFor(options));
+  auto logits = exec.Prefill(MakePrompt(spec_.config(), 16), &kv);
+  ASSERT_FALSE(logits.ok());
+  EXPECT_EQ(logits.status().code(), ErrorCode::kSecurityViolation);
+  EXPECT_GE(tee_npu_->validation_failures(), 1u);
+  EXPECT_EQ(tee_npu_->secure_jobs_completed(), 0u);
+}
+
+TEST_F(NpuBackendTest, ContextBytesCoversEveryChunkJob) {
+  // The budget formula must cover the largest matmul of any chunk; a run
+  // with the exact budgeted window (placed at the region tail) succeeds.
+  EngineOptions options;
+  options.prefill_batch = 32;
+  const uint64_t ctx_bytes = NpuBackend::ContextBytes(spec_, options);
+  ASSERT_LE(ctx_bytes, 16 * kMiB);
+  NpuBackend backend(
+      BackendConfig(options, scratch_ + 16 * kMiB - ctx_bytes));
+  HostWeightSource source(weights_);
+  TransformerExecutor exec(&spec_, &source, options, &backend);
+  KvCache kv(spec_, KvStorageFor(options), KernelsFor(options));
+  EXPECT_TRUE(exec.Prefill(MakePrompt(spec_.config(), 40), &kv).ok());
+}
+
+}  // namespace
+}  // namespace tzllm
