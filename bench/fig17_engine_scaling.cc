@@ -139,18 +139,29 @@ double MeasurePrefillMs(const ModelSpec& spec,
   return best;
 }
 
-// NPU-offloaded batched prefill through the ComputeBackend seam: every
-// chunk matmul becomes a validated secure NPU job via the co-driver, with
-// the full shadow-queue / takeover / world-switch protocol running on the
-// simulator clock. Wall ms measures the real (CPU) cost of the offloaded
-// path's bookkeeping + functional payloads; the per-job figures are the
-// modeled co-driver overheads the paper's §7.3 breakdown tracks.
+// NPU-offloaded batched prefill through the ComputeBackend seam: each
+// chunk-layer becomes two fused secure NPU jobs via the co-driver, with the
+// full shadow-queue / takeover / world-switch protocol running on the
+// simulator clock and the executor's pipelined schedule overlapping one
+// chunk's CPU attention with another chunk's jobs.
+//
+// The headline number is the HYBRID MAKESPAN: the backend charges the
+// host's measured CPU segments to the virtual clock, so one virtual
+// timeline composes real CPU-resident work (norms, RoPE, attention,
+// quantization) with modeled NPU job execution and the real co-driver
+// protocol — overlap and pipeline bubbles included. Raw wall-clock is also
+// recorded, but on this simulator it double-charges the NPU's work (the
+// functional payloads execute on the host CPU), so it is diagnostics, not
+// the offload metric. See the BENCH_engine.json glossary in README.md.
 struct NpuPrefillResult {
-  double wall_ms = 0.0;      // Best-of wall-clock of one prefill pass.
-  double sim_ms = 0.0;       // Virtual-time makespan of one prefill pass.
+  double makespan_ms = 0.0;  // Hybrid virtual makespan of one prefill pass.
+  double wall_ms = 0.0;      // Best-of wall-clock (payloads on host).
+  double stall_ms = 0.0;     // CPU stalled in Await per pass (virtual).
   uint64_t jobs = 0;         // Secure jobs per prefill.
+  double matmuls_per_job = 0.0;    // Average fused-group size.
   double config_us_per_job = 0.0;  // TZPC/GIC/TZASC reprogramming.
   double smc_us_per_job = 0.0;     // World-switch round trips.
+  double measured_switch_us_per_job = 0.0;  // Protocol-measured switch time.
   double npu_busy_ms = 0.0;        // Modeled NPU execution time per prefill.
 };
 
@@ -189,6 +200,8 @@ NpuPrefillResult MeasureNpuPrefill(const ModelSpec& spec,
   config.ta = ta;
   config.ctx_base = tee.RegionBase(SecureRegionId::kScratch);
   config.ctx_bytes = NpuBackend::ContextBytes(spec, options);
+  config.kernels = KernelsFor(options);
+  config.fuse_jobs = options.npu_fusion;
   NpuBackend backend(config);
 
   HostWeightSource source(weights);
@@ -209,9 +222,12 @@ NpuPrefillResult MeasureNpuPrefill(const ModelSpec& spec,
 
   NpuPrefillResult out;
   const uint64_t jobs0 = tee_npu.secure_jobs_completed();
+  const uint64_t matmuls0 = tee_npu.total_matmuls_completed();
   const SimDuration config0 = tee_npu.total_config_time();
   const SimDuration smc0 = tee_npu.total_smc_time();
   const SimDuration npu0 = tee_npu.total_job_npu_time();
+  const SimDuration switch0 = tee_npu.total_measured_switch_time();
+  const SimDuration stall0 = backend.await_stall_time();
   const SimTime sim0 = plat.sim().Now();
   out.wall_ms = 1e30;
   for (int r = 0; r < reps; ++r) {
@@ -225,13 +241,20 @@ NpuPrefillResult MeasureNpuPrefill(const ModelSpec& spec,
   const double jobs_total =
       static_cast<double>(tee_npu.secure_jobs_completed() - jobs0);
   if (jobs_total > 0) {  // Guard: options forcing the CPU path submit none.
+    out.matmuls_per_job =
+        static_cast<double>(tee_npu.total_matmuls_completed() - matmuls0) /
+        jobs_total;
     out.config_us_per_job =
         ToMillis(tee_npu.total_config_time() - config0) * 1e3 / jobs_total;
     out.smc_us_per_job =
         ToMillis(tee_npu.total_smc_time() - smc0) * 1e3 / jobs_total;
+    out.measured_switch_us_per_job =
+        ToMillis(tee_npu.total_measured_switch_time() - switch0) * 1e3 /
+        jobs_total;
   }
   out.npu_busy_ms = ToMillis(tee_npu.total_job_npu_time() - npu0) / reps;
-  out.sim_ms = ToMillis(plat.sim().Now() - sim0) / reps;
+  out.stall_ms = ToMillis(backend.await_stall_time() - stall0) / reps;
+  out.makespan_ms = ToMillis(plat.sim().Now() - sim0) / reps;
   return out;
 }
 
@@ -270,9 +293,11 @@ int main() {
 
   std::vector<int> thread_counts = {1, 2, 4};
   std::vector<DecodeResult> decode;
+  std::vector<int> resolved_threads;
   for (int t : thread_counts) {
     EngineOptions options;
     options.n_threads = t;
+    resolved_threads.push_back(ResolvedThreads(options));
     decode.push_back(MeasureDecode(spec, options, kDecodeTokens));
   }
 
@@ -286,7 +311,15 @@ int main() {
             Fmt("%.3f", scalar_blocked.attend_ms_per_tok),
             std::to_string(scalar_blocked.kv_resident_bytes)});
   for (size_t i = 0; i < thread_counts.size(); ++i) {
-    PrintRow({std::string("blocked-simd"), std::to_string(thread_counts[i]),
+    // A request beyond the hardware is clamped by the engine (ISSUE 5:
+    // oversubscription measured slower than t1); the row label says so
+    // instead of presenting a duplicate configuration as scaling.
+    const std::string label =
+        resolved_threads[i] == thread_counts[i]
+            ? std::to_string(thread_counts[i])
+            : std::to_string(thread_counts[i]) + " (clamped->" +
+                  std::to_string(resolved_threads[i]) + ")";
+    PrintRow({std::string("blocked-simd"), label,
               Fmt("%.1f", decode[i].tok_per_s),
               Fmt("%.2fx", decode[i].tok_per_s / seed_tok_s),
               Fmt("%.3f", decode[i].attend_ms_per_tok),
@@ -333,14 +366,19 @@ int main() {
   const double batched4_ms =
       MeasurePrefillMs(prefill_spec, prefill_weights, batched4, kPromptTokens);
 
-  // NPU offload row: same batched schedule, every chunk matmul submitted as
-  // a secure NPU job through the co-driver. Wall ms is not comparable to the
-  // CPU rows head-to-head (the functional payload is the single-thread
-  // scalar table plus protocol bookkeeping); the interesting numbers are the
-  // modeled co-driver overheads per job and the virtual-time makespan, where
-  // the NPU's 16.4x matmul throughput shows up.
+  // NPU offload rows (ISSUE 5): fused per-layer jobs + the pipelined
+  // schedule, reported as the hybrid makespan (measured CPU segments +
+  // modeled NPU execution on one virtual timeline — see the glossary in
+  // README.md). The unfused row is the pre-fusion granularity ablation:
+  // same useful work, 3.5x the jobs, every extra job paying the co-driver
+  // world switch.
   const NpuPrefillResult npu =
       MeasureNpuPrefill(prefill_spec, prefill_weights, batched1, kPromptTokens);
+  EngineOptions unfused1 = batched1;
+  unfused1.npu_fusion = false;
+  const NpuPrefillResult npu_unfused =
+      MeasureNpuPrefill(prefill_spec, prefill_weights, unfused1,
+                        kPromptTokens);
 
   printf("\nPrefill latency (%d-token prompt):\n", kPromptTokens);
   PrintRow({"path", "threads", "ms", "vs per-pos"});
@@ -349,15 +387,27 @@ int main() {
             Fmt("%.2fx", per_pos_ms / batched1_ms)});
   PrintRow({"batched x32", "4", Fmt("%.1f", batched4_ms),
             Fmt("%.2fx", per_pos_ms / batched4_ms)});
-  PrintRow({"npu-offload x32", "1", Fmt("%.1f", npu.wall_ms),
-            Fmt("%.2fx", per_pos_ms / npu.wall_ms)});
+  PrintRow({"npu-fused x32", "1", Fmt("%.1f", npu.makespan_ms),
+            Fmt("%.2fx", per_pos_ms / npu.makespan_ms)});
+  PrintRow({"npu-unfused x32", "1", Fmt("%.1f", npu_unfused.makespan_ms),
+            Fmt("%.2fx", per_pos_ms / npu_unfused.makespan_ms)});
   printf(
-      "npu co-driver: %llu jobs/prefill, config %.1f us/job, smc %.1f us/job, "
-      "switch %.1f us/job (model), npu busy %.2f ms, sim makespan %.2f ms\n",
-      static_cast<unsigned long long>(npu.jobs), npu.config_us_per_job,
-      npu.smc_us_per_job,
+      "npu co-driver (fused): %llu jobs/prefill, %.1f matmuls/job, config "
+      "%.1f us/job, smc %.1f us/job, switch %.1f us/job measured (model "
+      "%.1f), npu busy %.2f ms, cpu stall %.2f ms, wall %.1f ms\n",
+      static_cast<unsigned long long>(npu.jobs), npu.matmuls_per_job,
+      npu.config_us_per_job, npu.smc_us_per_job,
+      npu.measured_switch_us_per_job,
       ToMillis(TeeNpuDriver::PerJobSwitchCost()) * 1e3, npu.npu_busy_ms,
-      npu.sim_ms);
+      npu.stall_ms, npu.wall_ms);
+  printf(
+      "npu co-driver (unfused ablation): %llu jobs/prefill, makespan %.2f "
+      "ms (fusion saves %.2f ms of switch overhead)\n",
+      static_cast<unsigned long long>(npu_unfused.jobs),
+      npu_unfused.makespan_ms, npu_unfused.makespan_ms - npu.makespan_ms);
+  printf("npu fused prefill vs batched t1: %.2fx %s\n",
+         batched1_ms / npu.makespan_ms,
+         npu.makespan_ms < batched1_ms ? "(faster: PASS)" : "(slower: FAIL)");
 
   // The ratio target was 2.5x when the seed path still allocated logits per
   // step and ran strict-serial attention dots; PR 2 gave the reference
@@ -394,6 +444,14 @@ int main() {
               decode[i].tok_per_s, i + 1 < thread_counts.size() ? "," : "");
     }
     fprintf(json, "  },\n");
+    // Requested -> engine-resolved lanes: rows whose resolved count is
+    // smaller than the key were clamped (oversubscription), not scaling.
+    fprintf(json, "  \"resolved_threads\": {\n");
+    for (size_t i = 0; i < thread_counts.size(); ++i) {
+      fprintf(json, "    \"threads_%d\": %d%s\n", thread_counts[i],
+              resolved_threads[i], i + 1 < thread_counts.size() ? "," : "");
+    }
+    fprintf(json, "  },\n");
     fprintf(json, "  \"decode_attend_ms_per_tok\": {\n");
     fprintf(json, "    \"seed_scalar\": %.4f,\n", seed.attend_ms_per_tok);
     fprintf(json, "    \"blocked_scalar_table\": %.4f,\n",
@@ -422,17 +480,25 @@ int main() {
     fprintf(json, "    \"per_position\": %.2f,\n", per_pos_ms);
     fprintf(json, "    \"batched_t1\": %.2f,\n", batched1_ms);
     fprintf(json, "    \"batched_t4\": %.2f,\n", batched4_ms);
-    fprintf(json, "    \"npu_offload\": %.2f\n", npu.wall_ms);
+    fprintf(json, "    \"npu_offload\": %.2f,\n", npu.makespan_ms);
+    fprintf(json, "    \"npu_offload_unfused\": %.2f,\n",
+            npu_unfused.makespan_ms);
+    fprintf(json, "    \"npu_offload_wall\": %.2f\n", npu.wall_ms);
     fprintf(json, "  },\n");
     fprintf(json, "  \"npu_codriver\": {\n");
     fprintf(json, "    \"jobs_per_prefill\": %llu,\n",
             static_cast<unsigned long long>(npu.jobs));
+    fprintf(json, "    \"jobs_per_prefill_unfused\": %llu,\n",
+            static_cast<unsigned long long>(npu_unfused.jobs));
+    fprintf(json, "    \"matmuls_per_job\": %.2f,\n", npu.matmuls_per_job);
     fprintf(json, "    \"config_us_per_job\": %.2f,\n", npu.config_us_per_job);
     fprintf(json, "    \"smc_us_per_job\": %.2f,\n", npu.smc_us_per_job);
+    fprintf(json, "    \"switch_us_per_job_measured\": %.2f,\n",
+            npu.measured_switch_us_per_job);
     fprintf(json, "    \"switch_us_per_job_model\": %.2f,\n",
             ToMillis(TeeNpuDriver::PerJobSwitchCost()) * 1e3);
     fprintf(json, "    \"npu_busy_ms_sim\": %.3f,\n", npu.npu_busy_ms);
-    fprintf(json, "    \"prefill_makespan_ms_sim\": %.3f\n", npu.sim_ms);
+    fprintf(json, "    \"cpu_stall_ms_sim\": %.3f\n", npu.stall_ms);
     fprintf(json, "  },\n");
     fprintf(json, "  \"prefill_speedup_batched_vs_per_position\": %.3f\n",
             per_pos_ms / batched1_ms);

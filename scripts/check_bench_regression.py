@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Bench-regression guard for the fig17 smoke run (ISSUE 5).
+
+Parses a freshly produced BENCH_engine.json and fails CI when the NPU
+prefill trajectory regresses:
+
+  1. prefill_ms.npu_offload must beat prefill_ms.batched_t1 — the whole
+     point of the fused/pipelined co-driver path (both measured in the same
+     run, so the check is host-independent).
+  2. npu_codriver.jobs_per_prefill must stay within the fused budget
+     (<= 48 on the bench-medium 96-token prompt): a job-granularity
+     regression reintroduces per-job world switches long before it shows up
+     in wall time on a fast runner.
+  3. decode_tok_s.threads_1 must not drop more than 15% against the
+     committed snapshot — applied only when the snapshot was produced by
+     the same SIMD ISA (comparing absolute tok/s across different
+     microarchitectures is noise, not signal).
+
+Usage: check_bench_regression.py <fresh.json> <committed-snapshot.json>
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"::error::bench regression: {msg}")
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail(f"usage: {sys.argv[0]} <fresh.json> <committed.json>")
+    with open(sys.argv[1]) as f:
+        fresh = json.load(f)
+    with open(sys.argv[2]) as f:
+        committed = json.load(f)
+
+    npu = fresh["prefill_ms"]["npu_offload"]
+    cpu = fresh["prefill_ms"]["batched_t1"]
+    if npu >= cpu:
+        fail(
+            f"prefill_ms.npu_offload ({npu:.2f} ms) does not beat "
+            f"batched_t1 ({cpu:.2f} ms): the NPU offload path regressed"
+        )
+    print(f"npu_offload {npu:.2f} ms < batched_t1 {cpu:.2f} ms: OK")
+
+    jobs = fresh["npu_codriver"]["jobs_per_prefill"]
+    if jobs > 48:
+        fail(
+            f"jobs_per_prefill = {jobs} > 48: fused job granularity "
+            "regressed toward one-job-per-matmul"
+        )
+    print(f"jobs_per_prefill {jobs} <= 48: OK")
+
+    fresh_t1 = fresh["decode_tok_s"]["threads_1"]
+    committed_t1 = committed["decode_tok_s"]["threads_1"]
+    if fresh.get("simd_isa") == committed.get("simd_isa"):
+        if fresh_t1 < 0.85 * committed_t1:
+            fail(
+                f"decode_tok_s.threads_1 dropped {fresh_t1:.0f} vs "
+                f"committed {committed_t1:.0f} (> 15%)"
+            )
+        print(
+            f"decode threads_1 {fresh_t1:.0f} vs committed "
+            f"{committed_t1:.0f}: OK"
+        )
+    else:
+        print(
+            f"decode threads_1 check skipped: fresh isa "
+            f"{fresh.get('simd_isa')} != snapshot {committed.get('simd_isa')}"
+        )
+
+    print("bench regression guard: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,8 @@ const char* ErrorCodeName(ErrorCode code) {
       return "UNIMPLEMENTED";
     case ErrorCode::kInternal:
       return "INTERNAL";
+    case ErrorCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -28,6 +28,7 @@ enum class ErrorCode : uint32_t {
   kDataCorruption,  // Checksum / decryption verification failed.
   kUnimplemented,
   kInternal,
+  kDeadlineExceeded,  // A bounded wait ran out (virtual or wall time).
 };
 
 // Human-readable name for an error code ("kOk" -> "OK").
@@ -89,6 +90,9 @@ inline Status DataCorruption(std::string msg) {
 }
 inline Status Internal(std::string msg) {
   return Status(ErrorCode::kInternal, std::move(msg));
+}
+inline Status DeadlineExceeded(std::string msg) {
+  return Status(ErrorCode::kDeadlineExceeded, std::move(msg));
 }
 
 // Result<T>: either a value or an error status. Minimal StatusOr analogue.

@@ -108,6 +108,11 @@ Status LlmTa::LoadModel(const std::string& model_id, SchedulePolicy policy) {
     // stays right even if the single-owner region model ever loosens.
     backend_config.ctx_base =
         scratch->addr + scratch_bytes_ - npu_ctx_bytes_;
+    // The payloads must run the engine's own table: the fused layer tail
+    // carries norm/silu glue whose floats have to match the CPU path
+    // bit-for-bit, not just the (table-invariant) integer-dot rows.
+    backend_config.kernels = KernelsFor(engine_options_);
+    backend_config.fuse_jobs = engine_options_.npu_fusion;
     npu_backend_ =
         std::make_unique<NpuBackend>(backend_config);
   }

@@ -74,7 +74,7 @@ Status SystemRuntime::Setup() {
   auto meta = Tzguf::Provision(&platform_->flash(), tee_os_->keys(),
                                spec_.config().name, spec_,
                                /*weight_seed=*/0xC0FFEE,
-                               /*materialize=*/false);
+                               config_.materialize_model);
   if (!meta.ok()) {
     return meta.status();
   }
@@ -355,6 +355,24 @@ SimDuration SystemRuntime::DecodeTokenTime(int pos) const {
     }
   }
   return total;
+}
+
+Result<std::unique_ptr<LlmTa>> SystemRuntime::CreateFunctionalTa() {
+  if (!setup_done_) {
+    return FailedPrecondition("call Setup first");
+  }
+  if (!config_.materialize_model) {
+    return FailedPrecondition(
+        "functional TA needs RuntimeConfig::materialize_model (paper-scale "
+        "models carry shapes, not bytes)");
+  }
+  auto ta = std::make_unique<LlmTa>(platform_, tee_os_.get(),
+                                    tz_driver_.get(), config_.engine,
+                                    UsesNpu() ? tee_npu_.get() : nullptr);
+  TZLLM_RETURN_IF_ERROR(ta->Attach());
+  TZLLM_RETURN_IF_ERROR(
+      tee_os_->AuthorizeKeyAccess(ta->ta_id(), spec_.config().name));
+  return ta;
 }
 
 Status SystemRuntime::ReleaseAll() {

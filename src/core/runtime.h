@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/core/llm_ta.h"
 #include "src/core/pipeline.h"
 #include "src/core/restore_plan.h"
 #include "src/hw/platform.h"
@@ -57,6 +58,11 @@ struct RuntimeConfig {
   // Functional-engine knobs, handed to LlmTa/LlmEngine by stacks that run
   // real token generation (thread-count and prefill-batch sweeps).
   EngineOptions engine;
+  // Provision the model with real tensor bytes so CreateFunctionalTa can
+  // run actual token generation on this runtime's platform — the
+  // modeled-vs-measured co-driver cross-check path. Off for the paper-scale
+  // stacks (their models are shape-only).
+  bool materialize_model = false;
   uint64_t root_key_seed = 0x7EE5EED;
 };
 
@@ -101,6 +107,15 @@ class SystemRuntime {
 
   // Releases everything still cached (back to cold state).
   Status ReleaseAll();
+
+  // Builds a functional LLM TA on this runtime's TEE stack, wired through
+  // the same engine options (RuntimeConfig::engine) and — when the runtime
+  // has an NPU — the same TeeNpuDriver instance the modeled fig09/fig10
+  // paths submit through. This is the cross-check seam: run real NPU-
+  // offloaded prefill here, then compare the driver's measured per-job
+  // co-driver stats against the cost-model constants the paper-scale
+  // figures are priced with. Requires RuntimeConfig::materialize_model.
+  Result<std::unique_ptr<LlmTa>> CreateFunctionalTa();
 
   uint64_t cached_bytes() const { return cached_bytes_; }
   const ModelSpec& spec() const { return spec_; }

@@ -47,17 +47,30 @@ Status NpuDevice::MmioLaunch(World caller, const NpuJobDesc& job) {
   }
 
   busy_ = true;
+  abort_armed_ = false;
   busy_time_ += job.duration;
-  std::function<Status()> compute = job.compute;
-  sim_->Schedule(job.duration, [this, compute = std::move(compute)] {
-    if (compute) {
-      const Status cst = compute();
+  // The payload lives on the device, not in the completion closure, so an
+  // MmioAbort between launch and completion really drops it.
+  pending_compute_ = job.compute;
+  sim_->Schedule(job.duration, [this] {
+    Status cst;
+    std::function<Status()> compute = std::move(pending_compute_);
+    pending_compute_ = nullptr;
+    if (abort_armed_) {
+      cst = Internal("NPU job aborted via MMIO reset");
+      abort_armed_ = false;
+    } else if (compute) {
+      cst = compute();
       if (!cst.ok()) {
         ++compute_failures_;
         TZLLM_LOG_WARN("npu", "functional job payload failed: %s",
                        cst.ToString().c_str());
       }
     }
+    // Latch the job status so the owning driver's completion handler can
+    // read it (a real device raises its interrupt either way and reports
+    // faults through a status register).
+    last_job_status_ = cst;
     busy_ = false;
     ++jobs_completed_;
     gic_->Raise(kIrqNpu);
@@ -65,9 +78,25 @@ Status NpuDevice::MmioLaunch(World caller, const NpuJobDesc& job) {
   return OkStatus();
 }
 
+Status NpuDevice::MmioAbort(World caller) {
+  TZLLM_RETURN_IF_ERROR(tzpc_->CheckMmio(caller, DeviceId::kNpu));
+  if (!busy_) {
+    return OkStatus();
+  }
+  pending_compute_ = nullptr;
+  abort_armed_ = true;
+  return OkStatus();
+}
+
 Result<bool> NpuDevice::MmioIsBusy(World caller) const {
   TZLLM_RETURN_IF_ERROR(tzpc_->CheckMmio(caller, DeviceId::kNpu));
   return busy_;
+}
+
+Status NpuDevice::MmioReadJobStatus(World caller, Status* out) const {
+  TZLLM_RETURN_IF_ERROR(tzpc_->CheckMmio(caller, DeviceId::kNpu));
+  *out = last_job_status_;
+  return OkStatus();
 }
 
 }  // namespace tzllm

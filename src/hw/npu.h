@@ -24,8 +24,24 @@
 
 namespace tzllm {
 
+// Shape of one matmul inside a (possibly fused) NPU job: an m-position
+// batch over a rows x cols weight. Carried on the job descriptor so the
+// driver layer can account fused-group sizes and the cost model can price a
+// multi-matmul job as the sum of its members.
+struct NpuMatmulShape {
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  int m = 0;
+};
+
 // Execution context of one NPU job, all in physical memory (paper Figure 8:
 // register commands, I/O page table, input/output buffers).
+//
+// A job may carry a whole fused matmul group (one command stream issuing
+// several matmuls plus their elementwise glue) — `matmuls` lists the member
+// shapes, `buffers` every sub-buffer the fused group will DMA. This is the
+// multi-matmul execution-context format the co-driver validates and the
+// fused NPU prefill path batches per transformer layer.
 struct NpuJobDesc {
   PhysAddr cmd_addr = 0;   // Register command stream ("NPU job code").
   uint64_t cmd_size = 0;
@@ -33,6 +49,9 @@ struct NpuJobDesc {
   uint64_t iopt_size = 0;
   // Input and output buffers the job will DMA.
   std::vector<std::pair<PhysAddr, uint64_t>> buffers;
+  // Matmuls fused into this job (empty for non-matmul / purely modeled
+  // jobs). Stats only — execution is `compute` + `duration`.
+  std::vector<NpuMatmulShape> matmuls;
   // Modeled execution time on the NPU.
   SimDuration duration = 0;
   // Optional functional payload executed at completion (reads inputs /
@@ -52,6 +71,23 @@ class NpuDevice {
   // MMIO status poll (also TZPC-gated).
   Result<bool> MmioIsBusy(World caller) const;
 
+  // MMIO abort doorbell (TZPC-gated): drops the in-flight job's functional
+  // payload at the device — the compute stage is reset, though the job
+  // still raises its completion interrupt (with a fault latched in the
+  // status register). This is what lets a driver abandon a LAUNCHED job on
+  // timeout without leaving a payload armed against caller memory it no
+  // longer owns; nulling the driver-side descriptor copy alone cannot
+  // reach the copy the device captured at launch.
+  Status MmioAbort(World caller);
+
+  // MMIO job-status register: completion status of the most recently
+  // finished job (a real NPU latches a fault bit; here the functional
+  // payload's Status) written into *out. TZPC-gated like every MMIO access,
+  // so only the world owning the device can observe a secure job's failure.
+  // Read by the TEE driver's completion handler so a failing payload
+  // propagates to the waiting TA instead of completing silently.
+  Status MmioReadJobStatus(World caller, Status* out) const;
+
   bool busy() const { return busy_; }
 
   uint64_t jobs_completed() const { return jobs_completed_; }
@@ -68,10 +104,15 @@ class NpuDevice {
   Tzpc* tzpc_;
   Gic* gic_;
   bool busy_ = false;
+  bool abort_armed_ = false;  // In-flight payload dropped via MmioAbort.
   uint64_t jobs_completed_ = 0;
   uint64_t launch_rejections_ = 0;
   uint64_t compute_failures_ = 0;
   SimDuration busy_time_ = 0;
+  Status last_job_status_;  // Latched at each job completion.
+  // The in-flight job's functional payload. Held by the device (not the
+  // completion closure) so MmioAbort can actually drop it.
+  std::function<Status()> pending_compute_;
 };
 
 }  // namespace tzllm

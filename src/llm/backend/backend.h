@@ -2,27 +2,47 @@
 // hardware runs its heavyweight matmuls.
 //
 // The executor no longer calls the kernel table directly for prefill: every
-// batched-prefill MatMatQ8 call site routes through a ComputeBackend, so the
-// same schedule can run the chunk's QKV/FFN matmuls on the CPU kernel pool
-// (CpuBackend) or hand them to the secure NPU behind the TEE's minimal
+// batched-prefill matmul group routes through a ComputeBackend, so the same
+// schedule can run a chunk's QKV/FFN work on the CPU kernel pool
+// (CpuBackend) or hand it to the secure NPU behind the TEE's minimal
 // co-driver data plane (NpuBackend, paper §4.3). Decode stays on the CPU
 // KernelDispatch path by construction: the executor always owns a CpuBackend
 // and only the *prefill* seam is swappable.
 //
-// Numerics contract: a backend must produce outputs bit-identical to
-// MatMatQ8 over the scalar kernel table. For CpuBackend this holds because
-// the integer-dot row kernels are bit-identical across SIMD backends
-// (simd/kernels.h); NpuBackend's functional payload simply *is* the scalar
-// table. Swapping backends therefore never changes a single logit.
+// The submission API is asynchronous: SubmitMatMatGroup/SubmitLayerTail
+// return a ticket, and the caller observes completion through Await/TryPoll
+// (or the Sync barrier). A synchronous backend (CpuBackend) executes at
+// submit time and returns the kCompletedTicket; an asynchronous backend
+// (NpuBackend) turns each submission into one fused secure NPU job and lets
+// the caller overlap its own CPU work — the executor's pipelined prefill
+// computes one chunk's attention while another chunk's fused layer job runs
+// on the NPU timeline.
+//
+// Lifetime contract for asynchronous submissions: every buffer a submission
+// references — the quantized activations, the output rows, the layer-tail
+// scratch — is caller-owned and must stay untouched until the ticket
+// retires (Await returned, or Sync). This is what makes the NPU path
+// zero-copy: the job's pinned input *is* the caller's buffer.
+//
+// Numerics contract: a backend must produce outputs bit-identical to the
+// same group run through MatMatQ8 + RunLayerTail over the engine's kernel
+// table. For CpuBackend this is definitional (it *is* that code path);
+// NpuBackend's functional payloads call the exact same helpers with the
+// same table, so swapping backends never changes a single logit.
 
 #ifndef SRC_LLM_BACKEND_BACKEND_H_
 #define SRC_LLM_BACKEND_BACKEND_H_
 
+#include <chrono>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/hw/npu.h"
 #include "src/hw/types.h"
 #include "src/llm/tensor.h"
 
@@ -43,18 +63,100 @@ struct MatTarget {
   float* y = nullptr;
 };
 
+// One matmul of a fused batched-prefill group; all members share the
+// group's quantized activations: y[p * rows + r] = W row r . X position p.
+struct MatMatOp {
+  const uint8_t* w = nullptr;
+  uint64_t rows = 0;
+  float* y = nullptr;
+};
+
+// The whole post-attention segment of one transformer layer over an
+// m-position chunk, fused into a single submission:
+//
+//   proj    = Wo x_attn                  (x_attn = quantized attention out)
+//   hiddens += proj                      (residual)
+//   norm    = RmsNorm(hiddens, gain)     (per position)
+//   acts    = Q8(norm)
+//   gate    = Wg acts;  up = Wu acts
+//   gate    = silu(gate) * up            (SwiGLU)
+//   acts    = Q8(gate)
+//   down    = Wd acts
+//   hiddens += down                      (residual)
+//
+// Everything from the attention output to the layer's final residual is a
+// straight-line chain with no other consumer, so a backend may run it as
+// ONE fused NPU job — this is where 7 jobs per layer-chunk become 2. All
+// pointers are caller-owned workspace for the chunk, untouched until the
+// ticket retires; `acts` is requantization scratch the chain reuses (it may
+// alias the x_attn object passed alongside — the Wo matmul consumes x_attn
+// before the first requantization overwrites it).
+struct LayerTailOp {
+  int m = 0;
+  int d_model = 0;
+  int d_ff = 0;
+  const uint8_t* wo = nullptr;
+  const float* ffn_norm_gain = nullptr;
+  const uint8_t* w_gate = nullptr;
+  const uint8_t* w_up = nullptr;
+  const uint8_t* w_down = nullptr;
+  float* hiddens = nullptr;  // [m][d_model] residual stream, updated in place.
+  float* proj = nullptr;     // [m][d_model] scratch.
+  float* norm = nullptr;     // [m][d_model] scratch.
+  float* gate = nullptr;     // [m][d_ff] scratch.
+  float* up = nullptr;       // [m][d_ff] scratch.
+  float* down = nullptr;     // [m][d_model] scratch.
+  Q8Acts* acts = nullptr;    // Requantization scratch.
+};
+
+// Executes a layer tail on the host with `kernels` — the single functional
+// definition of the fused chain, shared by CpuBackend and the NPU job
+// payload so both backends compute the identical floats in the identical
+// order (and so it cannot drift from what the executor used to inline).
+void RunLayerTail(const LayerTailOp& op, const Q8Acts& x_attn,
+                  const KernelDispatch* kernels, ThreadPool* pool);
+
+// The elementwise stages between the tail's matmuls, exposed so the
+// unfused (one-job-per-matmul) NPU mode composes the exact same stage
+// functions RunLayerTail does — fused and unfused schedules are therefore
+// bit-identical by construction, not by parallel maintenance.
+void LayerTailProjResidualNormQuant(const LayerTailOp& op,
+                                    const KernelDispatch* kernels);
+void LayerTailSwiGluQuant(const LayerTailOp& op);
+void LayerTailDownResidual(const LayerTailOp& op);
+
+// Completion handle for an asynchronous submission. Monotonic per backend;
+// kCompletedTicket means the work already ran synchronously at submit.
+using BackendTicket = uint64_t;
+inline constexpr BackendTicket kCompletedTicket = 0;
+
 class ComputeBackend {
  public:
   virtual ~ComputeBackend() = default;
 
   virtual const char* name() const = 0;
+  // True when submissions may complete after the submit call returns — the
+  // executor picks the pipelined prefill schedule for such backends.
+  virtual bool asynchronous() const { return false; }
 
-  // Batched-prefill matmul over pre-quantized activations:
-  // y[p * rows + r] = W row r . X position p, for all x.m positions. May
-  // execute asynchronously — outputs are guaranteed visible only after
-  // Sync(). The caller must not reuse `x` or read `y` before then.
-  virtual Status MatMat(const uint8_t* w, uint64_t rows, uint64_t cols,
-                        const Q8Acts& x, float* y) = 0;
+  // Batched-prefill matmul group over pre-quantized activations `x` shared
+  // by every member op. May execute asynchronously; see the lifetime
+  // contract above.
+  virtual Result<BackendTicket> SubmitMatMatGroup(const MatMatOp* ops, int n,
+                                                  const Q8Acts& x) = 0;
+
+  // Fused post-attention layer segment (see LayerTailOp). `x_attn` is the
+  // chunk's quantized attention output.
+  virtual Result<BackendTicket> SubmitLayerTail(const LayerTailOp& op,
+                                                const Q8Acts& x_attn) = 0;
+
+  // Blocks until the submission behind `ticket` (and, on an in-order
+  // backend, everything submitted before it) has completed; returns its
+  // completion status. Await(kCompletedTicket) is a no-op.
+  virtual Status Await(BackendTicket ticket) = 0;
+
+  // Non-blocking: true when Await(ticket) would return without waiting.
+  virtual Result<bool> TryPoll(BackendTicket ticket) = 0;
 
   // Single-position projections sharing one activation row `x` of `cols`
   // floats (decode and per-position prefill). Synchronous; reference mode
@@ -63,14 +165,15 @@ class ComputeBackend {
   virtual Status MatVec(const float* x, uint64_t cols, const MatTarget* targets,
                         int n_targets) = 0;
 
-  // Barrier: returns once every outstanding MatMat has completed, with the
-  // first failure if any job failed.
+  // Barrier: returns once every outstanding submission has completed, with
+  // the first failure if any job failed.
   virtual Status Sync() = 0;
 };
 
 // Wraps the existing CPU path: reference scalar kernels or quantized
 // integer-dot kernels on the thread pool, inner loops through the SIMD table
-// the engine resolved at construction.
+// the engine resolved at construction. Fully synchronous — every submit
+// executes inline and returns kCompletedTicket.
 class CpuBackend : public ComputeBackend {
  public:
   // `pool` (optional) and `kernels` (nullptr = process-wide table) are owned
@@ -79,8 +182,12 @@ class CpuBackend : public ComputeBackend {
              const KernelDispatch* kernels);
 
   const char* name() const override { return "cpu"; }
-  Status MatMat(const uint8_t* w, uint64_t rows, uint64_t cols, const Q8Acts& x,
-                float* y) override;
+  Result<BackendTicket> SubmitMatMatGroup(const MatMatOp* ops, int n,
+                                          const Q8Acts& x) override;
+  Result<BackendTicket> SubmitLayerTail(const LayerTailOp& op,
+                                        const Q8Acts& x_attn) override;
+  Status Await(BackendTicket /*ticket*/) override { return OkStatus(); }
+  Result<bool> TryPoll(BackendTicket /*ticket*/) override { return true; }
   Status MatVec(const float* x, uint64_t cols, const MatTarget* targets,
                 int n_targets) override;
   Status Sync() override { return OkStatus(); }
@@ -104,25 +211,47 @@ struct NpuBackendConfig {
   // jobs whose context falls outside the TA's protected regions.
   PhysAddr ctx_base = 0;
   uint64_t ctx_bytes = 0;
+  // Kernel table for the functional job payloads — pass the engine's own
+  // KernelsFor(options) so the offloaded chain (matmuls AND the layer
+  // tail's norm/silu glue) computes bit-identically to the CPU path.
+  // nullptr = the frozen scalar table.
+  const KernelDispatch* kernels = nullptr;
+  // One fused job per matmul group / layer tail (default) vs one job per
+  // matmul (the pre-fusion granularity; EngineOptions::npu_fusion).
+  bool fuse_jobs = true;
+  // Hybrid timeline: charge the host CPU's measured wall time between
+  // backend calls to the simulator clock, so the virtual prefill makespan
+  // composes real CPU segments with modeled NPU job execution — the number
+  // that answers "what would this take on the real SoC", and the one the
+  // bench reports for the offloaded path. Off = the virtual clock only
+  // advances for NPU/protocol events.
+  bool hybrid_timeline = true;
+  // Fault injection for tests: 1-based ordinal of the submitted job whose
+  // functional payload reports a failure (0 = never). Exercises the
+  // payload-failure propagation path end to end.
+  uint64_t inject_payload_failure_job = 0;
 };
 
-// Packages each prefill chunk's matmuls as secure NPU jobs: one NpuJobDesc
-// per MatMat, its buffers pinned inside the TA's TZASC regions, its duration
-// priced by the cost model (kNpuMatmulFlops), its functional payload the
-// scalar kernel table for bit-exact results. Jobs are submitted through
-// TeeNpuDriver::SubmitJob and double-buffered across kJobSlots execution
-// contexts, so job n+1's context preparation (activation snapshot + desc
-// build on the CPU) overlaps job n's execution on the NPU timeline; Sync()
-// drives the simulator until every outstanding job's completion callback has
-// fired.
+// Packages prefill work as secure NPU jobs: one *fused* job per matmul
+// group or layer tail (buffers pinned inside the TA's TZASC regions, every
+// sub-buffer validated by the co-driver, duration priced by
+// CostModel::NpuFusedJobTime, functional payload the shared host helpers
+// over the engine's kernel table for bit-exact results). Jobs are submitted
+// through TeeNpuDriver::SubmitJob and double-buffered across kJobSlots
+// execution contexts, so preparing job n+1's context overlaps job n's
+// execution; completion is observed per ticket — the pipelined schedule
+// defers each blocking Await to its dependency point (that deferral is
+// the overlap), and TryPoll gives the non-blocking query for diagnostics
+// or poll-driven schedulers.
 class NpuBackend : public ComputeBackend {
  public:
-  // Execution contexts double-buffered: prepare chunk job n+1 while n runs.
+  // Execution contexts double-buffered: prepare job n+1 while n runs.
   static constexpr int kJobSlots = 2;
 
   // Scratch bytes the TA must budget (and protect) for the job execution
   // contexts of chunks up to options.prefill_batch positions of `spec` —
-  // what config.ctx_bytes must be computed with.
+  // what config.ctx_bytes must be computed with. Sized for the largest
+  // fused job (a layer tail touches in + hiddens + gate/up scratch + out).
   static uint64_t ContextBytes(const ModelSpec& spec,
                                const EngineOptions& options);
 
@@ -130,8 +259,13 @@ class NpuBackend : public ComputeBackend {
   ~NpuBackend() override;
 
   const char* name() const override { return "npu"; }
-  Status MatMat(const uint8_t* w, uint64_t rows, uint64_t cols, const Q8Acts& x,
-                float* y) override;
+  bool asynchronous() const override { return true; }
+  Result<BackendTicket> SubmitMatMatGroup(const MatMatOp* ops, int n,
+                                          const Q8Acts& x) override;
+  Result<BackendTicket> SubmitLayerTail(const LayerTailOp& op,
+                                        const Q8Acts& x_attn) override;
+  Status Await(BackendTicket ticket) override;
+  Result<bool> TryPoll(BackendTicket ticket) override;
   // Decode never routes here — the executor keeps its own CpuBackend for
   // every MatVec — so this surfaces misuse as kUnimplemented instead of
   // silently computing on a shadow CPU path.
@@ -140,38 +274,44 @@ class NpuBackend : public ComputeBackend {
   Status Sync() override;
 
   uint64_t jobs_submitted() const { return jobs_submitted_; }
+  uint64_t matmuls_submitted() const { return matmuls_submitted_; }
+  // Virtual time the caller spent stalled in Await/Sync driving the
+  // simulator to a job's completion (prefill bubbles the pipeline could not
+  // hide).
+  SimDuration await_stall_time() const { return await_stall_time_; }
 
  private:
-  // One self-contained execution context: the input buffer snapshot (the
-  // chunk's quantized activations, conceptually pinned at the slot's
-  // in-buffer address) plus the in-flight job handle. The snapshot is
-  // shared: one quantization feeding several matmuls (QKV, gate/up) is
-  // copied once and referenced by every job of the group.
-  struct Slot {
-    bool pending = false;
+  // One in-flight fused job occupying a context slot.
+  struct Pending {
     uint64_t job_id = 0;
-    std::shared_ptr<const Q8Acts> acts;
+    BackendTicket ticket = 0;
   };
 
-  // MatMat's body; the public wrapper drains in-flight jobs on error so a
-  // failed group can never leave a payload pending against caller-owned
-  // output buffers.
-  Status MatMatImpl(const uint8_t* w, uint64_t rows, uint64_t cols,
-                    const Q8Acts& x, float* y);
-  // Waits (driving the simulator) for the slot's in-flight job, if any.
-  Status AwaitSlot(int slot);
-  // The pinned-input snapshot for `x`, reused while (source, generation)
-  // is unchanged since the last call.
-  std::shared_ptr<const Q8Acts> SnapshotActs(const Q8Acts& x);
+  // Charges host wall time since the last backend call to the virtual
+  // clock (hybrid timeline), running any NPU/protocol events that fall
+  // inside the segment.
+  void AdvanceHostTime();
+  void MarkHostTime();
+  // Retires the oldest pending job (jobs complete in submit order — the
+  // co-driver enforces monotonic execution sequencing).
+  Status AwaitOldest();
+  // Builds, validates and submits one fused job over `shapes` writing
+  // through `compute`; in/out buffer byte sizes describe the slot packing.
+  Result<uint64_t> SubmitJob(const std::vector<NpuMatmulShape>& shapes,
+                             uint64_t in_bytes,
+                             const std::vector<uint64_t>& out_bytes,
+                             std::function<Status()> compute);
 
   NpuBackendConfig config_;
   uint64_t slot_bytes_ = 0;
   uint64_t next_slot_ = 0;
   uint64_t jobs_submitted_ = 0;
-  Slot slots_[kJobSlots];
-  std::shared_ptr<const Q8Acts> snapshot_;
-  const Q8Acts* snapshot_src_ = nullptr;
-  uint64_t snapshot_gen_ = 0;
+  uint64_t matmuls_submitted_ = 0;
+  BackendTicket next_ticket_ = 1;
+  std::deque<Pending> pending_;
+  SimDuration await_stall_time_ = 0;
+  bool host_mark_valid_ = false;
+  std::chrono::steady_clock::time_point host_mark_;
 };
 
 }  // namespace tzllm

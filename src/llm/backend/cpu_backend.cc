@@ -1,8 +1,55 @@
+#include <cmath>
+
 #include "src/llm/backend/backend.h"
 #include "src/llm/engine_options.h"
 #include "src/llm/simd/kernels.h"
 
 namespace tzllm {
+
+void LayerTailProjResidualNormQuant(const LayerTailOp& op,
+                                    const KernelDispatch* kernels) {
+  const uint64_t d = static_cast<uint64_t>(op.d_model);
+  // Attention-output residual, then the FFN norm over all m positions.
+  for (int i = 0; i < op.m * op.d_model; ++i) {
+    op.hiddens[i] += op.proj[i];
+  }
+  for (int i = 0; i < op.m; ++i) {
+    kernels->rms_norm(op.hiddens + static_cast<size_t>(i) * d,
+                      op.ffn_norm_gain, op.norm + static_cast<size_t>(i) * d,
+                      op.d_model);
+  }
+  op.acts->QuantizeRows(op.norm, op.m, d);
+}
+
+void LayerTailSwiGluQuant(const LayerTailOp& op) {
+  for (int i = 0; i < op.m * op.d_ff; ++i) {
+    const float g = op.gate[i];
+    const float silu = g / (1.0f + std::exp(-g));
+    op.gate[i] = silu * op.up[i];
+  }
+  op.acts->QuantizeRows(op.gate, op.m, static_cast<uint64_t>(op.d_ff));
+}
+
+void LayerTailDownResidual(const LayerTailOp& op) {
+  for (int i = 0; i < op.m * op.d_model; ++i) {
+    op.hiddens[i] += op.down[i];
+  }
+}
+
+void RunLayerTail(const LayerTailOp& op, const Q8Acts& x_attn,
+                  const KernelDispatch* kernels, ThreadPool* pool) {
+  const uint64_t d = static_cast<uint64_t>(op.d_model);
+  const uint64_t ff = static_cast<uint64_t>(op.d_ff);
+  // x_attn is consumed by the Wo matmul before the first requantization
+  // below may overwrite an aliased op.acts.
+  MatMatQ8(op.wo, d, d, x_attn, op.proj, pool, kernels);
+  LayerTailProjResidualNormQuant(op, kernels);
+  MatMatQ8(op.w_gate, ff, d, *op.acts, op.gate, pool, kernels);
+  MatMatQ8(op.w_up, ff, d, *op.acts, op.up, pool, kernels);
+  LayerTailSwiGluQuant(op);
+  MatMatQ8(op.w_down, d, ff, *op.acts, op.down, pool, kernels);
+  LayerTailDownResidual(op);
+}
 
 CpuBackend::CpuBackend(const EngineOptions& options, ThreadPool* pool,
                        const KernelDispatch* kernels)
@@ -10,10 +57,18 @@ CpuBackend::CpuBackend(const EngineOptions& options, ThreadPool* pool,
       pool_(pool),
       kernels_(kernels) {}
 
-Status CpuBackend::MatMat(const uint8_t* w, uint64_t rows, uint64_t cols,
-                          const Q8Acts& x, float* y) {
-  MatMatQ8(w, rows, cols, x, y, pool_, kernels_);
-  return OkStatus();
+Result<BackendTicket> CpuBackend::SubmitMatMatGroup(const MatMatOp* ops, int n,
+                                                    const Q8Acts& x) {
+  for (int i = 0; i < n; ++i) {
+    MatMatQ8(ops[i].w, ops[i].rows, x.cols, x, ops[i].y, pool_, kernels_);
+  }
+  return kCompletedTicket;
+}
+
+Result<BackendTicket> CpuBackend::SubmitLayerTail(const LayerTailOp& op,
+                                                  const Q8Acts& x_attn) {
+  RunLayerTail(op, x_attn, kernels_, pool_);
+  return kCompletedTicket;
 }
 
 Status CpuBackend::MatVec(const float* x, uint64_t cols,

@@ -1,14 +1,28 @@
-// NpuBackend — batched-prefill matmuls as secure NPU jobs (paper §4.3).
+// NpuBackend — batched-prefill work as *fused* secure NPU jobs (paper §4.3).
 //
-// Each MatMat becomes one self-contained execution context: the chunk's
-// quantized activations are snapshotted into the slot (the job's pinned
-// input buffer), the command stream / I/O page table / buffers are laid out
-// in the TA's TZASC-protected scratch window, the duration is priced by the
-// cost model's NPU throughput, and the functional payload reuses the scalar
-// kernel table so the offloaded result is bit-identical to the CPU path.
-// Contexts are double-buffered: while job n executes on the (simulated) NPU
-// timeline, job n+1's context is prepared on the CPU and submitted, and the
-// co-driver's shadow-job queue sequences the launches.
+// One submission = one job: a whole matmul group (QKV) or a whole
+// post-attention layer tail (Wo + residual + FFN) rides a single execution
+// context — command stream, I/O page table and every sub-buffer laid out in
+// the TA's TZASC-protected scratch window and validated by the co-driver —
+// so the per-job world-switch cost (~54 us modeled) is paid 2x per
+// layer-chunk instead of 7x. Jobs are zero-copy: the pinned input buffer is
+// the caller's own activation buffer, stable until the ticket retires (the
+// ComputeBackend lifetime contract), so context preparation is descriptor
+// packing, not memcpy.
+//
+// Durations are priced by CostModel::NpuFusedJobTime; the functional
+// payload runs the same host helpers (MatMatQ8 / layer-tail stages) over
+// the engine's kernel table, so the offloaded result is bit-identical to
+// the CPU path. Completion is per job: the executor's pipelined prefill
+// defers each blocking Await to the true dependency point, computing
+// another chunk's attention on the CPU while jobs run on the (simulated)
+// NPU timeline (TryPoll/TryPollJob expose the matching non-blocking query
+// for diagnostics and poll-driven schedulers). With hybrid_timeline on,
+// the backend charges
+// the host's measured wall time between backend calls to the simulator
+// clock, so the virtual prefill makespan composes real CPU segments with
+// modeled NPU execution — overlap and pipeline bubbles both show up in one
+// coherent number.
 
 #include <algorithm>
 #include <utility>
@@ -25,24 +39,34 @@ namespace tzllm {
 
 namespace {
 
-// One execution context's layout for an m-position matmul over a rows x cols
-// weight: command stream + I/O page table (one page each), then the pinned
-// input (int8 activations + one float scale per 32-block) and output (m rows
-// of floats) buffers, page-aligned. The single source of truth for both the
-// budget (ContextBytes) and the runtime layout (MatMat) — they cannot drift.
-struct SlotLayout {
-  uint64_t in_bytes = 0;
-  uint64_t out_bytes = 0;
-  uint64_t slot_bytes = 0;
-};
+// A stuck job (shadow never reaching the queue head, device wedged) must
+// surface as an error, not hang the TA: generous next to the microsecond-
+// scale protocol, far below "forever".
+constexpr SimDuration kJobWaitTimeout = 2000 * kMillisecond;
 
-SlotLayout LayoutFor(uint64_t m, uint64_t rows, uint64_t cols) {
-  SlotLayout layout;
-  layout.in_bytes = AlignUp(
-      m * cols + m * (cols / kQ8BlockElems) * sizeof(float), kPageSize);
-  layout.out_bytes = AlignUp(m * rows * sizeof(float), kPageSize);
-  layout.slot_bytes = 2 * kPageSize + layout.in_bytes + layout.out_bytes;
-  return layout;
+uint64_t ActsBytes(uint64_t m, uint64_t cols) {
+  return AlignUp(m * cols + m * (cols / kQ8BlockElems) * sizeof(float),
+                 kPageSize);
+}
+
+uint64_t OutBytes(uint64_t m, uint64_t rows) {
+  return AlignUp(m * rows * sizeof(float), kPageSize);
+}
+
+// EVERY buffer a fused layer-tail payload touches beyond the pinned input:
+// the residual stream, the proj/norm scratch, the d_ff-wide requantization
+// activations and the gate/up/down rows. Single source of truth for the
+// submit-time descriptor AND the ContextBytes budget — the TZASC
+// validation story ("every sub-buffer validated") only holds if this list
+// is exhaustive, so additions to RunLayerTail must extend it.
+std::vector<uint64_t> TailBufferBytes(uint64_t m, uint64_t d, uint64_t ff) {
+  return {OutBytes(m, d),   // hiddens (read + write)
+          OutBytes(m, d),   // proj
+          OutBytes(m, d),   // norm
+          ActsBytes(m, ff), // requantization acts (largest use: d_ff cols)
+          OutBytes(m, ff),  // gate
+          OutBytes(m, ff),  // up
+          OutBytes(m, d)};  // down
 }
 
 }  // namespace
@@ -52,115 +76,320 @@ uint64_t NpuBackend::ContextBytes(const ModelSpec& spec,
   const LlmConfig& c = spec.config();
   const uint64_t m =
       static_cast<uint64_t>(std::max(1, options.prefill_batch));
-  // Every prefill matmul has rows, cols in {d_model, kv_dim, d_ff}; size the
-  // slot for the worst case so any chunk's job fits.
-  const uint64_t dim = std::max<uint64_t>(
-      {static_cast<uint64_t>(c.d_model), static_cast<uint64_t>(c.d_ff),
-       static_cast<uint64_t>(c.kv_dim())});
-  return kJobSlots * LayoutFor(m, dim, dim).slot_bytes;
+  const uint64_t d = static_cast<uint64_t>(c.d_model);
+  const uint64_t ff = static_cast<uint64_t>(c.d_ff);
+  const uint64_t kv = static_cast<uint64_t>(c.kv_dim());
+  // The two job shapes, each: command + iopt page, pinned input
+  // activations, then every data buffer the payload touches. The unfused
+  // stage jobs are strict subsets of the fused tail (same lists, split),
+  // so the max over these two covers every granularity.
+  const uint64_t qkv_slot = 2 * kPageSize + ActsBytes(m, d) +
+                            OutBytes(m, d) + 2 * OutBytes(m, kv);
+  uint64_t tail_slot = 2 * kPageSize + ActsBytes(m, d);
+  for (uint64_t bytes : TailBufferBytes(m, d, ff)) {
+    tail_slot += bytes;
+  }
+  return kJobSlots * std::max(qkv_slot, tail_slot);
 }
 
 NpuBackend::NpuBackend(const NpuBackendConfig& config)
-    : config_(config), slot_bytes_(config.ctx_bytes / kJobSlots) {}
+    : config_(config), slot_bytes_(config.ctx_bytes / kJobSlots) {
+  if (config_.kernels == nullptr) {
+    config_.kernels = ScalarKernels();
+  }
+}
 
 NpuBackend::~NpuBackend() {
-  // Never leave a job's completion callback pointing at a destroyed slot.
+  // Never leave a job's completion callback pointing at destroyed state.
   (void)Sync();
 }
 
-Status NpuBackend::AwaitSlot(int slot) {
-  Slot& s = slots_[slot];
-  if (!s.pending) {
+void NpuBackend::AdvanceHostTime() {
+  if (!config_.hybrid_timeline || config_.platform == nullptr) {
+    return;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  if (host_mark_valid_) {
+    const double dt =
+        std::chrono::duration<double>(now - host_mark_).count();
+    if (dt > 0) {
+      // The CPU worked for dt wall seconds since the last backend call;
+      // advance the virtual clock through that segment so concurrently
+      // in-flight NPU jobs complete "during" it — this is the overlap.
+      Simulator& sim = config_.platform->sim();
+      sim.RunUntil(sim.Now() + FromSeconds(dt));
+    }
+  }
+  host_mark_valid_ = true;
+  host_mark_ = now;
+}
+
+void NpuBackend::MarkHostTime() {
+  if (!config_.hybrid_timeline) {
+    return;
+  }
+  host_mark_valid_ = true;
+  host_mark_ = std::chrono::steady_clock::now();
+}
+
+Status NpuBackend::AwaitOldest() {
+  if (pending_.empty()) {
     return OkStatus();
   }
-  s.pending = false;
-  return config_.driver->WaitForJob(s.job_id);
-}
-
-std::shared_ptr<const Q8Acts> NpuBackend::SnapshotActs(const Q8Acts& x) {
-  // One quantization feeds several matmuls (QKV share one, gate/up share
-  // one); key the pinned copy on (source, generation) so the group copies
-  // the buffer once instead of once per job.
-  if (snapshot_src_ != &x || snapshot_gen_ != x.generation ||
-      snapshot_ == nullptr) {
-    auto snap = std::make_shared<Q8Acts>();
-    const uint64_t q_bytes = x.m * x.cols;
-    const uint64_t n_scales = x.m * (x.cols / kQ8BlockElems);
-    snap->q.assign(x.q.begin(), x.q.begin() + q_bytes);
-    snap->scale.assign(x.scale.begin(), x.scale.begin() + n_scales);
-    snap->cols = x.cols;
-    snap->m = x.m;
-    snapshot_ = std::move(snap);
-    snapshot_src_ = &x;
-    snapshot_gen_ = x.generation;
-  }
-  return snapshot_;
-}
-
-Status NpuBackend::MatMat(const uint8_t* w, uint64_t rows, uint64_t cols,
-                          const Q8Acts& x, float* y) {
-  const Status st = MatMatImpl(w, rows, cols, x, y);
-  if (!st.ok()) {
-    // Failing a group must not leave earlier jobs of it in flight: their
-    // payloads write through captured pointers into the caller's workspace,
-    // which the caller is free to destroy once we return the error (the
-    // executor tears down before this backend). Drain first, report the
-    // original error.
-    (void)Sync();
-  }
+  const Pending oldest = pending_.front();
+  pending_.pop_front();
+  const SimTime before = config_.platform->sim().Now();
+  const Status st = config_.driver->WaitForJob(oldest.job_id, kJobWaitTimeout);
+  await_stall_time_ += config_.platform->sim().Now() - before;
   return st;
 }
 
-Status NpuBackend::MatMatImpl(const uint8_t* w, uint64_t rows, uint64_t cols,
-                              const Q8Acts& x, float* y) {
+Result<uint64_t> NpuBackend::SubmitJob(
+    const std::vector<NpuMatmulShape>& shapes, uint64_t in_bytes,
+    const std::vector<uint64_t>& out_bytes, std::function<Status()> compute) {
   if (config_.driver == nullptr || config_.platform == nullptr) {
     return FailedPrecondition("NpuBackend not wired to a co-driver");
   }
+  // Double buffering: a context slot is reusable once the job two
+  // submissions ago has retired; jobs complete in submit order (the
+  // co-driver enforces monotonic execution sequencing), so retiring the
+  // oldest pending job frees the slot this submission reuses.
+  while (pending_.size() >= static_cast<size_t>(kJobSlots)) {
+    TZLLM_RETURN_IF_ERROR(AwaitOldest());
+  }
   const int slot = static_cast<int>(next_slot_++ % kJobSlots);
-  // Double buffering: reusing a slot means its previous job (two MatMats
-  // ago) must have retired; everything younger may still be in flight.
-  TZLLM_RETURN_IF_ERROR(AwaitSlot(slot));
-  Slot& s = slots_[slot];
-
-  // Context preparation — the part that overlaps the in-flight job's NPU
-  // execution. The snapshot makes the job self-contained (the executor
-  // reuses its Q8Acts scratch for the next group as soon as Sync returns).
-  s.acts = SnapshotActs(x);
+  const PhysAddr base = config_.ctx_base + slot * slot_bytes_;
 
   NpuJobDesc desc;
-  const PhysAddr base = config_.ctx_base + slot * slot_bytes_;
-  const SlotLayout layout = LayoutFor(x.m, rows, cols);
   desc.cmd_addr = base;
   desc.cmd_size = kPageSize;
   desc.iopt_addr = base + kPageSize;
   desc.iopt_size = kPageSize;
-  // Input (pinned activation snapshot) and output buffers. Weight pages are
-  // streamed through the params-region TZASC grant the co-driver programs
-  // for the secure window; the job-private context lives in scratch.
-  desc.buffers = {{base + 2 * kPageSize, layout.in_bytes},
-                  {base + 2 * kPageSize + layout.in_bytes, layout.out_bytes}};
-  if (layout.slot_bytes > slot_bytes_) {
-    return ResourceExhausted("NPU job context exceeds its scratch slot");
+  // Sub-buffer packing: pinned input first, then each data buffer of the
+  // fused group, page-aligned, every one individually validated against the
+  // TA's protected regions by CreateJob. Weight pages stream through the
+  // params-region TZASC grant the co-driver programs for the secure window.
+  PhysAddr cursor = base + 2 * kPageSize;
+  desc.buffers.emplace_back(cursor, in_bytes);
+  cursor += in_bytes;
+  for (uint64_t bytes : out_bytes) {
+    desc.buffers.emplace_back(cursor, bytes);
+    cursor += bytes;
   }
-  desc.duration =
-      CostModel::NpuMatmulTime(rows, cols, static_cast<int>(x.m));
-  // Functional payload: bit-exact with the CPU path by construction — the
-  // scalar table is the frozen baseline every backend matches on the
-  // integer-dot rows. The shared_ptr keeps the pinned input alive for the
-  // job's whole lifetime, independent of slot reuse.
-  desc.compute = [acts = s.acts, w, rows, cols, y]() -> Status {
-    MatMatQ8(w, rows, cols, *acts, y, /*pool=*/nullptr, ScalarKernels());
-    return OkStatus();
-  };
+  if (cursor - base > slot_bytes_) {
+    return ResourceExhausted("fused NPU job context exceeds its scratch slot");
+  }
+  desc.matmuls = shapes;
+  desc.duration = CostModel::NpuFusedJobTime(shapes);
+  const uint64_t ordinal = jobs_submitted_ + 1;
+  if (config_.inject_payload_failure_job == ordinal) {
+    desc.compute = [] {
+      return Internal("injected functional payload failure (test)");
+    };
+  } else {
+    desc.compute = std::move(compute);
+  }
 
   auto id = config_.driver->SubmitJob(config_.ta, desc, nullptr);
   if (!id.ok()) {
     return id.status();
   }
-  s.job_id = *id;
-  s.pending = true;
   ++jobs_submitted_;
-  return OkStatus();
+  matmuls_submitted_ += shapes.size();
+  return *id;
+}
+
+Result<BackendTicket> NpuBackend::SubmitMatMatGroup(const MatMatOp* ops,
+                                                    int n, const Q8Acts& x) {
+  AdvanceHostTime();
+  const BackendTicket ticket = next_ticket_++;
+  const int m = static_cast<int>(x.m);
+  const uint64_t in_bytes = ActsBytes(x.m, x.cols);
+  auto submit_range = [&](int lo, int hi) -> Status {
+    std::vector<NpuMatmulShape> shapes;
+    std::vector<uint64_t> outs;
+    for (int i = lo; i < hi; ++i) {
+      shapes.push_back({ops[i].rows, x.cols, m});
+      outs.push_back(OutBytes(x.m, ops[i].rows));
+    }
+    // Zero-copy functional payload: references the caller's activation
+    // buffer and output rows directly (stable until the ticket retires).
+    std::vector<MatMatOp> group(ops + lo, ops + hi);
+    auto id = SubmitJob(shapes, in_bytes, outs,
+                        [group = std::move(group), xp = &x,
+                         kernels = config_.kernels]() -> Status {
+                          for (const MatMatOp& op : group) {
+                            MatMatQ8(op.w, op.rows, xp->cols, *xp, op.y,
+                                     /*pool=*/nullptr, kernels);
+                          }
+                          return OkStatus();
+                        });
+    if (!id.ok()) {
+      return id.status();
+    }
+    pending_.push_back({*id, ticket});
+    return OkStatus();
+  };
+  Status st;
+  if (config_.fuse_jobs) {
+    st = submit_range(0, n);  // Whole group, one job.
+  } else {
+    for (int i = 0; i < n && st.ok(); ++i) {
+      st = submit_range(i, i + 1);  // Pre-fusion granularity.
+    }
+  }
+  if (!st.ok()) {
+    // Failing a group must not leave earlier jobs of it in flight: their
+    // payloads write through captured pointers into the caller's workspace.
+    // Drain first, report the original error.
+    (void)Sync();
+    return st;
+  }
+  MarkHostTime();
+  return ticket;
+}
+
+Result<BackendTicket> NpuBackend::SubmitLayerTail(const LayerTailOp& op,
+                                                  const Q8Acts& x_attn) {
+  AdvanceHostTime();
+  const BackendTicket ticket = next_ticket_++;
+  const uint64_t d = static_cast<uint64_t>(op.d_model);
+  const uint64_t ff = static_cast<uint64_t>(op.d_ff);
+  const uint64_t m = static_cast<uint64_t>(op.m);
+  const uint64_t in_bytes = ActsBytes(m, d);
+  const KernelDispatch* kernels = config_.kernels;
+  Status st;
+  if (config_.fuse_jobs) {
+    // The whole post-attention segment as ONE job: four matmuls plus their
+    // elementwise glue in a single execution context. Buffers: the pinned
+    // attention activations plus every scratch/output row the fused chain
+    // touches (TailBufferBytes — exhaustive by contract).
+    const std::vector<NpuMatmulShape> shapes = {{d, d, op.m},
+                                                {ff, d, op.m},
+                                                {ff, d, op.m},
+                                                {d, ff, op.m}};
+    const std::vector<uint64_t> outs = TailBufferBytes(m, d, ff);
+    auto id = SubmitJob(shapes, in_bytes, outs,
+                        [op, xp = &x_attn, kernels]() -> Status {
+                          RunLayerTail(op, *xp, kernels, /*pool=*/nullptr);
+                          return OkStatus();
+                        });
+    if (id.ok()) {
+      pending_.push_back({*id, ticket});
+    } else {
+      st = id.status();
+    }
+  } else {
+    // Pre-fusion granularity: one job per matmul. Each payload composes the
+    // exact stage helpers RunLayerTail uses, and the device executes jobs
+    // in submission order, so the unfused schedule computes the identical
+    // floats — just with 4x the world switches. Each stage declares its
+    // pinned input at the width it actually consumes and every buffer its
+    // glue touches.
+    struct Stage {
+      std::vector<NpuMatmulShape> shapes;
+      uint64_t in_bytes;
+      std::vector<uint64_t> outs;
+      std::function<Status()> compute;
+    };
+    const Stage stages[] = {
+        {{{d, d, op.m}},
+         in_bytes,  // x_attn (d_model cols).
+         // proj + hiddens + norm + the d_model-wide requantization.
+         {OutBytes(m, d), OutBytes(m, d), OutBytes(m, d), ActsBytes(m, d)},
+         [op, xp = &x_attn, kernels] {
+           MatMatQ8(op.wo, static_cast<uint64_t>(op.d_model), xp->cols, *xp,
+                    op.proj, nullptr, kernels);
+           LayerTailProjResidualNormQuant(op, kernels);
+           return OkStatus();
+         }},
+        {{{ff, d, op.m}},
+         ActsBytes(m, d),  // Requantized norm activations.
+         {OutBytes(m, ff)},
+         [op, kernels] {
+           MatMatQ8(op.w_gate, static_cast<uint64_t>(op.d_ff),
+                    static_cast<uint64_t>(op.d_model), *op.acts, op.gate,
+                    nullptr, kernels);
+           return OkStatus();
+         }},
+        {{{ff, d, op.m}},
+         ActsBytes(m, d),  // Same requantized norm activations.
+         // up + gate (silu rewrites it) + the d_ff-wide requantization.
+         {OutBytes(m, ff), OutBytes(m, ff), ActsBytes(m, ff)},
+         [op, kernels] {
+           MatMatQ8(op.w_up, static_cast<uint64_t>(op.d_ff),
+                    static_cast<uint64_t>(op.d_model), *op.acts, op.up,
+                    nullptr, kernels);
+           LayerTailSwiGluQuant(op);
+           return OkStatus();
+         }},
+        {{{d, ff, op.m}},
+         ActsBytes(m, ff),  // Requantized SwiGLU activations (d_ff cols).
+         {OutBytes(m, d), OutBytes(m, d)},  // down + hiddens residual.
+         [op, kernels] {
+           MatMatQ8(op.w_down, static_cast<uint64_t>(op.d_model),
+                    static_cast<uint64_t>(op.d_ff), *op.acts, op.down,
+                    nullptr, kernels);
+           LayerTailDownResidual(op);
+           return OkStatus();
+         }},
+    };
+    for (const Stage& stage : stages) {
+      auto id =
+          SubmitJob(stage.shapes, stage.in_bytes, stage.outs, stage.compute);
+      if (!id.ok()) {
+        st = id.status();
+        break;
+      }
+      pending_.push_back({*id, ticket});
+    }
+  }
+  if (!st.ok()) {
+    (void)Sync();
+    return st;
+  }
+  MarkHostTime();
+  return ticket;
+}
+
+Status NpuBackend::Await(BackendTicket ticket) {
+  if (ticket == kCompletedTicket) {
+    return OkStatus();
+  }
+  AdvanceHostTime();
+  Status first;
+  while (!pending_.empty() && pending_.front().ticket <= ticket) {
+    const Status st = AwaitOldest();
+    if (!st.ok() && first.ok()) {
+      first = st;
+    }
+  }
+  if (!first.ok()) {
+    // A failed job's group-mates may still be in flight against the same
+    // caller workspace; drain them before surfacing the error.
+    (void)Sync();
+  }
+  MarkHostTime();
+  return first;
+}
+
+Result<bool> NpuBackend::TryPoll(BackendTicket ticket) {
+  if (ticket == kCompletedTicket) {
+    return true;
+  }
+  for (const Pending& p : pending_) {
+    if (p.ticket > ticket) {
+      break;
+    }
+    auto done = config_.driver->TryPollJob(p.job_id);
+    if (!done.ok()) {
+      return done.status();
+    }
+    if (!*done) {
+      return false;
+    }
+  }
+  return true;
 }
 
 Status NpuBackend::MatVec(const float* x, uint64_t cols,
@@ -170,14 +399,14 @@ Status NpuBackend::MatVec(const float* x, uint64_t cols,
   (void)targets;
   (void)n_targets;
   return Status(ErrorCode::kUnimplemented,
-                "NpuBackend handles batched-prefill MatMat only; "
+                "NpuBackend handles batched-prefill submissions only; "
                 "single-position MatVec belongs on the CPU backend");
 }
 
 Status NpuBackend::Sync() {
   Status first;
-  for (int i = 0; i < kJobSlots; ++i) {
-    const Status st = AwaitSlot(i);
+  while (!pending_.empty()) {
+    const Status st = AwaitOldest();
     if (!st.ok() && first.ok()) {
       first = st;
     }

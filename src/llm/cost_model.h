@@ -8,8 +8,11 @@
 #ifndef SRC_LLM_COST_MODEL_H_
 #define SRC_LLM_COST_MODEL_H_
 
+#include <vector>
+
 #include "src/common/calibration.h"
 #include "src/common/units.h"
+#include "src/hw/npu.h"
 #include "src/llm/graph.h"
 #include "src/llm/model_spec.h"
 
@@ -51,6 +54,20 @@ class CostModel {
   static SimDuration NpuMatmulTime(uint64_t rows, uint64_t cols, int m) {
     return FromSeconds(2.0 * static_cast<double>(rows) *
                        static_cast<double>(cols) * m / kNpuMatmulFlops);
+  }
+
+  // Execution time of one *fused* multi-matmul job: the sum of its member
+  // matmuls at NPU throughput. Fusing never changes the useful-work pricing
+  // — what it amortizes is the per-job launch overhead (driver) and the
+  // per-job world-switch cost (co-driver), both of which stay per *job*
+  // where they occur. Elementwise glue (residuals, norms, silu) inside a
+  // fused job is bandwidth-trivial next to the matmuls and is not priced.
+  static SimDuration NpuFusedJobTime(const std::vector<NpuMatmulShape>& mm) {
+    SimDuration total = 0;
+    for (const NpuMatmulShape& s : mm) {
+      total += NpuMatmulTime(s.rows, s.cols, s.m);
+    }
+    return total;
   }
 
  private:

@@ -5,12 +5,20 @@
 #ifndef SRC_LLM_ENGINE_OPTIONS_H_
 #define SRC_LLM_ENGINE_OPTIONS_H_
 
+#include <algorithm>
+#include <thread>
+
 #include "src/llm/kv_cache.h"
 
 namespace tzllm {
 
 struct EngineOptions {
-  // CPU lanes for the kernel pool; 1 = no pool, fully single-threaded.
+  // CPU lanes for the kernel pool; 1 = no pool, fully single-threaded;
+  // 0 = auto (all hardware threads). Always clamped to the machine's
+  // hardware concurrency at executor construction (ResolvedThreads):
+  // oversubscribing a 1-core box measurably *loses* throughput (the fig17
+  // snapshot showed threads_4 slower than threads_1), so a request beyond
+  // the hardware is treated as "use everything", not honored literally.
   int n_threads = 1;
   // Positions per batched-prefill chunk (MatMatQ8 weight reuse); <= 1 falls
   // back to the per-position path.
@@ -40,13 +48,35 @@ struct EngineOptions {
   // TeeNpuDriver::SubmitJob. Decode stays on the CPU KernelDispatch path.
   // Requires the co-driver to be wired (LlmTa's npu_driver parameter, from
   // RuntimeConfig::use_npu) — loading fails with a clear Status otherwise.
-  // Composes with TZLLM_SIMD: the NPU functional payload is pinned to the
-  // scalar table (bit-exact by the dispatch contract), while CPU-resident
-  // ops (norms, attention, decode) keep the dispatched table. Inert under
+  // Composes with TZLLM_SIMD: the NPU functional payload runs the engine's
+  // own kernel table (the integer-dot rows are bit-identical across tables,
+  // and the fused layer-tail's norm/silu glue must match the CPU path
+  // exactly), so the combination never changes a logit. Inert under
   // use_reference_kernels or prefill_batch <= 1, which force the
   // per-position CPU path.
   bool npu_prefill = false;
+  // Fuses each chunk-layer's matmul group into one secure NPU job (QKV as
+  // one job; the whole post-attention segment — Wo + residual + FFN norm +
+  // gate/up/silu/down — as another), amortizing the per-job world-switch
+  // cost: 2 jobs per layer-chunk instead of 7. Off = one job per matmul
+  // (the pre-fusion granularity, kept for the fused-vs-unfused parity test
+  // and the co-driver ablation).
+  bool npu_fusion = true;
 };
+
+// The thread count an engine configured with `options` actually runs:
+// n_threads <= 0 means "all hardware threads", anything larger than the
+// hardware is clamped to it (oversubscription only adds scheduler thrash —
+// there is no configuration where it wins). hardware_concurrency() == 0
+// means "unknown" per the standard, not "one core": honor the request then
+// rather than silently de-threading a working configuration.
+inline int ResolvedThreads(const EngineOptions& options) {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw <= 0) {
+    return std::max(1, options.n_threads);
+  }
+  return options.n_threads <= 0 ? hw : std::min(options.n_threads, hw);
+}
 
 // Arena element type for the options' KV mode (reference kernels keep the
 // seed's full-width cache so the baseline numerics stay frozen).

@@ -62,9 +62,10 @@ TransformerExecutor::TransformerExecutor(const ModelSpec* spec,
                                          ComputeBackend* prefill_backend)
     : spec_(spec), weights_(weights), options_(options),
       kernels_(KernelsFor(options)),
+      n_threads_(ResolvedThreads(options)),
       init_status_(spec->ValidateGeometry()) {
-  if (options_.n_threads > 1) {
-    pool_ = std::make_unique<ThreadPool>(options_.n_threads);
+  if (n_threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(n_threads_);
   }
   cpu_backend_ = std::make_unique<CpuBackend>(options_, pool_.get(), kernels_);
   prefill_backend_ =
@@ -109,8 +110,7 @@ void TransformerExecutor::EnsureWorkspace(int m) {
   down_.resize(m * d);
   // One attention-scores row per pool part (each (position, head) work item
   // fully rewrites its part's row before reading it), independent of m.
-  scores_.resize(static_cast<size_t>(std::max(1, options_.n_threads)) *
-                 c.max_ctx);
+  scores_.resize(static_cast<size_t>(std::max(1, n_threads_)) * c.max_ctx);
   workspace_m_ = m;
 }
 
@@ -290,9 +290,9 @@ Status TransformerExecutor::ForwardChunk(const TokenId* tokens, int m,
     return ResourceExhausted("KV cache full (context length exceeded)");
   }
   EnsureWorkspace(m);
-  // Every heavyweight matmul of the chunk goes through the backend seam; a
-  // backend may run them asynchronously (NPU jobs), so results are consumed
-  // only after the group's Sync barrier.
+  // Every heavyweight matmul of the chunk goes through the backend seam as
+  // a grouped submission; the submit+Await pairs here make this the serial
+  // schedule (the pipelined one lives in ForwardPromptPipelined).
   ComputeBackend* backend = prefill_backend_;
 
   for (int i = 0; i < m; ++i) {
@@ -312,10 +312,13 @@ Status TransformerExecutor::ForwardChunk(const TokenId* tokens, int m,
     TZLLM_ASSIGN_OR_RETURN(wq, Weights(TensorRole::kWq, l));
     TZLLM_ASSIGN_OR_RETURN(wk, Weights(TensorRole::kWk, l));
     TZLLM_ASSIGN_OR_RETURN(wv, Weights(TensorRole::kWv, l));
-    TZLLM_RETURN_IF_ERROR(backend->MatMat(wq, d, d, acts_, q_.data()));
-    TZLLM_RETURN_IF_ERROR(backend->MatMat(wk, kv_dim, d, acts_, k_.data()));
-    TZLLM_RETURN_IF_ERROR(backend->MatMat(wv, kv_dim, d, acts_, v_.data()));
-    TZLLM_RETURN_IF_ERROR(backend->Sync());
+    const MatMatOp qkv[] = {
+        {wq, static_cast<uint64_t>(d), q_.data()},
+        {wk, static_cast<uint64_t>(kv_dim), k_.data()},
+        {wv, static_cast<uint64_t>(kv_dim), v_.data()}};
+    TZLLM_ASSIGN_OR_RETURN(qkv_ticket,
+                           backend->SubmitMatMatGroup(qkv, 3, acts_));
+    TZLLM_RETURN_IF_ERROR(backend->Await(qkv_ticket));
 
     for (int i = 0; i < m; ++i) {
       Rope(q_.data() + i * d, c.n_heads, start + i);
@@ -328,45 +331,234 @@ Status TransformerExecutor::ForwardChunk(const TokenId* tokens, int m,
     // causality is the p <= pos bound inside Attend.
     Attend(l, start, m, q_.data(), attn_.data(), *kv);
 
-    TZLLM_ASSIGN_OR_RETURN(wo, Weights(TensorRole::kWo, l));
+    // --- Post-attention segment (Wo + residual + FFN), one fused
+    // submission. ---
     acts_.QuantizeRows(attn_.data(), m, d);
-    TZLLM_RETURN_IF_ERROR(backend->MatMat(wo, d, d, acts_, proj_.data()));
-    TZLLM_RETURN_IF_ERROR(backend->Sync());
-    for (int i = 0; i < m * d; ++i) {
-      hiddens_[i] += proj_[i];
-    }
-
-    // --- FFN block (SwiGLU). ---
-    TZLLM_ASSIGN_OR_RETURN(w_ffn_norm, Weights(TensorRole::kFfnNorm, l));
-    for (int i = 0; i < m; ++i) {
-      kernels_->rms_norm(hiddens_.data() + i * d,
-                         reinterpret_cast<const float*>(w_ffn_norm),
-                         norm_.data() + i * d, d);
-    }
-    acts_.QuantizeRows(norm_.data(), m, d);
-
-    TZLLM_ASSIGN_OR_RETURN(w_gate, Weights(TensorRole::kWGate, l));
-    TZLLM_ASSIGN_OR_RETURN(w_up, Weights(TensorRole::kWUp, l));
-    TZLLM_ASSIGN_OR_RETURN(w_down, Weights(TensorRole::kWDown, l));
-    TZLLM_RETURN_IF_ERROR(
-        backend->MatMat(w_gate, c.d_ff, d, acts_, gate_.data()));
-    TZLLM_RETURN_IF_ERROR(backend->MatMat(w_up, c.d_ff, d, acts_, up_.data()));
-    TZLLM_RETURN_IF_ERROR(backend->Sync());
-    for (int i = 0; i < m * c.d_ff; ++i) {
-      const float g = gate_[i];
-      const float silu = g / (1.0f + std::exp(-g));
-      gate_[i] = silu * up_[i];
-    }
-    acts_.QuantizeRows(gate_.data(), m, c.d_ff);
-    TZLLM_RETURN_IF_ERROR(
-        backend->MatMat(w_down, d, c.d_ff, acts_, down_.data()));
-    TZLLM_RETURN_IF_ERROR(backend->Sync());
-    for (int i = 0; i < m * d; ++i) {
-      hiddens_[i] += down_[i];
-    }
+    TZLLM_ASSIGN_OR_RETURN(
+        tail, BuildLayerTail(l, m, hiddens_.data(), proj_.data(),
+                             norm_.data(), gate_.data(), up_.data(),
+                             down_.data(), &acts_));
+    TZLLM_ASSIGN_OR_RETURN(tail_ticket, backend->SubmitLayerTail(tail, acts_));
+    TZLLM_RETURN_IF_ERROR(backend->Await(tail_ticket));
   }
   kv->FinishPositions(m);
   return OkStatus();
+}
+
+Result<LayerTailOp> TransformerExecutor::BuildLayerTail(
+    int l, int m, float* hiddens, float* proj, float* norm, float* gate,
+    float* up, float* down, Q8Acts* acts) {
+  const LlmConfig& c = spec_->config();
+  TZLLM_ASSIGN_OR_RETURN(wo, Weights(TensorRole::kWo, l));
+  TZLLM_ASSIGN_OR_RETURN(w_ffn_norm, Weights(TensorRole::kFfnNorm, l));
+  TZLLM_ASSIGN_OR_RETURN(w_gate, Weights(TensorRole::kWGate, l));
+  TZLLM_ASSIGN_OR_RETURN(w_up, Weights(TensorRole::kWUp, l));
+  TZLLM_ASSIGN_OR_RETURN(w_down, Weights(TensorRole::kWDown, l));
+  LayerTailOp tail;
+  tail.m = m;
+  tail.d_model = c.d_model;
+  tail.d_ff = c.d_ff;
+  tail.wo = wo;
+  tail.ffn_norm_gain = reinterpret_cast<const float*>(w_ffn_norm);
+  tail.w_gate = w_gate;
+  tail.w_up = w_up;
+  tail.w_down = w_down;
+  tail.hiddens = hiddens;
+  tail.proj = proj;
+  tail.norm = norm;
+  tail.gate = gate;
+  tail.up = up;
+  tail.down = down;
+  tail.acts = acts;
+  return tail;
+}
+
+Status TransformerExecutor::PipeAdmit(PipeChunk* ch, int index, int start,
+                                      const TokenId* tokens, int m) {
+  const LlmConfig& c = spec_->config();
+  const size_t d = c.d_model;
+  // Buffers are sized up front by ForwardPromptPipelined, never here: the
+  // OTHER slot's in-flight jobs hold raw pointers into its vectors (the
+  // zero-copy contract), so admission must not reallocate anything.
+  if (m > pipe_m_) {
+    return Internal("pipeline slot admitted a chunk larger than its sizing");
+  }
+  ch->index = index;
+  ch->start = start;
+  ch->m = m;
+  ch->layer = 0;
+  ch->attend_next = false;
+  ch->qkv_ticket = kCompletedTicket;
+  ch->tail_ticket = kCompletedTicket;
+  for (int i = 0; i < m; ++i) {
+    TZLLM_RETURN_IF_ERROR(
+        EmbedToken(tokens[i], ch->hiddens.data() + i * static_cast<int>(d)));
+  }
+  return OkStatus();
+}
+
+Status TransformerExecutor::PipeAdvance(PipeChunk* ch, KvCache* kv) {
+  const LlmConfig& c = spec_->config();
+  const int d = c.d_model;
+  const int kv_dim = c.kv_dim();
+  ComputeBackend* backend = prefill_backend_;
+  const int l = ch->layer;
+
+  if (!ch->attend_next) {
+    // S0: the previous layer's tail must have landed in hiddens before the
+    // attention norm reads it. While we waited (and while we norm +
+    // quantize here), the other chunk's jobs run on the NPU timeline.
+    TZLLM_RETURN_IF_ERROR(backend->Await(ch->tail_ticket));
+    ch->tail_ticket = kCompletedTicket;
+    TZLLM_ASSIGN_OR_RETURN(w_norm, Weights(TensorRole::kAttnNorm, l));
+    for (int i = 0; i < ch->m; ++i) {
+      kernels_->rms_norm(ch->hiddens.data() + i * d,
+                         reinterpret_cast<const float*>(w_norm),
+                         ch->norm.data() + i * d, d);
+    }
+    ch->qkv_acts.QuantizeRows(ch->norm.data(), ch->m, d);
+    TZLLM_ASSIGN_OR_RETURN(wq, Weights(TensorRole::kWq, l));
+    TZLLM_ASSIGN_OR_RETURN(wk, Weights(TensorRole::kWk, l));
+    TZLLM_ASSIGN_OR_RETURN(wv, Weights(TensorRole::kWv, l));
+    const MatMatOp qkv[] = {
+        {wq, static_cast<uint64_t>(d), ch->q.data()},
+        {wk, static_cast<uint64_t>(kv_dim), ch->k.data()},
+        {wv, static_cast<uint64_t>(kv_dim), ch->v.data()}};
+    TZLLM_ASSIGN_OR_RETURN(ticket,
+                           backend->SubmitMatMatGroup(qkv, 3, ch->qkv_acts));
+    ch->qkv_ticket = ticket;
+    ch->attend_next = true;
+    return OkStatus();
+  }
+
+  // S1: QKV landed; RoPE + KV append + attention on the CPU, then the whole
+  // post-attention segment as one fused job. The cross-chunk dependency —
+  // this chunk's attention reads every earlier chunk's KV rows at this
+  // layer — holds because the wavefront advances chunks in order within
+  // each layer.
+  TZLLM_RETURN_IF_ERROR(backend->Await(ch->qkv_ticket));
+  ch->qkv_ticket = kCompletedTicket;
+  for (int i = 0; i < ch->m; ++i) {
+    Rope(ch->q.data() + i * d, c.n_heads, ch->start + i);
+    Rope(ch->k.data() + i * kv_dim, c.n_kv_heads, ch->start + i);
+  }
+  TZLLM_RETURN_IF_ERROR(
+      kv->AppendBatch(l, ch->m, ch->k.data(), ch->v.data()));
+  Attend(l, ch->start, ch->m, ch->q.data(), ch->attn.data(), *kv);
+
+  ch->attn_acts.QuantizeRows(ch->attn.data(), ch->m, d);
+  TZLLM_ASSIGN_OR_RETURN(
+      tail, BuildLayerTail(l, ch->m, ch->hiddens.data(), ch->proj.data(),
+                           ch->norm.data(), ch->gate.data(), ch->up.data(),
+                           ch->down.data(), &ch->attn_acts));
+  TZLLM_ASSIGN_OR_RETURN(ticket,
+                         backend->SubmitLayerTail(tail, ch->attn_acts));
+  ch->tail_ticket = ticket;
+  ch->attend_next = false;
+  ++ch->layer;
+  return OkStatus();
+}
+
+Result<std::vector<float>> TransformerExecutor::ForwardPromptPipelined(
+    const std::vector<TokenId>& tokens, KvCache* kv) {
+  const LlmConfig& c = spec_->config();
+  const size_t chunk = static_cast<size_t>(std::max(1, options_.prefill_batch));
+  const int base = kv->seq_len();
+  if (base + static_cast<int>(tokens.size()) > c.max_ctx) {
+    return Status(ErrorCode::kResourceExhausted,
+                  "KV cache full (context length exceeded)");
+  }
+  EnsureWorkspace(1);  // Attention scratch (scores_) and the logits path.
+  const int n_chunks =
+      static_cast<int>((tokens.size() + chunk - 1) / chunk);
+  // Size the slots the wavefront will actually occupy (a single-chunk
+  // prompt never touches the second one) for the largest chunk BEFORE it
+  // starts: once jobs are in flight they hold raw pointers into these
+  // vectors, so no admission may reallocate them (PipeAdmit enforces
+  // this).
+  const int m_max = static_cast<int>(std::min(chunk, tokens.size()));
+  const int slots_needed = std::min(2, n_chunks);
+  if (m_max > pipe_m_ || slots_needed > pipe_slots_) {
+    const size_t d = c.d_model, kvd = c.kv_dim(), ff = c.d_ff;
+    const size_t m_new = static_cast<size_t>(std::max(m_max, pipe_m_));
+    const int n_size = std::max(slots_needed, pipe_slots_);
+    for (int s = 0; s < n_size; ++s) {
+      PipeChunk& slot = pipe_[s];
+      slot.hiddens.resize(m_new * d);
+      slot.norm.resize(m_new * d);
+      slot.q.resize(m_new * d);
+      slot.k.resize(m_new * kvd);
+      slot.v.resize(m_new * kvd);
+      slot.attn.resize(m_new * d);
+      slot.proj.resize(m_new * d);
+      slot.gate.resize(m_new * ff);
+      slot.up.resize(m_new * ff);
+      slot.down.resize(m_new * d);
+    }
+    pipe_m_ = static_cast<int>(m_new);
+    pipe_slots_ = n_size;
+  }
+
+  // Run the wavefront; on any error the backend is drained before
+  // returning so no in-flight job writes through freed state.
+  auto run = [&]() -> Result<PipeChunk*> {
+    int next_chunk = 0;
+    PipeChunk* last = nullptr;
+    std::vector<PipeChunk*> active;
+    auto admit = [&](PipeChunk* slot) -> Status {
+      const size_t off = static_cast<size_t>(next_chunk) * chunk;
+      const int m =
+          static_cast<int>(std::min(chunk, tokens.size() - off));
+      TZLLM_RETURN_IF_ERROR(PipeAdmit(slot, next_chunk,
+                                      base + static_cast<int>(off),
+                                      tokens.data() + off, m));
+      active.push_back(slot);
+      ++next_chunk;
+      return OkStatus();
+    };
+    for (int s = 0; s < 2 && next_chunk < n_chunks; ++s) {
+      TZLLM_RETURN_IF_ERROR(admit(&pipe_[s]));
+    }
+    while (!active.empty()) {
+      // Advance every in-flight chunk one stage, in chunk order — that
+      // order is what serializes per-layer KV appends across chunks.
+      for (PipeChunk* ch : active) {
+        TZLLM_RETURN_IF_ERROR(PipeAdvance(ch, kv));
+      }
+      // Retire chunks that submitted their last layer tail; their slot is
+      // refilled with the next chunk, which becomes the youngest member of
+      // the wavefront.
+      for (size_t i = 0; i < active.size();) {
+        PipeChunk* ch = active[i];
+        if (ch->layer < c.n_layers || ch->attend_next) {
+          ++i;
+          continue;
+        }
+        TZLLM_RETURN_IF_ERROR(prefill_backend_->Await(ch->tail_ticket));
+        ch->tail_ticket = kCompletedTicket;
+        kv->FinishPositions(ch->m);
+        if (ch->index == n_chunks - 1) {
+          last = ch;
+        }
+        active.erase(active.begin() + i);
+        if (next_chunk < n_chunks) {
+          TZLLM_RETURN_IF_ERROR(admit(ch));
+        }
+      }
+    }
+    if (last == nullptr) {
+      return Status(ErrorCode::kInternal, "pipelined prefill lost its tail");
+    }
+    return last;
+  };
+
+  auto last = run();
+  if (!last.ok()) {
+    (void)prefill_backend_->Sync();
+    return last.status();
+  }
+  return Logits((*last)->hiddens.data() +
+                static_cast<size_t>((*last)->m - 1) * c.d_model);
 }
 
 Status TransformerExecutor::LogitsInto(const float* hidden, float* out) {
@@ -430,6 +622,12 @@ Result<std::vector<float>> TransformerExecutor::ForwardPrompt(
     // The batched chunks are quantized-kernel only; a reference-configured
     // executor must stay on the seed path rather than mix numerics.
     return PrefillPerPosition(tokens, kv);
+  }
+  if (prefill_backend_->asynchronous()) {
+    // NPU offload: the pipelined wavefront overlaps one chunk's CPU
+    // attention with another chunk's fused jobs. Same floats — only
+    // independent work is reordered.
+    return ForwardPromptPipelined(tokens, kv);
   }
   const size_t chunk =
       static_cast<size_t>(std::max(1, options_.prefill_batch));

@@ -77,7 +77,11 @@ class TransformerExecutor {
   // Batched prefill: runs the prompt through each layer `prefill_batch`
   // positions at a time, so every weight row is streamed once per chunk
   // (MatMatQ8) instead of once per position. With use_reference_kernels it
-  // degrades to the per-position seed path (no mixed numerics).
+  // degrades to the per-position seed path (no mixed numerics). On an
+  // asynchronous prefill backend (NPU offload) it runs the pipelined
+  // schedule: two chunks in flight, so one chunk's CPU attention overlaps
+  // the other chunk's fused matmul jobs — same floats, reordered only
+  // across independent work.
   Result<std::vector<float>> ForwardPrompt(const std::vector<TokenId>& tokens,
                                            KvCache* kv);
 
@@ -97,6 +101,26 @@ class TransformerExecutor {
   void ResetStats() { attend_seconds_ = 0.0; }
 
  private:
+  // One prompt chunk flowing through the pipelined prefill schedule. Each
+  // slot owns a full activation workspace so two chunks can be in flight at
+  // once: while this chunk's fused layer job runs on the NPU timeline, the
+  // other chunk's attention runs on the CPU against its own buffers. Every
+  // buffer a submitted job references lives here, which is what makes the
+  // NPU jobs zero-copy (the ComputeBackend lifetime contract).
+  struct PipeChunk {
+    int index = -1;  // Chunk ordinal within the prompt; -1 = slot free.
+    int start = 0;   // First absolute position of the chunk.
+    int m = 0;
+    int layer = 0;
+    // false: next step submits this layer's QKV group (S0). true: QKV is in
+    // flight; next step runs attention and submits the layer tail (S1).
+    bool attend_next = false;
+    BackendTicket qkv_ticket = kCompletedTicket;
+    BackendTicket tail_ticket = kCompletedTicket;
+    std::vector<float> hiddens, norm, q, k, v, attn, proj, gate, up, down;
+    Q8Acts qkv_acts, attn_acts;
+  };
+
   // Forward pass of one position given its embedding in `hidden` (d_model
   // floats, updated in place).
   Status ForwardPosition(float* hidden, int pos, KvCache* kv);
@@ -106,6 +130,27 @@ class TransformerExecutor {
   // Forward pass of `m` prompt positions at once; leaves the residual
   // streams in hiddens_.
   Status ForwardChunk(const TokenId* tokens, int m, KvCache* kv);
+  // The pipelined schedule for asynchronous backends: a layer-major
+  // wavefront with up to two chunks in flight (one slot per NPU context
+  // buffer). Per layer, chunk c's KV rows are appended before chunk c+1
+  // attends — the only cross-chunk dependency — so logits are bit-identical
+  // to the serial chunk schedule.
+  Result<std::vector<float>> ForwardPromptPipelined(
+      const std::vector<TokenId>& tokens, KvCache* kv);
+  // Fetches layer `l`'s post-attention weights and wires a LayerTailOp over
+  // the given chunk buffers — the ONE place the tail submission is packed,
+  // shared by the serial and pipelined schedules so they cannot drift.
+  // `acts` is the requantization scratch and aliases the attention
+  // activations by contract (the Wo matmul consumes them first).
+  Result<LayerTailOp> BuildLayerTail(int l, int m, float* hiddens, float* proj,
+                                     float* norm, float* gate, float* up,
+                                     float* down, Q8Acts* acts);
+  // Sizes a pipeline slot's buffers and embeds the chunk's tokens.
+  Status PipeAdmit(PipeChunk* ch, int index, int start, const TokenId* tokens,
+                   int m);
+  // Advances a chunk one stage (S0: norm+quantize, submit QKV; S1: rope +
+  // KV append + attention, submit the fused layer tail).
+  Status PipeAdvance(PipeChunk* ch, KvCache* kv);
   // Fused causal attention for `m` consecutive positions starting at
   // `start`: fills out rows [m][d_model] from q rows [m][d_model] and the KV
   // cache rows [0, start + i] of `layer`. The m x n_heads head loops are one
@@ -134,6 +179,11 @@ class TransformerExecutor {
   // CPUID-resolved process-wide table. One resolution at construction — hot
   // loops pay an indirect call, never a feature branch.
   const KernelDispatch* kernels_;
+  // ResolvedThreads(options): 0 = auto, always clamped to the hardware —
+  // oversubscription never wins (fig17 measured threads_4 *slower* than
+  // threads_1 on a 1-core box), so it is not a configuration the executor
+  // will run.
+  int n_threads_;
   std::unique_ptr<ThreadPool> pool_;
   // The backend seam. cpu_backend_ always exists and serves decode, the
   // per-position path and the logits head (one code path for reference and
@@ -154,6 +204,12 @@ class TransformerExecutor {
   std::vector<float> hiddens_, norm_, q_, k_, v_, attn_, proj_, gate_, up_,
       down_, scores_;
   Q8Acts acts_;
+  // Pipelined-prefill slots (double-buffered chunk workspaces), grown once;
+  // pipe_slots_ tracks how many have sized buffers (a single-chunk prompt
+  // only ever needs one).
+  PipeChunk pipe_[2];
+  int pipe_m_ = 0;
+  int pipe_slots_ = 0;
 };
 
 // Numerics helpers shared with tests — always the portable-scalar table

@@ -124,7 +124,6 @@ void DequantizeQ8(const uint8_t* src, uint64_t n, float* dst) {
 
 void Q8Acts::QuantizeRows(const float* x, uint64_t m_rows, uint64_t n) {
   const uint64_t blocks = n / kQ8BlockElems;
-  ++generation;
   cols = n;
   m = m_rows;
   q.resize(m_rows * n);

@@ -72,10 +72,6 @@ struct Q8Acts {
   std::vector<float> scale;  // [m * cols/32].
   uint64_t cols = 0;
   uint64_t m = 0;
-  // Bumped by every (re)quantization: consumers that snapshot the buffer
-  // (the NPU backend pinning job inputs) key their copy on (this,
-  // generation) so one quantization feeding several matmuls is copied once.
-  uint64_t generation = 0;
 
   void Quantize(const float* x, uint64_t n) { QuantizeRows(x, 1, n); }
   // Quantizes m rows of n floats each (n a multiple of 32).

@@ -82,7 +82,7 @@ Result<uint64_t> TeeNpuDriver::SubmitJob(
   return *id;
 }
 
-Status TeeNpuDriver::WaitForJob(uint64_t job_id) {
+Status TeeNpuDriver::WaitForJob(uint64_t job_id, SimDuration timeout) {
   auto it = jobs_.find(job_id);
   if (it == jobs_.end()) {
     return NotFound("unknown secure NPU job");
@@ -90,10 +90,17 @@ Status TeeNpuDriver::WaitForJob(uint64_t job_id) {
   if (!it->second.finished) {
     // Everything between issue and completion — shadow-queue scheduling,
     // takeover smc, world switches, the NPU execution itself and the exit
-    // path — is simulator events; drive them until this job retires.
-    platform_->sim().RunUntilIdleOr([this, job_id] {
+    // path — is simulator events; drive them until this job retires (or the
+    // virtual deadline passes: a busy simulator must not let a lost job
+    // spin the waiter forever).
+    const SimTime deadline =
+        timeout > 0 ? platform_->sim().Now() + timeout : 0;
+    platform_->sim().RunUntilIdleOr([this, job_id, deadline] {
       auto jt = jobs_.find(job_id);
-      return jt == jobs_.end() || jt->second.finished;
+      if (jt == jobs_.end() || jt->second.finished) {
+        return true;
+      }
+      return deadline != 0 && platform_->sim().Now() >= deadline;
     });
     it = jobs_.find(job_id);
     if (it == jobs_.end() || !it->second.finished) {
@@ -102,8 +109,21 @@ Status TeeNpuDriver::WaitForJob(uint64_t job_id) {
         // callback so a later revival of the stuck shadow cannot write
         // through pointers whose owner is gone. The entry itself stays —
         // the replay/reorder sequencing defenses still account for it.
+        if (it->second.state == JobState::kLaunched &&
+            running_job_ == job_id) {
+          // Already launched: the device captured its own payload copy at
+          // MmioLaunch, so nulling our descriptor is not enough — abort
+          // the device's compute stage (the NPU is still secure while its
+          // job runs, so the MMIO write passes the TZPC gate).
+          (void)platform_->npu().MmioAbort(World::kSecure);
+        }
+        it->second.abandoned = true;
         it->second.desc.compute = nullptr;
         it->second.on_complete = nullptr;
+      }
+      if (deadline != 0 && platform_->sim().Now() >= deadline) {
+        return DeadlineExceeded(
+            "secure NPU job did not complete within the wait timeout");
       }
       return Internal(
           "simulator drained before secure NPU job completion (takeover "
@@ -117,6 +137,14 @@ Status TeeNpuDriver::WaitForJob(uint64_t job_id) {
   const Status status = it->second.completion_status;
   jobs_.erase(it);
   return status;
+}
+
+Result<bool> TeeNpuDriver::TryPollJob(uint64_t job_id) const {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return NotFound("unknown secure NPU job");
+  }
+  return it->second.finished;
 }
 
 Status TeeNpuDriver::ValidateTakeover(uint64_t job_id) const {
@@ -156,6 +184,7 @@ SmcResult TeeNpuDriver::OnTakeover(const SmcArgs& args) {
   // must not be mistaken for the secure job's completion.
   ++next_exec_seq_;
   running_job_ = job_id;
+  jobs_[job_id].takeover_at = platform_->sim().Now();
 
   // Secure-mode entry, in the paper's mandated order:
   //  (1) TZPC: isolate the NPU MMIO from the REE; GIC: route its interrupt
@@ -218,6 +247,12 @@ void TeeNpuDriver::EnterSecureModeAndLaunch(uint64_t job_id) {
     st = platform_->npu().MmioLaunch(World::kSecure, desc);
     if (st.ok()) {
       job.state = JobState::kLaunched;
+      // Entry-side measured switch time: takeover smc arrival to secure
+      // launch, drain polls included (vs the PerJobSwitchCost model, which
+      // assumes an idle device).
+      job.launched_at = platform_->sim().Now();
+      total_measured_switch_time_ +=
+          kSmcRoundTrip + (job.launched_at - job.takeover_at);
     }
   }
   if (!st.ok()) {
@@ -266,6 +301,19 @@ void TeeNpuDriver::OnSecureCompletion() {
   job.state = JobState::kCompleted;
   ++secure_jobs_completed_;
   total_job_npu_time_ += job.desc.duration + kNpuJobLaunchOverhead;
+  total_matmuls_completed_ += job.desc.matmuls.size();
+
+  // The device latches the job's fault state in its status register; read
+  // it while the MMIO window is still secure so a failing functional
+  // payload propagates to the waiter instead of completing silently.
+  Status payload_status;
+  (void)platform_->npu().MmioReadJobStatus(World::kSecure, &payload_status);
+  if (!payload_status.ok() && !job.abandoned) {
+    // A driver-initiated abort also latches an error in the status
+    // register, but no payload ran — only genuine payload faults count.
+    ++payload_failures_;
+  }
+  const SimTime irq_at = platform_->sim().Now();
 
   // Secure-mode exit: revoke TZASC grants, re-route the interrupt, return
   // the MMIO window to the REE, then tell the control plane.
@@ -284,21 +332,25 @@ void TeeNpuDriver::OnSecureCompletion() {
   const SimDuration exit_delay =
       2 * kTzascConfigTime + kGicRouteTime + kTzpcConfigTime +
       2 * kSmcRoundTrip;
-  platform_->sim().Schedule(exit_delay, [this, job_id] {
+  platform_->sim().Schedule(exit_delay, [this, job_id, irq_at,
+                                         payload_status] {
     SmcArgs args;
     args.a[0] = job_id;
     platform_->monitor().RpcToRee(SmcFunc::kRpcNpuShadowComplete, args);
     total_smc_time_ += kSmcRoundTrip;
+    // Exit-side measured switch time: completion interrupt to the shadow
+    // job handed back to the REE queue.
+    total_measured_switch_time_ += platform_->sim().Now() - irq_at;
     SecureJob& done = jobs_[job_id];
-    done.completion_status = OkStatus();
+    done.completion_status = payload_status;
     done.finished = true;
     // The device is done with the execution context: release the functional
-    // payload (it pins the pinned-input snapshot) for callers that keep the
+    // payload (it pins the job's input buffers) for callers that keep the
     // entry around instead of consuming it via WaitForJob.
     done.desc.compute = nullptr;
     auto cb = std::move(done.on_complete);
     if (cb) {
-      cb(OkStatus());
+      cb(payload_status);
     }
   });
 }

@@ -53,12 +53,24 @@ class TeeNpuDriver {
   // Synchronous-wait helper for TA-side callers that need a job's result
   // before proceeding (the NPU prefill backend): drives the simulator until
   // the job's completion path has fired, then returns the job's completion
-  // status. CONSUME-ONCE: on success the bookkeeping entry is erased (so a
-  // streaming TA doesn't grow the job map without bound) — a second wait on
-  // the same id returns NotFound. Fails with kInternal if the simulator
-  // drains first (a job that can never complete — e.g. its shadow never
-  // reached the queue head); the abandoned job's payload is neutralized.
-  Status WaitForJob(uint64_t job_id);
+  // status — which carries the functional payload's failure, if any, read
+  // from the device's job-status register at the completion interrupt.
+  // CONSUME-ONCE: the bookkeeping entry is erased once the wait resolves
+  // (so a streaming TA doesn't grow the job map without bound) — a second
+  // wait on the same id returns NotFound. Fails with kInternal if the
+  // simulator drains first (a job that can never complete — e.g. its shadow
+  // never reached the queue head), or with kDeadlineExceeded if `timeout`
+  // (> 0) of virtual time elapses without completion; in both cases the
+  // abandoned job's payload is neutralized — including the copy a LAUNCHED
+  // job's device already captured, via the NPU's MMIO abort — so it can
+  // never fire into caller memory the caller has since reclaimed.
+  Status WaitForJob(uint64_t job_id, SimDuration timeout = 0);
+
+  // Non-blocking completion query for the pipelined prefill schedule: true
+  // once the job's completion path has fired (WaitForJob would return
+  // without driving the simulator), false while in flight, NotFound for an
+  // unknown/already-consumed id. Never consumes the bookkeeping entry.
+  Result<bool> TryPollJob(uint64_t job_id) const;
 
   // --- Statistics (§7.3 breakdown; per-job figures for the bench). ---
   uint64_t jobs_created() const { return next_job_id_ - 1; }
@@ -70,6 +82,23 @@ class TeeNpuDriver {
   // the per-launch doorbell overhead) — what the bench divides by job count
   // to report per-job co-driver overhead next to per-job useful work.
   SimDuration total_job_npu_time() const { return total_job_npu_time_; }
+  // Matmuls carried by completed jobs (NpuJobDesc::matmuls): divided by
+  // secure_jobs_completed() this is the average fused-group size, the
+  // number the job-fusion work is judged on.
+  uint64_t total_matmuls_completed() const { return total_matmuls_completed_; }
+  // MEASURED per-job world-switch overhead, as opposed to the
+  // PerJobSwitchCost() model: virtual time actually elapsed on the secure
+  // entry path (takeover smc -> launch, including any non-secure drain
+  // polling) plus the exit path (completion interrupt -> shadow-complete
+  // handed back). Equals the model when the device never needs draining;
+  // exceeds it under contention — the bench reports both so the model is
+  // validated against the protocol's real behavior.
+  SimDuration total_measured_switch_time() const {
+    return total_measured_switch_time_;
+  }
+  // Jobs whose functional payload reported a failure through the device's
+  // job-status register (propagated to the waiter's completion status).
+  uint64_t payload_failures() const { return payload_failures_; }
 
   // Per-secure-job fixed cost on the NPU timeline: world-switch smcs plus
   // TZPC/GIC/TZASC reprogramming in both directions.
@@ -99,6 +128,14 @@ class TeeNpuDriver {
     // world switch) — the condition WaitForJob spins the simulator on.
     bool finished = false;
     Status completion_status;
+    // Virtual timestamps for the measured (not modeled) per-job switch
+    // overhead: takeover smc arrival and secure launch.
+    SimTime takeover_at = 0;
+    SimTime launched_at = 0;
+    // Set when a waiter timed out and the driver aborted the job: its
+    // completion then carries the abort status, which is not a *payload*
+    // failure (no payload ever ran).
+    bool abandoned = false;
   };
 
   // smc kNpuTakeover entry: REE control plane hands over the NPU.
@@ -121,9 +158,12 @@ class TeeNpuDriver {
   uint64_t running_job_ = 0;    // 0 = none.
   uint64_t secure_jobs_completed_ = 0;
   uint64_t validation_failures_ = 0;
+  uint64_t total_matmuls_completed_ = 0;
+  uint64_t payload_failures_ = 0;
   SimDuration total_config_time_ = 0;
   SimDuration total_smc_time_ = 0;
   SimDuration total_job_npu_time_ = 0;
+  SimDuration total_measured_switch_time_ = 0;
 };
 
 }  // namespace tzllm

@@ -1,8 +1,10 @@
 // ComputeBackend seam: NPU-offloaded batched prefill through the secure
-// co-driver must compute exactly the same function as the CPU path, and the
-// co-driver's TZASC validation must reject job contexts outside the TA's
-// protected regions — with the real shadow-queue / takeover / world-switch
-// machinery running under the simulator clock for every job.
+// co-driver must compute exactly the same function as the CPU path — under
+// the fused per-layer job format AND the pipelined two-chunk schedule — and
+// the co-driver's TZASC validation must reject fused job contexts whose
+// sub-buffers stray outside the TA's protected regions, with the real
+// shadow-queue / takeover / world-switch machinery running under the
+// simulator clock for every job.
 
 #include <gtest/gtest.h>
 
@@ -68,6 +70,11 @@ class NpuBackendTest : public ::testing::Test {
     config.ta = ta_;
     config.ctx_base = ctx_base;
     config.ctx_bytes = NpuBackend::ContextBytes(spec_, options);
+    // The payloads must run the engine's table so the fused layer tail's
+    // norm/silu glue matches the CPU path bit-for-bit (llm_ta.cc wires the
+    // same way).
+    config.kernels = KernelsFor(options);
+    config.fuse_jobs = options.npu_fusion;
     return config;
   }
 
@@ -80,6 +87,17 @@ class NpuBackendTest : public ::testing::Test {
     auto logits = exec.Prefill(prompt, &kv);
     EXPECT_TRUE(logits.ok()) << logits.status().ToString();
     return logits.ok() ? *logits : std::vector<float>();
+  }
+
+  // Prefill logits through an NPU-offloaded executor; `backend` outlives
+  // the call so the caller can inspect its stats.
+  Result<std::vector<float>> NpuPrefill(const EngineOptions& options,
+                                        const std::vector<TokenId>& prompt,
+                                        NpuBackend* backend) {
+    HostWeightSource source(weights_);
+    TransformerExecutor exec(&spec_, &source, options, backend);
+    KvCache kv(spec_, KvStorageFor(options), KernelsFor(options));
+    return exec.Prefill(prompt, &kv);
   }
 
   SocPlatform plat_;
@@ -101,34 +119,32 @@ TEST_F(NpuBackendTest, NpuPrefillLogitsBitIdenticalToCpu) {
   const std::vector<float> cpu = CpuPrefill(options, prompt);
 
   NpuBackend backend(BackendConfig(options, scratch_));
-  HostWeightSource source(weights_);
-  TransformerExecutor exec(&spec_, &source, options, &backend);
-  KvCache kv(spec_, KvStorageFor(options), KernelsFor(options));
-  auto npu = exec.Prefill(prompt, &kv);
+  auto npu = NpuPrefill(options, prompt, &backend);
   ASSERT_TRUE(npu.ok()) << npu.status().ToString();
 
-  // Offloading moved only the MatMats, and the NPU payload is the scalar
-  // table whose integer-dot rows are bit-identical to every CPU table: not
-  // one logit may differ.
+  // Offloading moved only backend submissions, and the payloads run the
+  // same kernels through the same shared helpers: not one logit may differ
+  // — even though the pipelined schedule interleaved two chunks.
   ASSERT_EQ(npu->size(), cpu.size());
   for (size_t i = 0; i < cpu.size(); ++i) {
     ASSERT_EQ((*npu)[i], cpu[i]) << "logit " << i;
   }
-  // Greedy token identical follows from identical logits.
   EXPECT_EQ(std::max_element(npu->begin(), npu->end()) - npu->begin(),
             std::max_element(cpu.begin(), cpu.end()) - cpu.begin());
 
-  // The jobs really ran through the co-driver data plane: every chunk
-  // produced 7 matmul jobs (QKV, WO, gate, up, down per layer).
+  // Fused format: every chunk-layer is 2 jobs (QKV group + layer tail)
+  // carrying 7 matmuls between them — not 7 jobs.
   const uint64_t chunks = (prompt.size() + 7) / 8;
-  const uint64_t expected_jobs =
-      chunks * static_cast<uint64_t>(spec_.config().n_layers) * 7;
-  EXPECT_EQ(backend.jobs_submitted(), expected_jobs);
-  EXPECT_EQ(tee_npu_->secure_jobs_completed(), expected_jobs);
+  const uint64_t layers = static_cast<uint64_t>(spec_.config().n_layers);
+  EXPECT_EQ(backend.jobs_submitted(), chunks * layers * 2);
+  EXPECT_EQ(backend.matmuls_submitted(), chunks * layers * 7);
+  EXPECT_EQ(tee_npu_->secure_jobs_completed(), backend.jobs_submitted());
+  EXPECT_EQ(tee_npu_->total_matmuls_completed(), backend.matmuls_submitted());
   EXPECT_EQ(plat_.npu().compute_failures(), 0u);
   // Co-driver overhead stats accumulated real (virtual) time.
   EXPECT_GT(tee_npu_->total_config_time(), 0u);
   EXPECT_GT(tee_npu_->total_job_npu_time(), 0u);
+  EXPECT_GT(tee_npu_->total_measured_switch_time(), 0u);
   // The NPU is back in non-secure mode after the last job.
   EXPECT_FALSE(plat_.tzpc().IsSecure(DeviceId::kNpu));
 }
@@ -144,15 +160,43 @@ TEST_F(NpuBackendTest, NpuPrefillIdenticalToCpuScalarPath) {
   const std::vector<float> scalar_cpu = CpuPrefill(options, prompt);
 
   NpuBackend backend(BackendConfig(options, scratch_));
-  HostWeightSource source(weights_);
-  TransformerExecutor exec(&spec_, &source, options, &backend);
-  KvCache kv(spec_, KvStorageFor(options), KernelsFor(options));
-  auto npu = exec.Prefill(prompt, &kv);
+  auto npu = NpuPrefill(options, prompt, &backend);
   ASSERT_TRUE(npu.ok()) << npu.status().ToString();
   ASSERT_EQ(npu->size(), scalar_cpu.size());
   for (size_t i = 0; i < scalar_cpu.size(); ++i) {
     ASSERT_EQ((*npu)[i], scalar_cpu[i]) << "logit " << i;
   }
+}
+
+TEST_F(NpuBackendTest, FusedAndUnfusedJobShapesBitIdentical) {
+  // The fused 2-jobs-per-layer format against the pre-fusion 7-jobs format:
+  // same floats (the unfused payloads compose the same stage helpers), very
+  // different job counts — the whole point of fusion.
+  EngineOptions fused;
+  fused.prefill_batch = 8;
+  EngineOptions unfused = fused;
+  unfused.npu_fusion = false;
+  const auto prompt = MakePrompt(spec_.config(), 20);
+
+  NpuBackend fused_backend(BackendConfig(fused, scratch_));
+  auto fused_logits = NpuPrefill(fused, prompt, &fused_backend);
+  ASSERT_TRUE(fused_logits.ok()) << fused_logits.status().ToString();
+
+  NpuBackend unfused_backend(BackendConfig(unfused, scratch_));
+  auto unfused_logits = NpuPrefill(unfused, prompt, &unfused_backend);
+  ASSERT_TRUE(unfused_logits.ok()) << unfused_logits.status().ToString();
+
+  ASSERT_EQ(fused_logits->size(), unfused_logits->size());
+  for (size_t i = 0; i < fused_logits->size(); ++i) {
+    ASSERT_EQ((*fused_logits)[i], (*unfused_logits)[i]) << "logit " << i;
+  }
+  // Identical useful work, 3.5x fewer world switches.
+  EXPECT_EQ(fused_backend.matmuls_submitted(),
+            unfused_backend.matmuls_submitted());
+  EXPECT_EQ(unfused_backend.jobs_submitted(),
+            unfused_backend.matmuls_submitted());
+  EXPECT_EQ(fused_backend.jobs_submitted() * 7,
+            unfused_backend.jobs_submitted() * 2);
 }
 
 TEST_F(NpuBackendTest, DecodeStaysOnCpuAfterNpuPrefill) {
@@ -182,18 +226,95 @@ TEST_F(NpuBackendTest, JobContextOutsideTzascRejectedAtCreateJob) {
   // validation against the TA's protected regions must reject every job, so
   // the prefill fails closed instead of DMA-ing through unprotected pages.
   NpuBackend backend(BackendConfig(options, /*ctx_base=*/512 * kMiB));
-  HostWeightSource source(weights_);
-  TransformerExecutor exec(&spec_, &source, options, &backend);
-  KvCache kv(spec_, KvStorageFor(options), KernelsFor(options));
-  auto logits = exec.Prefill(MakePrompt(spec_.config(), 16), &kv);
+  auto logits = NpuPrefill(options, MakePrompt(spec_.config(), 16), &backend);
   ASSERT_FALSE(logits.ok());
   EXPECT_EQ(logits.status().code(), ErrorCode::kSecurityViolation);
   EXPECT_GE(tee_npu_->validation_failures(), 1u);
   EXPECT_EQ(tee_npu_->secure_jobs_completed(), 0u);
 }
 
+TEST_F(NpuBackendTest, FusedJobSubBufferOutsideTzascRejected) {
+  // A fused job carries several sub-buffers; EVERY one must be validated.
+  // Build a multi-matmul context whose command stream, I/O page table and
+  // first sub-buffers sit legally inside the TA's protected scratch while
+  // ONE later sub-buffer strays into REE memory: the co-driver must reject
+  // the whole job rather than let a single stray buffer of an
+  // otherwise-valid fused context DMA through unprotected pages.
+  NpuJobDesc fused;
+  fused.cmd_addr = scratch_;
+  fused.cmd_size = kPageSize;
+  fused.iopt_addr = scratch_ + kPageSize;
+  fused.iopt_size = kPageSize;
+  fused.buffers = {{scratch_ + 2 * kPageSize, kPageSize},   // in (ok)
+                   {scratch_ + 3 * kPageSize, kPageSize},   // out q (ok)
+                   {512 * kMiB, kPageSize},                 // out k: REE!
+                   {scratch_ + 4 * kPageSize, kPageSize}};  // out v (ok)
+  fused.matmuls = {{128, 128, 8}, {64, 128, 8}, {64, 128, 8}};
+  auto id = tee_npu_->CreateJob(ta_, fused);
+  ASSERT_FALSE(id.ok());
+  EXPECT_EQ(id.status().code(), ErrorCode::kSecurityViolation);
+  EXPECT_GE(tee_npu_->validation_failures(), 1u);
+
+  // End to end: a context window whose second slot lies beyond the
+  // protected region fails the prefill closed partway through (the first
+  // slot's jobs validate, the second slot's cannot).
+  EngineOptions options;
+  options.prefill_batch = 8;
+  NpuBackendConfig config = BackendConfig(options, 0);
+  config.ctx_base = scratch_ + 16 * kMiB - config.ctx_bytes / 2;
+  NpuBackend backend(config);
+  auto logits = NpuPrefill(options, MakePrompt(spec_.config(), 16), &backend);
+  ASSERT_FALSE(logits.ok());
+  EXPECT_EQ(logits.status().code(), ErrorCode::kSecurityViolation);
+}
+
+TEST_F(NpuBackendTest, PayloadFailureSurfacesOutOfForwardPrompt) {
+  // A job whose functional payload fails mid-prefill must surface a clear
+  // Status out of Prefill — not hang the pipeline, not silently fall back
+  // to the CPU, not complete with corrupt logits.
+  EngineOptions options;
+  options.prefill_batch = 8;
+  NpuBackendConfig config = BackendConfig(options, scratch_);
+  config.inject_payload_failure_job = 5;
+  NpuBackend backend(config);
+  auto logits = NpuPrefill(options, MakePrompt(spec_.config(), 20), &backend);
+  ASSERT_FALSE(logits.ok());
+  EXPECT_EQ(logits.status().code(), ErrorCode::kInternal);
+  EXPECT_EQ(tee_npu_->payload_failures(), 1u);
+  EXPECT_EQ(plat_.npu().compute_failures(), 1u);
+  // The device was handed back cleanly despite the failure.
+  EXPECT_FALSE(plat_.tzpc().IsSecure(DeviceId::kNpu));
+}
+
+TEST_F(NpuBackendTest, BackendTryPollObservesTicketLifecycle) {
+  // The non-blocking half of the async backend contract, driven directly:
+  // a submitted ticket polls incomplete until the simulator runs the job,
+  // Await retires it, and the payload's output matches the host kernel bit
+  // for bit.
+  EngineOptions options;
+  options.prefill_batch = 4;
+  NpuBackend backend(BackendConfig(options, scratch_));
+  const Tensor w = MakeRandomTensor("w", DType::kQ8_0, 8, 32, /*seed=*/7);
+  std::vector<float> x(4 * 32, 0.25f), y(4 * 8), y_ref(4 * 8);
+  Q8Acts acts;
+  acts.QuantizeRows(x.data(), 4, 32);
+  const MatMatOp op{w.data.data(), 8, y.data()};
+  auto ticket = backend.SubmitMatMatGroup(&op, 1, acts);
+  ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+  auto inflight = backend.TryPoll(*ticket);
+  ASSERT_TRUE(inflight.ok());
+  EXPECT_FALSE(*inflight);  // Submitted; nothing drove the simulator yet.
+  ASSERT_TRUE(backend.Await(*ticket).ok());
+  auto done = backend.TryPoll(*ticket);
+  ASSERT_TRUE(done.ok());
+  EXPECT_TRUE(*done);  // Retired tickets poll complete.
+  MatMatQ8(w.data.data(), 8, 32, acts, y_ref.data(), /*pool=*/nullptr,
+           KernelsFor(options));
+  EXPECT_EQ(y, y_ref);
+}
+
 TEST_F(NpuBackendTest, ContextBytesCoversEveryChunkJob) {
-  // The budget formula must cover the largest matmul of any chunk; a run
+  // The budget formula must cover the largest fused job of any chunk; a run
   // with the exact budgeted window (placed at the region tail) succeeds.
   EngineOptions options;
   options.prefill_batch = 32;
@@ -201,10 +322,8 @@ TEST_F(NpuBackendTest, ContextBytesCoversEveryChunkJob) {
   ASSERT_LE(ctx_bytes, 16 * kMiB);
   NpuBackend backend(
       BackendConfig(options, scratch_ + 16 * kMiB - ctx_bytes));
-  HostWeightSource source(weights_);
-  TransformerExecutor exec(&spec_, &source, options, &backend);
-  KvCache kv(spec_, KvStorageFor(options), KernelsFor(options));
-  EXPECT_TRUE(exec.Prefill(MakePrompt(spec_.config(), 40), &kv).ok());
+  auto logits = NpuPrefill(options, MakePrompt(spec_.config(), 40), &backend);
+  EXPECT_TRUE(logits.ok()) << logits.status().ToString();
 }
 
 }  // namespace

@@ -205,5 +205,107 @@ TEST_F(CoDriverTest, SwitchCostsAreAccounted) {
   EXPECT_GT(TeeNpuDriver::PerJobSwitchCost(), 50 * kMicrosecond);
 }
 
+TEST_F(CoDriverTest, MeasuredSwitchTimeTracksTheModel) {
+  // An idle device: the measured per-job switch time (takeover->launch plus
+  // completion->shadow-release, real protocol events) should land in the
+  // same regime as the PerJobSwitchCost model — within 2x, not orders off.
+  const int kJobs = 4;
+  for (int i = 0; i < kJobs; ++i) {
+    ASSERT_TRUE(tee_npu_->SubmitJob(ta_, SecureJob(), nullptr).ok());
+    plat_.sim().Run();
+  }
+  ASSERT_EQ(tee_npu_->secure_jobs_completed(), static_cast<uint64_t>(kJobs));
+  const SimDuration measured =
+      tee_npu_->total_measured_switch_time() / kJobs;
+  const SimDuration model = TeeNpuDriver::PerJobSwitchCost();
+  EXPECT_GE(measured, model / 2);
+  EXPECT_LE(measured, 2 * model);
+}
+
+TEST_F(CoDriverTest, FailingPayloadPropagatesToWaiter) {
+  // A job whose functional payload fails must complete the protocol (the
+  // device raises its interrupt regardless) but surface the error to both
+  // the completion callback and a WaitForJob caller — never a silent OK.
+  NpuJobDesc job = SecureJob();
+  job.compute = [] { return Internal("payload exploded"); };
+  Status cb_status;
+  auto id = tee_npu_->SubmitJob(ta_, job,
+                                [&](Status st) { cb_status = std::move(st); });
+  ASSERT_TRUE(id.ok());
+  const Status waited = tee_npu_->WaitForJob(*id);
+  EXPECT_FALSE(waited.ok());
+  EXPECT_EQ(waited.code(), ErrorCode::kInternal);
+  EXPECT_FALSE(cb_status.ok());
+  EXPECT_EQ(tee_npu_->payload_failures(), 1u);
+  // The protocol still ran to completion and released the device.
+  EXPECT_EQ(tee_npu_->secure_jobs_completed(), 1u);
+  EXPECT_FALSE(plat_.tzpc().IsSecure(DeviceId::kNpu));
+}
+
+TEST_F(CoDriverTest, WaitForJobTimesOutOnABusySimulator) {
+  // A job whose shadow is stuck behind an endless non-secure stream: without
+  // a timeout WaitForJob would drive the (never-idle) simulator forever.
+  // Park a never-launched job by creating-but-not-issuing it, and keep the
+  // simulator busy with a self-rescheduling heartbeat.
+  auto id = tee_npu_->CreateJob(ta_, SecureJob());
+  ASSERT_TRUE(id.ok());  // Created, never issued: no shadow, never runs.
+  std::function<void()> heartbeat = [&] {
+    plat_.sim().Schedule(kMillisecond, heartbeat);
+  };
+  heartbeat();
+  const Status st = tee_npu_->WaitForJob(*id, /*timeout=*/50 * kMillisecond);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), ErrorCode::kDeadlineExceeded);
+}
+
+TEST_F(CoDriverTest, TimedOutLaunchedJobPayloadNeverFires) {
+  // The device captures its own payload copy at MmioLaunch, so abandoning
+  // a LAUNCHED job on timeout must abort the device's compute stage —
+  // otherwise the payload fires later into caller memory the caller
+  // reclaimed after seeing the timeout (use-after-free in a real TA).
+  bool fired = false;
+  NpuJobDesc job = SecureJob(/*duration=*/500 * kMillisecond);
+  job.compute = [&fired] {
+    fired = true;
+    return OkStatus();
+  };
+  auto id = tee_npu_->SubmitJob(ta_, job, nullptr);
+  ASSERT_TRUE(id.ok());
+  // Fine-grained unrelated traffic so virtual time creeps past the wait
+  // deadline long before the (long) job completes.
+  std::function<void()> heartbeat = [&] {
+    plat_.sim().Schedule(kMillisecond, heartbeat);
+  };
+  heartbeat();
+  plat_.sim().RunUntilIdleOr([&] { return plat_.npu().busy(); });
+  ASSERT_TRUE(plat_.npu().busy());  // Launched, mid-execution.
+  const Status st = tee_npu_->WaitForJob(*id, /*timeout=*/50 * kMillisecond);
+  EXPECT_EQ(st.code(), ErrorCode::kDeadlineExceeded);
+  // Let the aborted job's completion interrupt fire (bounded run: the
+  // heartbeat never drains the queue).
+  plat_.sim().RunUntil(plat_.sim().Now() + 600 * kMillisecond);
+  EXPECT_FALSE(fired);  // The device dropped the captured payload.
+  EXPECT_EQ(plat_.npu().jobs_completed(), 1u);
+  // A driver-initiated abort is not a *payload* failure: nothing ran.
+  EXPECT_EQ(tee_npu_->payload_failures(), 0u);
+  // The protocol still released the device back to the non-secure world.
+  EXPECT_FALSE(plat_.tzpc().IsSecure(DeviceId::kNpu));
+}
+
+TEST_F(CoDriverTest, TryPollJobObservesCompletionWithoutConsuming) {
+  auto id = tee_npu_->SubmitJob(ta_, SecureJob(), nullptr);
+  ASSERT_TRUE(id.ok());
+  auto before = tee_npu_->TryPollJob(*id);
+  ASSERT_TRUE(before.ok());
+  EXPECT_FALSE(*before);  // Submitted, not yet driven to completion.
+  plat_.sim().Run();
+  auto after = tee_npu_->TryPollJob(*id);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(*after);  // Poll does not consume...
+  EXPECT_TRUE(tee_npu_->WaitForJob(*id).ok());
+  // ...but the consuming wait does: the entry is gone now.
+  EXPECT_EQ(tee_npu_->TryPollJob(*id).status().code(), ErrorCode::kNotFound);
+}
+
 }  // namespace
 }  // namespace tzllm
