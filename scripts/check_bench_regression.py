@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
-"""Bench-regression guard for the fig17 smoke run (ISSUE 5).
+"""Bench-regression guard for the fig17/fig13 smoke runs (ISSUE 5, PR 6).
 
-Parses a freshly produced BENCH_engine.json and fails CI when the NPU
-prefill trajectory regresses:
+Default mode parses a freshly produced BENCH_engine.json and fails CI when
+the NPU prefill trajectory regresses:
 
   1. prefill_ms.npu_offload must beat prefill_ms.batched_t1 — the whole
      point of the fused/pipelined co-driver path (both measured in the same
@@ -16,7 +16,21 @@ prefill trajectory regresses:
      the same SIMD ISA (comparing absolute tok/s across different
      microarchitectures is noise, not signal).
 
-Usage: check_bench_regression.py <fresh.json> <committed-snapshot.json>
+--fault mode guards the TZLLM_FAULT_PLAN sweep (PR 6): the run must have
+actually injected faults, recovery (retry or CPU fallback) must have
+absorbed them, and the degraded prefill must still complete within 2x of
+the CPU batched_t1 baseline. The clean must-beat and job-budget rules do
+not apply: failed attempts occupy extra jobs by design.
+
+--preemption mode guards BENCH_preemption.json (fig13): checkpoint ->
+evict -> restore must resume with identical greedy tokens (same TA and
+fresh-TA crash restore), and the recovery-under-fault generation must
+complete with identical tokens.
+
+Usage:
+  check_bench_regression.py <fresh.json> <committed-snapshot.json>
+  check_bench_regression.py --fault <fresh.json>
+  check_bench_regression.py --preemption <BENCH_preemption.json>
 """
 
 import json
@@ -28,16 +42,19 @@ def fail(msg):
     sys.exit(1)
 
 
-def main():
-    if len(sys.argv) != 3:
-        fail(f"usage: {sys.argv[0]} <fresh.json> <committed.json>")
-    with open(sys.argv[1]) as f:
-        fresh = json.load(f)
-    with open(sys.argv[2]) as f:
-        committed = json.load(f)
+def load(path):
+    with open(path) as f:
+        return json.load(f)
 
+
+def check_clean(fresh, committed):
     npu = fresh["prefill_ms"]["npu_offload"]
     cpu = fresh["prefill_ms"]["batched_t1"]
+    if fresh.get("fault_plan"):
+        fail(
+            f"clean-mode guard ran on a faulted run (fault_plan = "
+            f"'{fresh['fault_plan']}'): unset TZLLM_FAULT_PLAN or use --fault"
+        )
     if npu >= cpu:
         fail(
             f"prefill_ms.npu_offload ({npu:.2f} ms) does not beat "
@@ -71,6 +88,84 @@ def main():
             f"{fresh.get('simd_isa')} != snapshot {committed.get('simd_isa')}"
         )
 
+
+def check_fault(fresh):
+    if not fresh.get("fault_plan"):
+        fail("--fault guard ran on a clean run: TZLLM_FAULT_PLAN was not set")
+    codriver = fresh["npu_codriver"]
+    if codriver["faults_injected"] <= 0:
+        fail(
+            f"fault plan '{fresh['fault_plan']}' armed but injected no "
+            "faults: the sweep exercised nothing"
+        )
+    recovered = codriver["jobs_recovered"] + codriver["fallback_jobs"]
+    if recovered <= 0:
+        fail(
+            f"{codriver['faults_injected']:.0f} faults/prefill injected but "
+            "no job was retried or re-run on the CPU: recovery never engaged"
+        )
+    npu = fresh["prefill_ms"]["npu_offload"]
+    cpu = fresh["prefill_ms"]["batched_t1"]
+    if npu > 2.0 * cpu:
+        fail(
+            f"fallback-mode prefill ({npu:.2f} ms under "
+            f"'{fresh['fault_plan']}') exceeds 2x batched_t1 ({cpu:.2f} ms): "
+            "degraded mode costs more than giving up on the NPU"
+        )
+    print(
+        f"fault sweep '{fresh['fault_plan']}': "
+        f"{codriver['faults_injected']:.0f} faults/prefill, "
+        f"{codriver['jobs_recovered']:.0f} retried, "
+        f"{codriver['fallback_jobs']:.0f} CPU-fallback, "
+        f"prefill {npu:.2f} ms <= 2x batched_t1 {cpu:.2f} ms: OK"
+    )
+
+
+def check_preemption(fresh):
+    for key in ("tokens_identical", "crash_tokens_identical"):
+        if fresh.get(key) is not True:
+            fail(
+                f"{key} is {fresh.get(key)}: checkpoint/restore diverged "
+                "from the uninterrupted run"
+            )
+    print(
+        f"checkpoint {fresh['checkpoint_ms']:.3f} ms, restore "
+        f"{fresh['restore_ms']:.3f} ms, crash restore "
+        f"{fresh['crash_restore_ms']:.3f} ms, tokens identical: OK"
+    )
+    fault = fresh.get("fault", {})
+    if fault.get("completed") is not True:
+        fail("recovery-under-fault generation did not complete")
+    if fault.get("tokens_identical") is not True:
+        fail(
+            f"recovery-under-fault tokens diverged under plan "
+            f"'{fault.get('plan')}'"
+        )
+    if fault.get("faults_injected", 0) <= 0:
+        fail(
+            f"fault plan '{fault.get('plan')}' injected nothing: the "
+            "recovery-under-fault run exercised no recovery"
+        )
+    print(
+        f"recovery under '{fault['plan']}': completed, tokens identical, "
+        f"{fault['faults_injected']} injected / "
+        f"{fault['jobs_recovered']} retried / "
+        f"{fault['fallback_jobs']} CPU-fallback: OK"
+    )
+
+
+def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "--fault":
+        check_fault(load(sys.argv[2]))
+    elif len(sys.argv) == 3 and sys.argv[1] == "--preemption":
+        check_preemption(load(sys.argv[2]))
+    elif len(sys.argv) == 3:
+        check_clean(load(sys.argv[1]), load(sys.argv[2]))
+    else:
+        fail(
+            f"usage: {sys.argv[0]} <fresh.json> <committed.json> | "
+            "--fault <fresh.json> | --preemption <preemption.json>"
+        )
     print("bench regression guard: all checks passed")
 
 

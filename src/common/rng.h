@@ -68,6 +68,20 @@ class Rng {
     return mean + (sum - 6.0) * stddev;
   }
 
+  // State capture for session checkpointing: a generator restored with
+  // SetState continues the exact sequence the saved one would have produced
+  // (xoshiro256** state is its four words — nothing else).
+  void GetState(uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) {
+      out[i] = state_[i];
+    }
+  }
+  void SetState(const uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) {
+      state_[i] = in[i];
+    }
+  }
+
   void FillBytes(uint8_t* out, size_t len) {
     size_t i = 0;
     while (i + 8 <= len) {

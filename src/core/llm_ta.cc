@@ -1,10 +1,12 @@
 #include "src/core/llm_ta.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "src/common/log.h"
 #include "src/llm/cost_model.h"
 #include "src/llm/graph.h"
+#include "src/tee/checkpoint.h"
 
 namespace tzllm {
 
@@ -72,7 +74,33 @@ Status LlmTa::LoadModel(const std::string& model_id, SchedulePolicy policy) {
           "platform has no NPU co-driver (RuntimeConfig::use_npu is off or "
           "TeeNpuDriver was not wired into this TA)");
     }
+    if (engine_options_.npu_job_timeout == 0) {
+      return InvalidArgument(
+          "EngineOptions::npu_job_timeout must be positive: a zero per-job "
+          "deadline would classify every NPU job as timed out");
+    }
+    if (engine_options_.npu_max_retries < 0) {
+      return InvalidArgument("EngineOptions::npu_max_retries must be >= 0");
+    }
     npu_ctx_bytes_ = NpuBackend::ContextBytes(*spec_, engine_options_);
+    // Fault-injection plan: the options string wins; otherwise the
+    // TZLLM_FAULT_PLAN environment variable (CI fault sweeps). A malformed
+    // options string is a configuration error, not a warning.
+    NpuFaultPlan fault_plan;
+    if (!engine_options_.npu_fault_plan.empty()) {
+      auto parsed = NpuFaultPlan::Parse(engine_options_.npu_fault_plan);
+      if (!parsed.ok()) {
+        return parsed.status();
+      }
+      fault_plan = *parsed;
+    } else {
+      fault_plan = NpuFaultPlan::FromEnv();
+    }
+    if (fault_plan.active()) {
+      npu_driver_->ArmFaultPlan(fault_plan);
+      TZLLM_LOG_INFO("llm-ta", "armed NPU fault plan %s",
+                     fault_plan.ToString().c_str());
+    }
   }
   const uint64_t kv_width_factor =
       KvStorageFor(engine_options_) == KvStorage::kF32 ? 2 : 1;
@@ -113,6 +141,10 @@ Status LlmTa::LoadModel(const std::string& model_id, SchedulePolicy policy) {
     // bit-for-bit, not just the (table-invariant) integer-dot rows.
     backend_config.kernels = KernelsFor(engine_options_);
     backend_config.fuse_jobs = engine_options_.npu_fusion;
+    backend_config.job_timeout = engine_options_.npu_job_timeout;
+    backend_config.max_retries = engine_options_.npu_max_retries;
+    backend_config.retry_backoff = engine_options_.npu_retry_backoff;
+    backend_config.cpu_fallback = engine_options_.npu_cpu_fallback;
     npu_backend_ =
         std::make_unique<NpuBackend>(backend_config);
   }
@@ -230,39 +262,266 @@ Result<const uint8_t*> LlmTa::SecureWeightSource::TensorData(
   return static_cast<const uint8_t*>(slot->second.data());
 }
 
-Result<GenerationResult> LlmTa::Generate(const std::string& prompt,
-                                         int max_new_tokens,
-                                         const Sampler::Options& sampling) {
+Status LlmTa::BeginSession(const std::string& prompt, int max_new_tokens,
+                           const Sampler::Options& sampling) {
   if (!loaded_) {
-    return Status(ErrorCode::kFailedPrecondition, "no model loaded");
+    return FailedPrecondition("no model loaded");
   }
-  GenerationResult result;
-  result.prompt_tokens = tokenizer_->Encode(prompt);
-  if (result.prompt_tokens.empty()) {
-    return Status(ErrorCode::kInvalidArgument, "empty prompt");
+  if (session_.active) {
+    return FailedPrecondition(
+        "a generation session is already active (Finish it first)");
+  }
+  if (max_new_tokens < 0) {
+    return InvalidArgument("max_new_tokens must be >= 0");
+  }
+  Session s;
+  s.prompt_tokens = tokenizer_->Encode(prompt);
+  if (s.prompt_tokens.empty()) {
+    return InvalidArgument("empty prompt");
   }
   kv_->Reset();
-  auto logits = executor_->Prefill(result.prompt_tokens, kv_.get());
+  auto logits = executor_->Prefill(s.prompt_tokens, kv_.get());
   if (!logits.ok()) {
     return logits.status();
   }
-  Sampler sampler(sampling);
-  TokenId token = sampler.Sample(*logits);
-  // Reusable logits buffer: the decode loop allocates nothing per step.
+  s.sampling = sampling;
+  s.sampler = std::make_unique<Sampler>(sampling);
+  s.next_token = s.sampler->Sample(*logits);
+  s.remaining = max_new_tokens;
+  s.active = true;
+  session_ = std::move(s);
+  return OkStatus();
+}
+
+bool LlmTa::session_done() const {
+  return session_.done || session_.remaining == 0 ||
+         session_.next_token == Tokenizer::kEos ||
+         (kv_ != nullptr && kv_->seq_len() >= spec_->config().max_ctx);
+}
+
+Result<int> LlmTa::StepSession(int max_steps) {
+  if (!session_.active) {
+    return Status(ErrorCode::kFailedPrecondition, "no active session");
+  }
+  // Token-for-token the classic Generate loop: check stop conditions before
+  // emitting, decode the emitted token, then sample its successor.
+  int emitted = 0;
   std::vector<float> next(spec_->config().vocab_size);
-  for (int i = 0; i < max_new_tokens; ++i) {
-    if (token == Tokenizer::kEos || kv_->seq_len() >= spec_->config().max_ctx) {
+  while (emitted < max_steps && session_.remaining > 0) {
+    if (session_.next_token == Tokenizer::kEos ||
+        kv_->seq_len() >= spec_->config().max_ctx) {
+      session_.done = true;
       break;
     }
-    result.output_tokens.push_back(token);
-    Status st = executor_->DecodeStepInto(token, kv_.get(), next.data());
+    session_.output_tokens.push_back(session_.next_token);
+    Status st =
+        executor_->DecodeStepInto(session_.next_token, kv_.get(), next.data());
     if (!st.ok()) {
       return st;
     }
-    token = sampler.Sample(next);
+    session_.next_token = session_.sampler->Sample(next);
+    --session_.remaining;
+    ++emitted;
   }
+  return emitted;
+}
+
+Result<GenerationResult> LlmTa::FinishSession() {
+  if (!session_.active) {
+    return Status(ErrorCode::kFailedPrecondition, "no active session");
+  }
+  GenerationResult result;
+  result.prompt_tokens = std::move(session_.prompt_tokens);
+  result.output_tokens = std::move(session_.output_tokens);
   result.text = tokenizer_->Decode(result.output_tokens);
+  session_ = Session{};
   return result;
+}
+
+Result<GenerationResult> LlmTa::Generate(const std::string& prompt,
+                                         int max_new_tokens,
+                                         const Sampler::Options& sampling) {
+  TZLLM_RETURN_IF_ERROR(BeginSession(prompt, max_new_tokens, sampling));
+  while (!session_done()) {
+    auto stepped = StepSession(session_.remaining);
+    if (!stepped.ok()) {
+      session_ = Session{};  // Don't leave a half-dead session latched.
+      return stepped.status();
+    }
+    if (*stepped == 0) {
+      break;
+    }
+  }
+  return FinishSession();
+}
+
+namespace {
+
+// Session-blob primitives (little-endian, explicit widths — the same idiom
+// as the TZGUF metadata and KvCache snapshots).
+constexpr char kSessionMagic[8] = {'T', 'Z', 'S', 'E', 'S', 'S', '0', '1'};
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+bool GetU32(const std::vector<uint8_t>& in, size_t* off, uint32_t* v) {
+  if (*off + 4 > in.size()) {
+    return false;
+  }
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(in[*off + i]) << (8 * i);
+  }
+  *off += 4;
+  return true;
+}
+
+bool GetU64(const std::vector<uint8_t>& in, size_t* off, uint64_t* v) {
+  if (*off + 8 > in.size()) {
+    return false;
+  }
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(in[*off + i]) << (8 * i);
+  }
+  *off += 8;
+  return true;
+}
+
+// Session checkpoints live beside the framework checkpoint but in their own
+// flash file: "<model_id>.sess.ckpt".
+std::string SessionCheckpointId(const std::string& model_id) {
+  return model_id + ".sess";
+}
+
+}  // namespace
+
+Status LlmTa::CheckpointSession() {
+  if (!session_.active) {
+    return FailedPrecondition("no active session to checkpoint");
+  }
+  std::vector<uint8_t> blob;
+  blob.insert(blob.end(), kSessionMagic, kSessionMagic + sizeof(kSessionMagic));
+  PutU32(&blob, static_cast<uint32_t>(session_.prompt_tokens.size()));
+  for (TokenId t : session_.prompt_tokens) {
+    PutU32(&blob, static_cast<uint32_t>(t));
+  }
+  PutU32(&blob, static_cast<uint32_t>(session_.output_tokens.size()));
+  for (TokenId t : session_.output_tokens) {
+    PutU32(&blob, static_cast<uint32_t>(t));
+  }
+  PutU32(&blob, static_cast<uint32_t>(session_.next_token));
+  PutU32(&blob, static_cast<uint32_t>(session_.remaining));
+  PutU32(&blob, session_.done ? 1 : 0);
+  // Sampler options + RNG words: a restored non-greedy sampler must draw the
+  // exact remaining sequence.
+  PutU32(&blob, session_.sampling.greedy ? 1 : 0);
+  PutU32(&blob, static_cast<uint32_t>(session_.sampling.top_k));
+  uint64_t temp_bits = 0;
+  static_assert(sizeof(temp_bits) == sizeof(session_.sampling.temperature));
+  std::memcpy(&temp_bits, &session_.sampling.temperature, sizeof(temp_bits));
+  PutU64(&blob, temp_bits);
+  PutU64(&blob, session_.sampling.seed);
+  uint64_t rng_state[4];
+  session_.sampler->SaveRngState(rng_state);
+  for (uint64_t word : rng_state) {
+    PutU64(&blob, word);
+  }
+  kv_->SerializeState(&blob);
+
+  CheckpointService checkpoints(&platform_->flash());
+  auto saved =
+      checkpoints.Save(SessionCheckpointId(model_id_), model_key_, blob);
+  if (!saved.ok()) {
+    return saved.status();
+  }
+  // Eviction: the sealed blob is now the only copy of the session — scrub
+  // the KV plaintext and drop the live state.
+  kv_->Scrub();
+  session_ = Session{};
+  TZLLM_LOG_INFO("llm-ta", "session checkpoint sealed (%llu bytes)",
+                 static_cast<unsigned long long>(*saved));
+  return OkStatus();
+}
+
+Status LlmTa::RestoreSession() {
+  if (!loaded_) {
+    return FailedPrecondition("no model loaded");
+  }
+  if (session_.active) {
+    return FailedPrecondition(
+        "a generation session is already active (Finish it first)");
+  }
+  CheckpointService checkpoints(&platform_->flash());
+  auto blob = checkpoints.Restore(SessionCheckpointId(model_id_), model_key_);
+  if (!blob.ok()) {
+    return blob.status();
+  }
+  size_t off = 0;
+  if (blob->size() < sizeof(kSessionMagic) ||
+      std::memcmp(blob->data(), kSessionMagic, sizeof(kSessionMagic)) != 0) {
+    return Status(ErrorCode::kDataCorruption, "session checkpoint bad magic");
+  }
+  off = sizeof(kSessionMagic);
+  auto read_tokens = [&](std::vector<TokenId>* out) -> bool {
+    uint32_t n = 0;
+    if (!GetU32(*blob, &off, &n) || n > (1u << 24)) {
+      return false;
+    }
+    out->resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      uint32_t t = 0;
+      if (!GetU32(*blob, &off, &t)) {
+        return false;
+      }
+      (*out)[i] = static_cast<TokenId>(t);
+    }
+    return true;
+  };
+  Session s;
+  uint32_t next_token = 0, remaining = 0, done = 0, greedy = 0, top_k = 0;
+  uint64_t temp_bits = 0, seed = 0, rng_state[4] = {};
+  bool ok = read_tokens(&s.prompt_tokens) && read_tokens(&s.output_tokens) &&
+            GetU32(*blob, &off, &next_token) &&
+            GetU32(*blob, &off, &remaining) && GetU32(*blob, &off, &done) &&
+            GetU32(*blob, &off, &greedy) && GetU32(*blob, &off, &top_k) &&
+            GetU64(*blob, &off, &temp_bits) && GetU64(*blob, &off, &seed);
+  for (uint64_t& word : rng_state) {
+    ok = ok && GetU64(*blob, &off, &word);
+  }
+  if (!ok) {
+    return Status(ErrorCode::kDataCorruption, "session checkpoint truncated");
+  }
+  s.next_token = static_cast<TokenId>(next_token);
+  s.remaining = static_cast<int>(remaining);
+  s.done = done != 0;
+  s.sampling.greedy = greedy != 0;
+  s.sampling.top_k = static_cast<int>(top_k);
+  std::memcpy(&s.sampling.temperature, &temp_bits,
+              sizeof(s.sampling.temperature));
+  s.sampling.seed = seed;
+  s.sampler = std::make_unique<Sampler>(s.sampling);
+  s.sampler->LoadRngState(rng_state);
+  TZLLM_RETURN_IF_ERROR(
+      kv_->RestoreState(blob->data() + off, blob->size() - off));
+  s.active = true;
+  session_ = std::move(s);
+  return OkStatus();
+}
+
+bool LlmTa::HasSessionCheckpoint() const {
+  CheckpointService checkpoints(&platform_->flash());
+  return !model_id_.empty() &&
+         checkpoints.Exists(SessionCheckpointId(model_id_));
 }
 
 Status LlmTa::Unload() {

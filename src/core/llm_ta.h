@@ -51,10 +51,61 @@ class LlmTa {
   Status LoadModel(const std::string& model_id,
                    SchedulePolicy policy = SchedulePolicy::kPriorityPreemptive);
 
-  // Generates text with the protected weights.
+  // Generates text with the protected weights. Implemented on top of the
+  // session API below (Begin + Step-to-exhaustion + Finish), so one token
+  // loop serves both one-shot generation and checkpointable sessions.
   Result<GenerationResult> Generate(const std::string& prompt,
                                     int max_new_tokens,
                                     const Sampler::Options& sampling = {});
+
+  // --- Incremental generation sessions (checkpoint/evict/restore). ---
+  //
+  // A session is the paper's preemptible inference unit: prefill runs at
+  // Begin, decode advances in Step increments, and at any point between
+  // steps the full generation state (KV arena, sampler RNG, position and
+  // budget) can be sealed to flash, the secure memory evicted, and the
+  // session restored later — on this TA or a freshly booted one — resuming
+  // with exactly the tokens the uninterrupted run would have produced.
+
+  // Tokenizes `prompt`, runs prefill, and samples the first token. Fails
+  // FailedPrecondition if a session is already active (Finish or Abandon it
+  // first).
+  Status BeginSession(const std::string& prompt, int max_new_tokens,
+                      const Sampler::Options& sampling = {});
+
+  // Advances the active session by up to `max_steps` decode steps (capped by
+  // the session's remaining token budget, EOS, and the context window).
+  // Returns the number of tokens emitted; 0 means the session is finished.
+  Result<int> StepSession(int max_steps);
+
+  // Completes the active session and returns its GenerationResult.
+  Result<GenerationResult> FinishSession();
+
+  // True while BeginSession has an unfinished session open.
+  bool session_active() const { return session_.active; }
+  // True once the session hit EOS / the context window / its token budget.
+  bool session_done() const;
+  // Tokens emitted so far by the active session.
+  const std::vector<TokenId>& session_tokens() const {
+    return session_.output_tokens;
+  }
+
+  // Seals the active session's complete generation state (prompt/output
+  // tokens, next sampled token, remaining budget, sampler options + RNG
+  // words, KV cache contents) to flash, encrypted and integrity-tagged
+  // under the model key, then evicts it: the KV arena is scrubbed and the
+  // session deactivated. Crash-consistent: the blob is self-contained, so a
+  // RestoreSession on a brand-new TA (same model) resumes identically.
+  Status CheckpointSession();
+
+  // Restores the most recent CheckpointSession blob for this model and
+  // reactivates the session mid-generation. kDataCorruption if the blob was
+  // tampered with on flash; InvalidArgument if it belongs to a different
+  // model geometry.
+  Status RestoreSession();
+
+  // True if a sealed session checkpoint for this model exists on flash.
+  bool HasSessionCheckpoint() const;
 
   // Releases all secure memory (scrubbed by the TEE OS).
   Status Unload();
@@ -76,6 +127,19 @@ class LlmTa {
   };
 
  private:
+  // Live state of an in-progress generation session. Everything here plus
+  // the KvCache contents is exactly what CheckpointSession serializes.
+  struct Session {
+    bool active = false;
+    bool done = false;  // EOS or context window reached.
+    std::vector<TokenId> prompt_tokens;
+    std::vector<TokenId> output_tokens;
+    TokenId next_token = 0;  // Sampled but not yet emitted/decoded.
+    int remaining = 0;       // Token budget left.
+    Sampler::Options sampling;
+    std::unique_ptr<Sampler> sampler;
+  };
+
   Status RestoreParameters(SchedulePolicy policy);
   Status LoadExtent(uint64_t offset, uint64_t bytes);
   Status DecryptExtent(uint64_t offset, uint64_t bytes);
@@ -99,6 +163,7 @@ class LlmTa {
   // budget covers. Must outlive executor_, which holds a raw pointer.
   std::unique_ptr<NpuBackend> npu_backend_;
   std::unique_ptr<TransformerExecutor> executor_;
+  Session session_;
   PipelineResult restore_result_;
   uint64_t scratch_bytes_ = 0;
   uint64_t npu_ctx_bytes_ = 0;

@@ -226,10 +226,20 @@ struct NpuBackendConfig {
   // bench reports for the offloaded path. Off = the virtual clock only
   // advances for NPU/protocol events.
   bool hybrid_timeline = true;
-  // Fault injection for tests: 1-based ordinal of the submitted job whose
-  // functional payload reports a failure (0 = never). Exercises the
-  // payload-failure propagation path end to end.
-  uint64_t inject_payload_failure_job = 0;
+  // Per-job wait deadline on the virtual clock (EngineOptions::
+  // npu_job_timeout). Non-positive values are rejected at submit with
+  // InvalidArgument — zero would mean "wait forever", which a lost job
+  // turns into a hang.
+  SimDuration job_timeout = 2000 * kMillisecond;
+  // Recovery policy for a failed/timed-out job: bounded resubmissions
+  // (each after retry_backoff of virtual time, so the makespan metric
+  // stays honest), then — when cpu_fallback — the job's matmul group is
+  // re-executed on the CPU path and the prefill continues. Both paths run
+  // the same kernel-table helpers the NPU payload would have, so recovery
+  // never changes a logit. cpu_fallback=false surfaces the final Status.
+  int max_retries = 2;
+  SimDuration retry_backoff = 1 * kMillisecond;
+  bool cpu_fallback = true;
 };
 
 // Packages prefill work as secure NPU jobs: one *fused* job per matmul
@@ -279,12 +289,32 @@ class NpuBackend : public ComputeBackend {
   // simulator to a job's completion (prefill bubbles the pipeline could not
   // hide).
   SimDuration await_stall_time() const { return await_stall_time_; }
+  // Degradation stats: jobs that failed at least once and then completed on
+  // the NPU via resubmission, and jobs (plus the matmuls they carried)
+  // re-executed on the CPU after retries were exhausted. Mirrored into
+  // TeeNpuDriver::RecordRecovery so the driver's stats surface carries the
+  // whole fault story.
+  uint64_t jobs_recovered() const { return jobs_recovered_; }
+  uint64_t fallback_jobs() const { return fallback_jobs_; }
+  uint64_t fallback_matmuls() const { return fallback_matmuls_; }
+  // In-flight submissions (drained to zero by Sync — including the error
+  // paths, so a failed prefill leaves no dangling job context behind).
+  size_t pending_jobs() const { return pending_.size(); }
 
  private:
-  // One in-flight fused job occupying a context slot.
+  // One in-flight fused job occupying a context slot. Carries everything
+  // needed to rebuild the job for a retry (or run it on the CPU as the
+  // fallback): the descriptor geometry and a copy of the functional
+  // payload, which stays valid until the ticket retires by the backend's
+  // buffer-lifetime contract.
   struct Pending {
     uint64_t job_id = 0;
     BackendTicket ticket = 0;
+    int slot = 0;
+    std::vector<NpuMatmulShape> shapes;
+    uint64_t in_bytes = 0;
+    std::vector<uint64_t> out_bytes;
+    std::function<Status()> compute;
   };
 
   // Charges host wall time since the last backend call to the virtual
@@ -293,20 +323,38 @@ class NpuBackend : public ComputeBackend {
   void AdvanceHostTime();
   void MarkHostTime();
   // Retires the oldest pending job (jobs complete in submit order — the
-  // co-driver enforces monotonic execution sequencing).
+  // co-driver enforces monotonic execution sequencing). On failure it
+  // quiesces the whole in-flight window, then replays each failed job via
+  // RecoverJob.
   Status AwaitOldest();
-  // Builds, validates and submits one fused job over `shapes` writing
-  // through `compute`; in/out buffer byte sizes describe the slot packing.
-  Result<uint64_t> SubmitJob(const std::vector<NpuMatmulShape>& shapes,
-                             uint64_t in_bytes,
-                             const std::vector<uint64_t>& out_bytes,
-                             std::function<Status()> compute);
+  // Replays one settled-but-failed job into the (now empty) in-flight
+  // window: resubmitted up to config_.max_retries times with retry_backoff
+  // of virtual time between attempts; after that, with cpu_fallback, its
+  // payload runs on the host — bit-identical by construction — and the
+  // prefill continues. `st` is the original failure, returned if recovery
+  // is disabled or exhausted.
+  Status RecoverJob(const Pending& job, Status st);
+  // Builds, validates and submits one fused job into `slot`.
+  Result<uint64_t> SubmitJobInSlot(int slot,
+                                   const std::vector<NpuMatmulShape>& shapes,
+                                   uint64_t in_bytes,
+                                   const std::vector<uint64_t>& out_bytes,
+                                   std::function<Status()> compute);
+  // Slot-allocating submit wrapper: retires slots as needed, records the
+  // Pending replay entry under `ticket`.
+  Status SubmitJob(BackendTicket ticket,
+                   const std::vector<NpuMatmulShape>& shapes,
+                   uint64_t in_bytes, const std::vector<uint64_t>& out_bytes,
+                   std::function<Status()> compute);
 
   NpuBackendConfig config_;
   uint64_t slot_bytes_ = 0;
   uint64_t next_slot_ = 0;
   uint64_t jobs_submitted_ = 0;
   uint64_t matmuls_submitted_ = 0;
+  uint64_t jobs_recovered_ = 0;
+  uint64_t fallback_jobs_ = 0;
+  uint64_t fallback_matmuls_ = 0;
   BackendTicket next_ticket_ = 1;
   std::deque<Pending> pending_;
   SimDuration await_stall_time_ = 0;

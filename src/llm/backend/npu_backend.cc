@@ -39,11 +39,6 @@ namespace tzllm {
 
 namespace {
 
-// A stuck job (shadow never reaching the queue head, device wedged) must
-// surface as an error, not hang the TA: generous next to the microsecond-
-// scale protocol, far below "forever".
-constexpr SimDuration kJobWaitTimeout = 2000 * kMillisecond;
-
 uint64_t ActsBytes(uint64_t m, uint64_t cols) {
   return AlignUp(m * cols + m * (cols / kQ8BlockElems) * sizeof(float),
                  kPageSize);
@@ -136,28 +131,100 @@ Status NpuBackend::AwaitOldest() {
   if (pending_.empty()) {
     return OkStatus();
   }
-  const Pending oldest = pending_.front();
+  Pending oldest = std::move(pending_.front());
   pending_.pop_front();
-  const SimTime before = config_.platform->sim().Now();
-  const Status st = config_.driver->WaitForJob(oldest.job_id, kJobWaitTimeout);
-  await_stall_time_ += config_.platform->sim().Now() - before;
+  Simulator& sim = config_.platform->sim();
+  const SimTime before = sim.Now();
+  Status st = config_.driver->WaitForJob(oldest.job_id, config_.job_timeout);
+  if (st.ok()) {
+    await_stall_time_ += sim.Now() - before;
+    return st;
+  }
+  // Fault quiesce: a failed/lost job can leave execution-sequence holes
+  // that make the co-driver reject every younger takeover as a reorder —
+  // including the retries themselves if they are issued behind jobs still
+  // in limbo. So recovery first settles the ENTIRE in-flight window (each
+  // job either completes normally or joins the failed set, its sequence
+  // window consumed or closed by WaitForJob's abandon bookkeeping), then
+  // replays the failures one at a time into an empty window where a fresh
+  // submission's takeover always validates. The in-flight window only ever
+  // holds mutually independent work (the executor awaits at every data
+  // dependency), so settling younger jobs before replaying older ones
+  // cannot change any result.
+  std::vector<Pending> failed;
+  failed.push_back(std::move(oldest));
+  while (!pending_.empty()) {
+    Pending p = std::move(pending_.front());
+    pending_.pop_front();
+    const Status pst =
+        config_.driver->WaitForJob(p.job_id, config_.job_timeout);
+    if (!pst.ok()) {
+      failed.push_back(std::move(p));
+    }
+  }
+  Status first;
+  for (const Pending& job : failed) {
+    const Status jst = RecoverJob(job, st);
+    if (!jst.ok() && first.ok()) {
+      first = jst;
+    }
+  }
+  await_stall_time_ += sim.Now() - before;
+  return first;
+}
+
+Status NpuBackend::RecoverJob(const Pending& job, Status st) {
+  // Bounded recovery, entirely on the virtual clock so the makespan metric
+  // stays honest: each resubmission waits out the backoff (letting an
+  // aborted device finish its reset), reuses the retired job's context
+  // slot, and occupies a fresh job id / sequence number. A transient fault
+  // clears within max_retries; a persistent one exhausts them and — with
+  // cpu_fallback — the job's payload runs on the host instead. The payload
+  // IS the CPU implementation of the group (the same kernel-table helpers
+  // a CpuBackend submit runs), so fallback output is bit-identical.
+  Simulator& sim = config_.platform->sim();
+  for (int attempt = 0; attempt < config_.max_retries; ++attempt) {
+    sim.RunUntil(sim.Now() + config_.retry_backoff);
+    auto id = SubmitJobInSlot(job.slot, job.shapes, job.in_bytes,
+                              job.out_bytes, job.compute);
+    if (!id.ok()) {
+      st = id.status();
+      break;
+    }
+    st = config_.driver->WaitForJob(*id, config_.job_timeout);
+    if (st.ok()) {
+      ++jobs_recovered_;
+      config_.driver->RecordRecovery(1, 0, 0);
+      return OkStatus();
+    }
+  }
+  if (config_.cpu_fallback && job.compute) {
+    const Status fst = job.compute();
+    if (fst.ok()) {
+      ++fallback_jobs_;
+      fallback_matmuls_ += job.shapes.size();
+      config_.driver->RecordRecovery(0, 1, job.shapes.size());
+      return OkStatus();
+    }
+    return fst;
+  }
   return st;
 }
 
-Result<uint64_t> NpuBackend::SubmitJob(
-    const std::vector<NpuMatmulShape>& shapes, uint64_t in_bytes,
+Result<uint64_t> NpuBackend::SubmitJobInSlot(
+    int slot, const std::vector<NpuMatmulShape>& shapes, uint64_t in_bytes,
     const std::vector<uint64_t>& out_bytes, std::function<Status()> compute) {
   if (config_.driver == nullptr || config_.platform == nullptr) {
     return FailedPrecondition("NpuBackend not wired to a co-driver");
   }
-  // Double buffering: a context slot is reusable once the job two
-  // submissions ago has retired; jobs complete in submit order (the
-  // co-driver enforces monotonic execution sequencing), so retiring the
-  // oldest pending job frees the slot this submission reuses.
-  while (pending_.size() >= static_cast<size_t>(kJobSlots)) {
-    TZLLM_RETURN_IF_ERROR(AwaitOldest());
+  if (config_.job_timeout == 0) {
+    return InvalidArgument(
+        "NpuBackendConfig::job_timeout must be positive (a zero deadline "
+        "turns a lost job into a hang)");
   }
-  const int slot = static_cast<int>(next_slot_++ % kJobSlots);
+  if (config_.max_retries < 0) {
+    return InvalidArgument("negative NPU retry budget");
+  }
   const PhysAddr base = config_.ctx_base + slot * slot_bytes_;
 
   NpuJobDesc desc;
@@ -181,14 +248,7 @@ Result<uint64_t> NpuBackend::SubmitJob(
   }
   desc.matmuls = shapes;
   desc.duration = CostModel::NpuFusedJobTime(shapes);
-  const uint64_t ordinal = jobs_submitted_ + 1;
-  if (config_.inject_payload_failure_job == ordinal) {
-    desc.compute = [] {
-      return Internal("injected functional payload failure (test)");
-    };
-  } else {
-    desc.compute = std::move(compute);
-  }
+  desc.compute = std::move(compute);
 
   auto id = config_.driver->SubmitJob(config_.ta, desc, nullptr);
   if (!id.ok()) {
@@ -197,6 +257,32 @@ Result<uint64_t> NpuBackend::SubmitJob(
   ++jobs_submitted_;
   matmuls_submitted_ += shapes.size();
   return *id;
+}
+
+Status NpuBackend::SubmitJob(BackendTicket ticket,
+                             const std::vector<NpuMatmulShape>& shapes,
+                             uint64_t in_bytes,
+                             const std::vector<uint64_t>& out_bytes,
+                             std::function<Status()> compute) {
+  // Double buffering: a context slot is reusable once the job two
+  // submissions ago has retired; jobs complete in submit order (the
+  // co-driver enforces monotonic execution sequencing), so retiring the
+  // oldest pending job frees the slot this submission reuses.
+  while (pending_.size() >= static_cast<size_t>(kJobSlots)) {
+    TZLLM_RETURN_IF_ERROR(AwaitOldest());
+  }
+  const int slot = static_cast<int>(next_slot_++ % kJobSlots);
+  // The Pending entry keeps a copy of the payload and the descriptor
+  // geometry: that is the replay state AwaitOldest's retry/fallback path
+  // rebuilds the job from (the original closure moves into the descriptor
+  // and is neutralized on failure, so a copy must outlive the attempt).
+  auto id = SubmitJobInSlot(slot, shapes, in_bytes, out_bytes, compute);
+  if (!id.ok()) {
+    return id.status();
+  }
+  pending_.push_back(
+      {*id, ticket, slot, shapes, in_bytes, out_bytes, std::move(compute)});
+  return OkStatus();
 }
 
 Result<BackendTicket> NpuBackend::SubmitMatMatGroup(const MatMatOp* ops,
@@ -215,20 +301,15 @@ Result<BackendTicket> NpuBackend::SubmitMatMatGroup(const MatMatOp* ops,
     // Zero-copy functional payload: references the caller's activation
     // buffer and output rows directly (stable until the ticket retires).
     std::vector<MatMatOp> group(ops + lo, ops + hi);
-    auto id = SubmitJob(shapes, in_bytes, outs,
-                        [group = std::move(group), xp = &x,
-                         kernels = config_.kernels]() -> Status {
-                          for (const MatMatOp& op : group) {
-                            MatMatQ8(op.w, op.rows, xp->cols, *xp, op.y,
-                                     /*pool=*/nullptr, kernels);
-                          }
-                          return OkStatus();
-                        });
-    if (!id.ok()) {
-      return id.status();
-    }
-    pending_.push_back({*id, ticket});
-    return OkStatus();
+    return SubmitJob(ticket, shapes, in_bytes, outs,
+                     [group = std::move(group), xp = &x,
+                      kernels = config_.kernels]() -> Status {
+                       for (const MatMatOp& op : group) {
+                         MatMatQ8(op.w, op.rows, xp->cols, *xp, op.y,
+                                  /*pool=*/nullptr, kernels);
+                       }
+                       return OkStatus();
+                     });
   };
   Status st;
   if (config_.fuse_jobs) {
@@ -269,16 +350,11 @@ Result<BackendTicket> NpuBackend::SubmitLayerTail(const LayerTailOp& op,
                                                 {ff, d, op.m},
                                                 {d, ff, op.m}};
     const std::vector<uint64_t> outs = TailBufferBytes(m, d, ff);
-    auto id = SubmitJob(shapes, in_bytes, outs,
-                        [op, xp = &x_attn, kernels]() -> Status {
-                          RunLayerTail(op, *xp, kernels, /*pool=*/nullptr);
-                          return OkStatus();
-                        });
-    if (id.ok()) {
-      pending_.push_back({*id, ticket});
-    } else {
-      st = id.status();
-    }
+    st = SubmitJob(ticket, shapes, in_bytes, outs,
+                   [op, xp = &x_attn, kernels]() -> Status {
+                     RunLayerTail(op, *xp, kernels, /*pool=*/nullptr);
+                     return OkStatus();
+                   });
   } else {
     // Pre-fusion granularity: one job per matmul. Each payload composes the
     // exact stage helpers RunLayerTail uses, and the device executes jobs
@@ -334,14 +410,27 @@ Result<BackendTicket> NpuBackend::SubmitLayerTail(const LayerTailOp& op,
            return OkStatus();
          }},
     };
+    int stage_index = 0;
     for (const Stage& stage : stages) {
-      auto id =
-          SubmitJob(stage.shapes, stage.in_bytes, stage.outs, stage.compute);
-      if (!id.ok()) {
-        st = id.status();
+      st = SubmitJob(ticket, stage.shapes, stage.in_bytes, stage.outs,
+                     stage.compute);
+      if (!st.ok()) {
         break;
       }
-      pending_.push_back({*id, ticket});
+      // Recovery soundness: the stages chain through the shared
+      // requantization scratch, and a failed job may be retried or replayed
+      // on the CPU *after* anything concurrently in flight has executed —
+      // so a stage must retire before its dependent successor is submitted,
+      // or the successor could consume stale scratch the replay then
+      // overwrites too late. Each stage is awaited except the last (its
+      // consumers await the ticket); only independent work may share the
+      // in-flight window.
+      if (++stage_index < 4) {
+        st = Await(ticket);
+        if (!st.ok()) {
+          break;
+        }
+      }
     }
   }
   if (!st.ok()) {

@@ -6,8 +6,10 @@
 #define SRC_LLM_ENGINE_OPTIONS_H_
 
 #include <algorithm>
+#include <string>
 #include <thread>
 
+#include "src/common/units.h"
 #include "src/llm/kv_cache.h"
 
 namespace tzllm {
@@ -62,6 +64,33 @@ struct EngineOptions {
   // (the pre-fusion granularity, kept for the fused-vs-unfused parity test
   // and the co-driver ablation).
   bool npu_fusion = true;
+  // Pipelined wavefront schedule for NPU prefill (overlap one chunk's CPU
+  // attention with another chunk's fused jobs). Off = the serial chunk
+  // schedule (submit, then immediately await) on the same backend — the
+  // {serial, pipelined} axis of the fault-recovery test matrix.
+  bool npu_pipeline = true;
+  // Per-job wait deadline for secure NPU jobs, on the virtual clock. Must
+  // be positive when NPU prefill is active: LoadModel / the backend reject
+  // non-positive values with InvalidArgument (a zero deadline would mean
+  // "wait forever", which a lost job turns into a hang).
+  SimDuration npu_job_timeout = 2000 * kMillisecond;
+  // Recovery policy for a failed or timed-out secure job: up to
+  // npu_max_retries resubmissions (each preceded by npu_retry_backoff of
+  // virtual time, charged to the sim clock so the makespan metric stays
+  // honest), then — if npu_cpu_fallback — the failed fused job's matmul
+  // group is re-executed on the CPU path and the prefill continues.
+  // Bit-identical either way: retry and fallback both run the same kernel
+  // table the NPU payload would have. npu_cpu_fallback=false surfaces the
+  // final Status to the caller instead (the pre-recovery behavior).
+  int npu_max_retries = 2;
+  SimDuration npu_retry_backoff = 1 * kMillisecond;
+  bool npu_cpu_fallback = true;
+  // Deterministic fault plan ("payload@5", "timeout@3x2", "ctx@1",
+  // "submit@4" — see NpuFaultPlan::Parse). Empty = fall back to the
+  // TZLLM_FAULT_PLAN environment variable (the CI fault-sweep hook); both
+  // empty = no injection. A malformed plan string fails LoadModel with
+  // InvalidArgument.
+  std::string npu_fault_plan;
 };
 
 // The thread count an engine configured with `options` actually runs:

@@ -623,10 +623,13 @@ Result<std::vector<float>> TransformerExecutor::ForwardPrompt(
     // executor must stay on the seed path rather than mix numerics.
     return PrefillPerPosition(tokens, kv);
   }
-  if (prefill_backend_->asynchronous()) {
+  if (prefill_backend_->asynchronous() && options_.npu_pipeline) {
     // NPU offload: the pipelined wavefront overlaps one chunk's CPU
     // attention with another chunk's fused jobs. Same floats — only
-    // independent work is reordered.
+    // independent work is reordered. npu_pipeline=false keeps an async
+    // backend on the serial chunk schedule below (submit, then await at
+    // each dependency) — the {serial, pipelined} axis of the
+    // fault-recovery matrix.
     return ForwardPromptPipelined(tokens, kv);
   }
   const size_t chunk =

@@ -1,5 +1,6 @@
 #include "src/llm/kv_cache.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/llm/simd/kernels.h"
@@ -69,6 +70,122 @@ uint64_t KvCache::ArenaBytes() const {
   return storage_ == KvStorage::kF16
              ? arena16_.size() * sizeof(uint16_t)
              : arena32_.size() * sizeof(float);
+}
+
+namespace {
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+bool GetU32(const uint8_t* data, size_t len, size_t* off, uint32_t* v) {
+  if (*off + 4 > len) {
+    return false;
+  }
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(data[*off + i]) << (8 * i);
+  }
+  *off += 4;
+  return true;
+}
+
+}  // namespace
+
+void KvCache::SerializeState(std::vector<uint8_t>* out) const {
+  // Little-endian explicit layout (matches the checkpoint blob idiom):
+  // geometry guard first so a restore into a differently-shaped cache is a
+  // clean error, then seq_len + fills, then only the filled row prefixes —
+  // an early-generation session costs its resident bytes, not max_ctx.
+  PutU32(out, static_cast<uint32_t>(n_layers_));
+  PutU32(out, static_cast<uint32_t>(kv_dim_));
+  PutU32(out, static_cast<uint32_t>(max_ctx_));
+  PutU32(out, static_cast<uint32_t>(storage_));
+  PutU32(out, static_cast<uint32_t>(seq_len_));
+  for (int l = 0; l < n_layers_; ++l) {
+    PutU32(out, static_cast<uint32_t>(filled_[l]));
+  }
+  const size_t elem = bytes_per_elem();
+  auto append_rows = [&](int layer, bool v_plane) {
+    const size_t off = Offset(layer, 0) + (v_plane ? v_plane_ : 0);
+    const size_t bytes =
+        static_cast<size_t>(filled_[layer]) * kv_dim_ * elem;
+    const uint8_t* src =
+        storage_ == KvStorage::kF16
+            ? reinterpret_cast<const uint8_t*>(arena16_.data() + off)
+            : reinterpret_cast<const uint8_t*>(arena32_.data() + off);
+    out->insert(out->end(), src, src + bytes);
+  };
+  for (int l = 0; l < n_layers_; ++l) {
+    append_rows(l, /*v_plane=*/false);
+    append_rows(l, /*v_plane=*/true);
+  }
+}
+
+Status KvCache::RestoreState(const uint8_t* data, size_t len) {
+  size_t off = 0;
+  uint32_t layers = 0, dim = 0, ctx = 0, storage = 0, seq = 0;
+  if (!GetU32(data, len, &off, &layers) || !GetU32(data, len, &off, &dim) ||
+      !GetU32(data, len, &off, &ctx) || !GetU32(data, len, &off, &storage)) {
+    return Status(ErrorCode::kDataCorruption, "truncated KV snapshot header");
+  }
+  if (layers != static_cast<uint32_t>(n_layers_) ||
+      dim != static_cast<uint32_t>(kv_dim_) ||
+      ctx != static_cast<uint32_t>(max_ctx_) ||
+      storage != static_cast<uint32_t>(storage_)) {
+    return InvalidArgument(
+        "KV snapshot geometry does not match this cache (different model or "
+        "storage mode)");
+  }
+  if (!GetU32(data, len, &off, &seq) || seq > static_cast<uint32_t>(max_ctx_)) {
+    return Status(ErrorCode::kDataCorruption, "bad KV snapshot length");
+  }
+  std::vector<uint32_t> fills(n_layers_);
+  for (int l = 0; l < n_layers_; ++l) {
+    if (!GetU32(data, len, &off, &fills[l]) ||
+        fills[l] > static_cast<uint32_t>(max_ctx_)) {
+      return Status(ErrorCode::kDataCorruption, "bad KV snapshot fill mark");
+    }
+  }
+  const size_t elem = bytes_per_elem();
+  size_t body = 0;
+  for (int l = 0; l < n_layers_; ++l) {
+    body += static_cast<size_t>(fills[l]) * kv_dim_ * elem *
+            kKvVectorsPerPosition;
+  }
+  if (len - off != body) {
+    return Status(ErrorCode::kDataCorruption,
+                  "KV snapshot body does not match its fill marks");
+  }
+  Scrub();
+  auto restore_rows = [&](int layer, bool v_plane) {
+    const size_t dst = Offset(layer, 0) + (v_plane ? v_plane_ : 0);
+    const size_t bytes = static_cast<size_t>(fills[layer]) * kv_dim_ * elem;
+    uint8_t* arena =
+        storage_ == KvStorage::kF16
+            ? reinterpret_cast<uint8_t*>(arena16_.data() + dst)
+            : reinterpret_cast<uint8_t*>(arena32_.data() + dst);
+    std::memcpy(arena, data + off, bytes);
+    off += bytes;
+  };
+  for (int l = 0; l < n_layers_; ++l) {
+    restore_rows(l, /*v_plane=*/false);
+    restore_rows(l, /*v_plane=*/true);
+    filled_[l] = static_cast<int>(fills[l]);
+  }
+  seq_len_ = static_cast<int>(seq);
+  return OkStatus();
+}
+
+void KvCache::Scrub() {
+  if (storage_ == KvStorage::kF16) {
+    std::fill(arena16_.begin(), arena16_.end(), 0);
+  } else {
+    std::fill(arena32_.begin(), arena32_.end(), 0.0f);
+  }
+  Reset();
 }
 
 }  // namespace tzllm

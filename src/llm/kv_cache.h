@@ -102,6 +102,21 @@ class KvCache {
   // CurrentBytes() == ArenaBytes() once every layer is filled to max_ctx.
   uint64_t ArenaBytes() const;
 
+  // --- Session checkpointing (crash-consistent eviction/restore). ---
+  // Appends a self-describing snapshot of the cache — geometry header,
+  // sequence length, per-layer fill marks, then only the *filled* prefix of
+  // every layer's K and V rows at the storage width — to `out`.
+  void SerializeState(std::vector<uint8_t>* out) const;
+  // Restores a SerializeState snapshot into this cache. The snapshot's
+  // geometry (layers, kv_dim, max_ctx, storage width) must match this
+  // cache's exactly — InvalidArgument otherwise, kDataCorruption on a
+  // truncated/inconsistent blob. On success the cache is bit-identical to
+  // the serialized one (decode resumes producing identical logits).
+  Status RestoreState(const uint8_t* data, size_t len);
+  // Eviction scrub: zeroes the whole arena and resets the fill marks, so a
+  // checkpointed-then-evicted session leaves no KV plaintext behind.
+  void Scrub();
+
  private:
   size_t Offset(int layer, int pos) const {
     return (static_cast<size_t>(layer) * max_ctx_ + pos) * kv_dim_;

@@ -27,6 +27,14 @@ class Sampler {
 
   TokenId Sample(const std::vector<float>& logits);
 
+  const Options& options() const { return options_; }
+
+  // RNG state capture for session checkpointing: a sampler restored with
+  // LoadRngState (over the same Options) draws the exact sequence the
+  // saved one would have — non-greedy resumption stays token-identical.
+  void SaveRngState(uint64_t out[4]) const { rng_.GetState(out); }
+  void LoadRngState(const uint64_t in[4]) { rng_.SetState(in); }
+
  private:
   Options options_;
   Rng rng_;

@@ -19,6 +19,27 @@ void TeeNpuDriver::Init() {
                                    [this] { OnSecureCompletion(); });
 }
 
+void TeeNpuDriver::ArmFaultPlan(const NpuFaultPlan& plan) {
+  fault_plan_ = plan;
+  fault_seq_base_ = next_issue_seq_ - 1;
+  injected_faults_ = 0;
+  // Device-visible classes (payload, timeout) live at the NPU; forwarding
+  // the whole plan is harmless — each layer only acts on its own classes.
+  platform_->npu().ArmFaultPlan(plan);
+}
+
+uint64_t TeeNpuDriver::faults_injected() const {
+  return injected_faults_ + platform_->npu().faults_injected();
+}
+
+void TeeNpuDriver::MarkSeqDead(uint64_t seq) {
+  dead_seqs_.insert(seq);
+  while (!dead_seqs_.empty() && *dead_seqs_.begin() == next_exec_seq_) {
+    dead_seqs_.erase(dead_seqs_.begin());
+    ++next_exec_seq_;
+  }
+}
+
 Result<uint64_t> TeeNpuDriver::CreateJob(TaId ta, const NpuJobDesc& desc) {
   // The execution context must be confined to the TA's protected regions:
   // otherwise a compromised TA (or a confused deputy) could point the NPU at
@@ -62,6 +83,18 @@ Status TeeNpuDriver::IssueJob(uint64_t job_id,
   job.state = JobState::kIssued;
   job.seq = next_issue_seq_++;
   job.on_complete = std::move(on_complete);
+
+  // Injected post-submit stall: the job is issued but its shadow is lost on
+  // the way to the REE queue — no takeover will ever arrive, so the waiter's
+  // deadline (and the sequence-hole bookkeeping in WaitForJob's abandon
+  // path) is the only way out. Models a dropped RPC / wedged control plane.
+  if (fault_plan_.fault == NpuFaultClass::kSubmit &&
+      fault_plan_.Hits(FaultOrdinal(job.seq))) {
+    ++injected_faults_;
+    TZLLM_LOG_WARN("tee-npu", "injected post-submit stall on job %llu",
+                   static_cast<unsigned long long>(job_id));
+    return OkStatus();
+  }
 
   // Pair with a shadow job in the REE scheduling queue.
   SmcArgs args;
@@ -114,12 +147,25 @@ Status TeeNpuDriver::WaitForJob(uint64_t job_id, SimDuration timeout) {
           // Already launched: the device captured its own payload copy at
           // MmioLaunch, so nulling our descriptor is not enough — abort
           // the device's compute stage (the NPU is still secure while its
-          // job runs, so the MMIO write passes the TZPC gate).
+          // job runs, so the MMIO write passes the TZPC gate). For a
+          // stalled device the abort doubles as the reset that finally
+          // raises the completion interrupt, so the exit path still runs
+          // and the device is reusable by the caller's retry.
           (void)platform_->npu().MmioAbort(World::kSecure);
+        } else if (it->second.state == JobState::kIssued &&
+                   running_job_ != job_id &&
+                   it->second.seq >= next_exec_seq_) {
+          // Issued but never taken over (lost shadow, or its takeover was
+          // rejected): close its execution-sequence hole so successors'
+          // takeovers aren't rejected as reorders forever, and spend its
+          // window so a late takeover for it dies as a replay.
+          it->second.state = JobState::kCompleted;
+          MarkSeqDead(it->second.seq);
         }
         it->second.abandoned = true;
         it->second.desc.compute = nullptr;
         it->second.on_complete = nullptr;
+        ++jobs_abandoned_;
       }
       if (deadline != 0 && platform_->sim().Now() >= deadline) {
         return DeadlineExceeded(
@@ -179,6 +225,33 @@ SmcResult TeeNpuDriver::OnTakeover(const SmcArgs& args) {
                    st.ToString().c_str());
     return SmcResult{std::move(st), {}};
   }
+  // Injected context-validation fault: an otherwise-valid takeover is
+  // rejected as if the job's execution context failed revalidation at the
+  // secure boundary. Toward the REE this is exactly a real validation
+  // failure (error SmcResult — the control plane drops the shadow and keeps
+  // scheduling; no world switch was applied yet, so there is nothing to
+  // revert and no shadow-complete RPC to double-release). Unlike a real
+  // one, the job is retired finished so its waiter reads a clean
+  // SecurityViolation, and its sequence window is spent so successors'
+  // takeovers still validate.
+  if (fault_plan_.fault == NpuFaultClass::kContext &&
+      fault_plan_.Hits(FaultOrdinal(jobs_[job_id].seq))) {
+    ++injected_faults_;
+    ++validation_failures_;
+    SecureJob& job = jobs_[job_id];
+    Status fault = SecurityViolation("injected context-validation fault");
+    job.state = JobState::kCompleted;
+    job.finished = true;
+    job.completion_status = fault;
+    job.desc.compute = nullptr;
+    MarkSeqDead(job.seq);
+    auto cb = std::move(job.on_complete);
+    if (cb) {
+      cb(fault);
+    }
+    return SmcResult{std::move(fault), {}};
+  }
+
   // The job stays kIssued until the doorbell actually rings: a drained
   // non-secure job's completion interrupt (now routed to the secure world)
   // must not be mistaken for the secure job's completion.

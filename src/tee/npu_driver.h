@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <set>
 #include <unordered_map>
 
 #include "src/common/calibration.h"
@@ -72,6 +73,25 @@ class TeeNpuDriver {
   // unknown/already-consumed id. Never consumes the bookkeeping entry.
   Result<bool> TryPollJob(uint64_t job_id) const;
 
+  // --- Deterministic fault injection (recovery tests, CI fault sweep). ---
+  // Arms `plan` against jobs issued from now on: ordinals restart at 1,
+  // driver-visible classes (kContext, kSubmit) are handled here, device-
+  // visible classes (kPayload, kTimeout) are forwarded to the NPU device.
+  // Arming the inactive plan disarms everything.
+  void ArmFaultPlan(const NpuFaultPlan& plan);
+
+  // Degradation accounting for the recovery layer. The NPU prefill backend
+  // reports its per-job recovery outcomes here so one stats surface (this
+  // driver — what the benches and the crosscheck already read) carries the
+  // whole fault story: injected faults, abandoned jobs, retried-to-success
+  // jobs and CPU-fallback re-executions.
+  void RecordRecovery(uint64_t recovered_jobs, uint64_t fallback_jobs,
+                      uint64_t fallback_matmuls) {
+    jobs_recovered_ += recovered_jobs;
+    fallback_jobs_ += fallback_jobs;
+    fallback_matmuls_ += fallback_matmuls;
+  }
+
   // --- Statistics (§7.3 breakdown; per-job figures for the bench). ---
   uint64_t jobs_created() const { return next_job_id_ - 1; }
   uint64_t secure_jobs_completed() const { return secure_jobs_completed_; }
@@ -99,6 +119,18 @@ class TeeNpuDriver {
   // Jobs whose functional payload reported a failure through the device's
   // job-status register (propagated to the waiter's completion status).
   uint64_t payload_failures() const { return payload_failures_; }
+  // Jobs a waiter gave up on (timeout or drained simulator): payload
+  // neutralized, sequence hole closed so successors still execute.
+  uint64_t jobs_abandoned() const { return jobs_abandoned_; }
+  // Faults the armed plan injected (driver-visible classes plus whatever
+  // the device injected for the same plan).
+  uint64_t faults_injected() const;
+  // Recovery outcomes reported by the prefill backend (RecordRecovery):
+  // jobs that failed at least once and then completed on the NPU via retry,
+  // and jobs re-executed on the CPU after retries were exhausted.
+  uint64_t jobs_recovered() const { return jobs_recovered_; }
+  uint64_t fallback_jobs() const { return fallback_jobs_; }
+  uint64_t fallback_matmuls() const { return fallback_matmuls_; }
 
   // Per-secure-job fixed cost on the NPU timeline: world-switch smcs plus
   // TZPC/GIC/TZASC reprogramming in both directions.
@@ -148,6 +180,16 @@ class TeeNpuDriver {
   // grants only if they were applied), release the shadow, fire the
   // callback.
   void RetireFailedJob(uint64_t job_id, const Status& st, bool revert_tzasc);
+  // Records an issued-but-never-executed job's sequence number as dead and
+  // advances next_exec_seq_ over every contiguous dead hole. Without this an
+  // abandoned job would wedge the reorder defense: every later takeover
+  // arrives with seq != next_exec_seq_ forever.
+  void MarkSeqDead(uint64_t seq);
+  // 1-based fault ordinal of an issued job under the armed plan (ordinals
+  // restart when the plan is armed).
+  uint64_t FaultOrdinal(uint64_t seq) const {
+    return seq > fault_seq_base_ ? seq - fault_seq_base_ : 0;
+  }
 
   SocPlatform* platform_;
   TeeOs* tee_os_;
@@ -155,11 +197,22 @@ class TeeNpuDriver {
   uint64_t next_job_id_ = 1;
   uint64_t next_issue_seq_ = 1;
   uint64_t next_exec_seq_ = 1;  // Expected execution order (anti-reorder).
+  // Sequence numbers of issued jobs retired without executing (abandoned,
+  // or their takeover was rejected and the waiter gave up); next_exec_seq_
+  // skips over contiguous dead prefixes so the queue keeps moving.
+  std::set<uint64_t> dead_seqs_;
   uint64_t running_job_ = 0;    // 0 = none.
   uint64_t secure_jobs_completed_ = 0;
   uint64_t validation_failures_ = 0;
   uint64_t total_matmuls_completed_ = 0;
   uint64_t payload_failures_ = 0;
+  uint64_t jobs_abandoned_ = 0;
+  uint64_t jobs_recovered_ = 0;
+  uint64_t fallback_jobs_ = 0;
+  uint64_t fallback_matmuls_ = 0;
+  uint64_t injected_faults_ = 0;
+  NpuFaultPlan fault_plan_;
+  uint64_t fault_seq_base_ = 0;  // Issue seq when the plan was armed.
   SimDuration total_config_time_ = 0;
   SimDuration total_smc_time_ = 0;
   SimDuration total_job_npu_time_ = 0;

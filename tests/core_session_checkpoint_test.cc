@@ -1,0 +1,277 @@
+// Crash-consistent session checkpoint/restore: a generation session (KV
+// cache contents, sampler RNG words, position and token budget) can be
+// sealed to flash mid-generation, evicted from secure memory, and restored
+// — on the same TA or a freshly booted one — resuming with exactly the
+// tokens the uninterrupted run would have produced. The sealed blob rides
+// the CheckpointService (AES-CTR under the model key + SHA-256 tag), so a
+// tampered checkpoint is detected, not silently resumed.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/runtime.h"
+#include "src/llm/kv_cache.h"
+#include "src/llm/model_spec.h"
+
+namespace tzllm {
+namespace {
+
+RuntimeConfig FunctionalConfig(bool use_npu) {
+  RuntimeConfig config;
+  config.model = TestSmallModel();
+  config.system = SystemKind::kTzLlm;
+  config.use_npu = use_npu;
+  config.materialize_model = true;
+  config.engine.prefill_batch = 8;
+  config.engine.npu_prefill = use_npu;
+  return config;
+}
+
+constexpr char kPrompt[] = "checkpoint and resume this generation";
+constexpr int kBudget = 10;
+constexpr int kStepsBeforeCheckpoint = 3;
+
+// The uninterrupted reference run on a dedicated stack.
+GenerationResult ReferenceRun(bool use_npu, const Sampler::Options& sampling) {
+  SocPlatform plat;
+  SystemRuntime runtime(&plat, FunctionalConfig(use_npu));
+  EXPECT_TRUE(runtime.Setup().ok());
+  auto ta = runtime.CreateFunctionalTa();
+  EXPECT_TRUE(ta.ok());
+  EXPECT_TRUE((*ta)->LoadModel(runtime.spec().config().name).ok());
+  auto out = (*ta)->Generate(kPrompt, kBudget, sampling);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  return out.ok() ? *out : GenerationResult{};
+}
+
+TEST(SessionCheckpointTest, CheckpointEvictRestoreResumesGreedyIdentically) {
+  const GenerationResult reference = ReferenceRun(false, {});
+  ASSERT_GT(reference.output_tokens.size(), 0u);
+
+  SocPlatform plat;
+  SystemRuntime runtime(&plat, FunctionalConfig(false));
+  ASSERT_TRUE(runtime.Setup().ok());
+  auto ta = runtime.CreateFunctionalTa();
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE((*ta)->LoadModel(runtime.spec().config().name).ok());
+
+  ASSERT_TRUE((*ta)->BeginSession(kPrompt, kBudget).ok());
+  auto stepped = (*ta)->StepSession(kStepsBeforeCheckpoint);
+  ASSERT_TRUE(stepped.ok());
+  ASSERT_GT(*stepped, 0);
+
+  // Seal + evict: the live session is gone and the KV arena scrubbed.
+  ASSERT_TRUE((*ta)->CheckpointSession().ok());
+  EXPECT_FALSE((*ta)->session_active());
+  EXPECT_TRUE((*ta)->HasSessionCheckpoint());
+
+  // Restore and run the remainder to completion.
+  ASSERT_TRUE((*ta)->RestoreSession().ok());
+  EXPECT_TRUE((*ta)->session_active());
+  while (!(*ta)->session_done()) {
+    auto more = (*ta)->StepSession(kBudget);
+    ASSERT_TRUE(more.ok());
+    if (*more == 0) {
+      break;
+    }
+  }
+  auto resumed = (*ta)->FinishSession();
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(resumed->output_tokens, reference.output_tokens);
+  EXPECT_EQ(resumed->text, reference.text);
+}
+
+TEST(SessionCheckpointTest, FreshTaRestoresACrashedSession) {
+  // Crash consistency: after CheckpointSession the blob on flash is the
+  // whole session. Tear the TA down (the "crash"), boot a new one over the
+  // same model, restore, and the resumed tokens must equal the
+  // uninterrupted run's.
+  const GenerationResult reference = ReferenceRun(false, {});
+  ASSERT_GT(reference.output_tokens.size(), 0u);
+
+  SocPlatform plat;
+  SystemRuntime runtime(&plat, FunctionalConfig(false));
+  ASSERT_TRUE(runtime.Setup().ok());
+  {
+    auto ta = runtime.CreateFunctionalTa();
+    ASSERT_TRUE(ta.ok());
+    ASSERT_TRUE((*ta)->LoadModel(runtime.spec().config().name).ok());
+    ASSERT_TRUE((*ta)->BeginSession(kPrompt, kBudget).ok());
+    ASSERT_TRUE((*ta)->StepSession(kStepsBeforeCheckpoint).ok());
+    ASSERT_TRUE((*ta)->CheckpointSession().ok());
+    // The "crash": release secure memory and drop the TA. Only flash (the
+    // sealed checkpoint + the provisioned model) survives.
+    ASSERT_TRUE((*ta)->Unload().ok());
+  }
+
+  auto ta2 = runtime.CreateFunctionalTa();
+  ASSERT_TRUE(ta2.ok());
+  ASSERT_TRUE((*ta2)->LoadModel(runtime.spec().config().name).ok());
+  EXPECT_TRUE((*ta2)->HasSessionCheckpoint());
+  ASSERT_TRUE((*ta2)->RestoreSession().ok());
+  while (!(*ta2)->session_done()) {
+    auto more = (*ta2)->StepSession(kBudget);
+    ASSERT_TRUE(more.ok());
+    if (*more == 0) {
+      break;
+    }
+  }
+  auto resumed = (*ta2)->FinishSession();
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(resumed->output_tokens, reference.output_tokens);
+}
+
+TEST(SessionCheckpointTest, NonGreedySamplerResumesTokenIdentically) {
+  // The RNG words ride the checkpoint: a stochastic sampler must draw the
+  // exact remaining sequence after restore, not merely a plausible one.
+  Sampler::Options sampling;
+  sampling.greedy = false;
+  sampling.top_k = 8;
+  sampling.temperature = 0.9;
+  sampling.seed = 12345;
+  const GenerationResult reference = ReferenceRun(false, sampling);
+  ASSERT_GT(reference.output_tokens.size(), 0u);
+
+  SocPlatform plat;
+  SystemRuntime runtime(&plat, FunctionalConfig(false));
+  ASSERT_TRUE(runtime.Setup().ok());
+  auto ta = runtime.CreateFunctionalTa();
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE((*ta)->LoadModel(runtime.spec().config().name).ok());
+  ASSERT_TRUE((*ta)->BeginSession(kPrompt, kBudget, sampling).ok());
+  ASSERT_TRUE((*ta)->StepSession(kStepsBeforeCheckpoint).ok());
+  ASSERT_TRUE((*ta)->CheckpointSession().ok());
+  ASSERT_TRUE((*ta)->RestoreSession().ok());
+  while (!(*ta)->session_done()) {
+    auto more = (*ta)->StepSession(kBudget);
+    ASSERT_TRUE(more.ok());
+    if (*more == 0) {
+      break;
+    }
+  }
+  auto resumed = (*ta)->FinishSession();
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(resumed->output_tokens, reference.output_tokens);
+}
+
+TEST(SessionCheckpointTest, NpuOffloadSessionSurvivesCheckpointRestore) {
+  // The checkpointable state is backend-independent: an NPU-offloaded
+  // prefill session checkpoints and resumes exactly like the CPU one (the
+  // KV bytes are identical by the offload's bit-parity contract).
+  const GenerationResult reference = ReferenceRun(true, {});
+  ASSERT_GT(reference.output_tokens.size(), 0u);
+
+  SocPlatform plat;
+  SystemRuntime runtime(&plat, FunctionalConfig(true));
+  ASSERT_TRUE(runtime.Setup().ok());
+  auto ta = runtime.CreateFunctionalTa();
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE((*ta)->LoadModel(runtime.spec().config().name).ok());
+  ASSERT_TRUE((*ta)->BeginSession(kPrompt, kBudget).ok());
+  ASSERT_TRUE((*ta)->StepSession(kStepsBeforeCheckpoint).ok());
+  ASSERT_TRUE((*ta)->CheckpointSession().ok());
+  ASSERT_TRUE((*ta)->RestoreSession().ok());
+  while (!(*ta)->session_done()) {
+    auto more = (*ta)->StepSession(kBudget);
+    ASSERT_TRUE(more.ok());
+    if (*more == 0) {
+      break;
+    }
+  }
+  auto resumed = (*ta)->FinishSession();
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(resumed->output_tokens, reference.output_tokens);
+}
+
+TEST(SessionCheckpointTest, TamperedCheckpointDetectedOnRestore) {
+  SocPlatform plat;
+  SystemRuntime runtime(&plat, FunctionalConfig(false));
+  ASSERT_TRUE(runtime.Setup().ok());
+  auto ta = runtime.CreateFunctionalTa();
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE((*ta)->LoadModel(runtime.spec().config().name).ok());
+  ASSERT_TRUE((*ta)->BeginSession(kPrompt, kBudget).ok());
+  ASSERT_TRUE((*ta)->StepSession(kStepsBeforeCheckpoint).ok());
+  ASSERT_TRUE((*ta)->CheckpointSession().ok());
+
+  // Untrusted flash flips bytes inside the sealed blob: restore must fail
+  // with kDataCorruption, never resume a corrupted session.
+  const std::string file =
+      runtime.spec().config().name + std::string(".sess.ckpt");
+  ASSERT_TRUE(plat.flash().CorruptBytes(file, /*offset=*/64, /*len=*/8).ok());
+  const Status restore = (*ta)->RestoreSession();
+  ASSERT_FALSE(restore.ok());
+  EXPECT_EQ(restore.code(), ErrorCode::kDataCorruption);
+  EXPECT_FALSE((*ta)->session_active());
+}
+
+TEST(SessionCheckpointTest, SessionApiRejectsMisuse) {
+  SocPlatform plat;
+  SystemRuntime runtime(&plat, FunctionalConfig(false));
+  ASSERT_TRUE(runtime.Setup().ok());
+  auto ta = runtime.CreateFunctionalTa();
+  ASSERT_TRUE(ta.ok());
+
+  // Everything needs a loaded model.
+  EXPECT_EQ((*ta)->BeginSession(kPrompt, kBudget).code(),
+            ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE((*ta)->LoadModel(runtime.spec().config().name).ok());
+
+  // No session yet: stepping, finishing, checkpointing all fail closed.
+  EXPECT_EQ((*ta)->StepSession(1).status().code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ((*ta)->FinishSession().status().code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ((*ta)->CheckpointSession().code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_FALSE((*ta)->HasSessionCheckpoint());
+  // Restoring with no checkpoint on flash is NotFound, not a crash.
+  EXPECT_FALSE((*ta)->RestoreSession().ok());
+
+  // Double Begin is rejected while a session is open.
+  ASSERT_TRUE((*ta)->BeginSession(kPrompt, kBudget).ok());
+  EXPECT_EQ((*ta)->BeginSession(kPrompt, kBudget).code(),
+            ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE((*ta)->FinishSession().ok());
+  EXPECT_FALSE((*ta)->session_active());
+}
+
+TEST(SessionCheckpointTest, KvSnapshotGuardsGeometryAndTruncation) {
+  // KvCache::RestoreState unit coverage: wrong-geometry snapshots are a
+  // clean InvalidArgument (different model/storage), truncated bodies are
+  // kDataCorruption — neither may partially restore.
+  const ModelSpec spec = ModelSpec::Create(TestSmallModel());
+  KvCache cache(spec);
+  std::vector<float> k(spec.config().kv_dim(), 0.5f);
+  std::vector<float> v(spec.config().kv_dim(), -0.25f);
+  for (int l = 0; l < spec.config().n_layers; ++l) {
+    ASSERT_TRUE(cache.AppendBatch(l, 1, k.data(), v.data()).ok());
+  }
+  cache.FinishPosition();
+
+  std::vector<uint8_t> snapshot;
+  cache.SerializeState(&snapshot);
+
+  // Round-trips into a same-geometry cache.
+  KvCache twin(spec);
+  ASSERT_TRUE(twin.RestoreState(snapshot.data(), snapshot.size()).ok());
+  EXPECT_EQ(twin.seq_len(), cache.seq_len());
+  EXPECT_EQ(twin.CurrentBytes(), cache.CurrentBytes());
+
+  // Different storage width: geometry mismatch.
+  KvCache f32(spec, KvStorage::kF32);
+  const Status mismatch = f32.RestoreState(snapshot.data(), snapshot.size());
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.code(), ErrorCode::kInvalidArgument);
+
+  // Truncated body: corruption.
+  const Status truncated =
+      twin.RestoreState(snapshot.data(), snapshot.size() - 3);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.code(), ErrorCode::kDataCorruption);
+}
+
+}  // namespace
+}  // namespace tzllm

@@ -270,18 +270,25 @@ TEST_F(NpuBackendTest, FusedJobSubBufferOutsideTzascRejected) {
 
 TEST_F(NpuBackendTest, PayloadFailureSurfacesOutOfForwardPrompt) {
   // A job whose functional payload fails mid-prefill must surface a clear
-  // Status out of Prefill — not hang the pipeline, not silently fall back
-  // to the CPU, not complete with corrupt logits.
+  // Status out of Prefill — not hang the pipeline, not complete with
+  // corrupt logits. Recovery is explicitly disabled here (no retries, no
+  // CPU fallback) so the raw failure is the observable; the recovery
+  // behaviors get their own suite (llm_fault_injection_test.cc).
   EngineOptions options;
   options.prefill_batch = 8;
   NpuBackendConfig config = BackendConfig(options, scratch_);
-  config.inject_payload_failure_job = 5;
+  config.max_retries = 0;
+  config.cpu_fallback = false;
+  auto plan = NpuFaultPlan::Parse("payload@5");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  tee_npu_->ArmFaultPlan(*plan);
   NpuBackend backend(config);
   auto logits = NpuPrefill(options, MakePrompt(spec_.config(), 20), &backend);
   ASSERT_FALSE(logits.ok());
   EXPECT_EQ(logits.status().code(), ErrorCode::kInternal);
   EXPECT_EQ(tee_npu_->payload_failures(), 1u);
   EXPECT_EQ(plat_.npu().compute_failures(), 1u);
+  EXPECT_EQ(tee_npu_->faults_injected(), 1u);
   // The device was handed back cleanly despite the failure.
   EXPECT_FALSE(plat_.tzpc().IsSecure(DeviceId::kNpu));
 }
