@@ -24,7 +24,15 @@ SimDuration Ttft(SystemKind kind, const LlmConfig& model, int prompt,
   if (!sys.runtime->Setup().ok()) {
     return 0;
   }
-  (void)sys.runtime->stress().MapPressure(PaperStressBytes(model), false);
+  // A failed pressure map must not silently measure the unstressed case
+  // and report it as worst-case: mark the cell unavailable instead.
+  Status pressure = sys.runtime->stress().MapPressure(PaperStressBytes(model),
+                                                      false);
+  if (!pressure.ok()) {
+    fprintf(stderr, "fig09: stress MapPressure failed, skipping cell: %s\n",
+            pressure.ToString().c_str());
+    return 0;
+  }
   InferenceRequest req;
   req.prompt_tokens = prompt;
   const InferenceReport report = sys.runtime->RunInference(req);

@@ -25,8 +25,15 @@ double GeoMeanTtft(SystemKind kind, const LlmConfig& model,
     }
     log_sum += std::log(ToSeconds(report.ttft));
     ++count;
-    // Cold start per request (benchmarks measure independent requests).
-    (void)sys.runtime->ReleaseAll();
+    // Cold start per request (benchmarks measure independent requests). A
+    // failed release would leave the next request warm-started — every
+    // subsequent TTFT sample would be quietly wrong, so fail loudly.
+    Status released = sys.runtime->ReleaseAll();
+    if (!released.ok()) {
+      fprintf(stderr, "fig10: ReleaseAll failed: %s\n",
+              released.ToString().c_str());
+      abort();
+    }
   }
   return count == 0 ? 0.0 : std::exp(log_sum / count);
 }

@@ -74,9 +74,15 @@ DecodeResult MeasureDecode(const ModelSpec& spec, const EngineOptions& options,
               logits.status().ToString().c_str());
       abort();
     }
-    // Warm caches and the pool before timing.
+    // Warm caches and the pool before timing. A warmup step that fails is
+    // the same bug a timed-step failure would be (and leaves the engine in
+    // a state the timed loop was never calibrated for): same loud exit.
     for (int i = 0; i < 4; ++i) {
-      (void)engine->DecodeStepInto(1 + i, logits_buf.data());
+      Status warm = engine->DecodeStepInto(1 + i, logits_buf.data());
+      if (!warm.ok()) {
+        fprintf(stderr, "warmup decode failed: %s\n", warm.ToString().c_str());
+        abort();
+      }
     }
     const double attend0 = engine->attend_seconds();
     const auto start = Clock::now();
@@ -123,8 +129,14 @@ double MeasurePrefillMs(const ModelSpec& spec,
                         int reps = 2) {
   LlmEngine engine(spec, std::make_unique<HostWeightSource>(weights), options);
   const auto prompt = MakePrompt(spec.config(), n_prompt);
-  // One untimed warmup pass (weights into cache, workspace sized).
-  (void)engine.Prefill(prompt);
+  // One untimed warmup pass (weights into cache, workspace sized). Checked:
+  // a failed warmup means the timed passes measure an uncalibrated engine.
+  auto warm = engine.Prefill(prompt);
+  if (!warm.ok()) {
+    fprintf(stderr, "warmup prefill failed: %s\n",
+            warm.status().ToString().c_str());
+    abort();
+  }
   double best = 1e30;
   for (int r = 0; r < reps; ++r) {
     engine.ResetContext();

@@ -1,0 +1,417 @@
+#!/usr/bin/env python3
+"""tzlint — repo-specific TEE-boundary / determinism checker for tzllm.
+
+Enforces invariants no stock tool knows about (README "Static analysis &
+invariants"):
+
+  nondeterminism   Bit-identity paths (src/llm/, src/core/) must not call
+                   nondeterminism primitives: rand()/srand(),
+                   std::random_device, system_clock, wall-clock time(),
+                   gettimeofday(). Seeded DeterministicRng (common/rng.h)
+                   and the simulated clock are the only entropy/time
+                   sources; std::chrono::steady_clock is allowed (the
+                   hybrid timeline measures host kernel wall time with it,
+                   but never feeds it into computed values).
+
+  raw-alloc        TA code (src/tee/, src/core/, src/crypto/) must not use
+                   raw allocation (new[], malloc/calloc/realloc/strdup).
+                   TA heap budgets are modeled and audited; raw
+                   allocations bypass both the budget accounting and the
+                   secure-memory zeroization discipline.
+
+  tee-boundary     TEE code (src/tee/, src/core/, src/crypto/) must not
+                   write secure-world pointers into REE-visible structures
+                   (SmcArgs registers, shared-memory descriptors). The
+                   pointer-to-integer cast (reinterpret_cast<uint64_t/
+                   uintptr_t>) is the smuggling prerequisite and is flagged
+                   wholesale; the allowed channel is NpuJobDesc address
+                   fields (cmd_addr / iopt_addr / buffers), which the
+                   device TZASC-validates at MmioLaunch before any DMA.
+
+  ignored-status   Backstop for the [[nodiscard]] Status/Result contract
+                   on toolchains that miss a call form: a statement that
+                   calls a Status/Result-returning function and discards
+                   the value without an explicit `(void)` cast.
+
+Suppression: a `tzlint: allow(<rule>)` marker in a comment suppresses that
+rule on the marker's line and the line after it (for comment-only lines).
+Use sparingly and say why next to the marker.
+
+File discovery: explicit paths on the command line; else the entry list of
+--compile-commands (if given or build/compile_commands.json exists); else a
+walk of src/. Rules key off each file's path *relative to the repo root*;
+--as REL_PATH lint-checks a single explicit file as if it lived at that
+virtual path (how the tests/lint/ fixtures exercise path-scoped rules).
+
+Implementation: uses libclang for exact comment/string stripping when the
+`clang.cindex` module is importable (the rule logic is identical); falls
+back to a deterministic regex tokenizer otherwise, so the checker runs
+anywhere Python 3 does. Exit 0 = clean, 1 = violations, 2 = usage error.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+REPO_MARKER = "ROADMAP.md"
+
+# Rule name -> repo-relative directory prefixes it applies to.
+RULE_SCOPES = {
+    "nondeterminism": ("src/llm/", "src/core/"),
+    "raw-alloc": ("src/tee/", "src/core/", "src/crypto/"),
+    "tee-boundary": ("src/tee/", "src/core/", "src/crypto/"),
+    "ignored-status": ("src/",),
+}
+
+# Files exempt from specific rules (the allowlisted entropy/clock sources).
+RULE_FILE_ALLOWLIST = {
+    "nondeterminism": ("src/common/rng.h", "src/common/rng.cc",
+                       "src/sim/simulator.h", "src/sim/simulator.cc"),
+}
+
+ALLOW_MARKER = re.compile(r"tzlint:\s*allow\(([a-z-]+)\)")
+
+# --- nondeterminism ---
+NONDET_PATTERNS = [
+    (re.compile(r"\bstd\s*::\s*s?rand\s*\(|(?<![\w.:])s?rand\s*\("),
+     "rand()/srand()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\bsystem_clock\b"), "system_clock (wall clock)"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+    (re.compile(r"\bstd\s*::\s*time\s*\(|(?<![\w.:>~])time\s*\("),
+     "wall-clock time()"),
+]
+
+# --- raw-alloc ---
+RAWALLOC_PATTERNS = [
+    (re.compile(r"\bnew\s+[^;(){}=]*\["), "array new[]"),
+    (re.compile(r"(?<![\w.:])(?:malloc|calloc|realloc|strdup)\s*\("),
+     "C allocator"),
+]
+
+# --- tee-boundary ---
+PTR_TO_INT_CAST = re.compile(
+    r"reinterpret_cast\s*<\s*(?:std\s*::\s*)?(?:uint64_t|uintptr_t"
+    r"|unsigned\s+long(?:\s+long)?|size_t)\s*>")
+SMC_REG_WRITE = re.compile(r"\.a\s*\[[^\]]*\]\s*=(?!=)")
+PTR_SMELL_RHS = re.compile(r"reinterpret_cast|\.data\s*\(\s*\)|(?<![&\w])&\s*[A-Za-z_]")
+# The TZASC-validated channel: NpuJobDesc address fields. The device
+# re-validates every one of these against the secure-region map at
+# MmioLaunch before any DMA, so pointer-valued writes here are the design.
+JOBDESC_FIELD_WRITE = re.compile(
+    r"\b(?:cmd_addr|iopt_addr|cmd_size|iopt_size)\b\s*=(?!=)"
+    r"|\bbuffers\s*\.\s*(?:emplace_back|push_back)\s*\(")
+
+# --- ignored-status ---
+STATUS_DECL = re.compile(
+    r"(?:^|[;}{]\s*|\n\s*)(?:virtual\s+|static\s+|inline\s+|constexpr\s+)*"
+    r"(?:tzllm\s*::\s*)?(?:Status|Result\s*<[^;{}]*>)\s+"
+    r"(?:[A-Za-z_]\w*\s*::\s*)*([A-Za-z_]\w*)\s*\(")
+VOID_DECL = re.compile(
+    r"(?:^|[;}{]\s*|\n\s*)(?:virtual\s+|static\s+|inline\s+|constexpr\s+)*"
+    r"(?:tzllm\s*::\s*)?void\s+"
+    r"(?:[A-Za-z_]\w*\s*::\s*)*([A-Za-z_]\w*)\s*\(")
+BARE_CALL = re.compile(
+    r"^\s*(?:[A-Za-z_][\w:]*(?:\s*(?:\.|->)\s*[A-Za-z_]\w*)*"
+    r"(?:\.|->|::))?([A-Za-z_]\w*)\s*\(.*\)\s*;\s*$")
+CALL_EXEMPT = re.compile(
+    r"return\b|=(?!=)|\(\s*void\s*\)|\bif\b|\bwhile\b|\bfor\b|\bswitch\b"
+    r"|EXPECT_|ASSERT_|\bco_")
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line
+    structure exactly (every replaced char becomes a space, newlines kept).
+
+    Deterministic single-pass tokenizer: handles //, /* */, "..." with
+    escapes, '...' with escapes, and raw strings R"delim(...)delim".
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            seg = text[i:j + 2]
+            out.append("".join("\n" if ch == "\n" else " " for ch in seg))
+            i = j + 2
+        elif c == "R" and nxt == '"':
+            m = re.match(r'R"([^(\s"]*)\(', text[i:])
+            if m:
+                close = ")" + m.group(1) + '"'
+                j = text.find(close, i + m.end())
+                j = n - len(close) if j == -1 else j
+                seg = text[i:j + len(close)]
+                out.append('""' + "".join(
+                    "\n" if ch == "\n" else " " for ch in seg[2:]))
+                i = j + len(close)
+            else:
+                out.append(c)
+                i += 1
+        elif c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote or text[j] == "\n":
+                    break
+                j += 1
+            seg = text[i:min(j + 1, n)]
+            out.append(quote + " " * max(0, len(seg) - 2) +
+                       (quote if seg.endswith(quote) and len(seg) > 1 else ""))
+            i = min(j + 1, n)
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def clang_cleaned_text(path):
+    """libclang-based equivalent of strip_comments_and_strings: rebuild the
+    file from non-comment tokens (literals blanked) at their exact source
+    positions. Returns None when libclang is unusable for this file."""
+    try:
+        from clang import cindex
+    except ImportError:
+        return None
+    try:
+        tu = cindex.Index.create().parse(
+            path, args=["-std=c++17"],
+            options=cindex.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD)
+    except Exception:
+        return None
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        raw = f.read()
+    lines = [" " * len(l) for l in raw.split("\n")]
+    for tok in tu.get_tokens(extent=tu.cursor.extent):
+        if tok.kind == cindex.TokenKind.COMMENT:
+            continue
+        spelling = tok.spelling
+        if tok.kind == cindex.TokenKind.LITERAL and (
+                spelling.startswith('"') or spelling.startswith("'")):
+            spelling = spelling[0] + " " * (len(spelling) - 2) + spelling[0]
+        row = tok.location.line - 1
+        col = tok.location.column - 1
+        if row >= len(lines) or "\n" in spelling:
+            continue  # Multi-line raw literal: keep the blank.
+        line = lines[row]
+        if col + len(spelling) > len(line):
+            line = line.ljust(col + len(spelling))
+        lines[row] = line[:col] + spelling + line[col + len(spelling):]
+    return "\n".join(lines)
+
+
+def collect_allow_markers(raw_text):
+    """Lines (1-based) suppressed per rule, from `tzlint: allow(rule)`
+    markers. A marker covers its own line and the next one."""
+    allowed = {}
+    for lineno, line in enumerate(raw_text.split("\n"), start=1):
+        for m in ALLOW_MARKER.finditer(line):
+            allowed.setdefault(m.group(1), set()).update((lineno, lineno + 1))
+    return allowed
+
+
+def harvest_status_names(cleaned_texts):
+    """Function names declared to return Status/Result<> across the scanned
+    set. Name-based (no type resolution), so a name that is *also* declared
+    void-returning anywhere is ambiguous and dropped — this backstop trades
+    recall for zero false positives; [[nodiscard]] + -Werror=unused-result
+    is the primary enforcement."""
+    names, void_names = set(), set()
+    for text in cleaned_texts:
+        for m in STATUS_DECL.finditer(text):
+            names.add(m.group(1))
+        for m in VOID_DECL.finditer(text):
+            void_names.add(m.group(1))
+    names -= void_names
+    names.discard("Status")
+    names.discard("Result")
+    return names
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def rule_applies(rule, relpath):
+    if not relpath.startswith(RULE_SCOPES[rule]):
+        return False
+    if relpath in RULE_FILE_ALLOWLIST.get(rule, ()):
+        return False
+    return True
+
+
+def check_file(real_path, relpath, cleaned, allowed, status_names):
+    findings = []
+
+    def emit(rule, lineno, message):
+        if lineno in allowed.get(rule, ()):
+            return
+        findings.append(Finding(real_path, lineno, rule, message))
+
+    lines = cleaned.split("\n")
+    prev_code = ""  # Last non-blank cleaned line before the current one.
+    for lineno, line in enumerate(lines, start=1):
+        # A "statement-initial" line: the previous code line finished a
+        # statement/block. Continuation lines of a multi-line expression
+        # (e.g. `auto x =` or a macro spanning lines) must not be read as
+        # bare calls.
+        stmt_initial = prev_code == "" or prev_code[-1] in ";{}:"
+        if line.strip():
+            prev_code = line.strip()
+        if rule_applies("nondeterminism", relpath):
+            for pat, what in NONDET_PATTERNS:
+                if pat.search(line):
+                    emit("nondeterminism", lineno,
+                         f"{what} in a bit-identity path; use the seeded "
+                         "DeterministicRng (common/rng.h) or the sim clock")
+        if rule_applies("raw-alloc", relpath):
+            for pat, what in RAWALLOC_PATTERNS:
+                if pat.search(line):
+                    emit("raw-alloc", lineno,
+                         f"{what} in TA code; use std::vector / "
+                         "std::unique_ptr so the TA heap budget and "
+                         "zeroization discipline see the allocation")
+        if rule_applies("tee-boundary", relpath):
+            if JOBDESC_FIELD_WRITE.search(line):
+                pass  # TZASC-validated NpuJobDesc channel.
+            elif PTR_TO_INT_CAST.search(line):
+                emit("tee-boundary", lineno,
+                     "pointer-to-integer cast in TEE code; secure-world "
+                     "addresses must not be smuggled into REE-visible "
+                     "values (allowed channel: NpuJobDesc fields, "
+                     "TZASC-validated at MmioLaunch)")
+            else:
+                m = SMC_REG_WRITE.search(line)
+                if m and PTR_SMELL_RHS.search(line[m.end():]):
+                    emit("tee-boundary", lineno,
+                         "pointer-valued write into an SMC register; REE "
+                         "sees raw tokens/ids only")
+        if rule_applies("ignored-status", relpath):
+            m = BARE_CALL.match(line) if stmt_initial else None
+            if (m and m.group(1) in status_names
+                    and not CALL_EXEMPT.search(line)):
+                emit("ignored-status", lineno,
+                     f"return value of Status-returning '{m.group(1)}' is "
+                     "ignored; handle it or cast to (void) with a comment")
+    return findings
+
+
+def discover_files(args, root):
+    if args.paths:
+        return [os.path.abspath(p) for p in args.paths]
+    cc_path = args.compile_commands
+    if cc_path is None:
+        default = os.path.join(root, "build", "compile_commands.json")
+        cc_path = default if os.path.exists(default) else None
+    files = set()
+    if cc_path:
+        with open(cc_path, "r", encoding="utf-8") as f:
+            for entry in json.load(f):
+                p = entry["file"]
+                if not os.path.isabs(p):
+                    p = os.path.join(entry.get("directory", root), p)
+                files.add(os.path.normpath(p))
+        # compile_commands lists TUs only; headers carry invariants too.
+        for dirpath, _, names in os.walk(os.path.join(root, "src")):
+            files.update(os.path.join(dirpath, n) for n in names
+                         if n.endswith(".h"))
+    else:
+        for dirpath, _, names in os.walk(os.path.join(root, "src")):
+            files.update(os.path.join(dirpath, n) for n in names
+                         if n.endswith((".h", ".cc")))
+    return sorted(p for p in files
+                  if os.path.relpath(p, root).startswith("src" + os.sep))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("paths", nargs="*",
+                    help="files to check (default: compile_commands.json "
+                         "entries or a walk of src/)")
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: parent of this script)")
+    ap.add_argument("--compile-commands", default=None,
+                    help="compile_commands.json to take the file list from")
+    ap.add_argument("--as", dest="virtual_path", default=None,
+                    help="treat the single explicit file as if it lived at "
+                         "this repo-relative path (fixture testing)")
+    ap.add_argument("--no-libclang", action="store_true",
+                    help="force the regex tokenizer fallback")
+    ap.add_argument("--rule", action="append", default=None,
+                    choices=sorted(RULE_SCOPES),
+                    help="run only these rules (repeatable)")
+    args = ap.parse_args()
+
+    root = os.path.abspath(args.root) if args.root else \
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.exists(os.path.join(root, REPO_MARKER)):
+        print(f"tzlint: {root} does not look like the repo root "
+              f"(no {REPO_MARKER}); pass --root", file=sys.stderr)
+        return 2
+    if args.virtual_path and len(args.paths) != 1:
+        print("tzlint: --as requires exactly one explicit file",
+              file=sys.stderr)
+        return 2
+
+    files = discover_files(args, root)
+    if not files:
+        print("tzlint: no files to check", file=sys.stderr)
+        return 2
+
+    active_rules = set(args.rule) if args.rule else set(RULE_SCOPES)
+
+    # Pass 1: clean every file once; harvest Status-returning names.
+    cleaned_by_file, raw_by_file = {}, {}
+    for path in files:
+        try:
+            with open(path, "r", encoding="utf-8", errors="replace") as f:
+                raw = f.read()
+        except OSError as e:
+            print(f"tzlint: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+        raw_by_file[path] = raw
+        cleaned = None if args.no_libclang else clang_cleaned_text(path)
+        cleaned_by_file[path] = (cleaned if cleaned is not None
+                                 else strip_comments_and_strings(raw))
+    status_names = harvest_status_names(cleaned_by_file.values())
+
+    # Pass 2: run the rules.
+    findings = []
+    for path in files:
+        if args.virtual_path:
+            relpath = args.virtual_path.replace(os.sep, "/")
+        else:
+            relpath = os.path.relpath(path, root).replace(os.sep, "/")
+        allowed = collect_allow_markers(raw_by_file[path])
+        file_findings = check_file(path, relpath, cleaned_by_file[path],
+                                   allowed, status_names)
+        findings.extend(f for f in file_findings if f.rule in active_rules)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"tzlint: {len(findings)} violation(s) in "
+              f"{len({f.path for f in findings})} file(s)", file=sys.stderr)
+        return 1
+    print(f"tzlint: {len(files)} file(s) clean", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

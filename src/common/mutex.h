@@ -1,0 +1,74 @@
+// Annotated mutex / condition-variable wrappers for clang thread-safety
+// analysis.
+//
+// libstdc++'s std::mutex and std::lock_guard carry no thread-safety
+// attributes, so a member declared TZLLM_GUARDED_BY(mu_) could never be
+// proven locked through them — the analysis needs lock operations it can
+// see. These minimal wrappers (the Abseil/Chromium idiom) annotate exactly
+// that: Mutex is a capability, MutexLock a scoped acquisition, CondVar a
+// wait that the analysis knows keeps the lock held across wakeups.
+//
+// Zero-cost next to the underlying primitives: Mutex is a std::mutex,
+// MutexLock compiles to lock()/unlock() calls. CondVar wraps
+// std::condition_variable_any (the any-lockable variant, needed because the
+// lock type is ours, not std::unique_lock<std::mutex>).
+
+#ifndef SRC_COMMON_MUTEX_H_
+#define SRC_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/common/thread_annotations.h"
+
+namespace tzllm {
+
+class TZLLM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  // Lowercase on purpose: Mutex satisfies BasicLockable, so CondVar's
+  // condition_variable_any (and std::lock_guard, if ever needed) can take
+  // it directly.
+  void lock() TZLLM_ACQUIRE() { mu_.lock(); }
+  void unlock() TZLLM_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII acquisition for one critical section. House rule for everything the
+// simulator/SMC fabric can re-enter (see thread_annotations.h): critical
+// sections are short and leaf-only — never hold a MutexLock across a
+// platform, simulator, RPC, MMIO or callback invocation.
+class TZLLM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) TZLLM_ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() TZLLM_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+class CondVar {
+ public:
+  // Atomically releases `mu` and blocks; `mu` is re-held on return. As with
+  // std::condition_variable, spurious wakeups happen: wrap in a predicate
+  // loop with `mu` held.
+  void Wait(Mutex& mu) TZLLM_REQUIRES(mu) { cv_.wait(mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_COMMON_MUTEX_H_

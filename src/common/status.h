@@ -34,7 +34,12 @@ enum class ErrorCode : uint32_t {
 // Human-readable name for an error code ("kOk" -> "OK").
 const char* ErrorCodeName(ErrorCode code);
 
-class Status {
+// [[nodiscard]] on the class covers every one of the ~390 Status-returning
+// APIs at once: any call whose by-value Status result is ignored is a
+// -Wunused-result warning on gcc AND clang (promoted to an error repo-wide
+// via -Werror=unused-result in CMakeLists). Genuinely-discardable calls must
+// say so with an explicit `(void)` cast and a comment explaining why.
+class [[nodiscard]] Status {
  public:
   Status() : code_(ErrorCode::kOk) {}
   Status(ErrorCode code, std::string message)
@@ -96,8 +101,10 @@ inline Status DeadlineExceeded(std::string msg) {
 }
 
 // Result<T>: either a value or an error status. Minimal StatusOr analogue.
+// [[nodiscard]] for the same reason as Status: dropping a Result silently
+// drops its error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   Result(Status status) : status_(std::move(status)) {}  // NOLINT

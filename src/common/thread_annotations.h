@@ -1,0 +1,73 @@
+// Clang thread-safety annotation macros (no-ops elsewhere).
+//
+// These let the compiler prove lock discipline over *all* code paths instead
+// of the schedules a test happens to exercise: a member declared
+// TZLLM_GUARDED_BY(mu_) can only be touched with mu_ held, a function
+// declared TZLLM_REQUIRES(mu_) can only be called with it held, and a
+// violation is a hard error under -Wthread-safety -Werror (the clang CI
+// legs build with it; see README "Static analysis & invariants").
+//
+// The house locking discipline these annotations encode for the simulator-
+// facing classes (TeeNpuDriver, NpuDevice, ReeNpuDriver, Simulator,
+// NpuBackend): critical sections are short and leaf-only — NO platform,
+// simulator, RPC, MMIO or callback invocation while holding a lock. The SMC
+// fabric re-enters synchronously on one thread (IssueJob -> REE ScheduleNext
+// -> OnTakeover is a single call stack), so holding a lock across any of
+// those calls is a self-deadlock, not just contention. Functions that drive
+// the simulator or fire callbacks are annotated TZLLM_EXCLUDES(mu_) so the
+// analysis rejects call sites that would violate this.
+
+#ifndef SRC_COMMON_THREAD_ANNOTATIONS_H_
+#define SRC_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define TZLLM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define TZLLM_THREAD_ANNOTATION(x)  // no-op on gcc/msvc
+#endif
+
+// A type that can be used as a capability (std::mutex qualifies via the
+// analysis' built-in understanding; this is for our own wrapper types).
+#define TZLLM_CAPABILITY(x) TZLLM_THREAD_ANNOTATION(capability(x))
+
+// Data members: only accessible while holding the named mutex / the mutex
+// behind the named pointer.
+#define TZLLM_GUARDED_BY(x) TZLLM_THREAD_ANNOTATION(guarded_by(x))
+#define TZLLM_PT_GUARDED_BY(x) TZLLM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Functions: caller must hold / must NOT hold the named mutexes.
+#define TZLLM_REQUIRES(...) \
+  TZLLM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define TZLLM_REQUIRES_SHARED(...) \
+  TZLLM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define TZLLM_EXCLUDES(...) TZLLM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Functions that take / release the named mutexes themselves.
+#define TZLLM_ACQUIRE(...) \
+  TZLLM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define TZLLM_ACQUIRE_SHARED(...) \
+  TZLLM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define TZLLM_RELEASE(...) \
+  TZLLM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+// Lock-ordering edge: this mutex must be acquired after x.
+#define TZLLM_ACQUIRED_AFTER(...) \
+  TZLLM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define TZLLM_ACQUIRED_BEFORE(...) \
+  TZLLM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+// RAII types that hold a capability for their lifetime (std::lock_guard /
+// unique_lock are already known to the analysis as scoped capabilities).
+#define TZLLM_SCOPED_CAPABILITY TZLLM_THREAD_ANNOTATION(scoped_lockable)
+
+// Return-value form: the function returns a reference to the mutex that
+// guards its result.
+#define TZLLM_RETURN_CAPABILITY(x) TZLLM_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch for code the analysis cannot see through (e.g. a predicate
+// lambda invoked under the lock by a std::condition_variable wait). Use
+// sparingly and say why at the call site.
+#define TZLLM_NO_THREAD_SAFETY_ANALYSIS \
+  TZLLM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // SRC_COMMON_THREAD_ANNOTATIONS_H_

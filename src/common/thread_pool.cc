@@ -36,10 +36,10 @@ ThreadPool::ThreadPool(int n_threads) : n_threads_(std::max(1, n_threads)) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) {
     t.join();
   }
@@ -51,9 +51,10 @@ void ThreadPool::WorkerLoop(int part_index) {
     const std::function<void(uint64_t, uint64_t)>* body;
     uint64_t begin, end, chunk;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [&] { return stop_ || epoch_ != seen_epoch; });
+      MutexLock lock(&mu_);
+      while (!stop_ && epoch_ == seen_epoch) {
+        work_cv_.Wait(mu_);
+      }
       if (stop_) {
         return;
       }
@@ -70,10 +71,10 @@ void ThreadPool::WorkerLoop(int part_index) {
       (*body)(part_begin, part_end);
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --pending_;
     }
-    done_cv_.notify_one();
+    done_cv_.NotifyOne();
   }
 }
 
@@ -95,7 +96,7 @@ void ThreadPool::ParallelFor(
   const uint64_t parts = static_cast<uint64_t>(n_threads_);
   const uint64_t chunk = (span + parts - 1) / parts;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     body_ = &body;
     begin_ = begin;
     end_ = end;
@@ -103,11 +104,15 @@ void ThreadPool::ParallelFor(
     pending_ = static_cast<int>(workers_.size());
     ++epoch_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   // The caller is part 0.
   body(begin, std::min(end, begin + chunk));
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return pending_ == 0; });
+  {
+    MutexLock lock(&mu_);
+    while (pending_ != 0) {
+      done_cv_.Wait(mu_);
+    }
+  }
 }
 
 }  // namespace tzllm

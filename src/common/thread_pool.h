@@ -10,12 +10,13 @@
 #define SRC_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace tzllm {
 
@@ -36,32 +37,37 @@ class ThreadPool {
   // Blocks until every part finished. Not reentrant: body must not call
   // ParallelFor on the same pool — with workers present a nested call would
   // publish a new epoch while the outer one is still pending and deadlock
-  // the outer caller. Enforced: a nested (or concurrent) call aborts with a
-  // diagnostic instead of hanging. The check is two relaxed atomic ops,
-  // noise next to the fork/join handoff, so it stays on in release builds.
+  // the outer caller. Enforced twice: at compile time on clang, the negative
+  // capability TZLLM_REQUIRES(!mu_) rejects any caller that could already be
+  // inside this pool's fork/join section; at run time, a nested (or
+  // concurrent) call aborts with a diagnostic instead of hanging. The
+  // runtime check is two relaxed atomic ops, noise next to the fork/join
+  // handoff, so it stays on in release builds.
   void ParallelFor(uint64_t begin, uint64_t end,
-                   const std::function<void(uint64_t, uint64_t)>& body);
+                   const std::function<void(uint64_t, uint64_t)>& body)
+      TZLLM_REQUIRES(!mu_);
 
  private:
-  void WorkerLoop(int part_index);
+  void WorkerLoop(int part_index) TZLLM_REQUIRES(!mu_);
 
   const int n_threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // Signals a new epoch to workers.
-  std::condition_variable done_cv_;   // Signals epoch completion to caller.
-  uint64_t epoch_ = 0;                // Incremented per ParallelFor.
-  int pending_ = 0;                   // Workers still running this epoch.
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_cv_;  // Signals a new epoch to workers.
+  CondVar done_cv_;  // Signals epoch completion to caller.
+  uint64_t epoch_ TZLLM_GUARDED_BY(mu_) = 0;  // Incremented per ParallelFor.
+  int pending_ TZLLM_GUARDED_BY(mu_) = 0;  // Workers still in this epoch.
+  bool stop_ TZLLM_GUARDED_BY(mu_) = false;
   // Reentrancy guard: set for the duration of a ParallelFor call.
   std::atomic<bool> in_parallel_for_{false};
 
   // Current epoch's task (guarded by mu_ for publication).
-  const std::function<void(uint64_t, uint64_t)>* body_ = nullptr;
-  uint64_t begin_ = 0;
-  uint64_t end_ = 0;
-  uint64_t chunk_ = 0;
+  const std::function<void(uint64_t, uint64_t)>* body_ TZLLM_GUARDED_BY(mu_) =
+      nullptr;
+  uint64_t begin_ TZLLM_GUARDED_BY(mu_) = 0;
+  uint64_t end_ TZLLM_GUARDED_BY(mu_) = 0;
+  uint64_t chunk_ TZLLM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tzllm

@@ -409,8 +409,9 @@ Status LlmTa::CheckpointSession() {
   if (!session_.active) {
     return FailedPrecondition("no active session to checkpoint");
   }
-  std::vector<uint8_t> blob;
-  blob.insert(blob.end(), kSessionMagic, kSessionMagic + sizeof(kSessionMagic));
+  // assign (not insert-at-end on the empty vector): gcc 12 -O2 misanalyzes
+  // the char* range insert as a 1-byte-destination memcpy overflow.
+  std::vector<uint8_t> blob(kSessionMagic, kSessionMagic + sizeof(kSessionMagic));
   PutU32(&blob, static_cast<uint32_t>(session_.prompt_tokens.size()));
   for (TokenId t : session_.prompt_tokens) {
     PutU32(&blob, static_cast<uint32_t>(t));

@@ -223,7 +223,7 @@ InferenceReport SystemRuntime::RunInference(const InferenceRequest& request) {
   if (plan_options.restore) {
     if (IsTee()) {
       hooks.plan_alloc = [this](uint64_t bytes) { return PlanAllocTee(bytes); };
-      hooks.load = [this](uint64_t offset, uint64_t bytes) {
+      hooks.load = [this](uint64_t /*offset*/, uint64_t bytes) {
         // §4.2: protect right after the (unprotected) load completes, before
         // decryption writes plaintext.
         return tee_os_->ExtendProtected(ta_, SecureRegionId::kParams, bytes);

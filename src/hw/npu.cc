@@ -105,6 +105,7 @@ NpuDevice::NpuDevice(Simulator* sim, Tzasc* tzasc, Tzpc* tzpc, Gic* gic)
     : sim_(sim), tzasc_(tzasc), tzpc_(tzpc), gic_(gic) {}
 
 void NpuDevice::ArmFaultPlan(const NpuFaultPlan& plan) {
+  MutexLock lock(&mu_);
   fault_plan_ = plan;
   secure_launches_ = 0;
   faults_injected_ = 0;
@@ -112,14 +113,20 @@ void NpuDevice::ArmFaultPlan(const NpuFaultPlan& plan) {
 
 Status NpuDevice::MmioLaunch(World caller, const NpuJobDesc& job) {
   // 1. MMIO gate: while the NPU is TZPC-secure, REE doorbell writes fault.
+  // The TZPC/TZASC gate checks are other components' (const) state and run
+  // outside mu_.
   Status st = tzpc_->CheckMmio(caller, DeviceId::kNpu);
   if (!st.ok()) {
+    MutexLock lock(&mu_);
     ++launch_rejections_;
     return st;
   }
-  if (busy_) {
-    ++launch_rejections_;
-    return FailedPrecondition("NPU busy");
+  {
+    MutexLock lock(&mu_);
+    if (busy_) {
+      ++launch_rejections_;
+      return FailedPrecondition("NPU busy");
+    }
   }
 
   // 2. DMA gate: every part of the execution context must be reachable by
@@ -143,80 +150,111 @@ Status NpuDevice::MmioLaunch(World caller, const NpuJobDesc& job) {
     st = check(addr, len);
   }
   if (!st.ok()) {
-    ++launch_rejections_;
     TZLLM_LOG_DEBUG("npu", "DMA check failed: %s", st.ToString().c_str());
+    MutexLock lock(&mu_);
+    ++launch_rejections_;
     return st;
   }
 
-  busy_ = true;
-  abort_armed_ = false;
-  busy_time_ += job.duration;
-  // The payload lives on the device, not in the completion closure, so an
-  // MmioAbort between launch and completion really drops it.
-  pending_compute_ = job.compute;
+  bool schedule_completion = true;
+  {
+    MutexLock lock(&mu_);
+    busy_ = true;
+    abort_armed_ = false;
+    busy_time_ += job.duration;
+    // The payload lives on the device, not in the completion closure, so an
+    // MmioAbort between launch and completion really drops it.
+    pending_compute_ = job.compute;
 
-  // Deterministic fault injection (device-visible classes), counted per
-  // secure launch so a retried job occupies the next ordinal.
-  if (caller == World::kSecure && fault_plan_.active()) {
-    const uint64_t ordinal = ++secure_launches_;
-    if (fault_plan_.fault == NpuFaultClass::kPayload &&
-        fault_plan_.Hits(ordinal)) {
-      ++faults_injected_;
-      pending_compute_ = [] {
-        return Internal("injected NPU payload fault (fault plan)");
-      };
-    } else if (fault_plan_.fault == NpuFaultClass::kTimeout &&
-               fault_plan_.Hits(ordinal)) {
-      // The device wedges: launch accepted, no completion event exists.
-      // Only the abort doorbell's reset path can revive it.
-      ++faults_injected_;
-      stalled_ = true;
-      return OkStatus();
+    // Deterministic fault injection (device-visible classes), counted per
+    // secure launch so a retried job occupies the next ordinal.
+    if (caller == World::kSecure && fault_plan_.active()) {
+      const uint64_t ordinal = ++secure_launches_;
+      if (fault_plan_.fault == NpuFaultClass::kPayload &&
+          fault_plan_.Hits(ordinal)) {
+        ++faults_injected_;
+        pending_compute_ = [] {
+          return Internal("injected NPU payload fault (fault plan)");
+        };
+      } else if (fault_plan_.fault == NpuFaultClass::kTimeout &&
+                 fault_plan_.Hits(ordinal)) {
+        // The device wedges: launch accepted, no completion event exists.
+        // Only the abort doorbell's reset path can revive it.
+        ++faults_injected_;
+        stalled_ = true;
+        schedule_completion = false;
+      }
+    } else if (caller == World::kSecure) {
+      ++secure_launches_;
     }
-  } else if (caller == World::kSecure) {
-    ++secure_launches_;
   }
 
-  sim_->Schedule(job.duration, [this] { CompleteJob(); });
+  if (schedule_completion) {
+    sim_->Schedule(job.duration, [this] { CompleteJob(); });
+  }
   return OkStatus();
 }
 
 void NpuDevice::CompleteJob() {
-  Status cst;
-  std::function<Status()> compute = std::move(pending_compute_);
-  pending_compute_ = nullptr;
-  if (abort_armed_) {
-    cst = Internal("NPU job aborted via MMIO reset");
+  std::function<Status()> compute;
+  bool aborted = false;
+  {
+    MutexLock lock(&mu_);
+    compute = std::move(pending_compute_);
+    pending_compute_ = nullptr;
+    aborted = abort_armed_;
     abort_armed_ = false;
+  }
+  // The functional payload executes outside mu_: it is arbitrary caller
+  // code (CPU matmuls over DRAM) and must not serialize against MMIO polls.
+  Status cst;
+  if (aborted) {
+    cst = Internal("NPU job aborted via MMIO reset");
   } else if (compute) {
     cst = compute();
     if (!cst.ok()) {
-      ++compute_failures_;
       TZLLM_LOG_WARN("npu", "functional job payload failed: %s",
                      cst.ToString().c_str());
     }
   }
-  // Latch the job status so the owning driver's completion handler can
-  // read it (a real device raises its interrupt either way and reports
-  // faults through a status register).
-  last_job_status_ = cst;
-  busy_ = false;
-  ++jobs_completed_;
+  {
+    MutexLock lock(&mu_);
+    if (!aborted && !cst.ok()) {
+      ++compute_failures_;
+    }
+    // Latch the job status so the owning driver's completion handler can
+    // read it (a real device raises its interrupt either way and reports
+    // faults through a status register).
+    last_job_status_ = cst;
+    busy_ = false;
+    ++jobs_completed_;
+  }
+  // The interrupt re-enters the owning driver, which reads this device's
+  // registers back (MmioReadJobStatus, busy()) on this same call stack —
+  // raise it with mu_ released.
   gic_->Raise(kIrqNpu);
 }
 
 Status NpuDevice::MmioAbort(World caller) {
   TZLLM_RETURN_IF_ERROR(tzpc_->CheckMmio(caller, DeviceId::kNpu));
-  if (!busy_) {
-    return OkStatus();
+  bool reset_stalled = false;
+  {
+    MutexLock lock(&mu_);
+    if (!busy_) {
+      return OkStatus();
+    }
+    pending_compute_ = nullptr;
+    abort_armed_ = true;
+    if (stalled_) {
+      // A stalled job has no completion event in flight; the abort doubles
+      // as the device reset, raising the (fault-latched) completion
+      // interrupt after the reset delay so the driver's exit path frees the
+      // device.
+      stalled_ = false;
+      reset_stalled = true;
+    }
   }
-  pending_compute_ = nullptr;
-  abort_armed_ = true;
-  if (stalled_) {
-    // A stalled job has no completion event in flight; the abort doubles as
-    // the device reset, raising the (fault-latched) completion interrupt
-    // after the reset delay so the driver's exit path frees the device.
-    stalled_ = false;
+  if (reset_stalled) {
     sim_->Schedule(kAbortResetDelay, [this] { CompleteJob(); });
   }
   return OkStatus();
@@ -224,11 +262,13 @@ Status NpuDevice::MmioAbort(World caller) {
 
 Result<bool> NpuDevice::MmioIsBusy(World caller) const {
   TZLLM_RETURN_IF_ERROR(tzpc_->CheckMmio(caller, DeviceId::kNpu));
+  MutexLock lock(&mu_);
   return busy_;
 }
 
 Status NpuDevice::MmioReadJobStatus(World caller, Status* out) const {
   TZLLM_RETURN_IF_ERROR(tzpc_->CheckMmio(caller, DeviceId::kNpu));
+  MutexLock lock(&mu_);
   *out = last_job_status_;
   return OkStatus();
 }

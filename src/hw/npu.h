@@ -16,7 +16,9 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 #include "src/hw/gic.h"
 #include "src/hw/tzasc.h"
@@ -109,6 +111,12 @@ struct NpuJobDesc {
   std::function<Status()> compute;
 };
 
+// Locking: mu_ guards the device's register file — busy/stall/abort state,
+// the latched job-status register, the armed fault plan and every counter.
+// Critical sections are leaf-only: raising the completion interrupt re-enters
+// the owning driver (which immediately reads this device's registers back),
+// and the TZPC/TZASC gate checks are other components' state — none of it
+// runs under mu_.
 class NpuDevice {
  public:
   NpuDevice(Simulator* sim, Tzasc* tzasc, Tzpc* tzpc, Gic* gic);
@@ -116,10 +124,10 @@ class NpuDevice {
   // MMIO doorbell: validates TZPC (caller world vs device security state),
   // device idle, then all DMA targets against the TZASC. On success the job
   // occupies the device for job.duration and raises kIrqNpu on completion.
-  Status MmioLaunch(World caller, const NpuJobDesc& job);
+  Status MmioLaunch(World caller, const NpuJobDesc& job) TZLLM_EXCLUDES(mu_);
 
   // MMIO status poll (also TZPC-gated).
-  Result<bool> MmioIsBusy(World caller) const;
+  Result<bool> MmioIsBusy(World caller) const TZLLM_EXCLUDES(mu_);
 
   // MMIO abort doorbell (TZPC-gated): drops the in-flight job's functional
   // payload at the device — the compute stage is reset, though the job
@@ -131,14 +139,17 @@ class NpuDevice {
   // (kTimeout fault: no completion was ever scheduled) acts as the device
   // reset: the completion interrupt is raised after a short reset delay, so
   // the driver's exit path runs and the device is reusable.
-  Status MmioAbort(World caller);
+  Status MmioAbort(World caller) TZLLM_EXCLUDES(mu_);
 
   // Arms `plan` for the device-visible fault classes (kPayload, kTimeout),
   // counting secure launches from zero again; other classes are ignored
   // here (the co-driver arms them). Arming the inactive plan disarms.
-  void ArmFaultPlan(const NpuFaultPlan& plan);
+  void ArmFaultPlan(const NpuFaultPlan& plan) TZLLM_EXCLUDES(mu_);
   // Secure launches whose behavior the armed plan altered.
-  uint64_t faults_injected() const { return faults_injected_; }
+  uint64_t faults_injected() const TZLLM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return faults_injected_;
+  }
 
   // MMIO job-status register: completion status of the most recently
   // finished job (a real NPU latches a fault bit; here the functional
@@ -146,45 +157,68 @@ class NpuDevice {
   // so only the world owning the device can observe a secure job's failure.
   // Read by the TEE driver's completion handler so a failing payload
   // propagates to the waiting TA instead of completing silently.
-  Status MmioReadJobStatus(World caller, Status* out) const;
+  Status MmioReadJobStatus(World caller, Status* out) const
+      TZLLM_EXCLUDES(mu_);
 
-  bool busy() const { return busy_; }
+  bool busy() const TZLLM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return busy_;
+  }
 
-  uint64_t jobs_completed() const { return jobs_completed_; }
-  uint64_t launch_rejections() const { return launch_rejections_; }
+  uint64_t jobs_completed() const TZLLM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return jobs_completed_;
+  }
+  uint64_t launch_rejections() const TZLLM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return launch_rejections_;
+  }
   // Functional payloads that returned an error (the device still completes
   // the job — a real NPU raises its interrupt regardless — but tests assert
   // this stays zero so a silently failing payload cannot hide).
-  uint64_t compute_failures() const { return compute_failures_; }
-  SimDuration busy_time() const { return busy_time_; }
+  uint64_t compute_failures() const TZLLM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return compute_failures_;
+  }
+  SimDuration busy_time() const TZLLM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return busy_time_;
+  }
 
  private:
   // Shared tail of a job's life: runs/aborts the payload, latches the
   // status register, clears busy and raises the completion interrupt. The
   // normal path schedules it at launch + duration; the abort-reset path
   // schedules it for a stalled job that never got a completion event.
-  void CompleteJob();
+  // EXCLUDES(mu_): the interrupt re-enters the owning driver, which reads
+  // this device's registers back on the same call stack.
+  void CompleteJob() TZLLM_EXCLUDES(mu_);
 
   Simulator* sim_;
   Tzasc* tzasc_;
   Tzpc* tzpc_;
   Gic* gic_;
-  bool busy_ = false;
-  bool abort_armed_ = false;  // In-flight payload dropped via MmioAbort.
+
+  mutable Mutex mu_;
+  bool busy_ TZLLM_GUARDED_BY(mu_) = false;
+  // In-flight payload dropped via MmioAbort.
+  bool abort_armed_ TZLLM_GUARDED_BY(mu_) = false;
   // In-flight job stalled by the armed kTimeout fault: no completion event
   // exists until MmioAbort resets the device.
-  bool stalled_ = false;
-  uint64_t jobs_completed_ = 0;
-  uint64_t launch_rejections_ = 0;
-  uint64_t compute_failures_ = 0;
-  uint64_t secure_launches_ = 0;  // Fault-plan ordinal counter.
-  uint64_t faults_injected_ = 0;
-  NpuFaultPlan fault_plan_;
-  SimDuration busy_time_ = 0;
-  Status last_job_status_;  // Latched at each job completion.
+  bool stalled_ TZLLM_GUARDED_BY(mu_) = false;
+  uint64_t jobs_completed_ TZLLM_GUARDED_BY(mu_) = 0;
+  uint64_t launch_rejections_ TZLLM_GUARDED_BY(mu_) = 0;
+  uint64_t compute_failures_ TZLLM_GUARDED_BY(mu_) = 0;
+  // Fault-plan ordinal counter.
+  uint64_t secure_launches_ TZLLM_GUARDED_BY(mu_) = 0;
+  uint64_t faults_injected_ TZLLM_GUARDED_BY(mu_) = 0;
+  NpuFaultPlan fault_plan_ TZLLM_GUARDED_BY(mu_);
+  SimDuration busy_time_ TZLLM_GUARDED_BY(mu_) = 0;
+  // Latched at each job completion.
+  Status last_job_status_ TZLLM_GUARDED_BY(mu_);
   // The in-flight job's functional payload. Held by the device (not the
   // completion closure) so MmioAbort can actually drop it.
-  std::function<Status()> pending_compute_;
+  std::function<Status()> pending_compute_ TZLLM_GUARDED_BY(mu_);
 };
 
 }  // namespace tzllm

@@ -40,7 +40,9 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 #include "src/hw/npu.h"
 #include "src/hw/types.h"
@@ -253,6 +255,12 @@ struct NpuBackendConfig {
 // defers each blocking Await to its dependency point (that deferral is
 // the overlap), and TryPoll gives the non-blocking query for diagnostics
 // or poll-driven schedulers.
+// Locking: mu_ guards the in-flight ticket window (pending_), the
+// execution-context slot cursor, the ticket counter, the hybrid-timeline
+// host mark and every statistic. Critical sections are leaf-only: WaitForJob
+// and the hybrid-timeline advance DRIVE THE SIMULATOR (running arbitrary
+// completion chains on this stack), and a driver submit runs the whole SMC
+// round trip — none of it ever under mu_.
 class NpuBackend : public ComputeBackend {
  public:
   // Execution contexts double-buffered: prepare job n+1 while n runs.
@@ -271,35 +279,58 @@ class NpuBackend : public ComputeBackend {
   const char* name() const override { return "npu"; }
   bool asynchronous() const override { return true; }
   Result<BackendTicket> SubmitMatMatGroup(const MatMatOp* ops, int n,
-                                          const Q8Acts& x) override;
+                                          const Q8Acts& x) override
+      TZLLM_EXCLUDES(mu_);
   Result<BackendTicket> SubmitLayerTail(const LayerTailOp& op,
-                                        const Q8Acts& x_attn) override;
-  Status Await(BackendTicket ticket) override;
-  Result<bool> TryPoll(BackendTicket ticket) override;
+                                        const Q8Acts& x_attn) override
+      TZLLM_EXCLUDES(mu_);
+  Status Await(BackendTicket ticket) override TZLLM_EXCLUDES(mu_);
+  Result<bool> TryPoll(BackendTicket ticket) override TZLLM_EXCLUDES(mu_);
   // Decode never routes here — the executor keeps its own CpuBackend for
   // every MatVec — so this surfaces misuse as kUnimplemented instead of
   // silently computing on a shadow CPU path.
   Status MatVec(const float* x, uint64_t cols, const MatTarget* targets,
                 int n_targets) override;
-  Status Sync() override;
+  Status Sync() override TZLLM_EXCLUDES(mu_);
 
-  uint64_t jobs_submitted() const { return jobs_submitted_; }
-  uint64_t matmuls_submitted() const { return matmuls_submitted_; }
+  uint64_t jobs_submitted() const TZLLM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return jobs_submitted_;
+  }
+  uint64_t matmuls_submitted() const TZLLM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return matmuls_submitted_;
+  }
   // Virtual time the caller spent stalled in Await/Sync driving the
   // simulator to a job's completion (prefill bubbles the pipeline could not
   // hide).
-  SimDuration await_stall_time() const { return await_stall_time_; }
+  SimDuration await_stall_time() const TZLLM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return await_stall_time_;
+  }
   // Degradation stats: jobs that failed at least once and then completed on
   // the NPU via resubmission, and jobs (plus the matmuls they carried)
   // re-executed on the CPU after retries were exhausted. Mirrored into
   // TeeNpuDriver::RecordRecovery so the driver's stats surface carries the
   // whole fault story.
-  uint64_t jobs_recovered() const { return jobs_recovered_; }
-  uint64_t fallback_jobs() const { return fallback_jobs_; }
-  uint64_t fallback_matmuls() const { return fallback_matmuls_; }
+  uint64_t jobs_recovered() const TZLLM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return jobs_recovered_;
+  }
+  uint64_t fallback_jobs() const TZLLM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return fallback_jobs_;
+  }
+  uint64_t fallback_matmuls() const TZLLM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return fallback_matmuls_;
+  }
   // In-flight submissions (drained to zero by Sync — including the error
   // paths, so a failed prefill leaves no dangling job context behind).
-  size_t pending_jobs() const { return pending_.size(); }
+  size_t pending_jobs() const TZLLM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return pending_.size();
+  }
 
  private:
   // One in-flight fused job occupying a context slot. Carries everything
@@ -319,47 +350,52 @@ class NpuBackend : public ComputeBackend {
 
   // Charges host wall time since the last backend call to the virtual
   // clock (hybrid timeline), running any NPU/protocol events that fall
-  // inside the segment.
-  void AdvanceHostTime();
-  void MarkHostTime();
+  // inside the segment. EXCLUDES(mu_): driving the simulator runs
+  // completion chains on this stack.
+  void AdvanceHostTime() TZLLM_EXCLUDES(mu_);
+  void MarkHostTime() TZLLM_EXCLUDES(mu_);
   // Retires the oldest pending job (jobs complete in submit order — the
   // co-driver enforces monotonic execution sequencing). On failure it
   // quiesces the whole in-flight window, then replays each failed job via
   // RecoverJob.
-  Status AwaitOldest();
+  Status AwaitOldest() TZLLM_EXCLUDES(mu_);
   // Replays one settled-but-failed job into the (now empty) in-flight
   // window: resubmitted up to config_.max_retries times with retry_backoff
   // of virtual time between attempts; after that, with cpu_fallback, its
   // payload runs on the host — bit-identical by construction — and the
   // prefill continues. `st` is the original failure, returned if recovery
   // is disabled or exhausted.
-  Status RecoverJob(const Pending& job, Status st);
+  Status RecoverJob(const Pending& job, Status st) TZLLM_EXCLUDES(mu_);
   // Builds, validates and submits one fused job into `slot`.
   Result<uint64_t> SubmitJobInSlot(int slot,
                                    const std::vector<NpuMatmulShape>& shapes,
                                    uint64_t in_bytes,
                                    const std::vector<uint64_t>& out_bytes,
-                                   std::function<Status()> compute);
+                                   std::function<Status()> compute)
+      TZLLM_EXCLUDES(mu_);
   // Slot-allocating submit wrapper: retires slots as needed, records the
   // Pending replay entry under `ticket`.
   Status SubmitJob(BackendTicket ticket,
                    const std::vector<NpuMatmulShape>& shapes,
                    uint64_t in_bytes, const std::vector<uint64_t>& out_bytes,
-                   std::function<Status()> compute);
+                   std::function<Status()> compute) TZLLM_EXCLUDES(mu_);
 
+  // Immutable after construction.
   NpuBackendConfig config_;
   uint64_t slot_bytes_ = 0;
-  uint64_t next_slot_ = 0;
-  uint64_t jobs_submitted_ = 0;
-  uint64_t matmuls_submitted_ = 0;
-  uint64_t jobs_recovered_ = 0;
-  uint64_t fallback_jobs_ = 0;
-  uint64_t fallback_matmuls_ = 0;
-  BackendTicket next_ticket_ = 1;
-  std::deque<Pending> pending_;
-  SimDuration await_stall_time_ = 0;
-  bool host_mark_valid_ = false;
-  std::chrono::steady_clock::time_point host_mark_;
+
+  mutable Mutex mu_;
+  uint64_t next_slot_ TZLLM_GUARDED_BY(mu_) = 0;
+  uint64_t jobs_submitted_ TZLLM_GUARDED_BY(mu_) = 0;
+  uint64_t matmuls_submitted_ TZLLM_GUARDED_BY(mu_) = 0;
+  uint64_t jobs_recovered_ TZLLM_GUARDED_BY(mu_) = 0;
+  uint64_t fallback_jobs_ TZLLM_GUARDED_BY(mu_) = 0;
+  uint64_t fallback_matmuls_ TZLLM_GUARDED_BY(mu_) = 0;
+  BackendTicket next_ticket_ TZLLM_GUARDED_BY(mu_) = 1;
+  std::deque<Pending> pending_ TZLLM_GUARDED_BY(mu_);
+  SimDuration await_stall_time_ TZLLM_GUARDED_BY(mu_) = 0;
+  bool host_mark_valid_ TZLLM_GUARDED_BY(mu_) = false;
+  std::chrono::steady_clock::time_point host_mark_ TZLLM_GUARDED_BY(mu_);
 };
 
 }  // namespace tzllm

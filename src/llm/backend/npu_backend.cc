@@ -104,40 +104,52 @@ void NpuBackend::AdvanceHostTime() {
     return;
   }
   const auto now = std::chrono::steady_clock::now();
-  if (host_mark_valid_) {
-    const double dt =
-        std::chrono::duration<double>(now - host_mark_).count();
-    if (dt > 0) {
-      // The CPU worked for dt wall seconds since the last backend call;
-      // advance the virtual clock through that segment so concurrently
-      // in-flight NPU jobs complete "during" it — this is the overlap.
-      Simulator& sim = config_.platform->sim();
-      sim.RunUntil(sim.Now() + FromSeconds(dt));
+  double dt = 0;
+  {
+    MutexLock lock(&mu_);
+    if (host_mark_valid_) {
+      dt = std::chrono::duration<double>(now - host_mark_).count();
     }
+    host_mark_valid_ = true;
+    host_mark_ = now;
   }
-  host_mark_valid_ = true;
-  host_mark_ = now;
+  if (dt > 0) {
+    // The CPU worked for dt wall seconds since the last backend call;
+    // advance the virtual clock through that segment so concurrently
+    // in-flight NPU jobs complete "during" it — this is the overlap.
+    // Driving the simulator runs completion chains on this stack: mu_ is
+    // released first.
+    Simulator& sim = config_.platform->sim();
+    sim.RunUntil(sim.Now() + FromSeconds(dt));
+  }
 }
 
 void NpuBackend::MarkHostTime() {
   if (!config_.hybrid_timeline) {
     return;
   }
+  MutexLock lock(&mu_);
   host_mark_valid_ = true;
   host_mark_ = std::chrono::steady_clock::now();
 }
 
 Status NpuBackend::AwaitOldest() {
-  if (pending_.empty()) {
-    return OkStatus();
+  Pending oldest;
+  {
+    MutexLock lock(&mu_);
+    if (pending_.empty()) {
+      return OkStatus();
+    }
+    oldest = std::move(pending_.front());
+    pending_.pop_front();
   }
-  Pending oldest = std::move(pending_.front());
-  pending_.pop_front();
   Simulator& sim = config_.platform->sim();
   const SimTime before = sim.Now();
   Status st = config_.driver->WaitForJob(oldest.job_id, config_.job_timeout);
   if (st.ok()) {
-    await_stall_time_ += sim.Now() - before;
+    const SimDuration stalled = sim.Now() - before;
+    MutexLock lock(&mu_);
+    await_stall_time_ += stalled;
     return st;
   }
   // Fault quiesce: a failed/lost job can leave execution-sequence holes
@@ -153,9 +165,20 @@ Status NpuBackend::AwaitOldest() {
   // cannot change any result.
   std::vector<Pending> failed;
   failed.push_back(std::move(oldest));
-  while (!pending_.empty()) {
-    Pending p = std::move(pending_.front());
-    pending_.pop_front();
+  for (;;) {
+    Pending p;
+    bool have = false;
+    {
+      MutexLock lock(&mu_);
+      if (!pending_.empty()) {
+        p = std::move(pending_.front());
+        pending_.pop_front();
+        have = true;
+      }
+    }
+    if (!have) {
+      break;
+    }
     const Status pst =
         config_.driver->WaitForJob(p.job_id, config_.job_timeout);
     if (!pst.ok()) {
@@ -169,7 +192,9 @@ Status NpuBackend::AwaitOldest() {
       first = jst;
     }
   }
-  await_stall_time_ += sim.Now() - before;
+  const SimDuration stalled = sim.Now() - before;
+  MutexLock lock(&mu_);
+  await_stall_time_ += stalled;
   return first;
 }
 
@@ -193,7 +218,10 @@ Status NpuBackend::RecoverJob(const Pending& job, Status st) {
     }
     st = config_.driver->WaitForJob(*id, config_.job_timeout);
     if (st.ok()) {
-      ++jobs_recovered_;
+      {
+        MutexLock lock(&mu_);
+        ++jobs_recovered_;
+      }
       config_.driver->RecordRecovery(1, 0, 0);
       return OkStatus();
     }
@@ -201,8 +229,11 @@ Status NpuBackend::RecoverJob(const Pending& job, Status st) {
   if (config_.cpu_fallback && job.compute) {
     const Status fst = job.compute();
     if (fst.ok()) {
-      ++fallback_jobs_;
-      fallback_matmuls_ += job.shapes.size();
+      {
+        MutexLock lock(&mu_);
+        ++fallback_jobs_;
+        fallback_matmuls_ += job.shapes.size();
+      }
       config_.driver->RecordRecovery(0, 1, job.shapes.size());
       return OkStatus();
     }
@@ -254,6 +285,7 @@ Result<uint64_t> NpuBackend::SubmitJobInSlot(
   if (!id.ok()) {
     return id.status();
   }
+  MutexLock lock(&mu_);
   ++jobs_submitted_;
   matmuls_submitted_ += shapes.size();
   return *id;
@@ -268,10 +300,20 @@ Status NpuBackend::SubmitJob(BackendTicket ticket,
   // submissions ago has retired; jobs complete in submit order (the
   // co-driver enforces monotonic execution sequencing), so retiring the
   // oldest pending job frees the slot this submission reuses.
-  while (pending_.size() >= static_cast<size_t>(kJobSlots)) {
+  for (;;) {
+    {
+      MutexLock lock(&mu_);
+      if (pending_.size() < static_cast<size_t>(kJobSlots)) {
+        break;
+      }
+    }
     TZLLM_RETURN_IF_ERROR(AwaitOldest());
   }
-  const int slot = static_cast<int>(next_slot_++ % kJobSlots);
+  int slot;
+  {
+    MutexLock lock(&mu_);
+    slot = static_cast<int>(next_slot_++ % kJobSlots);
+  }
   // The Pending entry keeps a copy of the payload and the descriptor
   // geometry: that is the replay state AwaitOldest's retry/fallback path
   // rebuilds the job from (the original closure moves into the descriptor
@@ -280,6 +322,7 @@ Status NpuBackend::SubmitJob(BackendTicket ticket,
   if (!id.ok()) {
     return id.status();
   }
+  MutexLock lock(&mu_);
   pending_.push_back(
       {*id, ticket, slot, shapes, in_bytes, out_bytes, std::move(compute)});
   return OkStatus();
@@ -288,7 +331,11 @@ Status NpuBackend::SubmitJob(BackendTicket ticket,
 Result<BackendTicket> NpuBackend::SubmitMatMatGroup(const MatMatOp* ops,
                                                     int n, const Q8Acts& x) {
   AdvanceHostTime();
-  const BackendTicket ticket = next_ticket_++;
+  BackendTicket ticket;
+  {
+    MutexLock lock(&mu_);
+    ticket = next_ticket_++;
+  }
   const int m = static_cast<int>(x.m);
   const uint64_t in_bytes = ActsBytes(x.m, x.cols);
   auto submit_range = [&](int lo, int hi) -> Status {
@@ -333,7 +380,11 @@ Result<BackendTicket> NpuBackend::SubmitMatMatGroup(const MatMatOp* ops,
 Result<BackendTicket> NpuBackend::SubmitLayerTail(const LayerTailOp& op,
                                                   const Q8Acts& x_attn) {
   AdvanceHostTime();
-  const BackendTicket ticket = next_ticket_++;
+  BackendTicket ticket;
+  {
+    MutexLock lock(&mu_);
+    ticket = next_ticket_++;
+  }
   const uint64_t d = static_cast<uint64_t>(op.d_model);
   const uint64_t ff = static_cast<uint64_t>(op.d_ff);
   const uint64_t m = static_cast<uint64_t>(op.m);
@@ -447,7 +498,13 @@ Status NpuBackend::Await(BackendTicket ticket) {
   }
   AdvanceHostTime();
   Status first;
-  while (!pending_.empty() && pending_.front().ticket <= ticket) {
+  for (;;) {
+    {
+      MutexLock lock(&mu_);
+      if (pending_.empty() || pending_.front().ticket > ticket) {
+        break;
+      }
+    }
     const Status st = AwaitOldest();
     if (!st.ok() && first.ok()) {
       first = st;
@@ -466,11 +523,21 @@ Result<bool> NpuBackend::TryPoll(BackendTicket ticket) {
   if (ticket == kCompletedTicket) {
     return true;
   }
-  for (const Pending& p : pending_) {
-    if (p.ticket > ticket) {
-      break;
+  // Snapshot the relevant job ids under mu_, then query the driver with it
+  // released (the driver takes its own lock; TryPollJob never drives the
+  // simulator, so the window cannot change between the two phases today).
+  std::vector<uint64_t> job_ids;
+  {
+    MutexLock lock(&mu_);
+    for (const Pending& p : pending_) {
+      if (p.ticket > ticket) {
+        break;
+      }
+      job_ids.push_back(p.job_id);
     }
-    auto done = config_.driver->TryPollJob(p.job_id);
+  }
+  for (uint64_t job_id : job_ids) {
+    auto done = config_.driver->TryPollJob(job_id);
     if (!done.ok()) {
       return done.status();
     }
@@ -494,7 +561,13 @@ Status NpuBackend::MatVec(const float* x, uint64_t cols,
 
 Status NpuBackend::Sync() {
   Status first;
-  while (!pending_.empty()) {
+  for (;;) {
+    {
+      MutexLock lock(&mu_);
+      if (pending_.empty()) {
+        break;
+      }
+    }
     const Status st = AwaitOldest();
     if (!st.ok() && first.ok()) {
       first = st;

@@ -554,6 +554,9 @@ Result<std::vector<float>> TransformerExecutor::ForwardPromptPipelined(
 
   auto last = run();
   if (!last.ok()) {
+    // Drain in-flight jobs before surfacing the error: their payloads write
+    // through pointers into chunk workspaces this frame owns. The original
+    // error is the one the caller needs; Sync's is at best a duplicate.
     (void)prefill_backend_->Sync();
     return last.status();
   }

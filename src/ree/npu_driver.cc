@@ -12,10 +12,15 @@ void ReeNpuDriver::Init() {
   // Non-secure completion interrupt: fires while the NPU interrupt line is
   // routed to the non-secure world.
   platform_->gic().RegisterHandler(World::kNonSecure, kIrqNpu, [this] {
-    ns_job_running_ = false;
-    ++ns_jobs_completed_;
-    auto cb = std::move(running_cb_);
-    running_cb_ = nullptr;
+    std::function<void(Status)> cb;
+    {
+      MutexLock lock(&mu_);
+      ns_job_running_ = false;
+      ++ns_jobs_completed_;
+      cb = std::move(running_cb_);
+      running_cb_ = nullptr;
+    }
+    // Client callback and the next dispatch both re-enter this driver.
     if (cb) {
       cb(OkStatus());
     }
@@ -37,70 +42,103 @@ void ReeNpuDriver::Init() {
 
 void ReeNpuDriver::SubmitJob(NpuJobDesc desc,
                              std::function<void(Status)> on_complete) {
-  Entry entry;
-  entry.shadow = false;
-  entry.desc = std::move(desc);
-  entry.on_complete = std::move(on_complete);
-  queue_.push_back(std::move(entry));
+  {
+    MutexLock lock(&mu_);
+    Entry entry;
+    entry.shadow = false;
+    entry.desc = std::move(desc);
+    entry.on_complete = std::move(on_complete);
+    queue_.push_back(std::move(entry));
+  }
   ScheduleNext();
 }
 
 void ReeNpuDriver::EnqueueShadowJob(uint64_t token) {
-  Entry entry;
-  entry.shadow = true;
-  entry.token = token;
-  queue_.push_back(std::move(entry));
+  {
+    MutexLock lock(&mu_);
+    Entry entry;
+    entry.shadow = true;
+    entry.token = token;
+    queue_.push_back(std::move(entry));
+  }
   ScheduleNext();
 }
 
 void ReeNpuDriver::ScheduleNext() {
-  if (npu_owned_by_tee_ || ns_job_running_ || queue_.empty()) {
-    return;
-  }
-  Entry entry = std::move(queue_.front());
-  queue_.pop_front();
+  // Loop (not tail recursion): each iteration claims one queue entry under
+  // mu_, then dispatches it with mu_ released — the takeover smc runs the
+  // whole TEE secure-entry path on this stack, and a failed dispatch fires
+  // the client callback, which may submit again. A failed dispatch
+  // continues with the next entry, which is what the recursive form did.
+  for (;;) {
+    Entry entry;
+    {
+      MutexLock lock(&mu_);
+      if (npu_owned_by_tee_ || ns_job_running_ || queue_.empty()) {
+        return;
+      }
+      entry = std::move(queue_.front());
+      queue_.pop_front();
+      if (entry.shadow) {
+        // Claim ownership before the smc: the TEE-side takeover handler may
+        // observe this driver's state on the same call stack.
+        npu_owned_by_tee_ = true;
+      } else {
+        ns_job_running_ = true;
+        running_cb_ = std::move(entry.on_complete);
+      }
+    }
 
-  if (entry.shadow) {
-    // Proactively transfer NPU control to the TEE driver. The TEE performs
-    // the secure-mode switch, validates and launches the job; ownership
-    // returns via OnShadowComplete.
-    npu_owned_by_tee_ = true;
-    SmcArgs args;
-    args.a[0] = entry.token;
-    const SmcResult result =
-        platform_->monitor().SmcFromRee(SmcFunc::kNpuTakeover, args);
-    if (!result.status.ok()) {
-      // The TEE rejected the takeover (e.g. replayed token). Drop the shadow
-      // job and move on; the TEE side surfaces the real error to the TA.
+    if (entry.shadow) {
+      // Proactively transfer NPU control to the TEE driver. The TEE
+      // performs the secure-mode switch, validates and launches the job;
+      // ownership returns via OnShadowComplete.
+      SmcArgs args;
+      args.a[0] = entry.token;
+      const SmcResult result =
+          platform_->monitor().SmcFromRee(SmcFunc::kNpuTakeover, args);
+      if (result.status.ok()) {
+        return;
+      }
+      // The TEE rejected the takeover (e.g. replayed token) without a
+      // shadow-complete RPC. Drop the shadow job and move on; the TEE side
+      // surfaces the real error to the TA.
       TZLLM_LOG_WARN("ree-npu", "takeover rejected: %s",
                      result.status.ToString().c_str());
-      npu_owned_by_tee_ = false;
-      ScheduleNext();
+      {
+        MutexLock lock(&mu_);
+        npu_owned_by_tee_ = false;
+      }
+      continue;
     }
-    return;
-  }
 
-  // Non-secure job: driver-side launch overhead then the doorbell write.
-  ns_job_running_ = true;
-  running_cb_ = std::move(entry.on_complete);
-  NpuJobDesc desc = std::move(entry.desc);
-  desc.duration += kNpuJobLaunchOverhead;
-  const Status st = platform_->npu().MmioLaunch(World::kNonSecure, desc);
-  if (!st.ok()) {
-    ns_job_running_ = false;
-    auto cb = std::move(running_cb_);
-    running_cb_ = nullptr;
+    // Non-secure job: driver-side launch overhead then the doorbell write.
+    NpuJobDesc desc = std::move(entry.desc);
+    desc.duration += kNpuJobLaunchOverhead;
+    const Status st = platform_->npu().MmioLaunch(World::kNonSecure, desc);
+    if (st.ok()) {
+      return;
+    }
+    std::function<void(Status)> cb;
+    {
+      MutexLock lock(&mu_);
+      ns_job_running_ = false;
+      cb = std::move(running_cb_);
+      running_cb_ = nullptr;
+    }
     if (cb) {
       cb(st);
     }
-    ScheduleNext();
   }
 }
 
 void ReeNpuDriver::OnShadowComplete(uint64_t token) {
-  (void)token;
-  ++shadow_jobs_completed_;
-  npu_owned_by_tee_ = false;
+  (void)token;  // The queue keys shadow jobs by position, not token.
+  {
+    MutexLock lock(&mu_);
+    ++shadow_jobs_completed_;
+    npu_owned_by_tee_ = false;
+  }
   ScheduleNext();
 }
 

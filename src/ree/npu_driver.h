@@ -20,11 +20,18 @@
 #include <functional>
 
 #include "src/common/calibration.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/hw/platform.h"
 
 namespace tzllm {
 
+// Locking: mu_ guards the unified scheduling queue, the ownership/running
+// flags and the counters. Critical sections are leaf-only: the takeover smc
+// runs the whole TEE-side secure entry on this stack, the launch doorbell
+// re-enters the device, and completion callbacks re-enter this driver (the
+// shadow-complete RPC arrives mid-ScheduleNext) — none of it under mu_.
 class ReeNpuDriver {
  public:
   explicit ReeNpuDriver(SocPlatform* platform);
@@ -33,18 +40,31 @@ class ReeNpuDriver {
   void Init();
 
   // --- Non-secure client API (REE NN applications). ---
-  void SubmitJob(NpuJobDesc desc, std::function<void(Status)> on_complete);
+  void SubmitJob(NpuJobDesc desc, std::function<void(Status)> on_complete)
+      TZLLM_EXCLUDES(mu_);
 
   // --- TEE-facing scheduling interface. ---
   // Enqueues a shadow job for TEE job `token` (RPC kRpcNpuEnqueueShadow).
-  void EnqueueShadowJob(uint64_t token);
+  void EnqueueShadowJob(uint64_t token) TZLLM_EXCLUDES(mu_);
   // TEE reports the secure job finished (RPC kRpcNpuShadowComplete).
-  void OnShadowComplete(uint64_t token);
+  void OnShadowComplete(uint64_t token) TZLLM_EXCLUDES(mu_);
 
-  size_t queue_depth() const { return queue_.size(); }
-  bool npu_owned_by_tee() const { return npu_owned_by_tee_; }
-  uint64_t ns_jobs_completed() const { return ns_jobs_completed_; }
-  uint64_t shadow_jobs_completed() const { return shadow_jobs_completed_; }
+  size_t queue_depth() const TZLLM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return queue_.size();
+  }
+  bool npu_owned_by_tee() const TZLLM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return npu_owned_by_tee_;
+  }
+  uint64_t ns_jobs_completed() const TZLLM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return ns_jobs_completed_;
+  }
+  uint64_t shadow_jobs_completed() const TZLLM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return shadow_jobs_completed_;
+  }
 
   // Naive-baseline hook: full detach/attach control-plane reinit cost.
   static constexpr SimDuration DetachAttachCost() {
@@ -59,15 +79,21 @@ class ReeNpuDriver {
     std::function<void(Status)> on_complete;
   };
 
-  void ScheduleNext();
+  // Dispatch loop: pops queue entries under mu_, performs each dispatch
+  // (takeover smc or launch doorbell) with mu_ released, and keeps going
+  // while dispatches fail. EXCLUDES(mu_) — both dispatch forms re-enter
+  // this driver on the same call stack.
+  void ScheduleNext() TZLLM_EXCLUDES(mu_);
 
   SocPlatform* platform_;
-  std::deque<Entry> queue_;
-  bool npu_owned_by_tee_ = false;
-  bool ns_job_running_ = false;
-  std::function<void(Status)> running_cb_;
-  uint64_t ns_jobs_completed_ = 0;
-  uint64_t shadow_jobs_completed_ = 0;
+
+  mutable Mutex mu_;
+  std::deque<Entry> queue_ TZLLM_GUARDED_BY(mu_);
+  bool npu_owned_by_tee_ TZLLM_GUARDED_BY(mu_) = false;
+  bool ns_job_running_ TZLLM_GUARDED_BY(mu_) = false;
+  std::function<void(Status)> running_cb_ TZLLM_GUARDED_BY(mu_);
+  uint64_t ns_jobs_completed_ TZLLM_GUARDED_BY(mu_) = 0;
+  uint64_t shadow_jobs_completed_ TZLLM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tzllm

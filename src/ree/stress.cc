@@ -25,6 +25,7 @@ Status StressWorkload::MapPressure(uint64_t bytes, bool dirty_pages) {
 
 void StressWorkload::Release() {
   for (uint64_t pfn : pages_) {
+    // Teardown: a page the manager no longer recognizes is already free.
     (void)mm_->FreeMovablePage(pfn);
   }
   pages_.clear();

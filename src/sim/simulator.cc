@@ -6,11 +6,12 @@
 namespace tzllm {
 
 EventId Simulator::Schedule(SimDuration delay, Callback cb) {
-  return ScheduleAt(now_ + delay, std::move(cb));
+  return ScheduleAt(Now() + delay, std::move(cb));
 }
 
 EventId Simulator::ScheduleAt(SimTime when, Callback cb) {
-  assert(when >= now_ && "cannot schedule in the past");
+  assert(when >= Now() && "cannot schedule in the past");
+  MutexLock lock(&mu_);
   const uint64_t seq = next_seq_++;
   const EventId id = seq;  // Sequence numbers double as event ids.
   heap_.push(Event{when, seq, id});
@@ -18,24 +19,35 @@ EventId Simulator::ScheduleAt(SimTime when, Callback cb) {
   return id;
 }
 
-bool Simulator::Cancel(EventId id) { return callbacks_.erase(id) > 0; }
+bool Simulator::Cancel(EventId id) {
+  MutexLock lock(&mu_);
+  return callbacks_.erase(id) > 0;
+}
 
 bool Simulator::Step() {
-  while (!heap_.empty()) {
-    Event ev = heap_.top();
-    heap_.pop();
-    auto it = callbacks_.find(ev.id);
-    if (it == callbacks_.end()) {
-      continue;  // Cancelled.
+  for (;;) {
+    Callback cb;
+    {
+      MutexLock lock(&mu_);
+      if (heap_.empty()) {
+        return false;
+      }
+      Event ev = heap_.top();
+      heap_.pop();
+      auto it = callbacks_.find(ev.id);
+      if (it == callbacks_.end()) {
+        continue;  // Cancelled.
+      }
+      cb = std::move(it->second);
+      callbacks_.erase(it);
+      now_.store(ev.when, std::memory_order_relaxed);
+      ++events_executed_;
     }
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
-    now_ = ev.when;
-    ++events_executed_;
+    // The callback runs with mu_ released: event handlers schedule follow-up
+    // events (and run whole SMC chains) on this stack as a matter of course.
     cb();
     return true;
   }
-  return false;
 }
 
 void Simulator::Run(uint64_t max_events) {
@@ -46,20 +58,25 @@ void Simulator::Run(uint64_t max_events) {
 }
 
 void Simulator::RunUntil(SimTime deadline) {
-  while (!heap_.empty()) {
-    // Skip over cancelled heap entries to find the real next event time.
-    Event ev = heap_.top();
-    if (callbacks_.find(ev.id) == callbacks_.end()) {
-      heap_.pop();
-      continue;
+  for (;;) {
+    bool step = false;
+    {
+      MutexLock lock(&mu_);
+      // Skip over cancelled heap entries to find the real next event time.
+      while (!heap_.empty() &&
+             callbacks_.find(heap_.top().id) == callbacks_.end()) {
+        heap_.pop();
+      }
+      step = !heap_.empty() && heap_.top().when <= deadline;
     }
-    if (ev.when > deadline) {
+    if (!step) {
       break;
     }
     Step();
   }
-  if (now_ < deadline) {
-    now_ = deadline;
+  if (Now() < deadline) {
+    MutexLock lock(&mu_);
+    now_.store(deadline, std::memory_order_relaxed);
   }
 }
 

@@ -10,6 +10,7 @@
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -18,6 +19,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/units.h"
 
 namespace tzllm {
@@ -25,6 +28,12 @@ namespace tzllm {
 using EventId = uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
+// Locking: mu_ guards the event heap, the callback table and the sequence
+// counter. Callbacks run with mu_ released — an event handler re-enters the
+// simulator freely (Schedule from inside a callback is the normal case, and
+// whole SMC chains run on one Step's stack). The clock is an atomic read
+// outside mu_: Now() sits on hot hybrid-timeline paths and must not
+// serialize against scheduling.
 class Simulator {
  public:
   using Callback = std::function<void()>;
@@ -33,30 +42,39 @@ class Simulator {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  SimTime Now() const { return now_; }
+  SimTime Now() const { return now_.load(std::memory_order_relaxed); }
 
   // Schedules `cb` to run at Now() + delay. Events scheduled for the same
   // instant run in schedule order (FIFO tie-break via sequence number).
-  EventId Schedule(SimDuration delay, Callback cb);
-  EventId ScheduleAt(SimTime when, Callback cb);
+  EventId Schedule(SimDuration delay, Callback cb) TZLLM_EXCLUDES(mu_);
+  EventId ScheduleAt(SimTime when, Callback cb) TZLLM_EXCLUDES(mu_);
 
   // Cancels a pending event. Returns false if it already ran / was cancelled.
-  bool Cancel(EventId id);
+  bool Cancel(EventId id) TZLLM_EXCLUDES(mu_);
 
   // Runs the earliest pending event. Returns false if the queue is empty.
-  bool Step();
+  bool Step() TZLLM_EXCLUDES(mu_);
 
   // Runs until no events remain (or `max_events` safety limit is hit).
-  void Run(uint64_t max_events = std::numeric_limits<uint64_t>::max());
+  void Run(uint64_t max_events = std::numeric_limits<uint64_t>::max())
+      TZLLM_EXCLUDES(mu_);
 
   // Runs events with time <= deadline, then sets Now() to deadline.
-  void RunUntil(SimTime deadline);
+  void RunUntil(SimTime deadline) TZLLM_EXCLUDES(mu_);
 
-  // Runs until `done` returns true or the queue drains.
-  void RunUntilIdleOr(const std::function<bool()>& done);
+  // Runs until `done` returns true or the queue drains. `done` runs between
+  // events, with mu_ released — it may lock its own state (and this
+  // simulator) freely.
+  void RunUntilIdleOr(const std::function<bool()>& done) TZLLM_EXCLUDES(mu_);
 
-  uint64_t events_executed() const { return events_executed_; }
-  size_t pending_events() const { return callbacks_.size(); }
+  uint64_t events_executed() const TZLLM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return events_executed_;
+  }
+  size_t pending_events() const TZLLM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return callbacks_.size();
+  }
 
  private:
   struct Event {
@@ -69,13 +87,16 @@ class Simulator {
     }
   };
 
-  SimTime now_ = 0;
-  uint64_t next_seq_ = 1;
-  uint64_t events_executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_;
+  mutable Mutex mu_;
+  // Written only while mu_ is held (Step/RunUntil); read lock-free.
+  std::atomic<SimTime> now_{0};
+  uint64_t next_seq_ TZLLM_GUARDED_BY(mu_) = 1;
+  uint64_t events_executed_ TZLLM_GUARDED_BY(mu_) = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_
+      TZLLM_GUARDED_BY(mu_);
   // Callbacks are stored out-of-line so Event stays trivially copyable;
   // cancellation simply erases the callback.
-  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_map<EventId, Callback> callbacks_ TZLLM_GUARDED_BY(mu_);
 };
 
 }  // namespace tzllm

@@ -13,6 +13,15 @@
 // only ever touches the NPU MMIO window and the job execution contexts; the
 // TEE OS brokers all TZASC changes through region indices the driver cannot
 // widen.
+//
+// Locking: mu_ guards the job table, the issue/execution sequence state and
+// every statistic counter — the shared mutable surface the multi-session
+// serving work will hit from concurrent session steps. Critical sections are
+// leaf-only (thread_annotations.h): the SMC fabric re-enters this driver
+// synchronously on ONE call stack (IssueJob -> REE ScheduleNext ->
+// OnTakeover), so no platform/simulator/RPC call and no completion callback
+// ever runs under mu_. Clang's -Wthread-safety proves the discipline on
+// every path.
 
 #ifndef SRC_TEE_NPU_DRIVER_H_
 #define SRC_TEE_NPU_DRIVER_H_
@@ -23,7 +32,9 @@
 #include <unordered_map>
 
 #include "src/common/calibration.h"
+#include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/hw/platform.h"
 #include "src/tee/tee_os.h"
 
@@ -40,16 +51,19 @@ class TeeNpuDriver {
   // Validates and registers a secure job. The execution context (command
   // stream, I/O page table, buffers) must lie inside the TA's protected
   // TZASC regions; `ta` must own them. Returns the job id.
-  Result<uint64_t> CreateJob(TaId ta, const NpuJobDesc& desc);
+  Result<uint64_t> CreateJob(TaId ta, const NpuJobDesc& desc)
+      TZLLM_EXCLUDES(mu_);
 
   // Assigns the next monotonic sequence number and enqueues the paired
   // shadow job in the REE driver. `on_complete` fires when the secure job
   // finishes (or fails validation at takeover time).
-  Status IssueJob(uint64_t job_id, std::function<void(Status)> on_complete);
+  Status IssueJob(uint64_t job_id, std::function<void(Status)> on_complete)
+      TZLLM_EXCLUDES(mu_);
 
   // Convenience: create + issue.
   Result<uint64_t> SubmitJob(TaId ta, const NpuJobDesc& desc,
-                             std::function<void(Status)> on_complete);
+                             std::function<void(Status)> on_complete)
+      TZLLM_EXCLUDES(mu_);
 
   // Synchronous-wait helper for TA-side callers that need a job's result
   // before proceeding (the NPU prefill backend): drives the simulator until
@@ -65,20 +79,21 @@ class TeeNpuDriver {
   // abandoned job's payload is neutralized — including the copy a LAUNCHED
   // job's device already captured, via the NPU's MMIO abort — so it can
   // never fire into caller memory the caller has since reclaimed.
-  Status WaitForJob(uint64_t job_id, SimDuration timeout = 0);
+  Status WaitForJob(uint64_t job_id, SimDuration timeout = 0)
+      TZLLM_EXCLUDES(mu_);
 
   // Non-blocking completion query for the pipelined prefill schedule: true
   // once the job's completion path has fired (WaitForJob would return
   // without driving the simulator), false while in flight, NotFound for an
   // unknown/already-consumed id. Never consumes the bookkeeping entry.
-  Result<bool> TryPollJob(uint64_t job_id) const;
+  Result<bool> TryPollJob(uint64_t job_id) const TZLLM_EXCLUDES(mu_);
 
   // --- Deterministic fault injection (recovery tests, CI fault sweep). ---
   // Arms `plan` against jobs issued from now on: ordinals restart at 1,
   // driver-visible classes (kContext, kSubmit) are handled here, device-
   // visible classes (kPayload, kTimeout) are forwarded to the NPU device.
   // Arming the inactive plan disarms everything.
-  void ArmFaultPlan(const NpuFaultPlan& plan);
+  void ArmFaultPlan(const NpuFaultPlan& plan) TZLLM_EXCLUDES(mu_);
 
   // Degradation accounting for the recovery layer. The NPU prefill backend
   // reports its per-job recovery outcomes here so one stats surface (this
@@ -86,26 +101,25 @@ class TeeNpuDriver {
   // whole fault story: injected faults, abandoned jobs, retried-to-success
   // jobs and CPU-fallback re-executions.
   void RecordRecovery(uint64_t recovered_jobs, uint64_t fallback_jobs,
-                      uint64_t fallback_matmuls) {
-    jobs_recovered_ += recovered_jobs;
-    fallback_jobs_ += fallback_jobs;
-    fallback_matmuls_ += fallback_matmuls;
-  }
+                      uint64_t fallback_matmuls) TZLLM_EXCLUDES(mu_);
 
   // --- Statistics (§7.3 breakdown; per-job figures for the bench). ---
-  uint64_t jobs_created() const { return next_job_id_ - 1; }
-  uint64_t secure_jobs_completed() const { return secure_jobs_completed_; }
-  uint64_t validation_failures() const { return validation_failures_; }
-  SimDuration total_config_time() const { return total_config_time_; }
-  SimDuration total_smc_time() const { return total_smc_time_; }
+  // Each getter takes mu_: the pipelined-prefill poll loop (and, soon, the
+  // serving layer's metrics scrape) reads these while the driver mutates
+  // them on the completion path.
+  uint64_t jobs_created() const TZLLM_EXCLUDES(mu_);
+  uint64_t secure_jobs_completed() const TZLLM_EXCLUDES(mu_);
+  uint64_t validation_failures() const TZLLM_EXCLUDES(mu_);
+  SimDuration total_config_time() const TZLLM_EXCLUDES(mu_);
+  SimDuration total_smc_time() const TZLLM_EXCLUDES(mu_);
   // Sum of completed jobs' modeled NPU execution time (desc.duration plus
   // the per-launch doorbell overhead) — what the bench divides by job count
   // to report per-job co-driver overhead next to per-job useful work.
-  SimDuration total_job_npu_time() const { return total_job_npu_time_; }
+  SimDuration total_job_npu_time() const TZLLM_EXCLUDES(mu_);
   // Matmuls carried by completed jobs (NpuJobDesc::matmuls): divided by
   // secure_jobs_completed() this is the average fused-group size, the
   // number the job-fusion work is judged on.
-  uint64_t total_matmuls_completed() const { return total_matmuls_completed_; }
+  uint64_t total_matmuls_completed() const TZLLM_EXCLUDES(mu_);
   // MEASURED per-job world-switch overhead, as opposed to the
   // PerJobSwitchCost() model: virtual time actually elapsed on the secure
   // entry path (takeover smc -> launch, including any non-secure drain
@@ -113,24 +127,22 @@ class TeeNpuDriver {
   // handed back). Equals the model when the device never needs draining;
   // exceeds it under contention — the bench reports both so the model is
   // validated against the protocol's real behavior.
-  SimDuration total_measured_switch_time() const {
-    return total_measured_switch_time_;
-  }
+  SimDuration total_measured_switch_time() const TZLLM_EXCLUDES(mu_);
   // Jobs whose functional payload reported a failure through the device's
   // job-status register (propagated to the waiter's completion status).
-  uint64_t payload_failures() const { return payload_failures_; }
+  uint64_t payload_failures() const TZLLM_EXCLUDES(mu_);
   // Jobs a waiter gave up on (timeout or drained simulator): payload
   // neutralized, sequence hole closed so successors still execute.
-  uint64_t jobs_abandoned() const { return jobs_abandoned_; }
+  uint64_t jobs_abandoned() const TZLLM_EXCLUDES(mu_);
   // Faults the armed plan injected (driver-visible classes plus whatever
   // the device injected for the same plan).
-  uint64_t faults_injected() const;
+  uint64_t faults_injected() const TZLLM_EXCLUDES(mu_);
   // Recovery outcomes reported by the prefill backend (RecordRecovery):
   // jobs that failed at least once and then completed on the NPU via retry,
   // and jobs re-executed on the CPU after retries were exhausted.
-  uint64_t jobs_recovered() const { return jobs_recovered_; }
-  uint64_t fallback_jobs() const { return fallback_jobs_; }
-  uint64_t fallback_matmuls() const { return fallback_matmuls_; }
+  uint64_t jobs_recovered() const TZLLM_EXCLUDES(mu_);
+  uint64_t fallback_jobs() const TZLLM_EXCLUDES(mu_);
+  uint64_t fallback_matmuls() const TZLLM_EXCLUDES(mu_);
 
   // Per-secure-job fixed cost on the NPU timeline: world-switch smcs plus
   // TZPC/GIC/TZASC reprogramming in both directions.
@@ -171,52 +183,58 @@ class TeeNpuDriver {
   };
 
   // smc kNpuTakeover entry: REE control plane hands over the NPU.
-  SmcResult OnTakeover(const SmcArgs& args);
-  Status ValidateTakeover(uint64_t job_id) const;
-  void EnterSecureModeAndLaunch(uint64_t job_id);
-  void OnSecureCompletion();
+  SmcResult OnTakeover(const SmcArgs& args) TZLLM_EXCLUDES(mu_);
+  Status ValidateTakeoverLocked(uint64_t job_id) const TZLLM_REQUIRES(mu_);
+  void EnterSecureModeAndLaunch(uint64_t job_id) TZLLM_EXCLUDES(mu_);
+  void OnSecureCompletion() TZLLM_EXCLUDES(mu_);
   // Failure retirement shared by the takeover and launch paths: record the
   // error on the job, drop the payload, revert the world switch (TZASC
   // grants only if they were applied), release the shadow, fire the
-  // callback.
-  void RetireFailedJob(uint64_t job_id, const Status& st, bool revert_tzasc);
+  // callback. EXCLUDES(mu_): the shadow-complete RPC re-enters the REE
+  // scheduler, which may immediately issue the next takeover back into us.
+  void RetireFailedJob(uint64_t job_id, const Status& st, bool revert_tzasc)
+      TZLLM_EXCLUDES(mu_);
   // Records an issued-but-never-executed job's sequence number as dead and
   // advances next_exec_seq_ over every contiguous dead hole. Without this an
   // abandoned job would wedge the reorder defense: every later takeover
   // arrives with seq != next_exec_seq_ forever.
-  void MarkSeqDead(uint64_t seq);
+  void MarkSeqDeadLocked(uint64_t seq) TZLLM_REQUIRES(mu_);
   // 1-based fault ordinal of an issued job under the armed plan (ordinals
   // restart when the plan is armed).
-  uint64_t FaultOrdinal(uint64_t seq) const {
+  uint64_t FaultOrdinalLocked(uint64_t seq) const TZLLM_REQUIRES(mu_) {
     return seq > fault_seq_base_ ? seq - fault_seq_base_ : 0;
   }
 
   SocPlatform* platform_;
   TeeOs* tee_os_;
-  std::unordered_map<uint64_t, SecureJob> jobs_;
-  uint64_t next_job_id_ = 1;
-  uint64_t next_issue_seq_ = 1;
-  uint64_t next_exec_seq_ = 1;  // Expected execution order (anti-reorder).
+
+  mutable Mutex mu_;
+  std::unordered_map<uint64_t, SecureJob> jobs_ TZLLM_GUARDED_BY(mu_);
+  uint64_t next_job_id_ TZLLM_GUARDED_BY(mu_) = 1;
+  uint64_t next_issue_seq_ TZLLM_GUARDED_BY(mu_) = 1;
+  // Expected execution order (anti-reorder).
+  uint64_t next_exec_seq_ TZLLM_GUARDED_BY(mu_) = 1;
   // Sequence numbers of issued jobs retired without executing (abandoned,
   // or their takeover was rejected and the waiter gave up); next_exec_seq_
   // skips over contiguous dead prefixes so the queue keeps moving.
-  std::set<uint64_t> dead_seqs_;
-  uint64_t running_job_ = 0;    // 0 = none.
-  uint64_t secure_jobs_completed_ = 0;
-  uint64_t validation_failures_ = 0;
-  uint64_t total_matmuls_completed_ = 0;
-  uint64_t payload_failures_ = 0;
-  uint64_t jobs_abandoned_ = 0;
-  uint64_t jobs_recovered_ = 0;
-  uint64_t fallback_jobs_ = 0;
-  uint64_t fallback_matmuls_ = 0;
-  uint64_t injected_faults_ = 0;
-  NpuFaultPlan fault_plan_;
-  uint64_t fault_seq_base_ = 0;  // Issue seq when the plan was armed.
-  SimDuration total_config_time_ = 0;
-  SimDuration total_smc_time_ = 0;
-  SimDuration total_job_npu_time_ = 0;
-  SimDuration total_measured_switch_time_ = 0;
+  std::set<uint64_t> dead_seqs_ TZLLM_GUARDED_BY(mu_);
+  uint64_t running_job_ TZLLM_GUARDED_BY(mu_) = 0;  // 0 = none.
+  uint64_t secure_jobs_completed_ TZLLM_GUARDED_BY(mu_) = 0;
+  uint64_t validation_failures_ TZLLM_GUARDED_BY(mu_) = 0;
+  uint64_t total_matmuls_completed_ TZLLM_GUARDED_BY(mu_) = 0;
+  uint64_t payload_failures_ TZLLM_GUARDED_BY(mu_) = 0;
+  uint64_t jobs_abandoned_ TZLLM_GUARDED_BY(mu_) = 0;
+  uint64_t jobs_recovered_ TZLLM_GUARDED_BY(mu_) = 0;
+  uint64_t fallback_jobs_ TZLLM_GUARDED_BY(mu_) = 0;
+  uint64_t fallback_matmuls_ TZLLM_GUARDED_BY(mu_) = 0;
+  uint64_t injected_faults_ TZLLM_GUARDED_BY(mu_) = 0;
+  NpuFaultPlan fault_plan_ TZLLM_GUARDED_BY(mu_);
+  // Issue seq when the plan was armed.
+  uint64_t fault_seq_base_ TZLLM_GUARDED_BY(mu_) = 0;
+  SimDuration total_config_time_ TZLLM_GUARDED_BY(mu_) = 0;
+  SimDuration total_smc_time_ TZLLM_GUARDED_BY(mu_) = 0;
+  SimDuration total_job_npu_time_ TZLLM_GUARDED_BY(mu_) = 0;
+  SimDuration total_measured_switch_time_ TZLLM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tzllm

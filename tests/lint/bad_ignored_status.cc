@@ -1,0 +1,16 @@
+// tzlint fixture: seeded `ignored-status` violation. Checked with
+// --as src/core/evil_ta.cc; never compiled.
+
+namespace tzllm {
+
+class Status {};
+
+Status RekeySession();
+Status SealCheckpoint(int slot);
+
+void EvilShutdown() {
+  RekeySession();        // violation: Status silently dropped
+  SealCheckpoint(3);     // violation: Status silently dropped
+}
+
+}  // namespace tzllm

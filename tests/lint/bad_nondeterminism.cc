@@ -1,0 +1,18 @@
+// tzlint fixture: seeded `nondeterminism` violations. Checked with
+// --as src/llm/evil_sampler.cc (a bit-identity path); never compiled.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace tzllm {
+
+int EvilSample(int vocab) {
+  std::random_device rd;                                   // violation
+  std::srand(static_cast<unsigned>(std::time(nullptr)));   // two violations
+  const auto wall = std::chrono::system_clock::now();      // violation
+  (void)wall;
+  return rand() % vocab;                                   // violation
+}
+
+}  // namespace tzllm

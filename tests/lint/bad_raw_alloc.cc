@@ -1,0 +1,16 @@
+// tzlint fixture: seeded `raw-alloc` violations. Checked with
+// --as src/tee/evil_scratch.cc (TA code); never compiled.
+#include <cstdint>
+#include <cstdlib>
+
+namespace tzllm {
+
+uint8_t* EvilScratch(size_t n) {
+  uint8_t* a = new uint8_t[n];                        // violation: new[]
+  void* b = malloc(n);                                // violation: malloc
+  void* c = realloc(b, 2 * n);                        // violation: realloc
+  (void)c;
+  return a;
+}
+
+}  // namespace tzllm

@@ -1,0 +1,19 @@
+// tzlint fixture: seeded `tee-boundary` violations. Checked with
+// --as src/tee/evil_driver.cc (TEE code); never compiled.
+#include <cstdint>
+#include <vector>
+
+namespace tzllm {
+
+struct SmcArgs {
+  uint64_t a[8] = {};
+};
+
+void EvilRpc(SmcArgs& args, std::vector<uint8_t>& secret) {
+  // violation: pointer-to-integer cast smuggles a secure VA to the REE.
+  args.a[1] = reinterpret_cast<uint64_t>(secret.data());
+  // violation: address-of into an SMC register.
+  args.a[2] = (uint64_t)&secret;
+}
+
+}  // namespace tzllm

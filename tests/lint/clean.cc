@@ -1,0 +1,42 @@
+// tzlint fixture: a file subject to all four rules (checked with
+// --as src/core/clean.cc) that uses every *allowed* pattern — the checker
+// must exit 0 on it. Never compiled.
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace tzllm {
+
+class Status {};
+
+struct NpuJobDesc {
+  uint64_t cmd_addr = 0;
+  uint64_t cmd_size = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> buffers;
+};
+
+Status RekeySession();
+
+void CleanPath(NpuJobDesc& desc, uint64_t base) {
+  // steady_clock is the hybrid-timeline host clock: allowed.
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+  // Owned containers, not raw allocation: allowed.
+  auto buf = std::make_unique<uint8_t[]>(64);
+  std::vector<uint8_t> scratch(64);
+  (void)buf;
+  (void)scratch;
+  // The TZASC-validated channel: NpuJobDesc address fields. Allowed.
+  desc.cmd_addr = base + 0x1000;
+  desc.cmd_size = 64;
+  desc.buffers.emplace_back(base + 0x2000, 4096);
+  // Handled and explicitly-discarded Status: allowed.
+  const Status st = RekeySession();
+  (void)st;
+  (void)RekeySession();  // best-effort teardown; failure is unobservable
+  // Marker-suppressed line (the one legitimate escape hatch):
+  RekeySession();  // tzlint: allow(ignored-status) — fixture marker test
+}
+
+}  // namespace tzllm

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/tzlint.py (ctest: lint_tzlint_selftest).
+
+Runs the checker over the seeded-violation fixtures in this directory —
+each `--as` a virtual path inside the rule's scope — and asserts:
+  * every bad fixture exits nonzero and reports EXACTLY its seeded rule
+    (a stray second rule firing would mean a fixture or pattern bug);
+  * the clean fixture (all allowed patterns + a suppression marker) exits 0;
+  * results are identical with --no-libclang (the deterministic tokenizer
+    fallback is the contract; libclang is an optional precision upgrade).
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(os.path.dirname(HERE))
+TZLINT = os.path.join(ROOT, "scripts", "tzlint.py")
+
+# fixture file -> (virtual path, expected rule or None for clean).
+CASES = [
+    ("bad_nondeterminism.cc", "src/llm/evil_sampler.cc", "nondeterminism"),
+    ("bad_raw_alloc.cc", "src/tee/evil_scratch.cc", "raw-alloc"),
+    ("bad_tee_boundary.cc", "src/tee/evil_driver.cc", "tee-boundary"),
+    ("bad_ignored_status.cc", "src/core/evil_ta.cc", "ignored-status"),
+    ("clean.cc", "src/core/clean.cc", None),
+]
+
+RULE_TAG = re.compile(r"\[([a-z-]+)\]")
+
+
+def run_case(fixture, virtual, expected_rule, extra_flags):
+    cmd = [sys.executable, TZLINT, os.path.join(HERE, fixture),
+           "--as", virtual, "--root", ROOT] + extra_flags
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    label = f"{fixture} ({' '.join(extra_flags) or 'default'})"
+    fired = set(RULE_TAG.findall(proc.stdout))
+    if expected_rule is None:
+        if proc.returncode != 0:
+            return f"{label}: expected clean (exit 0), got {proc.returncode}:" \
+                   f"\n{proc.stdout}{proc.stderr}"
+    else:
+        if proc.returncode == 0:
+            return f"{label}: expected nonzero exit, got 0"
+        if fired != {expected_rule}:
+            return f"{label}: expected exactly rule {{{expected_rule}}}, " \
+                   f"got {sorted(fired)}:\n{proc.stdout}"
+    return None
+
+
+def main():
+    failures = []
+    for fixture, virtual, expected in CASES:
+        for flags in ([], ["--no-libclang"]):
+            err = run_case(fixture, virtual, expected, flags)
+            if err:
+                failures.append(err)
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        print(f"{len(failures)} case(s) failed")
+        return 1
+    print(f"all {2 * len(CASES)} tzlint self-test cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
