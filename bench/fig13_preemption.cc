@@ -115,10 +115,10 @@ GenerationResult UninterruptedReference() {
   return *out;
 }
 
-// Drives the active session to completion and returns its result.
-Result<GenerationResult> RunToCompletion(LlmTa* ta) {
-  while (!ta->session_done()) {
-    auto more = ta->StepSession(kBudget);
+// Drives the session to completion and returns its result.
+Result<GenerationResult> RunToCompletion(LlmTa* ta, SessionId sid) {
+  while (!ta->session_done(sid)) {
+    auto more = ta->StepSession(sid, kBudget);
     if (!more.ok()) {
       return more.status();
     }
@@ -126,7 +126,7 @@ Result<GenerationResult> RunToCompletion(LlmTa* ta) {
       break;
     }
   }
-  return ta->FinishSession();
+  return ta->FinishSession(sid);
 }
 
 SessionBenchResult MeasureSessionPreemption() {
@@ -142,25 +142,28 @@ SessionBenchResult MeasureSessionPreemption() {
       abort();
     }
     auto ta = runtime.CreateFunctionalTa();
-    if (!ta.ok() || !(*ta)->LoadModel(runtime.spec().config().name).ok() ||
-        !(*ta)->BeginSession(kPrompt, kBudget).ok() ||
-        !(*ta)->StepSession(kStepsBeforeCheckpoint).ok()) {
+    if (!ta.ok() || !(*ta)->LoadModel(runtime.spec().config().name).ok()) {
+      fprintf(stderr, "session setup failed\n");
+      abort();
+    }
+    auto sid = (*ta)->BeginSession(kPrompt, kBudget);
+    if (!sid.ok() || !(*ta)->StepSession(*sid, kStepsBeforeCheckpoint).ok()) {
       fprintf(stderr, "session setup failed\n");
       abort();
     }
     auto t0 = WallClock::now();
-    if (!(*ta)->CheckpointSession().ok()) {
+    if (!(*ta)->CheckpointSession(*sid).ok()) {
       fprintf(stderr, "checkpoint failed\n");
       abort();
     }
     out.checkpoint_ms = MsSince(t0);
     t0 = WallClock::now();
-    if (!(*ta)->RestoreSession().ok()) {
+    if (!(*ta)->RestoreSession(*sid).ok()) {
       fprintf(stderr, "restore failed\n");
       abort();
     }
     out.restore_ms = MsSince(t0);
-    auto resumed = RunToCompletion(ta->get());
+    auto resumed = RunToCompletion(ta->get(), *sid);
     out.tokens_identical =
         resumed.ok() && resumed->output_tokens == reference.output_tokens;
   }
@@ -173,15 +176,21 @@ SessionBenchResult MeasureSessionPreemption() {
     if (!runtime.Setup().ok()) {
       abort();
     }
+    SessionId crashed_sid = 0;
     {
       auto ta = runtime.CreateFunctionalTa();
-      if (!ta.ok() || !(*ta)->LoadModel(runtime.spec().config().name).ok() ||
-          !(*ta)->BeginSession(kPrompt, kBudget).ok() ||
-          !(*ta)->StepSession(kStepsBeforeCheckpoint).ok() ||
-          !(*ta)->CheckpointSession().ok() || !(*ta)->Unload().ok()) {
+      if (!ta.ok() || !(*ta)->LoadModel(runtime.spec().config().name).ok()) {
         fprintf(stderr, "crash-run setup failed\n");
         abort();
       }
+      auto sid = (*ta)->BeginSession(kPrompt, kBudget);
+      if (!sid.ok() ||
+          !(*ta)->StepSession(*sid, kStepsBeforeCheckpoint).ok() ||
+          !(*ta)->CheckpointSession(*sid).ok() || !(*ta)->Unload().ok()) {
+        fprintf(stderr, "crash-run setup failed\n");
+        abort();
+      }
+      crashed_sid = *sid;
     }
     auto ta2 = runtime.CreateFunctionalTa();
     if (!ta2.ok() || !(*ta2)->LoadModel(runtime.spec().config().name).ok()) {
@@ -189,12 +198,14 @@ SessionBenchResult MeasureSessionPreemption() {
       abort();
     }
     const auto t0 = WallClock::now();
-    if (!(*ta2)->RestoreSession().ok()) {
+    // The handle survives the crash: the sealed blob carries its id, so the
+    // fresh TA resumes the SAME session under the same handle.
+    if (!(*ta2)->RestoreSession(crashed_sid).ok()) {
       fprintf(stderr, "crash restore failed\n");
       abort();
     }
     out.crash_restore_ms = MsSince(t0);
-    auto resumed = RunToCompletion(ta2->get());
+    auto resumed = RunToCompletion(ta2->get(), crashed_sid);
     out.crash_tokens_identical =
         resumed.ok() && resumed->output_tokens == reference.output_tokens;
   }

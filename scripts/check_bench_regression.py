@@ -27,10 +27,18 @@ evict -> restore must resume with identical greedy tokens (same TA and
 fresh-TA crash restore), and the recovery-under-fault generation must
 complete with identical tokens.
 
+--serving mode guards BENCH_serving.json (fig18): batched decode at 4
+sessions must deliver >= 2x the single-session aggregate decode
+throughput (both measured in the same run, so the ratio is
+host-independent), every session's tokens must be bit-identical to its
+solo run, and the eviction-under-pressure scenario must have actually
+preempted and resumed with identical tokens.
+
 Usage:
   check_bench_regression.py <fresh.json> <committed-snapshot.json>
   check_bench_regression.py --fault <fresh.json>
   check_bench_regression.py --preemption <BENCH_preemption.json>
+  check_bench_regression.py --serving <BENCH_serving.json>
 """
 
 import json
@@ -154,17 +162,51 @@ def check_preemption(fresh):
     )
 
 
+def check_serving(fresh):
+    sessions = fresh["sessions"]
+    solo = sessions["1"]["aggregate_tok_s"]
+    at4 = sessions["4"]["aggregate_tok_s"]
+    if at4 < 2.0 * solo:
+        fail(
+            f"aggregate decode at 4 sessions ({at4:.1f} tok/s) is below 2x "
+            f"single-session ({solo:.1f} tok/s): batched decode stopped "
+            "amortizing the weight stream"
+        )
+    print(f"4-session aggregate {at4:.1f} tok/s >= 2x solo {solo:.1f}: OK")
+    if fresh.get("tokens_identical") is not True:
+        fail(
+            "batched-decode tokens diverged from the solo runs: the "
+            "bit-identity contract broke"
+        )
+    print("per-session tokens identical to solo: OK")
+    preemption = fresh.get("preemption", {})
+    if preemption.get("preemptions", 0) < 1:
+        fail(
+            "eviction-under-pressure scenario preempted nothing: the "
+            "priority eviction path went unexercised"
+        )
+    if preemption.get("tokens_identical") is not True:
+        fail("evictee tokens diverged after checkpoint/restore")
+    print(
+        f"eviction under pressure: {preemption['preemptions']} "
+        "preemption(s), evictee tokens identical: OK"
+    )
+
+
 def main():
     if len(sys.argv) == 3 and sys.argv[1] == "--fault":
         check_fault(load(sys.argv[2]))
     elif len(sys.argv) == 3 and sys.argv[1] == "--preemption":
         check_preemption(load(sys.argv[2]))
+    elif len(sys.argv) == 3 and sys.argv[1] == "--serving":
+        check_serving(load(sys.argv[2]))
     elif len(sys.argv) == 3:
         check_clean(load(sys.argv[1]), load(sys.argv[2]))
     else:
         fail(
             f"usage: {sys.argv[0]} <fresh.json> <committed.json> | "
-            "--fault <fresh.json> | --preemption <preemption.json>"
+            "--fault <fresh.json> | --preemption <preemption.json> | "
+            "--serving <serving.json>"
         )
     print("bench regression guard: all checks passed")
 

@@ -4,8 +4,8 @@
 Enforces invariants no stock tool knows about (README "Static analysis &
 invariants"):
 
-  nondeterminism   Bit-identity paths (src/llm/, src/core/) must not call
-                   nondeterminism primitives: rand()/srand(),
+  nondeterminism   Bit-identity paths (src/llm/, src/core/, src/serve/)
+                   must not call nondeterminism primitives: rand()/srand(),
                    std::random_device, system_clock, wall-clock time(),
                    gettimeofday(). Seeded DeterministicRng (common/rng.h)
                    and the simulated clock are the only entropy/time
@@ -59,7 +59,7 @@ REPO_MARKER = "ROADMAP.md"
 
 # Rule name -> repo-relative directory prefixes it applies to.
 RULE_SCOPES = {
-    "nondeterminism": ("src/llm/", "src/core/"),
+    "nondeterminism": ("src/llm/", "src/core/", "src/serve/"),
     "raw-alloc": ("src/tee/", "src/core/", "src/crypto/"),
     "tee-boundary": ("src/tee/", "src/core/", "src/crypto/"),
     "ignored-status": ("src/",),

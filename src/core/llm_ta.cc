@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <set>
 
 #include "src/common/log.h"
 #include "src/llm/cost_model.h"
@@ -31,6 +32,11 @@ Status LlmTa::LoadModel(const std::string& model_id, SchedulePolicy policy) {
   if (loaded_) {
     return FailedPrecondition("a model is already loaded");
   }
+  // Whole-configuration validation up front (EngineOptions::Validate is the
+  // one entry point — serving, NPU and fault knobs together), so every
+  // rejected configuration fails before a key is unwrapped or secure memory
+  // is allocated.
+  TZLLM_RETURN_IF_ERROR(engine_options_.Validate());
   model_id_ = model_id;
 
   // 1. Key: only the TEE can unwrap; only this TA is authorized.
@@ -52,40 +58,26 @@ Status LlmTa::LoadModel(const std::string& model_id, SchedulePolicy policy) {
   }
   spec_ = std::make_unique<ModelSpec>(ModelSpec::Create(meta_->config));
 
-  // 3. Scratch region for KV cache / activations (also hosts NPU job
-  //    execution contexts). Budgeted at the width the cache will actually
-  //    store: ModelSpec::KvCacheBytes accounts the default f16 arena, and
-  //    the f32 reference mode doubles it — accounted == resident in every
-  //    mode, not just the production one. NPU prefill adds the job
-  //    execution-context window (double-buffered cmd/iopt/in/out slots) at
-  //    the region tail, so CreateJob's TZASC validation passes exactly
-  //    because the budget covered it.
-  // Reference mode and prefill_batch <= 1 force the per-position CPU path
-  // (executor.cc), so NPU prefill is genuinely inert under them: no
-  // job-context budget, no backend, no NPU-rate pricing — accounted ==
-  // executed in those combinations too.
-  const bool npu_prefill_active = engine_options_.npu_prefill &&
-                                  !engine_options_.use_reference_kernels &&
-                                  engine_options_.prefill_batch > 1;
-  if (npu_prefill_active) {
+  // 3. Scratch region for the KV arena / activations (also hosts NPU job
+  //    execution contexts). Budgeted at the width the caches will actually
+  //    store: ModelSpec::KvCacheBytes accounts the default f16 arena, the
+  //    f32 reference mode doubles it, and serving multiplies it by
+  //    max_sessions — one full private slot per admissible session, plus a
+  //    vocab-size logits row each — so accounted == resident in every mode.
+  //    NPU prefill adds the job execution-context window (double-buffered
+  //    cmd/iopt/in/out slots) at the region tail, so CreateJob's TZASC
+  //    validation passes exactly because the budget covered it.
+  if (engine_options_.npu_prefill_active()) {
     if (npu_driver_ == nullptr) {
       return FailedPrecondition(
           "NPU prefill requested (EngineOptions::npu_prefill) but the "
           "platform has no NPU co-driver (RuntimeConfig::use_npu is off or "
           "TeeNpuDriver was not wired into this TA)");
     }
-    if (engine_options_.npu_job_timeout == 0) {
-      return InvalidArgument(
-          "EngineOptions::npu_job_timeout must be positive: a zero per-job "
-          "deadline would classify every NPU job as timed out");
-    }
-    if (engine_options_.npu_max_retries < 0) {
-      return InvalidArgument("EngineOptions::npu_max_retries must be >= 0");
-    }
     npu_ctx_bytes_ = NpuBackend::ContextBytes(*spec_, engine_options_);
-    // Fault-injection plan: the options string wins; otherwise the
-    // TZLLM_FAULT_PLAN environment variable (CI fault sweeps). A malformed
-    // options string is a configuration error, not a warning.
+    // Fault-injection plan: the options string wins (Validate() already
+    // vetted its syntax); otherwise the TZLLM_FAULT_PLAN environment
+    // variable (CI fault sweeps).
     NpuFaultPlan fault_plan;
     if (!engine_options_.npu_fault_plan.empty()) {
       auto parsed = NpuFaultPlan::Parse(engine_options_.npu_fault_plan);
@@ -104,10 +96,15 @@ Status LlmTa::LoadModel(const std::string& model_id, SchedulePolicy policy) {
   }
   const uint64_t kv_width_factor =
       KvStorageFor(engine_options_) == KvStorage::kF32 ? 2 : 1;
-  scratch_bytes_ =
-      AlignUp(spec_->KvCacheBytes(spec_->config().max_ctx) * kv_width_factor +
-                  spec_->ActivationBytes() + npu_ctx_bytes_ + 64 * kKiB,
-              kPageSize);
+  const uint64_t n_slots =
+      static_cast<uint64_t>(engine_options_.max_sessions);
+  scratch_bytes_ = AlignUp(
+      spec_->KvCacheBytes(spec_->config().max_ctx) * kv_width_factor *
+              n_slots +
+          spec_->ActivationBytes() +
+          n_slots * spec_->config().vocab_size * sizeof(float) +
+          npu_ctx_bytes_ + 64 * kKiB,
+      kPageSize);
   auto scratch =
       tee_os_->ExtendAllocated(ta_, SecureRegionId::kScratch, scratch_bytes_);
   if (!scratch.ok()) {
@@ -119,13 +116,15 @@ Status LlmTa::LoadModel(const std::string& model_id, SchedulePolicy policy) {
   // 4. Pipelined restoration with real side effects.
   TZLLM_RETURN_IF_ERROR(RestoreParameters(policy));
 
-  // 5. Framework state: tokenizer (checkpointable) + executor, with the
-  //    prefill backend seam wired to the NPU co-driver when requested.
+  // 5. Framework state: tokenizer (checkpointable), the per-session KV
+  //    arena, and the executor with the prefill backend seam wired to the
+  //    NPU co-driver when requested.
   tokenizer_ = std::make_unique<Tokenizer>(spec_->config().vocab_size);
   weights_ = std::make_unique<SecureWeightSource>(this);
-  kv_ = std::make_unique<KvCache>(*spec_, KvStorageFor(engine_options_),
-                                  KernelsFor(engine_options_));
-  if (npu_prefill_active) {
+  kv_arena_ = std::make_unique<KvArena>(*spec_, engine_options_.max_sessions,
+                                        KvStorageFor(engine_options_),
+                                        KernelsFor(engine_options_));
+  if (engine_options_.npu_prefill_active()) {
     NpuBackendConfig backend_config;
     backend_config.platform = platform_;
     backend_config.driver = npu_driver_;
@@ -262,104 +261,314 @@ Result<const uint8_t*> LlmTa::SecureWeightSource::TensorData(
   return static_cast<const uint8_t*>(slot->second.data());
 }
 
-Status LlmTa::BeginSession(const std::string& prompt, int max_new_tokens,
-                           const Sampler::Options& sampling) {
-  if (!loaded_) {
-    return FailedPrecondition("no model loaded");
+// --- Session bookkeeping. -------------------------------------------------
+
+LlmTa::Session* LlmTa::FindSession(SessionId sid) {
+  auto it = sessions_.find(sid);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+const LlmTa::Session* LlmTa::FindSession(SessionId sid) const {
+  auto it = sessions_.find(sid);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+Result<LlmTa::Session*> LlmTa::SoleSession() {
+  if (sessions_.empty()) {
+    return Status(ErrorCode::kFailedPrecondition, "no active session");
   }
-  if (session_.active) {
-    return FailedPrecondition(
-        "a generation session is already active (Finish it first)");
+  if (sessions_.size() > 1) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "legacy single-session call with several sessions open "
+                  "(pass a SessionId)");
+  }
+  return &sessions_.begin()->second;
+}
+
+bool LlmTa::SessionStopped(const Session& s) const {
+  if (s.done) {
+    return true;
+  }
+  if (!s.prefilled) {
+    return false;  // Still mid-prefill: there is work left, not a stop.
+  }
+  const KvCache* kv = kv_arena_->cache(s.slot);
+  return s.remaining == 0 || s.next_token == Tokenizer::kEos ||
+         kv->seq_len() >= spec_->config().max_ctx;
+}
+
+void LlmTa::CloseSession(Session* s) {
+  const Status released = kv_arena_->Release(s->slot);
+  if (!released.ok()) {
+    // Double-release can only mean corrupted bookkeeping; surface it loudly
+    // but don't mask the caller's path — the session entry goes either way.
+    TZLLM_LOG_ERROR("llm-ta", "session %llu slot release failed: %s",
+                    static_cast<unsigned long long>(s->sid),
+                    released.ToString().c_str());
+  }
+  sessions_.erase(s->sid);
+}
+
+// --- Handle-based session API. --------------------------------------------
+
+Result<SessionId> LlmTa::AdmitSession(const std::string& prompt,
+                                      int max_new_tokens,
+                                      const Sampler::Options& sampling) {
+  if (!loaded_) {
+    return Status(ErrorCode::kFailedPrecondition, "no model loaded");
   }
   if (max_new_tokens < 0) {
     return InvalidArgument("max_new_tokens must be >= 0");
+  }
+  if (engine_options_.max_sessions == 1 && !sessions_.empty()) {
+    // The legacy single-session contract, verbatim: a 1-slot TA refuses a
+    // second Begin as a precondition failure, not a capacity condition.
+    return Status(ErrorCode::kFailedPrecondition,
+                  "a generation session is already active (Finish it first)");
   }
   Session s;
   s.prompt_tokens = tokenizer_->Encode(prompt);
   if (s.prompt_tokens.empty()) {
     return InvalidArgument("empty prompt");
   }
-  kv_->Reset();
-  auto logits = executor_->Prefill(s.prompt_tokens, kv_.get());
-  if (!logits.ok()) {
-    return logits.status();
-  }
+  TZLLM_ASSIGN_OR_RETURN(slot, kv_arena_->Acquire());
+  s.sid = next_sid_++;
+  s.slot = slot;
+  // Mirror Prefill's dispatch exactly so the chunked prompt runs the same
+  // schedule the one-shot call would have.
+  s.per_position = engine_options_.use_reference_kernels ||
+                   engine_options_.prefill_batch <= 1 ||
+                   s.prompt_tokens.size() <= 1;
+  s.remaining = max_new_tokens;
   s.sampling = sampling;
   s.sampler = std::make_unique<Sampler>(sampling);
-  s.next_token = s.sampler->Sample(*logits);
-  s.remaining = max_new_tokens;
-  s.active = true;
-  session_ = std::move(s);
+  s.logits.resize(spec_->config().vocab_size);
+  const SessionId sid = s.sid;
+  sessions_.emplace(sid, std::move(s));
+  return sid;
+}
+
+Result<bool> LlmTa::PrefillSessionChunk(SessionId sid) {
+  Session* s = FindSession(sid);
+  if (s == nullptr) {
+    return Status(ErrorCode::kFailedPrecondition, "no active session");
+  }
+  if (s->prefilled) {
+    return true;
+  }
+  KvCache* kv = kv_arena_->cache(s->slot);
+  const int total = static_cast<int>(s->prompt_tokens.size());
+  const int quantum = std::max(1, engine_options_.prefill_batch);
+  const int m = std::min(quantum, total - s->prefill_pos);
+  const bool last = s->prefill_pos + m == total;
+  TZLLM_RETURN_IF_ERROR(executor_->PrefillChunk(
+      s->prompt_tokens.data() + s->prefill_pos, m, s->per_position, kv,
+      last ? s->logits.data() : nullptr));
+  s->prefill_pos += m;
+  if (last) {
+    s->prefilled = true;
+    s->next_token = s->sampler->Sample(s->logits);
+  }
+  return s->prefilled;
+}
+
+Result<SessionId> LlmTa::BeginSession(const std::string& prompt,
+                                      int max_new_tokens,
+                                      const Sampler::Options& sampling) {
+  TZLLM_ASSIGN_OR_RETURN(sid, AdmitSession(prompt, max_new_tokens, sampling));
+  // Run the whole prompt through in one go — the non-serving behavior. A
+  // failed prefill abandons the admission so the slot is not leaked.
+  for (;;) {
+    auto finished = PrefillSessionChunk(sid);
+    if (!finished.ok()) {
+      CloseSession(FindSession(sid));
+      return finished.status();
+    }
+    if (*finished) {
+      return sid;
+    }
+  }
+}
+
+Status LlmTa::DecodeSessions(const std::vector<SessionId>& sids) {
+  if (!loaded_) {
+    return FailedPrecondition("no model loaded");
+  }
+  if (sids.empty()) {
+    return OkStatus();
+  }
+  std::vector<Session*> batch;
+  batch.reserve(sids.size());
+  std::set<SessionId> seen;
+  for (SessionId sid : sids) {
+    Session* s = FindSession(sid);
+    if (s == nullptr) {
+      return FailedPrecondition("decode batch names an inactive session");
+    }
+    if (!s->prefilled) {
+      return FailedPrecondition(
+          "decode batch names a session still in prefill");
+    }
+    if (SessionStopped(*s)) {
+      return FailedPrecondition("decode batch names a finished session");
+    }
+    if (!seen.insert(sid).second) {
+      return InvalidArgument("decode batch lists a session twice");
+    }
+    batch.push_back(s);
+  }
+  // Groups of decode_batch sessions (0 = everything at once). Sessions are
+  // independent, so the grouping changes scheduling only, never a logit.
+  const int group = engine_options_.decode_batch > 0
+                        ? engine_options_.decode_batch
+                        : static_cast<int>(batch.size());
+  std::vector<TransformerExecutor::DecodeEntry> entries;
+  for (size_t off = 0; off < batch.size();
+       off += static_cast<size_t>(group)) {
+    const int n = static_cast<int>(
+        std::min(static_cast<size_t>(group), batch.size() - off));
+    entries.resize(n);
+    for (int i = 0; i < n; ++i) {
+      Session* s = batch[off + i];
+      // Same per-token order as the solo loop: emit, decode, then sample
+      // the successor below.
+      s->output_tokens.push_back(s->next_token);
+      entries[i].token = s->next_token;
+      entries[i].kv = kv_arena_->cache(s->slot);
+      entries[i].logits = s->logits.data();
+    }
+    TZLLM_RETURN_IF_ERROR(executor_->DecodeStepBatch(entries.data(), n));
+    for (int i = 0; i < n; ++i) {
+      Session* s = batch[off + i];
+      s->next_token = s->sampler->Sample(s->logits);
+      --s->remaining;
+    }
+  }
   return OkStatus();
 }
 
-bool LlmTa::session_done() const {
-  return session_.done || session_.remaining == 0 ||
-         session_.next_token == Tokenizer::kEos ||
-         (kv_ != nullptr && kv_->seq_len() >= spec_->config().max_ctx);
-}
-
-Result<int> LlmTa::StepSession(int max_steps) {
-  if (!session_.active) {
+Result<int> LlmTa::StepSession(SessionId sid, int max_steps) {
+  Session* s = FindSession(sid);
+  if (s == nullptr) {
     return Status(ErrorCode::kFailedPrecondition, "no active session");
+  }
+  // Finish any outstanding prefill first (a session restored mid-prefill
+  // resumes here).
+  while (!s->prefilled) {
+    auto finished = PrefillSessionChunk(sid);
+    if (!finished.ok()) {
+      return finished.status();
+    }
   }
   // Token-for-token the classic Generate loop: check stop conditions before
   // emitting, decode the emitted token, then sample its successor.
+  KvCache* kv = kv_arena_->cache(s->slot);
   int emitted = 0;
-  std::vector<float> next(spec_->config().vocab_size);
-  while (emitted < max_steps && session_.remaining > 0) {
-    if (session_.next_token == Tokenizer::kEos ||
-        kv_->seq_len() >= spec_->config().max_ctx) {
-      session_.done = true;
+  while (emitted < max_steps && s->remaining > 0) {
+    if (s->next_token == Tokenizer::kEos ||
+        kv->seq_len() >= spec_->config().max_ctx) {
+      s->done = true;
       break;
     }
-    session_.output_tokens.push_back(session_.next_token);
-    Status st =
-        executor_->DecodeStepInto(session_.next_token, kv_.get(), next.data());
-    if (!st.ok()) {
-      return st;
-    }
-    session_.next_token = session_.sampler->Sample(next);
-    --session_.remaining;
+    s->output_tokens.push_back(s->next_token);
+    TZLLM_RETURN_IF_ERROR(
+        executor_->DecodeStepInto(s->next_token, kv, s->logits.data()));
+    s->next_token = s->sampler->Sample(s->logits);
+    --s->remaining;
     ++emitted;
   }
   return emitted;
 }
 
-Result<GenerationResult> LlmTa::FinishSession() {
-  if (!session_.active) {
+Result<GenerationResult> LlmTa::FinishSession(SessionId sid) {
+  Session* s = FindSession(sid);
+  if (s == nullptr) {
     return Status(ErrorCode::kFailedPrecondition, "no active session");
   }
   GenerationResult result;
-  result.prompt_tokens = std::move(session_.prompt_tokens);
-  result.output_tokens = std::move(session_.output_tokens);
+  result.prompt_tokens = std::move(s->prompt_tokens);
+  result.output_tokens = std::move(s->output_tokens);
   result.text = tokenizer_->Decode(result.output_tokens);
-  session_ = Session{};
+  CloseSession(s);
   return result;
+}
+
+Status LlmTa::AbandonSession(SessionId sid) {
+  Session* s = FindSession(sid);
+  if (s == nullptr) {
+    return FailedPrecondition("no active session");
+  }
+  CloseSession(s);
+  return OkStatus();
 }
 
 Result<GenerationResult> LlmTa::Generate(const std::string& prompt,
                                          int max_new_tokens,
                                          const Sampler::Options& sampling) {
-  TZLLM_RETURN_IF_ERROR(BeginSession(prompt, max_new_tokens, sampling));
-  while (!session_done()) {
-    auto stepped = StepSession(session_.remaining);
+  TZLLM_ASSIGN_OR_RETURN(sid,
+                         BeginSession(prompt, max_new_tokens, sampling));
+  while (!session_done(sid)) {
+    auto stepped = StepSession(sid, FindSession(sid)->remaining);
     if (!stepped.ok()) {
-      session_ = Session{};  // Don't leave a half-dead session latched.
+      // Don't leave a half-dead session latched (or its KV slot leaked).
+      TZLLM_RETURN_IF_ERROR(AbandonSession(sid));
       return stepped.status();
     }
     if (*stepped == 0) {
       break;
     }
   }
-  return FinishSession();
+  return FinishSession(sid);
 }
+
+// --- Session queries. ------------------------------------------------------
+
+bool LlmTa::session_active(SessionId sid) const {
+  return FindSession(sid) != nullptr;
+}
+
+bool LlmTa::session_prefilled(SessionId sid) const {
+  const Session* s = FindSession(sid);
+  return s != nullptr && s->prefilled;
+}
+
+bool LlmTa::session_done(SessionId sid) const {
+  const Session* s = FindSession(sid);
+  return s == nullptr || SessionStopped(*s);
+}
+
+const std::vector<TokenId>& LlmTa::session_tokens(SessionId sid) const {
+  const Session* s = FindSession(sid);
+  return s != nullptr ? s->output_tokens : no_tokens_;
+}
+
+int LlmTa::free_session_slots() const {
+  return kv_arena_ != nullptr ? kv_arena_->free_slots() : 0;
+}
+
+bool LlmTa::session_done() const {
+  // The pre-redesign semantics: with no session open there is nothing left
+  // to step (the default-constructed session's budget was 0).
+  return sessions_.size() == 1
+             ? SessionStopped(sessions_.begin()->second)
+             : true;
+}
+
+const std::vector<TokenId>& LlmTa::session_tokens() const {
+  return sessions_.size() == 1 ? sessions_.begin()->second.output_tokens
+                               : no_tokens_;
+}
+
+// --- Session checkpoint / restore. -----------------------------------------
 
 namespace {
 
 // Session-blob primitives (little-endian, explicit widths — the same idiom
-// as the TZGUF metadata and KvCache snapshots).
-constexpr char kSessionMagic[8] = {'T', 'Z', 'S', 'E', 'S', 'S', '0', '1'};
+// as the TZGUF metadata and KvCache snapshots). TZSESS02 extends the
+// original TZSESS01 layout with the session id (right after the magic) and
+// the prefill progress (after `done`), so a session preempted mid-prefill
+// under the serving scheduler round-trips too.
+constexpr char kSessionMagic[8] = {'T', 'Z', 'S', 'E', 'S', 'S', '0', '2'};
 
 void PutU32(std::vector<uint8_t>* out, uint32_t v) {
   for (int i = 0; i < 4; ++i) {
@@ -398,72 +607,89 @@ bool GetU64(const std::vector<uint8_t>& in, size_t* off, uint64_t* v) {
 }
 
 // Session checkpoints live beside the framework checkpoint but in their own
-// flash file: "<model_id>.sess.ckpt".
+// flash files: the handle API seals to "<model_id>.sess.<sid>.ckpt" (one
+// file per session, so N evicted sessions coexist); the legacy no-argument
+// shims keep the original un-suffixed "<model_id>.sess.ckpt".
 std::string SessionCheckpointId(const std::string& model_id) {
   return model_id + ".sess";
 }
 
+std::string SessionCheckpointId(const std::string& model_id, SessionId sid) {
+  return model_id + ".sess." + std::to_string(sid);
+}
+
 }  // namespace
 
-Status LlmTa::CheckpointSession() {
-  if (!session_.active) {
-    return FailedPrecondition("no active session to checkpoint");
-  }
-  // assign (not insert-at-end on the empty vector): gcc 12 -O2 misanalyzes
-  // the char* range insert as a 1-byte-destination memcpy overflow.
-  std::vector<uint8_t> blob(kSessionMagic, kSessionMagic + sizeof(kSessionMagic));
-  PutU32(&blob, static_cast<uint32_t>(session_.prompt_tokens.size()));
-  for (TokenId t : session_.prompt_tokens) {
+Status LlmTa::SealSession(Session* s, const std::string& ckpt_id) {
+  // Range-construct (not insert-at-end on the empty vector): gcc 12 -O2
+  // misanalyzes the char* range insert as a 1-byte-destination memcpy
+  // overflow.
+  std::vector<uint8_t> blob(kSessionMagic,
+                            kSessionMagic + sizeof(kSessionMagic));
+  PutU64(&blob, s->sid);
+  PutU32(&blob, static_cast<uint32_t>(s->prompt_tokens.size()));
+  for (TokenId t : s->prompt_tokens) {
     PutU32(&blob, static_cast<uint32_t>(t));
   }
-  PutU32(&blob, static_cast<uint32_t>(session_.output_tokens.size()));
-  for (TokenId t : session_.output_tokens) {
+  PutU32(&blob, static_cast<uint32_t>(s->output_tokens.size()));
+  for (TokenId t : s->output_tokens) {
     PutU32(&blob, static_cast<uint32_t>(t));
   }
-  PutU32(&blob, static_cast<uint32_t>(session_.next_token));
-  PutU32(&blob, static_cast<uint32_t>(session_.remaining));
-  PutU32(&blob, session_.done ? 1 : 0);
+  PutU32(&blob, static_cast<uint32_t>(s->next_token));
+  PutU32(&blob, static_cast<uint32_t>(s->remaining));
+  PutU32(&blob, s->done ? 1 : 0);
+  PutU32(&blob, s->prefilled ? 1 : 0);
+  PutU32(&blob, static_cast<uint32_t>(s->prefill_pos));
   // Sampler options + RNG words: a restored non-greedy sampler must draw the
   // exact remaining sequence.
-  PutU32(&blob, session_.sampling.greedy ? 1 : 0);
-  PutU32(&blob, static_cast<uint32_t>(session_.sampling.top_k));
+  PutU32(&blob, s->sampling.greedy ? 1 : 0);
+  PutU32(&blob, static_cast<uint32_t>(s->sampling.top_k));
   uint64_t temp_bits = 0;
-  static_assert(sizeof(temp_bits) == sizeof(session_.sampling.temperature));
-  std::memcpy(&temp_bits, &session_.sampling.temperature, sizeof(temp_bits));
+  static_assert(sizeof(temp_bits) == sizeof(s->sampling.temperature));
+  std::memcpy(&temp_bits, &s->sampling.temperature, sizeof(temp_bits));
   PutU64(&blob, temp_bits);
-  PutU64(&blob, session_.sampling.seed);
+  PutU64(&blob, s->sampling.seed);
   uint64_t rng_state[4];
-  session_.sampler->SaveRngState(rng_state);
+  s->sampler->SaveRngState(rng_state);
   for (uint64_t word : rng_state) {
     PutU64(&blob, word);
   }
-  kv_->SerializeState(&blob);
+  kv_arena_->cache(s->slot)->SerializeState(&blob);
 
   CheckpointService checkpoints(&platform_->flash());
-  auto saved =
-      checkpoints.Save(SessionCheckpointId(model_id_), model_key_, blob);
+  auto saved = checkpoints.Save(ckpt_id, model_key_, blob);
   if (!saved.ok()) {
     return saved.status();
   }
+  const SessionId sid = s->sid;
   // Eviction: the sealed blob is now the only copy of the session — scrub
-  // the KV plaintext and drop the live state.
-  kv_->Scrub();
-  session_ = Session{};
-  TZLLM_LOG_INFO("llm-ta", "session checkpoint sealed (%llu bytes)",
+  // the KV plaintext, free the slot and drop the live state.
+  CloseSession(s);
+  TZLLM_LOG_INFO("llm-ta", "session %llu checkpoint sealed (%llu bytes)",
+                 static_cast<unsigned long long>(sid),
                  static_cast<unsigned long long>(*saved));
   return OkStatus();
 }
 
-Status LlmTa::RestoreSession() {
-  if (!loaded_) {
-    return FailedPrecondition("no model loaded");
+Status LlmTa::CheckpointSession(SessionId sid) {
+  Session* s = FindSession(sid);
+  if (s == nullptr) {
+    return FailedPrecondition("no active session to checkpoint");
   }
-  if (session_.active) {
-    return FailedPrecondition(
-        "a generation session is already active (Finish it first)");
+  return SealSession(s, SessionCheckpointId(model_id_, sid));
+}
+
+Status LlmTa::CheckpointSession() {
+  auto sole = SoleSession();
+  if (!sole.ok()) {
+    return sole.status();
   }
+  return SealSession(*sole, SessionCheckpointId(model_id_));
+}
+
+Result<SessionId> LlmTa::RestoreSessionBlob(const std::string& ckpt_id) {
   CheckpointService checkpoints(&platform_->flash());
-  auto blob = checkpoints.Restore(SessionCheckpointId(model_id_), model_key_);
+  auto blob = checkpoints.Restore(ckpt_id, model_key_);
   if (!blob.ok()) {
     return blob.status();
   }
@@ -489,11 +715,16 @@ Status LlmTa::RestoreSession() {
     return true;
   };
   Session s;
-  uint32_t next_token = 0, remaining = 0, done = 0, greedy = 0, top_k = 0;
+  uint64_t sid = 0;
+  uint32_t next_token = 0, remaining = 0, done = 0, prefilled = 0,
+           prefill_pos = 0, greedy = 0, top_k = 0;
   uint64_t temp_bits = 0, seed = 0, rng_state[4] = {};
-  bool ok = read_tokens(&s.prompt_tokens) && read_tokens(&s.output_tokens) &&
+  bool ok = GetU64(*blob, &off, &sid) && read_tokens(&s.prompt_tokens) &&
+            read_tokens(&s.output_tokens) &&
             GetU32(*blob, &off, &next_token) &&
             GetU32(*blob, &off, &remaining) && GetU32(*blob, &off, &done) &&
+            GetU32(*blob, &off, &prefilled) &&
+            GetU32(*blob, &off, &prefill_pos) &&
             GetU32(*blob, &off, &greedy) && GetU32(*blob, &off, &top_k) &&
             GetU64(*blob, &off, &temp_bits) && GetU64(*blob, &off, &seed);
   for (uint64_t& word : rng_state) {
@@ -502,9 +733,24 @@ Status LlmTa::RestoreSession() {
   if (!ok) {
     return Status(ErrorCode::kDataCorruption, "session checkpoint truncated");
   }
+  if (prefill_pos > s.prompt_tokens.size() ||
+      (prefilled != 0 && prefill_pos != s.prompt_tokens.size())) {
+    return Status(ErrorCode::kDataCorruption,
+                  "session checkpoint prefill marks are inconsistent");
+  }
+  if (sid == 0 || FindSession(sid) != nullptr) {
+    return FailedPrecondition(
+        "a session with this id is already active (Finish it first)");
+  }
+  s.sid = sid;
   s.next_token = static_cast<TokenId>(next_token);
   s.remaining = static_cast<int>(remaining);
   s.done = done != 0;
+  s.prefilled = prefilled != 0;
+  s.prefill_pos = static_cast<int>(prefill_pos);
+  s.per_position = engine_options_.use_reference_kernels ||
+                   engine_options_.prefill_batch <= 1 ||
+                   s.prompt_tokens.size() <= 1;
   s.sampling.greedy = greedy != 0;
   s.sampling.top_k = static_cast<int>(top_k);
   std::memcpy(&s.sampling.temperature, &temp_bits,
@@ -512,17 +758,83 @@ Status LlmTa::RestoreSession() {
   s.sampling.seed = seed;
   s.sampler = std::make_unique<Sampler>(s.sampling);
   s.sampler->LoadRngState(rng_state);
-  TZLLM_RETURN_IF_ERROR(
-      kv_->RestoreState(blob->data() + off, blob->size() - off));
-  s.active = true;
-  session_ = std::move(s);
+  s.logits.resize(spec_->config().vocab_size);
+  TZLLM_ASSIGN_OR_RETURN(slot, kv_arena_->Acquire());
+  s.slot = slot;
+  Status restored = kv_arena_->cache(slot)->RestoreState(
+      blob->data() + off, blob->size() - off);
+  if (!restored.ok()) {
+    const Status released = kv_arena_->Release(slot);
+    if (!released.ok()) {
+      TZLLM_LOG_ERROR("llm-ta", "slot release after failed restore: %s",
+                      released.ToString().c_str());
+    }
+    return restored;
+  }
+  next_sid_ = std::max(next_sid_, sid + 1);
+  sessions_.emplace(sid, std::move(s));
+  return sid;
+}
+
+Result<SessionId> LlmTa::RestoreSession(SessionId sid) {
+  if (!loaded_) {
+    return Status(ErrorCode::kFailedPrecondition, "no model loaded");
+  }
+  TZLLM_ASSIGN_OR_RETURN(
+      restored, RestoreSessionBlob(SessionCheckpointId(model_id_, sid)));
+  if (restored != sid) {
+    // The blob under this sid's file names another session: flash-level
+    // tampering or file mixup either way.
+    TZLLM_RETURN_IF_ERROR(AbandonSession(restored));
+    return Status(ErrorCode::kDataCorruption,
+                  "session checkpoint names a different session");
+  }
+  return sid;
+}
+
+Status LlmTa::RestoreSession() {
+  if (!loaded_) {
+    return FailedPrecondition("no model loaded");
+  }
+  if (!sessions_.empty()) {
+    return FailedPrecondition(
+        "a generation session is already active (Finish it first)");
+  }
+  auto sid = RestoreSessionBlob(SessionCheckpointId(model_id_));
+  if (!sid.ok()) {
+    return sid.status();
+  }
   return OkStatus();
+}
+
+bool LlmTa::HasSessionCheckpoint(SessionId sid) const {
+  CheckpointService checkpoints(&platform_->flash());
+  return !model_id_.empty() &&
+         checkpoints.Exists(SessionCheckpointId(model_id_, sid));
 }
 
 bool LlmTa::HasSessionCheckpoint() const {
   CheckpointService checkpoints(&platform_->flash());
   return !model_id_.empty() &&
          checkpoints.Exists(SessionCheckpointId(model_id_));
+}
+
+// --- Legacy single-session shims. ------------------------------------------
+
+Result<int> LlmTa::StepSession(int max_steps) {
+  auto sole = SoleSession();
+  if (!sole.ok()) {
+    return sole.status();
+  }
+  return StepSession((*sole)->sid, max_steps);
+}
+
+Result<GenerationResult> LlmTa::FinishSession() {
+  auto sole = SoleSession();
+  if (!sole.ok()) {
+    return sole.status();
+  }
+  return FinishSession((*sole)->sid);
 }
 
 Status LlmTa::Unload() {
@@ -548,8 +860,10 @@ Status LlmTa::Unload() {
     }
   }
   loaded_ = false;
+  sessions_.clear();
   executor_.reset();  // Before npu_backend_: the executor points into it.
   npu_backend_.reset();
+  kv_arena_.reset();
   weights_.reset();
   npu_ctx_bytes_ = 0;
   return OkStatus();

@@ -9,10 +9,16 @@
 // Everything an attacker-facing test wants to probe happens on real bytes
 // here; the paper-scale benchmarks use SystemRuntime instead (same control
 // flow, cost models only).
+//
+// Generation is handle-based: one TA admits up to EngineOptions::max_sessions
+// concurrent sessions, each identified by a SessionId and owning a private
+// KV-arena slot. The serving runtime (src/serve/) schedules across handles;
+// the legacy no-argument methods remain as documented single-session shims.
 
 #ifndef SRC_CORE_LLM_TA_H_
 #define SRC_CORE_LLM_TA_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -29,14 +35,21 @@
 
 namespace tzllm {
 
+// Handle for one generation session on an LlmTa. Ids are never reused within
+// a TA's lifetime (and survive checkpoint/restore — the sealed blob carries
+// its id), so a stale handle fails cleanly instead of touching a successor
+// session's state.
+using SessionId = uint64_t;
+
 class LlmTa {
  public:
-  // `engine_options` (thread count, prefill batching, NPU prefill) comes
-  // from RuntimeConfig::engine in the benchmark stacks. `npu_driver` is the
-  // secure co-driver data plane — the caller wires it iff the platform has
-  // an NPU (RuntimeConfig::use_npu); it is what RestoreParameters' plan and
-  // the prefill backend key "NPU available" off. EngineOptions::npu_prefill
-  // without a driver fails LoadModel with a clear Status.
+  // `engine_options` (thread count, prefill batching, NPU prefill, serving
+  // concurrency) comes from RuntimeConfig::engine in the benchmark stacks.
+  // `npu_driver` is the secure co-driver data plane — the caller wires it
+  // iff the platform has an NPU (RuntimeConfig::use_npu); it is what
+  // RestoreParameters' plan and the prefill backend key "NPU available" off.
+  // EngineOptions::npu_prefill without a driver fails LoadModel with a clear
+  // Status.
   LlmTa(SocPlatform* platform, TeeOs* tee_os, TzDriver* tz_driver,
         const EngineOptions& engine_options = {},
         TeeNpuDriver* npu_driver = nullptr);
@@ -47,7 +60,9 @@ class LlmTa {
   Status Attach();
 
   // Cold start for `model_id` (must be provisioned on flash, key installed
-  // and authorized): restores all parameters through the pipeline.
+  // and authorized): validates the engine configuration
+  // (EngineOptions::Validate), budgets the secure scratch region for
+  // max_sessions KV slots, and restores all parameters through the pipeline.
   Status LoadModel(const std::string& model_id,
                    SchedulePolicy policy = SchedulePolicy::kPriorityPreemptive);
 
@@ -58,61 +73,122 @@ class LlmTa {
                                     int max_new_tokens,
                                     const Sampler::Options& sampling = {});
 
-  // --- Incremental generation sessions (checkpoint/evict/restore). ---
+  // --- Handle-based generation sessions. --------------------------------
   //
   // A session is the paper's preemptible inference unit: prefill runs at
-  // Begin, decode advances in Step increments, and at any point between
-  // steps the full generation state (KV arena, sampler RNG, position and
-  // budget) can be sealed to flash, the secure memory evicted, and the
-  // session restored later — on this TA or a freshly booted one — resuming
-  // with exactly the tokens the uninterrupted run would have produced.
+  // Begin (or chunk-by-chunk under the serving scheduler), decode advances
+  // in Step increments, and at any point between steps the full generation
+  // state (KV slot, sampler RNG, position, budget, prefill progress) can be
+  // sealed to flash, the secure memory evicted, and the session restored
+  // later — on this TA or a freshly booted one — resuming with exactly the
+  // tokens the uninterrupted run would have produced.
 
-  // Tokenizes `prompt`, runs prefill, and samples the first token. Fails
-  // FailedPrecondition if a session is already active (Finish or Abandon it
-  // first).
-  Status BeginSession(const std::string& prompt, int max_new_tokens,
-                      const Sampler::Options& sampling = {});
+  // Tokenizes `prompt`, claims a KV-arena slot, runs the full prefill and
+  // samples the first token. kResourceExhausted when every session slot is
+  // live; with max_sessions == 1 a second Begin keeps the legacy
+  // FailedPrecondition("a generation session is already active") semantics.
+  Result<SessionId> BeginSession(const std::string& prompt, int max_new_tokens,
+                                 const Sampler::Options& sampling = {});
 
-  // Advances the active session by up to `max_steps` decode steps (capped by
-  // the session's remaining token budget, EOS, and the context window).
-  // Returns the number of tokens emitted; 0 means the session is finished.
-  Result<int> StepSession(int max_steps);
+  // BeginSession minus the prefill: admits the session (tokenize + slot
+  // claim) with the prompt not yet run. The serving scheduler's entry point
+  // — it advances admitted prompts with PrefillSessionChunk so prefill
+  // interleaves with other sessions' decode instead of blocking them.
+  Result<SessionId> AdmitSession(const std::string& prompt, int max_new_tokens,
+                                 const Sampler::Options& sampling = {});
 
-  // Completes the active session and returns its GenerationResult.
-  Result<GenerationResult> FinishSession();
+  // Advances an admitted session's prompt by one chunk of up to
+  // prefill_batch positions (the serving quantum). Chunk boundaries are
+  // exactly ForwardPrompt's, so the chunked prompt lands bit-identical KV
+  // rows and first-token logits to the one-shot BeginSession. Returns true
+  // once the prompt is fully in and the first token is sampled; true
+  // immediately (no-op) on an already-prefilled session.
+  Result<bool> PrefillSessionChunk(SessionId sid);
 
-  // True while BeginSession has an unfinished session open.
-  bool session_active() const { return session_.active; }
-  // True once the session hit EOS / the context window / its token budget.
-  bool session_done() const;
-  // Tokens emitted so far by the active session.
-  const std::vector<TokenId>& session_tokens() const {
-    return session_.output_tokens;
-  }
+  // One batched decode step advancing EVERY listed session by one token:
+  // per layer one MatMatQ8 over all their current positions (weights stream
+  // once per step) with per-session attention — per-session bit-identical
+  // to stepping each alone. Groups of EngineOptions::decode_batch (0 = all
+  // at once). Every listed session must be prefilled and not done; sessions
+  // must be distinct.
+  Status DecodeSessions(const std::vector<SessionId>& sids);
 
-  // Seals the active session's complete generation state (prompt/output
-  // tokens, next sampled token, remaining budget, sampler options + RNG
-  // words, KV cache contents) to flash, encrypted and integrity-tagged
-  // under the model key, then evicts it: the KV arena is scrubbed and the
-  // session deactivated. Crash-consistent: the blob is self-contained, so a
-  // RestoreSession on a brand-new TA (same model) resumes identically.
-  Status CheckpointSession();
+  // Advances one session by up to `max_steps` decode steps (capped by the
+  // session's remaining token budget, EOS, and the context window). Runs
+  // any unfinished prefill to completion first. Returns the number of
+  // tokens emitted; 0 means the session is finished.
+  Result<int> StepSession(SessionId sid, int max_steps);
 
-  // Restores the most recent CheckpointSession blob for this model and
-  // reactivates the session mid-generation. kDataCorruption if the blob was
+  // Completes the session and returns its GenerationResult; the KV slot is
+  // scrubbed and released.
+  Result<GenerationResult> FinishSession(SessionId sid);
+
+  // Drops the session without a result (failed or cancelled requests): the
+  // KV slot is scrubbed and released, nothing is sealed to flash.
+  Status AbandonSession(SessionId sid);
+
+  // Seals the session's complete generation state (prompt/output tokens,
+  // next sampled token, remaining budget, prefill progress, sampler options
+  // + RNG words, KV slot contents) to flash under
+  // "<model_id>.sess.<sid>.ckpt", encrypted and integrity-tagged under the
+  // model key, then evicts it: the KV slot is scrubbed and released and the
+  // handle becomes inactive. Crash-consistent: the blob is self-contained
+  // (it carries the sid), so RestoreSession on a brand-new TA (same model)
+  // resumes identically.
+  Status CheckpointSession(SessionId sid);
+
+  // Restores the sealed checkpoint for `sid` and reactivates it
+  // mid-generation under the same handle. kDataCorruption if the blob was
   // tampered with on flash; InvalidArgument if it belongs to a different
-  // model geometry.
+  // model geometry; kResourceExhausted when no KV slot is free (evict
+  // something first).
+  Result<SessionId> RestoreSession(SessionId sid);
+
+  // True if a sealed checkpoint for `sid` exists on flash.
+  bool HasSessionCheckpoint(SessionId sid) const;
+
+  // Session queries. A handle that was finished, abandoned or evicted is no
+  // longer active; session_done on it reports true (nothing left to step).
+  bool session_active(SessionId sid) const;
+  bool session_prefilled(SessionId sid) const;
+  bool session_done(SessionId sid) const;
+  const std::vector<TokenId>& session_tokens(SessionId sid) const;
+  int open_sessions() const { return static_cast<int>(sessions_.size()); }
+  // Free KV-arena slots = sessions that can still be admitted or restored.
+  int free_session_slots() const;
+
+  // --- Legacy single-session surface (shims). ---------------------------
+  //
+  // The pre-serving API: no handles, one implicit session. Each shim
+  // requires EXACTLY one open session (FailedPrecondition otherwise) and
+  // forwards to it; the no-argument checkpoint methods use the original
+  // un-suffixed flash id "<model_id>.sess.ckpt" so pre-redesign checkpoints
+  // stay restorable. New code should pass SessionIds.
+
+  Result<int> StepSession(int max_steps);
+  Result<GenerationResult> FinishSession();
+  Status CheckpointSession();
   Status RestoreSession();
-
-  // True if a sealed session checkpoint for this model exists on flash.
   bool HasSessionCheckpoint() const;
+  // True while any session is open.
+  bool session_active() const { return !sessions_.empty(); }
+  // The sole open session's done state; true with none open (nothing to
+  // step — the pre-redesign idle behavior).
+  bool session_done() const;
+  // The sole open session's emitted tokens; empty with none open.
+  const std::vector<TokenId>& session_tokens() const;
 
-  // Releases all secure memory (scrubbed by the TEE OS).
+  // Releases all secure memory (scrubbed by the TEE OS); open sessions are
+  // dropped with it.
   Status Unload();
 
   const PipelineResult& restore_result() const { return restore_result_; }
   const ModelSpec& spec() const { return *spec_; }
   TeeOs& tee_os() { return *tee_os_; }
+  const EngineOptions& engine_options() const { return engine_options_; }
+  // The per-session KV slots (sized by EngineOptions::max_sessions).
+  // nullptr before LoadModel.
+  const KvArena* kv_arena() const { return kv_arena_.get(); }
 
   // Weight source reading decrypted tensors out of the protected region
   // through TA mappings. Exposed for tests.
@@ -128,21 +204,42 @@ class LlmTa {
 
  private:
   // Live state of an in-progress generation session. Everything here plus
-  // the KvCache contents is exactly what CheckpointSession serializes.
+  // the KV slot contents is exactly what CheckpointSession serializes
+  // (per_position and logits are derived/scratch, recomputed on restore).
   struct Session {
-    bool active = false;
-    bool done = false;  // EOS or context window reached.
+    SessionId sid = 0;
+    int slot = -1;             // KV-arena slot index.
+    bool prefilled = false;    // Prompt fully in; next_token sampled.
+    int prefill_pos = 0;       // Prompt positions already through the model.
+    bool per_position = false; // Prefill path (mirrors Prefill's dispatch).
+    bool done = false;         // EOS or context window reached.
     std::vector<TokenId> prompt_tokens;
     std::vector<TokenId> output_tokens;
-    TokenId next_token = 0;  // Sampled but not yet emitted/decoded.
-    int remaining = 0;       // Token budget left.
+    TokenId next_token = 0;    // Sampled but not yet emitted/decoded.
+    int remaining = 0;         // Token budget left.
     Sampler::Options sampling;
     std::unique_ptr<Sampler> sampler;
+    std::vector<float> logits; // vocab_size scratch row for this session.
   };
 
   Status RestoreParameters(SchedulePolicy policy);
   Status LoadExtent(uint64_t offset, uint64_t bytes);
   Status DecryptExtent(uint64_t offset, uint64_t bytes);
+
+  Session* FindSession(SessionId sid);
+  const Session* FindSession(SessionId sid) const;
+  // The sole open session, for the legacy shims; FailedPrecondition with
+  // zero or several open.
+  Result<Session*> SoleSession();
+  bool SessionStopped(const Session& s) const;
+  // Releases the session's KV slot (scrubbed) and erases it.
+  void CloseSession(Session* s);
+  // CheckpointSession body against an explicit flash id (the legacy shim
+  // passes the un-suffixed id; the handle API the per-sid one).
+  Status SealSession(Session* s, const std::string& ckpt_id);
+  // RestoreSession body: unseal, parse, claim a slot, reactivate under the
+  // blob's own sid.
+  Result<SessionId> RestoreSessionBlob(const std::string& ckpt_id);
 
   SocPlatform* platform_;
   TeeOs* tee_os_;
@@ -157,13 +254,19 @@ class LlmTa {
   std::unique_ptr<ModelSpec> spec_;
   std::unique_ptr<Tokenizer> tokenizer_;
   std::unique_ptr<SecureWeightSource> weights_;
-  std::unique_ptr<KvCache> kv_;
+  // Per-session KV slots (max_sessions of them), all budgeted into the
+  // secure scratch region at load.
+  std::unique_ptr<KvArena> kv_arena_;
   // NPU prefill backend (engine_options_.npu_prefill): job execution
   // contexts live in the tail of the scratch region, which the scratch
   // budget covers. Must outlive executor_, which holds a raw pointer.
   std::unique_ptr<NpuBackend> npu_backend_;
   std::unique_ptr<TransformerExecutor> executor_;
-  Session session_;
+  // Open sessions by id. std::map: the serving scheduler and Unload iterate
+  // it, and iteration order must be deterministic.
+  std::map<SessionId, Session> sessions_;
+  SessionId next_sid_ = 1;
+  const std::vector<TokenId> no_tokens_;
   PipelineResult restore_result_;
   uint64_t scratch_bytes_ = 0;
   uint64_t npu_ctx_bytes_ = 0;

@@ -1,0 +1,43 @@
+#include "src/llm/engine_options.h"
+
+#include "src/hw/npu.h"
+
+namespace tzllm {
+
+Status EngineOptions::Validate() const {
+  // Serving group: these shape the KV arena and the scheduler, so a bad
+  // value must fail the load, not surface as a mis-sized scratch region.
+  if (max_sessions < 1) {
+    return InvalidArgument(
+        "EngineOptions::max_sessions must be >= 1 (the KV arena needs at "
+        "least one session slot)");
+  }
+  if (decode_batch < 0) {
+    return InvalidArgument(
+        "EngineOptions::decode_batch must be >= 0 (0 = all running sessions "
+        "in one batch)");
+  }
+
+  // NPU / fault groups apply only when the configuration actually routes
+  // prefill to the NPU backend; inert combinations (reference kernels,
+  // per-position prefill) stay valid whatever the NPU knobs say.
+  if (npu_prefill_active()) {
+    if (npu_job_timeout == 0) {
+      return InvalidArgument(
+          "EngineOptions::npu_job_timeout must be positive: a zero per-job "
+          "deadline would classify every NPU job as timed out");
+    }
+    if (npu_max_retries < 0) {
+      return InvalidArgument("EngineOptions::npu_max_retries must be >= 0");
+    }
+    if (!npu_fault_plan.empty()) {
+      auto parsed = NpuFaultPlan::Parse(npu_fault_plan);
+      if (!parsed.ok()) {
+        return parsed.status();
+      }
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace tzllm

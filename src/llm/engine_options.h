@@ -1,6 +1,13 @@
 // Knobs for the functional inference engine, threaded from RuntimeConfig
 // down through LlmTa / LlmEngine to the TransformerExecutor so benchmarks
-// can sweep thread counts and prefill batching.
+// can sweep thread counts, prefill batching, NPU offload and serving
+// concurrency.
+//
+// The knobs are grouped (kernel, npu, fault, serving) and validated by ONE
+// entry point — EngineOptions::Validate() — instead of scattered per-knob
+// checks in LoadModel / llm_ta.cc: a configuration either passes Validate()
+// or the load fails with a clear InvalidArgument before any secure memory
+// is touched.
 
 #ifndef SRC_LLM_ENGINE_OPTIONS_H_
 #define SRC_LLM_ENGINE_OPTIONS_H_
@@ -9,12 +16,27 @@
 #include <string>
 #include <thread>
 
+#include "src/common/status.h"
 #include "src/common/units.h"
 #include "src/llm/kv_cache.h"
 
 namespace tzllm {
 
+// What the serving runtime does when a more urgent request arrives and
+// every session slot is occupied (src/serve/serving.h).
+enum class ServeEvictPolicy : uint8_t {
+  // Never preempt: urgent requests wait for a slot to free up naturally.
+  kNone = 0,
+  // Checkpoint the least-urgent *running* session to flash (the PR 6
+  // CheckpointSession primitive), hand its slot to the more urgent request,
+  // and re-queue the victim at its original priority — restored later with
+  // bit-identical resumption.
+  kPriority = 1,
+};
+
 struct EngineOptions {
+  // --- Kernel group: where and how the CPU math runs. -------------------
+
   // CPU lanes for the kernel pool; 1 = no pool, fully single-threaded;
   // 0 = auto (all hardware threads). Always clamped to the machine's
   // hardware concurrency at executor construction (ResolvedThreads):
@@ -23,7 +45,9 @@ struct EngineOptions {
   // the hardware is treated as "use everything", not honored literally.
   int n_threads = 1;
   // Positions per batched-prefill chunk (MatMatQ8 weight reuse); <= 1 falls
-  // back to the per-position path.
+  // back to the per-position path. Also the serving runtime's prefill
+  // scheduling quantum: each scheduler tick advances one admitted session
+  // by one chunk of this many positions.
   int prefill_batch = 32;
   // Runs the seed's scalar float-activation kernels and per-call RoPE — the
   // performance/numerics baseline the benches and parity tests compare
@@ -44,6 +68,9 @@ struct EngineOptions {
   // instrumentation; off by default so production decode takes no clock
   // reads).
   bool collect_stats = false;
+
+  // --- NPU group: secure co-driver prefill offload. ---------------------
+
   // Routes the batched-prefill matmuls through the secure NPU co-driver
   // (the ComputeBackend seam): each chunk's QKV/FFN matmuls become
   // TZASC-validated NpuJobDesc execution contexts submitted via
@@ -55,7 +82,7 @@ struct EngineOptions {
   // and the fused layer-tail's norm/silu glue must match the CPU path
   // exactly), so the combination never changes a logit. Inert under
   // use_reference_kernels or prefill_batch <= 1, which force the
-  // per-position CPU path.
+  // per-position CPU path (see npu_prefill_active()).
   bool npu_prefill = false;
   // Fuses each chunk-layer's matmul group into one secure NPU job (QKV as
   // one job; the whole post-attention segment — Wo + residual + FFN norm +
@@ -69,8 +96,11 @@ struct EngineOptions {
   // schedule (submit, then immediately await) on the same backend — the
   // {serial, pipelined} axis of the fault-recovery test matrix.
   bool npu_pipeline = true;
+
+  // --- Fault group: NPU failure injection and recovery. -----------------
+
   // Per-job wait deadline for secure NPU jobs, on the virtual clock. Must
-  // be positive when NPU prefill is active: LoadModel / the backend reject
+  // be positive when NPU prefill is active: Validate() / the backend reject
   // non-positive values with InvalidArgument (a zero deadline would mean
   // "wait forever", which a lost job turns into a hang).
   SimDuration npu_job_timeout = 2000 * kMillisecond;
@@ -88,9 +118,44 @@ struct EngineOptions {
   // Deterministic fault plan ("payload@5", "timeout@3x2", "ctx@1",
   // "submit@4" — see NpuFaultPlan::Parse). Empty = fall back to the
   // TZLLM_FAULT_PLAN environment variable (the CI fault-sweep hook); both
-  // empty = no injection. A malformed plan string fails LoadModel with
+  // empty = no injection. A malformed plan string fails Validate() with
   // InvalidArgument.
   std::string npu_fault_plan;
+
+  // --- Serving group: multi-session concurrency (src/serve/). -----------
+
+  // Concurrent generation sessions one LlmTa admits: the KV arena holds
+  // this many per-session cache slots (all budgeted into the secure scratch
+  // region at load), and BeginSession/AdmitSession beyond it fails with
+  // kResourceExhausted. 1 keeps the single-session footprint and the
+  // legacy "exactly one open session" semantics.
+  int max_sessions = 1;
+  // Sessions per batched decode step (one MatMatQ8 over all their current
+  // positions per layer, so weights stream once per step regardless of
+  // batch size). 0 = all running sessions in one batch. The scheduler
+  // splits larger running sets into groups of this size.
+  int decode_batch = 0;
+  // Under-pressure eviction policy for the serving runtime's admission
+  // queue.
+  ServeEvictPolicy serve_eviction = ServeEvictPolicy::kPriority;
+
+  // True exactly when this configuration routes prefill to the NPU backend
+  // (reference kernels and prefill_batch <= 1 force the per-position CPU
+  // path, making npu_prefill genuinely inert) — THE predicate LoadModel
+  // budgets job contexts with, and the one Validate() gates the NPU/fault
+  // knob checks on, so there is no second spelling to drift.
+  bool npu_prefill_active() const {
+    return npu_prefill && !use_reference_kernels && prefill_batch > 1;
+  }
+
+  // Validates the whole configuration, cross-knob effects included
+  // (NPU/fault checks apply only when npu_prefill_active()). The single
+  // validation entry point: LoadModel calls this once instead of scattering
+  // per-knob checks, so every rejected configuration fails before secure
+  // memory is allocated. Does NOT check driver wiring (that is runtime
+  // state, not configuration — LoadModel still verifies the co-driver is
+  // present when NPU prefill is active).
+  Status Validate() const;
 };
 
 // The thread count an engine configured with `options` actually runs:

@@ -664,4 +664,149 @@ Result<std::vector<float>> TransformerExecutor::DecodeStep(TokenId token,
   return logits;
 }
 
+Status TransformerExecutor::DecodeStepBatch(const DecodeEntry* entries,
+                                            int n) {
+  TZLLM_RETURN_IF_ERROR(init_status_);
+  if (entries == nullptr || n <= 0) {
+    return InvalidArgument("empty decode batch");
+  }
+  if (n == 1 || options_.use_reference_kernels) {
+    // A single session gains nothing from the MatMat path, and a reference
+    // engine must stay on the seed per-position kernels (no mixed numerics);
+    // both route through the solo step, so one-session serving IS solo
+    // decode, not a claim about it.
+    for (int i = 0; i < n; ++i) {
+      TZLLM_RETURN_IF_ERROR(
+          DecodeStepInto(entries[i].token, entries[i].kv, entries[i].logits));
+    }
+    return OkStatus();
+  }
+  const LlmConfig& c = spec_->config();
+  const int d = c.d_model;
+  const int kv_dim = c.kv_dim();
+  for (int i = 0; i < n; ++i) {
+    if (entries[i].kv == nullptr || entries[i].logits == nullptr) {
+      return InvalidArgument("decode batch entry missing its cache or logits");
+    }
+    if (entries[i].kv->seq_len() >= c.max_ctx) {
+      return ResourceExhausted("KV cache full (context length exceeded)");
+    }
+  }
+  EnsureWorkspace(n);
+  for (int i = 0; i < n; ++i) {
+    TZLLM_RETURN_IF_ERROR(
+        EmbedToken(entries[i].token, hiddens_.data() + i * d));
+  }
+
+  for (int l = 0; l < c.n_layers; ++l) {
+    // --- Attention block: all n sessions share each weight pass. ---
+    TZLLM_ASSIGN_OR_RETURN(w_norm, Weights(TensorRole::kAttnNorm, l));
+    for (int i = 0; i < n; ++i) {
+      kernels_->rms_norm(hiddens_.data() + i * d,
+                         reinterpret_cast<const float*>(w_norm),
+                         norm_.data() + i * d, d);
+    }
+    acts_.QuantizeRows(norm_.data(), n, d);
+
+    TZLLM_ASSIGN_OR_RETURN(wq, Weights(TensorRole::kWq, l));
+    TZLLM_ASSIGN_OR_RETURN(wk, Weights(TensorRole::kWk, l));
+    TZLLM_ASSIGN_OR_RETURN(wv, Weights(TensorRole::kWv, l));
+    const MatMatOp qkv[] = {
+        {wq, static_cast<uint64_t>(d), q_.data()},
+        {wk, static_cast<uint64_t>(kv_dim), k_.data()},
+        {wv, static_cast<uint64_t>(kv_dim), v_.data()}};
+    TZLLM_ASSIGN_OR_RETURN(qkv_ticket,
+                           cpu_backend_->SubmitMatMatGroup(qkv, 3, acts_));
+    TZLLM_RETURN_IF_ERROR(cpu_backend_->Await(qkv_ticket));
+
+    // Per-session RoPE, KV append and attention: each row rotates at ITS
+    // cache's current position and attends only against its own cache —
+    // exactly the solo step's m=1 Attend call (same work partition, same
+    // inline/pool threshold), so batching cannot mix sessions or move a
+    // float. Entries must reference distinct caches; seq_len() only
+    // advances at FinishPosition below, so a duplicated cache would stack
+    // two appends on one position.
+    for (int i = 0; i < n; ++i) {
+      const int pos = entries[i].kv->seq_len();
+      Rope(q_.data() + i * d, c.n_heads, pos);
+      Rope(k_.data() + i * kv_dim, c.n_kv_heads, pos);
+      TZLLM_RETURN_IF_ERROR(entries[i].kv->Append(
+          l, k_.data() + i * kv_dim, v_.data() + i * kv_dim));
+      Attend(l, pos, /*m=*/1, q_.data() + i * d, attn_.data() + i * d,
+             *entries[i].kv);
+    }
+
+    // --- Post-attention segment, one fused pass over all n rows. ---
+    acts_.QuantizeRows(attn_.data(), n, d);
+    TZLLM_ASSIGN_OR_RETURN(
+        tail, BuildLayerTail(l, n, hiddens_.data(), proj_.data(),
+                             norm_.data(), gate_.data(), up_.data(),
+                             down_.data(), &acts_));
+    TZLLM_ASSIGN_OR_RETURN(tail_ticket,
+                           cpu_backend_->SubmitLayerTail(tail, acts_));
+    TZLLM_RETURN_IF_ERROR(cpu_backend_->Await(tail_ticket));
+  }
+
+  for (int i = 0; i < n; ++i) {
+    entries[i].kv->FinishPosition();
+  }
+  // One shared LM-head pass: norm every session's hidden row, quantize them
+  // together, and stream the vocabulary weights ONCE for the whole batch
+  // (per-session LogitsInto would re-read the largest matrix in the model n
+  // times per step). Each row norms, quantizes and dots independently —
+  // bit-identical to the solo logits path, like every other batched matmul
+  // in this step.
+  TZLLM_ASSIGN_OR_RETURN(w_out_norm, Weights(TensorRole::kOutputNorm, -1));
+  for (int i = 0; i < n; ++i) {
+    kernels_->rms_norm(hiddens_.data() + i * d,
+                       reinterpret_cast<const float*>(w_out_norm),
+                       norm_.data() + i * d, d);
+  }
+  acts_.QuantizeRows(norm_.data(), n, d);
+  TZLLM_ASSIGN_OR_RETURN(w_head, Weights(TensorRole::kLmHead, -1));
+  logits_rows_.resize(static_cast<size_t>(n) * c.vocab_size);
+  const MatMatOp lm[] = {
+      {w_head, static_cast<uint64_t>(c.vocab_size), logits_rows_.data()}};
+  TZLLM_ASSIGN_OR_RETURN(lm_ticket,
+                         cpu_backend_->SubmitMatMatGroup(lm, 1, acts_));
+  TZLLM_RETURN_IF_ERROR(cpu_backend_->Await(lm_ticket));
+  for (int i = 0; i < n; ++i) {
+    std::memcpy(entries[i].logits,
+                logits_rows_.data() + static_cast<size_t>(i) * c.vocab_size,
+                sizeof(float) * c.vocab_size);
+  }
+  return OkStatus();
+}
+
+Status TransformerExecutor::PrefillChunk(const TokenId* tokens, int m,
+                                         bool per_position, KvCache* kv,
+                                         float* logits) {
+  TZLLM_RETURN_IF_ERROR(init_status_);
+  if (tokens == nullptr || m <= 0) {
+    return InvalidArgument("empty prefill chunk");
+  }
+  if (per_position) {
+    // The seed schedule, one chunk's worth. Each position restarts from its
+    // embedding, so nothing carries across chunks but the KV cache —
+    // chunking at ANY boundary reproduces PrefillPerPosition exactly.
+    EnsureWorkspace(1);
+    float* hidden = hiddens_.data();
+    for (int i = 0; i < m; ++i) {
+      TZLLM_RETURN_IF_ERROR(EmbedToken(tokens[i], hidden));
+      TZLLM_RETURN_IF_ERROR(ForwardPosition(hidden, kv->seq_len(), kv));
+    }
+    return logits != nullptr ? LogitsInto(hidden, logits) : OkStatus();
+  }
+  // The serial batched schedule, one chunk per call: identical to
+  // ForwardPrompt's loop body, so a prompt fed in prefill_batch-sized
+  // chunks lands the same KV rows and logits as the one-shot call.
+  TZLLM_RETURN_IF_ERROR(ForwardChunk(tokens, m, kv));
+  if (logits != nullptr) {
+    return LogitsInto(
+        hiddens_.data() + static_cast<size_t>(m - 1) * spec_->config().d_model,
+        logits);
+  }
+  return OkStatus();
+}
+
 }  // namespace tzllm

@@ -93,6 +93,37 @@ class TransformerExecutor {
   // by-value API allocated the logits vector every step).
   Status DecodeStepInto(TokenId token, KvCache* kv, float* logits);
 
+  // One session's slice of a batched decode step: its pending token, its
+  // private KV cache (positions may differ per session) and a vocab_size
+  // logits row to fill.
+  struct DecodeEntry {
+    TokenId token = 0;
+    KvCache* kv = nullptr;
+    float* logits = nullptr;
+  };
+
+  // One decode step for `n` independent sessions at once: per layer, ONE
+  // MatMatQ8 over all sessions' activation rows (weights stream once per
+  // step regardless of batch size — the same reuse that made batched
+  // prefill pay) instead of n MatVecs, then per-session attention against
+  // each session's own cache at its own position. Bit-identical per session
+  // to running DecodeStepInto solo: the row kernels, the fused layer tail
+  // and the per-session m=1 attention are exactly the solo path's
+  // computations (the backend numerics contract batched prefill already
+  // rests on). n == 1 and reference-kernel engines route straight through
+  // DecodeStepInto. Each session's cache advances one position on success.
+  Status DecodeStepBatch(const DecodeEntry* entries, int n);
+
+  // Advances a prompt by one chunk of `m` positions into `kv` — the serving
+  // scheduler's prefill quantum. `per_position` selects the seed
+  // per-position path (reference kernels / prefill_batch <= 1 /
+  // single-token prompts), matching Prefill's dispatch so a chunked prompt
+  // is bit-identical to the one-shot call. When `logits` is non-null (the
+  // prompt's final chunk) the last position's logits are computed into it
+  // (vocab_size floats).
+  Status PrefillChunk(const TokenId* tokens, int m, bool per_position,
+                      KvCache* kv, float* logits);
+
   const EngineOptions& options() const { return options_; }
 
   // Wall-clock seconds spent in Attend since construction / ResetStats.
@@ -203,6 +234,9 @@ class TransformerExecutor {
   int workspace_m_ = 0;
   std::vector<float> hiddens_, norm_, q_, k_, v_, attn_, proj_, gate_, up_,
       down_, scores_;
+  // Batched-decode LM-head staging: MatMat writes the batch's logits rows
+  // contiguously here before they scatter to each session's buffer.
+  std::vector<float> logits_rows_;
   Q8Acts acts_;
   // Pipelined-prefill slots (double-buffered chunk workspaces), grown once;
   // pipe_slots_ tracks how many have sized buffers (a single-chunk prompt

@@ -188,4 +188,59 @@ void KvCache::Scrub() {
   Reset();
 }
 
+KvArena::KvArena(const ModelSpec& spec, int slots, KvStorage storage,
+                 const KernelDispatch* kernels)
+    : live_slots_(static_cast<size_t>(std::max(1, slots)), false) {
+  caches_.reserve(live_slots_.size());
+  for (size_t s = 0; s < live_slots_.size(); ++s) {
+    caches_.push_back(std::make_unique<KvCache>(spec, storage, kernels));
+  }
+}
+
+Result<int> KvArena::Acquire() {
+  for (size_t s = 0; s < caches_.size(); ++s) {
+    if (!live_slots_[s]) {
+      live_slots_[s] = true;
+      ++live_;
+      caches_[s]->Reset();
+      return static_cast<int>(s);
+    }
+  }
+  return Status(ErrorCode::kResourceExhausted,
+                "KV arena full: every session slot is live (raise "
+                "EngineOptions::max_sessions or finish/evict a session)");
+}
+
+Status KvArena::Release(int slot) {
+  if (slot < 0 || slot >= slots() || !live_slots_[slot]) {
+    return InvalidArgument("KV arena release of a free or invalid slot");
+  }
+  caches_[slot]->Scrub();
+  live_slots_[slot] = false;
+  --live_;
+  return OkStatus();
+}
+
+KvCache* KvArena::cache(int slot) {
+  return slot >= 0 && slot < slots() ? caches_[slot].get() : nullptr;
+}
+
+const KvCache* KvArena::cache(int slot) const {
+  return slot >= 0 && slot < slots() ? caches_[slot].get() : nullptr;
+}
+
+uint64_t KvArena::SlotBytes() const { return caches_[0]->ArenaBytes(); }
+
+uint64_t KvArena::CurrentBytes() const {
+  uint64_t total = 0;
+  for (size_t s = 0; s < caches_.size(); ++s) {
+    if (live_slots_[s]) {
+      total += caches_[s]->CurrentBytes();
+    }
+  }
+  return total;
+}
+
+uint64_t KvArena::ArenaBytes() const { return slots() * SlotBytes(); }
+
 }  // namespace tzllm

@@ -16,6 +16,7 @@
 #define SRC_LLM_KV_CACHE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/common/status.h"
@@ -134,6 +135,49 @@ class KvCache {
   std::vector<uint16_t> arena16_;
   std::vector<float> arena32_;
   size_t v_plane_ = 0;  // Offset of the V plane within the arena.
+};
+
+// Per-session KV slots for the serving runtime: `slots` independent KvCache
+// arenas over one geometry, acquired by AdmitSession and released on
+// Finish/Checkpoint. Each slot is a full private cache — sessions never
+// share rows, so per-session CurrentBytes() stays truthful and a slot's
+// Scrub() on release leaves no other session's plaintext behind. The whole
+// arena (slots x ArenaBytes) is what the TA's secure scratch budget
+// accounts.
+class KvArena {
+ public:
+  KvArena(const ModelSpec& spec, int slots, KvStorage storage = KvStorage::kF16,
+          const KernelDispatch* kernels = nullptr);
+
+  // Claims a free slot (reset to empty) and returns its index;
+  // kResourceExhausted when every slot is live.
+  Result<int> Acquire();
+  // Scrubs and frees a live slot. InvalidArgument for a bad or free index —
+  // a double release would silently hand one cache to two sessions.
+  Status Release(int slot);
+
+  // The slot's cache; valid between Acquire and Release. nullptr for a bad
+  // index (callers hold indices they acquired, so this is a programming
+  // error, not a recoverable state).
+  KvCache* cache(int slot);
+  const KvCache* cache(int slot) const;
+
+  int slots() const { return static_cast<int>(caches_.size()); }
+  int live() const { return live_; }
+  int free_slots() const { return slots() - live_; }
+
+  // Bytes one slot's full arena occupies (every slot is the same geometry).
+  uint64_t SlotBytes() const;
+  // Appended bytes across live slots — the arena-wide analogue of
+  // KvCache::CurrentBytes().
+  uint64_t CurrentBytes() const;
+  // Full preallocated footprint: slots() x SlotBytes().
+  uint64_t ArenaBytes() const;
+
+ private:
+  std::vector<std::unique_ptr<KvCache>> caches_;
+  std::vector<bool> live_slots_;
+  int live_ = 0;
 };
 
 }  // namespace tzllm

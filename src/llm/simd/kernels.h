@@ -11,10 +11,11 @@
 // (the rest of the codebase stays portable baseline code).
 //
 // Numerics contract per slot:
-//  - dot_row_q8 / dot_row_q8_ws are BIT-IDENTICAL across all backends: the
-//    32-wide int8 MACs reduce in exact integer arithmetic and the per-block
-//    float combine runs serially in block order, so vectorizing the integer
-//    dot cannot change a single bit of the output.
+//  - dot_row_q8 / dot_row_q8_ws / dot_rows4_q8 are BIT-IDENTICAL across
+//    all backends: the 32-wide int8 MACs reduce in exact integer arithmetic
+//    and the per-block float combine runs serially in block order (one
+//    independent serial accumulator per position in the rows4 variant), so
+//    vectorizing the integer dot cannot change a single bit of the output.
 //  - f32_to_f16 is bit-identical across backends for FINITE inputs (the
 //    AVX2 path reproduces the scalar converter's flush-subnormals-to-zero
 //    behavior; NaN diverges — scalar emits inf, AVX2 flushes to zero — but
@@ -52,11 +53,32 @@ struct KernelDispatch {
   // from the f16 header of each block. The MatVecQ8Pre row kernel.
   float (*dot_row_q8)(const uint8_t* row, const int8_t* xq,
                       const float* xscale, uint64_t nblocks);
-  // Same dot with the row's weight scales pre-expanded by the caller
-  // (MatMatQ8 reuses one expansion across all positions of a chunk).
+  // Same dot with the row's weight scales pre-expanded by the caller (for
+  // callers that amortize one expansion across many dots of the same row).
   float (*dot_row_q8_ws)(const uint8_t* row, const float* wscales,
                          const int8_t* xq, const float* xscale,
                          uint64_t nblocks);
+  // Four positions against one weight row in a single pass — the MatMatQ8
+  // group kernel behind batched multi-session decode. Each weight block is
+  // loaded and widened ONCE and all four positions' activations dot
+  // against it, so a batch streams the weight bytes (and converts each f16
+  // scale header) once instead of four times; reading the header in-kernel
+  // rather than via a pre-expanded wscales pass keeps the converts fused
+  // into the weight stream, where they hide in the DRAM latency instead of
+  // serializing against the dots. out4[j] is BIT-IDENTICAL to dot_row_q8
+  // over position j: the block dots reduce in exact integer arithmetic (a
+  // 4-wide horizontal add only reorders integer adds) and the per-position
+  // float combine runs serially in block order with the same
+  // (wscale * xscale) * dot association — four independent accumulators,
+  // one per position, never mixed.
+  //   xq:        position 0's quantized row; position j at xq+j*x_stride.
+  //   xs_t:      activation scales TRANSPOSED to [block][position] — block
+  //              b's four scales are xs_t[b*xs_stride + 0..3] — so backends
+  //              load them as one vector (the caller builds the transpose
+  //              once per matmul and reuses it across every row).
+  void (*dot_rows4_q8)(const uint8_t* row, const int8_t* xq,
+                       uint64_t x_stride, const float* xs_t,
+                       uint64_t xs_stride, uint64_t nblocks, float* out4);
 
   // Attention primitives over one head row of `n` floats.
   float (*dot_qk_f16)(const float* q, const uint16_t* k, int n);

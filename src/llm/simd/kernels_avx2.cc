@@ -93,6 +93,60 @@ float DotRowQ8WsAvx2(const uint8_t* row, const float* wscales,
   return acc;
 }
 
+void DotRows4Q8Avx2(const uint8_t* row, const int8_t* xq, uint64_t x_stride,
+                    const float* xs_t, uint64_t xs_stride, uint64_t nblocks,
+                    float* out4) {
+  // Block-outer: each weight block is loaded and widened ONCE, then all
+  // four positions madd against the shared registers — the whole point of
+  // the batched decode path (the single-row kernel re-streams the row per
+  // position). The f16 scale header converts in-loop through vcvtsh2ss
+  // (exact IEEE f16->f32, bit-identical to the scalar F16ToF32 for every
+  // input), fused into the weight stream. Exactness of the rest: the three
+  // hadds only reorder exact int32 adds; the float combine is one mul +
+  // one mul + one add PER LANE, lane p carrying position p's serial
+  // block-order accumulator with the same (wscale * xscale) * dot
+  // association as the scalar loop — no FMA, which would skip the
+  // intermediate rounding the scalar table performs.
+  __m128 acc = _mm_setzero_ps();
+  for (uint64_t b = 0; b < nblocks; ++b) {
+    const uint8_t* blk = row + b * kQ8BlockBytes;
+    const float wscale =
+        _cvtsh_ss(static_cast<uint16_t>(blk[0] | (blk[1] << 8)));
+    const int8_t* wq = reinterpret_cast<const int8_t*>(blk + 2);
+    const __m256i w16a = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(wq)));
+    const __m256i w16b = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(wq + 16)));
+    __m256i part[4];
+    for (int p = 0; p < 4; ++p) {
+      const int8_t* xb =
+          xq + static_cast<uint64_t>(p) * x_stride + b * kQ8BlockElems;
+      const __m256i x16a = _mm256_cvtepi8_epi16(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(xb)));
+      const __m256i x16b = _mm256_cvtepi8_epi16(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(xb + 16)));
+      part[p] = _mm256_add_epi32(_mm256_madd_epi16(w16a, x16a),
+                                 _mm256_madd_epi16(w16b, x16b));
+    }
+    // Cross-position reduction: fold each 8-lane partial to 4 lanes, then
+    // hadd pairs so lane p of `dots` holds position p's exact block dot.
+    const __m128i r0 = _mm_add_epi32(_mm256_castsi256_si128(part[0]),
+                                     _mm256_extracti128_si256(part[0], 1));
+    const __m128i r1 = _mm_add_epi32(_mm256_castsi256_si128(part[1]),
+                                     _mm256_extracti128_si256(part[1], 1));
+    const __m128i r2 = _mm_add_epi32(_mm256_castsi256_si128(part[2]),
+                                     _mm256_extracti128_si256(part[2], 1));
+    const __m128i r3 = _mm_add_epi32(_mm256_castsi256_si128(part[3]),
+                                     _mm256_extracti128_si256(part[3], 1));
+    const __m128i dots =
+        _mm_hadd_epi32(_mm_hadd_epi32(r0, r1), _mm_hadd_epi32(r2, r3));
+    const __m128 scales = _mm_mul_ps(_mm_set1_ps(wscale),
+                                     _mm_loadu_ps(xs_t + b * xs_stride));
+    acc = _mm_add_ps(acc, _mm_mul_ps(scales, _mm_cvtepi32_ps(dots)));
+  }
+  _mm_storeu_ps(out4, acc);
+}
+
 float DotQkF16Avx2(const float* q, const uint16_t* k, int n) {
   __m256 acc0 = _mm256_setzero_ps();
   __m256 acc1 = _mm256_setzero_ps();
@@ -267,6 +321,7 @@ const KernelDispatch kAvx2Table = {
     SimdIsa::kAvx2F16c,
     DotRowQ8Avx2,
     DotRowQ8WsAvx2,
+    DotRows4Q8Avx2,
     DotQkF16Avx2,
     DotQkF32Avx2,
     AxpyF16Avx2,

@@ -62,6 +62,45 @@ float DotRowQ8WsNeon(const uint8_t* row, const float* wscales,
   return acc;
 }
 
+void DotRows4Q8Neon(const uint8_t* row, const int8_t* xq, uint64_t x_stride,
+                    const float* xs_t, uint64_t xs_stride, uint64_t nblocks,
+                    float* out4) {
+  // Block-outer so each weight block's two int8x16 loads (and the f16
+  // header convert, done through F16ToF32 — the exact software path, as
+  // this table's single-row dots use) are shared by all four positions.
+  // Each position's block dot is the exact DotBlock32 reduction and its
+  // float accumulator advances serially in block order with the scalar
+  // table's association — bit-identical per position.
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  float* accs[4] = {&acc0, &acc1, &acc2, &acc3};
+  for (uint64_t b = 0; b < nblocks; ++b) {
+    const uint8_t* blk = row + b * kQ8BlockBytes;
+    const float wscale =
+        F16ToF32(static_cast<uint16_t>(blk[0] | (blk[1] << 8)));
+    const int8_t* wq = reinterpret_cast<const int8_t*>(blk + 2);
+    const int8x16_t w0 = vld1q_s8(wq);
+    const int8x16_t w1 = vld1q_s8(wq + 16);
+    for (int p = 0; p < 4; ++p) {
+      const int8_t* xb =
+          xq + static_cast<uint64_t>(p) * x_stride + b * kQ8BlockElems;
+      int32x4_t acc = vdupq_n_s32(0);
+      const int8x16_t x0 = vld1q_s8(xb);
+      const int8x16_t x1 = vld1q_s8(xb + 16);
+      acc = vpadalq_s16(acc, vmull_s8(vget_low_s8(w0), vget_low_s8(x0)));
+      acc = vpadalq_s16(acc, vmull_s8(vget_high_s8(w0), vget_high_s8(x0)));
+      acc = vpadalq_s16(acc, vmull_s8(vget_low_s8(w1), vget_low_s8(x1)));
+      acc = vpadalq_s16(acc, vmull_s8(vget_high_s8(w1), vget_high_s8(x1)));
+      const int32_t dot = vaddvq_s32(acc);
+      *accs[p] += (wscale * xs_t[b * xs_stride + p]) *
+                  static_cast<float>(dot);
+    }
+  }
+  out4[0] = acc0;
+  out4[1] = acc1;
+  out4[2] = acc2;
+  out4[3] = acc3;
+}
+
 float DotQkF16Neon(const float* q, const uint16_t* k, int n) {
   float32x4_t acc = vdupq_n_f32(0.0f);
   int j = 0;
@@ -183,6 +222,7 @@ const KernelDispatch kNeonTable = {
     SimdIsa::kNeon,
     DotRowQ8Neon,
     DotRowQ8WsNeon,
+    DotRows4Q8Neon,
     DotQkF16Neon,
     DotQkF32Neon,
     AxpyF16Neon,

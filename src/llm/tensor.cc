@@ -192,19 +192,40 @@ void MatMatQ8(const uint8_t* w, uint64_t rows, uint64_t cols, const Q8Acts& x,
   const KernelDispatch* k = kernels != nullptr ? kernels : ActiveKernels();
   const uint64_t blocks_per_row = cols / kQ8BlockElems;
   const uint64_t m = x.m;
+  // Groups of four positions take the rows4 kernel: one weight-block widen
+  // (and one f16 header convert) is shared by four positions, which is
+  // where batched decode recovers the weight-streaming bandwidth a
+  // per-position loop re-pays. It wants the activation scales transposed
+  // to [block][position]; build that once here and reuse it across every
+  // row (and every worker thread — read-only). Remainder positions go
+  // through dot_row_q8, which reads the same headers in-kernel, so no
+  // pre-expanded wscales pass runs at all — that separate walk serialized
+  // ~one F16ToF32 per 34 streamed bytes against the dot loop.
+  std::vector<float> xs_t;
+  if (m >= 4) {
+    xs_t.resize(blocks_per_row * m);
+    for (uint64_t p = 0; p < m; ++p) {
+      for (uint64_t b = 0; b < blocks_per_row; ++b) {
+        xs_t[b * m + p] = x.scale[p * blocks_per_row + b];
+      }
+    }
+  }
   auto run = [&](uint64_t r0, uint64_t r1) {
-    // Weight scales convert from f16 once per row, reused across positions.
-    std::vector<float> wscales(blocks_per_row);
+    float out4[4];
     for (uint64_t r = r0; r < r1; ++r) {
       const uint8_t* row = w + r * blocks_per_row * kQ8BlockBytes;
-      for (uint64_t b = 0; b < blocks_per_row; ++b) {
-        const uint8_t* blk = row + b * kQ8BlockBytes;
-        wscales[b] = F16ToF32(static_cast<uint16_t>(blk[0] | (blk[1] << 8)));
+      uint64_t p = 0;
+      for (; p + 4 <= m; p += 4) {
+        k->dot_rows4_q8(row, x.q.data() + p * cols, cols, xs_t.data() + p, m,
+                        blocks_per_row, out4);
+        for (int j = 0; j < 4; ++j) {
+          y[(p + j) * rows + r] = out4[j];
+        }
       }
-      for (uint64_t p = 0; p < m; ++p) {
-        y[p * rows + r] = k->dot_row_q8_ws(
-            row, wscales.data(), x.q.data() + p * cols,
-            x.scale.data() + p * blocks_per_row, blocks_per_row);
+      for (; p < m; ++p) {
+        y[p * rows + r] = k->dot_row_q8(row, x.q.data() + p * cols,
+                                        x.scale.data() + p * blocks_per_row,
+                                        blocks_per_row);
       }
     }
   };

@@ -1,0 +1,224 @@
+#include "src/serve/serving.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tzllm {
+
+ServingRuntime::ServingRuntime(LlmTa* ta, Simulator* sim)
+    : ta_(ta),
+      pool_(sim, "serve-admit",
+            std::max(1, ta->engine_options().max_sessions)),
+      t0_(std::chrono::steady_clock::now()) {}
+
+double ServingRuntime::Now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+      .count();
+}
+
+ServingRuntime::Request* ServingRuntime::Find(uint64_t id) {
+  auto it = requests_.find(id);
+  return it == requests_.end() ? nullptr : &it->second;
+}
+
+uint64_t ServingRuntime::Enqueue(ServeRequest request) {
+  const uint64_t id = next_request_++;
+  Request r;
+  r.id = id;
+  r.prompt = std::move(request.prompt);
+  r.max_new_tokens = request.max_new_tokens;
+  r.priority = request.priority;
+  r.sampling = request.sampling;
+  r.submit_s = Now();
+  requests_.emplace(id, std::move(r));
+  ServerPool::Job job;
+  job.priority = request.priority;
+  job.label = "serve-req";
+  job.on_complete = [this, id] { popped_request_ = id; };
+  pool_.SubmitHeld(std::move(job));
+  return id;
+}
+
+Status ServingRuntime::AdmitTop() {
+  ServerPool::Job job;
+  if (!pool_.TakeTop(&job)) {
+    return Internal("admission queue empty at AdmitTop");
+  }
+  popped_request_ = 0;
+  if (job.on_complete) {
+    job.on_complete();  // Writes the request id into popped_request_.
+  }
+  Request* r = Find(popped_request_);
+  if (r == nullptr) {
+    return Internal("admission queue handed back an unknown request");
+  }
+  if (r->state == State::kQueued) {
+    TZLLM_ASSIGN_OR_RETURN(
+        sid, ta_->AdmitSession(r->prompt, r->max_new_tokens, r->sampling));
+    r->sid = sid;
+  } else if (r->state == State::kEvicted) {
+    // Bit-identical resumption: the restored session decodes exactly the
+    // tokens the uninterrupted run would have.
+    auto restored = ta_->RestoreSession(r->sid);
+    if (!restored.ok()) {
+      return restored.status();
+    }
+  } else {
+    return Internal("admission queue held a request in a non-waiting state");
+  }
+  r->state = State::kActive;
+  return OkStatus();
+}
+
+Status ServingRuntime::Evict(Request* r) {
+  TZLLM_RETURN_IF_ERROR(ta_->CheckpointSession(r->sid));
+  r->state = State::kEvicted;
+  ++r->preemptions;
+  ++stats_.preemptions;
+  const uint64_t id = r->id;
+  ServerPool::Job job;
+  job.priority = r->priority;
+  job.label = "serve-req";
+  job.on_complete = [this, id] { popped_request_ = id; };
+  pool_.SubmitHeld(std::move(job));
+  return OkStatus();
+}
+
+ServingRuntime::Request* ServingRuntime::LeastUrgentRunning() {
+  Request* victim = nullptr;
+  for (auto& [id, r] : requests_) {
+    if (r.state != State::kActive || !ta_->session_prefilled(r.sid) ||
+        ta_->session_done(r.sid)) {
+      continue;
+    }
+    // >= : among equal priorities the youngest (largest id) session yields,
+    // so long-running work is preempted last.
+    if (victim == nullptr || r.priority >= victim->priority) {
+      victim = &r;
+    }
+  }
+  return victim;
+}
+
+ServingRuntime::Request* ServingRuntime::NextPrefill() {
+  Request* next = nullptr;
+  for (auto& [id, r] : requests_) {
+    if (r.state != State::kActive || ta_->session_prefilled(r.sid)) {
+      continue;
+    }
+    // < : most urgent first; FIFO (smallest id) among equals.
+    if (next == nullptr || r.priority < next->priority) {
+      next = &r;
+    }
+  }
+  return next;
+}
+
+Result<bool> ServingRuntime::Tick() {
+  ++stats_.ticks;
+  bool worked = false;
+
+  // --- 1. Admission + preemption: fill free slots most-urgent-first; under
+  // kPriority, a waiting request strictly more urgent than the least urgent
+  // running session evicts it and takes the slot. The loop cannot ping-pong
+  // within a tick: an evictee's priority is strictly greater than the
+  // request that displaced it, so it never displaces anything back.
+  double top = 0.0;
+  while (pool_.TopPriority(&top)) {
+    if (ta_->free_session_slots() > 0) {
+      TZLLM_RETURN_IF_ERROR(AdmitTop());
+      worked = true;
+      continue;
+    }
+    if (ta_->engine_options().serve_eviction != ServeEvictPolicy::kPriority) {
+      break;
+    }
+    Request* victim = LeastUrgentRunning();
+    if (victim == nullptr || !(victim->priority > top)) {
+      break;
+    }
+    TZLLM_RETURN_IF_ERROR(Evict(victim));
+    worked = true;
+  }
+
+  // --- 2. One prefill quantum for the most urgent admitted prompt.
+  if (Request* pf = NextPrefill(); pf != nullptr) {
+    TZLLM_ASSIGN_OR_RETURN(finished, ta_->PrefillSessionChunk(pf->sid));
+    if (finished && !pf->has_first_token) {
+      pf->first_token_s = Now();  // First generated token just sampled.
+      pf->has_first_token = true;
+    }
+    worked = true;
+  }
+
+  // --- 3. One batched decode step across every running session.
+  std::vector<SessionId> running;
+  std::vector<Request*> running_reqs;
+  for (auto& [id, r] : requests_) {
+    if (r.state == State::kActive && ta_->session_prefilled(r.sid) &&
+        !ta_->session_done(r.sid)) {
+      running.push_back(r.sid);
+      running_reqs.push_back(&r);
+    }
+  }
+  if (!running.empty()) {
+    const double before = Now();
+    TZLLM_RETURN_IF_ERROR(ta_->DecodeSessions(running));
+    const double now = Now();
+    for (Request* r : running_reqs) {
+      r->token_s.push_back(now);
+    }
+    stats_.decode_tokens += running.size();
+    stats_.decode_time_s += now - before;
+    worked = true;
+  }
+
+  // --- 4. Retire finished sessions; their slots admit new work next tick.
+  for (auto& [id, r] : requests_) {
+    if (r.state != State::kActive || !ta_->session_done(r.sid)) {
+      continue;
+    }
+    auto generation = ta_->FinishSession(r.sid);
+    if (!generation.ok()) {
+      return generation.status();
+    }
+    ServeRequestResult done;
+    done.request_id = r.id;
+    done.priority = r.priority;
+    done.generation = std::move(*generation);
+    done.submit_s = r.submit_s;
+    done.first_token_s = r.first_token_s;
+    done.finish_s = Now();
+    done.token_s = std::move(r.token_s);
+    done.preemptions = r.preemptions;
+    results_.push_back(std::move(done));
+    r.state = State::kDone;
+    worked = true;
+  }
+
+  const int left = pending();
+  if (left > 0 && !worked) {
+    return Status(ErrorCode::kInternal,
+                  "serving scheduler stalled with requests outstanding");
+  }
+  return left > 0;
+}
+
+int ServingRuntime::pending() const {
+  int n = 0;
+  for (const auto& [id, r] : requests_) {
+    n += r.state != State::kDone ? 1 : 0;
+  }
+  return n;
+}
+
+Status ServingRuntime::RunToCompletion() {
+  for (;;) {
+    TZLLM_ASSIGN_OR_RETURN(more, Tick());
+    if (!more) {
+      return OkStatus();
+    }
+  }
+}
+
+}  // namespace tzllm

@@ -1,0 +1,159 @@
+// Multi-session serving runtime: continuous batching over one LlmTa.
+//
+// The runtime admits up to EngineOptions::max_sessions concurrent generation
+// sessions onto a single TA and drives them with a tick-based scheduler.
+// Each tick:
+//
+//   1. Admission/preemption — free KV slots are filled with the most urgent
+//      waiting requests (a held-job ServerPool is the admission queue);
+//      under ServeEvictPolicy::kPriority a more urgent arrival preempts the
+//      least urgent running session via CheckpointSession (the PR 6 sealed
+//      blob), whose slot it takes; the victim re-queues at its own priority
+//      and is restored bit-identically when capacity frees up.
+//   2. One prefill quantum — ONE admitted prompt advances by one chunk of
+//      prefill_batch positions (LlmTa::PrefillSessionChunk), so a long
+//      incoming prompt interleaves with everyone else's decode instead of
+//      blocking the TA for its whole prefill.
+//   3. One batched decode step — every running session advances one token
+//      through LlmTa::DecodeSessions: per layer one MatMatQ8 across all
+//      sessions' current positions, so the weights stream through the cache
+//      once per step regardless of how many sessions ride it. Per-session
+//      logits are bit-identical to stepping that session alone.
+//   4. Retirement — sessions that hit EOS / budget / context window are
+//      finished and their slots freed.
+//
+// Scheduling is deterministic (priority then FIFO, session order by id);
+// wall-clock timestamps are recorded per token for the fig18 latency
+// metrics but never feed back into scheduling decisions.
+
+#ifndef SRC_SERVE_SERVING_H_
+#define SRC_SERVE_SERVING_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/llm_ta.h"
+#include "src/sim/server.h"
+
+namespace tzllm {
+
+// One generation request submitted to the serving runtime.
+struct ServeRequest {
+  std::string prompt;
+  int max_new_tokens = 0;
+  // Lower value = more urgent; ties admit in submission (FIFO) order.
+  double priority = 0.0;
+  Sampler::Options sampling;
+};
+
+// A completed request with its timing record. Timestamps are seconds on the
+// runtime's own clock (0 = runtime construction).
+struct ServeRequestResult {
+  uint64_t request_id = 0;
+  double priority = 0.0;
+  GenerationResult generation;
+  double submit_s = 0.0;
+  // When the first generated token was sampled (prefill completion) — TTFT
+  // is first_token_s - submit_s.
+  double first_token_s = 0.0;
+  double finish_s = 0.0;
+  // Emission time of each decoded token; adjacent differences are the
+  // inter-token latencies.
+  std::vector<double> token_s;
+  int preemptions = 0;
+};
+
+// Aggregate scheduler counters.
+struct ServeStats {
+  uint64_t ticks = 0;
+  uint64_t decode_tokens = 0;
+  // Wall time spent inside batched decode steps. decode_tokens /
+  // decode_time_s is the aggregate decode throughput — decode only, so it
+  // is directly comparable across batch sizes (prefill cost is a latency
+  // question and shows up in TTFT, not here).
+  double decode_time_s = 0.0;
+  int preemptions = 0;
+};
+
+class ServingRuntime {
+ public:
+  // `ta` must outlive the runtime and have a model loaded; its
+  // EngineOptions supply the session capacity (max_sessions), the prefill
+  // quantum (prefill_batch), the decode grouping (decode_batch) and the
+  // eviction policy (serve_eviction). `sim` backs the admission-queue
+  // ServerPool (held jobs never schedule on it, but the pool needs its
+  // substrate).
+  ServingRuntime(LlmTa* ta, Simulator* sim);
+
+  // Queues a request; returns its id. Admission happens inside Tick.
+  uint64_t Enqueue(ServeRequest request);
+
+  // Runs one scheduler tick (the four stages above). Returns true while any
+  // request is still queued, running or evicted; false once everything
+  // completed. kInternal if a tick can make no progress (scheduler bug, not
+  // a load condition).
+  Result<bool> Tick();
+
+  // Ticks until every enqueued request has completed.
+  Status RunToCompletion();
+
+  // Completed requests in completion order.
+  const std::vector<ServeRequestResult>& results() const { return results_; }
+  const ServeStats& stats() const { return stats_; }
+  // Requests not yet completed (queued, running or evicted).
+  int pending() const;
+
+ private:
+  enum class State {
+    kQueued,   // Waiting in the admission queue; no session yet.
+    kActive,   // Holds a KV slot (prefilling or decoding).
+    kEvicted,  // Checkpointed to flash; waiting in the admission queue.
+    kDone,
+  };
+
+  struct Request {
+    uint64_t id = 0;
+    std::string prompt;
+    int max_new_tokens = 0;
+    double priority = 0.0;
+    Sampler::Options sampling;
+    State state = State::kQueued;
+    SessionId sid = 0;  // Valid from first admission on (survives eviction).
+    int preemptions = 0;
+    double submit_s = 0.0;
+    double first_token_s = 0.0;
+    bool has_first_token = false;
+    std::vector<double> token_s;
+  };
+
+  double Now() const;
+  Request* Find(uint64_t id);
+  // Pops the admission queue's most urgent request and admits it into a
+  // free KV slot (fresh AdmitSession or RestoreSession for an evictee).
+  Status AdmitTop();
+  // Seals `r`'s session to flash, frees its slot and re-queues it.
+  Status Evict(Request* r);
+  // The least urgent session eligible as a preemption victim (active,
+  // prefilled, not done); ties broken toward the youngest session.
+  Request* LeastUrgentRunning();
+  // The most urgent admitted session still mid-prefill; nullptr if none.
+  Request* NextPrefill();
+
+  LlmTa* ta_;
+  ServerPool pool_;
+  std::map<uint64_t, Request> requests_;  // Deterministic iteration order.
+  std::vector<ServeRequestResult> results_;
+  ServeStats stats_;
+  uint64_t next_request_ = 1;
+  // Handoff slot for the admission queue's job closures (see AdmitTop).
+  uint64_t popped_request_ = 0;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_SERVE_SERVING_H_

@@ -46,6 +46,17 @@ GenerationResult ReferenceRun(bool use_npu, const Sampler::Options& sampling) {
   return out.ok() ? *out : GenerationResult{};
 }
 
+// Runs the open session `sid` to completion on the handle surface.
+void StepToDone(LlmTa* ta, SessionId sid) {
+  while (!ta->session_done(sid)) {
+    auto more = ta->StepSession(sid, kBudget);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (*more == 0) {
+      break;
+    }
+  }
+}
+
 TEST(SessionCheckpointTest, CheckpointEvictRestoreResumesGreedyIdentically) {
   const GenerationResult reference = ReferenceRun(false, {});
   ASSERT_GT(reference.output_tokens.size(), 0u);
@@ -57,27 +68,24 @@ TEST(SessionCheckpointTest, CheckpointEvictRestoreResumesGreedyIdentically) {
   ASSERT_TRUE(ta.ok());
   ASSERT_TRUE((*ta)->LoadModel(runtime.spec().config().name).ok());
 
-  ASSERT_TRUE((*ta)->BeginSession(kPrompt, kBudget).ok());
-  auto stepped = (*ta)->StepSession(kStepsBeforeCheckpoint);
+  auto sid = (*ta)->BeginSession(kPrompt, kBudget);
+  ASSERT_TRUE(sid.ok()) << sid.status().ToString();
+  auto stepped = (*ta)->StepSession(*sid, kStepsBeforeCheckpoint);
   ASSERT_TRUE(stepped.ok());
   ASSERT_GT(*stepped, 0);
 
   // Seal + evict: the live session is gone and the KV arena scrubbed.
-  ASSERT_TRUE((*ta)->CheckpointSession().ok());
-  EXPECT_FALSE((*ta)->session_active());
-  EXPECT_TRUE((*ta)->HasSessionCheckpoint());
+  ASSERT_TRUE((*ta)->CheckpointSession(*sid).ok());
+  EXPECT_FALSE((*ta)->session_active(*sid));
+  EXPECT_TRUE((*ta)->HasSessionCheckpoint(*sid));
 
-  // Restore and run the remainder to completion.
-  ASSERT_TRUE((*ta)->RestoreSession().ok());
-  EXPECT_TRUE((*ta)->session_active());
-  while (!(*ta)->session_done()) {
-    auto more = (*ta)->StepSession(kBudget);
-    ASSERT_TRUE(more.ok());
-    if (*more == 0) {
-      break;
-    }
-  }
-  auto resumed = (*ta)->FinishSession();
+  // Restore under the same handle and run the remainder to completion.
+  auto restored = (*ta)->RestoreSession(*sid);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(*restored, *sid);
+  EXPECT_TRUE((*ta)->session_active(*sid));
+  StepToDone(ta->get(), *sid);
+  auto resumed = (*ta)->FinishSession(*sid);
   ASSERT_TRUE(resumed.ok());
   EXPECT_EQ(resumed->output_tokens, reference.output_tokens);
   EXPECT_EQ(resumed->text, reference.text);
@@ -94,31 +102,31 @@ TEST(SessionCheckpointTest, FreshTaRestoresACrashedSession) {
   SocPlatform plat;
   SystemRuntime runtime(&plat, FunctionalConfig(false));
   ASSERT_TRUE(runtime.Setup().ok());
+  SessionId crashed_sid = 0;
   {
     auto ta = runtime.CreateFunctionalTa();
     ASSERT_TRUE(ta.ok());
     ASSERT_TRUE((*ta)->LoadModel(runtime.spec().config().name).ok());
-    ASSERT_TRUE((*ta)->BeginSession(kPrompt, kBudget).ok());
-    ASSERT_TRUE((*ta)->StepSession(kStepsBeforeCheckpoint).ok());
-    ASSERT_TRUE((*ta)->CheckpointSession().ok());
+    auto sid = (*ta)->BeginSession(kPrompt, kBudget);
+    ASSERT_TRUE(sid.ok());
+    crashed_sid = *sid;
+    ASSERT_TRUE((*ta)->StepSession(crashed_sid, kStepsBeforeCheckpoint).ok());
+    ASSERT_TRUE((*ta)->CheckpointSession(crashed_sid).ok());
     // The "crash": release secure memory and drop the TA. Only flash (the
-    // sealed checkpoint + the provisioned model) survives.
+    // sealed checkpoint + the provisioned model) survives — and the handle,
+    // which the blob carries.
     ASSERT_TRUE((*ta)->Unload().ok());
   }
 
   auto ta2 = runtime.CreateFunctionalTa();
   ASSERT_TRUE(ta2.ok());
   ASSERT_TRUE((*ta2)->LoadModel(runtime.spec().config().name).ok());
-  EXPECT_TRUE((*ta2)->HasSessionCheckpoint());
-  ASSERT_TRUE((*ta2)->RestoreSession().ok());
-  while (!(*ta2)->session_done()) {
-    auto more = (*ta2)->StepSession(kBudget);
-    ASSERT_TRUE(more.ok());
-    if (*more == 0) {
-      break;
-    }
-  }
-  auto resumed = (*ta2)->FinishSession();
+  EXPECT_TRUE((*ta2)->HasSessionCheckpoint(crashed_sid));
+  auto restored = (*ta2)->RestoreSession(crashed_sid);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(*restored, crashed_sid);
+  StepToDone(ta2->get(), crashed_sid);
+  auto resumed = (*ta2)->FinishSession(crashed_sid);
   ASSERT_TRUE(resumed.ok());
   EXPECT_EQ(resumed->output_tokens, reference.output_tokens);
 }
@@ -140,18 +148,13 @@ TEST(SessionCheckpointTest, NonGreedySamplerResumesTokenIdentically) {
   auto ta = runtime.CreateFunctionalTa();
   ASSERT_TRUE(ta.ok());
   ASSERT_TRUE((*ta)->LoadModel(runtime.spec().config().name).ok());
-  ASSERT_TRUE((*ta)->BeginSession(kPrompt, kBudget, sampling).ok());
-  ASSERT_TRUE((*ta)->StepSession(kStepsBeforeCheckpoint).ok());
-  ASSERT_TRUE((*ta)->CheckpointSession().ok());
-  ASSERT_TRUE((*ta)->RestoreSession().ok());
-  while (!(*ta)->session_done()) {
-    auto more = (*ta)->StepSession(kBudget);
-    ASSERT_TRUE(more.ok());
-    if (*more == 0) {
-      break;
-    }
-  }
-  auto resumed = (*ta)->FinishSession();
+  auto sid = (*ta)->BeginSession(kPrompt, kBudget, sampling);
+  ASSERT_TRUE(sid.ok());
+  ASSERT_TRUE((*ta)->StepSession(*sid, kStepsBeforeCheckpoint).ok());
+  ASSERT_TRUE((*ta)->CheckpointSession(*sid).ok());
+  ASSERT_TRUE((*ta)->RestoreSession(*sid).ok());
+  StepToDone(ta->get(), *sid);
+  auto resumed = (*ta)->FinishSession(*sid);
   ASSERT_TRUE(resumed.ok());
   EXPECT_EQ(resumed->output_tokens, reference.output_tokens);
 }
@@ -169,22 +172,22 @@ TEST(SessionCheckpointTest, NpuOffloadSessionSurvivesCheckpointRestore) {
   auto ta = runtime.CreateFunctionalTa();
   ASSERT_TRUE(ta.ok());
   ASSERT_TRUE((*ta)->LoadModel(runtime.spec().config().name).ok());
-  ASSERT_TRUE((*ta)->BeginSession(kPrompt, kBudget).ok());
-  ASSERT_TRUE((*ta)->StepSession(kStepsBeforeCheckpoint).ok());
-  ASSERT_TRUE((*ta)->CheckpointSession().ok());
-  ASSERT_TRUE((*ta)->RestoreSession().ok());
-  while (!(*ta)->session_done()) {
-    auto more = (*ta)->StepSession(kBudget);
-    ASSERT_TRUE(more.ok());
-    if (*more == 0) {
-      break;
-    }
-  }
-  auto resumed = (*ta)->FinishSession();
+  auto sid = (*ta)->BeginSession(kPrompt, kBudget);
+  ASSERT_TRUE(sid.ok());
+  ASSERT_TRUE((*ta)->StepSession(*sid, kStepsBeforeCheckpoint).ok());
+  ASSERT_TRUE((*ta)->CheckpointSession(*sid).ok());
+  ASSERT_TRUE((*ta)->RestoreSession(*sid).ok());
+  StepToDone(ta->get(), *sid);
+  auto resumed = (*ta)->FinishSession(*sid);
   ASSERT_TRUE(resumed.ok());
   EXPECT_EQ(resumed->output_tokens, reference.output_tokens);
 }
 
+// Deliberately exercises the LEGACY no-argument shims (the pre-handle API):
+// one implicit session, the un-suffixed "<model>.sess.ckpt" flash id. The
+// tamper detection itself is blob-layout-independent (CheckpointService's
+// integrity tag fails the unseal), so this doubles as the shim-surface
+// regression test.
 TEST(SessionCheckpointTest, TamperedCheckpointDetectedOnRestore) {
   SocPlatform plat;
   SystemRuntime runtime(&plat, FunctionalConfig(false));
@@ -215,27 +218,41 @@ TEST(SessionCheckpointTest, SessionApiRejectsMisuse) {
   ASSERT_TRUE(ta.ok());
 
   // Everything needs a loaded model.
-  EXPECT_EQ((*ta)->BeginSession(kPrompt, kBudget).code(),
+  EXPECT_EQ((*ta)->BeginSession(kPrompt, kBudget).status().code(),
             ErrorCode::kFailedPrecondition);
   ASSERT_TRUE((*ta)->LoadModel(runtime.spec().config().name).ok());
 
-  // No session yet: stepping, finishing, checkpointing all fail closed.
+  // No session yet: stepping, finishing, checkpointing all fail closed —
+  // both the legacy shims and a stale handle.
   EXPECT_EQ((*ta)->StepSession(1).status().code(),
             ErrorCode::kFailedPrecondition);
   EXPECT_EQ((*ta)->FinishSession().status().code(),
             ErrorCode::kFailedPrecondition);
   EXPECT_EQ((*ta)->CheckpointSession().code(),
             ErrorCode::kFailedPrecondition);
+  EXPECT_EQ((*ta)->StepSession(SessionId{99}, 1).status().code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ((*ta)->AbandonSession(SessionId{99}).code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_FALSE((*ta)->session_active(SessionId{99}));
+  EXPECT_TRUE((*ta)->session_done(SessionId{99}));
   EXPECT_FALSE((*ta)->HasSessionCheckpoint());
   // Restoring with no checkpoint on flash is NotFound, not a crash.
   EXPECT_FALSE((*ta)->RestoreSession().ok());
 
-  // Double Begin is rejected while a session is open.
-  ASSERT_TRUE((*ta)->BeginSession(kPrompt, kBudget).ok());
-  EXPECT_EQ((*ta)->BeginSession(kPrompt, kBudget).code(),
+  // With the default max_sessions == 1 a second Begin keeps the legacy
+  // "already active" rejection while a session is open.
+  auto sid = (*ta)->BeginSession(kPrompt, kBudget);
+  ASSERT_TRUE(sid.ok());
+  EXPECT_EQ((*ta)->BeginSession(kPrompt, kBudget).status().code(),
             ErrorCode::kFailedPrecondition);
-  ASSERT_TRUE((*ta)->FinishSession().ok());
+  EXPECT_EQ((*ta)->open_sessions(), 1);
+  EXPECT_EQ((*ta)->free_session_slots(), 0);
+  ASSERT_TRUE((*ta)->FinishSession(*sid).ok());
   EXPECT_FALSE((*ta)->session_active());
+  // The handle is dead after Finish: stepping it fails closed.
+  EXPECT_EQ((*ta)->StepSession(*sid, 1).status().code(),
+            ErrorCode::kFailedPrecondition);
 }
 
 TEST(SessionCheckpointTest, KvSnapshotGuardsGeometryAndTruncation) {

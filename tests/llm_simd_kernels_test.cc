@@ -126,6 +126,7 @@ TEST(SimdDispatchTest, TablesAreFullyPopulated) {
     }
     EXPECT_NE(t->dot_row_q8, nullptr);
     EXPECT_NE(t->dot_row_q8_ws, nullptr);
+    EXPECT_NE(t->dot_rows4_q8, nullptr);
     EXPECT_NE(t->dot_qk_f16, nullptr);
     EXPECT_NE(t->dot_qk_f32, nullptr);
     EXPECT_NE(t->axpy_f16, nullptr);
@@ -183,6 +184,43 @@ TEST_F(SimdKernelTest, MatMatQ8BitIdenticalSimdVsScalar) {
            ScalarKernels());
   MatMatQ8(w_.data(), kRows, kCols, rows, yv.data(), nullptr, simd);
   EXPECT_EQ(0, std::memcmp(ys.data(), yv.data(), ys.size() * sizeof(float)));
+}
+
+TEST_F(SimdKernelTest, DotRows4MatchesFourSingleRowDotsBitIdentically) {
+  // The grouped kernel's contract: out4[p] is the single-row dot of
+  // position p, bit-for-bit, on EVERY backend — that identity is what lets
+  // MatMatQ8 (and through it batched multi-session decode) group positions
+  // purely for weight-streaming bandwidth.
+  constexpr uint64_t kPositions = 4;
+  const uint64_t blocks = kCols / kQ8BlockElems;
+  Q8Acts rows;
+  rows.QuantizeRows(RandomFloats(kPositions * kCols, 44).data(), kPositions,
+                    kCols);
+  // Transposed [block][position] scales, as MatMatQ8 hands them over.
+  std::vector<float> xs_t(blocks * kPositions);
+  for (uint64_t p = 0; p < kPositions; ++p) {
+    for (uint64_t b = 0; b < blocks; ++b) {
+      xs_t[b * kPositions + p] = rows.scale[p * blocks + b];
+    }
+  }
+  for (const KernelDispatch* t : {ScalarKernels(), HostSimdTable()}) {
+    if (t == nullptr) {
+      continue;
+    }
+    for (uint64_t r = 0; r < kRows; ++r) {
+      const uint8_t* row = w_.data() + r * blocks * kQ8BlockBytes;
+      float grouped[4];
+      t->dot_rows4_q8(row, rows.q.data(), kCols, xs_t.data(), kPositions,
+                      blocks, grouped);
+      for (uint64_t p = 0; p < kPositions; ++p) {
+        const float single =
+            t->dot_row_q8(row, rows.q.data() + p * kCols,
+                          rows.scale.data() + p * blocks, blocks);
+        EXPECT_EQ(0, std::memcmp(&grouped[p], &single, sizeof(float)))
+            << SimdIsaName(t->isa) << " row " << r << " position " << p;
+      }
+    }
+  }
 }
 
 TEST_F(SimdKernelTest, DotRowHandlesRaggedBlockCounts) {
