@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -228,6 +229,177 @@ PreemptionResult RunPreemptionScenario() {
   return out;
 }
 
+// --- 16-session over-subscription: page spill vs whole-session eviction. --
+//
+// Both runs get the SAME secure KV budget (3 flat slots' worth) and the
+// same staggered arrival schedule of 16 requests, with three urgent
+// latecomers. The flat baseline's only pressure valves are queueing for a
+// slot and whole-session checkpoint eviction (kPriority); the paged engine
+// instead admits everyone — a slot is just a page table — and spills cold
+// PAGES to encrypted REE memory. Tail TTFT is the comparison: a queued
+// request's TTFT includes its predecessors' entire generations, a paged
+// request's only its own (interleaved) prefill.
+
+// A long decode budget relative to prefill is the regime that separates the
+// two pressure valves: a queued request's TTFT under whole-session eviction
+// includes its predecessors' entire (budget-long) generations, while a paged
+// request's TTFT only covers its own prefill — page churn during decode
+// lands after the first token.
+constexpr int kOversubSessions = 16;
+constexpr int kOversubBudget = 64;
+constexpr int kOversubMaxCtx = 128;
+constexpr int kOversubPagePositions = 8;
+constexpr int kOversubFlatSlots = 3;
+constexpr int kOversubPrefillBatch = 32;
+
+struct OversubPoint {
+  double ttft_ms_p50 = 0.0;
+  double ttft_ms_p99 = 0.0;
+  double wall_s = 0.0;
+  int preemptions = 0;
+  uint64_t page_spills = 0;
+  uint64_t page_restores = 0;
+  bool tokens_identical = false;
+};
+
+std::vector<std::string> OversubPrompts() {
+  std::vector<std::string> prompts;
+  for (int i = 0; i < kOversubSessions; ++i) {
+    // Distinct from the first byte: no token prefix is shared, so the
+    // comparison isolates paging-vs-eviction (prefix reuse is fig14's
+    // experiment, and sharing is disabled below anyway).
+    prompts.push_back(std::to_string(i) + " oversubscribed request variant");
+  }
+  return prompts;
+}
+
+LlmConfig OversubModel() {
+  LlmConfig c = TestSmallModel();
+  // A short context keeps one session at a few pages, so 16 sessions
+  // genuinely over-subscribe the 3-slot budget.
+  c.max_ctx = kOversubMaxCtx;
+  return c;
+}
+
+OversubPoint RunOversubPoint(const RuntimeConfig& config,
+                             const std::vector<std::vector<TokenId>>& solo) {
+  SocPlatform plat;
+  SystemRuntime runtime(&plat, config);
+  if (!runtime.Setup().ok()) {
+    fprintf(stderr, "oversubscription setup failed\n");
+    abort();
+  }
+  auto ta = runtime.CreateFunctionalTa();
+  if (!ta.ok() || !(*ta)->LoadModel(runtime.spec().config().name).ok()) {
+    fprintf(stderr, "oversubscription load failed\n");
+    abort();
+  }
+
+  const std::vector<std::string> prompts = OversubPrompts();
+  ServingRuntime serve(ta->get(), &plat.sim());
+  const auto start = WallClock::now();
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < kOversubSessions; ++i) {
+    ServeRequest req;
+    req.prompt = prompts[i];
+    req.max_new_tokens = kOversubBudget;
+    // Mostly-relaxed FIFO traffic with three urgent latecomers: the
+    // latecomers force the flat baseline through checkpoint eviction, the
+    // relaxed tail measures queueing.
+    req.priority = i < kOversubSessions - 3 ? 50.0 + i : 1.0 + i;
+    ids.push_back(serve.Enqueue(req));
+    // Staggered arrivals: let the scheduler work between submissions.
+    for (int t = 0; t < 2; ++t) {
+      auto more = serve.Tick();
+      if (!more.ok()) {
+        fprintf(stderr, "oversubscription tick failed: %s\n",
+                more.status().ToString().c_str());
+        abort();
+      }
+    }
+  }
+  Status done = serve.RunToCompletion();
+  if (!done.ok()) {
+    fprintf(stderr, "oversubscription run failed: %s\n",
+            done.ToString().c_str());
+    abort();
+  }
+
+  OversubPoint out;
+  out.wall_s = std::chrono::duration<double>(WallClock::now() - start).count();
+  out.preemptions = serve.stats().preemptions;
+  out.page_spills = serve.stats().page_spills;
+  out.page_restores = serve.stats().page_restores;
+  std::vector<double> ttft_ms;
+  out.tokens_identical = true;
+  for (const ServeRequestResult& r : serve.results()) {
+    const size_t idx = r.request_id - ids.front();
+    ttft_ms.push_back((r.first_token_s - r.submit_s) * 1e3);
+    if (r.generation.output_tokens != solo[idx]) {
+      out.tokens_identical = false;
+      fprintf(stderr, "oversubscription divergence: prompt %zu\n", idx);
+    }
+  }
+  out.ttft_ms_p50 = Percentile(ttft_ms, 0.50);
+  out.ttft_ms_p99 = Percentile(ttft_ms, 0.99);
+  return out;
+}
+
+// Returns {paged, evict} points measured over identical traffic.
+std::pair<OversubPoint, OversubPoint> RunOversubScenario() {
+  // Solo references on a plain flat single-session engine.
+  RuntimeConfig solo_config;
+  solo_config.model = OversubModel();
+  solo_config.system = SystemKind::kTzLlm;
+  solo_config.materialize_model = true;
+  solo_config.engine.prefill_batch = kOversubPrefillBatch;
+  solo_config.engine.max_sessions = 1;
+  solo_config.engine.paged_kv = false;
+  std::vector<std::vector<TokenId>> solo;
+  {
+    SocPlatform plat;
+    SystemRuntime runtime(&plat, solo_config);
+    if (!runtime.Setup().ok()) {
+      fprintf(stderr, "oversubscription solo setup failed\n");
+      abort();
+    }
+    auto ta = runtime.CreateFunctionalTa();
+    if (!ta.ok() || !(*ta)->LoadModel(runtime.spec().config().name).ok()) {
+      fprintf(stderr, "oversubscription solo load failed\n");
+      abort();
+    }
+    for (const std::string& prompt : OversubPrompts()) {
+      auto ref = (*ta)->Generate(prompt, kOversubBudget);
+      if (!ref.ok()) {
+        fprintf(stderr, "oversubscription solo failed: %s\n",
+                ref.status().ToString().c_str());
+        abort();
+      }
+      solo.push_back(ref->output_tokens);
+    }
+  }
+
+  const ModelSpec spec = ModelSpec::Create(OversubModel());
+  const uint64_t flat_budget =
+      kOversubFlatSlots * spec.KvCacheBytes(kOversubMaxCtx);
+
+  // Paged: every session admitted, cold pages spill under the SAME budget.
+  RuntimeConfig paged = solo_config;
+  paged.engine.max_sessions = kOversubSessions;
+  paged.engine.paged_kv = true;
+  paged.engine.kv_page_positions = kOversubPagePositions;
+  paged.engine.kv_pool_bytes = flat_budget;
+  paged.engine.kv_prefix_entries = 0;  // Isolate paging from prefix reuse.
+
+  // Flat: three resident slots; extra demand queues or checkpoint-evicts.
+  RuntimeConfig evict = solo_config;
+  evict.engine.max_sessions = kOversubFlatSlots;
+  evict.engine.paged_kv = false;
+  evict.engine.serve_eviction = ServeEvictPolicy::kPriority;
+
+  return {RunOversubPoint(paged, solo), RunOversubPoint(evict, solo)};
+}
+
 }  // namespace
 }  // namespace tzllm
 
@@ -315,10 +487,61 @@ int main() {
   printf("per-session tokens vs solo: %s\n",
          tokens_identical ? "identical (PASS)" : "DIVERGED (FAIL)");
 
+  // Paged-KV counters for the whole sweep (one TA, cumulative): how much
+  // the page pool and prefix registry actually worked. The solo references
+  // above registered each prompt as a shareable prefix, so the serving runs
+  // adopt those pages and prefill only the final position — the TTFT win
+  // paging buys on top of batching.
+  const KvArena* sweep_arena = (*ta)->kv_arena();
+  const bool sweep_paged = sweep_arena != nullptr && sweep_arena->paged();
+  if (sweep_paged) {
+    printf("paged kv: %llu spills, %llu restores, %llu cow copies, "
+           "%llu/%llu prefix hits\n",
+           static_cast<unsigned long long>(sweep_arena->pool()->stats().spills),
+           static_cast<unsigned long long>(
+               sweep_arena->pool()->stats().restores),
+           static_cast<unsigned long long>(
+               sweep_arena->pool()->stats().cow_copies),
+           static_cast<unsigned long long>(sweep_arena->prefix_stats().hits),
+           static_cast<unsigned long long>(
+               sweep_arena->prefix_stats().lookups));
+  }
+
   const PreemptionResult preemption = RunPreemptionScenario();
   printf("eviction under pressure: %d preemption(s), evictee tokens %s\n",
          preemption.preemptions,
          preemption.tokens_identical ? "identical (PASS)" : "DIVERGED (FAIL)");
+
+  const auto [oversub_paged, oversub_evict] = RunOversubScenario();
+  printf("\nOver-subscription (%d sessions, %d-slot KV budget):\n",
+         kOversubSessions, kOversubFlatSlots);
+  PrintRow({"mode", "ttft p50 ms", "ttft p99 ms", "wall s", "preempt",
+            "spills", "restores"},
+           13);
+  PrintRow({"paged", Fmt("%.1f", oversub_paged.ttft_ms_p50),
+            Fmt("%.1f", oversub_paged.ttft_ms_p99),
+            Fmt("%.2f", oversub_paged.wall_s),
+            std::to_string(oversub_paged.preemptions),
+            std::to_string(oversub_paged.page_spills),
+            std::to_string(oversub_paged.page_restores)},
+           13);
+  PrintRow({"evict", Fmt("%.1f", oversub_evict.ttft_ms_p50),
+            Fmt("%.1f", oversub_evict.ttft_ms_p99),
+            Fmt("%.2f", oversub_evict.wall_s),
+            std::to_string(oversub_evict.preemptions),
+            std::to_string(oversub_evict.page_spills),
+            std::to_string(oversub_evict.page_restores)},
+           13);
+  const bool oversub_wins =
+      oversub_paged.ttft_ms_p99 < oversub_evict.ttft_ms_p99;
+  printf("paged tail TTFT vs whole-session eviction: %.1f vs %.1f ms %s\n",
+         oversub_paged.ttft_ms_p99, oversub_evict.ttft_ms_p99,
+         oversub_wins ? "(paging wins: PASS)" : "(paging LOST: FAIL)");
+  printf("over-subscribed tokens vs solo: paged %s, evict %s\n",
+         oversub_paged.tokens_identical ? "identical (PASS)"
+                                        : "DIVERGED (FAIL)",
+         oversub_evict.tokens_identical ? "identical (PASS)"
+                                        : "DIVERGED (FAIL)");
 
   FILE* json = fopen("BENCH_serving.json", "w");
   if (json != nullptr) {
@@ -352,10 +575,48 @@ int main() {
     fprintf(json, "  \"speedup_4_vs_1\": %.3f,\n", speedup4);
     fprintf(json, "  \"tokens_identical\": %s,\n",
             tokens_identical ? "true" : "false");
+    if (sweep_paged) {
+      fprintf(json,
+              "  \"paged_kv\": {\"page_spills\": %llu, \"page_restores\": "
+              "%llu, \"cow_copies\": %llu, \"prefix_lookups\": %llu, "
+              "\"prefix_hits\": %llu},\n",
+              static_cast<unsigned long long>(
+                  sweep_arena->pool()->stats().spills),
+              static_cast<unsigned long long>(
+                  sweep_arena->pool()->stats().restores),
+              static_cast<unsigned long long>(
+                  sweep_arena->pool()->stats().cow_copies),
+              static_cast<unsigned long long>(
+                  sweep_arena->prefix_stats().lookups),
+              static_cast<unsigned long long>(
+                  sweep_arena->prefix_stats().hits));
+    }
     fprintf(json, "  \"preemption\": {\"preemptions\": %d, "
-                  "\"tokens_identical\": %s}\n",
+                  "\"tokens_identical\": %s},\n",
             preemption.preemptions,
             preemption.tokens_identical ? "true" : "false");
+    fprintf(json, "  \"oversubscription\": {\n");
+    fprintf(json, "    \"sessions\": %d,\n", kOversubSessions);
+    fprintf(json, "    \"kv_budget_slots\": %d,\n", kOversubFlatSlots);
+    fprintf(json,
+            "    \"paged\": {\"ttft_ms_p50\": %.2f, \"ttft_ms_p99\": %.2f, "
+            "\"wall_s\": %.4f, \"preemptions\": %d, \"page_spills\": %llu, "
+            "\"page_restores\": %llu, \"tokens_identical\": %s},\n",
+            oversub_paged.ttft_ms_p50, oversub_paged.ttft_ms_p99,
+            oversub_paged.wall_s, oversub_paged.preemptions,
+            static_cast<unsigned long long>(oversub_paged.page_spills),
+            static_cast<unsigned long long>(oversub_paged.page_restores),
+            oversub_paged.tokens_identical ? "true" : "false");
+    fprintf(json,
+            "    \"evict\": {\"ttft_ms_p50\": %.2f, \"ttft_ms_p99\": %.2f, "
+            "\"wall_s\": %.4f, \"preemptions\": %d, \"tokens_identical\": "
+            "%s},\n",
+            oversub_evict.ttft_ms_p50, oversub_evict.ttft_ms_p99,
+            oversub_evict.wall_s, oversub_evict.preemptions,
+            oversub_evict.tokens_identical ? "true" : "false");
+    fprintf(json, "    \"paged_beats_evict_ttft_p99\": %s\n",
+            oversub_wins ? "true" : "false");
+    fprintf(json, "  }\n");
     fprintf(json, "}\n");
     fclose(json);
     printf("\nwrote BENCH_serving.json\n");

@@ -32,13 +32,24 @@ sessions must deliver >= 2x the single-session aggregate decode
 throughput (both measured in the same run, so the ratio is
 host-independent), every session's tokens must be bit-identical to its
 solo run, and the eviction-under-pressure scenario must have actually
-preempted and resumed with identical tokens.
+preempted and resumed with identical tokens. When the run includes the
+16-session over-subscription scenario (ISSUE 9), paged spill must beat
+whole-session eviction on p99 TTFT with pages actually spilled and both
+modes' tokens identical to solo.
+
+--caching mode guards BENCH_caching.json (fig14, ISSUE 9): every
+shared-prefix point at >= 50% must land a warm TTFT strictly below the
+cold (0%) point, the spill/restore path must have actually run (restore
+count > 0), the prefix registry must have hit, and every request's tokens
+must be bit-identical to the flat (unpaged) reference engine. All
+ratio/flag based — no committed-snapshot compare.
 
 Usage:
   check_bench_regression.py <fresh.json> <committed-snapshot.json>
   check_bench_regression.py --fault <fresh.json>
   check_bench_regression.py --preemption <BENCH_preemption.json>
   check_bench_regression.py --serving <BENCH_serving.json>
+  check_bench_regression.py --caching <BENCH_caching.json>
 """
 
 import json
@@ -191,6 +202,68 @@ def check_serving(fresh):
         f"eviction under pressure: {preemption['preemptions']} "
         "preemption(s), evictee tokens identical: OK"
     )
+    oversub = fresh.get("oversubscription")
+    if oversub is not None:
+        paged = oversub.get("paged", {})
+        evict = oversub.get("evict", {})
+        if paged.get("page_spills", 0) <= 0:
+            fail(
+                "over-subscription scenario spilled no pages: the paged "
+                "run never hit the KV budget it claims to over-subscribe"
+            )
+        if oversub.get("paged_beats_evict_ttft_p99") is not True:
+            fail(
+                f"paged p99 TTFT ({paged.get('ttft_ms_p99')} ms) no longer "
+                f"beats whole-session eviction "
+                f"({evict.get('ttft_ms_p99')} ms) under over-subscription"
+            )
+        for mode, point in (("paged", paged), ("evict", evict)):
+            if point.get("tokens_identical") is not True:
+                fail(
+                    f"over-subscribed {mode} tokens diverged from the solo "
+                    "runs"
+                )
+        print(
+            f"over-subscription: paged p99 {paged['ttft_ms_p99']:.1f} ms < "
+            f"evict p99 {evict['ttft_ms_p99']:.1f} ms, "
+            f"{paged['page_spills']} spills, tokens identical: OK"
+        )
+
+
+def check_caching(fresh):
+    points = fresh["points"]
+    cold = points["0"]["ttft_ms"]
+    for proportion, point in sorted(points.items(), key=lambda kv: int(kv[0])):
+        if int(proportion) >= 50 and not point["ttft_ms"] < cold:
+            fail(
+                f"shared-prefix TTFT at {proportion}% "
+                f"({point['ttft_ms']:.2f} ms) does not beat the cold point "
+                f"({cold:.2f} ms): prefix adoption stopped paying for itself"
+            )
+        if point.get("tokens_identical") is not True:
+            fail(
+                f"tokens at {proportion}% shared diverged from the flat "
+                "reference engine: the bit-identity contract broke"
+            )
+        if int(proportion) >= 50 and point.get("prefix_hits", 0) <= 0:
+            fail(
+                f"no prefix-registry hit at {proportion}% shared: adoption "
+                "went unexercised where it must engage"
+            )
+    if fresh.get("page_restores", 0) <= 0:
+        fail(
+            "caching sweep restored no spilled pages: the encrypted "
+            "spill/restore path went unexercised (pool no longer "
+            "over-subscribed?)"
+        )
+    warm = points[max(points, key=int)]
+    print(
+        f"caching: cold {cold:.2f} ms -> 100% shared "
+        f"{warm['ttft_ms']:.2f} ms ({warm['ttft_vs_cold']:.2f}x), "
+        f"hit rate {fresh.get('prefix_hit_rate', 0):.2f}, "
+        f"{fresh['page_spills']} spills / {fresh['page_restores']} "
+        "restores, tokens identical: OK"
+    )
 
 
 def main():
@@ -200,13 +273,15 @@ def main():
         check_preemption(load(sys.argv[2]))
     elif len(sys.argv) == 3 and sys.argv[1] == "--serving":
         check_serving(load(sys.argv[2]))
+    elif len(sys.argv) == 3 and sys.argv[1] == "--caching":
+        check_caching(load(sys.argv[2]))
     elif len(sys.argv) == 3:
         check_clean(load(sys.argv[1]), load(sys.argv[2]))
     else:
         fail(
             f"usage: {sys.argv[0]} <fresh.json> <committed.json> | "
             "--fault <fresh.json> | --preemption <preemption.json> | "
-            "--serving <serving.json>"
+            "--serving <serving.json> | --caching <caching.json>"
         )
     print("bench regression guard: all checks passed")
 

@@ -13,13 +13,15 @@ invariants"):
                    hybrid timeline measures host kernel wall time with it,
                    but never feeds it into computed values).
 
-  raw-alloc        TA code (src/tee/, src/core/, src/crypto/) must not use
+  raw-alloc        TA code (src/tee/, src/core/, src/crypto/, plus the
+                   paged-KV pool, src/llm/kv_*) must not use
                    raw allocation (new[], malloc/calloc/realloc/strdup).
                    TA heap budgets are modeled and audited; raw
                    allocations bypass both the budget accounting and the
                    secure-memory zeroization discipline.
 
-  tee-boundary     TEE code (src/tee/, src/core/, src/crypto/) must not
+  tee-boundary     TEE code (src/tee/, src/core/, src/crypto/,
+                   src/llm/kv_*) must not
                    write secure-world pointers into REE-visible structures
                    (SmcArgs registers, shared-memory descriptors). The
                    pointer-to-integer cast (reinterpret_cast<uint64_t/
@@ -60,8 +62,11 @@ REPO_MARKER = "ROADMAP.md"
 # Rule name -> repo-relative directory prefixes it applies to.
 RULE_SCOPES = {
     "nondeterminism": ("src/llm/", "src/core/", "src/serve/"),
-    "raw-alloc": ("src/tee/", "src/core/", "src/crypto/"),
-    "tee-boundary": ("src/tee/", "src/core/", "src/crypto/"),
+    # src/llm/kv_: the paged KV pool hands out secure frames and builds
+    # encrypted REE spill blobs — allocation discipline matters there as
+    # much as in the TA proper.
+    "raw-alloc": ("src/tee/", "src/core/", "src/crypto/", "src/llm/kv_"),
+    "tee-boundary": ("src/tee/", "src/core/", "src/crypto/", "src/llm/kv_"),
     "ignored-status": ("src/",),
 }
 

@@ -5,11 +5,29 @@
 #include <set>
 
 #include "src/common/log.h"
+#include "src/crypto/sha256.h"
 #include "src/llm/cost_model.h"
 #include "src/llm/graph.h"
 #include "src/tee/checkpoint.h"
 
 namespace tzllm {
+
+namespace {
+
+// KV spill blobs live in attacker-controlled REE memory, so they get their
+// own key, derived from the model key with a fixed label (never the model
+// key itself: a break of the spill path must not expose the weights).
+AesKey128 DeriveKvSpillKey(const AesKey128& model_key) {
+  Sha256 hasher;
+  hasher.Update(model_key.data(), model_key.size());
+  hasher.Update("kv-spill");
+  const Sha256Digest digest = hasher.Finalize();
+  AesKey128 key{};
+  std::copy(digest.begin(), digest.begin() + key.size(), key.begin());
+  return key;
+}
+
+}  // namespace
 
 LlmTa::LlmTa(SocPlatform* platform, TeeOs* tee_os, TzDriver* tz_driver,
              const EngineOptions& engine_options, TeeNpuDriver* npu_driver)
@@ -60,10 +78,10 @@ Status LlmTa::LoadModel(const std::string& model_id, SchedulePolicy policy) {
 
   // 3. Scratch region for the KV arena / activations (also hosts NPU job
   //    execution contexts). Budgeted at the width the caches will actually
-  //    store: ModelSpec::KvCacheBytes accounts the default f16 arena, the
-  //    f32 reference mode doubles it, and serving multiplies it by
-  //    max_sessions — one full private slot per admissible session, plus a
-  //    vocab-size logits row each — so accounted == resident in every mode.
+  //    store: KvArena::BudgetBytes accounts the flat per-session slots or
+  //    the shared KV page pool (whichever this configuration builds), plus
+  //    a vocab-size logits row per admissible session — so accounted ==
+  //    resident in every mode.
   //    NPU prefill adds the job execution-context window (double-buffered
   //    cmd/iopt/in/out slots) at the region tail, so CreateJob's TZASC
   //    validation passes exactly because the budget covered it.
@@ -94,13 +112,25 @@ Status LlmTa::LoadModel(const std::string& model_id, SchedulePolicy policy) {
                      fault_plan.ToString().c_str());
     }
   }
-  const uint64_t kv_width_factor =
-      KvStorageFor(engine_options_) == KvStorage::kF32 ? 2 : 1;
+  // The KV share of the budget comes from the SAME static the arena itself
+  // is sized by (KvArena::BudgetBytes) — flat slots and the paged pool alike
+  // — so accounted == ArenaBytes() in every mode and the two can never
+  // drift. With paged_kv and kv_pool_bytes == 0 the pool inherits the flat
+  // slots x per-session product: paging never grows the scratch region.
+  KvArenaOptions arena_options;
+  arena_options.slots = engine_options_.max_sessions;
+  arena_options.storage = KvStorageFor(engine_options_);
+  arena_options.kernels = KernelsFor(engine_options_);
+  arena_options.paged = engine_options_.paged_kv;
+  arena_options.pool.page_positions = engine_options_.kv_page_positions;
+  arena_options.pool.pool_bytes = engine_options_.kv_pool_bytes;
+  arena_options.pool.spill = engine_options_.kv_spill;
+  arena_options.pool.spill_key = DeriveKvSpillKey(model_key_);
+  arena_options.prefix_entries = engine_options_.kv_prefix_entries;
   const uint64_t n_slots =
       static_cast<uint64_t>(engine_options_.max_sessions);
   scratch_bytes_ = AlignUp(
-      spec_->KvCacheBytes(spec_->config().max_ctx) * kv_width_factor *
-              n_slots +
+      KvArena::BudgetBytes(*spec_, arena_options) +
           spec_->ActivationBytes() +
           n_slots * spec_->config().vocab_size * sizeof(float) +
           npu_ctx_bytes_ + 64 * kKiB,
@@ -121,9 +151,20 @@ Status LlmTa::LoadModel(const std::string& model_id, SchedulePolicy policy) {
   //    NPU co-driver when requested.
   tokenizer_ = std::make_unique<Tokenizer>(spec_->config().vocab_size);
   weights_ = std::make_unique<SecureWeightSource>(this);
-  kv_arena_ = std::make_unique<KvArena>(*spec_, engine_options_.max_sessions,
-                                        KvStorageFor(engine_options_),
-                                        KernelsFor(engine_options_));
+  kv_arena_ = std::make_unique<KvArena>(*spec_, arena_options);
+  if (kv_arena_->paged()) {
+    // The pool may be smaller than slots x full-context (over-subscription
+    // is the point), but it must at least hold ONE session's full context
+    // resident: a decode step pins every page of its session, so a pool
+    // below that floor could wedge with every frame pinned.
+    const KvPagePool* pool = kv_arena_->pool();
+    if (static_cast<uint64_t>(pool->frames()) * pool->page_positions() <
+        static_cast<uint64_t>(spec_->config().max_ctx)) {
+      return InvalidArgument(
+          "EngineOptions::kv_pool_bytes too small: the KV page pool cannot "
+          "hold one session's full context resident");
+    }
+  }
   if (engine_options_.npu_prefill_active()) {
     NpuBackendConfig backend_config;
     backend_config.platform = platform_;
@@ -334,6 +375,13 @@ Result<SessionId> LlmTa::AdmitSession(const std::string& prompt,
   TZLLM_ASSIGN_OR_RETURN(slot, kv_arena_->Acquire());
   s.sid = next_sid_++;
   s.slot = slot;
+  // Cross-session prefix sharing: if a registered prompt prefix matches,
+  // the fresh cache maps its read-only pages and prefill resumes past them.
+  // Exact-token match against KV rows produced by this same engine
+  // configuration, and chunked prefill is bit-identical at any boundary —
+  // so adoption changes TTFT, never a logit.
+  const int adopted = kv_arena_->AdoptPrefix(slot, s.prompt_tokens);
+  s.prefill_pos = adopted;
   // Mirror Prefill's dispatch exactly so the chunked prompt runs the same
   // schedule the one-shot call would have.
   s.per_position = engine_options_.use_reference_kernels ||
@@ -368,6 +416,12 @@ Result<bool> LlmTa::PrefillSessionChunk(SessionId sid) {
   if (last) {
     s->prefilled = true;
     s->next_token = s->sampler->Sample(s->logits);
+    // The fully-prefilled prompt becomes a shareable prefix: later sessions
+    // with the same leading tokens map these pages read-only (our own next
+    // append copies-on-write off the shared tail page). No-op when paging
+    // or sharing is disabled.
+    TZLLM_RETURN_IF_ERROR(
+        kv_arena_->RegisterPrefix(s->slot, s->prompt_tokens));
   }
   return s->prefilled;
 }
@@ -423,10 +477,7 @@ Status LlmTa::DecodeSessions(const std::vector<SessionId>& sids) {
                         ? engine_options_.decode_batch
                         : static_cast<int>(batch.size());
   std::vector<TransformerExecutor::DecodeEntry> entries;
-  for (size_t off = 0; off < batch.size();
-       off += static_cast<size_t>(group)) {
-    const int n = static_cast<int>(
-        std::min(static_cast<size_t>(group), batch.size() - off));
+  auto run_group = [&](size_t off, int n) -> Status {
     entries.resize(n);
     for (int i = 0; i < n; ++i) {
       Session* s = batch[off + i];
@@ -443,6 +494,39 @@ Status LlmTa::DecodeSessions(const std::vector<SessionId>& sids) {
       s->next_token = s->sampler->Sample(s->logits);
       --s->remaining;
     }
+    return OkStatus();
+  };
+  if (!kv_arena_->paged()) {
+    for (size_t off = 0; off < batch.size();
+         off += static_cast<size_t>(group)) {
+      const int n = static_cast<int>(
+          std::min(static_cast<size_t>(group), batch.size() - off));
+      TZLLM_RETURN_IF_ERROR(run_group(off, n));
+    }
+    return OkStatus();
+  }
+  // Paged: a decode step pins every page of every session in its group, so
+  // greedily cap each group to what the pool can hold resident at once
+  // (PageCount + 2 per session: the step's append may open a page, and a
+  // shared tail page may privatize). An over-subscribed pool then decodes
+  // in several smaller steps — more ticks, never a wedge, and still the
+  // same per-session floats.
+  const uint64_t frames = static_cast<uint64_t>(kv_arena_->pool()->frames());
+  size_t off = 0;
+  while (off < batch.size()) {
+    int n = 0;
+    uint64_t need_sum = 0;
+    while (off + n < batch.size() && n < group) {
+      const uint64_t need = static_cast<uint64_t>(
+          kv_arena_->cache(batch[off + n]->slot)->PageCount() + 2);
+      if (n > 0 && need_sum + need > frames) {
+        break;
+      }
+      need_sum += need;
+      ++n;
+    }
+    TZLLM_RETURN_IF_ERROR(run_group(off, n));
+    off += static_cast<size_t>(n);
   }
   return OkStatus();
 }
@@ -654,7 +738,9 @@ Status LlmTa::SealSession(Session* s, const std::string& ckpt_id) {
   for (uint64_t word : rng_state) {
     PutU64(&blob, word);
   }
-  kv_arena_->cache(s->slot)->SerializeState(&blob);
+  // Paged caches restore any spilled page first; a tampered REE spill
+  // surfaces here as kDataCorruption instead of sealing poisoned KV.
+  TZLLM_RETURN_IF_ERROR(kv_arena_->cache(s->slot)->SerializeState(&blob));
 
   CheckpointService checkpoints(&platform_->flash());
   auto saved = checkpoints.Save(ckpt_id, model_key_, blob);

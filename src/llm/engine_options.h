@@ -139,6 +139,31 @@ struct EngineOptions {
   // queue.
   ServeEvictPolicy serve_eviction = ServeEvictPolicy::kPriority;
 
+  // --- Paged KV group: page pool, REE spill and prefix sharing. ---------
+
+  // Backs the session KV slots with a shared page pool (fixed pages of
+  // kv_page_positions positions x all layers, refcounted, LRU-spilled to
+  // encrypted REE memory under pressure) instead of fully-resident flat
+  // arenas. Logits are bit-identical either way; false keeps the flat
+  // arenas as the paging ablation baseline.
+  bool paged_kv = true;
+  // Sequence positions per KV page. Smaller pages spill and share at finer
+  // grain but add page hops to the attention walk.
+  int kv_page_positions = 16;
+  // Secure-resident budget of the page pool in bytes; 0 = the flat budget
+  // (max_sessions x per-session arena bytes), so enabling paging never
+  // grows the scratch region. Values below one session's full-context
+  // footprint over-subscribe physical residency and lean on spill.
+  uint64_t kv_pool_bytes = 0;
+  // Allow evicting cold pages to AES-CTR + SHA-256 protected REE blobs
+  // (restored and integrity-checked on demand; tamper => kDataCorruption).
+  // Off = the pool is a hard allocation budget.
+  bool kv_spill = true;
+  // Capacity of the cross-session shared-prefix registry (sessions whose
+  // prompts share a registered token prefix map the same read-only pages,
+  // copy-on-write past the fork point). 0 disables sharing.
+  int kv_prefix_entries = 16;
+
   // True exactly when this configuration routes prefill to the NPU backend
   // (reference kernels and prefill_batch <= 1 force the per-position CPU
   // path, making npu_prefill genuinely inert) — THE predicate LoadModel

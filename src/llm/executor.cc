@@ -141,11 +141,6 @@ void TransformerExecutor::Attend(int layer, int start, int m, const float* q,
   const int group = n_heads / c.n_kv_heads;
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
   const bool f16 = kv.storage() == KvStorage::kF16;
-  // Cache rows of a layer are contiguous per plane: row p == base + p*kv_dim.
-  const uint16_t* kbase16 = f16 ? kv.KeyHalfAt(layer, 0) : nullptr;
-  const uint16_t* vbase16 = f16 ? kv.ValueHalfAt(layer, 0) : nullptr;
-  const float* kbase32 = f16 ? nullptr : kv.KeyAt(layer, 0);
-  const float* vbase32 = f16 ? nullptr : kv.ValueAt(layer, 0);
 
   // One flat work list of m x n_heads independent (position, head) items,
   // split into one contiguous range per pool part (the same static
@@ -162,29 +157,51 @@ void TransformerExecutor::Attend(int layer, int start, int m, const float* q,
       const int kv_head = h / group;
       const float* qh = q + static_cast<size_t>(i) * d + h * head_dim;
       const size_t head_off = static_cast<size_t>(kv_head) * head_dim;
+      // Cache rows are contiguous in runs of RunLen(p) positions per plane
+      // (one max_ctx run in flat mode, one page in paged mode); the walk
+      // hops bases between runs but visits positions — and accumulates
+      // floats — in exactly the flat order, so paging never moves a float.
+      // The caller holds a step pin, so every page base stays valid across
+      // this parallel region.
       if (f16) {
-        const uint16_t* kp = kbase16 + head_off;
-        for (int p = 0; p <= pos; ++p, kp += kv_dim) {
-          scores[p] = kernels_->dot_qk_f16(qh, kp, head_dim) * scale;
+        for (int p = 0; p <= pos;) {
+          const int run = std::min(kv.RunLen(p), pos + 1 - p);
+          const uint16_t* kp = kv.KeyHalfAt(layer, p) + head_off;
+          for (int r = 0; r < run; ++r, kp += kv_dim) {
+            scores[p + r] = kernels_->dot_qk_f16(qh, kp, head_dim) * scale;
+          }
+          p += run;
         }
       } else {
-        const float* kp = kbase32 + head_off;
-        for (int p = 0; p <= pos; ++p, kp += kv_dim) {
-          scores[p] = kernels_->dot_qk_f32(qh, kp, head_dim) * scale;
+        for (int p = 0; p <= pos;) {
+          const int run = std::min(kv.RunLen(p), pos + 1 - p);
+          const float* kp = kv.KeyAt(layer, p) + head_off;
+          for (int r = 0; r < run; ++r, kp += kv_dim) {
+            scores[p + r] = kernels_->dot_qk_f32(qh, kp, head_dim) * scale;
+          }
+          p += run;
         }
       }
       kernels_->softmax(scores, pos + 1);
       float* oh = out + static_cast<size_t>(i) * d + h * head_dim;
       std::fill(oh, oh + head_dim, 0.0f);
       if (f16) {
-        const uint16_t* vp = vbase16 + head_off;
-        for (int p = 0; p <= pos; ++p, vp += kv_dim) {
-          kernels_->axpy_f16(scores[p], vp, oh, head_dim);
+        for (int p = 0; p <= pos;) {
+          const int run = std::min(kv.RunLen(p), pos + 1 - p);
+          const uint16_t* vp = kv.ValueHalfAt(layer, p) + head_off;
+          for (int r = 0; r < run; ++r, vp += kv_dim) {
+            kernels_->axpy_f16(scores[p + r], vp, oh, head_dim);
+          }
+          p += run;
         }
       } else {
-        const float* vp = vbase32 + head_off;
-        for (int p = 0; p <= pos; ++p, vp += kv_dim) {
-          kernels_->axpy_f32(scores[p], vp, oh, head_dim);
+        for (int p = 0; p <= pos;) {
+          const int run = std::min(kv.RunLen(p), pos + 1 - p);
+          const float* vp = kv.ValueAt(layer, p) + head_off;
+          for (int r = 0; r < run; ++r, vp += kv_dim) {
+            kernels_->axpy_f32(scores[p + r], vp, oh, head_dim);
+          }
+          p += run;
         }
       }
     }
@@ -224,6 +241,10 @@ Status TransformerExecutor::ForwardPosition(float* hidden, int pos,
   const int d = c.d_model;
   const int kv_dim = c.kv_dim();
   EnsureWorkspace(1);
+  // Paged caches: restore any spilled page and hold everything resident for
+  // the position (appends mid-loop allocate born-pinned pages).
+  TZLLM_ASSIGN_OR_RETURN(step_pin, kv->PinForStep());
+  (void)step_pin;
 
   for (int l = 0; l < c.n_layers; ++l) {
     // --- Attention block. ---
@@ -290,6 +311,8 @@ Status TransformerExecutor::ForwardChunk(const TokenId* tokens, int m,
     return ResourceExhausted("KV cache full (context length exceeded)");
   }
   EnsureWorkspace(m);
+  TZLLM_ASSIGN_OR_RETURN(step_pin, kv->PinForStep());
+  (void)step_pin;
   // Every heavyweight matmul of the chunk goes through the backend seam as
   // a grouped submission; the submit+Await pairs here make this the serial
   // schedule (the pipelined one lives in ForwardPromptPipelined).
@@ -469,6 +492,10 @@ Result<std::vector<float>> TransformerExecutor::ForwardPromptPipelined(
                   "KV cache full (context length exceeded)");
   }
   EnsureWorkspace(1);  // Attention scratch (scores_) and the logits path.
+  // One pin spans the whole wavefront: chunk attentions read earlier
+  // chunks' pages while later chunks append, so nothing may move.
+  TZLLM_ASSIGN_OR_RETURN(step_pin, kv->PinForStep());
+  (void)step_pin;
   const int n_chunks =
       static_cast<int>((tokens.size() + chunk - 1) / chunk);
   // Size the slots the wavefront will actually occupy (a single-chunk
@@ -693,6 +720,18 @@ Status TransformerExecutor::DecodeStepBatch(const DecodeEntry* entries,
     }
   }
   EnsureWorkspace(n);
+  // Pin every cache in the group for the whole step: the per-layer loop
+  // interleaves session appends, and an unpinned neighbor's page could
+  // otherwise be evicted between a session's append and its attend.
+  std::vector<KvCachePin> step_pins;
+  step_pins.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    auto pin = entries[i].kv->PinForStep();
+    if (!pin.ok()) {
+      return pin.status();
+    }
+    step_pins.push_back(std::move(*pin));
+  }
   for (int i = 0; i < n; ++i) {
     TZLLM_RETURN_IF_ERROR(
         EmbedToken(entries[i].token, hiddens_.data() + i * d));

@@ -1,0 +1,324 @@
+#include "src/llm/kv_page_pool.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "src/crypto/key_hierarchy.h"
+#include "src/crypto/sha256.h"
+
+namespace tzllm {
+
+namespace {
+
+// Spill blob layout (all little-endian, the checkpoint idiom):
+//   magic | u32 page_id | u64 spill_seq | sha256(plaintext) | ciphertext.
+// The hash is over the plaintext page, so any bit flipped in the REE blob
+// decrypts to a page whose digest no longer matches — kDataCorruption, the
+// same contract the PR 6 session checkpoints enforce.
+constexpr char kSpillMagic[8] = {'T', 'Z', 'K', 'V', 'P', 'G', '0', '1'};
+constexpr size_t kSpillHeader = sizeof(kSpillMagic) + 4 + 8 + 32;
+
+AesBlock SpillIv(KvPageId id, uint64_t seq) {
+  // Fresh IV per (page, spill generation): CTR keystream never repeats even
+  // when the same page spills repeatedly under one key.
+  return KeyHierarchy::ModelIv("kv-page/" + std::to_string(id) + "/" +
+                               std::to_string(seq));
+}
+
+}  // namespace
+
+uint64_t KvPagePool::PageBytes(const ModelSpec& spec, KvStorage storage,
+                               int page_positions) {
+  const LlmConfig& c = spec.config();
+  const uint64_t elem = storage == KvStorage::kF16 ? 2 : 4;
+  return static_cast<uint64_t>(c.n_layers) * page_positions * c.kv_dim() *
+         kKvVectorsPerPosition * elem;
+}
+
+int KvPagePool::FramesFor(const ModelSpec& spec, KvStorage storage,
+                          const KvPagePoolOptions& opts) {
+  const uint64_t page = PageBytes(spec, storage, opts.page_positions);
+  return static_cast<int>(std::max<uint64_t>(1, opts.pool_bytes / page));
+}
+
+KvPagePool::KvPagePool(const ModelSpec& spec, KvStorage storage,
+                       const KvPagePoolOptions& opts)
+    : n_layers_(spec.config().n_layers),
+      kv_dim_(spec.config().kv_dim()),
+      page_positions_(std::max(1, opts.page_positions)),
+      storage_(storage),
+      spill_(opts.spill),
+      spill_key_(opts.spill_key) {
+  v_plane_ = static_cast<size_t>(n_layers_) * page_positions_ * kv_dim_;
+  page_elems_ = v_plane_ * kKvVectorsPerPosition;
+  page_bytes_ = PageBytes(spec, storage_, page_positions_);
+  const int n_frames = FramesFor(spec, storage_, opts);
+  frames_.resize(static_cast<size_t>(n_frames) * page_bytes_ / sizeof(uint64_t),
+                 0);
+  frame_owner_.assign(n_frames, kInvalidKvPage);
+  free_frames_.reserve(n_frames);
+  // Highest index first so pop_back hands out frame 0, 1, ... in order.
+  for (int f = n_frames - 1; f >= 0; --f) {
+    free_frames_.push_back(f);
+  }
+}
+
+void KvPagePool::ScrubFrame(int frame) {
+  std::memset(FrameBytes(frame), 0, page_bytes_);
+}
+
+Result<int> KvPagePool::TakeFrame() {
+  if (!free_frames_.empty()) {
+    const int frame = free_frames_.back();
+    free_frames_.pop_back();
+    return frame;
+  }
+  // Evict the least-recently-touched unpinned resident page. The scan is
+  // over live pages (bounded by frames + spilled), and ties break toward
+  // the smallest id — fully deterministic.
+  KvPageId victim = kInvalidKvPage;
+  for (KvPageId id = 0; id < pages_.size(); ++id) {
+    const Page& p = pages_[id];
+    if (p.state != PageState::kResident || p.pins > 0) {
+      continue;
+    }
+    if (victim == kInvalidKvPage || p.lru < pages_[victim].lru) {
+      victim = id;
+    }
+  }
+  if (victim == kInvalidKvPage) {
+    return Status(ErrorCode::kResourceExhausted,
+                  "KV page pool exhausted: every resident page is pinned "
+                  "(shrink the decode batch or raise kv_pool_bytes)");
+  }
+  if (!spill_) {
+    return Status(ErrorCode::kResourceExhausted,
+                  "KV page pool full and spill is disabled "
+                  "(EngineOptions::kv_spill): raise kv_pool_bytes or finish "
+                  "a session");
+  }
+  TZLLM_RETURN_IF_ERROR(SpillPage(victim));
+  const int frame = free_frames_.back();
+  free_frames_.pop_back();
+  return frame;
+}
+
+Status KvPagePool::SpillPage(KvPageId id) {
+  Page& p = pages_[id];
+  if (p.state != PageState::kResident) {
+    return Internal("spill of a non-resident KV page");
+  }
+  p.spill_seq = ++spill_clock_;
+  std::vector<uint8_t> blob;
+  blob.reserve(kSpillHeader + page_bytes_);
+  blob.insert(blob.end(), kSpillMagic, kSpillMagic + sizeof(kSpillMagic));
+  for (int i = 0; i < 4; ++i) {
+    blob.push_back(static_cast<uint8_t>(id >> (8 * i)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    blob.push_back(static_cast<uint8_t>(p.spill_seq >> (8 * i)));
+  }
+  const uint8_t* plain = FrameBytes(p.frame);
+  const Sha256Digest digest = Sha256::Hash(plain, page_bytes_);
+  blob.insert(blob.end(), digest.begin(), digest.end());
+  const size_t ct_off = blob.size();
+  blob.insert(blob.end(), plain, plain + page_bytes_);
+  AesCtr ctr(spill_key_, SpillIv(id, p.spill_seq));
+  ctr.CryptAll(blob.data() + ct_off, page_bytes_);
+  p.ree_blob = std::move(blob);
+  // Scrub before the frame is reused: no KV plaintext outlives eviction.
+  ScrubFrame(p.frame);
+  frame_owner_[p.frame] = kInvalidKvPage;
+  free_frames_.push_back(p.frame);
+  p.frame = -1;
+  p.state = PageState::kSpilled;
+  ++spilled_pages_;
+  ++stats_.spills;
+  return OkStatus();
+}
+
+Status KvPagePool::RestorePage(KvPageId id) {
+  Page& p = pages_[id];
+  if (p.state != PageState::kSpilled) {
+    return Internal("restore of a non-spilled KV page");
+  }
+  const std::vector<uint8_t>& blob = p.ree_blob;
+  if (blob.size() != kSpillHeader + page_bytes_ ||
+      std::memcmp(blob.data(), kSpillMagic, sizeof(kSpillMagic)) != 0) {
+    return Status(ErrorCode::kDataCorruption,
+                  "spilled KV page blob truncated or bad magic");
+  }
+  size_t off = sizeof(kSpillMagic);
+  uint32_t blob_id = 0;
+  for (int i = 0; i < 4; ++i) {
+    blob_id |= static_cast<uint32_t>(blob[off + i]) << (8 * i);
+  }
+  off += 4;
+  uint64_t seq = 0;
+  for (int i = 0; i < 8; ++i) {
+    seq |= static_cast<uint64_t>(blob[off + i]) << (8 * i);
+  }
+  off += 8;
+  if (blob_id != id || seq != p.spill_seq) {
+    // A stale or foreign blob substituted in REE memory (replay of an older
+    // spill generation included) decrypts under the wrong IV anyway; fail
+    // on the labels first for a clear diagnosis.
+    return Status(ErrorCode::kDataCorruption,
+                  "spilled KV page blob labels do not match the page");
+  }
+  Sha256Digest stored;
+  std::memcpy(stored.data(), blob.data() + off, 32);
+  off += 32;
+
+  TZLLM_ASSIGN_OR_RETURN(frame, TakeFrame());
+  uint8_t* dst = FrameBytes(frame);
+  std::memcpy(dst, blob.data() + off, page_bytes_);
+  AesCtr ctr(spill_key_, SpillIv(id, p.spill_seq));
+  ctr.CryptAll(dst, page_bytes_);
+  if (Sha256::Hash(dst, page_bytes_) != stored) {
+    ScrubFrame(frame);
+    free_frames_.push_back(frame);
+    return Status(ErrorCode::kDataCorruption,
+                  "spilled KV page failed its integrity check (REE memory "
+                  "tampered)");
+  }
+  p.ree_blob.clear();
+  p.ree_blob.shrink_to_fit();
+  p.frame = frame;
+  frame_owner_[frame] = id;
+  p.state = PageState::kResident;
+  --spilled_pages_;
+  ++stats_.restores;
+  return OkStatus();
+}
+
+Result<KvPageId> KvPagePool::Alloc(bool pinned) {
+  TZLLM_ASSIGN_OR_RETURN(frame, TakeFrame());
+  KvPageId id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  } else {
+    id = static_cast<KvPageId>(pages_.size());
+    pages_.emplace_back();
+  }
+  Page& p = pages_[id];
+  p.state = PageState::kResident;
+  p.frame = frame;
+  p.refs = 1;
+  p.pins = pinned ? 1 : 0;
+  p.lru = ++lru_clock_;
+  p.spill_seq = 0;
+  frame_owner_[frame] = id;
+  // Frames are scrubbed on every release, so a fresh page is already zero.
+  return id;
+}
+
+void KvPagePool::Ref(KvPageId id) {
+  if (ValidLive(id)) {
+    ++pages_[id].refs;
+  }
+}
+
+Status KvPagePool::Unref(KvPageId id) {
+  if (!ValidLive(id)) {
+    return InvalidArgument("unref of a free or invalid KV page");
+  }
+  Page& p = pages_[id];
+  if (--p.refs > 0) {
+    return OkStatus();
+  }
+  if (p.pins > 0) {
+    return Internal("last unref of a pinned KV page");
+  }
+  if (p.state == PageState::kResident) {
+    ScrubFrame(p.frame);
+    frame_owner_[p.frame] = kInvalidKvPage;
+    free_frames_.push_back(p.frame);
+    p.frame = -1;
+  } else {
+    p.ree_blob.clear();
+    p.ree_blob.shrink_to_fit();
+    --spilled_pages_;
+  }
+  p.state = PageState::kFree;
+  free_ids_.push_back(id);
+  return OkStatus();
+}
+
+int KvPagePool::refcount(KvPageId id) const {
+  return ValidLive(id) ? pages_[id].refs : 0;
+}
+
+bool KvPagePool::resident(KvPageId id) const {
+  return ValidLive(id) && pages_[id].state == PageState::kResident;
+}
+
+Status KvPagePool::EnsureResident(KvPageId id) {
+  if (!ValidLive(id)) {
+    return InvalidArgument("EnsureResident on a free or invalid KV page");
+  }
+  Page& p = pages_[id];
+  if (p.state == PageState::kSpilled) {
+    TZLLM_RETURN_IF_ERROR(RestorePage(id));
+  }
+  p.lru = ++lru_clock_;
+  return OkStatus();
+}
+
+Status KvPagePool::Pin(KvPageId id) {
+  TZLLM_RETURN_IF_ERROR(EnsureResident(id));
+  ++pages_[id].pins;
+  return OkStatus();
+}
+
+void KvPagePool::Unpin(KvPageId id) {
+  if (ValidLive(id) && pages_[id].pins > 0) {
+    --pages_[id].pins;
+  }
+}
+
+void KvPagePool::Touch(KvPageId id) {
+  if (ValidLive(id)) {
+    pages_[id].lru = ++lru_clock_;
+  }
+}
+
+uint16_t* KvPagePool::Data16(KvPageId id) {
+  return resident(id) ? reinterpret_cast<uint16_t*>(FrameBytes(pages_[id].frame))
+                      : nullptr;
+}
+
+const uint16_t* KvPagePool::Data16(KvPageId id) const {
+  return resident(id)
+             ? reinterpret_cast<const uint16_t*>(FrameBytes(pages_[id].frame))
+             : nullptr;
+}
+
+float* KvPagePool::Data32(KvPageId id) {
+  return resident(id) ? reinterpret_cast<float*>(FrameBytes(pages_[id].frame))
+                      : nullptr;
+}
+
+const float* KvPagePool::Data32(KvPageId id) const {
+  return resident(id)
+             ? reinterpret_cast<const float*>(FrameBytes(pages_[id].frame))
+             : nullptr;
+}
+
+uint8_t* KvPagePool::ree_blob_data(KvPageId id) {
+  if (!ValidLive(id) || pages_[id].state != PageState::kSpilled) {
+    return nullptr;
+  }
+  return pages_[id].ree_blob.data();
+}
+
+size_t KvPagePool::ree_blob_size(KvPageId id) const {
+  if (!ValidLive(id) || pages_[id].state != PageState::kSpilled) {
+    return 0;
+  }
+  return pages_[id].ree_blob.size();
+}
+
+}  // namespace tzllm

@@ -196,12 +196,27 @@ Result<bool> ServingRuntime::Tick() {
     worked = true;
   }
 
+  SnapshotKvStats();
   const int left = pending();
   if (left > 0 && !worked) {
     return Status(ErrorCode::kInternal,
                   "serving scheduler stalled with requests outstanding");
   }
   return left > 0;
+}
+
+void ServingRuntime::SnapshotKvStats() {
+  const KvArena* arena = ta_->kv_arena();
+  if (arena == nullptr || !arena->paged()) {
+    return;
+  }
+  const KvPageStats& pages = arena->pool()->stats();
+  stats_.page_spills = pages.spills;
+  stats_.page_restores = pages.restores;
+  stats_.cow_copies = pages.cow_copies;
+  const KvArena::PrefixStats& prefix = arena->prefix_stats();
+  stats_.prefix_lookups = prefix.lookups;
+  stats_.prefix_hits = prefix.hits;
 }
 
 int ServingRuntime::pending() const {

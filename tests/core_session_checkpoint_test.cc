@@ -269,7 +269,7 @@ TEST(SessionCheckpointTest, KvSnapshotGuardsGeometryAndTruncation) {
   cache.FinishPosition();
 
   std::vector<uint8_t> snapshot;
-  cache.SerializeState(&snapshot);
+  ASSERT_TRUE(cache.SerializeState(&snapshot).ok());
 
   // Round-trips into a same-geometry cache.
   KvCache twin(spec);

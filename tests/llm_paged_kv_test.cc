@@ -1,0 +1,794 @@
+// Paged KV cache (ISSUE 9): pool-backed page tables must change WHERE the
+// cache bytes live, never their values — logits and greedy tokens stay
+// bit-identical to the flat arena across page hops, encrypted REE spill +
+// restore, copy-on-write forks off a shared prefix, and over-subscribed
+// serving. Tampering with a spilled page in REE memory fails closed with
+// kDataCorruption (the PR 6 checkpoint contract), and the accounting
+// (CurrentBytes resident-only, BudgetBytes == ArenaBytes) stays truthful in
+// every storage x paging mode.
+
+#include "src/llm/kv_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/runtime.h"
+#include "src/llm/tensor.h"
+
+namespace tzllm {
+namespace {
+
+constexpr int kPagePositions = 4;
+
+AesKey128 TestSpillKey() {
+  AesKey128 key{};
+  for (size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<uint8_t>(0xA0 + i);
+  }
+  return key;
+}
+
+class PagedKvTest : public ::testing::Test {
+ protected:
+  PagedKvTest() : spec_(ModelSpec::Create(TestTinyModel())) {}
+
+  int kv_dim() const { return spec_.config().kv_dim(); }
+  int n_layers() const { return spec_.config().n_layers; }
+  int max_ctx() const { return spec_.config().max_ctx; }
+
+  KvPagePoolOptions PoolOpts(int frames, bool spill = true) const {
+    KvPagePoolOptions o;
+    o.page_positions = kPagePositions;
+    o.pool_bytes = frames * KvPagePool::PageBytes(spec_, KvStorage::kF16,
+                                                  kPagePositions);
+    o.spill = spill;
+    o.spill_key = TestSpillKey();
+    return o;
+  }
+
+  // Deterministic small-integer rows: exactly representable at f16, so
+  // every comparison below is equality, not tolerance. `salt` distinguishes
+  // sessions.
+  float KVal(int layer, int pos, int i, float salt = 0.0f) const {
+    return 100.0f * layer + 10.0f * pos + i % 7 + salt;
+  }
+  float VVal(int layer, int pos, int i, float salt = 0.0f) const {
+    return 1000.0f + KVal(layer, pos, i, salt);
+  }
+
+  void AppendPosition(KvCache* c, int pos, float salt = 0.0f) const {
+    std::vector<float> k(kv_dim()), v(kv_dim());
+    for (int l = 0; l < n_layers(); ++l) {
+      for (int i = 0; i < kv_dim(); ++i) {
+        k[i] = KVal(l, pos, i, salt);
+        v[i] = VVal(l, pos, i, salt);
+      }
+      ASSERT_TRUE(c->Append(l, k.data(), v.data()).ok())
+          << "layer " << l << " pos " << pos;
+    }
+    c->FinishPosition();
+  }
+
+  void FillCache(KvCache* c, int positions, float salt = 0.0f) const {
+    for (int p = 0; p < positions; ++p) {
+      AppendPosition(c, p, salt);
+    }
+  }
+
+  // Reads one position's rows back (caller ensured residency for paged
+  // caches) and checks them against the fill pattern.
+  void ExpectRow(const KvCache& c, int layer, int pos,
+                 float salt = 0.0f) const {
+    for (int i = 0; i < kv_dim(); ++i) {
+      EXPECT_EQ(F16ToF32(c.KeyHalfAt(layer, pos)[i]), KVal(layer, pos, i, salt))
+          << "K layer " << layer << " pos " << pos << " elem " << i;
+      EXPECT_EQ(F16ToF32(c.ValueHalfAt(layer, pos)[i]),
+                VVal(layer, pos, i, salt))
+          << "V layer " << layer << " pos " << pos << " elem " << i;
+    }
+  }
+
+  // Paged read with residency: restore the position's page first (the
+  // executor's pin does this in production).
+  void ExpectRowResident(KvCache* c, KvPagePool* pool, int layer, int pos,
+                         float salt = 0.0f) const {
+    ASSERT_TRUE(pool->EnsureResident(c->pages()[pos / kPagePositions]).ok());
+    ExpectRow(*c, layer, pos, salt);
+  }
+
+  ModelSpec spec_;
+};
+
+// --- Pool geometry and budgets. -------------------------------------------
+
+TEST_F(PagedKvTest, PoolGeometryAndFrameFloor) {
+  const uint64_t f16 =
+      KvPagePool::PageBytes(spec_, KvStorage::kF16, kPagePositions);
+  EXPECT_EQ(f16, static_cast<uint64_t>(n_layers()) * kPagePositions *
+                     kv_dim() * kKvVectorsPerPosition * 2);
+  EXPECT_EQ(KvPagePool::PageBytes(spec_, KvStorage::kF32, kPagePositions),
+            2 * f16);
+
+  // pool_bytes == 0 still yields one frame (the pool is never zero-sized);
+  // otherwise the frame count is the floor of the budget.
+  KvPagePoolOptions opts = PoolOpts(0);
+  opts.pool_bytes = 0;
+  EXPECT_EQ(KvPagePool::FramesFor(spec_, KvStorage::kF16, opts), 1);
+  opts.pool_bytes = 3 * f16 + f16 / 2;
+  EXPECT_EQ(KvPagePool::FramesFor(spec_, KvStorage::kF16, opts), 3);
+
+  KvPagePool pool(spec_, KvStorage::kF16, PoolOpts(3));
+  EXPECT_EQ(pool.frames(), 3);
+  EXPECT_EQ(pool.free_frames(), 3);
+  EXPECT_EQ(pool.page_bytes(), f16);
+  EXPECT_EQ(pool.PoolBytes(), 3 * f16);
+}
+
+// --- Spill / restore. -----------------------------------------------------
+
+TEST_F(PagedKvTest, SpillRoundTripRestoresExactBytes) {
+  KvPagePool pool(spec_, KvStorage::kF16, PoolOpts(1));
+  auto a = pool.Alloc(/*pinned=*/false);
+  ASSERT_TRUE(a.ok());
+  uint16_t* data = pool.Data16(*a);
+  ASSERT_NE(data, nullptr);
+  const size_t elems = pool.page_bytes() / sizeof(uint16_t);
+  for (size_t i = 0; i < elems; ++i) {
+    data[i] = static_cast<uint16_t>(i * 2654435761u);
+  }
+  std::vector<uint16_t> expected(data, data + elems);
+
+  // The second allocation evicts the only unpinned page to REE memory.
+  auto b = pool.Alloc(false);
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(pool.resident(*a));
+  EXPECT_EQ(pool.spilled_pages(), 1);
+  EXPECT_EQ(pool.stats().spills, 1u);
+  EXPECT_EQ(pool.SpilledBytes(), pool.page_bytes());
+  EXPECT_EQ(pool.Data16(*a), nullptr);
+
+  // The REE blob is ciphertext: no plaintext KV row survives in it.
+  ASSERT_NE(pool.ree_blob_data(*a), nullptr);
+  ASSERT_GT(pool.ree_blob_size(*a), pool.page_bytes());
+  const uint8_t* ct = pool.ree_blob_data(*a) +
+                      (pool.ree_blob_size(*a) - pool.page_bytes());
+  EXPECT_NE(std::memcmp(ct, expected.data(), pool.page_bytes()), 0);
+
+  // Restore decrypts + verifies and hands back the exact bytes (evicting
+  // the other page in turn — one frame total).
+  ASSERT_TRUE(pool.EnsureResident(*a).ok());
+  EXPECT_FALSE(pool.resident(*b));
+  EXPECT_EQ(pool.stats().restores, 1u);
+  data = pool.Data16(*a);
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(std::memcmp(data, expected.data(), pool.page_bytes()), 0);
+}
+
+TEST_F(PagedKvTest, TamperedSpillBlobFailsClosed) {
+  KvPagePool pool(spec_, KvStorage::kF16, PoolOpts(1));
+  auto a = pool.Alloc(false);
+  ASSERT_TRUE(a.ok());
+  pool.Data16(*a)[7] = 0x1234;
+  auto b = pool.Alloc(false);
+  ASSERT_TRUE(b.ok());
+  ASSERT_FALSE(pool.resident(*a));
+
+  // Flip one ciphertext byte: the decrypted page no longer matches its
+  // SHA-256 digest — kDataCorruption, never silently wrong KV.
+  uint8_t* blob = pool.ree_blob_data(*a);
+  ASSERT_NE(blob, nullptr);
+  const size_t last = pool.ree_blob_size(*a) - 1;
+  blob[last] ^= 0x01;
+  EXPECT_EQ(pool.EnsureResident(*a).code(), ErrorCode::kDataCorruption);
+
+  // Undoing the flip makes the same blob restorable again: the failure was
+  // the tamper, not the spill machinery.
+  ASSERT_NE(pool.ree_blob_data(*a), nullptr);
+  pool.ree_blob_data(*a)[last] ^= 0x01;
+  EXPECT_TRUE(pool.EnsureResident(*a).ok());
+  EXPECT_EQ(F16ToF32(pool.Data16(*a)[7]), F16ToF32(0x1234));
+
+  // A relabeled blob (page-id bytes follow the 8-byte magic) is rejected on
+  // its labels — substituting another page's spill is tampering too.
+  ASSERT_FALSE(pool.resident(*b));
+  pool.ree_blob_data(*b)[8] ^= 0xFF;
+  EXPECT_EQ(pool.EnsureResident(*b).code(), ErrorCode::kDataCorruption);
+}
+
+TEST_F(PagedKvTest, PinnedPagesAreNeverEvicted) {
+  KvPagePool pool(spec_, KvStorage::kF16, PoolOpts(1));
+  auto a = pool.Alloc(/*pinned=*/true);
+  ASSERT_TRUE(a.ok());
+  // The only frame is pinned: allocation cannot evict it.
+  EXPECT_EQ(pool.Alloc(false).status().code(), ErrorCode::kResourceExhausted);
+  EXPECT_TRUE(pool.resident(*a));
+  pool.Unpin(*a);
+  auto b = pool.Alloc(false);
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(pool.resident(*a));
+}
+
+TEST_F(PagedKvTest, SpillDisabledIsAHardBudget) {
+  KvPagePool pool(spec_, KvStorage::kF16, PoolOpts(1, /*spill=*/false));
+  auto a = pool.Alloc(false);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(pool.Alloc(false).status().code(), ErrorCode::kResourceExhausted);
+  // Nothing left the secure region.
+  EXPECT_EQ(pool.spilled_pages(), 0);
+  EXPECT_EQ(pool.stats().spills, 0u);
+}
+
+TEST_F(PagedKvTest, LastUnrefScrubsAndRecyclesTheFrame) {
+  KvPagePool pool(spec_, KvStorage::kF16, PoolOpts(2));
+  auto a = pool.Alloc(false);
+  ASSERT_TRUE(a.ok());
+  pool.Data16(*a)[0] = 0xBEEF;
+  pool.Ref(*a);
+  EXPECT_EQ(pool.refcount(*a), 2);
+  ASSERT_TRUE(pool.Unref(*a).ok());
+  EXPECT_EQ(pool.refcount(*a), 1);
+  EXPECT_TRUE(pool.resident(*a));
+  ASSERT_TRUE(pool.Unref(*a).ok());
+  EXPECT_EQ(pool.free_frames(), 2);
+
+  // The recycled id hands out a scrubbed frame: no prior session's KV
+  // plaintext is observable through a fresh allocation.
+  auto again = pool.Alloc(false);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *a);
+  const uint16_t* data = pool.Data16(*again);
+  const size_t elems = pool.page_bytes() / sizeof(uint16_t);
+  for (size_t i = 0; i < elems; ++i) {
+    ASSERT_EQ(data[i], 0) << "elem " << i;
+  }
+}
+
+// --- Paged cache vs flat cache. -------------------------------------------
+
+TEST_F(PagedKvTest, PagedRowsMatchFlatBitExactly) {
+  KvPagePool pool(spec_, KvStorage::kF16, PoolOpts(16));
+  KvCache flat(spec_);
+  KvCache paged(spec_, &pool, KvStorage::kF16, nullptr);
+  EXPECT_FALSE(flat.paged());
+  EXPECT_TRUE(paged.paged());
+
+  const int positions = 10;  // 2 full pages + a partial third.
+  FillCache(&flat, positions);
+  FillCache(&paged, positions);
+  EXPECT_EQ(paged.PageCount(), 3);
+
+  for (int l = 0; l < n_layers(); ++l) {
+    for (int p = 0; p < positions; ++p) {
+      EXPECT_EQ(std::memcmp(paged.KeyHalfAt(l, p), flat.KeyHalfAt(l, p),
+                            kv_dim() * sizeof(uint16_t)),
+                0)
+          << "K layer " << l << " pos " << p;
+      EXPECT_EQ(std::memcmp(paged.ValueHalfAt(l, p), flat.ValueHalfAt(l, p),
+                            kv_dim() * sizeof(uint16_t)),
+                0)
+          << "V layer " << l << " pos " << p;
+    }
+  }
+
+  // The attend hop contract: flat is one max_ctx-long run; paged runs end
+  // at page boundaries, and rows inside a run are adjacent.
+  EXPECT_EQ(flat.RunLen(0), max_ctx());
+  EXPECT_EQ(paged.RunLen(0), kPagePositions);
+  EXPECT_EQ(paged.RunLen(kPagePositions - 1), 1);
+  EXPECT_EQ(paged.RunLen(kPagePositions), kPagePositions);
+  EXPECT_EQ(paged.KeyHalfAt(0, 1), paged.KeyHalfAt(0, 0) + kv_dim());
+}
+
+TEST_F(PagedKvTest, PagedF32ReferenceModeStoresExactFloats) {
+  KvPagePoolOptions opts = PoolOpts(0);
+  opts.pool_bytes =
+      4 * KvPagePool::PageBytes(spec_, KvStorage::kF32, kPagePositions);
+  KvPagePool pool(spec_, KvStorage::kF32, opts);
+  KvCache paged(spec_, &pool, KvStorage::kF32, nullptr);
+  EXPECT_EQ(paged.bytes_per_elem(), 4u);
+
+  std::vector<float> k(kv_dim()), v(kv_dim());
+  for (int i = 0; i < kv_dim(); ++i) {
+    k[i] = 0.1f + 0.001f * i;
+    v[i] = -2.0f / (i + 7);
+  }
+  ASSERT_TRUE(paged.AppendBatch(0, 1, k.data(), v.data()).ok());
+  for (int i = 0; i < kv_dim(); ++i) {
+    EXPECT_EQ(paged.KeyAt(0, 0)[i], k[i]);
+    EXPECT_EQ(paged.ValueAt(0, 0)[i], v[i]);
+  }
+}
+
+TEST_F(PagedKvTest, AppendThroughSpillRoundTripsAndAccountsTruthfully) {
+  // 3 pages of appends through a 2-frame pool: the position-major fill
+  // (layer 0 then layer 1 per position, like a real forward pass) keeps the
+  // hot page resident and spills the cold ones.
+  KvPagePool pool(spec_, KvStorage::kF16, PoolOpts(2));
+  KvCache paged(spec_, &pool, KvStorage::kF16, nullptr);
+  const int positions = 3 * kPagePositions;
+  FillCache(&paged, positions);
+  EXPECT_EQ(paged.PageCount(), 3);
+  EXPECT_GT(pool.stats().spills, 0u);
+
+  // CurrentBytes() is truthful under spill: resident secure bytes only,
+  // with the spilled remainder accounted separately and the sum equal to
+  // everything appended.
+  const uint64_t appended = static_cast<uint64_t>(n_layers()) * positions *
+                            kv_dim() * kKvVectorsPerPosition *
+                            kKvAccountedBytesPerElem;
+  EXPECT_GT(paged.SpilledBytes(), 0u);
+  EXPECT_EQ(paged.CurrentBytes() + paged.SpilledBytes(), appended);
+  uint64_t resident = 0;
+  for (int i = 0; i < paged.PageCount(); ++i) {
+    resident += pool.resident(paged.pages()[i]) ? pool.page_bytes() : 0;
+  }
+  EXPECT_EQ(paged.CurrentBytes(), resident);
+
+  // Every row survives the spill/restore churn bit-exactly.
+  for (int p = 0; p < positions; ++p) {
+    for (int l = 0; l < n_layers(); ++l) {
+      ExpectRowResident(&paged, &pool, l, p);
+    }
+  }
+  EXPECT_GT(pool.stats().restores, 0u);
+
+  // A 3-page cache cannot be fully pinned into 2 frames: the step pin fails
+  // as a capacity condition instead of silently attending spilled rows.
+  EXPECT_EQ(paged.PinForStep().status().code(),
+            ErrorCode::kResourceExhausted);
+}
+
+TEST_F(PagedKvTest, PinForStepRestoresEveryPageAndHoldsThem) {
+  KvPagePool pool(spec_, KvStorage::kF16, PoolOpts(3));
+  KvCache paged(spec_, &pool, KvStorage::kF16, nullptr);
+  const int positions = 3 * kPagePositions;
+  FillCache(&paged, positions);
+
+  // Evict one of the cache's pages with an unrelated allocation.
+  auto temp = pool.Alloc(false);
+  ASSERT_TRUE(temp.ok());
+  int spilled = 0;
+  for (int i = 0; i < paged.PageCount(); ++i) {
+    spilled += pool.resident(paged.pages()[i]) ? 0 : 1;
+  }
+  ASSERT_EQ(spilled, 1);
+
+  {
+    auto pin = paged.PinForStep();
+    ASSERT_TRUE(pin.ok()) << pin.status().ToString();
+    // While pinned every page is resident and directly readable — the raw
+    // row pointers the executor walks are valid for the whole step.
+    for (int i = 0; i < paged.PageCount(); ++i) {
+      EXPECT_TRUE(pool.resident(paged.pages()[i]));
+    }
+    for (int p = 0; p < positions; ++p) {
+      ExpectRow(paged, 0, p);
+    }
+    // The pinned pages displaced the temp page, not each other.
+    EXPECT_FALSE(pool.resident(*temp));
+  }
+  // Pin released: the pages are evictable again.
+  ASSERT_TRUE(pool.EnsureResident(*temp).ok());
+  ASSERT_TRUE(pool.Unref(*temp).ok());
+}
+
+// --- Copy-on-write prefix forks. ------------------------------------------
+
+TEST_F(PagedKvTest, CowPrivatizesTheForkPageAndIsolatesSessions) {
+  KvPagePool pool(spec_, KvStorage::kF16, PoolOpts(8));
+  KvCache a(spec_, &pool, KvStorage::kF16, nullptr);
+  FillCache(&a, 2 * kPagePositions);  // Pages 0 and 1, both full.
+
+  // B maps the first 6 positions of A's pages (a partial second page — the
+  // fork point sits mid-page, the hard case).
+  KvCache b(spec_, &pool, KvStorage::kF16, nullptr);
+  ASSERT_TRUE(b.AdoptPrefix(a.pages().data(), 2, 6).ok());
+  EXPECT_EQ(b.seq_len(), 6);
+  EXPECT_EQ(pool.refcount(a.pages()[0]), 2);
+  EXPECT_EQ(pool.refcount(a.pages()[1]), 2);
+  // Adopting into a non-empty cache is a caller bug, not a merge.
+  EXPECT_EQ(b.AdoptPrefix(a.pages().data(), 2, 6).code(),
+            ErrorCode::kInvalidArgument);
+
+  // B's first divergent append privatizes page 1 (one COW copy for the
+  // whole position, not one per layer); page 0 stays shared.
+  AppendPosition(&b, 6, /*salt=*/5.0f);
+  EXPECT_EQ(pool.stats().cow_copies, 1u);
+  EXPECT_EQ(b.pages()[0], a.pages()[0]);
+  EXPECT_NE(b.pages()[1], a.pages()[1]);
+  EXPECT_EQ(pool.refcount(a.pages()[1]), 1);
+
+  // A is untouched through the fork — including position 6, where B wrote.
+  for (int p = 0; p < 2 * kPagePositions; ++p) {
+    for (int l = 0; l < n_layers(); ++l) {
+      ExpectRowResident(&a, &pool, l, p);
+    }
+  }
+  // B reads the shared prefix rows and its own divergent row.
+  for (int p = 0; p < 6; ++p) {
+    ExpectRowResident(&b, &pool, 0, p);
+  }
+  for (int l = 0; l < n_layers(); ++l) {
+    ExpectRowResident(&b, &pool, l, 6, /*salt=*/5.0f);
+  }
+
+  // Scrubbing A releases only its references: the still-shared page 0
+  // survives for B, A's private page 1 frame returns to the pool.
+  const KvPageId shared = a.pages()[0];
+  const int free_before = pool.free_frames();
+  a.Scrub();
+  EXPECT_EQ(pool.refcount(shared), 1);
+  EXPECT_GT(pool.free_frames(), free_before);
+  ExpectRowResident(&b, &pool, 1, 3);
+}
+
+// --- Checkpoints move between flat and paged caches. ----------------------
+
+TEST_F(PagedKvTest, CheckpointMovesBetweenFlatAndPagedModes) {
+  // Serialize out of a spilling paged cache (the gather crosses restores),
+  // restore into a flat cache, then back into a roomier paged cache.
+  KvPagePool tight(spec_, KvStorage::kF16, PoolOpts(2));
+  KvCache paged(spec_, &tight, KvStorage::kF16, nullptr);
+  const int positions = 3 * kPagePositions;
+  FillCache(&paged, positions);
+
+  std::vector<uint8_t> blob;
+  ASSERT_TRUE(paged.SerializeState(&blob).ok());
+
+  KvCache flat(spec_);
+  ASSERT_TRUE(flat.RestoreState(blob.data(), blob.size()).ok());
+  EXPECT_EQ(flat.seq_len(), positions);
+  for (int p = 0; p < positions; ++p) {
+    for (int l = 0; l < n_layers(); ++l) {
+      ExpectRow(flat, l, p);
+    }
+  }
+
+  std::vector<uint8_t> blob2;
+  ASSERT_TRUE(flat.SerializeState(&blob2).ok());
+  KvPagePool roomy(spec_, KvStorage::kF16, PoolOpts(4));
+  KvCache paged2(spec_, &roomy, KvStorage::kF16, nullptr);
+  ASSERT_TRUE(paged2.RestoreState(blob2.data(), blob2.size()).ok());
+  EXPECT_EQ(paged2.seq_len(), positions);
+  for (int p = 0; p < positions; ++p) {
+    for (int l = 0; l < n_layers(); ++l) {
+      ExpectRowResident(&paged2, &roomy, l, p);
+    }
+  }
+}
+
+// --- Arena accounting agreement. ------------------------------------------
+
+TEST_F(PagedKvTest, ArenaBudgetBytesMatchesConstructionInEveryMode) {
+  for (const KvStorage storage : {KvStorage::kF16, KvStorage::kF32}) {
+    for (const bool paged : {false, true}) {
+      KvArenaOptions o;
+      o.slots = 3;
+      o.storage = storage;
+      o.paged = paged;
+      o.pool.page_positions = kPagePositions;
+      o.pool.spill_key = TestSpillKey();
+      KvArena arena(spec_, o);
+      // The scratch budget the TA carves (BudgetBytes) is EXACTLY what the
+      // constructed arena reports — no drift in any storage x paging mode.
+      EXPECT_EQ(KvArena::BudgetBytes(spec_, o), arena.ArenaBytes())
+          << "storage=" << static_cast<int>(storage) << " paged=" << paged;
+      EXPECT_EQ(arena.paged(), paged);
+    }
+  }
+
+  // pool_bytes == 0 means "the flat budget": turning paging on does not
+  // grow (or shrink) the secure scratch region.
+  KvArenaOptions flat_opts;
+  flat_opts.slots = 3;
+  KvArenaOptions paged_opts = flat_opts;
+  paged_opts.paged = true;
+  paged_opts.pool.page_positions = kPagePositions;
+  EXPECT_EQ(KvArena::BudgetBytes(spec_, paged_opts),
+            KvArena::BudgetBytes(spec_, flat_opts));
+
+  // An explicit sub-page-multiple budget rounds down to whole frames, and
+  // BudgetBytes tracks the rounding.
+  paged_opts.pool.pool_bytes =
+      2 * KvPagePool::PageBytes(spec_, KvStorage::kF16, kPagePositions) + 100;
+  KvArena trimmed(spec_, paged_opts);
+  EXPECT_EQ(trimmed.ArenaBytes(),
+            2 * KvPagePool::PageBytes(spec_, KvStorage::kF16, kPagePositions));
+  EXPECT_EQ(KvArena::BudgetBytes(spec_, paged_opts), trimmed.ArenaBytes());
+}
+
+// --- Prefix registry. -----------------------------------------------------
+
+TEST_F(PagedKvTest, PrefixRegistryAdoptRegisterAndEvict) {
+  KvArenaOptions o;
+  o.slots = 2;
+  o.paged = true;
+  o.pool.page_positions = kPagePositions;
+  o.pool.spill_key = TestSpillKey();
+  o.prefix_entries = 2;
+  KvArena arena(spec_, o);
+
+  const std::vector<TokenId> t1 = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto slot_a = arena.Acquire();
+  ASSERT_TRUE(slot_a.ok());
+  FillCache(arena.cache(*slot_a), static_cast<int>(t1.size()));
+  ASSERT_TRUE(arena.RegisterPrefix(*slot_a, t1).ok());
+  EXPECT_EQ(arena.prefix_entry_count(), 1);
+  EXPECT_EQ(arena.prefix_stats().registered, 1u);
+  // The registry holds one reference per covering page: the owner's next
+  // append into those pages copies-on-write instead of mutating them.
+  for (int i = 0; i < 3; ++i) {  // ceil(10 / 4) pages cover the prefix.
+    EXPECT_EQ(arena.pool()->refcount(arena.cache(*slot_a)->pages()[i]), 2);
+  }
+  // Re-registering the same tokens dedups (recency bump, no new entry).
+  ASSERT_TRUE(arena.RegisterPrefix(*slot_a, t1).ok());
+  EXPECT_EQ(arena.prefix_entry_count(), 1);
+  EXPECT_EQ(arena.prefix_stats().registered, 1u);
+
+  // A prompt extending the registered prefix adopts all 10 positions...
+  std::vector<TokenId> extended = t1;
+  extended.push_back(99);
+  extended.push_back(100);
+  auto slot_b = arena.Acquire();
+  ASSERT_TRUE(slot_b.ok());
+  EXPECT_EQ(arena.AdoptPrefix(*slot_b, extended), 10);
+  EXPECT_EQ(arena.cache(*slot_b)->seq_len(), 10);
+  EXPECT_EQ(arena.prefix_stats().hits, 1u);
+  EXPECT_EQ(arena.prefix_stats().adopted_positions, 10u);
+  for (int p = 0; p < 10; ++p) {
+    ExpectRowResident(arena.cache(*slot_b), arena.pool(), 0, p);
+  }
+
+  // ...an unrelated prompt misses, and a sub-page overlap is not worth a
+  // COW copy so it misses too.
+  ASSERT_TRUE(arena.Release(*slot_b).ok());
+  slot_b = arena.Acquire();
+  ASSERT_TRUE(slot_b.ok());
+  EXPECT_EQ(arena.AdoptPrefix(*slot_b, {50, 51, 52, 53, 54, 55}), 0);
+  EXPECT_EQ(arena.AdoptPrefix(*slot_b, {1, 2, 3, 77, 78, 79}), 0);
+  EXPECT_EQ(arena.prefix_stats().hits, 1u);
+
+  // Releasing the registering slot keeps the prefix alive: the registry's
+  // references outlive the session, so a later admission still adopts.
+  ASSERT_TRUE(arena.Release(*slot_a).ok());
+  EXPECT_EQ(arena.AdoptPrefix(*slot_b, extended), 10);
+  ExpectRowResident(arena.cache(*slot_b), arena.pool(), 1, 9);
+  ASSERT_TRUE(arena.Release(*slot_b).ok());
+
+  // Prefixes shorter than one page are never registered; registering more
+  // positions than the slot cached is a caller bug.
+  auto slot_c = arena.Acquire();
+  ASSERT_TRUE(slot_c.ok());
+  FillCache(arena.cache(*slot_c), kPagePositions);
+  ASSERT_TRUE(arena.RegisterPrefix(*slot_c, {1, 2}).ok());
+  EXPECT_EQ(arena.prefix_entry_count(), 1);
+  EXPECT_EQ(arena
+                .RegisterPrefix(*slot_c, std::vector<TokenId>(
+                                             2 * kPagePositions, 7))
+                .code(),
+            ErrorCode::kInvalidArgument);
+
+  // The registry LRU-evicts beyond its capacity (2 entries here).
+  ASSERT_TRUE(
+      arena.RegisterPrefix(*slot_c, {20, 21, 22, 23}).ok());
+  EXPECT_EQ(arena.prefix_entry_count(), 2);
+  ASSERT_TRUE(
+      arena.RegisterPrefix(*slot_c, {30, 31, 32, 33}).ok());
+  EXPECT_EQ(arena.prefix_entry_count(), 2);
+  EXPECT_EQ(arena.prefix_stats().evicted, 1u);
+}
+
+// --- Engine-level bit-identity. -------------------------------------------
+
+constexpr int kBudget = 12;
+
+const std::vector<std::string>& EnginePrompts() {
+  static const std::vector<std::string> prompts = {
+      "paged kv parity check one",
+      "a different second paged prompt",
+      "third",
+  };
+  return prompts;
+}
+
+RuntimeConfig EngineConfig(int max_sessions, bool paged, bool force_scalar) {
+  RuntimeConfig config;
+  config.model = TestSmallModel();
+  // A small context keeps per-session page tables short enough that a tiny
+  // pool over-subscribes across sessions (the spill test below) while a
+  // single session always fits pinned.
+  config.model.max_ctx = 64;
+  config.system = SystemKind::kTzLlm;
+  config.materialize_model = true;
+  config.engine.prefill_batch = 8;
+  config.engine.max_sessions = max_sessions;
+  config.engine.force_scalar = force_scalar;
+  config.engine.paged_kv = paged;
+  config.engine.kv_page_positions = 8;
+  return config;
+}
+
+std::vector<GenerationResult> FlatSoloRuns(bool force_scalar) {
+  SocPlatform plat;
+  SystemRuntime runtime(&plat, EngineConfig(1, /*paged=*/false, force_scalar));
+  EXPECT_TRUE(runtime.Setup().ok());
+  auto ta = runtime.CreateFunctionalTa();
+  EXPECT_TRUE(ta.ok());
+  EXPECT_TRUE((*ta)->LoadModel(runtime.spec().config().name).ok());
+  std::vector<GenerationResult> out;
+  for (const std::string& prompt : EnginePrompts()) {
+    auto result = (*ta)->Generate(prompt, kBudget);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    out.push_back(result.ok() ? *result : GenerationResult{});
+  }
+  return out;
+}
+
+std::vector<GenerationResult> PagedConcurrentRun(RuntimeConfig config,
+                                                 uint64_t* spills,
+                                                 uint64_t* restores,
+                                                 int* free_frames_after,
+                                                 int* total_frames) {
+  SocPlatform plat;
+  SystemRuntime runtime(&plat, config);
+  EXPECT_TRUE(runtime.Setup().ok());
+  auto ta = runtime.CreateFunctionalTa();
+  EXPECT_TRUE(ta.ok());
+  EXPECT_TRUE((*ta)->LoadModel(runtime.spec().config().name).ok());
+
+  std::vector<SessionId> sids;
+  for (const std::string& prompt : EnginePrompts()) {
+    auto sid = (*ta)->BeginSession(prompt, kBudget);
+    EXPECT_TRUE(sid.ok()) << sid.status().ToString();
+    sids.push_back(sid.ok() ? *sid : 0);
+  }
+  for (;;) {
+    std::vector<SessionId> running;
+    for (SessionId sid : sids) {
+      if (!(*ta)->session_done(sid)) {
+        running.push_back(sid);
+      }
+    }
+    if (running.empty()) {
+      break;
+    }
+    Status step = (*ta)->DecodeSessions(running);
+    EXPECT_TRUE(step.ok()) << step.ToString();
+    if (!step.ok()) {
+      break;
+    }
+  }
+  if (spills != nullptr) {
+    *spills = (*ta)->kv_arena()->pool()->stats().spills;
+  }
+  if (restores != nullptr) {
+    *restores = (*ta)->kv_arena()->pool()->stats().restores;
+  }
+
+  std::vector<GenerationResult> out;
+  for (SessionId sid : sids) {
+    auto result = (*ta)->FinishSession(sid);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    out.push_back(result.ok() ? *result : GenerationResult{});
+  }
+  if (free_frames_after != nullptr) {
+    *free_frames_after = (*ta)->kv_arena()->pool()->free_frames();
+  }
+  if (total_frames != nullptr) {
+    *total_frames = (*ta)->kv_arena()->pool()->frames();
+  }
+  return out;
+}
+
+void ExpectIdentical(const std::vector<GenerationResult>& solo,
+                     const std::vector<GenerationResult>& paged) {
+  ASSERT_EQ(solo.size(), paged.size());
+  for (size_t i = 0; i < solo.size(); ++i) {
+    ASSERT_GT(solo[i].output_tokens.size(), 0u) << "prompt " << i;
+    EXPECT_EQ(paged[i].output_tokens, solo[i].output_tokens)
+        << "prompt " << i << " diverged under paged KV";
+    EXPECT_EQ(paged[i].text, solo[i].text) << "prompt " << i;
+  }
+}
+
+class PagedEngineParityTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(PagedEngineParityTest, PagedSessionsMatchFlatSoloBitIdentically) {
+  const bool force_scalar = GetParam();
+  const auto solo = FlatSoloRuns(force_scalar);
+  const auto paged = PagedConcurrentRun(
+      EngineConfig(static_cast<int>(EnginePrompts().size()), /*paged=*/true,
+                   force_scalar),
+      nullptr, nullptr, nullptr, nullptr);
+  ExpectIdentical(solo, paged);
+}
+
+INSTANTIATE_TEST_SUITE_P(KernelMatrix, PagedEngineParityTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? std::string("scalar")
+                                             : std::string("simd");
+                         });
+
+TEST(PagedEngineSpillTest, OverSubscribedPoolSpillsWithoutChangingTokens) {
+  // Three concurrent sessions over a pool that holds exactly one session's
+  // full context (the LoadModel floor): cold pages MUST spill to REE memory
+  // and restore on demand, and not a single token may change.
+  const auto solo = FlatSoloRuns(/*force_scalar=*/false);
+
+  RuntimeConfig config = EngineConfig(
+      static_cast<int>(EnginePrompts().size()), /*paged=*/true, false);
+  const ModelSpec spec = ModelSpec::Create(config.model);
+  config.engine.kv_pool_bytes =
+      (config.model.max_ctx / config.engine.kv_page_positions) *
+      KvPagePool::PageBytes(spec, KvStorage::kF16,
+                            config.engine.kv_page_positions);
+  // Sharing off: every page is session-private, so finishing all sessions
+  // must return every frame to the pool (the refcount-release check).
+  config.engine.kv_prefix_entries = 0;
+
+  uint64_t spills = 0, restores = 0;
+  int free_after = 0, frames = 0;
+  const auto paged =
+      PagedConcurrentRun(config, &spills, &restores, &free_after, &frames);
+  ExpectIdentical(solo, paged);
+  EXPECT_GT(spills, 0u);
+  EXPECT_GT(restores, 0u);
+  EXPECT_EQ(free_after, frames);
+}
+
+TEST(PagedEnginePrefixTest, SharedPrefixAdoptionKeepsTokensIdentical) {
+  const std::string preamble = "system: shared serving preamble text. ";
+  const std::string p1 = preamble + "alpha request";
+  const std::string p2 = preamble + "beta query";
+  constexpr int kPrefixBudget = 8;
+
+  // Flat reference: each prompt alone, no sharing possible.
+  std::vector<GenerationResult> flat;
+  {
+    SocPlatform plat;
+    SystemRuntime runtime(&plat, EngineConfig(1, /*paged=*/false, false));
+    ASSERT_TRUE(runtime.Setup().ok());
+    auto ta = runtime.CreateFunctionalTa();
+    ASSERT_TRUE(ta.ok());
+    ASSERT_TRUE((*ta)->LoadModel(runtime.spec().config().name).ok());
+    for (const std::string& prompt : {p1, p2}) {
+      auto result = (*ta)->Generate(prompt, kPrefixBudget);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      flat.push_back(*result);
+    }
+  }
+
+  // Paged engine, sequential: generating p1 registers its prompt as a
+  // shareable prefix; admitting p2 adopts the common pages and prefills
+  // only the divergent tail. TTFT work shrinks, tokens do not move.
+  SocPlatform plat;
+  SystemRuntime runtime(&plat, EngineConfig(1, /*paged=*/true, false));
+  ASSERT_TRUE(runtime.Setup().ok());
+  auto ta = runtime.CreateFunctionalTa();
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE((*ta)->LoadModel(runtime.spec().config().name).ok());
+
+  auto r1 = (*ta)->Generate(p1, kPrefixBudget);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(r1->output_tokens, flat[0].output_tokens);
+
+  auto r2 = (*ta)->Generate(p2, kPrefixBudget);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(r2->output_tokens, flat[1].output_tokens);
+
+  const KvArena::PrefixStats& stats = (*ta)->kv_arena()->prefix_stats();
+  EXPECT_GE(stats.hits, 1u);
+  // At least one full page of prefill was skipped via the shared pages.
+  EXPECT_GE(stats.adopted_positions, 8u);
+  EXPECT_GT((*ta)->kv_arena()->pool()->stats().cow_copies, 0u);
+}
+
+}  // namespace
+}  // namespace tzllm
