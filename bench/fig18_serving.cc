@@ -13,13 +13,20 @@
 // throughput) — plus per-request TTFT and inter-token latency
 // distributions. It then verifies the serving outputs are BIT-IDENTICAL
 // per prompt to solo generation, and exercises a checkpoint-eviction
-// scenario under slot pressure. Emits BENCH_serving.json for the CI guard
-// (scripts/check_bench_regression.py --serving).
+// scenario under slot pressure.
+//
+// The chaos section (ISSUE 10) reruns the 16-session over-subscription
+// traffic with armed serve-fault plans — every KV page spill tampered or
+// dropped, every sealed session checkpoint deleted — and a repeated
+// ta_crash + ServingRuntime::Recover() cycle; every run must still finish
+// all requests with bit-identical tokens. Emits BENCH_serving.json for the
+// CI guards (scripts/check_bench_regression.py --serving / --chaos).
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <thread>
 #include <utility>
@@ -103,7 +110,12 @@ SweepPoint RunSweepPoint(LlmTa* ta, Simulator* sim, int n,
     ServeRequest req;
     req.prompt = prompts[i];
     req.max_new_tokens = kDecodeBudget;
-    ids.push_back(serve.Enqueue(req));
+    auto id = serve.Enqueue(req);
+    if (!id.ok()) {
+      fprintf(stderr, "enqueue failed: %s\n", id.status().ToString().c_str());
+      abort();
+    }
+    ids.push_back(*id);
   }
   const auto start = WallClock::now();
   Status done = serve.RunToCompletion();
@@ -196,7 +208,12 @@ PreemptionResult RunPreemptionScenario() {
     req.prompt = prompts[i];
     req.max_new_tokens = kDecodeBudget;
     req.priority = 5.0;
-    ids.push_back(serve.Enqueue(req));
+    auto id = serve.Enqueue(req);
+    if (!id.ok()) {
+      fprintf(stderr, "enqueue failed: %s\n", id.status().ToString().c_str());
+      abort();
+    }
+    ids.push_back(*id);
   }
   // Let both occupy the slots and start decoding before the urgent arrival.
   for (int i = 0; i < 4; ++i) {
@@ -210,7 +227,13 @@ PreemptionResult RunPreemptionScenario() {
   urgent.prompt = prompts[2];
   urgent.max_new_tokens = kDecodeBudget;
   urgent.priority = 1.0;
-  ids.push_back(serve.Enqueue(urgent));
+  auto urgent_id = serve.Enqueue(urgent);
+  if (!urgent_id.ok()) {
+    fprintf(stderr, "enqueue failed: %s\n",
+            urgent_id.status().ToString().c_str());
+    abort();
+  }
+  ids.push_back(*urgent_id);
   Status done = serve.RunToCompletion();
   if (!done.ok()) {
     fprintf(stderr, "preemption run failed: %s\n", done.ToString().c_str());
@@ -260,6 +283,14 @@ struct OversubPoint {
   uint64_t page_spills = 0;
   uint64_t page_restores = 0;
   bool tokens_identical = false;
+  // Chaos accounting (ISSUE 10) — all zero on clean runs.
+  int completed = 0;
+  int failed = 0;
+  uint64_t pages_lost = 0;
+  uint64_t pages_recomputed = 0;
+  uint64_t kv_recoveries = 0;
+  double recompute_ms = 0.0;
+  uint64_t sessions_restarted = 0;
 };
 
 std::vector<std::string> OversubPrompts() {
@@ -307,7 +338,13 @@ OversubPoint RunOversubPoint(const RuntimeConfig& config,
     // latecomers force the flat baseline through checkpoint eviction, the
     // relaxed tail measures queueing.
     req.priority = i < kOversubSessions - 3 ? 50.0 + i : 1.0 + i;
-    ids.push_back(serve.Enqueue(req));
+    auto id = serve.Enqueue(req);
+    if (!id.ok()) {
+      fprintf(stderr, "oversubscription enqueue failed: %s\n",
+              id.status().ToString().c_str());
+      abort();
+    }
+    ids.push_back(*id);
     // Staggered arrivals: let the scheduler work between submissions.
     for (int t = 0; t < 2; ++t) {
       auto more = serve.Tick();
@@ -330,10 +367,20 @@ OversubPoint RunOversubPoint(const RuntimeConfig& config,
   out.preemptions = serve.stats().preemptions;
   out.page_spills = serve.stats().page_spills;
   out.page_restores = serve.stats().page_restores;
+  out.pages_lost = serve.stats().pages_lost;
+  out.pages_recomputed = serve.stats().pages_recomputed;
+  out.kv_recoveries = serve.stats().kv_recoveries;
+  out.recompute_ms = serve.stats().recompute_ms;
+  out.sessions_restarted = serve.stats().sessions_restarted;
   std::vector<double> ttft_ms;
   out.tokens_identical = true;
   for (const ServeRequestResult& r : serve.results()) {
     const size_t idx = r.request_id - ids.front();
+    if (!r.status.ok()) {
+      ++out.failed;
+      continue;
+    }
+    ++out.completed;
     ttft_ms.push_back((r.first_token_s - r.submit_s) * 1e3);
     if (r.generation.output_tokens != solo[idx]) {
       out.tokens_identical = false;
@@ -345,59 +392,237 @@ OversubPoint RunOversubPoint(const RuntimeConfig& config,
   return out;
 }
 
-// Returns {paged, evict} points measured over identical traffic.
-std::pair<OversubPoint, OversubPoint> RunOversubScenario() {
+// The three engine configurations the over-subscription and chaos sections
+// share: a flat single-session reference, the paged 16-session point and
+// the flat 3-slot checkpoint-eviction point.
+struct OversubConfigs {
+  RuntimeConfig solo;
+  RuntimeConfig paged;
+  RuntimeConfig evict;
+};
+
+OversubConfigs BuildOversubConfigs() {
+  OversubConfigs out;
   // Solo references on a plain flat single-session engine.
-  RuntimeConfig solo_config;
-  solo_config.model = OversubModel();
-  solo_config.system = SystemKind::kTzLlm;
-  solo_config.materialize_model = true;
-  solo_config.engine.prefill_batch = kOversubPrefillBatch;
-  solo_config.engine.max_sessions = 1;
-  solo_config.engine.paged_kv = false;
-  std::vector<std::vector<TokenId>> solo;
-  {
-    SocPlatform plat;
-    SystemRuntime runtime(&plat, solo_config);
-    if (!runtime.Setup().ok()) {
-      fprintf(stderr, "oversubscription solo setup failed\n");
-      abort();
-    }
-    auto ta = runtime.CreateFunctionalTa();
-    if (!ta.ok() || !(*ta)->LoadModel(runtime.spec().config().name).ok()) {
-      fprintf(stderr, "oversubscription solo load failed\n");
-      abort();
-    }
-    for (const std::string& prompt : OversubPrompts()) {
-      auto ref = (*ta)->Generate(prompt, kOversubBudget);
-      if (!ref.ok()) {
-        fprintf(stderr, "oversubscription solo failed: %s\n",
-                ref.status().ToString().c_str());
-        abort();
-      }
-      solo.push_back(ref->output_tokens);
-    }
-  }
+  out.solo.model = OversubModel();
+  out.solo.system = SystemKind::kTzLlm;
+  out.solo.materialize_model = true;
+  out.solo.engine.prefill_batch = kOversubPrefillBatch;
+  out.solo.engine.max_sessions = 1;
+  out.solo.engine.paged_kv = false;
 
   const ModelSpec spec = ModelSpec::Create(OversubModel());
   const uint64_t flat_budget =
       kOversubFlatSlots * spec.KvCacheBytes(kOversubMaxCtx);
 
   // Paged: every session admitted, cold pages spill under the SAME budget.
-  RuntimeConfig paged = solo_config;
-  paged.engine.max_sessions = kOversubSessions;
-  paged.engine.paged_kv = true;
-  paged.engine.kv_page_positions = kOversubPagePositions;
-  paged.engine.kv_pool_bytes = flat_budget;
-  paged.engine.kv_prefix_entries = 0;  // Isolate paging from prefix reuse.
+  out.paged = out.solo;
+  out.paged.engine.max_sessions = kOversubSessions;
+  out.paged.engine.paged_kv = true;
+  out.paged.engine.kv_page_positions = kOversubPagePositions;
+  out.paged.engine.kv_pool_bytes = flat_budget;
+  out.paged.engine.kv_prefix_entries = 0;  // Isolate paging from reuse.
 
   // Flat: three resident slots; extra demand queues or checkpoint-evicts.
-  RuntimeConfig evict = solo_config;
-  evict.engine.max_sessions = kOversubFlatSlots;
-  evict.engine.paged_kv = false;
-  evict.engine.serve_eviction = ServeEvictPolicy::kPriority;
+  out.evict = out.solo;
+  out.evict.engine.max_sessions = kOversubFlatSlots;
+  out.evict.engine.paged_kv = false;
+  out.evict.engine.serve_eviction = ServeEvictPolicy::kPriority;
+  return out;
+}
 
-  return {RunOversubPoint(paged, solo), RunOversubPoint(evict, solo)};
+std::vector<std::vector<TokenId>> OversubSoloRuns(
+    const RuntimeConfig& solo_config) {
+  std::vector<std::vector<TokenId>> solo;
+  SocPlatform plat;
+  SystemRuntime runtime(&plat, solo_config);
+  if (!runtime.Setup().ok()) {
+    fprintf(stderr, "oversubscription solo setup failed\n");
+    abort();
+  }
+  auto ta = runtime.CreateFunctionalTa();
+  if (!ta.ok() || !(*ta)->LoadModel(runtime.spec().config().name).ok()) {
+    fprintf(stderr, "oversubscription solo load failed\n");
+    abort();
+  }
+  for (const std::string& prompt : OversubPrompts()) {
+    auto ref = (*ta)->Generate(prompt, kOversubBudget);
+    if (!ref.ok()) {
+      fprintf(stderr, "oversubscription solo failed: %s\n",
+              ref.status().ToString().c_str());
+      abort();
+    }
+    solo.push_back(ref->output_tokens);
+  }
+  return solo;
+}
+
+// --- Chaos sweep (ISSUE 10): same traffic, hostile REE. -------------------
+//
+// Each plan arms ONE injected failure class for the whole run, and the run
+// must still complete every request with bit-identical tokens:
+//
+//   spill_tamper / spill_drop — every KV page spill blob is corrupted or
+//     discarded, so every later restore fails its integrity check and the
+//     engine re-prefills the covered positions from token history
+//     (recompute-on-loss). Runs on the paged 16-session point, where spill
+//     pressure is constant.
+//   ckpt_drop — every sealed session checkpoint is deleted right after
+//     sealing; evicted sessions restart from their prompts on readmission
+//     (deterministic generation keeps the tokens identical). Runs on the
+//     flat eviction point, where checkpoints are the pressure valve.
+struct ChaosRun {
+  std::string plan;
+  // Which clean over-subscription point this degraded run is compared
+  // against ("paged" or "evict") — the spill plans run paged traffic, the
+  // checkpoint plan runs the flat eviction traffic.
+  std::string baseline;
+  OversubPoint point;
+};
+
+std::vector<ChaosRun> RunChaosSweep(
+    const OversubConfigs& configs,
+    const std::vector<std::vector<TokenId>>& solo) {
+  std::vector<ChaosRun> runs;
+  for (const char* plan : {"spill_tamper@1x1000000", "spill_drop@1x1000000"}) {
+    RuntimeConfig config = configs.paged;
+    config.engine.serve_fault_plan = plan;
+    // EVERY spill is lost: the recompute budget must cover sustained
+    // re-prefill for the whole run, not a one-off incident.
+    config.engine.kv_recompute_max = 1 << 20;
+    runs.push_back({plan, "paged", RunOversubPoint(config, solo)});
+  }
+  {
+    RuntimeConfig config = configs.evict;
+    config.engine.serve_fault_plan = "ckpt_drop@1x1000000";
+    runs.push_back({config.engine.serve_fault_plan, "evict",
+                    RunOversubPoint(config, solo)});
+  }
+  return runs;
+}
+
+// --- ta_crash + Recover() (ISSUE 10). -------------------------------------
+//
+// Kills the serving TA mid-flight (ta_crash@30). The plan re-arms on every
+// reboot — each recovered runtime crashes again at ITS tick 30 — so the
+// fleet takes REPEATED crashes and still must drain: every round banks
+// progress through the auto-checkpoint cadence, boots a fresh TA on the
+// same platform (same flash, same sealed blobs) and Recover()s the fleet
+// from the serving manifest, until one round outruns the crash tick.
+struct TaCrashResult {
+  std::string plan;
+  int crashes = 0;
+  uint64_t sessions_recovered = 0;
+  uint64_t sessions_restarted = 0;
+  uint64_t auto_checkpoints = 0;
+  int completed = 0;
+  bool tokens_identical = false;
+};
+
+TaCrashResult RunTaCrashScenario(
+    const OversubConfigs& configs,
+    const std::vector<std::vector<TokenId>>& solo) {
+  RuntimeConfig config = configs.paged;
+  config.engine.serve_checkpoint_every_n_ticks = 8;
+  config.engine.serve_fault_plan = "ta_crash@30";
+  TaCrashResult out;
+  out.plan = config.engine.serve_fault_plan;
+
+  SocPlatform plat;
+  SystemRuntime runtime(&plat, config);
+  if (!runtime.Setup().ok()) {
+    fprintf(stderr, "ta_crash setup failed\n");
+    abort();
+  }
+  auto ta = runtime.CreateFunctionalTa();
+  if (!ta.ok() || !(*ta)->LoadModel(runtime.spec().config().name).ok()) {
+    fprintf(stderr, "ta_crash load failed\n");
+    abort();
+  }
+
+  const std::vector<std::string> prompts = OversubPrompts();
+  std::map<uint64_t, std::vector<TokenId>> outs;  // request id -> tokens
+  uint64_t first_id = 0;
+  auto drain = [&](const ServingRuntime& serve) {
+    for (const ServeRequestResult& r : serve.results()) {
+      if (r.status.ok()) {
+        outs[r.request_id] = r.generation.output_tokens;
+      }
+    }
+    out.sessions_recovered += serve.stats().sessions_recovered;
+    out.sessions_restarted += serve.stats().sessions_restarted;
+    out.auto_checkpoints += serve.stats().auto_checkpoints;
+  };
+
+  Status done = OkStatus();
+  {
+    ServingRuntime serve(ta->get(), &plat.sim());
+    for (int i = 0; i < kOversubSessions; ++i) {
+      ServeRequest req;
+      req.prompt = prompts[i];
+      req.max_new_tokens = kOversubBudget;
+      req.priority = static_cast<double>(i);
+      auto id = serve.Enqueue(req);
+      if (!id.ok()) {
+        fprintf(stderr, "ta_crash enqueue failed: %s\n",
+                id.status().ToString().c_str());
+        abort();
+      }
+      if (first_id == 0) {
+        first_id = *id;
+      }
+    }
+    done = serve.RunToCompletion();
+    drain(serve);
+  }
+  // Reboot-and-recover rounds. 64 is a generous cap: each crashed round
+  // still banks ~3 checkpoint intervals of decode progress.
+  for (int round = 0; !done.ok() && round < 64; ++round) {
+    if (done.code() != ErrorCode::kAborted) {
+      fprintf(stderr, "ta_crash run failed (not the injected crash): %s\n",
+              done.ToString().c_str());
+      abort();
+    }
+    ++out.crashes;
+    // The "crash": scrub secure memory and drop the TA. Only flash — the
+    // model, the session blobs, the serving manifest — survives.
+    if (!(*ta)->Unload().ok()) {
+      fprintf(stderr, "ta_crash unload failed\n");
+      abort();
+    }
+    (*ta).reset();
+    ta = runtime.CreateFunctionalTa();
+    if (!ta.ok() || !(*ta)->LoadModel(runtime.spec().config().name).ok()) {
+      fprintf(stderr, "ta_crash reboot failed\n");
+      abort();
+    }
+    ServingRuntime serve(ta->get(), &plat.sim());
+    const Status recovered = serve.Recover();
+    if (!recovered.ok()) {
+      fprintf(stderr, "ta_crash Recover() failed: %s\n",
+              recovered.ToString().c_str());
+      abort();
+    }
+    done = serve.RunToCompletion();
+    drain(serve);
+  }
+  if (!done.ok()) {
+    fprintf(stderr, "ta_crash fleet never drained: %s\n",
+            done.ToString().c_str());
+    abort();
+  }
+
+  out.completed = static_cast<int>(outs.size());
+  out.tokens_identical = outs.size() == solo.size();
+  for (const auto& [id, tokens] : outs) {
+    const size_t idx = static_cast<size_t>(id - first_id);
+    if (idx >= solo.size() || tokens != solo[idx]) {
+      out.tokens_identical = false;
+      fprintf(stderr, "ta_crash divergence: request %llu\n",
+              static_cast<unsigned long long>(id));
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -512,7 +737,13 @@ int main() {
          preemption.preemptions,
          preemption.tokens_identical ? "identical (PASS)" : "DIVERGED (FAIL)");
 
-  const auto [oversub_paged, oversub_evict] = RunOversubScenario();
+  const OversubConfigs oversub_cfg = BuildOversubConfigs();
+  const std::vector<std::vector<TokenId>> oversub_solo =
+      OversubSoloRuns(oversub_cfg.solo);
+  const OversubPoint oversub_paged =
+      RunOversubPoint(oversub_cfg.paged, oversub_solo);
+  const OversubPoint oversub_evict =
+      RunOversubPoint(oversub_cfg.evict, oversub_solo);
   printf("\nOver-subscription (%d sessions, %d-slot KV budget):\n",
          kOversubSessions, kOversubFlatSlots);
   PrintRow({"mode", "ttft p50 ms", "ttft p99 ms", "wall s", "preempt",
@@ -542,6 +773,36 @@ int main() {
                                         : "DIVERGED (FAIL)",
          oversub_evict.tokens_identical ? "identical (PASS)"
                                         : "DIVERGED (FAIL)");
+
+  const std::vector<ChaosRun> chaos =
+      RunChaosSweep(oversub_cfg, oversub_solo);
+  const TaCrashResult ta_crash =
+      RunTaCrashScenario(oversub_cfg, oversub_solo);
+  printf("\nChaos sweep (same traffic, armed serve-fault plans):\n");
+  printf("%-24s %-6s %-6s %-8s %-8s %-8s %s\n", "plan", "done", "fail",
+         "lost", "recomp", "restart", "ttft p99 ms");
+  bool chaos_clean = true;
+  for (const ChaosRun& c : chaos) {
+    const OversubPoint& p = c.point;
+    chaos_clean = chaos_clean && p.tokens_identical && p.failed == 0;
+    printf("%-24s %-6d %-6d %-8llu %-8llu %-8llu %.1f\n", c.plan.c_str(),
+           p.completed, p.failed,
+           static_cast<unsigned long long>(p.pages_lost),
+           static_cast<unsigned long long>(p.pages_recomputed),
+           static_cast<unsigned long long>(p.sessions_restarted),
+           p.ttft_ms_p99);
+  }
+  printf("chaos tokens vs solo: %s\n",
+         chaos_clean ? "identical, zero failures (PASS)"
+                     : "DIVERGED or failed (FAIL)");
+  printf("ta_crash (%s): %d crash(es), %llu recovered, %llu restarted, "
+         "%llu checkpoint rounds, %d/%d completed, tokens %s\n",
+         ta_crash.plan.c_str(), ta_crash.crashes,
+         static_cast<unsigned long long>(ta_crash.sessions_recovered),
+         static_cast<unsigned long long>(ta_crash.sessions_restarted),
+         static_cast<unsigned long long>(ta_crash.auto_checkpoints),
+         ta_crash.completed, kOversubSessions,
+         ta_crash.tokens_identical ? "identical (PASS)" : "DIVERGED (FAIL)");
 
   FILE* json = fopen("BENCH_serving.json", "w");
   if (json != nullptr) {
@@ -616,6 +877,44 @@ int main() {
             oversub_evict.tokens_identical ? "true" : "false");
     fprintf(json, "    \"paged_beats_evict_ttft_p99\": %s\n",
             oversub_wins ? "true" : "false");
+    fprintf(json, "  },\n");
+    fprintf(json, "  \"chaos\": {\n");
+    fprintf(json, "    \"ttft_ms_p99_clean\": %.2f,\n",
+            oversub_paged.ttft_ms_p99);
+    fprintf(json, "    \"ttft_ms_p99_clean_evict\": %.2f,\n",
+            oversub_evict.ttft_ms_p99);
+    fprintf(json, "    \"plans\": {\n");
+    for (size_t i = 0; i < chaos.size(); ++i) {
+      const OversubPoint& p = chaos[i].point;
+      fprintf(json,
+              "      \"%s\": {\"baseline\": \"%s\", \"completed\": %d, "
+              "\"failed\": %d, "
+              "\"tokens_identical\": %s, \"pages_lost\": %llu, "
+              "\"pages_recomputed\": %llu, \"kv_recoveries\": %llu, "
+              "\"recompute_ms\": %.2f, \"sessions_restarted\": %llu, "
+              "\"ttft_ms_p99\": %.2f}%s\n",
+              chaos[i].plan.c_str(), chaos[i].baseline.c_str(), p.completed,
+              p.failed,
+              p.tokens_identical ? "true" : "false",
+              static_cast<unsigned long long>(p.pages_lost),
+              static_cast<unsigned long long>(p.pages_recomputed),
+              static_cast<unsigned long long>(p.kv_recoveries),
+              p.recompute_ms,
+              static_cast<unsigned long long>(p.sessions_restarted),
+              p.ttft_ms_p99, i + 1 < chaos.size() ? "," : "");
+    }
+    fprintf(json, "    },\n");
+    fprintf(json,
+            "    \"ta_crash\": {\"plan\": \"%s\", \"crashes\": %d, "
+            "\"sessions_recovered\": %llu, \"sessions_restarted\": %llu, "
+            "\"auto_checkpoints\": %llu, \"completed\": %d, "
+            "\"tokens_identical\": %s}\n",
+            ta_crash.plan.c_str(), ta_crash.crashes,
+            static_cast<unsigned long long>(ta_crash.sessions_recovered),
+            static_cast<unsigned long long>(ta_crash.sessions_restarted),
+            static_cast<unsigned long long>(ta_crash.auto_checkpoints),
+            ta_crash.completed,
+            ta_crash.tokens_identical ? "true" : "false");
     fprintf(json, "  }\n");
     fprintf(json, "}\n");
     fclose(json);

@@ -37,6 +37,15 @@ preempted and resumed with identical tokens. When the run includes the
 whole-session eviction on p99 TTFT with pages actually spilled and both
 modes' tokens identical to solo.
 
+--chaos mode guards the BENCH_serving.json chaos section (ISSUE 10):
+every armed fault plan must complete all requests with bit-identical
+tokens and zero failures, the spill plans must have actually lost and
+recomputed pages, the ckpt_drop plan must have actually restarted an
+evictee, the ta_crash cycle must have recovered checkpointed sessions on
+a fresh TA, and each plan's degraded p99 TTFT must stay within 3x the
+clean point of its own scenario (paged for the spill plans, evict for
+ckpt_drop) from the same run.
+
 --caching mode guards BENCH_caching.json (fig14, ISSUE 9): every
 shared-prefix point at >= 50% must land a warm TTFT strictly below the
 cold (0%) point, the spill/restore path must have actually run (restore
@@ -49,6 +58,7 @@ Usage:
   check_bench_regression.py --fault <fresh.json>
   check_bench_regression.py --preemption <BENCH_preemption.json>
   check_bench_regression.py --serving <BENCH_serving.json>
+  check_bench_regression.py --chaos <BENCH_serving.json>
   check_bench_regression.py --caching <BENCH_caching.json>
 """
 
@@ -230,6 +240,89 @@ def check_serving(fresh):
         )
 
 
+def check_chaos(fresh):
+    chaos = fresh.get("chaos")
+    if chaos is None:
+        fail(
+            "--chaos guard ran on a BENCH_serving.json without a chaos "
+            "section: fig18 predates the chaos sweep or was truncated"
+        )
+    clean_p99 = {
+        "paged": chaos.get("ttft_ms_p99_clean", 0.0),
+        "evict": chaos.get("ttft_ms_p99_clean_evict", 0.0),
+    }
+    if clean_p99["paged"] <= 0:
+        fail("chaos section carries no clean paged p99 TTFT to compare to")
+    for plan, point in sorted(chaos.get("plans", {}).items()):
+        if point.get("failed", 1) != 0:
+            fail(
+                f"plan '{plan}' failed {point.get('failed')} request(s): "
+                "chaos must be absorbed, not surfaced"
+            )
+        if point.get("tokens_identical") is not True:
+            fail(
+                f"plan '{plan}' diverged from the solo tokens: a fault "
+                "plan changed generation output"
+            )
+        if plan.startswith("spill_") and (
+            point.get("pages_lost", 0) <= 0
+            or point.get("pages_recomputed", 0) <= 0
+        ):
+            fail(
+                f"plan '{plan}' lost {point.get('pages_lost', 0)} / "
+                f"recomputed {point.get('pages_recomputed', 0)} pages: the "
+                "recompute-on-loss path went unexercised"
+            )
+        if plan.startswith("ckpt_") and point.get("sessions_restarted", 0) <= 0:
+            fail(
+                f"plan '{plan}' restarted no session: the dropped-"
+                "checkpoint restart path went unexercised"
+            )
+        # Each degraded run is bounded against ITS OWN clean scenario: the
+        # spill plans run the paged point, ckpt_drop the flat evict point.
+        baseline = point.get("baseline", "paged")
+        clean = clean_p99.get(baseline, 0.0)
+        if clean <= 0:
+            fail(
+                f"plan '{plan}' names baseline '{baseline}' but the chaos "
+                "section carries no clean p99 for it"
+            )
+        degraded = point.get("ttft_ms_p99", 0.0)
+        if degraded > 3.0 * clean:
+            fail(
+                f"plan '{plan}' degraded p99 TTFT ({degraded:.1f} ms) "
+                f"exceeds 3x its clean {baseline} point ({clean:.1f} ms): "
+                "chaos recovery costs more than the availability it buys"
+            )
+        print(
+            f"plan '{plan}': {point['completed']} completed, "
+            f"{point.get('pages_recomputed', 0)} pages recomputed, "
+            f"{point.get('sessions_restarted', 0)} restarted, tokens "
+            f"identical, degraded p99 {degraded:.1f} ms <= 3x clean "
+            f"{baseline} {clean:.1f} ms: OK"
+        )
+    crash = chaos.get("ta_crash", {})
+    if crash.get("crashes", 0) < 1:
+        fail("ta_crash scenario never crashed: the plan went unexercised")
+    if crash.get("sessions_recovered", 0) <= 0:
+        fail(
+            "ta_crash recovery restored no checkpointed session: Recover() "
+            "restarted everything from scratch (manifest or snapshots lost)"
+        )
+    if crash.get("tokens_identical") is not True:
+        fail(
+            f"ta_crash fleet tokens diverged under plan "
+            f"'{crash.get('plan')}'"
+        )
+    print(
+        f"ta_crash '{crash.get('plan')}': {crash['crashes']} crash(es), "
+        f"{crash['sessions_recovered']} recovered / "
+        f"{crash.get('sessions_restarted', 0)} restarted over "
+        f"{crash.get('auto_checkpoints', 0)} checkpoint rounds, "
+        f"{crash.get('completed', 0)} completed, tokens identical: OK"
+    )
+
+
 def check_caching(fresh):
     points = fresh["points"]
     cold = points["0"]["ttft_ms"]
@@ -273,6 +366,8 @@ def main():
         check_preemption(load(sys.argv[2]))
     elif len(sys.argv) == 3 and sys.argv[1] == "--serving":
         check_serving(load(sys.argv[2]))
+    elif len(sys.argv) == 3 and sys.argv[1] == "--chaos":
+        check_chaos(load(sys.argv[2]))
     elif len(sys.argv) == 3 and sys.argv[1] == "--caching":
         check_caching(load(sys.argv[2]))
     elif len(sys.argv) == 3:
@@ -281,7 +376,8 @@ def main():
         fail(
             f"usage: {sys.argv[0]} <fresh.json> <committed.json> | "
             "--fault <fresh.json> | --preemption <preemption.json> | "
-            "--serving <serving.json> | --caching <caching.json>"
+            "--serving <serving.json> | --chaos <serving.json> | "
+            "--caching <caching.json>"
         )
     print("bench regression guard: all checks passed")
 

@@ -32,6 +32,10 @@ const char* ErrorCodeName(ErrorCode code) {
       return "INTERNAL";
     case ErrorCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
+    case ErrorCode::kAborted:
+      return "ABORTED";
   }
   return "UNKNOWN";
 }

@@ -29,6 +29,8 @@ enum class ErrorCode : uint32_t {
   kUnimplemented,
   kInternal,
   kDeadlineExceeded,  // A bounded wait ran out (virtual or wall time).
+  kUnavailable,       // Transient overload: retry later (admission shedding).
+  kAborted,           // The operation was cut short (injected TA crash).
 };
 
 // Human-readable name for an error code ("kOk" -> "OK").
@@ -98,6 +100,12 @@ inline Status Internal(std::string msg) {
 }
 inline Status DeadlineExceeded(std::string msg) {
   return Status(ErrorCode::kDeadlineExceeded, std::move(msg));
+}
+inline Status Unavailable(std::string msg) {
+  return Status(ErrorCode::kUnavailable, std::move(msg));
+}
+inline Status Aborted(std::string msg) {
+  return Status(ErrorCode::kAborted, std::move(msg));
 }
 
 // Result<T>: either a value or an error status. Minimal StatusOr analogue.

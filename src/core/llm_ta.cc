@@ -1,6 +1,7 @@
 #include "src/core/llm_ta.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <set>
 
@@ -56,6 +57,21 @@ Status LlmTa::LoadModel(const std::string& model_id, SchedulePolicy policy) {
   // is allocated.
   TZLLM_RETURN_IF_ERROR(engine_options_.Validate());
   model_id_ = model_id;
+
+  // Serving-layer fault plan: the options string wins (Validate() vetted
+  // its syntax); otherwise the TZLLM_SERVE_FAULT_PLAN environment variable
+  // (the CI chaos sweep). Resolved once here so every injection point — the
+  // KV pool's spill path, the checkpoint saves, the serving runtime's tick
+  // crash — reads the same plan.
+  if (!engine_options_.serve_fault_plan.empty()) {
+    auto serve_plan = ServeFaultPlan::Parse(engine_options_.serve_fault_plan);
+    if (!serve_plan.ok()) {
+      return serve_plan.status();
+    }
+    serve_fault_plan_ = *serve_plan;
+  } else {
+    serve_fault_plan_ = ServeFaultPlan::FromEnv();
+  }
 
   // 1. Key: only the TEE can unwrap; only this TA is authorized.
   auto key = tee_os_->GetModelKey(ta_, model_id);
@@ -163,6 +179,18 @@ Status LlmTa::LoadModel(const std::string& model_id, SchedulePolicy policy) {
       return InvalidArgument(
           "EngineOptions::kv_pool_bytes too small: the KV page pool cannot "
           "hold one session's full context resident");
+    }
+    // Spill-class fault plans arm the pool itself: every Nth spill blob is
+    // tampered with (or truncated) on its way into REE memory, modeling a
+    // hostile normal world — detected at restore, recovered by recompute.
+    if (serve_fault_plan_.active() &&
+        (serve_fault_plan_.fault == ServeFaultClass::kSpillTamper ||
+         serve_fault_plan_.fault == ServeFaultClass::kSpillDrop)) {
+      kv_arena_->pool()->ArmSpillFault(
+          serve_fault_plan_.fault == ServeFaultClass::kSpillDrop,
+          serve_fault_plan_.first, serve_fault_plan_.count);
+      TZLLM_LOG_INFO("llm-ta", "armed serve fault plan %s on the KV pool",
+                     serve_fault_plan_.ToString().c_str());
     }
   }
   if (engine_options_.npu_prefill_active()) {
@@ -350,6 +378,156 @@ void LlmTa::CloseSession(Session* s) {
   sessions_.erase(s->sid);
 }
 
+// --- Recompute-on-loss KV recovery (ISSUE 10). -----------------------------
+
+Status LlmTa::RecoverLostKv(const std::vector<Session*>& sessions,
+                            bool* recovered) {
+  *recovered = false;
+  if (!kv_arena_->paged() || engine_options_.kv_recompute_max <= 0) {
+    return OkStatus();
+  }
+  for (Session* s : sessions) {
+    KvCache* kv = kv_arena_->cache(s->slot);
+    std::vector<int> lost;
+    TZLLM_RETURN_IF_ERROR(kv->ProbeLostPages(&lost));
+    if (lost.empty()) {
+      continue;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const int seq = kv->seq_len();
+    const int pp = kv->page_positions();
+    const int prompt_len = static_cast<int>(s->prompt_tokens.size());
+    // Ranges still to heal, ascending. Healing one range can surface MORE
+    // loss — the re-prefill pins the whole prefix, and under a hostile REE
+    // those restores fail too — so every nested kDataCorruption folds the
+    // new casualties into this set and the loop restarts from the lowest
+    // index. Recovery then survives arbitrarily unreliable spill storage,
+    // up to the recompute budget.
+    std::set<int> pending;
+    uint64_t healed = 0;
+    std::vector<TokenId> span;
+    auto absorb = [&](const std::vector<int>& found) -> Status {
+      // A registry entry holding a lost page would hand zeros to the next
+      // AdoptPrefix — invalidate those before detaching anything.
+      const int dropped = kv_arena_->DropLostPrefixEntries();
+      if (dropped > 0) {
+        TZLLM_LOG_WARN("llm-ta",
+                       "dropped %d prefix registry entries over lost pages",
+                       dropped);
+      }
+      if (s->pages_recomputed + static_cast<int>(healed + found.size()) >
+          engine_options_.kv_recompute_max) {
+        return Status(
+            ErrorCode::kDataCorruption,
+            "KV recompute budget exhausted (EngineOptions::kv_recompute_max):"
+            " REE spill storage keeps losing this session's pages");
+      }
+      // Detach/heal the whole found set first: a page still shared with
+      // other holders is swapped for a fresh private one, and the
+      // re-prefill below must only ever write pages this session owns
+      // exclusively.
+      for (int idx : found) {
+        TZLLM_RETURN_IF_ERROR(kv->PrepareRecompute(idx));
+        pending.insert(idx);
+      }
+      return OkStatus();
+    };
+    TZLLM_RETURN_IF_ERROR(absorb(lost));
+    // Lowest pending range first: recomputing page i attends over positions
+    // < i*pp only, so earlier lost pages are already healed by the time a
+    // later one reads them.
+    while (!pending.empty()) {
+      const int idx = *pending.begin();
+      const int a = idx * pp;
+      const int b = std::min((idx + 1) * pp, seq);
+      if (b <= a) {
+        // Allocated-but-unfilled tail page: nothing to recompute.
+        pending.erase(pending.begin());
+        ++healed;
+        continue;
+      }
+      span.clear();
+      span.reserve(b - a);
+      for (int p = a; p < b; ++p) {
+        // The token that produced position p: the prompt, then the emitted
+        // outputs. Every output token is pushed BEFORE its decode step, so
+        // the history covers every cached position even when the failed
+        // step was the one that appended last.
+        span.push_back(p < prompt_len ? s->prompt_tokens[p]
+                                      : s->output_tokens[p - prompt_len]);
+      }
+      // Rewind the fill marks to the lost range and run the standard
+      // chunked prefill over it: ForwardChunk takes its RoPE start from the
+      // cache's seq_len, so the rows land at exactly positions [a, b) with
+      // the same floats the original pass produced (chunked prefill is
+      // bit-identical at any boundary — the house invariant).
+      TZLLM_RETURN_IF_ERROR(kv->RewindFill(a));
+      const Status refilled = executor_->PrefillChunk(
+          span.data(), b - a, s->per_position, kv, nullptr);
+      if (!refilled.ok()) {
+        Status surface = refilled;
+        if (refilled.code() == ErrorCode::kDataCorruption) {
+          // The re-prefill's own pin quarantined more spilled pages (they
+          // sit below `idx` — its attention reads them). Fold them in and
+          // restart from the new lowest range.
+          std::vector<int> more;
+          const Status probed = kv->ProbeLostPages(&more);
+          if (!probed.ok()) {
+            surface = probed;
+          } else if (!more.empty()) {
+            const Status absorbed = absorb(more);
+            if (absorbed.ok()) {
+              continue;
+            }
+            surface = absorbed;
+          }
+        }
+        // Leave the marks honest before surfacing: positions past `a` are
+        // unreliable now.
+        (void)kv->RewindFill(a);  // Cannot fail for an in-range position.
+        return surface;
+      }
+      pending.erase(pending.begin());
+      ++healed;
+    }
+    TZLLM_RETURN_IF_ERROR(kv->RewindFill(seq));
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    s->pages_recomputed += static_cast<int>(healed);
+    kv_recovery_stats_.pages_recomputed += healed;
+    ++kv_recovery_stats_.recoveries;
+    kv_recovery_stats_.recompute_ms += ms;
+    *recovered = true;
+    TZLLM_LOG_WARN("llm-ta",
+                   "session %llu lost %llu KV pages to REE misbehavior; "
+                   "recomputed them from token history (%.2f ms)",
+                   static_cast<unsigned long long>(s->sid),
+                   static_cast<unsigned long long>(healed), ms);
+  }
+  return OkStatus();
+}
+
+Status LlmTa::RetryWithKvRecovery(const std::vector<Session*>& sessions,
+                                  const std::function<Status()>& step) {
+  for (;;) {
+    const Status st = step();
+    if (st.ok() || st.code() != ErrorCode::kDataCorruption) {
+      return st;
+    }
+    // A spilled page failed its integrity check while the step pinned the
+    // cache. Corruption can only surface at pin time — before any append —
+    // so no partial step state exists and rerunning the step is safe.
+    bool recovered = false;
+    TZLLM_RETURN_IF_ERROR(RecoverLostKv(sessions, &recovered));
+    if (!recovered) {
+      return st;  // Not a lost-page condition (or recovery is disabled).
+    }
+    // Terminates: every pass through here healed >= 1 page and the
+    // per-session budget (kv_recompute_max) is finite.
+  }
+}
+
 // --- Handle-based session API. --------------------------------------------
 
 Result<SessionId> LlmTa::AdmitSession(const std::string& prompt,
@@ -409,9 +587,14 @@ Result<bool> LlmTa::PrefillSessionChunk(SessionId sid) {
   const int quantum = std::max(1, engine_options_.prefill_batch);
   const int m = std::min(quantum, total - s->prefill_pos);
   const bool last = s->prefill_pos + m == total;
-  TZLLM_RETURN_IF_ERROR(executor_->PrefillChunk(
-      s->prompt_tokens.data() + s->prefill_pos, m, s->per_position, kv,
-      last ? s->logits.data() : nullptr));
+  // Wrapped in KV recovery: a tampered/dropped REE spill blob surfaces as
+  // kDataCorruption when the chunk pins the cache; the lost pages are then
+  // re-prefilled from token history and the chunk reruns.
+  TZLLM_RETURN_IF_ERROR(RetryWithKvRecovery({s}, [&]() {
+    return executor_->PrefillChunk(
+        s->prompt_tokens.data() + s->prefill_pos, m, s->per_position, kv,
+        last ? s->logits.data() : nullptr);
+  }));
   s->prefill_pos += m;
   if (last) {
     s->prefilled = true;
@@ -479,8 +662,9 @@ Status LlmTa::DecodeSessions(const std::vector<SessionId>& sids) {
   std::vector<TransformerExecutor::DecodeEntry> entries;
   auto run_group = [&](size_t off, int n) -> Status {
     entries.resize(n);
+    std::vector<Session*> group(batch.begin() + off, batch.begin() + off + n);
     for (int i = 0; i < n; ++i) {
-      Session* s = batch[off + i];
+      Session* s = group[i];
       // Same per-token order as the solo loop: emit, decode, then sample
       // the successor below.
       s->output_tokens.push_back(s->next_token);
@@ -488,7 +672,12 @@ Status LlmTa::DecodeSessions(const std::vector<SessionId>& sids) {
       entries[i].kv = kv_arena_->cache(s->slot);
       entries[i].logits = s->logits.data();
     }
-    TZLLM_RETURN_IF_ERROR(executor_->DecodeStepBatch(entries.data(), n));
+    // Only the step itself is retried on a lost spill blob — the token
+    // pushes above are not rerun (corruption surfaces at pin time, before
+    // the step appends anything).
+    TZLLM_RETURN_IF_ERROR(RetryWithKvRecovery(group, [&]() {
+      return executor_->DecodeStepBatch(entries.data(), n);
+    }));
     for (int i = 0; i < n; ++i) {
       Session* s = batch[off + i];
       s->next_token = s->sampler->Sample(s->logits);
@@ -555,8 +744,9 @@ Result<int> LlmTa::StepSession(SessionId sid, int max_steps) {
       break;
     }
     s->output_tokens.push_back(s->next_token);
-    TZLLM_RETURN_IF_ERROR(
-        executor_->DecodeStepInto(s->next_token, kv, s->logits.data()));
+    TZLLM_RETURN_IF_ERROR(RetryWithKvRecovery({s}, [&]() {
+      return executor_->DecodeStepInto(s->next_token, kv, s->logits.data());
+    }));
     s->next_token = s->sampler->Sample(s->logits);
     --s->remaining;
     ++emitted;
@@ -702,58 +892,100 @@ std::string SessionCheckpointId(const std::string& model_id, SessionId sid) {
   return model_id + ".sess." + std::to_string(sid);
 }
 
+// The serving runtime's fleet manifest lives beside the session blobs under
+// one flash file per model ("<model_id>.serve.ckpt").
+std::string ServeManifestId(const std::string& model_id) {
+  return model_id + ".serve";
+}
+
 }  // namespace
 
-Status LlmTa::SealSession(Session* s, const std::string& ckpt_id) {
-  // Range-construct (not insert-at-end on the empty vector): gcc 12 -O2
+Status LlmTa::BuildSessionBlob(Session* s, std::vector<uint8_t>* blob) {
+  // Range-assign (not insert-at-end on the empty vector): gcc 12 -O2
   // misanalyzes the char* range insert as a 1-byte-destination memcpy
   // overflow.
-  std::vector<uint8_t> blob(kSessionMagic,
-                            kSessionMagic + sizeof(kSessionMagic));
-  PutU64(&blob, s->sid);
-  PutU32(&blob, static_cast<uint32_t>(s->prompt_tokens.size()));
+  blob->assign(kSessionMagic, kSessionMagic + sizeof(kSessionMagic));
+  PutU64(blob, s->sid);
+  PutU32(blob, static_cast<uint32_t>(s->prompt_tokens.size()));
   for (TokenId t : s->prompt_tokens) {
-    PutU32(&blob, static_cast<uint32_t>(t));
+    PutU32(blob, static_cast<uint32_t>(t));
   }
-  PutU32(&blob, static_cast<uint32_t>(s->output_tokens.size()));
+  PutU32(blob, static_cast<uint32_t>(s->output_tokens.size()));
   for (TokenId t : s->output_tokens) {
-    PutU32(&blob, static_cast<uint32_t>(t));
+    PutU32(blob, static_cast<uint32_t>(t));
   }
-  PutU32(&blob, static_cast<uint32_t>(s->next_token));
-  PutU32(&blob, static_cast<uint32_t>(s->remaining));
-  PutU32(&blob, s->done ? 1 : 0);
-  PutU32(&blob, s->prefilled ? 1 : 0);
-  PutU32(&blob, static_cast<uint32_t>(s->prefill_pos));
+  PutU32(blob, static_cast<uint32_t>(s->next_token));
+  PutU32(blob, static_cast<uint32_t>(s->remaining));
+  PutU32(blob, s->done ? 1 : 0);
+  PutU32(blob, s->prefilled ? 1 : 0);
+  PutU32(blob, static_cast<uint32_t>(s->prefill_pos));
   // Sampler options + RNG words: a restored non-greedy sampler must draw the
   // exact remaining sequence.
-  PutU32(&blob, s->sampling.greedy ? 1 : 0);
-  PutU32(&blob, static_cast<uint32_t>(s->sampling.top_k));
+  PutU32(blob, s->sampling.greedy ? 1 : 0);
+  PutU32(blob, static_cast<uint32_t>(s->sampling.top_k));
   uint64_t temp_bits = 0;
   static_assert(sizeof(temp_bits) == sizeof(s->sampling.temperature));
   std::memcpy(&temp_bits, &s->sampling.temperature, sizeof(temp_bits));
-  PutU64(&blob, temp_bits);
-  PutU64(&blob, s->sampling.seed);
+  PutU64(blob, temp_bits);
+  PutU64(blob, s->sampling.seed);
   uint64_t rng_state[4];
   s->sampler->SaveRngState(rng_state);
   for (uint64_t word : rng_state) {
-    PutU64(&blob, word);
+    PutU64(blob, word);
   }
-  // Paged caches restore any spilled page first; a tampered REE spill
-  // surfaces here as kDataCorruption instead of sealing poisoned KV.
-  TZLLM_RETURN_IF_ERROR(kv_arena_->cache(s->slot)->SerializeState(&blob));
+  // Paged caches restore any spilled page first; a lost page (tampered or
+  // dropped REE blob) is recomputed from token history and the
+  // serialization retried, so the sealed KV is never poisoned.
+  const size_t header_end = blob->size();
+  return RetryWithKvRecovery({s}, [&]() {
+    blob->resize(header_end);  // Discard any partial KV from a failed try.
+    return kv_arena_->cache(s->slot)->SerializeState(blob);
+  });
+}
 
+Result<uint64_t> LlmTa::SaveSessionBlob(const std::string& ckpt_id,
+                                        const std::vector<uint8_t>& blob) {
   CheckpointService checkpoints(&platform_->flash());
-  auto saved = checkpoints.Save(ckpt_id, model_key_, blob);
-  if (!saved.ok()) {
-    return saved.status();
+  TZLLM_ASSIGN_OR_RETURN(saved, checkpoints.Save(ckpt_id, model_key_, blob));
+  ++ckpt_saves_;
+  // ckpt_drop fault: the REE discards the blob it just promised to keep —
+  // the restore path must then surface kNotFound, and the serving runtime
+  // restarts the session from its prompt.
+  if (serve_fault_plan_.active() &&
+      serve_fault_plan_.fault == ServeFaultClass::kCkptDrop &&
+      serve_fault_plan_.Hits(ckpt_saves_)) {
+    TZLLM_RETURN_IF_ERROR(checkpoints.Delete(ckpt_id));
+    ++ckpt_drops_injected_;
+    TZLLM_LOG_WARN("llm-ta", "ckpt_drop fault: dropped %s after sealing",
+                   ckpt_id.c_str());
   }
+  return saved;
+}
+
+Status LlmTa::SealSession(Session* s, const std::string& ckpt_id) {
+  std::vector<uint8_t> blob;
+  TZLLM_RETURN_IF_ERROR(BuildSessionBlob(s, &blob));
+  TZLLM_ASSIGN_OR_RETURN(saved, SaveSessionBlob(ckpt_id, blob));
   const SessionId sid = s->sid;
   // Eviction: the sealed blob is now the only copy of the session — scrub
   // the KV plaintext, free the slot and drop the live state.
   CloseSession(s);
   TZLLM_LOG_INFO("llm-ta", "session %llu checkpoint sealed (%llu bytes)",
                  static_cast<unsigned long long>(sid),
-                 static_cast<unsigned long long>(*saved));
+                 static_cast<unsigned long long>(saved));
+  return OkStatus();
+}
+
+Status LlmTa::SnapshotSession(SessionId sid) {
+  Session* s = FindSession(sid);
+  if (s == nullptr) {
+    return FailedPrecondition("no active session to snapshot");
+  }
+  std::vector<uint8_t> blob;
+  TZLLM_RETURN_IF_ERROR(BuildSessionBlob(s, &blob));
+  TZLLM_ASSIGN_OR_RETURN(
+      saved, SaveSessionBlob(SessionCheckpointId(model_id_, sid), blob));
+  (void)saved;  // Size is interesting only for the eviction log line.
   return OkStatus();
 }
 
@@ -903,6 +1135,43 @@ bool LlmTa::HasSessionCheckpoint() const {
   CheckpointService checkpoints(&platform_->flash());
   return !model_id_.empty() &&
          checkpoints.Exists(SessionCheckpointId(model_id_));
+}
+
+// --- Serving-fleet manifest (whole-TA crash recovery). ----------------------
+// The TA stores/loads sealed bytes only; the manifest format is
+// ServingRuntime's (src/serve/serving.cc). Sealed under the model key like
+// every other checkpoint, so a tampered manifest fails restore instead of
+// resurrecting a forged fleet.
+
+Result<uint64_t> LlmTa::SaveServeManifest(
+    const std::vector<uint8_t>& manifest) {
+  if (!loaded_) {
+    return Status(ErrorCode::kFailedPrecondition, "no model loaded");
+  }
+  CheckpointService checkpoints(&platform_->flash());
+  return checkpoints.Save(ServeManifestId(model_id_), model_key_, manifest);
+}
+
+Result<std::vector<uint8_t>> LlmTa::LoadServeManifest() {
+  if (!loaded_) {
+    return Status(ErrorCode::kFailedPrecondition, "no model loaded");
+  }
+  CheckpointService checkpoints(&platform_->flash());
+  return checkpoints.Restore(ServeManifestId(model_id_), model_key_);
+}
+
+bool LlmTa::HasServeManifest() const {
+  CheckpointService checkpoints(&platform_->flash());
+  return !model_id_.empty() &&
+         checkpoints.Exists(ServeManifestId(model_id_));
+}
+
+Status LlmTa::DropServeManifest() {
+  if (!loaded_) {
+    return FailedPrecondition("no model loaded");
+  }
+  CheckpointService checkpoints(&platform_->flash());
+  return checkpoints.Delete(ServeManifestId(model_id_));
 }
 
 // --- Legacy single-session shims. ------------------------------------------

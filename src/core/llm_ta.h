@@ -18,6 +18,7 @@
 #ifndef SRC_CORE_LLM_TA_H_
 #define SRC_CORE_LLM_TA_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -29,6 +30,7 @@
 #include "src/core/restore_plan.h"
 #include "src/hw/platform.h"
 #include "src/llm/engine.h"
+#include "src/llm/serve_fault.h"
 #include "src/llm/tzguf.h"
 #include "src/tee/npu_driver.h"
 #include "src/tee/tee_os.h"
@@ -147,6 +149,50 @@ class LlmTa {
   // True if a sealed checkpoint for `sid` exists on flash.
   bool HasSessionCheckpoint(SessionId sid) const;
 
+  // CheckpointSession WITHOUT the eviction: seals the same self-contained
+  // blob to "<model_id>.sess.<sid>.ckpt" but keeps the session live — the
+  // serving runtime's auto-checkpoint cadence, so a whole-TA crash loses at
+  // most the tokens generated since the last snapshot (and those are
+  // regenerated bit-identically on restore).
+  Status SnapshotSession(SessionId sid);
+
+  // --- Recompute-on-loss KV recovery (ISSUE 10). -------------------------
+  // A spilled KV page whose REE blob fails restore (tampered, truncated,
+  // dropped) is quarantined and its positions re-prefilled from the
+  // session's own token history — deterministic, so the recomputed rows are
+  // bit-identical and generation continues as if nothing happened, bounded
+  // by EngineOptions::kv_recompute_max pages per session lifetime.
+
+  struct KvRecoveryStats {
+    uint64_t pages_recomputed = 0;  // Lost pages healed by re-prefill.
+    uint64_t recoveries = 0;        // Recovery passes that healed >= 1 page.
+    double recompute_ms = 0.0;      // Wall time spent re-prefilling (stats
+                                    // only — never fed back to scheduling).
+  };
+  const KvRecoveryStats& kv_recovery_stats() const {
+    return kv_recovery_stats_;
+  }
+
+  // --- Serving-fleet manifest (whole-TA crash recovery, ISSUE 10). -------
+  // The serving runtime periodically seals its queue/session state as a
+  // manifest blob through tee/checkpoint ("<model_id>.serve.ckpt"), and
+  // ServingRuntime::Recover() on a freshly booted TA reads it back. The TA
+  // only stores/loads the sealed bytes; the manifest format is the
+  // runtime's.
+
+  Result<uint64_t> SaveServeManifest(const std::vector<uint8_t>& manifest);
+  Result<std::vector<uint8_t>> LoadServeManifest();
+  bool HasServeManifest() const;
+  Status DropServeManifest();
+
+  // The armed serving-layer fault plan (options string wins over
+  // TZLLM_SERVE_FAULT_PLAN, parsed at LoadModel). The runtime reads it for
+  // the ta_crash class; spill/ckpt classes inject below this accessor.
+  const ServeFaultPlan& serve_fault_plan() const { return serve_fault_plan_; }
+  // Session-checkpoint blobs deleted right after sealing by an armed
+  // ckpt_drop plan.
+  uint64_t ckpt_drops_injected() const { return ckpt_drops_injected_; }
+
   // Session queries. A handle that was finished, abandoned or evicted is no
   // longer active; session_done on it reports true (nothing left to step).
   bool session_active(SessionId sid) const;
@@ -220,6 +266,8 @@ class LlmTa {
     Sampler::Options sampling;
     std::unique_ptr<Sampler> sampler;
     std::vector<float> logits; // vocab_size scratch row for this session.
+    // Lifetime recompute-on-loss spend, charged against kv_recompute_max.
+    int pages_recomputed = 0;
   };
 
   Status RestoreParameters(SchedulePolicy policy);
@@ -237,6 +285,24 @@ class LlmTa {
   // CheckpointSession body against an explicit flash id (the legacy shim
   // passes the un-suffixed id; the handle API the per-sid one).
   Status SealSession(Session* s, const std::string& ckpt_id);
+  // SealSession's two halves, split so SnapshotSession can seal without
+  // evicting: serialize the session (KV rows included, recovering lost
+  // pages first), then store the blob (counting checkpoint saves for the
+  // ckpt_drop injection ordinal).
+  Status BuildSessionBlob(Session* s, std::vector<uint8_t>* blob);
+  Result<uint64_t> SaveSessionBlob(const std::string& ckpt_id,
+                                   const std::vector<uint8_t>& blob);
+  // Probes every listed session for lost pages, quarantines and re-prefills
+  // them from token history. `*recovered` reports whether any page was
+  // healed; an exhausted kv_recompute_max budget is an error.
+  Status RecoverLostKv(const std::vector<Session*>& sessions, bool* recovered);
+  // Runs `step`, and on kDataCorruption recovers lost KV pages and retries
+  // — the loop that turns REE spill sabotage into a latency event. Safe
+  // because a corrupt restore can only surface while pinning at step START
+  // (mid-step every page is pinned resident), so no partial step state
+  // exists when `step` reruns.
+  Status RetryWithKvRecovery(const std::vector<Session*>& sessions,
+                             const std::function<Status()>& step);
   // RestoreSession body: unseal, parse, claim a slot, reactivate under the
   // blob's own sid.
   Result<SessionId> RestoreSessionBlob(const std::string& ckpt_id);
@@ -271,6 +337,11 @@ class LlmTa {
   uint64_t scratch_bytes_ = 0;
   uint64_t npu_ctx_bytes_ = 0;
   bool loaded_ = false;
+  // Serving-layer fault injection + recovery accounting (ISSUE 10).
+  ServeFaultPlan serve_fault_plan_;
+  KvRecoveryStats kv_recovery_stats_;
+  uint64_t ckpt_saves_ = 0;  // ckpt_drop ordinal: session blobs sealed.
+  uint64_t ckpt_drops_injected_ = 0;
 };
 
 }  // namespace tzllm

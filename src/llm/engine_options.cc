@@ -1,6 +1,7 @@
 #include "src/llm/engine_options.h"
 
 #include "src/hw/npu.h"
+#include "src/llm/serve_fault.h"
 
 namespace tzllm {
 
@@ -17,6 +18,27 @@ Status EngineOptions::Validate() const {
         "EngineOptions::decode_batch must be >= 0 (0 = all running sessions "
         "in one batch)");
   }
+  if (serve_queue_max < 0) {
+    return InvalidArgument(
+        "EngineOptions::serve_queue_max must be >= 0 (0 = unbounded "
+        "admission queue)");
+  }
+  if (serve_watchdog_ticks < 0) {
+    return InvalidArgument(
+        "EngineOptions::serve_watchdog_ticks must be >= 0 (0 disables the "
+        "stuck-tick watchdog)");
+  }
+  if (serve_checkpoint_every_n_ticks < 0) {
+    return InvalidArgument(
+        "EngineOptions::serve_checkpoint_every_n_ticks must be >= 0 (0 "
+        "disables auto-checkpointing)");
+  }
+  if (!serve_fault_plan.empty()) {
+    auto parsed = ServeFaultPlan::Parse(serve_fault_plan);
+    if (!parsed.ok()) {
+      return parsed.status();
+    }
+  }
 
   // Paged KV group: the pool is carved out of the secure scratch region at
   // load, so bad geometry must fail here, not as a mis-sized budget.
@@ -30,6 +52,11 @@ Status EngineOptions::Validate() const {
       return InvalidArgument(
           "EngineOptions::kv_prefix_entries must be >= 0 (0 disables prefix "
           "sharing)");
+    }
+    if (kv_recompute_max < 0) {
+      return InvalidArgument(
+          "EngineOptions::kv_recompute_max must be >= 0 (0 disables "
+          "recompute-on-loss)");
     }
   }
 

@@ -138,6 +138,27 @@ struct EngineOptions {
   // Under-pressure eviction policy for the serving runtime's admission
   // queue.
   ServeEvictPolicy serve_eviction = ServeEvictPolicy::kPriority;
+  // Admission-queue bound: Enqueue rejects with kUnavailable once this many
+  // requests are waiting (queued or evicted). 0 = unbounded (the pre-ISSUE
+  // 10 behavior). Overload then sheds late-comers instead of degrading
+  // every admitted session.
+  int serve_queue_max = 0;
+  // Stuck-tick watchdog: this many consecutive scheduler ticks with zero
+  // session progress (no prefill advance, no decode token, no retirement)
+  // surface kDeadlineExceeded with diagnostic stats instead of spinning.
+  // 0 disables (a no-work tick is then an immediate kInternal, the pre-
+  // watchdog contract).
+  int serve_watchdog_ticks = 0;
+  // Auto-checkpoint cadence for whole-TA crash recovery: every N scheduler
+  // ticks the runtime seals every active session (SnapshotSession) plus a
+  // serving manifest through tee/checkpoint, so a fresh TA can
+  // ServingRuntime::Recover() the whole fleet. 0 disables.
+  int serve_checkpoint_every_n_ticks = 0;
+  // Deterministic serving-layer fault plan ("spill_tamper@1x100",
+  // "ckpt_drop@2", "ta_crash@40" — see ServeFaultPlan::Parse). Empty =
+  // fall back to TZLLM_SERVE_FAULT_PLAN (the CI chaos-sweep hook); both
+  // empty = no injection. Malformed strings fail Validate().
+  std::string serve_fault_plan;
 
   // --- Paged KV group: page pool, REE spill and prefix sharing. ---------
 
@@ -163,6 +184,13 @@ struct EngineOptions {
   // prompts share a registered token prefix map the same read-only pages,
   // copy-on-write past the fork point). 0 disables sharing.
   int kv_prefix_entries = 16;
+  // Recompute-on-loss budget: lifetime cap on KV pages re-prefilled per
+  // session after a spilled page's REE blob came back tampered, truncated
+  // or missing. Within the budget REE misbehavior is a latency event (the
+  // covered positions are recomputed bit-identically from the session's
+  // token history); past it — or at 0, which disables recovery — the
+  // original kDataCorruption surfaces.
+  int kv_recompute_max = 256;
 
   // True exactly when this configuration routes prefill to the NPU backend
   // (reference kernels and prefill_batch <= 1 force the per-position CPU

@@ -260,6 +260,71 @@ Status KvCache::AdoptPrefix(const KvPageId* page_ids, size_t n_pages,
   return OkStatus();
 }
 
+Status KvCache::ProbeLostPages(std::vector<int>* lost_pages) {
+  lost_pages->clear();
+  if (pool_ == nullptr) {
+    return OkStatus();
+  }
+  for (size_t i = 0; i < pages_.size(); ++i) {
+    const KvPageId id = pages_[i];
+    if (pool_->lost(id)) {
+      lost_pages->push_back(static_cast<int>(i));
+      continue;
+    }
+    if (pool_->resident(id)) {
+      continue;
+    }
+    const Status st = pool_->EnsureResident(id);
+    if (st.ok()) {
+      continue;
+    }
+    if (st.code() != ErrorCode::kDataCorruption) {
+      return st;  // Pool pressure etc. — not a loss, the caller retries.
+    }
+    TZLLM_RETURN_IF_ERROR(pool_->Quarantine(id));
+    lost_pages->push_back(static_cast<int>(i));
+  }
+  return OkStatus();
+}
+
+Status KvCache::PrepareRecompute(int page_idx) {
+  if (pool_ == nullptr || page_idx < 0 ||
+      page_idx >= static_cast<int>(pages_.size())) {
+    return InvalidArgument("PrepareRecompute on a bad page index");
+  }
+  const KvPageId old_id = pages_[page_idx];
+  if (!pool_->lost(old_id)) {
+    return OkStatus();  // Another holder's recovery already healed it.
+  }
+  if (pool_->refcount(old_id) == 1) {
+    return pool_->ClearLost(old_id);
+  }
+  // Shared: detach onto a fresh private page. The lost original keeps its
+  // flag, so every other holder hits the same recovery path instead of
+  // silently reading zeros.
+  TZLLM_ASSIGN_OR_RETURN(new_id, pool_->Alloc(/*pinned=*/pin_depth_ > 0));
+  for (int d = 1; d < pin_depth_; ++d) {
+    TZLLM_RETURN_IF_ERROR(pool_->Pin(new_id));
+  }
+  for (int d = 0; d < pin_depth_; ++d) {
+    pool_->Unpin(old_id);
+  }
+  TZLLM_RETURN_IF_ERROR(pool_->Unref(old_id));
+  pages_[page_idx] = new_id;
+  return OkStatus();
+}
+
+Status KvCache::RewindFill(int pos) {
+  if (pos < 0 || pos > max_ctx_) {
+    return InvalidArgument("RewindFill position out of range");
+  }
+  for (int l = 0; l < n_layers_; ++l) {
+    filled_[l] = pos;
+  }
+  seq_len_ = pos;
+  return OkStatus();
+}
+
 void KvCache::ReleasePages() {
   for (KvPageId id : pages_) {
     const Status st = pool_->Unref(id);
@@ -709,6 +774,27 @@ Status KvArena::RegisterPrefix(int slot, const std::vector<TokenId>& tokens) {
   prefix_.push_back(std::move(entry));
   ++prefix_stats_.registered;
   return OkStatus();
+}
+
+int KvArena::DropLostPrefixEntries() {
+  if (pool_ == nullptr) {
+    return 0;
+  }
+  int dropped = 0;
+  for (size_t e = prefix_.size(); e-- > 0;) {
+    bool has_lost = false;
+    for (KvPageId id : prefix_[e].pages) {
+      if (pool_->lost(id)) {
+        has_lost = true;
+        break;
+      }
+    }
+    if (has_lost) {
+      DropPrefixEntry(e);
+      ++dropped;
+    }
+  }
+  return dropped;
 }
 
 void KvArena::DropPrefixEntry(size_t index) {

@@ -172,6 +172,29 @@ class KvCache {
   // and copy-on-write armed for the first divergent append.
   Status AdoptPrefix(const KvPageId* page_ids, size_t n_pages, int positions);
 
+  // --- Loss recovery (ISSUE 10): recompute-on-loss plumbing. -------------
+  // A spilled page whose REE blob was tampered with or dropped is *lost*:
+  // its data is gone but the token history that produced it is not, so the
+  // TA re-prefills exactly the covered positions (bit-identical by the
+  // house invariant). The cache provides the three primitives; the policy
+  // (token sourcing, budget, ordering) lives in LlmTa::RecoverLostKv.
+
+  int page_positions() const { return page_positions_; }
+  // Walks the page table, quarantining every spilled page whose restore
+  // fails with kDataCorruption, and records the table indices of all lost
+  // pages into `lost_pages` (ascending). Non-corruption restore failures
+  // propagate. Flat mode: trivially empty.
+  Status ProbeLostPages(std::vector<int>* lost_pages);
+  // Makes pages_[page_idx] safe to recompute into: sole holder -> clear the
+  // lost flag in place; still shared (another session or the registry holds
+  // it) -> detach onto a fresh private page, leaving the lost original to
+  // its other holders so their own recovery — not our rows — heals them.
+  Status PrepareRecompute(int page_idx);
+  // Rewinds (or restores) every layer's fill mark and seq_len to `pos`
+  // without touching page references or bytes — brackets a recompute
+  // prefill so appended rows land at the lost positions.
+  Status RewindFill(int pos);
+
   // Bytes of everything appended so far at the storage width, from per-layer
   // fill marks (mid-forward-pass, layers already appended this position
   // count too). In kF16 mode this is exactly what the scratch budget
@@ -342,6 +365,9 @@ class KvArena {
   // registration copies-on-write instead of mutating the shared rows.
   // Deduplicated by token hash; LRU-evicted beyond the registry capacity.
   Status RegisterPrefix(int slot, const std::vector<TokenId>& tokens);
+  // Invalidates every registry entry holding a lost page (the shared rows
+  // are gone; adopting them would hand out zeros). Returns entries dropped.
+  int DropLostPrefixEntries();
   const PrefixStats& prefix_stats() const { return prefix_stats_; }
   int prefix_entry_count() const { return static_cast<int>(prefix_.size()); }
 

@@ -80,7 +80,9 @@ Result<int> KvPagePool::TakeFrame() {
   KvPageId victim = kInvalidKvPage;
   for (KvPageId id = 0; id < pages_.size(); ++id) {
     const Page& p = pages_[id];
-    if (p.state != PageState::kResident || p.pins > 0) {
+    // A lost page must not spill: its zeroed frame would round-trip the
+    // encrypt/verify path and come back as silently "valid" zeros.
+    if (p.state != PageState::kResident || p.pins > 0 || p.lost) {
       continue;
     }
     if (victim == kInvalidKvPage || p.lru < pages_[victim].lru) {
@@ -126,6 +128,21 @@ Status KvPagePool::SpillPage(KvPageId id) {
   blob.insert(blob.end(), plain, plain + page_bytes_);
   AesCtr ctr(spill_key_, SpillIv(id, p.spill_seq));
   ctr.CryptAll(blob.data() + ct_off, page_bytes_);
+  if (spill_fault_armed_) {
+    const uint64_t ordinal = stats_.spills + 1;  // 1-based, like NpuFaultPlan.
+    if (ordinal >= spill_fault_first_ &&
+        ordinal < spill_fault_first_ + spill_fault_count_) {
+      if (spill_fault_drop_) {
+        // The REE "loses" the blob: nothing but a stub survives, so restore
+        // fails the size/magic check.
+        blob.resize(kSpillHeader / 2);
+      } else {
+        // One ciphertext byte flipped: decrypts fine, digest mismatches.
+        blob[ct_off + page_bytes_ / 2] ^= 0x5a;
+      }
+      ++stats_.spill_faults_injected;
+    }
+  }
   p.ree_blob = std::move(blob);
   // Scrub before the frame is reused: no KV plaintext outlives eviction.
   ScrubFrame(p.frame);
@@ -208,6 +225,7 @@ Result<KvPageId> KvPagePool::Alloc(bool pinned) {
   p.frame = frame;
   p.refs = 1;
   p.pins = pinned ? 1 : 0;
+  p.lost = false;
   p.lru = ++lru_clock_;
   p.spill_seq = 0;
   frame_owner_[frame] = id;
@@ -260,6 +278,10 @@ Status KvPagePool::EnsureResident(KvPageId id) {
     return InvalidArgument("EnsureResident on a free or invalid KV page");
   }
   Page& p = pages_[id];
+  if (p.lost) {
+    return Status(ErrorCode::kDataCorruption,
+                  "KV page was lost to REE misbehavior and awaits recompute");
+  }
   if (p.state == PageState::kSpilled) {
     TZLLM_RETURN_IF_ERROR(RestorePage(id));
   }
@@ -283,6 +305,54 @@ void KvPagePool::Touch(KvPageId id) {
   if (ValidLive(id)) {
     pages_[id].lru = ++lru_clock_;
   }
+}
+
+Status KvPagePool::Quarantine(KvPageId id) {
+  if (!ValidLive(id)) {
+    return InvalidArgument("Quarantine on a free or invalid KV page");
+  }
+  Page& p = pages_[id];
+  if (p.state != PageState::kSpilled) {
+    return FailedPrecondition("Quarantine of a resident KV page");
+  }
+  // The blob is unrecoverable — drop it before claiming a frame so the
+  // eviction scan never considers this page a spill candidate mid-claim.
+  p.ree_blob.clear();
+  p.ree_blob.shrink_to_fit();
+  TZLLM_ASSIGN_OR_RETURN(frame, TakeFrame());
+  // Frames are scrubbed on release, so the quarantined page reads as zeros
+  // — but `lost` makes every read path refuse it until ClearLost.
+  p.frame = frame;
+  frame_owner_[frame] = id;
+  p.state = PageState::kResident;
+  p.lost = true;
+  p.lru = ++lru_clock_;
+  --spilled_pages_;
+  ++stats_.pages_lost;
+  return OkStatus();
+}
+
+bool KvPagePool::lost(KvPageId id) const {
+  return ValidLive(id) && pages_[id].lost;
+}
+
+Status KvPagePool::ClearLost(KvPageId id) {
+  if (!ValidLive(id) || !pages_[id].lost) {
+    return FailedPrecondition("ClearLost on a page that is not lost");
+  }
+  if (pages_[id].state != PageState::kResident) {
+    return Internal("lost KV page is not resident");
+  }
+  pages_[id].lost = false;
+  pages_[id].lru = ++lru_clock_;
+  return OkStatus();
+}
+
+void KvPagePool::ArmSpillFault(bool drop, uint64_t first, uint64_t count) {
+  spill_fault_armed_ = count > 0;
+  spill_fault_drop_ = drop;
+  spill_fault_first_ = first;
+  spill_fault_count_ = count;
 }
 
 uint16_t* KvPagePool::Data16(KvPageId id) {

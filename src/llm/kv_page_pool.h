@@ -76,6 +76,8 @@ struct KvPageStats {
   uint64_t spills = 0;    // Pages encrypted out to REE memory.
   uint64_t restores = 0;  // Pages decrypted back into a frame.
   uint64_t cow_copies = 0;  // Shared pages privatized before a write.
+  uint64_t pages_lost = 0;  // Spilled pages quarantined after failed restore.
+  uint64_t spill_faults_injected = 0;  // Blobs tampered/dropped by the plan.
 };
 
 class KvPagePool {
@@ -117,7 +119,9 @@ class KvPagePool {
   bool resident(KvPageId id) const;
   // Restores a spilled page into a frame (decrypt + integrity check;
   // kDataCorruption on tamper), evicting colder unpinned pages if needed.
-  // No-op when already resident. Counts as a recency touch.
+  // No-op when already resident. Counts as a recency touch. Fails with
+  // kDataCorruption on a quarantined (lost) page until ClearLost — zeros
+  // must never be silently read as KV data.
   Status EnsureResident(KvPageId id);
   // EnsureResident + pin: the page cannot be evicted until Unpin. Pins
   // nest.
@@ -125,6 +129,25 @@ class KvPagePool {
   void Unpin(KvPageId id);
   // Recency bump (deterministic monotonic counter).
   void Touch(KvPageId id);
+
+  // --- Loss & recovery (ISSUE 10). ---------------------------------------
+  // When RestorePage fails (tampered, truncated or dropped REE blob) the
+  // page's data is gone but the session that references it is not: the
+  // owner quarantines the page — blob discarded, a zeroed frame claimed,
+  // state resident but flagged `lost` so every read path refuses it — and
+  // then recomputes the covered positions before calling ClearLost.
+
+  // Spilled -> resident+lost on a zeroed frame. refs/pins are untouched.
+  Status Quarantine(KvPageId id);
+  bool lost(KvPageId id) const;
+  // Recompute finished: the frame holds valid data again.
+  Status ClearLost(KvPageId id);
+
+  // Deterministic REE-misbehavior injection (ServeFaultPlan): sabotage the
+  // 1-based `first..first+count-1`-th spills right after encryption — a
+  // flipped ciphertext byte (tamper) or a truncated blob (drop). Restores
+  // of those generations then fail exactly like a real adversarial REE.
+  void ArmSpillFault(bool drop, uint64_t first, uint64_t count);
 
   // --- Frame data (valid only while resident; callers pin around use). ---
 
@@ -175,6 +198,7 @@ class KvPagePool {
     int frame = -1;
     int refs = 0;
     int pins = 0;
+    bool lost = false;  // Quarantined: frame is zeroed, awaiting recompute.
     uint64_t lru = 0;
     uint64_t spill_seq = 0;           // CTR-IV uniqueness across re-spills.
     std::vector<uint8_t> ree_blob;    // Encrypted page while spilled.
@@ -217,6 +241,11 @@ class KvPagePool {
   int spilled_pages_ = 0;
   uint64_t lru_clock_ = 0;   // Monotonic recency counter — never wall time.
   uint64_t spill_clock_ = 0;
+  // Armed spill-fault window (ArmSpillFault): ordinal is stats_.spills.
+  bool spill_fault_armed_ = false;
+  bool spill_fault_drop_ = false;
+  uint64_t spill_fault_first_ = 0;
+  uint64_t spill_fault_count_ = 0;
   KvPageStats stats_;
 };
 

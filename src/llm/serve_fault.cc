@@ -1,0 +1,94 @@
+#include "src/llm/serve_fault.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/log.h"
+
+namespace tzllm {
+
+std::string ServeFaultPlan::ToString() const {
+  if (!active()) {
+    return "none";
+  }
+  const char* name = "?";
+  switch (fault) {
+    case ServeFaultClass::kNone:
+      name = "none";
+      break;
+    case ServeFaultClass::kSpillTamper:
+      name = "spill_tamper";
+      break;
+    case ServeFaultClass::kSpillDrop:
+      name = "spill_drop";
+      break;
+    case ServeFaultClass::kCkptDrop:
+      name = "ckpt_drop";
+      break;
+    case ServeFaultClass::kTaCrash:
+      name = "ta_crash";
+      break;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s@%llu x%llu", name,
+                static_cast<unsigned long long>(first),
+                static_cast<unsigned long long>(count));
+  return buf;
+}
+
+Result<ServeFaultPlan> ServeFaultPlan::Parse(const std::string& text) {
+  ServeFaultPlan plan;
+  if (text.empty() || text == "none") {
+    return plan;
+  }
+  const size_t at = text.find('@');
+  if (at == std::string::npos || at == 0 || at + 1 >= text.size()) {
+    return InvalidArgument(
+        "serve fault plan must be <class>@<first>[x<count>], got: " + text);
+  }
+  const std::string cls = text.substr(0, at);
+  if (cls == "spill_tamper") {
+    plan.fault = ServeFaultClass::kSpillTamper;
+  } else if (cls == "spill_drop") {
+    plan.fault = ServeFaultClass::kSpillDrop;
+  } else if (cls == "ckpt_drop") {
+    plan.fault = ServeFaultClass::kCkptDrop;
+  } else if (cls == "ta_crash") {
+    plan.fault = ServeFaultClass::kTaCrash;
+  } else {
+    return InvalidArgument("unknown serve fault class: " + cls);
+  }
+  const std::string ords = text.substr(at + 1);
+  const size_t x = ords.find('x');
+  char* end = nullptr;
+  const std::string first_str = x == std::string::npos ? ords
+                                                       : ords.substr(0, x);
+  plan.first = std::strtoull(first_str.c_str(), &end, 10);
+  if (end == first_str.c_str() || *end != '\0' || plan.first == 0) {
+    return InvalidArgument("bad serve fault ordinal in plan: " + text);
+  }
+  if (x != std::string::npos) {
+    const std::string count_str = ords.substr(x + 1);
+    plan.count = std::strtoull(count_str.c_str(), &end, 10);
+    if (end == count_str.c_str() || *end != '\0' || plan.count == 0) {
+      return InvalidArgument("bad serve fault count in plan: " + text);
+    }
+  }
+  return plan;
+}
+
+ServeFaultPlan ServeFaultPlan::FromEnv() {
+  const char* env = std::getenv("TZLLM_SERVE_FAULT_PLAN");
+  if (env == nullptr || *env == '\0') {
+    return ServeFaultPlan{};
+  }
+  auto plan = Parse(env);
+  if (!plan.ok()) {
+    TZLLM_LOG_WARN("serve", "ignoring malformed TZLLM_SERVE_FAULT_PLAN: %s",
+                   plan.status().ToString().c_str());
+    return ServeFaultPlan{};
+  }
+  return *plan;
+}
+
+}  // namespace tzllm

@@ -1,0 +1,64 @@
+// Deterministic serving-layer fault injection (ISSUE 10) — the REE-side
+// sibling of NpuFaultPlan. A plan names one misbehavior class and a 1-based
+// ordinal window; the meaning of the ordinal depends on the class:
+//
+//   spill_tamper  — flip a ciphertext byte in the N-th..(N+count-1)-th KV
+//                   page spill (counted by KvPagePool), so the restore
+//                   fails its integrity check and recompute-on-loss runs.
+//   spill_drop    — truncate those spill blobs instead (the REE "loses"
+//                   them); restore fails the size/magic check.
+//   ckpt_drop     — delete the N-th.. session-checkpoint blobs right after
+//                   LlmTa seals them, so eviction-restore / crash-recovery
+//                   must restart those sessions from their prompts.
+//   ta_crash      — ServingRuntime::Tick aborts at tick N, modeling a
+//                   whole-TA crash; the harness reboots a fresh TA and
+//                   drives ServingRuntime::Recover().
+//
+// Plans compose with NpuFaultPlan (different env, different layers). The
+// env hook is TZLLM_SERVE_FAULT_PLAN; EngineOptions::serve_fault_plan
+// (options string) wins over the env, the same precedence the NPU plan
+// uses. Like every fault path in this codebase the injection is counted by
+// deterministic ordinals, never by clocks or randomness — a chaos run is
+// exactly replayable.
+
+#ifndef SRC_LLM_SERVE_FAULT_H_
+#define SRC_LLM_SERVE_FAULT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace tzllm {
+
+enum class ServeFaultClass : uint8_t {
+  kNone = 0,
+  kSpillTamper,
+  kSpillDrop,
+  kCkptDrop,
+  kTaCrash,
+};
+
+struct ServeFaultPlan {
+  ServeFaultClass fault = ServeFaultClass::kNone;
+  uint64_t first = 0;  // 1-based ordinal of the first fault; 0 = never.
+  uint64_t count = 1;  // Consecutive faulted ordinals starting at `first`.
+
+  bool active() const { return fault != ServeFaultClass::kNone && first > 0; }
+  bool Hits(uint64_t ordinal) const {
+    return active() && ordinal >= first && ordinal < first + count;
+  }
+  std::string ToString() const;
+
+  // "<class>@<first>[x<count>]" with class one of spill_tamper |
+  // spill_drop | ckpt_drop | ta_crash; "" or "none" parse to the inactive
+  // plan. Examples: "spill_tamper@1x100", "ta_crash@40".
+  static Result<ServeFaultPlan> Parse(const std::string& text);
+  // Parses TZLLM_SERVE_FAULT_PLAN; unset or empty means no faults. A
+  // malformed value is a test-rig error: logged and treated as inactive.
+  static ServeFaultPlan FromEnv();
+};
+
+}  // namespace tzllm
+
+#endif  // SRC_LLM_SERVE_FAULT_H_

@@ -29,7 +29,22 @@
 //
 // Scheduling is deterministic (priority then FIFO, session order by id);
 // wall-clock timestamps are recorded per token for the fig18 latency
-// metrics but never feed back into scheduling decisions.
+// metrics but never feed back into scheduling decisions. Overload and
+// failure handling (ISSUE 10) is deterministic too:
+//
+//   * Admission bound — EngineOptions::serve_queue_max caps the waiting
+//     set; Enqueue rejects beyond it with kUnavailable. Queued requests
+//     with a deadline_ticks budget that expires before admission are shed
+//     with a kUnavailable result instead of degrading admitted sessions.
+//   * Stuck-tick watchdog — serve_watchdog_ticks consecutive zero-progress
+//     ticks surface kDeadlineExceeded with queue diagnostics.
+//   * Crash recovery — every serve_checkpoint_every_n_ticks ticks the
+//     runtime snapshots all active sessions (LlmTa::SnapshotSession) and
+//     seals a fleet manifest; after a TA crash, Recover() on a fresh
+//     runtime over a freshly booted TA re-queues every manifested request,
+//     restoring checkpointed sessions token-identically and restarting the
+//     rest from their prompts (same tokens either way — generation is
+//     deterministic).
 
 #ifndef SRC_SERVE_SERVING_H_
 #define SRC_SERVE_SERVING_H_
@@ -53,6 +68,11 @@ struct ServeRequest {
   // Lower value = more urgent; ties admit in submission (FIFO) order.
   double priority = 0.0;
   Sampler::Options sampling;
+  // Admission deadline in scheduler ticks: still queued (never admitted)
+  // this many ticks after submission => shed with a kUnavailable result.
+  // 0 = wait forever. Tick-based, not wall-clock: scheduling decisions stay
+  // deterministic (tzlint bans wall time in this layer).
+  uint64_t deadline_ticks = 0;
 };
 
 // A completed request with its timing record. Timestamps are seconds on the
@@ -60,6 +80,9 @@ struct ServeRequest {
 struct ServeRequestResult {
   uint64_t request_id = 0;
   double priority = 0.0;
+  // OK for a completed generation; kUnavailable for a request shed after
+  // its deadline_ticks expired in the queue (generation is then empty).
+  Status status;
   GenerationResult generation;
   double submit_s = 0.0;
   // When the first generated token was sampled (prefill completion) — TTFT
@@ -91,6 +114,22 @@ struct ServeStats {
   uint64_t cow_copies = 0;
   uint64_t prefix_lookups = 0;
   uint64_t prefix_hits = 0;
+  // Loss-recovery counters (ISSUE 10): pages whose REE spill blob came back
+  // tampered/truncated/missing, and what re-prefilling them cost.
+  uint64_t pages_lost = 0;
+  uint64_t pages_recomputed = 0;
+  uint64_t kv_recoveries = 0;
+  double recompute_ms = 0.0;
+  // Overload counters: Enqueue rejections (serve_queue_max) and queued
+  // requests shed past their deadline_ticks.
+  uint64_t requests_rejected = 0;
+  uint64_t requests_shed = 0;
+  // Crash-recovery counters: auto-checkpoint rounds taken, sessions resumed
+  // from a sealed blob by Recover()/admission, and sessions restarted from
+  // their prompt because the blob was missing or corrupt.
+  uint64_t auto_checkpoints = 0;
+  uint64_t sessions_recovered = 0;
+  uint64_t sessions_restarted = 0;
 };
 
 class ServingRuntime {
@@ -104,7 +143,18 @@ class ServingRuntime {
   ServingRuntime(LlmTa* ta, Simulator* sim);
 
   // Queues a request; returns its id. Admission happens inside Tick.
-  uint64_t Enqueue(ServeRequest request);
+  // kUnavailable once serve_queue_max requests are already waiting (queued
+  // or evicted) — overload sheds new arrivals instead of degrading every
+  // admitted session.
+  Result<uint64_t> Enqueue(ServeRequest request);
+
+  // Rebuilds the fleet from the sealed serving manifest on a FRESH runtime
+  // (no requests yet) over a freshly booted TA with the same model: every
+  // manifested request re-queues at its original id and priority; sessions
+  // with a sealed checkpoint resume token-identically on admission, the
+  // rest restart from their prompts (deterministic generation makes the
+  // final tokens identical either way). kNotFound when no manifest exists.
+  Status Recover();
 
   // Runs one scheduler tick (the four stages above). Returns true while any
   // request is still queued, running or evicted; false once everything
@@ -120,6 +170,11 @@ class ServingRuntime {
   const ServeStats& stats() const { return stats_; }
   // Requests not yet completed (queued, running or evicted).
   int pending() const;
+
+  // Test hook: the next `n` ticks skip every scheduler stage (as if the
+  // engine made no progress), driving the stuck-tick watchdog
+  // deterministically.
+  void InjectStallTicksForTest(int n) { stall_inject_ = n; }
 
  private:
   enum class State {
@@ -142,6 +197,13 @@ class ServingRuntime {
     double first_token_s = 0.0;
     bool has_first_token = false;
     std::vector<double> token_s;
+    // Tick counter value at submission; with deadline_ticks > 0 the request
+    // is shed once it waits past the budget without ever being admitted.
+    uint64_t submit_tick = 0;
+    uint64_t deadline_ticks = 0;
+    // Re-queued by Recover() with a sealed session checkpoint to restore;
+    // its first successful admission counts as a session recovered.
+    bool from_manifest = false;
   };
 
   double Now() const;
@@ -158,6 +220,14 @@ class ServingRuntime {
   void SnapshotKvStats();
   // The most urgent admitted session still mid-prefill; nullptr if none.
   Request* NextPrefill();
+  // Re-queues `r` on the admission ServerPool (held job carrying its id).
+  void SubmitJob(const Request& r);
+  // Auto-checkpoint round: snapshot every active session and seal the fleet
+  // manifest (serve_checkpoint_every_n_ticks cadence).
+  Status CheckpointFleet();
+  // The sealed manifest bytes: every non-done request's identity, priority,
+  // budget, sampling options and prompt.
+  std::vector<uint8_t> SerializeManifest() const;
 
   LlmTa* ta_;
   ServerPool pool_;
@@ -167,6 +237,10 @@ class ServingRuntime {
   uint64_t next_request_ = 1;
   // Handoff slot for the admission queue's job closures (see AdmitTop).
   uint64_t popped_request_ = 0;
+  // Consecutive zero-progress ticks (watchdog) and pending injected stalls
+  // (test hook).
+  int stall_ticks_ = 0;
+  int stall_inject_ = 0;
   std::chrono::steady_clock::time_point t0_;
 };
 

@@ -78,4 +78,8 @@ bool CheckpointService::Exists(const std::string& model_id) const {
   return flash_->Exists(FileName(model_id));
 }
 
+Status CheckpointService::Delete(const std::string& model_id) {
+  return flash_->DeleteFile(FileName(model_id));
+}
+
 }  // namespace tzllm

@@ -36,6 +36,12 @@ class CheckpointService {
 
   bool Exists(const std::string& model_id) const;
 
+  // Removes a stored checkpoint; kNotFound when none exists. Used when a
+  // superseded blob must not be restorable (a completed serving manifest)
+  // and by the ckpt_drop fault injection, which models the REE discarding
+  // a blob it promised to keep.
+  Status Delete(const std::string& model_id);
+
   // Modeled wall time of a restore at inference start (I/O + decrypt of the
   // serialized state + fixups); used by the runtime cost accounting.
   static constexpr SimDuration RestoreTime() { return kCheckpointRestoreTime; }

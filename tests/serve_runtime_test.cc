@@ -80,7 +80,9 @@ TEST(ServeRuntimeTest, ConcurrentRequestsMatchSoloTokens) {
     ServeRequest req;
     req.prompt = prompt;
     req.max_new_tokens = kBudget;
-    ids.push_back(serve.Enqueue(req));
+    auto id = serve.Enqueue(req);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
   }
   Status done = serve.RunToCompletion();
   ASSERT_TRUE(done.ok()) << done.ToString();
@@ -118,7 +120,9 @@ TEST(ServeRuntimeTest, PriorityOrdersAdmissionOnOneSlot) {
     req.prompt = Prompts()[prompt_idx];
     req.max_new_tokens = kBudget;
     req.priority = priority;
-    return serve.Enqueue(req);
+    auto id = serve.Enqueue(req);
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    return id.ok() ? *id : 0;
   };
   const uint64_t relaxed = enqueue(0, 3.0);
   const uint64_t urgent = enqueue(1, 1.0);
@@ -149,7 +153,9 @@ TEST(ServeRuntimeTest, UrgentArrivalPreemptsAndEvicteeResumesIdentically) {
     req.prompt = Prompts()[prompt_idx];
     req.max_new_tokens = kBudget;
     req.priority = priority;
-    return serve.Enqueue(req);
+    auto id = serve.Enqueue(req);
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    return id.ok() ? *id : 0;
   };
   // Fill both slots with relaxed-priority requests and run a few ticks so
   // both are admitted, prefilled and decoding.
@@ -195,7 +201,7 @@ TEST(ServeRuntimeTest, NoEvictionPolicyMakesUrgentWaitInQueue) {
   relaxed.prompt = Prompts()[0];
   relaxed.max_new_tokens = kBudget;
   relaxed.priority = 5.0;
-  serve.Enqueue(relaxed);
+  ASSERT_TRUE(serve.Enqueue(relaxed).ok());
   for (int i = 0; i < 3; ++i) {
     ASSERT_TRUE(serve.Tick().ok());
   }
@@ -203,7 +209,7 @@ TEST(ServeRuntimeTest, NoEvictionPolicyMakesUrgentWaitInQueue) {
   urgent.prompt = Prompts()[1];
   urgent.max_new_tokens = kBudget;
   urgent.priority = 1.0;
-  serve.Enqueue(urgent);
+  ASSERT_TRUE(serve.Enqueue(urgent).ok());
   ASSERT_TRUE(serve.RunToCompletion().ok());
   // Under kNone the running request completes first; no checkpoints happen.
   ASSERT_EQ(serve.results().size(), 2u);
